@@ -1,0 +1,56 @@
+//! Simulator throughput: dynamic instructions simulated per second for each
+//! execution-core model, the functional executor, and the translator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use braid_compiler::{translate, TranslatorConfig};
+use braid_core::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
+use braid_core::cores::{BraidCore, DepSteerCore, InOrderCore, OooCore};
+use braid_core::functional::Machine;
+
+fn bench_cores(c: &mut Criterion) {
+    let w = braid_workloads::by_name("gcc", 0.2).expect("gcc exists");
+    let mut m = Machine::new(&w.program);
+    let trace = m.run(&w.program, w.fuel).expect("runs");
+    let t = translate(&w.program, &TranslatorConfig::default()).expect("translates");
+    let mut mb = Machine::new(&t.program);
+    let braid_trace = mb.run(&t.program, w.fuel).expect("runs");
+    let n = trace.len() as u64;
+
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("functional", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&w.program);
+            m.run(&w.program, w.fuel).expect("runs")
+        })
+    });
+    g.bench_function("ooo_core", |b| {
+        let core = OooCore::new(OooConfig::paper_8wide());
+        b.iter(|| core.run(&w.program, &trace))
+    });
+    g.bench_function("braid_core", |b| {
+        let core = BraidCore::new(BraidConfig::paper_default());
+        b.iter(|| core.run(&t.program, &braid_trace))
+    });
+    g.bench_function("dep_core", |b| {
+        let core = DepSteerCore::new(DepConfig::paper_8wide());
+        b.iter(|| core.run(&w.program, &trace))
+    });
+    g.bench_function("inorder_core", |b| {
+        let core = InOrderCore::new(InOrderConfig::paper_8wide());
+        b.iter(|| core.run(&w.program, &trace))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("translator");
+    g.throughput(Throughput::Elements(w.program.len() as u64));
+    g.bench_function("translate_gcc", |b| {
+        b.iter(|| translate(&w.program, &TranslatorConfig::default()).expect("translates"))
+    });
+    g.finish();
+}
+
+criterion_group!(cores, bench_cores);
+criterion_main!(cores);

@@ -1,0 +1,48 @@
+//! One Criterion benchmark per paper table/figure: each target runs a
+//! reduced-scale version of the experiment that regenerates that artifact,
+//! so `cargo bench` both exercises and times the whole reproduction
+//! pipeline. Full-scale regeneration is `cargo run --release -p braid-bench
+//! --bin exp -- all`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use braid_bench::experiments as exp;
+use braid_bench::{prepare, Prepared};
+
+/// A fixed 4-benchmark sample keeps each figure's bench under a second.
+fn sample_suite() -> Vec<Prepared> {
+    ["gcc", "mcf", "swim", "gzip"]
+        .iter()
+        .map(|name| prepare(braid_workloads::by_name(name, 0.05).expect("known benchmark")))
+        .collect()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let suite = sample_suite();
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.bench_function("table1_braids_per_block", |b| b.iter(|| exp::tab1(&suite)));
+    g.bench_function("table2_braid_size_width", |b| b.iter(|| exp::tab2(&suite)));
+    g.bench_function("table3_braid_operands", |b| b.iter(|| exp::tab3(&suite)));
+    g.bench_function("section1_value_characterization", |b| b.iter(|| exp::chars(&suite)));
+    g.bench_function("section31_braid_splits", |b| b.iter(|| exp::splits(&suite)));
+    g.bench_function("figure1_wider_issue_potential", |b| b.iter(|| exp::fig1(&suite)));
+    g.bench_function("figure5_ooo_registers", |b| b.iter(|| exp::fig5(&suite)));
+    g.bench_function("figure6_external_registers", |b| b.iter(|| exp::fig6(&suite)));
+    g.bench_function("figure7_external_rf_ports", |b| b.iter(|| exp::fig7(&suite)));
+    g.bench_function("figure8_bypass_paths", |b| b.iter(|| exp::fig8(&suite)));
+    g.bench_function("figure9_beus", |b| b.iter(|| exp::fig9(&suite)));
+    g.bench_function("figure10_fifo_entries", |b| b.iter(|| exp::fig10(&suite)));
+    g.bench_function("figure11_window", |b| b.iter(|| exp::fig11(&suite)));
+    g.bench_function("figure12_window_and_fus", |b| b.iter(|| exp::fig12(&suite)));
+    g.bench_function("figure13_four_paradigms", |b| b.iter(|| exp::fig13(&suite)));
+    g.bench_function("figure14_equal_fus", |b| b.iter(|| exp::fig14(&suite)));
+    g.bench_function("section51_pipeline_shortening", |b| b.iter(|| exp::pipeline(&suite)));
+    g.bench_function("section52_clustering", |b| b.iter(|| exp::clusters(&suite)));
+    g.bench_function("section34_exceptions", |b| b.iter(|| exp::exceptions(&suite)));
+    g.bench_function("ablation_disambiguation", |b| b.iter(|| exp::disambiguation(&suite)));
+    g.finish();
+}
+
+criterion_group!(figures, bench_figures);
+criterion_main!(figures);

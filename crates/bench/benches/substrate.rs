@@ -1,0 +1,61 @@
+//! Microbenchmarks of the microarchitecture substrates: cache accesses,
+//! perceptron predictions, and load-store queue queries.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use braid_uarch::branch::{BranchPredictor, PerceptronPredictor};
+use braid_uarch::cache::{Access, MemoryHierarchy, MemoryHierarchyConfig};
+use braid_uarch::lsq::LoadStoreQueue;
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    g.throughput(Throughput::Elements(1024));
+
+    g.bench_function("cache_hierarchy_1k_accesses", |b| {
+        b.iter(|| {
+            let mut h = MemoryHierarchy::new(MemoryHierarchyConfig::default());
+            let mut total = 0u64;
+            for i in 0..1024u64 {
+                total += h.access(Access::Load, (i * 64) % (128 << 10));
+            }
+            total
+        })
+    });
+
+    g.bench_function("perceptron_1k_predictions", |b| {
+        b.iter(|| {
+            let mut p = PerceptronPredictor::paper_default();
+            let mut taken = false;
+            for i in 0..1024u64 {
+                taken = !taken;
+                let pred = p.predict(i % 37);
+                p.update(i % 37, taken, pred);
+            }
+            p.accuracy().rate()
+        })
+    });
+
+    g.bench_function("lsq_1k_load_outcomes", |b| {
+        let mut q = LoadStoreQueue::new(64);
+        for s in 0..32u64 {
+            q.insert(s, s % 3 == 0, s * 8, 8);
+            q.set_address(s, s * 8, 8);
+        }
+        b.iter(|| {
+            let mut ready = 0;
+            for i in 0..1024u64 {
+                if matches!(
+                    q.load_outcome(40, (i % 64) * 8, 8, i),
+                    braid_uarch::lsq::LsqOutcome::Ready
+                ) {
+                    ready += 1;
+                }
+            }
+            ready
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(substrate, bench_substrate);
+criterion_main!(substrate);

@@ -1,0 +1,91 @@
+//! `exp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! exp <experiment>...        run the named experiments
+//! exp all                    run everything
+//! ```
+//!
+//! Experiments: tab1 tab2 tab3 chars splits fig1 fig5 fig6 fig7 fig8 fig9
+//! fig10 fig11 fig12 fig13 fig14 pipeline. Set `BRAID_SCALE` to change the
+//! dynamic instruction count (default 1.0 ≈ 60k per benchmark).
+//!
+//! Each experiment prints its table and writes `results/<name>.txt`.
+
+use std::fs;
+use std::time::Instant;
+
+use braid_bench::experiments as exp;
+use braid_bench::table::Table;
+use braid_bench::{prepare_suite, scale, Prepared};
+
+const ALL: &[&str] = &[
+    "tab1", "tab2", "tab3", "chars", "splits", "fig1", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "pipeline", "clusters",
+    "exceptions", "disambiguation", "predictors", "mshrs", "fig13perfect",
+];
+
+fn run_one(name: &str, suite: &[Prepared]) -> Option<Table> {
+    let table = match name {
+        "tab1" => exp::tab1(suite),
+        "tab2" => exp::tab2(suite),
+        "tab3" => exp::tab3(suite),
+        "chars" => exp::chars(suite),
+        "splits" => exp::splits(suite),
+        "fig1" => exp::fig1(suite),
+        "fig5" => exp::fig5(suite),
+        "fig6" => exp::fig6(suite),
+        "fig7" => exp::fig7(suite),
+        "fig8" => exp::fig8(suite),
+        "fig9" => exp::fig9(suite),
+        "fig10" => exp::fig10(suite),
+        "fig11" => exp::fig11(suite),
+        "fig12" => exp::fig12(suite),
+        "fig13" => exp::fig13(suite),
+        "fig14" => exp::fig14(suite),
+        "pipeline" => exp::pipeline(suite),
+        "clusters" => exp::clusters(suite),
+        "exceptions" => exp::exceptions(suite),
+        "disambiguation" => exp::disambiguation(suite),
+        "predictors" => exp::predictors(suite),
+        "mshrs" => exp::mshrs(suite),
+        "fig13perfect" => exp::fig13perfect(suite),
+        _ => return None,
+    };
+    Some(table)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: exp <experiment>... | all\nexperiments: {}", ALL.join(" "));
+        std::process::exit(2);
+    }
+    let wanted: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for w in &wanted {
+        if !ALL.contains(w) {
+            eprintln!("unknown experiment {w:?}; known: {}", ALL.join(" "));
+            std::process::exit(2);
+        }
+    }
+
+    let t0 = Instant::now();
+    eprintln!("preparing 26-benchmark suite at scale {} ...", scale());
+    let suite = prepare_suite(scale());
+    eprintln!("prepared in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let _ = fs::create_dir_all("results");
+    for name in wanted {
+        let t1 = Instant::now();
+        let table = run_one(name, &suite).expect("validated above");
+        let text = table.render();
+        println!("{text}");
+        eprintln!("[{name} took {:.1}s]", t1.elapsed().as_secs_f64());
+        if let Err(e) = fs::write(format!("results/{name}.txt"), &text) {
+            eprintln!("warning: could not write results/{name}.txt: {e}");
+        }
+    }
+}

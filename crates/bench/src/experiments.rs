@@ -1,0 +1,670 @@
+//! The experiment implementations, one per paper table/figure.
+
+use braid_core::config::{BraidConfig, CommonConfig, DepConfig, InOrderConfig, OooConfig};
+use braid_core::cores::{BraidCore, DepSteerCore, InOrderCore, OooCore};
+use braid_core::profile::ValueProfile;
+use braid_core::report::SimReport;
+
+use crate::table::Table;
+use crate::{geomean, paper, Prepared};
+
+fn perfect_common() -> CommonConfig {
+    CommonConfig::paper_8wide().perfect()
+}
+
+fn braid_cfg() -> BraidConfig {
+    BraidConfig::paper_default()
+}
+
+fn run_braid_with(p: &Prepared, cfg: &BraidConfig) -> SimReport {
+    BraidCore::new(cfg.clone()).run(&p.translation.program, &p.braid_trace)
+}
+
+fn run_ooo_with(p: &Prepared, cfg: &OooConfig) -> SimReport {
+    OooCore::new(cfg.clone()).run(&p.workload.program, &p.trace)
+}
+
+/// Table 1: braids per basic block (measured vs paper, plus the
+/// excluding-singles column).
+pub fn tab1(suite: &[Prepared]) -> Table {
+    let mut t = Table::new(
+        "Table 1: braids per basic block",
+        &["bench", "measured", "excl-singles", "paper"],
+    );
+    for p in suite {
+        let s = &p.translation.stats;
+        let reference = paper::TABLE1
+            .iter()
+            .find(|(n, _)| *n == p.workload.name)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN);
+        t.push(
+            &p.workload.name,
+            vec![s.braids_per_block.mean(), s.braids_per_block_excl.mean(), reference],
+        );
+    }
+    t.push_mean("average");
+    t
+}
+
+/// Table 2: braid size and width.
+pub fn tab2(suite: &[Prepared]) -> Table {
+    let mut t = Table::new(
+        "Table 2: braid size and width",
+        &["bench", "size", "size-excl", "width", "width-excl", "paper-size"],
+    );
+    for p in suite {
+        let s = &p.translation.stats;
+        let reference = paper::TABLE2_SIZE
+            .iter()
+            .find(|(n, _)| *n == p.workload.name)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN);
+        t.push(
+            &p.workload.name,
+            vec![s.size.mean(), s.size_excl.mean(), s.width.mean(), s.width_excl.mean(), reference],
+        );
+    }
+    t.push_mean("average");
+    t
+}
+
+/// Table 3: braid internal values, external inputs and outputs.
+pub fn tab3(suite: &[Prepared]) -> Table {
+    let mut t = Table::new(
+        "Table 3: braid inputs and outputs",
+        &["bench", "internals", "ext-in", "ext-out", "p-int", "p-in", "p-out"],
+    );
+    for p in suite {
+        let s = &p.translation.stats;
+        let (pi, pin, pout) = paper::TABLE3
+            .iter()
+            .find(|(n, ..)| *n == p.workload.name)
+            .map(|&(_, a, b, c)| (a, b, c))
+            .unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+        t.push(
+            &p.workload.name,
+            vec![s.internals.mean(), s.ext_inputs.mean(), s.ext_outputs.mean(), pi, pin, pout],
+        );
+    }
+    t.push_mean("average");
+    t
+}
+
+/// §1 characterization: value fanout and lifetime (dynamic).
+pub fn chars(suite: &[Prepared]) -> Table {
+    let mut t = Table::new(
+        "Value characterization (paper: once>=0.70, <=2 ~0.90, dead ~0.04, life32 ~0.80)",
+        &["bench", "read-once", "read<=2", "dead", "life<=32"],
+    );
+    for p in suite {
+        let vp = ValueProfile::measure(&p.workload.program, &p.trace);
+        t.push(
+            &p.workload.name,
+            vec![vp.read_once(), vp.read_at_most_twice(), vp.dead(), vp.lifetime_within(32)],
+        );
+    }
+    t.push_mean("average");
+    t
+}
+
+/// §3.1 split rates: braids split for the internal working set (~2%) and
+/// for ordering (<1%), plus single-instruction braid shares.
+pub fn splits(suite: &[Prepared]) -> Table {
+    let mut t = Table::new(
+        "Braid splits and singles (paper: ws ~2%, order <1%, singles 20% of insts, 56% br/nop)",
+        &["bench", "ws-split", "ord-split", "single-insts", "single-brnop"],
+    );
+    for p in suite {
+        let s = &p.translation.stats;
+        let total = s.total_braids.max(1) as f64;
+        t.push(
+            &p.workload.name,
+            vec![
+                s.working_set_splits as f64 / total,
+                s.order_splits as f64 / total,
+                s.single_inst_fraction(),
+                if s.single_insts == 0 {
+                    0.0
+                } else {
+                    s.single_branch_or_nop as f64 / s.single_insts as f64
+                },
+            ],
+        );
+    }
+    t.push_mean("average");
+    t
+}
+
+/// Figure 1: 8- and 16-wide OOO speedup over 4-wide with a perfect front
+/// end and perfect caches.
+pub fn fig1(suite: &[Prepared]) -> Table {
+    let mut t = Table::new(
+        "Figure 1: potential of wider issue (perfect BP + caches; paper avg 1.44 / 1.83)",
+        &["bench", "8-wide", "16-wide"],
+    );
+    for p in suite {
+        let ipc = |width: u32| {
+            let mut cfg = OooConfig::paper_wide(width);
+            cfg.common = cfg.common.perfect();
+            run_ooo_with(p, &cfg).ipc()
+        };
+        let (w4, w8, w16) = (ipc(4), ipc(8), ipc(16));
+        t.push(&p.workload.name, vec![w8 / w4, w16 / w4]);
+    }
+    let g8 = geomean(t.rows.iter().map(|r| r.values[0]));
+    let g16 = geomean(t.rows.iter().map(|r| r.values[1]));
+    t.push("average", vec![g8, g16]);
+    t
+}
+
+/// Figure 5: conventional OOO vs in-flight register count (paper: 32 →
+/// −8%, 16 → −21%).
+pub fn fig5(suite: &[Prepared]) -> Table {
+    let sweep = [256u32, 64, 32, 16, 8];
+    let headers: Vec<String> = sweep.iter().map(|r| format!("r{r}")).collect();
+    let mut t = Table::new(
+        "Figure 5: OOO performance vs registers (normalized to 256)",
+        &std::iter::once("bench")
+            .chain(headers.iter().map(|s| s.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    for p in suite {
+        let base = {
+            let cfg = OooConfig::paper_8wide();
+            run_ooo_with(p, &cfg).ipc()
+        };
+        let values = sweep
+            .iter()
+            .map(|&regs| {
+                let mut cfg = OooConfig::paper_8wide();
+                cfg.regs = regs;
+                run_ooo_with(p, &cfg).ipc() / base
+            })
+            .collect();
+        t.push(&p.workload.name, values);
+    }
+    t.push_mean("average");
+    t
+}
+
+/// Figure 6: braid machine vs external register file entries (paper: 8 ≈
+/// full, drop at ≤4).
+pub fn fig6(suite: &[Prepared]) -> Table {
+    let sweep = [64u32, 32, 16, 8, 4, 2, 1];
+    let headers: Vec<String> = sweep.iter().map(|r| format!("e{r}")).collect();
+    let mut t = Table::new(
+        "Figure 6: braid performance vs external registers (normalized to 64)",
+        &std::iter::once("bench")
+            .chain(headers.iter().map(|s| s.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    for p in suite {
+        let base = {
+            let mut cfg = braid_cfg();
+            cfg.external_regs = 64;
+            run_braid_with(p, &cfg).ipc()
+        };
+        let values = sweep
+            .iter()
+            .map(|&regs| {
+                let mut cfg = braid_cfg();
+                cfg.external_regs = regs;
+                run_braid_with(p, &cfg).ipc() / base
+            })
+            .collect();
+        t.push(&p.workload.name, values);
+    }
+    t.push_mean("average");
+    t
+}
+
+/// Figure 7: braid machine vs external register file ports (paper: 6R/3W
+/// within 0.5% of 16R/8W).
+pub fn fig7(suite: &[Prepared]) -> Table {
+    let sweep = [(16u32, 8u32), (8, 4), (6, 3), (4, 2)];
+    let headers: Vec<String> = sweep.iter().map(|(r, w)| format!("{r}R/{w}W")).collect();
+    let mut t = Table::new(
+        "Figure 7: braid performance vs external RF ports (normalized to 16R/8W)",
+        &std::iter::once("bench")
+            .chain(headers.iter().map(|s| s.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    for p in suite {
+        let base = {
+            let mut cfg = braid_cfg();
+            cfg.ext_read_ports = 16;
+            cfg.ext_write_ports = 8;
+            run_braid_with(p, &cfg).ipc()
+        };
+        let values = sweep
+            .iter()
+            .map(|&(r, w)| {
+                let mut cfg = braid_cfg();
+                cfg.ext_read_ports = r;
+                cfg.ext_write_ports = w;
+                run_braid_with(p, &cfg).ipc() / base
+            })
+            .collect();
+        t.push(&p.workload.name, values);
+    }
+    t.push_mean("average");
+    t
+}
+
+/// Figure 8: braid machine vs bypass bandwidth (paper: 2/cycle within 1%).
+pub fn fig8(suite: &[Prepared]) -> Table {
+    let sweep = [8u32, 4, 2, 1];
+    let headers: Vec<String> = sweep.iter().map(|b| format!("b{b}")).collect();
+    let mut t = Table::new(
+        "Figure 8: braid performance vs bypass paths (normalized to 8/cycle)",
+        &std::iter::once("bench")
+            .chain(headers.iter().map(|s| s.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    for p in suite {
+        let base = {
+            let mut cfg = braid_cfg();
+            cfg.bypass_per_cycle = 8;
+            run_braid_with(p, &cfg).ipc()
+        };
+        let values = sweep
+            .iter()
+            .map(|&b| {
+                let mut cfg = braid_cfg();
+                cfg.bypass_per_cycle = b;
+                run_braid_with(p, &cfg).ipc() / base
+            })
+            .collect();
+        t.push(&p.workload.name, values);
+    }
+    t.push_mean("average");
+    t
+}
+
+fn ooo_8wide_baseline(p: &Prepared) -> f64 {
+    run_ooo_with(p, &OooConfig::paper_8wide()).ipc()
+}
+
+/// Figure 9: braid machine vs number of BEUs, normalized to the 8-wide
+/// conventional OOO machine.
+pub fn fig9(suite: &[Prepared]) -> Table {
+    let sweep = [1u32, 2, 4, 8, 16];
+    let headers: Vec<String> = sweep.iter().map(|b| format!("beu{b}")).collect();
+    let mut t = Table::new(
+        "Figure 9: braid performance vs BEUs (normalized to 8-wide OOO)",
+        &std::iter::once("bench")
+            .chain(headers.iter().map(|s| s.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    for p in suite {
+        let base = ooo_8wide_baseline(p);
+        let values = sweep
+            .iter()
+            .map(|&b| {
+                let mut cfg = braid_cfg();
+                cfg.beus = b;
+                run_braid_with(p, &cfg).ipc() / base
+            })
+            .collect();
+        t.push(&p.workload.name, values);
+    }
+    t.push_mean("average");
+    t
+}
+
+/// Figure 10: braid machine vs FIFO queue entries (paper: 32 suffice).
+pub fn fig10(suite: &[Prepared]) -> Table {
+    let sweep = [4u32, 8, 16, 32, 64];
+    let headers: Vec<String> = sweep.iter().map(|b| format!("q{b}")).collect();
+    let mut t = Table::new(
+        "Figure 10: braid performance vs FIFO entries (normalized to 8-wide OOO)",
+        &std::iter::once("bench")
+            .chain(headers.iter().map(|s| s.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    for p in suite {
+        let base = ooo_8wide_baseline(p);
+        let values = sweep
+            .iter()
+            .map(|&q| {
+                let mut cfg = braid_cfg();
+                cfg.fifo_entries = q;
+                run_braid_with(p, &cfg).ipc() / base
+            })
+            .collect();
+        t.push(&p.workload.name, values);
+    }
+    t.push_mean("average");
+    t
+}
+
+/// Figure 11: braid machine vs scheduling window size (paper: steep 1→2,
+/// plateau after).
+pub fn fig11(suite: &[Prepared]) -> Table {
+    let sweep = [1u32, 2, 4, 8];
+    let headers: Vec<String> = sweep.iter().map(|w| format!("w{w}")).collect();
+    let mut t = Table::new(
+        "Figure 11: braid performance vs scheduling window (normalized to 8-wide OOO)",
+        &std::iter::once("bench")
+            .chain(headers.iter().map(|s| s.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    for p in suite {
+        let base = ooo_8wide_baseline(p);
+        let values = sweep
+            .iter()
+            .map(|&w| {
+                let mut cfg = braid_cfg();
+                cfg.window_size = w;
+                run_braid_with(p, &cfg).ipc() / base
+            })
+            .collect();
+        t.push(&p.workload.name, values);
+    }
+    t.push_mean("average");
+    t
+}
+
+/// Figure 12: scheduling window and FU count swept together.
+pub fn fig12(suite: &[Prepared]) -> Table {
+    let sweep = [1u32, 2, 4, 8];
+    let headers: Vec<String> = sweep.iter().map(|w| format!("w{w}f{w}")).collect();
+    let mut t = Table::new(
+        "Figure 12: braid performance vs window = FUs (normalized to 8-wide OOO)",
+        &std::iter::once("bench")
+            .chain(headers.iter().map(|s| s.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    for p in suite {
+        let base = ooo_8wide_baseline(p);
+        let values = sweep
+            .iter()
+            .map(|&w| {
+                let mut cfg = braid_cfg();
+                cfg.window_size = w;
+                cfg.fus_per_beu = w;
+                run_braid_with(p, &cfg).ipc() / base
+            })
+            .collect();
+        t.push(&p.workload.name, values);
+    }
+    t.push_mean("average");
+    t
+}
+
+/// Figure 13: the four paradigms at 4-, 8- and 16-wide, normalized to the
+/// 8-wide conventional OOO machine.
+pub fn fig13(suite: &[Prepared]) -> Table {
+    let widths = [4u32, 8, 16];
+    let mut headers = vec!["bench".to_string()];
+    for w in widths {
+        for core in ["io", "dep", "braid", "ooo"] {
+            headers.push(format!("{core}{w}"));
+        }
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Figure 13: in-order / dep / braid / OOO at 4, 8, 16-wide (normalized to 8-wide OOO)",
+        &header_refs,
+    );
+    for p in suite {
+        let base = ooo_8wide_baseline(p);
+        let mut values = Vec::new();
+        for w in widths {
+            let io = InOrderCore::new(InOrderConfig::paper_wide(w))
+                .run(&p.workload.program, &p.trace)
+                .ipc();
+            let dep = DepSteerCore::new(DepConfig::paper_wide(w))
+                .run(&p.workload.program, &p.trace)
+                .ipc();
+            let braid = run_braid_with(p, &BraidConfig::paper_wide(w)).ipc();
+            let ooo = run_ooo_with(p, &OooConfig::paper_wide(w)).ipc();
+            values.extend([io / base, dep / base, braid / base, ooo / base]);
+        }
+        t.push(&p.workload.name, values);
+    }
+    t.push_mean("average");
+    t
+}
+
+/// Figure 14: equal functional units — 4 BEUs × 2 FUs vs 8 BEUs × 1 FU,
+/// normalized to the default 8 BEUs × 2 FUs.
+pub fn fig14(suite: &[Prepared]) -> Table {
+    let mut t = Table::new(
+        "Figure 14: equal FU budget (normalized to 8 BEUs x 2 FUs)",
+        &["bench", "4beu-2fu", "8beu-1fu"],
+    );
+    for p in suite {
+        let base = run_braid_with(p, &braid_cfg()).ipc();
+        let mut cfg42 = braid_cfg();
+        cfg42.beus = 4;
+        let mut cfg81 = braid_cfg();
+        cfg81.fus_per_beu = 1;
+        t.push(
+            &p.workload.name,
+            vec![
+                run_braid_with(p, &cfg42).ipc() / base,
+                run_braid_with(p, &cfg81).ipc() / base,
+            ],
+        );
+    }
+    t.push_mean("average");
+    t
+}
+
+/// §5.1: the 4-stage-shorter pipeline (19- vs 23-cycle misprediction
+/// penalty) gains ~2.19% on average.
+pub fn pipeline(suite: &[Prepared]) -> Table {
+    let mut t = Table::new(
+        "Pipeline shortening: braid with 19- vs 23-cycle penalty (paper gain ~2.19%)",
+        &["bench", "speedup", "ext-vals/cycle"],
+    );
+    for p in suite {
+        let short = run_braid_with(p, &braid_cfg());
+        let mut long_cfg = braid_cfg();
+        long_cfg.common.mispredict_penalty = 23;
+        let long = run_braid_with(p, &long_cfg);
+        t.push(
+            &p.workload.name,
+            vec![short.ipc() / long.ipc(), short.external_values_per_cycle],
+        );
+    }
+    t.push_mean("average");
+    t
+}
+
+/// The headline Figure 13 claim, extracted: braid vs OOO at 8-wide.
+pub fn braid_vs_ooo_8wide(suite: &[Prepared]) -> f64 {
+    let ratios: Vec<f64> = suite
+        .iter()
+        .map(|p| {
+            let ooo = ooo_8wide_baseline(p);
+            let braid = run_braid_with(p, &braid_cfg()).ipc();
+            braid / ooo
+        })
+        .collect();
+    geomean(ratios)
+}
+
+/// Sanity helper used by integration tests: perfect-frontend IPC of every
+/// paradigm on one prepared workload.
+pub fn paradigm_ipcs(p: &Prepared) -> [f64; 4] {
+    let mut io_cfg = InOrderConfig::paper_8wide();
+    io_cfg.common = perfect_common();
+    io_cfg.common.mispredict_penalty = 19;
+    let mut dep_cfg = DepConfig::paper_8wide();
+    dep_cfg.common = perfect_common();
+    let mut braid_config = braid_cfg();
+    braid_config.common = perfect_common();
+    braid_config.common.mispredict_penalty = 19;
+    let mut ooo_cfg = OooConfig::paper_8wide();
+    ooo_cfg.common = perfect_common();
+    [
+        InOrderCore::new(io_cfg).run(&p.workload.program, &p.trace).ipc(),
+        DepSteerCore::new(dep_cfg).run(&p.workload.program, &p.trace).ipc(),
+        run_braid_with(p, &braid_config).ipc(),
+        run_ooo_with(p, &ooo_cfg).ipc(),
+    ]
+}
+
+/// Ablation (paper §5.2 future direction): BEU clustering with slower
+/// cross-cluster value synchronization, normalized to the flat machine.
+pub fn clusters(suite: &[Prepared]) -> Table {
+    let sweep = [(1u32, 0u64), (2, 2), (4, 2), (4, 4)];
+    let headers: Vec<String> =
+        sweep.iter().map(|(c, d)| format!("c{c}d{d}")).collect();
+    let mut t = Table::new(
+        "Clustering ablation: braid clusters x inter-cluster delay (normalized to flat)",
+        &std::iter::once("bench")
+            .chain(headers.iter().map(|s| s.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    for p in suite {
+        let base = run_braid_with(p, &braid_cfg()).ipc();
+        let values = sweep
+            .iter()
+            .map(|&(c, d)| {
+                let mut cfg = braid_cfg();
+                cfg.clusters = c;
+                cfg.inter_cluster_delay = d;
+                run_braid_with(p, &cfg).ipc() / base
+            })
+            .collect();
+        t.push(&p.workload.name, values);
+    }
+    t.push_mean("average");
+    t
+}
+
+/// Ablation (paper §3.4): exception cost in the braid machine's
+/// single-BEU in-order exception mode, at one exception per 2000
+/// instructions with a 200-cycle handler.
+pub fn exceptions(suite: &[Prepared]) -> Table {
+    let mut t = Table::new(
+        "Exception-mode ablation: slowdown with exceptions every 2000 insts (200-cycle handler)",
+        &["bench", "slowdown", "taken"],
+    );
+    for p in suite {
+        let core = braid_core::cores::BraidCore::new(braid_cfg());
+        let clean = core.run(&p.translation.program, &p.braid_trace);
+        let points: Vec<u64> =
+            (0..p.braid_trace.len() as u64).step_by(2000).skip(1).collect();
+        let exc = core.run_with_exceptions(&p.translation.program, &p.braid_trace, &points, 200);
+        t.push(
+            &p.workload.name,
+            vec![exc.cycles as f64 / clean.cycles as f64, exc.exceptions_taken as f64],
+        );
+    }
+    t.push_mean("average");
+    t
+}
+
+/// Ablation: conservative memory disambiguation (loads wait for every
+/// older store's address generation) vs the default perfect
+/// memory-dependence prediction, for both the braid and OOO machines.
+pub fn disambiguation(suite: &[Prepared]) -> Table {
+    let mut t = Table::new(
+        "Disambiguation ablation: conservative LSQ relative to speculative",
+        &["bench", "braid", "ooo"],
+    );
+    for p in suite {
+        let braid_spec = run_braid_with(p, &braid_cfg()).ipc();
+        let mut bc = braid_cfg();
+        bc.common.conservative_disambiguation = true;
+        let braid_cons = run_braid_with(p, &bc).ipc();
+        let ooo_spec = run_ooo_with(p, &OooConfig::paper_8wide()).ipc();
+        let mut oc = OooConfig::paper_8wide();
+        oc.common.conservative_disambiguation = true;
+        let ooo_cons = run_ooo_with(p, &oc).ipc();
+        t.push(&p.workload.name, vec![braid_cons / braid_spec, ooo_cons / ooo_spec]);
+    }
+    t.push_mean("average");
+    t
+}
+
+/// Predictor comparison: the paper's perceptron vs classic gshare vs
+/// perfect prediction, on both the braid and OOO machines (IPC normalized
+/// to the perceptron).
+pub fn predictors(suite: &[Prepared]) -> Table {
+    use braid_core::config::PredictorKind;
+    let mut t = Table::new(
+        "Predictor comparison (normalized to the paper's perceptron)",
+        &["bench", "b-gshare", "b-perfect", "o-gshare", "o-perfect", "perc-acc"],
+    );
+    for p in suite {
+        let braid_base = run_braid_with(p, &braid_cfg());
+        let mut bg = braid_cfg();
+        bg.common.predictor = PredictorKind::Gshare;
+        let mut bp = braid_cfg();
+        bp.common.perfect_branch_predictor = true;
+        let ooo_base = run_ooo_with(p, &OooConfig::paper_8wide()).ipc();
+        let mut og = OooConfig::paper_8wide();
+        og.common.predictor = PredictorKind::Gshare;
+        let mut op = OooConfig::paper_8wide();
+        op.common.perfect_branch_predictor = true;
+        t.push(
+            &p.workload.name,
+            vec![
+                run_braid_with(p, &bg).ipc() / braid_base.ipc(),
+                run_braid_with(p, &bp).ipc() / braid_base.ipc(),
+                run_ooo_with(p, &og).ipc() / ooo_base,
+                run_ooo_with(p, &op).ipc() / ooo_base,
+                braid_base.branch_accuracy.rate(),
+            ],
+        );
+    }
+    t.push_mean("average");
+    t
+}
+
+/// Ablation: finite miss-handling registers (MSHRs) bound memory-level
+/// parallelism; the default model is unlimited.
+pub fn mshrs(suite: &[Prepared]) -> Table {
+    let sweep = [0u32, 16, 4, 1];
+    let headers: Vec<String> = sweep
+        .iter()
+        .map(|&m| if m == 0 { "inf".to_string() } else { format!("m{m}") })
+        .collect();
+    let mut t = Table::new(
+        "MSHR ablation: braid and OOO vs outstanding-miss limit (normalized to unlimited)",
+        &std::iter::once("bench")
+            .chain(headers.iter().map(|s| s.as_str()))
+            .chain(["ooo-m4"])
+            .collect::<Vec<_>>(),
+    );
+    for p in suite {
+        let braid_base = run_braid_with(p, &braid_cfg()).ipc();
+        let mut values: Vec<f64> = sweep
+            .iter()
+            .map(|&m| {
+                let mut cfg = braid_cfg();
+                cfg.common.mem.mshrs = m;
+                run_braid_with(p, &cfg).ipc() / braid_base
+            })
+            .collect();
+        let ooo_base = run_ooo_with(p, &OooConfig::paper_8wide()).ipc();
+        let mut oc = OooConfig::paper_8wide();
+        oc.common.mem.mshrs = 4;
+        values.push(run_ooo_with(p, &oc).ipc() / ooo_base);
+        t.push(&p.workload.name, values);
+    }
+    t.push_mean("average");
+    t
+}
+
+/// Figure 13 with a perfect front end and perfect caches: isolates the
+/// execution-core comparison from memory and prediction effects (the
+/// regime where the paper's "within 9%" claim reproduces directly).
+pub fn fig13perfect(suite: &[Prepared]) -> Table {
+    let mut t = Table::new(
+        "Figure 13 (perfect front end + caches): braid vs OOO at 8-wide",
+        &["bench", "io", "dep", "braid", "ooo", "braid/ooo"],
+    );
+    for p in suite {
+        let [io, dep, braid, ooo] = paradigm_ipcs(p);
+        t.push(&p.workload.name, vec![io, dep, braid, ooo, braid / ooo]);
+    }
+    t.push_mean("average");
+    t
+}

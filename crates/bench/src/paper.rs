@@ -1,0 +1,94 @@
+//! Reference values transcribed from the paper, used by the harness to
+//! print paper-vs-measured comparisons (EXPERIMENTS.md).
+
+/// Table 1: braids per basic block (all braids / excluding singles).
+pub static TABLE1: &[(&str, f64)] = &[
+    ("bzip2", 2.5), ("crafty", 2.5), ("eon", 4.2), ("gap", 2.4), ("gcc", 2.4),
+    ("gzip", 2.6), ("mcf", 2.0), ("parser", 2.7), ("perlbmk", 2.8), ("twolf", 3.1),
+    ("vortex", 3.5), ("vpr", 2.8),
+    ("ammp", 2.0), ("applu", 5.9), ("apsi", 4.7), ("art", 2.9), ("equake", 2.5),
+    ("facerec", 2.7), ("fma3d", 2.8), ("galgel", 5.7), ("lucas", 3.7), ("mesa", 2.8),
+    ("mgrid", 4.0), ("sixtrack", 3.1), ("swim", 6.6), ("wupwise", 3.6),
+];
+
+/// Table 2: braid size (instructions, including single-instruction braids).
+pub static TABLE2_SIZE: &[(&str, f64)] = &[
+    ("bzip2", 3.4), ("crafty", 3.2), ("eon", 2.0), ("gap", 2.5), ("gcc", 2.3),
+    ("gzip", 3.4), ("mcf", 2.0), ("parser", 2.2), ("perlbmk", 2.3), ("twolf", 2.8),
+    ("vortex", 2.1), ("vpr", 2.5),
+    ("ammp", 2.8), ("applu", 2.9), ("apsi", 2.8), ("art", 2.6), ("equake", 2.4),
+    ("facerec", 2.2), ("fma3d", 2.7), ("galgel", 2.0), ("lucas", 4.6), ("mesa", 2.1),
+    ("mgrid", 13.2), ("sixtrack", 2.3), ("swim", 4.8), ("wupwise", 2.8),
+];
+
+/// Table 3: (internals, external inputs, external outputs) per braid.
+pub static TABLE3: &[(&str, f64, f64, f64)] = &[
+    ("bzip2", 2.7, 1.9, 0.8), ("crafty", 2.4, 1.7, 0.7), ("eon", 1.1, 1.5, 0.6),
+    ("gap", 1.6, 1.5, 0.8), ("gcc", 1.4, 1.6, 0.7), ("gzip", 2.6, 2.1, 0.9),
+    ("mcf", 1.0, 1.5, 0.6), ("parser", 1.2, 1.5, 0.7), ("perlbmk", 1.4, 1.4, 0.7),
+    ("twolf", 2.0, 1.7, 0.6), ("vortex", 1.1, 1.7, 0.8), ("vpr", 1.6, 1.7, 0.8),
+    ("ammp", 2.0, 1.9, 0.7), ("applu", 2.0, 1.7, 0.6), ("apsi", 2.1, 1.9, 0.6),
+    ("art", 1.6, 1.9, 0.6), ("equake", 1.5, 1.7, 0.7), ("facerec", 1.3, 1.7, 0.8),
+    ("fma3d", 2.1, 2.1, 0.8), ("galgel", 1.1, 1.7, 0.6), ("lucas", 4.1, 2.6, 0.7),
+    ("mesa", 1.2, 1.9, 0.6), ("mgrid", 14.5, 5.9, 1.7), ("sixtrack", 1.3, 1.8, 0.7),
+    ("swim", 4.5, 3.0, 0.7), ("wupwise", 2.2, 1.8, 0.7),
+];
+
+/// Headline aggregate results quoted in the paper's text.
+pub mod headline {
+    /// §1: average 8-wide speedup over 4-wide with perfect front end (Fig 1).
+    pub const FIG1_8W_SPEEDUP: f64 = 1.44;
+    /// §1: average 16-wide speedup over 4-wide (Fig 1).
+    pub const FIG1_16W_SPEEDUP: f64 = 1.83;
+    /// §1: fraction of values used exactly once.
+    pub const FANOUT_ONCE: f64 = 0.70;
+    /// §1: fraction of values used at most twice.
+    pub const FANOUT_TWICE: f64 = 0.90;
+    /// §1: fraction of values produced but never used.
+    pub const DEAD_VALUES: f64 = 0.04;
+    /// §1: fraction of values consumed within 32 instructions.
+    pub const LIFETIME_32: f64 = 0.80;
+    /// Table 1 averages: integer / floating point braids per block.
+    pub const BRAIDS_PER_BLOCK_INT: f64 = 2.8;
+    /// Floating-point braids per block.
+    pub const BRAIDS_PER_BLOCK_FP: f64 = 3.8;
+    /// §2: fraction of instructions that are single-instruction braids.
+    pub const SINGLE_INST_FRACTION: f64 = 0.20;
+    /// §2: fraction of single-instruction braids that are branches/nops.
+    pub const SINGLE_BRANCH_NOP: f64 = 0.56;
+    /// §4.2: OOO slowdown with 32 registers (Fig 5).
+    pub const FIG5_32REGS: f64 = 0.92;
+    /// §4.2: OOO slowdown with 16 registers (Fig 5).
+    pub const FIG5_16REGS: f64 = 0.79;
+    /// §4.2: braid perf with 6R/3W external ports vs full (Fig 7).
+    pub const FIG7_63_PORTS: f64 = 0.995;
+    /// §4.2: braid perf with 2 bypass values/cycle vs full (Fig 8).
+    pub const FIG8_2BYPASS: f64 = 0.99;
+    /// §4.3: fraction of braids with at most 32 instructions (Fig 10).
+    pub const BRAIDS_LE_32: f64 = 0.99;
+    /// §4.4: braid machine within 9% of the 8-wide OOO design (Fig 13).
+    pub const FIG13_BRAID_VS_OOO: f64 = 0.91;
+    /// §5.1: average external values produced per cycle.
+    pub const EXT_VALUES_PER_CYCLE: f64 = 2.0;
+    /// §5.1: performance gained from the 4-stage-shorter pipeline.
+    pub const PIPELINE_GAIN: f64 = 0.0219;
+    /// §3.1: fraction of braids split by the 8-internal-register bound.
+    pub const WORKING_SET_SPLITS: f64 = 0.02;
+    /// §3.1: fraction of braids split for memory ordering.
+    pub const ORDER_SPLITS: f64 = 0.01;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_cover_all_26() {
+        assert_eq!(TABLE1.len(), 26);
+        assert_eq!(TABLE2_SIZE.len(), 26);
+        assert_eq!(TABLE3.len(), 26);
+        // mgrid's big braids are the distinctive datum.
+        let mgrid = TABLE2_SIZE.iter().find(|(n, _)| *n == "mgrid").unwrap();
+        assert_eq!(mgrid.1, 13.2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Plain-text result tables in the paper's row/column style.
+
+use std::fmt::Write as _;
+
+/// A formatted experiment result.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment identifier ("Figure 13", "Table 1", ...).
+    pub title: String,
+    /// Column headers; the first column is the benchmark name.
+    pub headers: Vec<String>,
+    /// One row per benchmark plus summary rows.
+    pub rows: Vec<Row>,
+}
+
+/// One table row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (benchmark name or "average").
+    pub name: String,
+    /// One value per data column.
+    pub values: Vec<f64>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        let row = Row { name: name.into(), values };
+        assert_eq!(
+            row.values.len() + 1,
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends an arithmetic-mean summary row over the current rows.
+    pub fn push_mean(&mut self, label: &str) {
+        let n = self.rows.len().max(1) as f64;
+        let cols = self.headers.len() - 1;
+        let mut sums = vec![0.0; cols];
+        for r in &self.rows {
+            for (s, v) in sums.iter_mut().zip(&r.values) {
+                *s += v;
+            }
+        }
+        let values = sums.into_iter().map(|s| s / n).collect();
+        self.rows.push(Row { name: label.to_string(), values });
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let name_w = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .chain([self.headers[0].len()])
+            .max()
+            .unwrap_or(8)
+            + 2;
+        let col_w = self.headers.iter().skip(1).map(|h| h.len().max(8) + 2).collect::<Vec<_>>();
+        let _ = write!(out, "{:<name_w$}", self.headers[0]);
+        for (h, w) in self.headers.iter().skip(1).zip(&col_w) {
+            let _ = write!(out, "{h:>w$}");
+        }
+        let _ = writeln!(out);
+        for r in &self.rows {
+            let _ = write!(out, "{:<name_w$}", r.name);
+            for (v, w) in r.values.iter().zip(&col_w) {
+                let _ = write!(out, "{v:>w$.3}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Finds a row by name.
+    pub fn row(&self, name: &str) -> Option<&Row> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_and_averages() {
+        let mut t = Table::new("Demo", &["bench", "ipc", "speedup"]);
+        t.push("gcc", vec![2.0, 1.5]);
+        t.push("mcf", vec![1.0, 0.5]);
+        t.push_mean("average");
+        let text = t.render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("average"));
+        let avg = t.row("average").unwrap();
+        assert_eq!(avg.values, vec![1.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("Bad", &["bench", "a"]);
+        t.push("x", vec![1.0, 2.0]);
+    }
+}

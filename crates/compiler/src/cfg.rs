@@ -1,0 +1,247 @@
+//! Control-flow graph construction.
+
+use braid_isa::{Opcode, Program};
+
+/// Index of a basic block within a [`Cfg`].
+pub type BlockId = usize;
+
+/// One basic block: a maximal single-entry straight-line instruction range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// First instruction index (inclusive).
+    pub start: u32,
+    /// Last instruction index (exclusive).
+    pub end: u32,
+    /// Successor blocks reachable by direct edges. Indirect control
+    /// transfers (`ret`) contribute no edges here; see [`Cfg::indirect_exits`].
+    pub succs: Vec<BlockId>,
+}
+
+impl Block {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the block is empty (never true in a valid CFG).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterates over the instruction indices of the block.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start as usize..self.end as usize
+    }
+}
+
+/// The control-flow graph of a program.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Blocks in ascending address order.
+    pub blocks: Vec<Block>,
+    /// For each instruction index, the block containing it.
+    pub block_of: Vec<BlockId>,
+    /// Blocks ending in an indirect transfer (`ret`), whose successors are
+    /// unknown statically.
+    pub indirect_exits: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program` by leader analysis.
+    ///
+    /// Leaders are the entry point, every direct control target, and every
+    /// instruction after a block terminator (branch, call, return or halt).
+    pub fn build(program: &Program) -> Cfg {
+        let n = program.insts.len();
+        let mut starts = program.leaders();
+        // Instruction 0 starts a block even when the entry is elsewhere, so
+        // blocks tile the whole program.
+        starts.push(0);
+        starts.sort_unstable();
+        starts.dedup();
+        // Index of the block starting at each leader.
+        let block_index = |idx: u32| starts.binary_search(&idx).ok();
+
+        let mut blocks = Vec::with_capacity(starts.len());
+        let mut block_of = vec![usize::MAX; n];
+        for (b, &start) in starts.iter().enumerate() {
+            let end = starts.get(b + 1).copied().unwrap_or(n as u32);
+            // A block may contain an embedded terminator only if no leader
+            // follows it, which leader analysis prevents; still, the block
+            // ends early at a terminator to stay a basic block.
+            let mut actual_end = end;
+            for i in start..end {
+                if program.insts[i as usize].ends_block() {
+                    actual_end = i + 1;
+                    break;
+                }
+            }
+            debug_assert_eq!(actual_end, end, "leader analysis splits at terminators");
+            for i in start..actual_end {
+                block_of[i as usize] = b;
+            }
+            blocks.push(Block { start, end: actual_end, succs: Vec::new() });
+        }
+
+        let mut indirect_exits = Vec::new();
+        #[allow(clippy::needless_range_loop)] // succs written back into blocks[b]
+        for b in 0..blocks.len() {
+            let last_idx = blocks[b].end - 1;
+            let last = &program.insts[last_idx as usize];
+            let mut succs = Vec::new();
+            match last.opcode {
+                Opcode::Halt => {}
+                Opcode::Ret => indirect_exits.push(b),
+                Opcode::Br => {
+                    if let Some(t) = last.target().and_then(block_index) {
+                        succs.push(t);
+                    }
+                }
+                Opcode::Call => {
+                    if let Some(t) = last.target().and_then(block_index) {
+                        succs.push(t);
+                    }
+                }
+                op if op.is_cond_branch() => {
+                    if let Some(t) = last.target().and_then(block_index) {
+                        succs.push(t);
+                    }
+                    if let Some(ft) = block_index(blocks[b].end) {
+                        succs.push(ft);
+                    }
+                }
+                // Fall-through block (last ends without a terminator only at
+                // the program's end, or when the next instruction is a
+                // leader).
+                _ => {
+                    if let Some(ft) = block_index(blocks[b].end) {
+                        succs.push(ft);
+                    }
+                }
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            blocks[b].succs = succs;
+        }
+
+        Cfg { blocks, block_of, indirect_exits }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the CFG has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block containing the program entry.
+    pub fn entry_block(&self, program: &Program) -> BlockId {
+        self.block_of[program.entry as usize]
+    }
+
+    /// Predecessor lists, computed on demand.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, block) in self.blocks.iter().enumerate() {
+            for &s in &block.succs {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_isa::asm::assemble;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let p = assemble("nop\nnop\nhalt").unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(cfg.blocks[0].len(), 3);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn loop_structure() {
+        let p = assemble(
+            "addi r0, #4, r1\nloop: subi r1, #1, r1\nbne r1, loop\nhalt",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.len(), 3);
+        // Block 0: the init; block 1: the loop body; block 2: halt.
+        assert_eq!(cfg.blocks[0].succs, vec![1]);
+        assert_eq!(cfg.blocks[1].succs, vec![1, 2]);
+        assert!(cfg.blocks[2].succs.is_empty());
+        assert_eq!(cfg.block_of[2], 1);
+    }
+
+    #[test]
+    fn diamond() {
+        let p = assemble(
+            r#"
+                beq r1, else
+                addi r0, #1, r2
+                br join
+            else:
+                addi r0, #2, r2
+            join:
+                halt
+            "#,
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.len(), 4);
+        assert_eq!(cfg.blocks[0].succs, vec![1, 2]);
+        assert_eq!(cfg.blocks[1].succs, vec![3]);
+        assert_eq!(cfg.blocks[2].succs, vec![3]);
+        let preds = cfg.predecessors();
+        assert_eq!(preds[3], vec![1, 2]);
+    }
+
+    #[test]
+    fn call_and_ret_edges() {
+        let p = assemble("call f, r31\nhalt\nf: nop\nret r31").unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.len(), 3);
+        // Call block's direct successor is the callee.
+        assert_eq!(cfg.blocks[0].succs, vec![2]);
+        // The ret block has an indirect exit.
+        assert_eq!(cfg.indirect_exits, vec![2]);
+    }
+
+    #[test]
+    fn entry_block_respected() {
+        let p = assemble("halt\nstart: nop\nhalt\n.entry start").unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.entry_block(&p), 1);
+    }
+
+    #[test]
+    fn every_instruction_belongs_to_one_block() {
+        let p = assemble(
+            r#"
+                beq r1, a
+                nop
+            a:  nop
+                bne r2, a
+                halt
+            "#,
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        for (i, &b) in cfg.block_of.iter().enumerate() {
+            assert!(b < cfg.len());
+            assert!(cfg.blocks[b].range().contains(&i));
+        }
+        let total: usize = cfg.blocks.iter().map(Block::len).sum();
+        assert_eq!(total, p.insts.len());
+    }
+}

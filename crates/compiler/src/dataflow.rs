@@ -1,0 +1,291 @@
+//! Register dataflow: global liveness and intra-block def-use chains.
+//!
+//! These analyses stand in for the paper's profiling tool, which "analyzes
+//! the dataflow graph of the program and records the producer and consumers
+//! of each value produced".
+
+use braid_isa::{Program, Reg};
+
+use crate::cfg::{BlockId, Cfg};
+
+/// A set of architectural registers as a 64-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegSet(pub u64);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet(0);
+    /// Every architectural register.
+    pub const ALL: RegSet = RegSet(u64::MAX);
+
+    /// Inserts a register.
+    pub fn insert(&mut self, r: Reg) {
+        self.0 |= 1 << r.index();
+    }
+
+    /// Removes a register.
+    pub fn remove(&mut self, r: Reg) {
+        self.0 &= !(1 << r.index());
+    }
+
+    /// Membership test.
+    pub fn contains(self, r: Reg) -> bool {
+        self.0 >> r.index() & 1 == 1
+    }
+
+    /// Set union.
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Number of registers in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Per-block liveness results.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live on entry to each block.
+    pub live_in: Vec<RegSet>,
+    /// Registers live on exit of each block.
+    pub live_out: Vec<RegSet>,
+}
+
+/// The register a def writes, ignoring writes to the hard-wired zero
+/// register (which produce no value).
+pub fn def_reg(program: &Program, idx: usize) -> Option<Reg> {
+    program.insts[idx].written_reg().filter(|r| !r.is_zero())
+}
+
+/// Computes global register liveness with the standard backward iterative
+/// dataflow. Blocks ending in an indirect transfer (`ret`) conservatively
+/// treat every register as live-out, since return sites are unknown
+/// statically — the same conservatism a binary translator must apply.
+pub fn liveness(program: &Program, cfg: &Cfg) -> Liveness {
+    let n = cfg.len();
+    // gen = upward-exposed uses, kill = defs.
+    let mut gen = vec![RegSet::EMPTY; n];
+    let mut kill = vec![RegSet::EMPTY; n];
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        for i in block.range() {
+            let inst = &program.insts[i];
+            for r in inst.read_regs() {
+                if !r.is_zero() && !kill[b].contains(r) {
+                    gen[b].insert(r);
+                }
+            }
+            if let Some(d) = def_reg(program, i) {
+                kill[b].insert(d);
+            }
+        }
+    }
+    let indirect: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &b in &cfg.indirect_exits {
+            v[b] = true;
+        }
+        v
+    };
+    let mut live_in = vec![RegSet::EMPTY; n];
+    let mut live_out = vec![RegSet::EMPTY; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..n).rev() {
+            let mut out = if indirect[b] { RegSet::ALL } else { RegSet::EMPTY };
+            for &s in &cfg.blocks[b].succs {
+                out = out.union(live_in[s]);
+            }
+            let inn = RegSet(gen[b].0 | (out.0 & !kill[b].0));
+            if out != live_out[b] || inn != live_in[b] {
+                live_out[b] = out;
+                live_in[b] = inn;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+/// Operand slots of an instruction's reads: explicit sources 0 and 1, plus
+/// slot 2 for the implicit old-destination read of conditional moves.
+pub const READ_SLOTS: usize = 3;
+
+/// Intra-block def-use chains for one basic block.
+///
+/// Positions are block-relative instruction offsets.
+#[derive(Debug, Clone)]
+pub struct BlockDefUse {
+    /// Block this was computed for.
+    pub block: BlockId,
+    /// `src_def[p][slot]` = the block-relative position of the def feeding
+    /// read `slot` of instruction `p`, or `None` when the value is live-in.
+    pub src_def: Vec<[Option<u32>; READ_SLOTS]>,
+    /// `uses_of[p]` = block-relative positions reading the value defined at
+    /// `p` (empty when `p` defines nothing).
+    pub uses_of: Vec<Vec<u32>>,
+    /// Whether `p` holds the block's last def of the register it writes.
+    pub is_last_def: Vec<bool>,
+}
+
+impl BlockDefUse {
+    /// Computes def-use chains for `block` of `cfg`.
+    pub fn compute(program: &Program, cfg: &Cfg, block: BlockId) -> BlockDefUse {
+        let blk = &cfg.blocks[block];
+        let len = blk.len();
+        let mut current_def: [Option<u32>; 64] = [None; 64];
+        let mut src_def = vec![[None; READ_SLOTS]; len];
+        let mut uses_of = vec![Vec::new(); len];
+        let mut is_last_def = vec![false; len];
+        for p in 0..len {
+            let inst = &program.insts[blk.start as usize + p];
+            let record = |slot: usize, r: Reg, src_def: &mut Vec<[Option<u32>; READ_SLOTS]>,
+                              uses_of: &mut Vec<Vec<u32>>| {
+                if r.is_zero() {
+                    return;
+                }
+                if let Some(d) = current_def[r.index() as usize] {
+                    src_def[p][slot] = Some(d);
+                    uses_of[d as usize].push(p as u32);
+                }
+            };
+            for (slot, r) in inst.src_regs().enumerate() {
+                record(slot, r, &mut src_def, &mut uses_of);
+            }
+            if inst.opcode.reads_dest() {
+                record(2, inst.dest.expect("reads_dest implies dest"), &mut src_def, &mut uses_of);
+            }
+            if let Some(d) = def_reg(program, blk.start as usize + p) {
+                current_def[d.index() as usize] = Some(p as u32);
+            }
+        }
+        for d in current_def.iter().flatten() {
+            is_last_def[*d as usize] = true;
+        }
+        BlockDefUse { block, src_def, uses_of, is_last_def }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_isa::asm::assemble;
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::EMPTY;
+        let r1 = Reg::int(1).unwrap();
+        let f0 = Reg::float(0).unwrap();
+        s.insert(r1);
+        s.insert(f0);
+        assert!(s.contains(r1) && s.contains(f0));
+        assert_eq!(s.len(), 2);
+        s.remove(r1);
+        assert!(!s.contains(r1));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn liveness_through_loop() {
+        let p = assemble(
+            r#"
+                addi r0, #4, r1
+                addi r0, #0, r2
+            loop:
+                addq r2, r1, r2
+                subi r1, #1, r1
+                bne  r1, loop
+                stq  r2, 0(r3)
+                halt
+            "#,
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        let live = liveness(&p, &cfg);
+        let r1 = Reg::int(1).unwrap();
+        let r2 = Reg::int(2).unwrap();
+        let r3 = Reg::int(3).unwrap();
+        // Loop block (block 1): r1 and r2 live in and out; r3 live through
+        // for the store after the loop.
+        let loop_b = cfg.block_of[2];
+        assert!(live.live_in[loop_b].contains(r1));
+        assert!(live.live_in[loop_b].contains(r2));
+        assert!(live.live_in[loop_b].contains(r3));
+        assert!(live.live_out[loop_b].contains(r2));
+        // Exit block consumes r2 and r3, nothing live out.
+        let exit_b = cfg.block_of[5];
+        assert!(live.live_in[exit_b].contains(r2));
+        assert!(live.live_in[exit_b].contains(r3));
+        assert!(live.live_out[exit_b].is_empty());
+    }
+
+    #[test]
+    fn ret_blocks_are_conservative() {
+        let p = assemble("f: addi r0, #1, r9\nret r31\nhalt").unwrap();
+        let cfg = Cfg::build(&p);
+        let live = liveness(&p, &cfg);
+        let f_b = cfg.block_of[0];
+        // r9's def reaches the unknown return site: live out.
+        assert!(live.live_out[f_b].contains(Reg::int(9).unwrap()));
+    }
+
+    #[test]
+    fn def_use_chains_within_block() {
+        let p = assemble(
+            r#"
+                addq r1, r2, r3
+                addq r3, r3, r4
+                addq r4, r9, r3
+                halt
+            "#,
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        let du = BlockDefUse::compute(&p, &cfg, 0);
+        // inst1 reads r3 twice from inst0.
+        assert_eq!(du.src_def[1][0], Some(0));
+        assert_eq!(du.src_def[1][1], Some(0));
+        assert_eq!(du.uses_of[0], vec![1, 1]);
+        // inst2 reads r4 from inst1 and r9 from outside.
+        assert_eq!(du.src_def[2][0], Some(1));
+        assert_eq!(du.src_def[2][1], None);
+        // r3's last def is inst2, not inst0.
+        assert!(du.is_last_def[2]);
+        assert!(!du.is_last_def[0]);
+        assert!(du.is_last_def[1], "r4 defined once");
+    }
+
+    #[test]
+    fn cmov_implicit_read_recorded() {
+        let p = assemble(
+            r#"
+                addi r0, #1, r6
+                cmovnei r2, #7, r6
+                halt
+            "#,
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        let du = BlockDefUse::compute(&p, &cfg, 0);
+        assert_eq!(du.src_def[1][2], Some(0), "cmov reads its old destination");
+        assert_eq!(du.uses_of[0], vec![1]);
+    }
+
+    #[test]
+    fn zero_register_creates_no_edges() {
+        let p = assemble("addi r0, #5, r0\naddq r0, r0, r1\nhalt").unwrap();
+        let cfg = Cfg::build(&p);
+        let du = BlockDefUse::compute(&p, &cfg, 0);
+        assert_eq!(du.src_def[1][0], None);
+        assert!(du.uses_of[0].is_empty());
+        let live = liveness(&p, &cfg);
+        assert!(!live.live_in[0].contains(Reg::ZERO));
+    }
+}

@@ -1,0 +1,67 @@
+//! # braid-compiler: the braid-forming binary translator
+//!
+//! This crate implements the compiler half of *Achieving Out-of-Order
+//! Performance with Almost In-Order Complexity* (Tseng & Patt, ISCA 2008).
+//! The paper mimics a braid-aware compiler with binary profiling and binary
+//! translation tools; this crate is that toolchain for BRISC programs:
+//!
+//! 1. [`mod@cfg`] rebuilds the control-flow graph and basic blocks.
+//! 2. [`dataflow`] computes intra-block def-use chains and global register
+//!    liveness.
+//! 3. [`braid`] partitions each block's dataflow graph into **braids**
+//!    (connected components of the intra-block def-use graph) and splits
+//!    braids whose internal working set would exceed the internal register
+//!    file (8 entries; the paper reports ~2% of braids split for this).
+//! 4. [`order`] rearranges braids contiguously within the block (the branch
+//!    braid last) subject to memory-ordering and external-register
+//!    anti/output-dependence constraints, splitting braids when the
+//!    constraints cannot otherwise be met (the paper reports <1%).
+//! 5. [`regalloc`] performs the paper's two-pass register allocation:
+//!    external values keep their program-wide architectural registers,
+//!    internal values are assigned slots in the 8-entry internal file.
+//! 6. [`mod@translate`] drives the pipeline and emits an annotated, reordered
+//!    [`braid_isa::Program`] with the `S`/`T`/`I`/`E` bits set.
+//! 7. [`stats`] measures the braid statistics of the paper's Tables 1–3.
+//!
+//! ## Example
+//!
+//! ```
+//! use braid_compiler::{translate, TranslatorConfig};
+//! use braid_isa::asm::assemble;
+//!
+//! let program = assemble(
+//!     r#"
+//!     loop:
+//!         addq r1, r4, r10
+//!         ldl  r3, 0(r10)
+//!         addi r5, #1, r5
+//!         cmpeq r9, r5, r7
+//!         addq r3, r3, r11
+//!         stl  r11, 0(r10)
+//!         bne  r7, loop
+//!         halt
+//!     "#,
+//! )?;
+//! let result = translate(&program, &TranslatorConfig::default())?;
+//! // The loop body is partitioned into braids; the branch braid is last.
+//! assert!(result.program.insts.len() == program.insts.len());
+//! assert!(result.stats.braids_per_block.mean() > 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod braid;
+pub mod cfg;
+pub mod dataflow;
+pub mod order;
+pub mod regalloc;
+pub mod stats;
+pub mod translate;
+pub mod viz;
+
+pub use braid::{BraidSet, DefClass};
+pub use cfg::{BlockId, Cfg};
+pub use stats::{BraidStats, StatSummary};
+pub use translate::{translate, TranslateError, Translation, TranslatorConfig};

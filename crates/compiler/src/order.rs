@@ -1,0 +1,365 @@
+//! Braid ordering within a basic block.
+//!
+//! Braids are rearranged so each is a contiguous run of instructions, with
+//! the braid containing the block terminator last (the paper: "the braid
+//! containing the branch instruction is ordered to be the last braid in the
+//! basic block"). Reordering must preserve:
+//!
+//! * the original partial order of may-aliasing memory operations (the
+//!   paper's second braid-breaking condition),
+//! * cross-braid register true dependences (they exist only between split
+//!   siblings),
+//! * external-register anti- and output-dependences. The paper does not
+//!   spell these out, but they bind a binary translator just as memory
+//!   ordering does: a braid that redefines an external register (`E` bit)
+//!   cannot move above a braid that reads the previous value. We enforce
+//!   them with the same constraint-and-split mechanism.
+//!
+//! When the constraints admit no order with the terminator braid last, a
+//! braid is split (the paper reports <1% of braids split for ordering). The
+//! usual culprit is the terminator braid itself: its early instructions
+//! read external registers that later braids redefine. Splitting the
+//! terminator off as a single-instruction braid resolves the cycle — and
+//! matches the paper's observation that most single-instruction braids are
+//! branches.
+
+use braid_isa::Program;
+
+use crate::braid::BlockBraids;
+use crate::cfg::Cfg;
+use crate::dataflow::{BlockDefUse, Liveness, READ_SLOTS};
+
+/// Computes the constraint edges between braids of a block, as pairs of
+/// braid indices `(before, after)`.
+fn constraint_edges(
+    program: &Program,
+    cfg: &Cfg,
+    bb: &BlockBraids,
+    du: &BlockDefUse,
+) -> Vec<(u32, u32)> {
+    let blk = &cfg.blocks[bb.block];
+    let len = blk.len();
+    let inst = |p: usize| &program.insts[blk.start as usize + p];
+    let mut edges = Vec::new();
+    let mut push = |a: u32, b: u32| {
+        if a != b {
+            edges.push((a, b));
+        }
+    };
+
+    // Memory ordering: conflicting accesses keep their original order.
+    let mem_ops: Vec<usize> = (0..len).filter(|&p| inst(p).opcode.is_mem()).collect();
+    for (x, &i) in mem_ops.iter().enumerate() {
+        for &j in &mem_ops[x + 1..] {
+            let (a, b) = (inst(i), inst(j));
+            if (a.opcode.is_store() || b.opcode.is_store()) && a.alias.may_alias(b.alias) {
+                push(bb.braid_of[i], bb.braid_of[j]);
+            }
+        }
+    }
+
+    for j in 0..len {
+        // Cross-braid register true dependences (split siblings only).
+        for slot in 0..READ_SLOTS {
+            if let Some(d) = du.src_def[j][slot] {
+                push(bb.braid_of[d as usize], bb.braid_of[j]);
+            }
+        }
+        // Anti/output dependences on the external register namespace.
+        let Some(reg) = crate::dataflow::def_reg(program, blk.start as usize + j) else {
+            continue;
+        };
+        if !bb.def_class[j].writes_external() {
+            continue;
+        }
+        for i in 0..j {
+            // WAR: an earlier external read of `reg` must stay earlier.
+            let inst_i = inst(i);
+            let reads: Vec<braid_isa::Reg> = inst_i.read_regs().collect();
+            for (k, r) in reads.iter().enumerate() {
+                if *r != reg {
+                    continue;
+                }
+                let slot =
+                    if inst_i.opcode.reads_dest() && k == reads.len() - 1 { 2 } else { k };
+                if !bb.read_is_internal(du, i as u32, slot) {
+                    push(bb.braid_of[i], bb.braid_of[j]);
+                }
+            }
+            // WAW: two external writes of `reg` keep their order.
+            if crate::dataflow::def_reg(program, blk.start as usize + i) == Some(reg)
+                && bb.def_class[i].writes_external()
+            {
+                push(bb.braid_of[i], bb.braid_of[j]);
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// Attempts a stable topological order of the braids (smallest original
+/// first-position first) with `terminator` forced last. Returns `None` when
+/// the constraints are cyclic.
+fn try_order(
+    n_braids: usize,
+    edges: &[(u32, u32)],
+    terminator: Option<u32>,
+    first_pos: &[u32],
+) -> Option<Vec<u32>> {
+    let mut indegree = vec![0u32; n_braids];
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n_braids];
+    let mut edge_set: Vec<(u32, u32)> = edges.to_vec();
+    if let Some(t) = terminator {
+        for b in 0..n_braids as u32 {
+            if b != t {
+                edge_set.push((b, t));
+            }
+        }
+        edge_set.sort_unstable();
+        edge_set.dedup();
+    }
+    for &(a, b) in &edge_set {
+        succs[a as usize].push(b);
+        indegree[b as usize] += 1;
+    }
+    let mut order = Vec::with_capacity(n_braids);
+    let mut ready: Vec<u32> =
+        (0..n_braids as u32).filter(|&b| indegree[b as usize] == 0).collect();
+    while !ready.is_empty() {
+        // Stable choice: the ready braid whose first instruction came
+        // earliest in the original block.
+        let (k, _) = ready
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &b)| first_pos[b as usize])
+            .expect("ready is non-empty");
+        let b = ready.swap_remove(k);
+        order.push(b);
+        for &s in &succs[b as usize] {
+            indegree[s as usize] -= 1;
+            if indegree[s as usize] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    if order.len() == n_braids {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Orders the braids of a block, splitting braids as needed to satisfy the
+/// constraints. Returns braid indices in emission order; `bb` may gain
+/// braids (splits) and its classifications are left up to date.
+pub fn order_block(
+    program: &Program,
+    cfg: &Cfg,
+    liveness: &Liveness,
+    du: &BlockDefUse,
+    bb: &mut BlockBraids,
+) -> Vec<u32> {
+    let blk = &cfg.blocks[bb.block];
+    let len = blk.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let last_is_term = program.insts[blk.end as usize - 1].ends_block();
+    // Every split adds one braid; `len` braids (all singletons with the
+    // original order) always satisfy the constraints, so this terminates.
+    loop {
+        let edges = constraint_edges(program, cfg, bb, du);
+        let terminator = if last_is_term { Some(bb.braid_of[len - 1]) } else { None };
+        let first_pos: Vec<u32> = bb.braids.iter().map(|b| b[0]).collect();
+        if let Some(order) = try_order(bb.braids.len(), &edges, terminator, &first_pos) {
+            return order;
+        }
+        // Cycle. Prefer splitting the terminator braid's tail off: its
+        // early reads are what usually conflict with terminator-last.
+        let split_idx = match terminator {
+            Some(t) if bb.braids[t as usize].len() >= 2 => t as usize,
+            _ => bb
+                .braids
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.len() >= 2)
+                .min_by_key(|(_, b)| b[0])
+                .map(|(i, _)| i)
+                .expect("a cyclic constraint graph over singletons is impossible"),
+        };
+        let prefix = bb.braids[split_idx].len() - 1;
+        bb.split_braid_at(split_idx, prefix);
+        bb.classify(program, cfg, liveness, du);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::braid::BraidSet;
+    use crate::dataflow::liveness;
+    use braid_isa::asm::assemble;
+
+    fn setup(src: &str) -> (braid_isa::Program, Cfg, Liveness, Vec<BlockDefUse>, BraidSet) {
+        let p = assemble(src).unwrap();
+        let cfg = Cfg::build(&p);
+        let live = liveness(&p, &cfg);
+        let dus: Vec<BlockDefUse> =
+            (0..cfg.len()).map(|b| BlockDefUse::compute(&p, &cfg, b)).collect();
+        let braids = BraidSet::identify(&p, &cfg, &live, &dus, 8);
+        (p, cfg, live, dus, braids)
+    }
+
+    fn emitted_positions(bb: &BlockBraids, order: &[u32]) -> Vec<u32> {
+        order.iter().flat_map(|&b| bb.braids[b as usize].iter().copied()).collect()
+    }
+
+    #[test]
+    fn terminator_ends_up_last() {
+        let (p, cfg, live, dus, mut braids) = setup(
+            r#"
+            loop:
+                addi r5, #1, r5
+                cmpeq r9, r5, r7
+                addq r1, r2, r3
+                stq  r3, 0(r8)
+                bne  r7, loop
+                halt
+            "#,
+        );
+        let bb = &mut braids.blocks[0];
+        let order = order_block(&p, &cfg, &live, &dus[0], bb);
+        let pos = emitted_positions(bb, &order);
+        assert_eq!(pos.len(), 5);
+        assert_eq!(*pos.last().unwrap(), 4, "bne is emitted last");
+    }
+
+    #[test]
+    fn memory_order_preserved_for_aliasing_ops() {
+        // Store in braid A (with its producer), load in braid B; both
+        // unknown alias: A must stay before B even though B's chain starts
+        // earlier.
+        let (p, cfg, live, dus, mut braids) = setup(
+            r#"
+                addq r1, r2, r3
+                stq  r3, 0(r8)
+                ldq  r4, 0(r9)
+                addq r4, r4, r5
+                stq  r5, 8(r9)
+                halt
+            "#,
+        );
+        let bb = &mut braids.blocks[0];
+        let order = order_block(&p, &cfg, &live, &dus[0], bb);
+        let pos = emitted_positions(bb, &order);
+        let idx_of = |p: u32| pos.iter().position(|&x| x == p).unwrap();
+        assert!(idx_of(1) < idx_of(2), "store before aliasing load: {pos:?}");
+        assert!(idx_of(2) < idx_of(4), "load before second store: {pos:?}");
+    }
+
+    #[test]
+    fn disjoint_aliases_may_reorder() {
+        let (p, cfg, live, dus, mut braids) = setup(
+            r#"
+                addq r1, r2, r3
+                stq  r3, 0(r8) @stack:1
+                ldq  r4, 0(r9) @stack:2
+                addq r4, r4, r5
+                stq  r5, 8(r9) @stack:2
+                halt
+            "#,
+        );
+        let bb = &mut braids.blocks[0];
+        let edges = constraint_edges(&p, &cfg, bb, &dus[0]);
+        // The only memory conflict is the pair on @stack:2, same braid.
+        assert!(edges.is_empty(), "edges: {edges:?}");
+        let _ = order_block(&p, &cfg, &live, &dus[0], bb);
+    }
+
+    #[test]
+    fn figure2_splits_branch_into_singleton() {
+        // The paper's Figure 2 block: the lda rewrites r4, which the braid
+        // containing the bne reads. Terminator-last + WAR forces the bne
+        // off into its own single-instruction braid.
+        let (p, cfg, live, dus, mut braids) = setup(
+            r#"
+            loop:
+                addq r17, r4, r10
+                addq r16, r4, r11
+                addq r8,  r4, r12
+                ldl  r3, 0(r10)
+                addi r5, #1, r5
+                ldl  r10, 0(r11)
+                cmpeq r9, r5, r7
+                ldl  r11, 0(r12)
+                lda  r4, 4(r4)
+                andnot r3, r10, r10
+                addq r0, r10, r10
+                and  r10, r11, r11
+                zapnot r11, #15, r11
+                cmovnei r10, #1, r6
+                bne  r11, loop
+                halt
+            "#,
+        );
+        let bb = &mut braids.blocks[0];
+        assert_eq!(bb.braids.len(), 3);
+        let order = order_block(&p, &cfg, &live, &dus[0], bb);
+        let pos = emitted_positions(bb, &order);
+        assert_eq!(*pos.last().unwrap(), 14, "bne last: {pos:?}");
+        // The big braid stayed before the lda braid (it reads the old r4).
+        let idx_of = |p: u32| pos.iter().position(|&x| x == p).unwrap();
+        assert!(idx_of(0) < idx_of(8));
+        assert!(idx_of(13) < idx_of(8) || idx_of(13) > idx_of(8)); // both in block
+        assert!(bb.order_splits >= 1, "the bne split off");
+        assert!(bb.braids.len() <= 5, "fragmentation stays modest: {:?}", bb.braids);
+    }
+
+    #[test]
+    fn war_on_external_register_keeps_reader_first() {
+        // Braid B redefines r4 (external, live out through the loop);
+        // braid A reads the old r4. A must be emitted before B.
+        let (p, cfg, live, dus, mut braids) = setup(
+            r#"
+            loop:
+                addq r4, r1, r2
+                stq  r2, 0(r9) @stack:1
+                lda  r4, 8(r4)
+                bne  r2, loop
+                halt
+            "#,
+        );
+        let bb = &mut braids.blocks[0];
+        let order = order_block(&p, &cfg, &live, &dus[0], bb);
+        let pos = emitted_positions(bb, &order);
+        let idx_of = |p: u32| pos.iter().position(|&x| x == p).unwrap();
+        assert!(idx_of(0) < idx_of(2), "old r4 read before redefinition: {pos:?}");
+        assert_eq!(*pos.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let (p, cfg, live, dus, mut braids) = setup(
+            r#"
+                addq r1, r2, r3
+                ldq  r4, 0(r9)
+                addq r4, r3, r5
+                stq  r5, 0(r9)
+                addi r6, #1, r6
+                beq  r6, 0
+                halt
+            "#,
+        );
+        #[allow(clippy::needless_range_loop)] // parallel indexing of braids and dus
+        for b in 0..cfg.len() {
+            let bb = &mut braids.blocks[b];
+            let order = order_block(&p, &cfg, &live, &dus[b], bb);
+            let mut pos = emitted_positions(bb, &order);
+            pos.sort_unstable();
+            let expect: Vec<u32> = (0..cfg.blocks[b].len() as u32).collect();
+            assert_eq!(pos, expect, "block {b} emits each instruction once");
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Braid statistics reproducing the paper's Tables 1–3.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Running mean over `f64` samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatSummary {
+    n: u64,
+    sum: f64,
+}
+
+impl StatSummary {
+    /// Records a sample.
+    pub fn push(&mut self, v: f64) {
+        self.n += 1;
+        self.sum += v;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the samples; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+}
+
+impl fmt::Display for StatSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}", self.mean())
+    }
+}
+
+/// Per-braid raw measurements collected during translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BraidMeasure {
+    /// Instructions in the braid.
+    pub size: u32,
+    /// Longest dataflow path through the braid, in instructions.
+    pub depth: u32,
+    /// Values written to the internal register file.
+    pub internals: u32,
+    /// Distinct external input registers.
+    pub ext_inputs: u32,
+    /// Values written to the external register file (dead defs excluded).
+    pub ext_outputs: u32,
+    /// Whether the braid ends in a control transfer or is a `nop`.
+    pub is_branch_or_nop: bool,
+}
+
+impl BraidMeasure {
+    /// The paper's braid *width*: size over longest dataflow path.
+    pub fn width(&self) -> f64 {
+        self.size as f64 / self.depth.max(1) as f64
+    }
+
+    /// Whether this is a single-instruction braid.
+    pub fn is_single(&self) -> bool {
+        self.size == 1
+    }
+}
+
+/// Aggregate braid statistics for one program (the paper's Tables 1–3 plus
+/// the split rates of §3.1).
+///
+/// Fields suffixed `_excl` exclude single-instruction braids, matching the
+/// starred rows of the paper's tables.
+#[derive(Debug, Clone, Default)]
+pub struct BraidStats {
+    /// Braids per basic block (all braids).
+    pub braids_per_block: StatSummary,
+    /// Braids per basic block, single-instruction braids excluded.
+    pub braids_per_block_excl: StatSummary,
+    /// Braid size in instructions.
+    pub size: StatSummary,
+    /// Braid size, singles excluded.
+    pub size_excl: StatSummary,
+    /// Braid width (size / longest path).
+    pub width: StatSummary,
+    /// Braid width, singles excluded.
+    pub width_excl: StatSummary,
+    /// Internal values per braid.
+    pub internals: StatSummary,
+    /// Internal values per braid, singles excluded.
+    pub internals_excl: StatSummary,
+    /// External inputs per braid.
+    pub ext_inputs: StatSummary,
+    /// External inputs per braid, singles excluded.
+    pub ext_inputs_excl: StatSummary,
+    /// External outputs per braid.
+    pub ext_outputs: StatSummary,
+    /// External outputs per braid, singles excluded.
+    pub ext_outputs_excl: StatSummary,
+    /// Histogram of braid sizes (for "99% of braids are ≤ 32 instructions").
+    pub size_hist: BTreeMap<u32, u64>,
+    /// Total instructions across all blocks.
+    pub total_insts: u64,
+    /// Instructions that are single-instruction braids.
+    pub single_insts: u64,
+    /// Single-instruction braids that are branches or nops (the paper
+    /// reports 56%).
+    pub single_branch_or_nop: u64,
+    /// Braids split because of the internal working-set bound (~2% in the
+    /// paper).
+    pub working_set_splits: u64,
+    /// Braids split for ordering constraints (<1% in the paper).
+    pub order_splits: u64,
+    /// Total braids.
+    pub total_braids: u64,
+}
+
+impl BraidStats {
+    /// Folds one block's braids into the statistics.
+    pub fn record_block(&mut self, measures: &[BraidMeasure]) {
+        let multi = measures.iter().filter(|m| !m.is_single()).count();
+        self.braids_per_block.push(measures.len() as f64);
+        self.braids_per_block_excl.push(multi as f64);
+        for m in measures {
+            self.total_braids += 1;
+            self.total_insts += m.size as u64;
+            *self.size_hist.entry(m.size).or_insert(0) += 1;
+            self.size.push(m.size as f64);
+            self.width.push(m.width());
+            self.internals.push(m.internals as f64);
+            self.ext_inputs.push(m.ext_inputs as f64);
+            self.ext_outputs.push(m.ext_outputs as f64);
+            if m.is_single() {
+                self.single_insts += 1;
+                if m.is_branch_or_nop {
+                    self.single_branch_or_nop += 1;
+                }
+            } else {
+                self.size_excl.push(m.size as f64);
+                self.width_excl.push(m.width());
+                self.internals_excl.push(m.internals as f64);
+                self.ext_inputs_excl.push(m.ext_inputs as f64);
+                self.ext_outputs_excl.push(m.ext_outputs as f64);
+            }
+        }
+    }
+
+    /// Fraction of all instructions that are single-instruction braids (the
+    /// paper reports 20%).
+    pub fn single_inst_fraction(&self) -> f64 {
+        if self.total_insts == 0 {
+            0.0
+        } else {
+            self.single_insts as f64 / self.total_insts as f64
+        }
+    }
+
+    /// Fraction of braids with at most `limit` instructions (the paper:
+    /// 99% of braids have 32 or fewer).
+    pub fn size_cdf_at(&self, limit: u32) -> f64 {
+        if self.total_braids == 0 {
+            return 0.0;
+        }
+        let below: u64 = self.size_hist.range(..=limit).map(|(_, c)| c).sum();
+        below as f64 / self.total_braids as f64
+    }
+
+    /// Fraction of braids created by splitting (working set + ordering).
+    pub fn split_fraction(&self) -> f64 {
+        if self.total_braids == 0 {
+            return 0.0;
+        }
+        (self.working_set_splits + self.order_splits) as f64 / self.total_braids as f64
+    }
+}
+
+impl fmt::Display for BraidStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "braids/block {:.1} ({:.1} excl singles), size {:.1}/{:.1}, width {:.1}/{:.1}",
+            self.braids_per_block.mean(),
+            self.braids_per_block_excl.mean(),
+            self.size.mean(),
+            self.size_excl.mean(),
+            self.width.mean(),
+            self.width_excl.mean(),
+        )?;
+        write!(
+            f,
+            "internals {:.1}/{:.1}, ext in {:.1}/{:.1}, ext out {:.1}/{:.1}, singles {:.0}%",
+            self.internals.mean(),
+            self.internals_excl.mean(),
+            self.ext_inputs.mean(),
+            self.ext_inputs_excl.mean(),
+            self.ext_outputs.mean(),
+            self.ext_outputs_excl.mean(),
+            self.single_inst_fraction() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn braid(size: u32, depth: u32) -> BraidMeasure {
+        BraidMeasure {
+            size,
+            depth,
+            internals: size.saturating_sub(1),
+            ext_inputs: 2,
+            ext_outputs: 1,
+            is_branch_or_nop: false,
+        }
+    }
+
+    #[test]
+    fn summary_mean() {
+        let mut s = StatSummary::default();
+        assert_eq!(s.mean(), 0.0);
+        s.push(2.0);
+        s.push(4.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn width_is_size_over_depth() {
+        assert_eq!(braid(6, 3).width(), 2.0);
+        assert_eq!(braid(1, 1).width(), 1.0);
+    }
+
+    #[test]
+    fn excl_variants_skip_singles() {
+        let mut st = BraidStats::default();
+        st.record_block(&[braid(1, 1), braid(3, 3), braid(5, 5)]);
+        assert_eq!(st.braids_per_block.mean(), 3.0);
+        assert_eq!(st.braids_per_block_excl.mean(), 2.0);
+        assert_eq!(st.size.mean(), 3.0);
+        assert_eq!(st.size_excl.mean(), 4.0);
+        assert_eq!(st.total_insts, 9);
+        assert_eq!(st.single_insts, 1);
+    }
+
+    #[test]
+    fn single_fraction_counts_instructions() {
+        let mut st = BraidStats::default();
+        st.record_block(&[braid(1, 1), braid(4, 2)]);
+        // 1 of 5 instructions is a single-instruction braid.
+        assert!((st.single_inst_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_cdf() {
+        let mut st = BraidStats::default();
+        st.record_block(&[braid(2, 1), braid(2, 1), braid(40, 10)]);
+        assert!((st.size_cdf_at(32) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(st.size_cdf_at(40), 1.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut st = BraidStats::default();
+        st.record_block(&[braid(2, 2)]);
+        let text = st.to_string();
+        assert!(text.contains("braids/block"));
+        assert!(text.contains("ext in"));
+    }
+}

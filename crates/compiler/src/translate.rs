@@ -1,0 +1,358 @@
+//! The top-level binary translation pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use braid_isa::{IsaError, Program};
+
+use crate::braid::{external_inputs, longest_path, BraidSet, DefClass};
+use crate::cfg::Cfg;
+use crate::dataflow::{liveness, BlockDefUse};
+use crate::order::order_block;
+use crate::regalloc::{allocate_block, AllocOverflow};
+use crate::stats::{BraidMeasure, BraidStats};
+
+/// Configuration of the braid-forming translator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslatorConfig {
+    /// Internal register file entries per BEU; braids whose internal
+    /// working set would exceed this are split (the paper uses 8 and
+    /// reports ~2% of braids split).
+    pub max_internal_regs: u32,
+}
+
+impl Default for TranslatorConfig {
+    fn default() -> TranslatorConfig {
+        TranslatorConfig { max_internal_regs: 8 }
+    }
+}
+
+/// One braid in the translated program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BraidDesc {
+    /// Block the braid belongs to.
+    pub block: usize,
+    /// First instruction index in the translated program.
+    pub start: u32,
+    /// Number of instructions.
+    pub len: u32,
+    /// Values written to the internal register file.
+    pub internals: u32,
+}
+
+/// Result of translating a program into braid-annotated form.
+#[derive(Debug, Clone)]
+pub struct Translation {
+    /// The reordered, `S`/`T`/`I`/`E`-annotated program. It has exactly the
+    /// instructions of the input (per block, permuted), the same block
+    /// boundaries, and the same control targets.
+    pub program: Program,
+    /// Braids in emission order.
+    pub braids: Vec<BraidDesc>,
+    /// For each translated instruction, the index into [`Translation::braids`].
+    pub braid_of_inst: Vec<u32>,
+    /// For each original instruction index, its index in the translation.
+    pub new_index_of: Vec<u32>,
+    /// The paper's Tables 1–3 statistics for this program.
+    pub stats: BraidStats,
+}
+
+/// Errors from [`translate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TranslateError {
+    /// The input program failed validation.
+    Isa(IsaError),
+    /// Internal register allocation overflowed — a working-set splitting
+    /// bug, never expected on valid input.
+    Alloc(AllocOverflow),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::Isa(e) => write!(f, "invalid input program: {e}"),
+            TranslateError::Alloc(e) => write!(f, "internal allocation failed: {e}"),
+        }
+    }
+}
+
+impl Error for TranslateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TranslateError::Isa(e) => Some(e),
+            TranslateError::Alloc(e) => Some(e),
+        }
+    }
+}
+
+impl From<IsaError> for TranslateError {
+    fn from(e: IsaError) -> TranslateError {
+        TranslateError::Isa(e)
+    }
+}
+
+impl From<AllocOverflow> for TranslateError {
+    fn from(e: AllocOverflow) -> TranslateError {
+        TranslateError::Alloc(e)
+    }
+}
+
+/// Runs the full braid-forming pipeline on `program`.
+///
+/// The pipeline identifies braids per basic block, splits them for the
+/// internal working-set bound, orders them contiguously (terminator braid
+/// last) under memory and external-register constraints, allocates internal
+/// registers, and emits the annotated program.
+///
+/// ```
+/// use braid_compiler::{translate, TranslatorConfig};
+/// use braid_isa::asm::assemble;
+///
+/// let program = assemble("addq r1, r2, r3\naddq r3, r3, r4\nstq r4, 0(r9)\nhalt")?;
+/// let t = translate(&program, &TranslatorConfig::default())?;
+/// // The three dataflow-connected instructions form one braid; its two
+/// // intermediate values are internal.
+/// let big = t.braids.iter().max_by_key(|d| d.len).unwrap();
+/// assert_eq!(big.len, 3);
+/// assert_eq!(big.internals, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`TranslateError::Isa`] for invalid inputs; internal failures
+/// ([`TranslateError::Alloc`]) indicate a bug.
+pub fn translate(program: &Program, config: &TranslatorConfig) -> Result<Translation, TranslateError> {
+    program.validate()?;
+    let cfg = Cfg::build(program);
+    let live = liveness(program, &cfg);
+    let dus: Vec<BlockDefUse> =
+        (0..cfg.len()).map(|b| BlockDefUse::compute(program, &cfg, b)).collect();
+    let mut braids = BraidSet::identify(program, &cfg, &live, &dus, config.max_internal_regs);
+
+    let mut out = Program {
+        name: format!("{}.braid", program.name),
+        insts: Vec::with_capacity(program.insts.len()),
+        entry: program.entry,
+        data: program.data.clone(),
+        labels: program.labels.clone(),
+    };
+    let mut descs: Vec<BraidDesc> = Vec::new();
+    let mut braid_of_inst: Vec<u32> = Vec::with_capacity(program.insts.len());
+    let mut new_index_of: Vec<u32> = vec![u32::MAX; program.insts.len()];
+    let mut stats = BraidStats::default();
+
+    #[allow(clippy::needless_range_loop)] // parallel indexing of blocks, braids, dus
+    for b in 0..cfg.len() {
+        let bb = &mut braids.blocks[b];
+        let order = order_block(program, &cfg, &live, &dus[b], bb);
+        // Validate the internal allocation (also yields slot numbers; the
+        // hardware bound is what matters here).
+        allocate_block(program, &cfg, bb, &dus[b], config.max_internal_regs)?;
+        let blk = &cfg.blocks[b];
+        let mut measures = Vec::with_capacity(order.len());
+        for &bi in &order {
+            let positions = &bb.braids[bi as usize];
+            let braid_id = descs.len() as u32;
+            let start = out.insts.len() as u32;
+            let mut internals = 0u32;
+            let mut ext_outputs = 0u32;
+            for (k, &p) in positions.iter().enumerate() {
+                let old_idx = blk.start as usize + p as usize;
+                let mut inst = program.insts[old_idx];
+                inst.braid.start = k == 0;
+                inst.braid.t = [
+                    inst.srcs[0].is_some() && bb.read_is_internal(&dus[b], p, 0),
+                    inst.srcs[1].is_some() && bb.read_is_internal(&dus[b], p, 1),
+                ];
+                let class = bb.def_class[p as usize];
+                inst.braid.internal = class.writes_internal();
+                inst.braid.external = class.writes_external();
+                internals += class.writes_internal() as u32;
+                ext_outputs += matches!(class, DefClass::Dual | DefClass::ExternalOnly) as u32;
+                new_index_of[old_idx] = out.insts.len() as u32;
+                out.insts.push(inst);
+                braid_of_inst.push(braid_id);
+            }
+            let last_inst = &program.insts[blk.start as usize + positions[positions.len() - 1] as usize];
+            measures.push(BraidMeasure {
+                size: positions.len() as u32,
+                depth: longest_path(&dus[b], positions),
+                internals,
+                ext_inputs: external_inputs(program, &cfg, bb, &dus[b], positions),
+                ext_outputs,
+                is_branch_or_nop: positions.len() == 1
+                    && (last_inst.opcode.is_branch()
+                        || matches!(last_inst.opcode, braid_isa::Opcode::Nop | braid_isa::Opcode::Halt)),
+            });
+            descs.push(BraidDesc { block: b, start, len: positions.len() as u32, internals });
+        }
+        stats.record_block(&measures);
+        stats.working_set_splits += bb.working_set_splits as u64;
+        stats.order_splits += bb.order_splits as u64;
+    }
+
+    debug_assert_eq!(out.insts.len(), program.insts.len());
+    debug_assert!(out.validate().is_ok(), "translation must stay valid");
+    Ok(Translation { program: out, braids: descs, braid_of_inst, new_index_of, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_isa::asm::assemble;
+    use braid_isa::Opcode;
+
+    const FIG2: &str = r#"
+        loop:
+            addq r17, r4, r10
+            addq r16, r4, r11
+            addq r8,  r4, r12
+            ldl  r3, 0(r10)
+            addi r5, #1, r5
+            ldl  r10, 0(r11)
+            cmpeq r9, r5, r7
+            ldl  r11, 0(r12)
+            lda  r4, 4(r4)
+            andnot r3, r10, r10
+            addq r0, r10, r10
+            and  r10, r11, r11
+            zapnot r11, #15, r11
+            cmovnei r10, #1, r6
+            bne  r11, loop
+            halt
+    "#;
+
+    #[test]
+    fn translation_preserves_shape() {
+        let p = assemble(FIG2).unwrap();
+        let t = translate(&p, &TranslatorConfig::default()).unwrap();
+        assert_eq!(t.program.insts.len(), p.insts.len());
+        t.program.validate().unwrap();
+        // Same multiset of operations.
+        assert_eq!(t.program.opcode_histogram(), p.opcode_histogram());
+        // Block boundary intact: the bne is still instruction 14.
+        assert_eq!(t.program.insts[14].opcode, Opcode::Bne);
+        assert_eq!(t.program.insts[14].target(), Some(0));
+        // Every original instruction mapped into the same block.
+        for (old, &new) in t.new_index_of.iter().enumerate() {
+            assert_ne!(new, u32::MAX, "instruction {old} emitted");
+            let same_block = (old < 15) == ((new as usize) < 15);
+            assert!(same_block, "instruction {old} stayed in its block");
+        }
+    }
+
+    #[test]
+    fn braids_are_contiguous_with_start_bits() {
+        let p = assemble(FIG2).unwrap();
+        let t = translate(&p, &TranslatorConfig::default()).unwrap();
+        for (i, desc) in t.braids.iter().enumerate() {
+            let range = desc.start as usize..(desc.start + desc.len) as usize;
+            for (k, idx) in range.clone().enumerate() {
+                assert_eq!(t.braid_of_inst[idx], i as u32);
+                assert_eq!(t.program.insts[idx].braid.start, k == 0, "S bit at {idx}");
+            }
+        }
+        // Descs tile the program.
+        let total: u32 = t.braids.iter().map(|d| d.len).sum();
+        assert_eq!(total as usize, p.insts.len());
+    }
+
+    #[test]
+    fn figure2_annotation_spot_checks() {
+        let p = assemble(FIG2).unwrap();
+        let t = translate(&p, &TranslatorConfig::default()).unwrap();
+        // addq r17, r4, r10: r10 internal only.
+        let i0 = &t.program.insts[t.new_index_of[0] as usize];
+        assert!(i0.braid.internal && !i0.braid.external);
+        assert_eq!(i0.braid.t, [false, false], "reads live-in values");
+        // ldl r3, 0(r10): base register comes from the internal file.
+        let i3 = &t.program.insts[t.new_index_of[3] as usize];
+        assert_eq!(i3.opcode, Opcode::Ldl);
+        assert!(i3.braid.t[0], "base r10 is internal");
+        // addi r5, #1, r5: r5 live around the loop => internal + external.
+        let i4 = &t.program.insts[t.new_index_of[4] as usize];
+        assert!(i4.braid.internal && i4.braid.external);
+        // lda r4: external only.
+        let i8 = &t.program.insts[t.new_index_of[8] as usize];
+        assert!(!i8.braid.internal && i8.braid.external);
+    }
+
+    #[test]
+    fn internal_values_never_cross_braids() {
+        let p = assemble(FIG2).unwrap();
+        let t = translate(&p, &TranslatorConfig::default()).unwrap();
+        // A `T` source must be produced earlier in the same braid.
+        for (idx, inst) in t.program.insts.iter().enumerate() {
+            for (slot, &is_t) in inst.braid.t.iter().enumerate() {
+                if !is_t {
+                    continue;
+                }
+                let reg = inst.srcs[slot].unwrap();
+                let my_braid = t.braid_of_inst[idx];
+                let produced_in_braid = (t.braids[my_braid as usize].start as usize..idx)
+                    .rev()
+                    .any(|j| {
+                        t.program.insts[j].written_reg() == Some(reg)
+                            && t.program.insts[j].braid.internal
+                    });
+                assert!(produced_in_braid, "inst {idx} T-source {reg} produced in braid");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reflect_figure2() {
+        let p = assemble(FIG2).unwrap();
+        let t = translate(&p, &TranslatorConfig::default()).unwrap();
+        // Block 0 yields >= 3 braids (paper's three, plus the split-off
+        // branch); block 1 is the halt.
+        assert!(t.stats.braids_per_block.mean() >= 2.0);
+        assert!(t.stats.size_cdf_at(32) == 1.0);
+        assert!(t.stats.total_insts == 16);
+        // Some values are internal (the paper's core observation).
+        assert!(t.stats.internals.mean() > 0.0);
+    }
+
+    #[test]
+    fn straight_line_without_branch() {
+        let p = assemble("addq r1, r2, r3\naddq r3, r3, r4\nstq r4, 0(r9)\nhalt").unwrap();
+        let t = translate(&p, &TranslatorConfig::default()).unwrap();
+        t.program.validate().unwrap();
+        assert_eq!(t.program.insts.len(), 4);
+        // halt stays last.
+        assert_eq!(t.program.insts[3].opcode, Opcode::Halt);
+    }
+
+    #[test]
+    fn invalid_program_rejected() {
+        let p = Program::from_insts("empty", vec![]);
+        assert!(matches!(
+            translate(&p, &TranslatorConfig::default()),
+            Err(TranslateError::Isa(_))
+        ));
+    }
+
+    #[test]
+    fn tiny_internal_file_forces_splits() {
+        let src = r#"
+            addq r1, r1, r2
+            addq r1, r1, r3
+            addq r1, r1, r4
+            addq r1, r1, r5
+            addq r2, r3, r6
+            addq r4, r5, r7
+            addq r6, r7, r8
+            stq  r8, 0(r9)
+            halt
+        "#;
+        let p = assemble(src).unwrap();
+        let t2 = translate(&p, &TranslatorConfig { max_internal_regs: 2 }).unwrap();
+        let t8 = translate(&p, &TranslatorConfig::default()).unwrap();
+        assert!(t2.stats.working_set_splits > 0);
+        assert_eq!(t8.stats.working_set_splits, 0);
+        assert!(t2.braids.len() > t8.braids.len());
+        t2.program.validate().unwrap();
+    }
+}

@@ -1,0 +1,338 @@
+//! Processor configurations (paper Table 4) with builders.
+
+use braid_uarch::cache::MemoryHierarchyConfig;
+
+/// Which conditional-branch direction predictor the front end uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PredictorKind {
+    /// The paper's perceptron (512 entries, 64-bit history).
+    #[default]
+    Perceptron,
+    /// Classic gshare (4K 2-bit counters, 12-bit history) for comparison.
+    Gshare,
+}
+
+/// Parameters shared by every execution core (Table 4, "common
+/// parameters").
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonConfig {
+    /// Issue width (also fetch and retire width).
+    pub width: u32,
+    /// Maximum branches fetched per cycle (the paper's aggressive front end
+    /// processes up to 3).
+    pub max_branches_per_cycle: u32,
+    /// Use a perfect branch predictor (Figure 1 mode).
+    pub perfect_branch_predictor: bool,
+    /// Which real predictor to use when not perfect.
+    pub predictor: PredictorKind,
+    /// Branch target buffer entries (0 disables target modelling: direct
+    /// targets are always available, as in an infinite BTB).
+    pub btb_entries: usize,
+    /// Memory hierarchy; use [`MemoryHierarchyConfig::perfect`] for
+    /// Figure 1.
+    pub mem: MemoryHierarchyConfig,
+    /// Minimum branch misprediction penalty in cycles.
+    pub mispredict_penalty: u64,
+    /// Load-store queue entries.
+    pub lsq_entries: usize,
+    /// Conservative memory disambiguation: loads wait for every older
+    /// store's address generation instead of the default perfect
+    /// memory-dependence prediction.
+    pub conservative_disambiguation: bool,
+    /// Maximum in-flight (dispatched, unretired) instructions.
+    pub window: usize,
+    /// Hard cycle limit as a runaway guard (0 = none).
+    pub max_cycles: u64,
+}
+
+impl CommonConfig {
+    /// The paper's 8-wide common configuration with the conventional
+    /// 23-cycle misprediction penalty.
+    pub fn paper_8wide() -> CommonConfig {
+        CommonConfig {
+            width: 8,
+            max_branches_per_cycle: 3,
+            perfect_branch_predictor: false,
+            predictor: PredictorKind::Perceptron,
+            btb_entries: 4096,
+            mem: MemoryHierarchyConfig::default(),
+            mispredict_penalty: 23,
+            lsq_entries: 64,
+            conservative_disambiguation: false,
+            window: 256,
+            max_cycles: 0,
+        }
+    }
+
+    /// Scales width-dependent resources for `width`-wide variants
+    /// (Figures 1 and 13 use 4-, 8- and 16-wide machines).
+    pub fn with_width(mut self, width: u32) -> CommonConfig {
+        self.window = self.window * width as usize / self.width as usize;
+        self.lsq_entries = self.lsq_entries * width as usize / self.width as usize;
+        self.width = width;
+        self
+    }
+
+    /// Enables the perfect front end and perfect caches of Figure 1.
+    pub fn perfect(mut self) -> CommonConfig {
+        self.perfect_branch_predictor = true;
+        self.mem = MemoryHierarchyConfig::perfect();
+        self
+    }
+}
+
+/// The conventional out-of-order configuration (Table 4, middle).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OooConfig {
+    /// Shared parameters (23-cycle penalty).
+    pub common: CommonConfig,
+    /// Number of distributed schedulers.
+    pub schedulers: u32,
+    /// Entries per scheduler.
+    pub sched_entries: u32,
+    /// General-purpose functional units (one per scheduler in the paper).
+    pub fus: u32,
+    /// In-flight register buffer entries (the "registers" of Figure 5);
+    /// freed at retirement.
+    pub regs: u32,
+    /// Register file read ports.
+    pub rf_read_ports: u32,
+    /// Register file write ports.
+    pub rf_write_ports: u32,
+    /// Bypass network bandwidth in values per cycle.
+    pub bypass_per_cycle: u32,
+}
+
+impl OooConfig {
+    /// The paper's aggressive 8-wide out-of-order machine.
+    pub fn paper_8wide() -> OooConfig {
+        OooConfig {
+            common: CommonConfig::paper_8wide(),
+            schedulers: 8,
+            sched_entries: 32,
+            fus: 8,
+            regs: 256,
+            rf_read_ports: 16,
+            rf_write_ports: 8,
+            bypass_per_cycle: 8,
+        }
+    }
+
+    /// A `width`-wide variant with proportionally scaled resources.
+    pub fn paper_wide(width: u32) -> OooConfig {
+        let base = OooConfig::paper_8wide();
+        OooConfig {
+            common: base.common.clone().with_width(width),
+            schedulers: width,
+            sched_entries: 32,
+            fus: width,
+            regs: 256 * width / 8,
+            rf_read_ports: 2 * width,
+            rf_write_ports: width,
+            bypass_per_cycle: width,
+        }
+    }
+}
+
+/// The braid microarchitecture configuration (Table 4, bottom).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BraidConfig {
+    /// Shared parameters (19-cycle penalty — the braid pipeline is four
+    /// stages shorter).
+    pub common: CommonConfig,
+    /// Number of braid execution units.
+    pub beus: u32,
+    /// FIFO instruction queue entries per BEU.
+    pub fifo_entries: u32,
+    /// In-order scheduling window: instructions examined at the FIFO head.
+    pub window_size: u32,
+    /// General-purpose functional units per BEU.
+    pub fus_per_beu: u32,
+    /// Internal register file entries per BEU.
+    pub internal_regs: u32,
+    /// Internal register file read ports per BEU.
+    pub internal_read_ports: u32,
+    /// Internal register file write ports per BEU.
+    pub internal_write_ports: u32,
+    /// External register file entries (in-flight external values; freed
+    /// once the value drains to the architectural backing file).
+    pub external_regs: u32,
+    /// External register file read ports.
+    pub ext_read_ports: u32,
+    /// External register file write ports.
+    pub ext_write_ports: u32,
+    /// Bypass network bandwidth in external values per cycle.
+    pub bypass_per_cycle: u32,
+    /// External destination allocations per cycle (the paper's 4-operand
+    /// allocator).
+    pub alloc_ext_per_cycle: u32,
+    /// External source renames per cycle.
+    pub rename_src_per_cycle: u32,
+    /// Number of BEU clusters (paper §5.2's future direction). `1`
+    /// disables clustering; with more, external values crossing a cluster
+    /// boundary arrive [`BraidConfig::inter_cluster_delay`] cycles later.
+    pub clusters: u32,
+    /// Extra cycles for an external value to cross clusters.
+    pub inter_cluster_delay: u64,
+}
+
+impl BraidConfig {
+    /// The paper's default braid machine: 8 BEUs × (32-entry FIFO, 2-entry
+    /// window, 2 FUs, 8-entry internal RF 4R/2W), 8-entry external RF
+    /// 6R/3W, 1-level bypass at 2 values/cycle, 19-cycle penalty.
+    pub fn paper_default() -> BraidConfig {
+        let mut common = CommonConfig::paper_8wide();
+        common.mispredict_penalty = 19;
+        BraidConfig {
+            common,
+            beus: 8,
+            fifo_entries: 32,
+            window_size: 2,
+            fus_per_beu: 2,
+            internal_regs: 8,
+            internal_read_ports: 4,
+            internal_write_ports: 2,
+            external_regs: 8,
+            ext_read_ports: 6,
+            ext_write_ports: 3,
+            bypass_per_cycle: 2,
+            alloc_ext_per_cycle: 4,
+            rename_src_per_cycle: 8,
+            clusters: 1,
+            inter_cluster_delay: 2,
+        }
+    }
+
+    /// A `width`-wide variant: `width` BEUs with otherwise default BEU
+    /// internals (Figure 13's 4- and 16-wide braid machines).
+    pub fn paper_wide(width: u32) -> BraidConfig {
+        let mut cfg = BraidConfig::paper_default();
+        cfg.common = cfg.common.with_width(width);
+        cfg.beus = width;
+        cfg.alloc_ext_per_cycle = width / 2;
+        cfg.rename_src_per_cycle = width;
+        cfg
+    }
+}
+
+/// FIFO dependence-based steering (Palacharla-style), the paper's "dep"
+/// baseline in Figure 13.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepConfig {
+    /// Shared parameters (23-cycle penalty; the machine renames like the
+    /// conventional core).
+    pub common: CommonConfig,
+    /// Number of issue FIFOs.
+    pub fifos: u32,
+    /// Entries per FIFO.
+    pub fifo_entries: u32,
+    /// General-purpose functional units.
+    pub fus: u32,
+    /// In-flight register buffer entries.
+    pub regs: u32,
+    /// Bypass bandwidth in values per cycle.
+    pub bypass_per_cycle: u32,
+}
+
+impl DepConfig {
+    /// An 8-wide dependence-steering machine comparable to the paper's.
+    pub fn paper_8wide() -> DepConfig {
+        DepConfig {
+            common: CommonConfig::paper_8wide(),
+            fifos: 8,
+            fifo_entries: 32,
+            fus: 8,
+            regs: 256,
+            bypass_per_cycle: 8,
+        }
+    }
+
+    /// A `width`-wide variant.
+    pub fn paper_wide(width: u32) -> DepConfig {
+        let base = DepConfig::paper_8wide();
+        DepConfig {
+            common: base.common.clone().with_width(width),
+            fifos: width,
+            fifo_entries: 32,
+            fus: width,
+            regs: 256 * width / 8,
+            bypass_per_cycle: width,
+        }
+    }
+}
+
+/// The in-order baseline of Figure 13.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InOrderConfig {
+    /// Shared parameters (19-cycle penalty: an in-order pipeline is at
+    /// least as short as the braid machine's).
+    pub common: CommonConfig,
+    /// General-purpose functional units.
+    pub fus: u32,
+}
+
+impl InOrderConfig {
+    /// An 8-wide in-order machine.
+    pub fn paper_8wide() -> InOrderConfig {
+        let mut common = CommonConfig::paper_8wide();
+        common.mispredict_penalty = 19;
+        common.window = 64;
+        InOrderConfig { common, fus: 8 }
+    }
+
+    /// A `width`-wide variant.
+    pub fn paper_wide(width: u32) -> InOrderConfig {
+        let mut cfg = InOrderConfig::paper_8wide();
+        cfg.common = cfg.common.with_width(width);
+        cfg.fus = width;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table4() {
+        let ooo = OooConfig::paper_8wide();
+        assert_eq!(ooo.common.mispredict_penalty, 23);
+        assert_eq!(ooo.schedulers, 8);
+        assert_eq!(ooo.sched_entries, 32);
+        assert_eq!(ooo.regs, 256);
+        assert_eq!((ooo.rf_read_ports, ooo.rf_write_ports), (16, 8));
+        assert_eq!(ooo.bypass_per_cycle, 8);
+
+        let braid = BraidConfig::paper_default();
+        assert_eq!(braid.common.mispredict_penalty, 19);
+        assert_eq!(braid.beus, 8);
+        assert_eq!(braid.fifo_entries, 32);
+        assert_eq!(braid.window_size, 2);
+        assert_eq!(braid.fus_per_beu, 2);
+        assert_eq!(braid.internal_regs, 8);
+        assert_eq!((braid.ext_read_ports, braid.ext_write_ports), (6, 3));
+        assert_eq!(braid.bypass_per_cycle, 2);
+        assert_eq!(braid.alloc_ext_per_cycle, 4);
+        assert_eq!(braid.rename_src_per_cycle, 8);
+    }
+
+    #[test]
+    fn width_scaling() {
+        let ooo16 = OooConfig::paper_wide(16);
+        assert_eq!(ooo16.common.width, 16);
+        assert_eq!(ooo16.schedulers, 16);
+        assert_eq!(ooo16.regs, 512);
+        let b4 = BraidConfig::paper_wide(4);
+        assert_eq!(b4.beus, 4);
+        assert_eq!(b4.common.width, 4);
+        let io4 = InOrderConfig::paper_wide(4);
+        assert_eq!(io4.fus, 4);
+    }
+
+    #[test]
+    fn perfect_mode() {
+        let c = CommonConfig::paper_8wide().perfect();
+        assert!(c.perfect_branch_predictor);
+        assert!(c.mem.perfect);
+    }
+}

@@ -1,0 +1,615 @@
+//! Machinery shared by all execution-core models.
+
+use std::collections::{HashMap, VecDeque};
+
+use braid_isa::{Inst, Program};
+use braid_uarch::cache::{Access, MemoryHierarchy};
+use braid_uarch::lsq::{LoadStoreQueue, LsqOutcome};
+
+use crate::config::CommonConfig;
+use crate::frontend::{Fetched, Frontend};
+use crate::report::SimReport;
+use crate::trace::Trace;
+
+/// Sentinel for "no producer / not yet known".
+pub const NONE: u64 = u64::MAX;
+
+/// Per-dynamic-instruction timing state.
+#[derive(Debug, Clone, Copy)]
+pub struct Slot {
+    /// Static instruction index.
+    pub idx: u32,
+    /// Effective address for memory operations.
+    pub addr: u64,
+    /// Whether fetch mispredicted this control transfer.
+    pub mispredicted: bool,
+    /// Producer sequence numbers (sources + implicit cmov read).
+    pub deps: [u64; 3],
+    /// Cycle the result becomes visible to consumers ([`NONE`] until known).
+    pub avail_at: u64,
+    /// Cycle the instruction may retire ([`NONE`] until known).
+    pub done_at: u64,
+    /// Pipeline state flags.
+    pub dispatched: bool,
+    /// The instruction has left its scheduler/FIFO.
+    pub issued: bool,
+    /// Core-specific tag (external register slot, BEU id, FIFO id, ...).
+    pub tag: u32,
+    /// Second core-specific tag (register-buffer slot, ...).
+    pub tag2: u32,
+}
+
+impl Default for Slot {
+    fn default() -> Slot {
+        Slot {
+            idx: 0,
+            addr: 0,
+            mispredicted: false,
+            deps: [NONE; 3],
+            avail_at: NONE,
+            done_at: NONE,
+            dispatched: false,
+            issued: false,
+            tag: u32::MAX,
+            tag2: u32::MAX,
+        }
+    }
+}
+
+/// Per-cycle bandwidth with reservations into the future (bypass slots,
+/// register-file ports).
+#[derive(Debug, Clone)]
+pub struct Bandwidth {
+    per_cycle: u32,
+    used: HashMap<u64, u32>,
+}
+
+impl Bandwidth {
+    /// Creates a resource offering `per_cycle` grants each cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_cycle` is zero.
+    pub fn new(per_cycle: u32) -> Bandwidth {
+        assert!(per_cycle > 0, "bandwidth must be positive");
+        Bandwidth { per_cycle, used: HashMap::new() }
+    }
+
+    /// Reserves one grant in exactly `cycle`; `false` when saturated.
+    pub fn try_reserve(&mut self, cycle: u64) -> bool {
+        let u = self.used.entry(cycle).or_insert(0);
+        if *u < self.per_cycle {
+            *u += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reserves a grant in the first cycle `>= from` with capacity.
+    pub fn reserve_first_free(&mut self, from: u64) -> u64 {
+        let mut c = from;
+        while !self.try_reserve(c) {
+            c += 1;
+        }
+        c
+    }
+
+    /// Drops bookkeeping for cycles before `before`.
+    pub fn gc(&mut self, before: u64) {
+        if self.used.len() > 4096 {
+            self.used.retain(|&c, _| c >= before);
+        }
+    }
+}
+
+/// A pool of value-buffer entries (the OOO in-flight registers, the braid
+/// external register file) with per-entry release times.
+#[derive(Debug, Clone)]
+pub struct RegPool {
+    /// Cycle at which each slot frees (`0` = free now).
+    slots: Vec<u64>,
+}
+
+impl RegPool {
+    /// Creates a pool of `n` entries, all free.
+    pub fn new(n: u32) -> RegPool {
+        RegPool { slots: vec![0; n as usize] }
+    }
+
+    /// Takes a free slot at `cycle`, holding it until released.
+    pub fn try_alloc(&mut self, cycle: u64) -> Option<u32> {
+        let i = self.slots.iter().position(|&t| t <= cycle)?;
+        self.slots[i] = NONE;
+        Some(i as u32)
+    }
+
+    /// Marks `slot` free from `cycle` on.
+    pub fn release(&mut self, slot: u32, cycle: u64) {
+        self.slots[slot as usize] = cycle;
+    }
+
+    /// Books the earliest available slot at or after `from`, holding it for
+    /// `hold` cycles; returns the cycle at which the slot was granted.
+    pub fn alloc_earliest(&mut self, from: u64, hold: u64) -> u64 {
+        let (i, &free_at) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .expect("pool is non-empty");
+        let start = from.max(free_at);
+        self.slots[i] = start + hold;
+        start
+    }
+}
+
+/// What the memory system says about a load that wants to issue.
+pub enum LoadGate {
+    /// May access the cache.
+    Go,
+    /// Value forwarded from a store; no cache access.
+    Forward,
+    /// Blocked behind an older store.
+    Wait,
+}
+
+/// The common simulation frame: front end, memory system, in-flight window
+/// and retirement. Each core drives this with its own dispatch/issue logic.
+pub struct Engine<'a> {
+    /// The simulated program.
+    pub program: &'a Program,
+    /// The committed dynamic trace.
+    pub trace: &'a Trace,
+    /// Fetch engine.
+    pub frontend: Frontend<'a>,
+    /// Cache hierarchy.
+    pub mem: MemoryHierarchy,
+    /// Load-store queue.
+    pub lsq: LoadStoreQueue,
+    /// Per-sequence timing slots (indexed by sequence number).
+    pub slots: Vec<Slot>,
+    /// Oldest unretired sequence number.
+    pub head: u64,
+    /// Next sequence number to dispatch.
+    pub next_dispatch: u64,
+    /// Decoupling buffer between fetch and dispatch.
+    pub queue: VecDeque<Fetched>,
+    /// Current cycle.
+    pub cycle: u64,
+    /// Whether any pipeline event happened this cycle.
+    pub progress: bool,
+    /// Aggregated statistics.
+    pub report: SimReport,
+    /// Maximum in-flight instructions.
+    pub window: usize,
+    /// Machine width.
+    pub width: u32,
+    /// Register writer table for dependence construction.
+    last_writer: [u64; 64],
+    /// Values produced with an external destination (report statistic).
+    pub external_values: u64,
+    /// Stores that issued address generation but whose data producer had
+    /// not yet computed its availability time.
+    pending_stores: Vec<u64>,
+    /// During checkpoint replay, sequence numbers below this were already
+    /// dispatched once: their dependence links are reused and the writer
+    /// table is not touched.
+    replay_until: u64,
+    max_cycles: u64,
+}
+
+impl<'a> Engine<'a> {
+    /// Builds the frame for `trace` of `program` under `config`.
+    pub fn new(program: &'a Program, trace: &'a Trace, config: &CommonConfig) -> Engine<'a> {
+        Engine {
+            program,
+            trace,
+            frontend: Frontend::new(program, trace, config),
+            mem: MemoryHierarchy::new(config.mem),
+            lsq: {
+                let mut lsq = LoadStoreQueue::new(config.lsq_entries);
+                lsq.set_conservative(config.conservative_disambiguation);
+                lsq
+            },
+            slots: vec![Slot::default(); trace.len()],
+            head: 0,
+            next_dispatch: 0,
+            queue: VecDeque::new(),
+            cycle: 0,
+            progress: false,
+            report: SimReport::default(),
+            window: config.window,
+            width: config.width,
+            last_writer: [NONE; 64],
+            external_values: 0,
+            pending_stores: Vec::new(),
+            replay_until: 0,
+            max_cycles: if config.max_cycles == 0 {
+                10_000 + trace.len() as u64 * 600
+            } else {
+                config.max_cycles
+            },
+        }
+    }
+
+    /// The static instruction behind sequence number `seq`.
+    pub fn inst(&self, seq: u64) -> &'a Inst {
+        &self.program.insts[self.slots[seq as usize].idx as usize]
+    }
+
+    /// Instructions currently in flight.
+    pub fn in_flight(&self) -> usize {
+        (self.next_dispatch - self.head) as usize
+    }
+
+    /// Whether the whole trace has retired.
+    pub fn finished(&self) -> bool {
+        self.head as usize >= self.trace.len()
+    }
+
+    /// Fills the decoupling buffer from the front end.
+    pub fn fetch_phase(&mut self) {
+        let room = (4 * self.width as usize).saturating_sub(self.queue.len());
+        if room == 0 {
+            return;
+        }
+        let fetched = self.frontend.fetch(self.cycle, &mut self.mem, room);
+        if !fetched.is_empty() {
+            self.progress = true;
+            self.queue.extend(fetched);
+        }
+    }
+
+    /// Common dispatch admission checks (window and LSQ capacity). Returns
+    /// `false` (and counts the stall) when the instruction cannot enter.
+    pub fn admit(&mut self, f: &Fetched) -> bool {
+        if self.in_flight() >= self.window {
+            self.report.stall_window += 1;
+            return false;
+        }
+        if self.program.insts[f.idx as usize].opcode.is_mem() && !self.lsq.has_space() {
+            self.report.stall_lsq += 1;
+            return false;
+        }
+        true
+    }
+
+    /// The producer sequence numbers `f` would depend on if dispatched now
+    /// (used by dependence-based steering before committing to a FIFO).
+    pub fn peek_deps(&self, f: &Fetched) -> [u64; 3] {
+        let inst = &self.program.insts[f.idx as usize];
+        let mut deps = [NONE; 3];
+        for (i, r) in inst.src_regs().enumerate() {
+            if !r.is_zero() {
+                deps[i] = self.last_writer[r.index() as usize];
+            }
+        }
+        if inst.opcode.reads_dest() {
+            deps[2] = self.last_writer[inst.dest.expect("reads_dest implies dest").index() as usize];
+        }
+        deps
+    }
+
+    /// Records the dispatch of `f`: builds its dependence links, inserts
+    /// the LSQ entry, and advances the window tail. Returns the sequence
+    /// number.
+    ///
+    /// During checkpoint replay the previously-computed dependence links
+    /// are reused (program order fixes them) and the writer table is left
+    /// alone, so post-replay dispatches see consistent producers.
+    pub fn dispatch_slot(&mut self, f: &Fetched, tag: u32) -> u64 {
+        let seq = f.seq;
+        debug_assert_eq!(seq, self.next_dispatch, "in-order dispatch");
+        let inst = &self.program.insts[f.idx as usize];
+        let replaying = seq < self.replay_until;
+        let deps = if replaying {
+            self.slots[seq as usize].deps
+        } else {
+            let mut deps = [NONE; 3];
+            for (i, r) in inst.src_regs().enumerate() {
+                if !r.is_zero() {
+                    deps[i] = self.last_writer[r.index() as usize];
+                }
+            }
+            if inst.opcode.reads_dest() {
+                let d = inst.dest.expect("reads_dest implies dest");
+                deps[2] = self.last_writer[d.index() as usize];
+            }
+            if let Some(d) = inst.written_reg() {
+                if !d.is_zero() {
+                    self.last_writer[d.index() as usize] = seq;
+                }
+            }
+            deps
+        };
+        if inst.opcode.is_mem() {
+            self.lsq.insert(seq, inst.opcode.is_store(), f.addr, inst.opcode.mem_bytes());
+        }
+        self.slots[seq as usize] = Slot {
+            idx: f.idx,
+            addr: f.addr,
+            mispredicted: f.mispredicted,
+            deps,
+            tag,
+            dispatched: true,
+            ..Slot::default()
+        };
+        self.next_dispatch += 1;
+        self.progress = true;
+        seq
+    }
+
+    /// Checkpoint rollback: squashes every unretired instruction, rewinds
+    /// fetch to the oldest unretired sequence number, and marks the
+    /// squashed range for dependence-link replay.
+    pub fn squash_to_head(&mut self) {
+        for seq in self.head..self.next_dispatch {
+            let s = &mut self.slots[seq as usize];
+            s.dispatched = false;
+            s.issued = false;
+            s.avail_at = NONE;
+            s.done_at = NONE;
+            s.tag = u32::MAX;
+            s.tag2 = u32::MAX;
+        }
+        self.replay_until = self.replay_until.max(self.next_dispatch);
+        self.next_dispatch = self.head;
+        self.lsq.flush();
+        self.pending_stores.clear();
+        self.queue.clear();
+        self.frontend.rewind(self.head, self.cycle + 1);
+        self.progress = true;
+    }
+
+    /// Whether every register producer `seq` needs *to issue* has its value
+    /// available. Stores issue at address generation: only the base (and
+    /// the implicit cmov read) gate issue; the data may arrive later.
+    pub fn deps_ready(&self, seq: u64) -> bool {
+        let skip_value = self.inst(seq).opcode.is_store();
+        self.slots[seq as usize]
+            .deps
+            .iter()
+            .enumerate()
+            .all(|(i, &d)| {
+                (skip_value && i == 0)
+                    || d == NONE
+                    || self.slots[d as usize].avail_at <= self.cycle
+            })
+    }
+
+    /// Memory-ordering gate for a load about to issue.
+    pub fn load_gate(&self, seq: u64) -> LoadGate {
+        let s = &self.slots[seq as usize];
+        let bytes = self.program.insts[s.idx as usize].opcode.mem_bytes();
+        match self.lsq.load_outcome(seq, s.addr, bytes, self.cycle) {
+            LsqOutcome::Ready => LoadGate::Go,
+            LsqOutcome::Forwarded { .. } => LoadGate::Forward,
+            LsqOutcome::WaitOn { .. } => LoadGate::Wait,
+        }
+    }
+
+    /// Issues `seq` at the current cycle and computes its completion.
+    ///
+    /// `ext_avail` maps the raw completion cycle to the cycle consumers see
+    /// the value (bypass/port modelling, supplied by the core).
+    ///
+    /// Returns `false` if the instruction is a load that must wait on the
+    /// LSQ (nothing is recorded in that case).
+    pub fn issue(&mut self, seq: u64, ext_avail: impl FnOnce(&mut Self, u64) -> u64) -> bool {
+        let inst = self.inst(seq);
+        let op = inst.opcode;
+        let cycle = self.cycle;
+        let (avail, done) = if op.is_load() {
+            let lat = match self.load_gate(seq) {
+                LoadGate::Wait => {
+                    self.report.lsq_wait_events += 1;
+                    return false;
+                }
+                LoadGate::Forward => {
+                    self.report.forwarded_loads += 1;
+                    2
+                }
+                LoadGate::Go => {
+                    let addr = self.slots[seq as usize].addr;
+                    1 + self.mem.access_at(Access::Load, addr, cycle)
+                }
+            };
+            let complete = cycle + lat;
+            let avail = ext_avail(self, complete);
+            (avail, avail)
+        } else if op.is_store() {
+            // Address generation issues as soon as the base is ready; the
+            // data arrives when the value producer completes.
+            let addr = self.slots[seq as usize].addr;
+            let bytes = op.mem_bytes();
+            self.lsq.set_address(seq, addr, bytes);
+            let agen_done = cycle + 1;
+            let value_dep = self.slots[seq as usize].deps[0];
+            let data_at = if value_dep == NONE {
+                agen_done
+            } else {
+                let avail = self.slots[value_dep as usize].avail_at;
+                if avail == NONE {
+                    // Producer not issued yet: finalize later.
+                    self.pending_stores.push(seq);
+                    NONE
+                } else {
+                    agen_done.max(avail)
+                }
+            };
+            if data_at != NONE {
+                self.lsq.set_data_at(seq, data_at);
+            }
+            (agen_done, data_at.max(agen_done))
+        } else {
+            let complete = cycle + op.latency();
+            let avail = if inst.written_reg().is_some() {
+                ext_avail(self, complete)
+            } else {
+                complete
+            };
+            (avail, avail.max(complete))
+        };
+        let s = &mut self.slots[seq as usize];
+        s.issued = true;
+        s.avail_at = avail;
+        s.done_at = done;
+        if op.is_branch() {
+            let resolve = cycle + 1;
+            if s.mispredicted {
+                self.frontend.resolve_branch(seq, resolve);
+            }
+        }
+        if self.inst(seq).braid.external && self.inst(seq).written_reg().is_some() {
+            self.external_values += 1;
+        }
+        self.progress = true;
+        true
+    }
+
+    /// Finalizes stores whose data producers have computed availability.
+    pub fn resolve_pending_stores(&mut self) {
+        let mut resolved = false;
+        let slots = &mut self.slots;
+        let lsq = &mut self.lsq;
+        self.pending_stores.retain(|&seq| {
+            let value_dep = slots[seq as usize].deps[0];
+            debug_assert_ne!(value_dep, NONE);
+            let avail = slots[value_dep as usize].avail_at;
+            if avail == NONE {
+                return true;
+            }
+            let data_at = slots[seq as usize].avail_at.max(avail);
+            slots[seq as usize].done_at = data_at;
+            lsq.set_data_at(seq, data_at);
+            resolved = true;
+            false
+        });
+        if resolved {
+            self.progress = true;
+        }
+    }
+
+    /// Retires completed instructions in order, up to the machine width.
+    /// `on_retire` runs per retired sequence number (for core-specific
+    /// resource frees).
+    pub fn retire_phase(&mut self, mut on_retire: impl FnMut(&mut Engine<'a>, u64)) {
+        self.resolve_pending_stores();
+        let mut n = 0;
+        while n < self.width && self.head < self.next_dispatch {
+            let seq = self.head;
+            let s = &self.slots[seq as usize];
+            debug_assert!(s.dispatched, "retiring an undispatched slot");
+            if !s.issued || s.done_at > self.cycle {
+                break;
+            }
+            let inst = self.inst(seq);
+            if inst.opcode.is_mem() {
+                if inst.opcode.is_store() {
+                    let addr = s.addr;
+                    self.mem.access(Access::Store, addr);
+                }
+                self.lsq.retire(seq);
+            }
+            on_retire(self, seq);
+            self.head += 1;
+            self.report.instructions += 1;
+            n += 1;
+            self.progress = true;
+        }
+    }
+
+    /// Advances time: one cycle after progress, otherwise straight to the
+    /// next known event. Returns `false` when the cycle guard trips.
+    pub fn advance(&mut self) -> bool {
+        if self.progress {
+            self.cycle += 1;
+        } else {
+            let mut next = NONE;
+            for seq in self.head..self.next_dispatch {
+                let s = &self.slots[seq as usize];
+                if s.issued {
+                    if s.avail_at > self.cycle {
+                        next = next.min(s.avail_at);
+                    }
+                    if s.done_at > self.cycle {
+                        next = next.min(s.done_at);
+                    }
+                }
+            }
+            if let Some(t) = self.frontend.next_event() {
+                if t > self.cycle {
+                    next = next.min(t);
+                }
+            }
+            self.cycle = if next == NONE { self.cycle + 1 } else { next };
+        }
+        self.progress = false;
+        if self.cycle >= self.max_cycles {
+            self.report.timed_out = true;
+            return false;
+        }
+        true
+    }
+
+    /// Finalizes the report after the run loop ends.
+    pub fn finish(mut self, checkpoint_words_per_branch: u64) -> SimReport {
+        self.report.cycles = self.cycle.max(1);
+        self.report.branch_accuracy = self.frontend.branch_accuracy();
+        self.report.ras_accuracy = self.frontend.ras_accuracy();
+        let (l1i, l1d, l2) = self.mem.stats();
+        self.report.l1i = l1i.hits;
+        self.report.l1d = l1d.hits;
+        self.report.l2 = l2.hits;
+        self.report.mispredict_stall_cycles = self.frontend.mispredict_stall_cycles;
+        self.report.external_values_per_cycle =
+            self.external_values as f64 / self.report.cycles as f64;
+        let branches = self
+            .trace
+            .entries
+            .iter()
+            .filter(|e| self.program.insts[e.idx as usize].opcode.is_branch())
+            .count() as u64;
+        self.report.checkpoint_words = branches * checkpoint_words_per_branch;
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_defaults() {
+        let s = Slot::default();
+        assert!(!s.dispatched && !s.issued);
+        assert_eq!(s.tag, u32::MAX);
+        assert_eq!(s.tag2, u32::MAX);
+        assert_eq!(s.avail_at, NONE);
+    }
+
+    #[test]
+    fn bandwidth_reservations() {
+        let mut b = Bandwidth::new(2);
+        assert!(b.try_reserve(5));
+        assert!(b.try_reserve(5));
+        assert!(!b.try_reserve(5));
+        assert!(b.try_reserve(6));
+        assert_eq!(b.reserve_first_free(5), 6, "cycle 5 full, 6 has one left");
+        assert_eq!(b.reserve_first_free(5), 7);
+        b.gc(100);
+    }
+
+    #[test]
+    fn regpool_alloc_release() {
+        let mut p = RegPool::new(2);
+        let a = p.try_alloc(10).unwrap();
+        let b = p.try_alloc(10).unwrap();
+        assert_ne!(a, b);
+        assert!(p.try_alloc(10).is_none());
+        p.release(a, 15);
+        assert!(p.try_alloc(14).is_none(), "not free until cycle 15");
+        assert_eq!(p.try_alloc(15), Some(a));
+    }
+}

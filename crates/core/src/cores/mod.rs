@@ -1,0 +1,13 @@
+//! The four execution-core timing models of the paper's Figure 13.
+
+pub(crate) mod common;
+
+pub mod braid;
+pub mod depsteer;
+pub mod inorder;
+pub mod ooo;
+
+pub use braid::BraidCore;
+pub use depsteer::DepSteerCore;
+pub use inorder::InOrderCore;
+pub use ooo::OooCore;

@@ -1,0 +1,63 @@
+//! # braid-core: the braid microarchitecture and its baselines
+//!
+//! Cycle-level execution-core models for *Achieving Out-of-Order
+//! Performance with Almost In-Order Complexity* (Tseng & Patt, ISCA 2008):
+//!
+//! * [`functional`] — an architectural (braid-aware) executor for BRISC
+//!   programs; it honours the `S`/`T`/`I`/`E` annotation bits, so it both
+//!   produces dynamic traces and validates that translated programs compute
+//!   the same results as their originals.
+//! * [`trace`] — the dynamic instruction trace consumed by the timing
+//!   models.
+//! * [`frontend`] — the shared aggressive front end (8-wide fetch, up to 3
+//!   branches per cycle, perceptron or perfect prediction, I-cache).
+//! * [`cores`] — the four execution cores of the paper's Figure 13:
+//!   conventional out-of-order, the **braid microarchitecture**, in-order,
+//!   and FIFO dependence-based steering (Palacharla-style).
+//! * [`config`] — Table 4 processor configurations with builders.
+//! * [`report`] — per-run statistics ([`SimReport`]).
+//! * [`profile`] — dynamic value fanout/lifetime profiling (the paper's §1
+//!   characterization).
+//! * [`processor`] — one-call pipelines combining translation, functional
+//!   execution and timing simulation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use braid_core::config::{BraidConfig, OooConfig};
+//! use braid_core::processor::{run_braid, run_ooo};
+//! use braid_isa::asm::assemble;
+//!
+//! let program = assemble(
+//!     r#"
+//!         addi r0, #100, r1
+//!     loop:
+//!         subi r1, #1, r1
+//!         addq r2, r1, r2
+//!         bne  r1, loop
+//!         halt
+//!     "#,
+//! )?;
+//! let ooo = run_ooo(&program, &OooConfig::paper_8wide(), 10_000)?;
+//! let braid = run_braid(&program, &BraidConfig::paper_default(), 10_000)?;
+//! assert!(braid.ipc() > 0.0 && ooo.ipc() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cores;
+pub mod frontend;
+pub mod functional;
+pub mod processor;
+pub mod profile;
+pub mod report;
+pub mod trace;
+
+pub use config::{BraidConfig, CommonConfig, DepConfig, InOrderConfig, OooConfig};
+pub use functional::{ExecError, Machine};
+pub use processor::{run_braid, run_dep, run_inorder, run_ooo};
+pub use report::SimReport;
+pub use trace::{Trace, TraceEntry};

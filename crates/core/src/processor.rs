@@ -1,0 +1,177 @@
+//! One-call pipelines: program → (translate) → functional trace → timing.
+
+use std::error::Error;
+use std::fmt;
+
+use braid_compiler::{translate, TranslateError, Translation, TranslatorConfig};
+use braid_isa::Program;
+
+use crate::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
+use crate::cores::{BraidCore, DepSteerCore, InOrderCore, OooCore};
+use crate::functional::{ExecError, Machine};
+use crate::report::SimReport;
+use crate::trace::Trace;
+
+/// Errors from the one-call pipelines.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RunError {
+    /// Functional execution failed.
+    Exec(ExecError),
+    /// Braid translation failed.
+    Translate(TranslateError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Exec(e) => write!(f, "functional execution failed: {e}"),
+            RunError::Translate(e) => write!(f, "braid translation failed: {e}"),
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::Exec(e) => Some(e),
+            RunError::Translate(e) => Some(e),
+        }
+    }
+}
+
+impl From<ExecError> for RunError {
+    fn from(e: ExecError) -> RunError {
+        RunError::Exec(e)
+    }
+}
+
+impl From<TranslateError> for RunError {
+    fn from(e: TranslateError) -> RunError {
+        RunError::Translate(e)
+    }
+}
+
+/// Functionally executes `program` for at most `max_insts` instructions and
+/// returns the committed trace.
+///
+/// # Errors
+///
+/// Propagates functional-execution failures, including
+/// [`ExecError::OutOfFuel`] when the budget is hit before `halt`.
+pub fn trace_program(program: &Program, max_insts: u64) -> Result<Trace, RunError> {
+    let mut m = Machine::new(program);
+    Ok(m.run(program, max_insts)?)
+}
+
+/// Runs `program` on the conventional out-of-order machine.
+///
+/// # Errors
+///
+/// Propagates functional-execution failures.
+pub fn run_ooo(program: &Program, config: &OooConfig, max_insts: u64) -> Result<SimReport, RunError> {
+    let trace = trace_program(program, max_insts)?;
+    Ok(OooCore::new(config.clone()).run(program, &trace))
+}
+
+/// Runs `program` on the in-order machine.
+///
+/// # Errors
+///
+/// Propagates functional-execution failures.
+pub fn run_inorder(
+    program: &Program,
+    config: &InOrderConfig,
+    max_insts: u64,
+) -> Result<SimReport, RunError> {
+    let trace = trace_program(program, max_insts)?;
+    Ok(InOrderCore::new(config.clone()).run(program, &trace))
+}
+
+/// Runs `program` on the dependence-steering machine.
+///
+/// # Errors
+///
+/// Propagates functional-execution failures.
+pub fn run_dep(program: &Program, config: &DepConfig, max_insts: u64) -> Result<SimReport, RunError> {
+    let trace = trace_program(program, max_insts)?;
+    Ok(DepSteerCore::new(config.clone()).run(program, &trace))
+}
+
+/// Translates `program` into braids and runs it on the braid machine.
+///
+/// # Errors
+///
+/// Propagates translation and functional-execution failures.
+pub fn run_braid(
+    program: &Program,
+    config: &BraidConfig,
+    max_insts: u64,
+) -> Result<SimReport, RunError> {
+    let (report, _) = run_braid_with_translation(program, config, max_insts)?;
+    Ok(report)
+}
+
+/// Like [`run_braid`] but also returns the translation (for braid
+/// statistics).
+///
+/// # Errors
+///
+/// Propagates translation and functional-execution failures.
+pub fn run_braid_with_translation(
+    program: &Program,
+    config: &BraidConfig,
+    max_insts: u64,
+) -> Result<(SimReport, Translation), RunError> {
+    let translation = translate(program, &TranslatorConfig::default())?;
+    let trace = trace_program(&translation.program, max_insts)?;
+    let report = BraidCore::new(config.clone()).run(&translation.program, &trace);
+    Ok((report, translation))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_isa::asm::assemble;
+
+    const LOOP: &str = r#"
+        addi r0, #2000, r1
+    loop:
+        addq r1, r1, r2
+        addq r2, r1, r2
+        addq r2, r1, r2
+        stq  r2, 0(r9) @stack:1
+        addq r1, r1, r3
+        addq r3, r1, r3
+        stq  r3, 8(r9) @stack:2
+        subi r1, #1, r1
+        bne  r1, loop
+        halt
+    "#;
+
+    #[test]
+    fn all_four_cores_run_the_same_workload() {
+        let p = assemble(LOOP).unwrap();
+        let fuel = 100_000;
+        let ooo = run_ooo(&p, &OooConfig::paper_8wide(), fuel).unwrap();
+        let io = run_inorder(&p, &InOrderConfig::paper_8wide(), fuel).unwrap();
+        let dep = run_dep(&p, &DepConfig::paper_8wide(), fuel).unwrap();
+        let braid = run_braid(&p, &BraidConfig::paper_default(), fuel).unwrap();
+        for r in [&ooo, &io, &dep, &braid] {
+            assert!(!r.timed_out);
+            assert_eq!(r.instructions, ooo.instructions);
+        }
+        // The canonical ordering of the paper's Figure 13.
+        assert!(ooo.ipc() >= braid.ipc() * 0.85, "ooo {} braid {}", ooo.ipc(), braid.ipc());
+        assert!(braid.ipc() >= io.ipc() * 0.9, "braid {} io {}", braid.ipc(), io.ipc());
+    }
+
+    #[test]
+    fn out_of_fuel_is_reported() {
+        let p = assemble("loop: br loop\nhalt").unwrap();
+        assert!(matches!(
+            run_ooo(&p, &OooConfig::paper_8wide(), 100),
+            Err(RunError::Exec(ExecError::OutOfFuel))
+        ));
+    }
+}

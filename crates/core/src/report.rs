@@ -1,0 +1,117 @@
+//! Per-run simulation statistics.
+
+use std::fmt;
+
+use braid_uarch::stats::Ratio;
+
+/// Statistics produced by one timing-simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Dynamic instructions retired.
+    pub instructions: u64,
+    /// Conditional-branch prediction accuracy.
+    pub branch_accuracy: Ratio,
+    /// Return-target prediction accuracy.
+    pub ras_accuracy: Ratio,
+    /// L1 instruction cache hits.
+    pub l1i: Ratio,
+    /// L1 data cache hits.
+    pub l1d: Ratio,
+    /// Unified L2 hits.
+    pub l2: Ratio,
+    /// Loads forwarded from older stores.
+    pub forwarded_loads: u64,
+    /// Cycles the front end was stalled refilling after a misprediction.
+    pub mispredict_stall_cycles: u64,
+    /// Dispatch stalls: no free register-buffer / external-register entry.
+    pub stall_regs: u64,
+    /// Dispatch stalls: no scheduler / FIFO space.
+    pub stall_window: u64,
+    /// Dispatch stalls: load-store queue full.
+    pub stall_lsq: u64,
+    /// Load issue attempts rejected by memory-ordering (LSQ) waits.
+    pub lsq_wait_events: u64,
+    /// Dispatch stalls: allocation/rename bandwidth exhausted.
+    pub stall_alloc_bw: u64,
+    /// External (register) values produced per cycle — the braid paper's
+    /// §5.1 observes ~2/cycle.
+    pub external_values_per_cycle: f64,
+    /// Checkpoint state words saved (smaller in the braid machine).
+    pub checkpoint_words: u64,
+    /// Exceptions taken (braid machine: single-BEU in-order episodes).
+    pub exceptions_taken: u64,
+    /// The run hit the cycle guard before retiring everything (a model
+    /// bug if ever true).
+    pub timed_out: bool,
+}
+
+impl SimReport {
+    /// Retired instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run over `baseline` (ratio of IPCs).
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        if baseline.ipc() == 0.0 {
+            0.0
+        } else {
+            self.ipc() / baseline.ipc()
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} insts in {} cycles: IPC {:.3}{}",
+            self.instructions,
+            self.cycles,
+            self.ipc(),
+            if self.timed_out { " (TIMED OUT)" } else { "" }
+        )?;
+        writeln!(
+            f,
+            "  branches {}, ras {}, L1I {}, L1D {}, L2 {}",
+            self.branch_accuracy, self.ras_accuracy, self.l1i, self.l1d, self.l2
+        )?;
+        write!(
+            f,
+            "  stalls: regs {} window {} lsq {} alloc {} lsqwait {}; ext values/cycle {:.2}",
+            self.stall_regs,
+            self.stall_window,
+            self.stall_lsq,
+            self.stall_alloc_bw,
+            self.lsq_wait_events,
+            self.external_values_per_cycle
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_speedup() {
+        let a = SimReport { cycles: 100, instructions: 250, ..SimReport::default() };
+        let b = SimReport { cycles: 100, instructions: 125, ..SimReport::default() };
+        assert!((a.ipc() - 2.5).abs() < 1e-12);
+        assert!((a.speedup_over(&b) - 2.0).abs() < 1e-12);
+        assert_eq!(SimReport::default().ipc(), 0.0);
+        assert_eq!(a.speedup_over(&SimReport::default()), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_ipc() {
+        let a = SimReport { cycles: 10, instructions: 20, ..SimReport::default() };
+        assert!(a.to_string().contains("IPC 2.000"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Dynamic instruction traces.
+//!
+//! The timing cores are trace-driven: the functional executor records the
+//! committed (correct-path) instruction stream, and the timing models replay
+//! it while modelling speculation — a mispredicted branch stalls fetch until
+//! the branch resolves in the core, then charges the configured front-end
+//! refill penalty. Wrong-path instructions are not executed (see DESIGN.md).
+
+use braid_isa::Program;
+
+/// One committed dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Static instruction index.
+    pub idx: u32,
+    /// Index of the next dynamic instruction.
+    pub next_idx: u32,
+    /// Effective address for memory operations, `0` otherwise.
+    pub addr: u64,
+    /// Whether a control transfer was taken.
+    pub taken: bool,
+}
+
+/// A committed dynamic instruction stream.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Entries in execution order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counts dynamic instructions per opcode mnemonic.
+    pub fn opcode_mix(&self, program: &Program) -> std::collections::BTreeMap<&'static str, u64> {
+        let mut mix = std::collections::BTreeMap::new();
+        for e in &self.entries {
+            let m = program.insts[e.idx as usize].opcode.mnemonic();
+            *mix.entry(m).or_insert(0) += 1;
+        }
+        mix
+    }
+
+    /// Fraction of dynamic instructions that are conditional branches.
+    pub fn branch_fraction(&self, program: &Program) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .entries
+            .iter()
+            .filter(|e| program.insts[e.idx as usize].opcode.is_cond_branch())
+            .count();
+        n as f64 / self.entries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::functional::Machine;
+    use braid_isa::asm::assemble;
+
+    #[test]
+    fn trace_mirrors_execution() {
+        let p = assemble(
+            r#"
+                addi r0, #3, r1
+            loop:
+                subi r1, #1, r1
+                bne  r1, loop
+                halt
+            "#,
+        )
+        .unwrap();
+        let mut m = Machine::new(&p);
+        let t = m.run(&p, 1000).unwrap();
+        assert_eq!(t.len(), 1 + 3 * 2 + 1);
+        // The bne is taken twice, not taken once.
+        let takens: Vec<bool> =
+            t.entries.iter().filter(|e| e.idx == 2).map(|e| e.taken).collect();
+        assert_eq!(takens, vec![true, true, false]);
+        assert!(t.branch_fraction(&p) > 0.3);
+        assert_eq!(t.opcode_mix(&p)["subi"], 3);
+    }
+}

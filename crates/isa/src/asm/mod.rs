@@ -1,0 +1,122 @@
+//! Text assembler and disassembler for BRISC.
+//!
+//! The syntax follows the Alpha listing style used in the paper's Figure 2:
+//! ALU operations name the destination last, memory operations name it first
+//! with an `offset(base)` operand:
+//!
+//! ```text
+//! ; the paper's braid 2: induction-variable increment
+//! loop:
+//!     addi r5, #1, r5        ; r5 += 1
+//!     cmpeq r9, r5, r7       ; r7 = (r9 == r5)
+//!     ldl  r3, 0(r1) @stack:4
+//!     stl  r3, 8(r2) @heap:1
+//!     bne  r7, loop
+//!     halt
+//! .entry loop
+//! .data 0x1000 1 2 3
+//! ```
+//!
+//! * `;` starts a comment.
+//! * `label:` defines a label; control transfers may name labels or absolute
+//!   instruction indices.
+//! * `@stack:N`, `@global:N`, `@heap:N` attach an [`crate::AliasClass`] to a
+//!   memory operation (anything else is [`crate::AliasClass::Unknown`]).
+//! * `.entry <label|index>` sets the entry point (default: instruction 0).
+//! * `.data <base> <word>...` declares an initialized data segment.
+
+mod parser;
+
+pub use parser::assemble;
+
+use crate::Program;
+
+/// Renders a program back to assembler text, including labels.
+///
+/// The output re-assembles to an equivalent program (labels become the
+/// assembler's names for the same indices; alias tags are preserved).
+pub fn disassemble(program: &Program) -> String {
+    program.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AliasClass, Opcode};
+
+    const EXAMPLE: &str = r#"
+        ; gcc life-analysis inner loop flavour
+        entry:
+            addi r0, #3, r1
+        loop:
+            subi r1, #1, r1
+            ldl  r2, 0(r1) @stack:1
+            stl  r2, 8(r1) @heap:2
+            bne  r1, loop
+            halt
+        .entry entry
+        .data 0x2000 7 9
+    "#;
+
+    #[test]
+    fn assemble_example() {
+        let p = assemble(EXAMPLE).unwrap();
+        assert_eq!(p.insts.len(), 6);
+        assert_eq!(p.entry, 0);
+        assert_eq!(p.insts[4].target(), Some(1));
+        assert_eq!(p.insts[2].alias, AliasClass::Stack(1));
+        assert_eq!(p.insts[3].alias, AliasClass::Heap(2));
+        assert_eq!(p.data.len(), 1);
+        assert_eq!(p.data[0].base, 0x2000);
+        assert_eq!(&p.data[0].bytes[..8], &7u64.to_le_bytes());
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn disassemble_reassembles() {
+        let p = assemble(EXAMPLE).unwrap();
+        let text = disassemble(&p);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p.insts, p2.insts);
+        assert_eq!(p.entry, p2.entry);
+    }
+
+    #[test]
+    fn paper_figure2_basic_block_assembles() {
+        // The 15-instruction basic block of the paper's Figure 2(b),
+        // transliterated to BRISC registers (aN→r16+N, tN→rN, zero→r0).
+        let src = r#"
+            addq r17, r4, r0x   ; placeholder replaced below
+        "#;
+        let _ = src;
+        let fig2 = r#"
+            addq r17, r4, r10
+            addq r16, r4, r11
+            addq r8,  r4, r12
+            ldl  r3, 0(r10)
+            addi r5, #1, r5
+            ldl  r10, 0(r11)
+            cmpeq r9, r5, r7
+            ldl  r11, 0(r12)
+            lda  r4, 4(r4)
+            andnot r3, r10, r10
+            addq r0, r10, r10
+            and  r10, r11, r11
+            zapnot r11, #15, r11
+            cmovnei r10, #1, r6
+            bne  r11, 0
+            halt
+        "#;
+        let p = assemble(fig2).unwrap();
+        assert_eq!(p.insts.len(), 16);
+        assert_eq!(p.insts[14].opcode, Opcode::Bne);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\n frobnicate r1\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "got: {msg}");
+    }
+}

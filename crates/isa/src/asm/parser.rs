@@ -1,0 +1,367 @@
+//! Two-pass line-oriented assembler.
+
+use std::collections::BTreeMap;
+
+use crate::opcode::ImmKind;
+use crate::{AliasClass, DataSegment, Inst, IsaError, Opcode, Program, Reg};
+
+/// A control target that may still be a label after the first pass.
+#[derive(Debug, Clone)]
+enum Target {
+    Resolved(u32),
+    Label(String, usize),
+}
+
+/// Assembles BRISC source text into a [`Program`].
+///
+/// See the [module documentation](crate::asm) for the accepted syntax.
+///
+/// # Errors
+///
+/// Returns [`IsaError::Syntax`] with the offending line,
+/// [`IsaError::UndefinedLabel`]/[`IsaError::DuplicateLabel`] for label
+/// problems, or validation errors from the constructed instructions.
+pub fn assemble(source: &str) -> Result<Program, IsaError> {
+    let mut insts: Vec<Inst> = Vec::new();
+    let mut targets: Vec<Option<Target>> = Vec::new();
+    let mut labels: BTreeMap<String, u32> = BTreeMap::new();
+    let mut data: Vec<DataSegment> = Vec::new();
+    let mut entry: Option<Target> = None;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut line = raw;
+        if let Some(pos) = line.find(';') {
+            line = &line[..pos];
+        }
+        let mut line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // A leading `label:` may be followed by an instruction.
+        while let Some(colon) = line.find(':') {
+            let candidate = line[..colon].trim();
+            if candidate.is_empty() || !is_ident(candidate) {
+                break;
+            }
+            // Avoid treating alias tags like `@stack:2` as labels.
+            if candidate.contains('@') || candidate.contains(' ') {
+                break;
+            }
+            if labels.insert(candidate.to_string(), insts.len() as u32).is_some() {
+                return Err(IsaError::DuplicateLabel(candidate.to_string()));
+            }
+            line = line[colon + 1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".entry") {
+            entry = Some(parse_target(rest.trim(), lineno)?);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".data") {
+            data.push(parse_data(rest.trim(), lineno)?);
+            continue;
+        }
+        let (inst, target) = parse_inst(line, lineno)?;
+        insts.push(inst);
+        targets.push(target);
+    }
+
+    // Second pass: resolve label targets.
+    let resolve = |t: &Target| -> Result<u32, IsaError> {
+        match t {
+            Target::Resolved(i) => Ok(*i),
+            Target::Label(name, _line) => labels
+                .get(name)
+                .copied()
+                .ok_or_else(|| IsaError::UndefinedLabel(name.clone())),
+        }
+    };
+    for (inst, target) in insts.iter_mut().zip(&targets) {
+        if let Some(t) = target {
+            inst.set_target(resolve(t)?);
+        }
+    }
+    let entry = match &entry {
+        Some(t) => resolve(t)?,
+        None => 0,
+    };
+
+    let program = Program { name: "asm".into(), insts, entry, data, labels };
+    program.validate()?;
+    Ok(program)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().unwrap().is_ascii_alphabetic()
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn syntax(line: usize, msg: impl Into<String>) -> IsaError {
+    IsaError::Syntax { line, msg: msg.into() }
+}
+
+fn parse_int(s: &str, line: usize) -> Result<i64, IsaError> {
+    let s = s.trim().trim_start_matches('#');
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| syntax(line, format!("bad number {s:?}")))?;
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, IsaError> {
+    s.trim().parse().map_err(|_| syntax(line, format!("bad register {s:?}")))
+}
+
+fn parse_target(s: &str, line: usize) -> Result<Target, IsaError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(syntax(line, "missing control target"));
+    }
+    if s.chars().next().unwrap().is_ascii_digit() {
+        Ok(Target::Resolved(parse_int(s, line)? as u32))
+    } else if is_ident(s) {
+        Ok(Target::Label(s.to_string(), line))
+    } else {
+        Err(syntax(line, format!("bad control target {s:?}")))
+    }
+}
+
+fn parse_alias(s: &str, line: usize) -> Result<AliasClass, IsaError> {
+    let (kind, id) = s
+        .split_once(':')
+        .ok_or_else(|| syntax(line, format!("bad alias tag @{s}, expected @kind:id")))?;
+    let id: u16 =
+        id.trim().parse().map_err(|_| syntax(line, format!("bad alias id {id:?}")))?;
+    match kind.trim() {
+        "stack" => Ok(AliasClass::Stack(id)),
+        "global" => Ok(AliasClass::Global(id)),
+        "heap" => Ok(AliasClass::Heap(id)),
+        other => Err(syntax(line, format!("unknown alias kind {other:?}"))),
+    }
+}
+
+/// Parses `offset(base)`.
+fn parse_mem_operand(s: &str, line: usize) -> Result<(i32, Reg), IsaError> {
+    let s = s.trim();
+    let open = s.find('(').ok_or_else(|| syntax(line, format!("expected offset(base), got {s:?}")))?;
+    if !s.ends_with(')') {
+        return Err(syntax(line, format!("expected offset(base), got {s:?}")));
+    }
+    let offset = if s[..open].trim().is_empty() { 0 } else { parse_int(&s[..open], line)? };
+    let base = parse_reg(&s[open + 1..s.len() - 1], line)?;
+    Ok((offset as i32, base))
+}
+
+fn parse_data(rest: &str, line: usize) -> Result<DataSegment, IsaError> {
+    let mut parts = rest.split_whitespace();
+    let base =
+        parse_int(parts.next().ok_or_else(|| syntax(line, "missing data base address"))?, line)?;
+    let mut words = Vec::new();
+    for p in parts {
+        words.push(parse_int(p, line)? as u64);
+    }
+    Ok(DataSegment::from_words(base as u64, &words))
+}
+
+fn parse_inst(line: &str, lineno: usize) -> Result<(Inst, Option<Target>), IsaError> {
+    // Split off a trailing alias tag.
+    let (body, alias) = match line.rfind('@') {
+        Some(pos) => (line[..pos].trim(), parse_alias(line[pos + 1..].trim(), lineno)?),
+        None => (line, AliasClass::Unknown),
+    };
+    let (mnemonic, rest) = match body.find(char::is_whitespace) {
+        Some(pos) => (&body[..pos], body[pos..].trim()),
+        None => (body, ""),
+    };
+    let opcode: Opcode = mnemonic
+        .parse()
+        .map_err(|_| syntax(lineno, format!("unknown mnemonic {mnemonic:?}")))?;
+    let ops: Vec<&str> =
+        if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
+    let expect = |n: usize| -> Result<(), IsaError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(syntax(lineno, format!("{mnemonic} expects {n} operands, got {}", ops.len())))
+        }
+    };
+
+    let inst = match opcode.imm_kind() {
+        ImmKind::MemOffset if opcode.is_load() => {
+            expect(2)?;
+            let dest = parse_reg(ops[0], lineno)?;
+            let (off, base) = parse_mem_operand(ops[1], lineno)?;
+            Inst::load(opcode, base, off, dest, alias)?
+        }
+        ImmKind::MemOffset if opcode.is_store() => {
+            expect(2)?;
+            let value = parse_reg(ops[0], lineno)?;
+            let (off, base) = parse_mem_operand(ops[1], lineno)?;
+            Inst::store(opcode, value, base, off, alias)?
+        }
+        ImmKind::MemOffset => {
+            // lda rd, off(rb)
+            expect(2)?;
+            let dest = parse_reg(ops[0], lineno)?;
+            let (off, base) = parse_mem_operand(ops[1], lineno)?;
+            Inst::alui(opcode, base, off, dest)?
+        }
+        ImmKind::Target => match opcode {
+            Opcode::Br => {
+                expect(1)?;
+                return Ok((Inst::br(0), Some(parse_target(ops[0], lineno)?)));
+            }
+            Opcode::Call => {
+                expect(2)?;
+                let link = parse_reg(ops[1], lineno)?;
+                return Ok((Inst::call(0, link)?, Some(parse_target(ops[0], lineno)?)));
+            }
+            _ => {
+                expect(2)?;
+                let src = parse_reg(ops[0], lineno)?;
+                return Ok((
+                    Inst::branch(opcode, src, 0)?,
+                    Some(parse_target(ops[1], lineno)?),
+                ));
+            }
+        },
+        ImmKind::Value => {
+            expect(3)?;
+            let src = parse_reg(ops[0], lineno)?;
+            let imm = parse_int(ops[1], lineno)?;
+            let imm = i32::try_from(imm).map_err(|_| IsaError::ImmOutOfRange(imm))?;
+            let dest = parse_reg(ops[2], lineno)?;
+            Inst::alui(opcode, src, imm, dest)?
+        }
+        ImmKind::None => match (opcode.has_dest(), opcode.num_srcs()) {
+            (false, 0) => {
+                expect(0)?;
+                match opcode {
+                    Opcode::Nop => Inst::nop(),
+                    Opcode::Halt => Inst::halt(),
+                    _ => return Err(syntax(lineno, format!("cannot build {mnemonic}"))),
+                }
+            }
+            (false, 1) => {
+                expect(1)?;
+                Inst::ret(parse_reg(ops[0], lineno)?)?
+            }
+            (true, 1) => {
+                expect(2)?;
+                let src = parse_reg(ops[0], lineno)?;
+                let dest = parse_reg(ops[1], lineno)?;
+                let mut inst = Inst::alu(opcode, src, src, dest);
+                if inst.is_err() {
+                    // Single-source register ops (sqrtt, cvtqt, ...).
+                    inst = Ok(Inst {
+                        opcode,
+                        dest: Some(dest),
+                        srcs: [Some(src), None],
+                        imm: 0,
+                        alias: AliasClass::Unknown,
+                        braid: crate::BraidBits::unannotated(true),
+                    });
+                    inst.as_ref().map_err(|e| e.clone())?.validate()?;
+                }
+                inst?
+            }
+            (true, 2) => {
+                expect(3)?;
+                let s1 = parse_reg(ops[0], lineno)?;
+                let s2 = parse_reg(ops[1], lineno)?;
+                let d = parse_reg(ops[2], lineno)?;
+                Inst::alu(opcode, s1, s2, d)?
+            }
+            _ => return Err(syntax(lineno, format!("unsupported shape for {mnemonic}"))),
+        },
+    };
+    Ok((inst, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_source_register_ops() {
+        let p = assemble("sqrtt f1, f2\ncvtqt r1, f3\ncvttq f3, r4\nhalt").unwrap();
+        assert_eq!(p.insts[0].opcode, Opcode::Fsqrt);
+        assert_eq!(p.insts[0].srcs[1], None);
+        assert_eq!(p.insts[1].opcode, Opcode::Cvtif);
+        assert_eq!(p.insts[2].opcode, Opcode::Cvtfi);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let p = assemble("call f, r31\nhalt\nf: ret r31").unwrap();
+        assert_eq!(p.insts[0].target(), Some(2));
+        assert_eq!(p.insts[0].dest, Some(Reg::int(31).unwrap()));
+        assert_eq!(p.insts[2].opcode, Opcode::Ret);
+    }
+
+    #[test]
+    fn numeric_targets_and_entry() {
+        let p = assemble("nop\nbr 0\nhalt\n.entry 1").unwrap();
+        assert_eq!(p.entry, 1);
+        assert_eq!(p.insts[1].target(), Some(0));
+    }
+
+    #[test]
+    fn hex_numbers() {
+        let p = assemble("addi r0, #0x10, r1\nhalt\n.data 0x100 0xff").unwrap();
+        assert_eq!(p.insts[0].imm, 16);
+        assert_eq!(p.data[0].bytes[0], 0xff);
+    }
+
+    #[test]
+    fn negative_offsets() {
+        let p = assemble("ldq r1, -8(r2)\nhalt").unwrap();
+        assert_eq!(p.insts[0].imm, -8);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        assert_eq!(
+            assemble("x: nop\nx: halt"),
+            Err(IsaError::DuplicateLabel("x".into()))
+        );
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        assert_eq!(
+            assemble("br nowhere\nhalt"),
+            Err(IsaError::UndefinedLabel("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn operand_count_errors() {
+        assert!(matches!(
+            assemble("addq r1, r2\nhalt"),
+            Err(IsaError::Syntax { line: 1, .. })
+        ));
+        assert!(matches!(
+            assemble("nop r1\nhalt"),
+            Err(IsaError::Syntax { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn label_and_inst_same_line() {
+        let p = assemble("top: nop\nbne r1, top\nhalt").unwrap();
+        assert_eq!(p.labels["top"], 0);
+        assert_eq!(p.insts[1].target(), Some(0));
+    }
+}

@@ -1,0 +1,204 @@
+//! A binary container for BRISC programs (`.brisc` files).
+//!
+//! The braid toolchain is a *binary* translator; this module gives programs
+//! an on-disk form so annotated binaries can be shipped between tools:
+//!
+//! ```text
+//! offset  size  contents
+//! 0       8     magic "BRISC\x01\0\0"
+//! 8       4     entry point (u32 LE)
+//! 12      4     instruction count N (u32 LE)
+//! 16      8N    encoded instructions (u64 LE each)
+//! ...     4     data segment count S (u32 LE)
+//! per segment:  base (u64 LE), byte length (u64 LE), bytes
+//! ...     4     label count L (u32 LE)
+//! per label:    index (u32 LE), name length (u32 LE), UTF-8 bytes
+//! ```
+//!
+//! ```
+//! use braid_isa::asm::assemble;
+//! use braid_isa::container;
+//!
+//! let program = assemble("addi r0, #7, r1\nhalt")?;
+//! let bytes = container::to_bytes(&program)?;
+//! let back = container::from_bytes(&bytes)?;
+//! assert_eq!(back.insts, program.insts);
+//! # Ok::<(), braid_isa::IsaError>(())
+//! ```
+
+use crate::{decode, encode, DataSegment, EncodedInst, IsaError, Program};
+
+const MAGIC: &[u8; 8] = b"BRISC\x01\0\0";
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], IsaError> {
+        if self.at + n > self.bytes.len() {
+            return Err(IsaError::MalformedProgram("truncated container".into()));
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, IsaError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, IsaError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+/// Serializes a program (instructions, data segments and labels) to the
+/// `.brisc` container format.
+///
+/// # Errors
+///
+/// Propagates instruction-encoding failures.
+pub fn to_bytes(program: &Program) -> Result<Vec<u8>, IsaError> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, program.entry);
+    put_u32(&mut out, program.insts.len() as u32);
+    for inst in &program.insts {
+        put_u64(&mut out, encode(inst)?.0);
+    }
+    put_u32(&mut out, program.data.len() as u32);
+    for seg in &program.data {
+        put_u64(&mut out, seg.base);
+        put_u64(&mut out, seg.bytes.len() as u64);
+        out.extend_from_slice(&seg.bytes);
+    }
+    put_u32(&mut out, program.labels.len() as u32);
+    for (name, &idx) in &program.labels {
+        put_u32(&mut out, idx);
+        put_u32(&mut out, name.len() as u32);
+        out.extend_from_slice(name.as_bytes());
+    }
+    Ok(out)
+}
+
+/// Deserializes a `.brisc` container back into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns [`IsaError::MalformedProgram`] for truncated or mis-tagged
+/// containers, and decoding/validation errors for corrupt contents.
+pub fn from_bytes(bytes: &[u8]) -> Result<Program, IsaError> {
+    let mut r = Reader { bytes, at: 0 };
+    if r.take(8)? != MAGIC {
+        return Err(IsaError::MalformedProgram("bad container magic".into()));
+    }
+    let entry = r.u32()?;
+    let n = r.u32()? as usize;
+    if n > 1 << 24 {
+        return Err(IsaError::MalformedProgram("implausible instruction count".into()));
+    }
+    let mut insts = Vec::with_capacity(n);
+    for _ in 0..n {
+        insts.push(decode(EncodedInst(r.u64()?))?);
+    }
+    let segs = r.u32()? as usize;
+    let mut data = Vec::with_capacity(segs);
+    for _ in 0..segs {
+        let base = r.u64()?;
+        let len = r.u64()? as usize;
+        data.push(DataSegment { base, bytes: r.take(len)?.to_vec() });
+    }
+    let labels_n = r.u32()? as usize;
+    let mut labels = std::collections::BTreeMap::new();
+    for _ in 0..labels_n {
+        let idx = r.u32()?;
+        let len = r.u32()? as usize;
+        let name = std::str::from_utf8(r.take(len)?)
+            .map_err(|_| IsaError::MalformedProgram("label is not UTF-8".into()))?;
+        labels.insert(name.to_string(), idx);
+    }
+    let program = Program { name: "binary".into(), insts, entry, data, labels };
+    program.validate()?;
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn sample() -> Program {
+        let mut p = assemble(
+            r#"
+            start:
+                addi r0, #3, r1
+            loop:
+                ldq  r2, 0(r4) @stack:2
+                subi r1, #1, r1
+                bne  r1, loop
+                halt
+                .entry start
+                .data 0x1000 10 20 30
+            "#,
+        )
+        .unwrap();
+        p.name = "sample".into();
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_everything_observable() {
+        let p = sample();
+        let bytes = to_bytes(&p).unwrap();
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.insts, p.insts);
+        assert_eq!(back.entry, p.entry);
+        assert_eq!(back.data, p.data);
+        assert_eq!(back.labels, p.labels);
+    }
+
+    #[test]
+    fn braid_annotations_survive_the_container() {
+        // The container must carry the S/T/I/E bits: round-trip an
+        // annotated instruction explicitly.
+        let mut p = sample();
+        p.insts[1].braid.t[0] = true;
+        p.insts[1].braid.internal = true;
+        p.insts[1].braid.external = false;
+        let back = from_bytes(&to_bytes(&p).unwrap()).unwrap();
+        assert_eq!(back.insts[1].braid, p.insts[1].braid);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = to_bytes(&sample()).unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes(&bytes), Err(IsaError::MalformedProgram(_))));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = to_bytes(&sample()).unwrap();
+        for cut in [3, 9, 17, bytes.len() - 1] {
+            assert!(
+                from_bytes(&bytes[..cut]).is_err(),
+                "container truncated at {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_instruction_rejected() {
+        let mut bytes = to_bytes(&sample()).unwrap();
+        // Stomp the first instruction's opcode byte with junk.
+        bytes[16] = 0x7f;
+        assert!(from_bytes(&bytes).is_err());
+    }
+}

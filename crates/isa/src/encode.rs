@@ -1,0 +1,261 @@
+//! Fixed-width binary encoding of BRISC instructions.
+//!
+//! The paper (Figure 3) extends each instruction with the braid bits using
+//! three formats: *zero-destination*, *one-register* and *two-register*.
+//! BRISC packs every instruction into one 64-bit word:
+//!
+//! ```text
+//!  bits 0..7   opcode
+//!  bits 7..9   format tag (0 zero-dest, 1 one-register, 2 two-register)
+//!  bit  9      S   braid start
+//!  bit  10     T1  source 0 is internal
+//!  bit  11     T2  source 1 is internal
+//!  bit  12     I   destination written to internal register file
+//!  bit  13     E   destination written to external register file
+//!  bits 14..20 destination register
+//!  bits 20..26 source register 0
+//!  bits 26..32 source register 1
+//!  bits 32..64 immediate (i32), except memory operations:
+//!  bits 32..48   displacement (i16)
+//!  bits 48..64   alias class (u16)
+//! ```
+
+use std::fmt;
+
+use crate::inst::AliasClass;
+use crate::{BraidBits, Inst, IsaError, Opcode, Reg};
+
+/// The paper's three instruction formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// No register destination (stores, branches, `nop`, `halt`).
+    ZeroDest,
+    /// A destination and at most one register source.
+    OneReg,
+    /// A destination and two register sources.
+    TwoReg,
+}
+
+impl Format {
+    /// The format an instruction encodes with.
+    pub fn of(inst: &Inst) -> Format {
+        match (inst.opcode.has_dest(), inst.opcode.num_srcs()) {
+            (false, _) => Format::ZeroDest,
+            (true, 2) => Format::TwoReg,
+            (true, _) => Format::OneReg,
+        }
+    }
+
+    fn tag(self) -> u64 {
+        match self {
+            Format::ZeroDest => 0,
+            Format::OneReg => 1,
+            Format::TwoReg => 2,
+        }
+    }
+
+    fn from_tag(tag: u64) -> Result<Format, IsaError> {
+        match tag {
+            0 => Ok(Format::ZeroDest),
+            1 => Ok(Format::OneReg),
+            2 => Ok(Format::TwoReg),
+            t => Err(IsaError::BadFormat(t as u8)),
+        }
+    }
+}
+
+/// A binary-encoded instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EncodedInst(pub u64);
+
+impl fmt::Display for EncodedInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for EncodedInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for EncodedInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for EncodedInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl From<EncodedInst> for u64 {
+    fn from(e: EncodedInst) -> u64 {
+        e.0
+    }
+}
+
+fn reg_bits(r: Option<Reg>) -> u64 {
+    r.map(|r| r.index() as u64).unwrap_or(0)
+}
+
+/// Encodes an instruction into a 64-bit word.
+///
+/// # Errors
+///
+/// Returns [`IsaError::MalformedInst`] for shape violations and
+/// [`IsaError::ImmOutOfRange`] when a memory displacement does not fit in 16
+/// bits.
+pub fn encode(inst: &Inst) -> Result<EncodedInst, IsaError> {
+    inst.validate()?;
+    let mut w = inst.opcode.code() as u64;
+    w |= Format::of(inst).tag() << 7;
+    let b = inst.braid;
+    w |= (b.start as u64) << 9;
+    w |= (b.t[0] as u64) << 10;
+    w |= (b.t[1] as u64) << 11;
+    w |= (b.internal as u64) << 12;
+    w |= (b.external as u64) << 13;
+    w |= reg_bits(inst.dest) << 14;
+    w |= reg_bits(inst.srcs[0]) << 20;
+    w |= reg_bits(inst.srcs[1]) << 26;
+    if inst.opcode.is_mem() {
+        let disp = i16::try_from(inst.imm).map_err(|_| IsaError::ImmOutOfRange(inst.imm as i64))?;
+        w |= ((disp as u16) as u64) << 32;
+        w |= (inst.alias.pack() as u64) << 48;
+    } else {
+        w |= ((inst.imm as u32) as u64) << 32;
+    }
+    Ok(EncodedInst(w))
+}
+
+/// Decodes a 64-bit word back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`IsaError::BadOpcode`], [`IsaError::BadFormat`] or
+/// [`IsaError::MalformedInst`] for words that do not decode to a valid
+/// instruction.
+pub fn decode(word: EncodedInst) -> Result<Inst, IsaError> {
+    let w = word.0;
+    let opcode = Opcode::from_code((w & 0x7f) as u8)?;
+    let format = Format::from_tag((w >> 7) & 0x3)?;
+    let braid = BraidBits {
+        start: (w >> 9) & 1 != 0,
+        t: [(w >> 10) & 1 != 0, (w >> 11) & 1 != 0],
+        internal: (w >> 12) & 1 != 0,
+        external: (w >> 13) & 1 != 0,
+    };
+    let reg_at = |shift: u32| -> Result<Reg, IsaError> { Reg::new(((w >> shift) & 0x3f) as u8) };
+    let dest = if opcode.has_dest() { Some(reg_at(14)?) } else { None };
+    let mut srcs = [None, None];
+    if opcode.num_srcs() >= 1 {
+        srcs[0] = Some(reg_at(20)?);
+    }
+    if opcode.num_srcs() >= 2 {
+        srcs[1] = Some(reg_at(26)?);
+    }
+    let (imm, alias) = if opcode.is_mem() {
+        let disp = ((w >> 32) & 0xffff) as u16 as i16;
+        let alias = AliasClass::unpack(((w >> 48) & 0xffff) as u16);
+        (disp as i32, alias)
+    } else {
+        (((w >> 32) & 0xffff_ffff) as u32 as i32, AliasClass::Unknown)
+    };
+    let inst = Inst { opcode, dest, srcs, imm, alias, braid };
+    if Format::of(&inst) != format {
+        return Err(IsaError::MalformedInst(format!(
+            "format tag {format:?} does not match opcode {opcode}"
+        )));
+    }
+    inst.validate()?;
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> Reg {
+        Reg::int(n).unwrap()
+    }
+
+    #[test]
+    fn round_trip_every_shape() {
+        let samples = vec![
+            Inst::alu(Opcode::Add, r(1), r(2), r(3)).unwrap(),
+            Inst::alui(Opcode::Addi, r(1), -5, r(2)).unwrap(),
+            Inst::alui(Opcode::Lda, r(4), 4, r(4)).unwrap(),
+            Inst::load(Opcode::Ldl, r(1), -32, r(2), AliasClass::Stack(9)).unwrap(),
+            Inst::store(Opcode::Stq, r(1), r(2), 24, AliasClass::Heap(3)).unwrap(),
+            Inst::branch(Opcode::Bne, r(1), 1234).unwrap(),
+            Inst::br(7),
+            Inst::call(42, r(31)).unwrap(),
+            Inst::ret(r(31)).unwrap(),
+            Inst::nop(),
+            Inst::halt(),
+            Inst::alu(Opcode::Fadd, Reg::float(1).unwrap(), Reg::float(2).unwrap(), Reg::float(3).unwrap())
+                .unwrap(),
+        ];
+        for inst in samples {
+            let e = encode(&inst).unwrap();
+            let back = decode(e).unwrap();
+            assert_eq!(back, inst, "round trip failed for {inst}");
+        }
+    }
+
+    #[test]
+    fn braid_bits_survive_encoding() {
+        let mut inst = Inst::alu(Opcode::Add, r(1), r(2), r(3)).unwrap();
+        inst.braid = BraidBits { start: true, t: [true, false], internal: true, external: true };
+        let back = decode(encode(&inst).unwrap()).unwrap();
+        assert_eq!(back.braid, inst.braid);
+    }
+
+    #[test]
+    fn formats_match_paper_figure3() {
+        let st = Inst::store(Opcode::Stl, r(1), r(2), 0, AliasClass::Unknown).unwrap();
+        assert_eq!(Format::of(&st), Format::ZeroDest);
+        let ld = Inst::load(Opcode::Ldl, r(1), 0, r(2), AliasClass::Unknown).unwrap();
+        assert_eq!(Format::of(&ld), Format::OneReg);
+        let add = Inst::alu(Opcode::Add, r(1), r(2), r(3)).unwrap();
+        assert_eq!(Format::of(&add), Format::TwoReg);
+        let bne = Inst::branch(Opcode::Bne, r(1), 0).unwrap();
+        assert_eq!(Format::of(&bne), Format::ZeroDest);
+    }
+
+    #[test]
+    fn mem_displacement_range_checked() {
+        let ok = Inst::load(Opcode::Ldq, r(1), 32767, r(2), AliasClass::Unknown).unwrap();
+        assert!(encode(&ok).is_ok());
+        let too_big = Inst::load(Opcode::Ldq, r(1), 32768, r(2), AliasClass::Unknown).unwrap();
+        assert_eq!(encode(&too_big), Err(IsaError::ImmOutOfRange(32768)));
+    }
+
+    #[test]
+    fn negative_immediates_round_trip() {
+        let inst = Inst::alui(Opcode::Addi, r(1), i32::MIN, r(2)).unwrap();
+        assert_eq!(decode(encode(&inst).unwrap()).unwrap().imm, i32::MIN);
+        let inst = Inst::load(Opcode::Ldl, r(1), -32768, r(2), AliasClass::Unknown).unwrap();
+        assert_eq!(decode(encode(&inst).unwrap()).unwrap().imm, -32768);
+    }
+
+    #[test]
+    fn garbage_words_do_not_decode() {
+        assert!(decode(EncodedInst(0x7f)).is_err(), "bad opcode");
+        // add with zero-dest format tag
+        let add = Inst::alu(Opcode::Add, r(1), r(2), r(3)).unwrap();
+        let w = encode(&add).unwrap().0 & !(0x3 << 7);
+        assert!(decode(EncodedInst(w)).is_err(), "format mismatch");
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let e = encode(&Inst::nop()).unwrap();
+        assert!(e.to_string().starts_with("0x"));
+        let _ = format!("{e:x} {e:X} {e:b}");
+    }
+}

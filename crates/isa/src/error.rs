@@ -1,0 +1,96 @@
+//! Error type for the ISA crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, encoding, decoding, assembling or
+/// validating BRISC instructions and programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A register index outside `0..64`.
+    InvalidRegister(u8),
+    /// A register name that does not parse (`"r32"`, `"x3"`, ...).
+    BadRegisterName(String),
+    /// An unknown assembler mnemonic.
+    UnknownMnemonic(String),
+    /// An opcode byte that decodes to no operation.
+    BadOpcode(u8),
+    /// An encoded word whose format tag is invalid.
+    BadFormat(u8),
+    /// An instruction whose operands violate the opcode's shape
+    /// (wrong register class, missing source, unexpected destination, ...).
+    MalformedInst(String),
+    /// An immediate or displacement that does not fit its field.
+    ImmOutOfRange(i64),
+    /// A syntax error at `line` of assembler input.
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A label used but never defined.
+    UndefinedLabel(String),
+    /// A label defined twice.
+    DuplicateLabel(String),
+    /// A branch or call target outside the program.
+    TargetOutOfRange(u32),
+    /// Program-level validation failure.
+    MalformedProgram(String),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::InvalidRegister(n) => write!(f, "register index {n} out of range"),
+            IsaError::BadRegisterName(s) => write!(f, "bad register name {s:?}"),
+            IsaError::UnknownMnemonic(s) => write!(f, "unknown mnemonic {s:?}"),
+            IsaError::BadOpcode(c) => write!(f, "byte {c:#x} is not an opcode"),
+            IsaError::BadFormat(t) => write!(f, "invalid instruction format tag {t}"),
+            IsaError::MalformedInst(msg) => write!(f, "malformed instruction: {msg}"),
+            IsaError::ImmOutOfRange(v) => write!(f, "immediate {v} does not fit its field"),
+            IsaError::Syntax { line, msg } => write!(f, "syntax error on line {line}: {msg}"),
+            IsaError::UndefinedLabel(l) => write!(f, "undefined label {l:?}"),
+            IsaError::DuplicateLabel(l) => write!(f, "duplicate label {l:?}"),
+            IsaError::TargetOutOfRange(t) => write!(f, "control target {t} outside program"),
+            IsaError::MalformedProgram(msg) => write!(f, "malformed program: {msg}"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty_and_lowercase() {
+        let samples = [
+            IsaError::InvalidRegister(99),
+            IsaError::BadRegisterName("z9".into()),
+            IsaError::UnknownMnemonic("frob".into()),
+            IsaError::BadOpcode(0xff),
+            IsaError::BadFormat(3),
+            IsaError::MalformedInst("x".into()),
+            IsaError::ImmOutOfRange(1 << 40),
+            IsaError::Syntax { line: 3, msg: "bad token".into() },
+            IsaError::UndefinedLabel("loop".into()),
+            IsaError::DuplicateLabel("loop".into()),
+            IsaError::TargetOutOfRange(9),
+            IsaError::MalformedProgram("empty".into()),
+        ];
+        for e in samples {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

@@ -1,0 +1,503 @@
+//! Instructions, braid annotation bits, and memory alias tags.
+
+use std::fmt;
+
+use crate::opcode::ImmKind;
+use crate::{IsaError, Opcode, Reg};
+
+/// The braid annotation bits the paper adds to every instruction (Figure 3).
+///
+/// * `start` (`S`) — this instruction begins a new braid.
+/// * `t[i]` (`T`) — source operand `i` reads the **internal** register file
+///   of the braid execution unit instead of the external register file.
+/// * `internal` (`I`) — the result is written to the internal register file.
+/// * `external` (`E`) — the result is written to the external register file.
+///
+/// A destination may set both `I` and `E` when a value is consumed both
+/// inside and outside its braid. Instructions without a destination leave
+/// both clear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BraidBits {
+    /// `S`: first instruction of a braid.
+    pub start: bool,
+    /// `T` per source operand: read from the internal register file.
+    pub t: [bool; 2],
+    /// `I`: write the result to the internal register file.
+    pub internal: bool,
+    /// `E`: write the result to the external register file.
+    pub external: bool,
+}
+
+impl BraidBits {
+    /// Annotation state of a conventional (non-braid-aware) binary: every
+    /// instruction starts its own "braid" and all communication is external.
+    pub fn unannotated(has_dest: bool) -> BraidBits {
+        BraidBits { start: true, t: [false, false], internal: false, external: has_dest }
+    }
+}
+
+/// Compile-time memory-disambiguation information attached to loads and
+/// stores.
+///
+/// The paper notes that "the majority of memory instructions access the
+/// stack so the compiler can disambiguate them". In this reproduction the
+/// profiling information a binary translator would recover is carried on the
+/// instruction: two accesses may be reordered when [`AliasClass::may_alias`]
+/// is `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AliasClass {
+    /// Nothing is known; conservatively aliases everything.
+    #[default]
+    Unknown,
+    /// A stack slot, identified by slot number; distinct slots never alias.
+    Stack(u16),
+    /// A global, identified by symbol id; distinct globals never alias.
+    Global(u16),
+    /// A heap region; distinct regions never alias, same region may.
+    Heap(u16),
+}
+
+impl AliasClass {
+    /// Whether two accesses may refer to the same memory.
+    pub fn may_alias(self, other: AliasClass) -> bool {
+        use AliasClass::*;
+        match (self, other) {
+            (Unknown, _) | (_, Unknown) => true,
+            (Stack(a), Stack(b)) => a == b,
+            (Global(a), Global(b)) => a == b,
+            (Heap(a), Heap(b)) => a == b,
+            // Distinct storage classes are disjoint.
+            _ => false,
+        }
+    }
+
+    /// Packs the class into 16 bits for the binary encoding.
+    pub(crate) fn pack(self) -> u16 {
+        match self {
+            AliasClass::Unknown => 0,
+            AliasClass::Stack(n) => (1 << 14) | (n & 0x3fff),
+            AliasClass::Global(n) => (2 << 14) | (n & 0x3fff),
+            AliasClass::Heap(n) => (3 << 14) | (n & 0x3fff),
+        }
+    }
+
+    /// Unpacks a class packed with [`AliasClass::pack`].
+    pub(crate) fn unpack(bits: u16) -> AliasClass {
+        let n = bits & 0x3fff;
+        match bits >> 14 {
+            1 => AliasClass::Stack(n),
+            2 => AliasClass::Global(n),
+            3 => AliasClass::Heap(n),
+            _ => AliasClass::Unknown,
+        }
+    }
+}
+
+/// One BRISC instruction.
+///
+/// Use the shape-specific constructors ([`Inst::alu`], [`Inst::alui`],
+/// [`Inst::load`], [`Inst::store`], [`Inst::branch`], ...) rather than
+/// building the struct by hand; they enforce the opcode's operand shape.
+///
+/// ```
+/// use braid_isa::{Inst, Opcode, Reg};
+///
+/// let add = Inst::alu(Opcode::Add, Reg::int(1)?, Reg::int(2)?, Reg::int(3)?)?;
+/// assert_eq!(add.to_string(), "addq r1, r2, r3");
+/// # Ok::<(), braid_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// The operation.
+    pub opcode: Opcode,
+    /// Destination register, when the opcode writes one.
+    pub dest: Option<Reg>,
+    /// Explicit source registers, `srcs[i]` valid for `i < opcode.num_srcs()`.
+    pub srcs: [Option<Reg>; 2],
+    /// Immediate: literal value, memory displacement, or resolved absolute
+    /// instruction index for control transfers (see [`Opcode::imm_kind`]).
+    pub imm: i32,
+    /// Memory-disambiguation tag; meaningful only for loads and stores.
+    pub alias: AliasClass,
+    /// Braid annotation bits.
+    pub braid: BraidBits,
+}
+
+impl Inst {
+    fn raw(opcode: Opcode, dest: Option<Reg>, srcs: [Option<Reg>; 2], imm: i32) -> Inst {
+        Inst {
+            opcode,
+            dest,
+            srcs,
+            imm,
+            alias: AliasClass::default(),
+            braid: BraidBits::unannotated(opcode.has_dest()),
+        }
+    }
+
+    /// Builds a register-register operation `dest = src1 op src2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MalformedInst`] if the opcode is not a two-source
+    /// register operation or an operand has the wrong class.
+    pub fn alu(opcode: Opcode, src1: Reg, src2: Reg, dest: Reg) -> Result<Inst, IsaError> {
+        let inst = Inst::raw(opcode, Some(dest), [Some(src1), Some(src2)], 0);
+        inst.validated()
+    }
+
+    /// Builds a register-immediate operation `dest = src1 op imm`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MalformedInst`] for opcodes that do not take a
+    /// value immediate, or [`IsaError::ImmOutOfRange`].
+    pub fn alui(opcode: Opcode, src1: Reg, imm: i32, dest: Reg) -> Result<Inst, IsaError> {
+        if opcode.imm_kind() != ImmKind::Value && opcode != Opcode::Lda {
+            return Err(IsaError::MalformedInst(format!("{opcode} takes no value immediate")));
+        }
+        let inst = Inst::raw(opcode, Some(dest), [Some(src1), None], imm);
+        inst.validated()
+    }
+
+    /// Builds a load `dest = [base + offset]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MalformedInst`] if the opcode is not a load.
+    pub fn load(
+        opcode: Opcode,
+        base: Reg,
+        offset: i32,
+        dest: Reg,
+        alias: AliasClass,
+    ) -> Result<Inst, IsaError> {
+        if !opcode.is_load() {
+            return Err(IsaError::MalformedInst(format!("{opcode} is not a load")));
+        }
+        let mut inst = Inst::raw(opcode, Some(dest), [Some(base), None], offset);
+        inst.alias = alias;
+        inst.validated()
+    }
+
+    /// Builds a store `[base + offset] = value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MalformedInst`] if the opcode is not a store.
+    pub fn store(
+        opcode: Opcode,
+        value: Reg,
+        base: Reg,
+        offset: i32,
+        alias: AliasClass,
+    ) -> Result<Inst, IsaError> {
+        if !opcode.is_store() {
+            return Err(IsaError::MalformedInst(format!("{opcode} is not a store")));
+        }
+        let mut inst = Inst::raw(opcode, None, [Some(value), Some(base)], offset);
+        inst.alias = alias;
+        inst.validated()
+    }
+
+    /// Builds a conditional branch on `src` to absolute instruction index
+    /// `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MalformedInst`] if the opcode is not a
+    /// conditional branch.
+    pub fn branch(opcode: Opcode, src: Reg, target: u32) -> Result<Inst, IsaError> {
+        if !opcode.is_cond_branch() {
+            return Err(IsaError::MalformedInst(format!("{opcode} is not a conditional branch")));
+        }
+        let inst = Inst::raw(opcode, None, [Some(src), None], target as i32);
+        inst.validated()
+    }
+
+    /// Builds an unconditional branch to absolute instruction index `target`.
+    pub fn br(target: u32) -> Inst {
+        Inst::raw(Opcode::Br, None, [None, None], target as i32)
+    }
+
+    /// Builds a call to `target` writing the return address to `link`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MalformedInst`] if `link` is not an integer
+    /// register.
+    pub fn call(target: u32, link: Reg) -> Result<Inst, IsaError> {
+        let inst = Inst::raw(Opcode::Call, Some(link), [None, None], target as i32);
+        inst.validated()
+    }
+
+    /// Builds a return through `link`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MalformedInst`] if `link` is not an integer
+    /// register.
+    pub fn ret(link: Reg) -> Result<Inst, IsaError> {
+        let inst = Inst::raw(Opcode::Ret, None, [Some(link), None], 0);
+        inst.validated()
+    }
+
+    /// Builds a no-operation.
+    pub fn nop() -> Inst {
+        Inst::raw(Opcode::Nop, None, [None, None], 0)
+    }
+
+    /// Builds the halt instruction terminating simulation.
+    pub fn halt() -> Inst {
+        Inst::raw(Opcode::Halt, None, [None, None], 0)
+    }
+
+    /// Validates operand shape and register classes against the opcode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MalformedInst`] describing the first violation.
+    pub fn validate(&self) -> Result<(), IsaError> {
+        let op = self.opcode;
+        let malformed = |msg: String| Err(IsaError::MalformedInst(msg));
+        match (op.has_dest(), self.dest) {
+            (true, None) => return malformed(format!("{op} requires a destination")),
+            (false, Some(_)) => return malformed(format!("{op} takes no destination")),
+            (true, Some(d)) => {
+                let want = op.dest_class().expect("has_dest implies dest_class");
+                if d.class() != want {
+                    return malformed(format!("{op} destination {d} must be {want}"));
+                }
+            }
+            (false, None) => {}
+        }
+        for i in 0..2 {
+            match (i < op.num_srcs(), self.srcs[i]) {
+                (true, None) => return malformed(format!("{op} requires source {i}")),
+                (false, Some(_)) => return malformed(format!("{op} takes no source {i}")),
+                (true, Some(s)) => {
+                    let want = op.src_class(i);
+                    if s.class() != want {
+                        return malformed(format!("{op} source {i} {s} must be {want}"));
+                    }
+                }
+                (false, None) => {}
+            }
+        }
+        if op.imm_kind() == ImmKind::Target && self.imm < 0 {
+            return malformed(format!("{op} target must be non-negative"));
+        }
+        Ok(())
+    }
+
+    fn validated(self) -> Result<Inst, IsaError> {
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// The control-transfer target as an absolute instruction index, if this
+    /// is a direct branch or call.
+    pub fn target(&self) -> Option<u32> {
+        if self.opcode.imm_kind() == ImmKind::Target {
+            Some(self.imm as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Retargets a direct control transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction is not a direct branch or call.
+    pub fn set_target(&mut self, target: u32) {
+        assert_eq!(self.opcode.imm_kind(), ImmKind::Target, "{} has no target", self.opcode);
+        self.imm = target as i32;
+    }
+
+    /// Iterates over the explicit source registers, skipping the hard-wired
+    /// zero register (which needs no dataflow edge).
+    pub fn src_regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// Iterates over every register the instruction *reads*: explicit
+    /// sources plus, for conditional moves, the old destination value.
+    pub fn read_regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        let implicit = if self.opcode.reads_dest() { self.dest } else { None };
+        self.src_regs().chain(implicit)
+    }
+
+    /// The register the instruction writes, if any. Writes to the zero
+    /// register are architecturally discarded but still reported here.
+    pub fn written_reg(&self) -> Option<Reg> {
+        self.dest
+    }
+
+    /// Whether this instruction ends a basic block (any control transfer or
+    /// halt).
+    pub fn ends_block(&self) -> bool {
+        self.opcode.is_branch() || self.opcode == Opcode::Halt
+    }
+}
+
+fn write_alias(f: &mut fmt::Formatter<'_>, alias: AliasClass) -> fmt::Result {
+    match alias {
+        AliasClass::Unknown => Ok(()),
+        AliasClass::Stack(n) => write!(f, " @stack:{n}"),
+        AliasClass::Global(n) => write!(f, " @global:{n}"),
+        AliasClass::Heap(n) => write!(f, " @heap:{n}"),
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = self.opcode;
+        write!(f, "{}", op.mnemonic())?;
+        match op.imm_kind() {
+            ImmKind::MemOffset if op.is_load() => {
+                // ldl rd, off(rb) [@alias]
+                write!(f, " {}, {}({})", self.dest.unwrap(), self.imm, self.srcs[0].unwrap())?;
+                write_alias(f, self.alias)?;
+            }
+            ImmKind::MemOffset if op.is_store() => {
+                // stl rs, off(rb) [@alias]
+                write!(f, " {}, {}({})", self.srcs[0].unwrap(), self.imm, self.srcs[1].unwrap())?;
+                write_alias(f, self.alias)?;
+            }
+            ImmKind::MemOffset => {
+                // lda rd, off(rb)
+                write!(f, " {}, {}({})", self.dest.unwrap(), self.imm, self.srcs[0].unwrap())?;
+            }
+            ImmKind::Target => {
+                if let Some(s) = self.srcs[0] {
+                    write!(f, " {s},")?;
+                }
+                write!(f, " {}", self.imm)?;
+                if op == Opcode::Call {
+                    write!(f, ", {}", self.dest.unwrap())?;
+                }
+            }
+            ImmKind::Value => {
+                // op rs, #imm, rd   (dest last, Alpha listing style)
+                write!(f, " {}, #{}, {}", self.srcs[0].unwrap(), self.imm, self.dest.unwrap())?;
+            }
+            ImmKind::None => {
+                let mut first = true;
+                for s in self.src_regs() {
+                    write!(f, "{} {s}", if first { "" } else { "," })?;
+                    first = false;
+                }
+                if let Some(d) = self.dest {
+                    write!(f, "{} {d}", if first { "" } else { "," })?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> Reg {
+        Reg::int(n).unwrap()
+    }
+    fn fr(n: u8) -> Reg {
+        Reg::float(n).unwrap()
+    }
+
+    #[test]
+    fn alu_constructor_validates_classes() {
+        assert!(Inst::alu(Opcode::Add, r(1), r(2), r(3)).is_ok());
+        assert!(Inst::alu(Opcode::Add, fr(1), r(2), r(3)).is_err());
+        assert!(Inst::alu(Opcode::Fadd, fr(1), fr(2), fr(3)).is_ok());
+        assert!(Inst::alu(Opcode::Fadd, fr(1), fr(2), r(3)).is_err());
+        // fp compare delivers an integer result.
+        assert!(Inst::alu(Opcode::Fcmplt, fr(1), fr(2), r(3)).is_ok());
+    }
+
+    #[test]
+    fn store_shape() {
+        let st = Inst::store(Opcode::Stq, r(4), r(5), 16, AliasClass::Stack(2)).unwrap();
+        assert_eq!(st.dest, None);
+        assert_eq!(st.srcs[0], Some(r(4)));
+        assert_eq!(st.srcs[1], Some(r(5)));
+        assert!(Inst::store(Opcode::Ldq, r(4), r(5), 0, AliasClass::Unknown).is_err());
+    }
+
+    #[test]
+    fn cmov_reads_its_destination() {
+        let cm = Inst::alu(Opcode::Cmovne, r(1), r(2), r(3)).unwrap();
+        let reads: Vec<Reg> = cm.read_regs().collect();
+        assert_eq!(reads, vec![r(1), r(2), r(3)]);
+        let add = Inst::alu(Opcode::Add, r(1), r(2), r(3)).unwrap();
+        assert_eq!(add.read_regs().count(), 2);
+    }
+
+    #[test]
+    fn branch_targets() {
+        let mut b = Inst::branch(Opcode::Bne, r(1), 7).unwrap();
+        assert_eq!(b.target(), Some(7));
+        b.set_target(12);
+        assert_eq!(b.target(), Some(12));
+        assert_eq!(Inst::nop().target(), None);
+        assert!(Inst::branch(Opcode::Br, r(1), 7).is_err());
+    }
+
+    #[test]
+    fn display_matches_alpha_listing_style() {
+        let lda = Inst::alui(Opcode::Lda, r(4), 4, r(4)).unwrap();
+        assert_eq!(lda.to_string(), "lda r4, 4(r4)");
+        let ld = Inst::load(Opcode::Ldl, r(0), 0, r(3), AliasClass::Unknown).unwrap();
+        assert_eq!(ld.to_string(), "ldl r3, 0(r0)");
+        let st = Inst::store(Opcode::Stl, r(3), r(2), 8, AliasClass::Unknown).unwrap();
+        assert_eq!(st.to_string(), "stl r3, 8(r2)");
+        let addi = Inst::alui(Opcode::Addi, r(5), 1, r(5)).unwrap();
+        assert_eq!(addi.to_string(), "addi r5, #1, r5");
+        let bne = Inst::branch(Opcode::Bne, r(1), 3).unwrap();
+        assert_eq!(bne.to_string(), "bne r1, 3");
+    }
+
+    #[test]
+    fn alias_classes() {
+        use AliasClass::*;
+        assert!(Unknown.may_alias(Stack(1)));
+        assert!(!Stack(1).may_alias(Stack(2)));
+        assert!(Stack(1).may_alias(Stack(1)));
+        assert!(!Stack(1).may_alias(Global(1)));
+        assert!(Heap(3).may_alias(Heap(3)));
+        assert!(!Heap(3).may_alias(Heap(4)));
+    }
+
+    #[test]
+    fn alias_pack_round_trips() {
+        let cases = [
+            AliasClass::Unknown,
+            AliasClass::Stack(0),
+            AliasClass::Stack(0x3fff),
+            AliasClass::Global(77),
+            AliasClass::Heap(1),
+        ];
+        for a in cases {
+            assert_eq!(AliasClass::unpack(a.pack()), a);
+        }
+    }
+
+    #[test]
+    fn unannotated_bits() {
+        let b = BraidBits::unannotated(true);
+        assert!(b.start && b.external && !b.internal && !b.t[0] && !b.t[1]);
+        let b = BraidBits::unannotated(false);
+        assert!(!b.external);
+    }
+
+    #[test]
+    fn ends_block() {
+        assert!(Inst::halt().ends_block());
+        assert!(Inst::br(0).ends_block());
+        assert!(Inst::branch(Opcode::Beq, r(1), 0).unwrap().ends_block());
+        assert!(!Inst::nop().ends_block());
+    }
+}

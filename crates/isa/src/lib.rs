@@ -1,0 +1,66 @@
+//! # braid-isa: the BRISC instruction set with braid annotations
+//!
+//! This crate defines **BRISC**, the RISC instruction set used throughout the
+//! braid-microarchitecture reproduction. BRISC plays the role the Alpha EV6
+//! ISA plays in the paper *Achieving Out-of-Order Performance with Almost
+//! In-Order Complexity* (Tseng & Patt, ISCA 2008): a conventional load/store
+//! ISA with at most two register sources and one register destination per
+//! instruction, extended with the paper's braid annotation bits (Figure 3):
+//!
+//! * a **braid start bit** `S` marking the first instruction of a braid,
+//! * a **temporary bit** `T` per source operand selecting the internal
+//!   register file over the external one,
+//! * an **internal destination bit** `I` and an **external destination bit**
+//!   `E` selecting which register file(s) the result is written to.
+//!
+//! The crate provides:
+//!
+//! * [`Reg`]/[`RegClass`] — the 64-register architectural register space
+//!   (32 integer + 32 floating point, `r0` hard-wired to zero),
+//! * [`Opcode`] — the operation set and its static properties (functional
+//!   unit class, execution latency, branch/memory classification),
+//! * [`Inst`] — one instruction, including its [`BraidBits`] annotations and
+//!   an [`AliasClass`] memory-disambiguation tag,
+//! * [`encode`]/[`decode`] — a fixed-width 64-bit binary encoding with the
+//!   paper's three instruction formats,
+//! * an [`asm`] module with a text assembler and disassembler,
+//! * [`Program`] — a flat instruction sequence plus data segments, the unit
+//!   consumed by the compiler and the simulators.
+//!
+//! ## Example
+//!
+//! ```
+//! use braid_isa::asm::assemble;
+//!
+//! let program = assemble(
+//!     r#"
+//!     entry:
+//!         addi  r0, #10, r1      ; r1 = 10
+//!     loop:
+//!         subi  r1, #1, r1
+//!         bne   r1, loop
+//!         halt
+//!     "#,
+//! )?;
+//! assert_eq!(program.insts.len(), 4);
+//! # Ok::<(), braid_isa::IsaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod container;
+mod encode;
+mod error;
+mod inst;
+mod opcode;
+mod program;
+mod reg;
+
+pub use encode::{decode, encode, EncodedInst, Format};
+pub use error::IsaError;
+pub use inst::{AliasClass, BraidBits, Inst};
+pub use opcode::{FuClass, Opcode};
+pub use program::{DataSegment, Program};
+pub use reg::{Reg, RegClass, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};

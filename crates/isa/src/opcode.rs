@@ -1,0 +1,389 @@
+//! Operations and their static properties.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{IsaError, RegClass};
+
+/// The functional-unit class an operation executes on.
+///
+/// The braid paper's machines use *general-purpose* functional units, so this
+/// class selects the execution **latency**, not a dedicated unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Pipelined integer multiply.
+    IntMul,
+    /// Unpipelined integer divide.
+    IntDiv,
+    /// Floating-point add/sub/compare/convert.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide and square root.
+    FpDiv,
+    /// Memory operation (address generation plus cache access).
+    Mem,
+    /// Control-transfer operation.
+    Branch,
+    /// No-operation.
+    Nop,
+}
+
+impl FuClass {
+    /// Execution latency in cycles, excluding the memory hierarchy for
+    /// memory operations (which only spend address generation here).
+    pub fn latency(self) -> u64 {
+        match self {
+            FuClass::IntAlu => 1,
+            FuClass::IntMul => 3,
+            FuClass::IntDiv => 20,
+            FuClass::FpAdd => 2,
+            FuClass::FpMul => 2,
+            FuClass::FpDiv => 12,
+            FuClass::Mem => 1,
+            FuClass::Branch => 1,
+            FuClass::Nop => 1,
+        }
+    }
+}
+
+/// What the immediate field of an instruction means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImmKind {
+    /// The instruction has no immediate.
+    None,
+    /// An arithmetic literal operand.
+    Value,
+    /// A displacement added to the base register of a memory operation.
+    MemOffset,
+    /// A control-transfer target, stored as an absolute instruction index
+    /// resolved by the assembler.
+    Target,
+}
+
+macro_rules! opcodes {
+    ($( $variant:ident => $mnemonic:literal ),+ $(,)?) => {
+        /// A BRISC operation.
+        ///
+        /// The set mirrors the Alpha subset that appears in the paper's
+        /// examples (Figure 2 uses `addq`, `ldl`, `addl`, `cmpeq`, `lda`,
+        /// `andnot`, `and`, `zapnot`, `cmovne`, `bne`) plus enough integer,
+        /// floating-point, memory and control operations to express the
+        /// SPEC-like workloads.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)]
+        pub enum Opcode {
+            $($variant),+
+        }
+
+        impl Opcode {
+            /// Every opcode, in encoding order.
+            pub const ALL: &'static [Opcode] = &[$(Opcode::$variant),+];
+
+            /// The assembler mnemonic.
+            pub fn mnemonic(self) -> &'static str {
+                match self {
+                    $(Opcode::$variant => $mnemonic),+
+                }
+            }
+        }
+
+        impl FromStr for Opcode {
+            type Err = IsaError;
+            fn from_str(s: &str) -> Result<Opcode, IsaError> {
+                match s {
+                    $($mnemonic => Ok(Opcode::$variant),)+
+                    _ => Err(IsaError::UnknownMnemonic(s.to_string())),
+                }
+            }
+        }
+    };
+}
+
+opcodes! {
+    // Integer register-register ALU.
+    Add => "addq", Sub => "subq", Mul => "mulq", Div => "divq",
+    And => "and", Or => "or", Xor => "xor", Andnot => "andnot",
+    Sll => "sll", Srl => "srl", Sra => "sra",
+    Cmpeq => "cmpeq", Cmplt => "cmplt", Cmple => "cmple", Cmpult => "cmpult",
+    // Integer register-immediate ALU.
+    Addi => "addi", Subi => "subi", Muli => "muli",
+    Andi => "andi", Ori => "ori", Xori => "xori",
+    Slli => "slli", Srli => "srli", Srai => "srai",
+    Cmpeqi => "cmpeqi", Cmplti => "cmplti", Zapnot => "zapnot",
+    Lda => "lda",
+    // Conditional move: dest = (src1 != 0) ? src2 : old dest.
+    Cmovne => "cmovne", Cmoveq => "cmoveq",
+    // Conditional move immediate: dest = (src1 != 0) ? imm : old dest.
+    Cmovnei => "cmovnei",
+    // Floating point.
+    Fadd => "addt", Fsub => "subt", Fmul => "mult", Fdiv => "divt",
+    Fsqrt => "sqrtt",
+    Fcmpeq => "cmpteq", Fcmplt => "cmptlt", Fcmple => "cmptle",
+    Fcmovne => "fcmovne",
+    Cvtif => "cvtqt", Cvtfi => "cvttq",
+    // Memory.
+    Ldl => "ldl", Ldq => "ldq", Stl => "stl", Stq => "stq",
+    Fldd => "ldt", Fstd => "stt",
+    // Control.
+    Br => "br", Beq => "beq", Bne => "bne", Blt => "blt",
+    Bge => "bge", Ble => "ble", Bgt => "bgt",
+    Call => "call", Ret => "ret",
+    // Miscellaneous.
+    Nop => "nop", Halt => "halt",
+}
+
+impl Opcode {
+    /// The functional-unit (latency) class.
+    pub fn fu_class(self) -> FuClass {
+        use Opcode::*;
+        match self {
+            Mul | Muli => FuClass::IntMul,
+            Div => FuClass::IntDiv,
+            Fadd | Fsub | Fcmpeq | Fcmplt | Fcmple | Fcmovne | Cvtif | Cvtfi => FuClass::FpAdd,
+            Fmul => FuClass::FpMul,
+            Fdiv | Fsqrt => FuClass::FpDiv,
+            Ldl | Ldq | Stl | Stq | Fldd | Fstd => FuClass::Mem,
+            Br | Beq | Bne | Blt | Bge | Ble | Bgt | Call | Ret => FuClass::Branch,
+            Nop | Halt => FuClass::Nop,
+            _ => FuClass::IntAlu,
+        }
+    }
+
+    /// Execution latency in cycles (memory operations: address generation
+    /// only; the cache hierarchy adds its own latency).
+    pub fn latency(self) -> u64 {
+        self.fu_class().latency()
+    }
+
+    /// Number of explicit register sources (not counting the implicit old
+    /// destination read by conditional moves).
+    pub fn num_srcs(self) -> usize {
+        use Opcode::*;
+        match self {
+            Nop | Halt | Br | Call => 0,
+            Addi | Subi | Muli | Andi | Ori | Xori | Slli | Srli | Srai | Cmpeqi | Cmplti
+            | Zapnot | Lda | Cmovnei | Fsqrt | Cvtif | Cvtfi | Ldl | Ldq | Fldd | Beq | Bne
+            | Blt | Bge | Ble | Bgt | Ret => 1,
+            _ => 2,
+        }
+    }
+
+    /// Whether the instruction writes a register destination.
+    pub fn has_dest(self) -> bool {
+        use Opcode::*;
+        !matches!(
+            self,
+            Stl | Stq | Fstd | Br | Beq | Bne | Blt | Bge | Ble | Bgt | Ret | Nop | Halt
+        )
+    }
+
+    /// Whether the instruction also reads its destination register
+    /// (conditional moves keep the old value when the condition fails).
+    pub fn reads_dest(self) -> bool {
+        use Opcode::*;
+        matches!(self, Cmovne | Cmoveq | Cmovnei | Fcmovne)
+    }
+
+    /// Whether this is any control-transfer instruction.
+    pub fn is_branch(self) -> bool {
+        self.fu_class() == FuClass::Branch
+    }
+
+    /// Whether this is a conditional branch.
+    pub fn is_cond_branch(self) -> bool {
+        use Opcode::*;
+        matches!(self, Beq | Bne | Blt | Bge | Ble | Bgt)
+    }
+
+    /// Whether this is an indirect control transfer (target from a register).
+    pub fn is_indirect(self) -> bool {
+        matches!(self, Opcode::Ret)
+    }
+
+    /// Whether this is a memory load.
+    pub fn is_load(self) -> bool {
+        use Opcode::*;
+        matches!(self, Ldl | Ldq | Fldd)
+    }
+
+    /// Whether this is a memory store.
+    pub fn is_store(self) -> bool {
+        use Opcode::*;
+        matches!(self, Stl | Stq | Fstd)
+    }
+
+    /// Whether this accesses memory.
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Number of bytes a memory operation accesses; `0` otherwise.
+    pub fn mem_bytes(self) -> u64 {
+        use Opcode::*;
+        match self {
+            Ldl | Stl => 4,
+            Ldq | Stq | Fldd | Fstd => 8,
+            _ => 0,
+        }
+    }
+
+    /// How this instruction uses its immediate field.
+    pub fn imm_kind(self) -> ImmKind {
+        use Opcode::*;
+        match self {
+            Addi | Subi | Muli | Andi | Ori | Xori | Slli | Srli | Srai | Cmpeqi | Cmplti
+            | Zapnot | Cmovnei => ImmKind::Value,
+            Lda | Ldl | Ldq | Stl | Stq | Fldd | Fstd => ImmKind::MemOffset,
+            Br | Beq | Bne | Blt | Bge | Ble | Bgt | Call => ImmKind::Target,
+            _ => ImmKind::None,
+        }
+    }
+
+    /// The register class of the destination, if any.
+    pub fn dest_class(self) -> Option<RegClass> {
+        use Opcode::*;
+        if !self.has_dest() {
+            return None;
+        }
+        match self {
+            Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fcmovne | Cvtif | Fldd => Some(RegClass::Float),
+            // Floating-point compares and float-to-int conversion deliver an
+            // integer result so conditional branches can consume them.
+            _ => Some(RegClass::Int),
+        }
+    }
+
+    /// The register class of explicit source operand `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_srcs()`.
+    pub fn src_class(self, i: usize) -> RegClass {
+        use Opcode::*;
+        assert!(i < self.num_srcs(), "{self:?} has no source {i}");
+        match self {
+            Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fcmpeq | Fcmplt | Fcmple | Cvtfi => {
+                RegClass::Float
+            }
+            // fcmovne: condition is integer, value is float.
+            Fcmovne => {
+                if i == 0 {
+                    RegClass::Int
+                } else {
+                    RegClass::Float
+                }
+            }
+            // Stores: operand 0 is the stored value, operand 1 the base.
+            Fstd => {
+                if i == 0 {
+                    RegClass::Float
+                } else {
+                    RegClass::Int
+                }
+            }
+            _ => RegClass::Int,
+        }
+    }
+
+    /// Opcode identifier used by the binary encoding.
+    pub fn code(self) -> u8 {
+        Opcode::ALL.iter().position(|&o| o == self).unwrap() as u8
+    }
+
+    /// Looks an opcode up by its binary encoding identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::BadOpcode`] for out-of-range codes.
+    pub fn from_code(code: u8) -> Result<Opcode, IsaError> {
+        Opcode::ALL
+            .get(code as usize)
+            .copied()
+            .ok_or(IsaError::BadOpcode(code))
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonic_round_trips() {
+        for &op in Opcode::ALL {
+            let parsed: Opcode = op.mnemonic().parse().unwrap();
+            assert_eq!(parsed, op);
+        }
+    }
+
+    #[test]
+    fn code_round_trips() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_code(op.code()).unwrap(), op);
+        }
+        assert!(Opcode::from_code(200).is_err());
+    }
+
+    #[test]
+    fn structural_properties_are_consistent() {
+        for &op in Opcode::ALL {
+            if op.reads_dest() {
+                assert!(op.has_dest(), "{op} reads a dest it does not have");
+            }
+            if op.is_store() {
+                assert!(!op.has_dest(), "stores produce no register result");
+                assert_eq!(op.num_srcs(), 2);
+            }
+            if op.is_load() {
+                assert!(op.has_dest());
+                assert_eq!(op.num_srcs(), 1);
+            }
+            if op.is_mem() {
+                assert!(op.mem_bytes() > 0);
+                assert_eq!(op.imm_kind(), ImmKind::MemOffset);
+            } else {
+                assert_eq!(op.mem_bytes(), 0);
+            }
+            if op.is_cond_branch() {
+                assert_eq!(op.num_srcs(), 1);
+                assert!(!op.has_dest());
+            }
+            // src_class must be defined for every declared source.
+            for i in 0..op.num_srcs() {
+                let _ = op.src_class(i);
+            }
+        }
+    }
+
+    #[test]
+    fn latencies_are_positive() {
+        for &op in Opcode::ALL {
+            assert!(op.latency() >= 1, "{op} must take at least one cycle");
+        }
+    }
+
+    #[test]
+    fn paper_figure2_opcodes_exist() {
+        // The opcodes used in the paper's Figure 2 example all parse.
+        for m in ["addq", "ldl", "lda", "andnot", "and", "zapnot", "cmovne", "bne", "cmpeq"] {
+            assert!(m.parse::<Opcode>().is_ok(), "missing paper opcode {m}");
+        }
+    }
+
+    #[test]
+    fn call_writes_link_ret_reads_it() {
+        assert!(Opcode::Call.has_dest());
+        assert_eq!(Opcode::Call.num_srcs(), 0);
+        assert!(!Opcode::Ret.has_dest());
+        assert_eq!(Opcode::Ret.num_srcs(), 1);
+        assert!(Opcode::Ret.is_indirect());
+    }
+}

@@ -1,0 +1,299 @@
+//! Programs: instruction sequences plus initial data memory.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{Inst, IsaError, Opcode};
+
+/// A contiguous range of initialized data memory.
+///
+/// Workloads use data segments to describe the arrays, tables and pointer
+/// structures their code walks; the functional executor loads them into
+/// memory before execution begins.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DataSegment {
+    /// First byte address of the segment.
+    pub base: u64,
+    /// Initial contents.
+    pub bytes: Vec<u8>,
+}
+
+impl DataSegment {
+    /// Creates a zero-filled segment of `len` bytes at `base`.
+    pub fn zeroed(base: u64, len: usize) -> DataSegment {
+        DataSegment { base, bytes: vec![0; len] }
+    }
+
+    /// Creates a segment at `base` holding the given 64-bit words in
+    /// little-endian order.
+    pub fn from_words(base: u64, words: &[u64]) -> DataSegment {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        DataSegment { base, bytes }
+    }
+
+    /// The exclusive end address of the segment.
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// Overwrites the 64-bit word at byte offset `offset` (little endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + 8` exceeds the segment length.
+    pub fn put_word(&mut self, offset: usize, value: u64) {
+        self.bytes[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+    }
+}
+
+/// A complete BRISC program: a flat instruction sequence, an entry point and
+/// initial data memory.
+///
+/// Control-transfer targets are absolute indices into [`Program::insts`].
+/// Basic-block structure is *derived* (by `braid-compiler`), not stored, so
+/// translations that reorder instructions cannot leave stale metadata here.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Human-readable name (workload name, kernel name, ...).
+    pub name: String,
+    /// The instructions.
+    pub insts: Vec<Inst>,
+    /// Index of the first instruction executed.
+    pub entry: u32,
+    /// Initial data memory contents.
+    pub data: Vec<DataSegment>,
+    /// Labels kept for diagnostics: label name → instruction index.
+    pub labels: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Creates a program from instructions, entering at index 0.
+    pub fn from_insts(name: impl Into<String>, insts: Vec<Inst>) -> Program {
+        Program { name: name.into(), insts, ..Program::default() }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Validates the program: every instruction is well-formed, every direct
+    /// control target is in range, the entry point is in range, at least one
+    /// `halt` exists, and data segments do not overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), IsaError> {
+        if self.insts.is_empty() {
+            return Err(IsaError::MalformedProgram("program has no instructions".into()));
+        }
+        if self.entry as usize >= self.insts.len() {
+            return Err(IsaError::TargetOutOfRange(self.entry));
+        }
+        let mut saw_halt = false;
+        for inst in &self.insts {
+            inst.validate()?;
+            if let Some(t) = inst.target() {
+                if t as usize >= self.insts.len() {
+                    return Err(IsaError::TargetOutOfRange(t));
+                }
+            }
+            saw_halt |= inst.opcode == Opcode::Halt;
+        }
+        if !saw_halt {
+            return Err(IsaError::MalformedProgram("program has no halt instruction".into()));
+        }
+        let mut segs: Vec<&DataSegment> = self.data.iter().collect();
+        segs.sort_by_key(|s| s.base);
+        for pair in segs.windows(2) {
+            if pair[0].end() > pair[1].base {
+                return Err(IsaError::MalformedProgram(format!(
+                    "data segments at {:#x} and {:#x} overlap",
+                    pair[0].base, pair[1].base
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The set of basic-block leader indices: the entry, every direct
+    /// control target, and every instruction following a block terminator.
+    pub fn leaders(&self) -> Vec<u32> {
+        let mut is_leader = vec![false; self.insts.len()];
+        if let Some(l) = is_leader.get_mut(self.entry as usize) {
+            *l = true;
+        }
+        for (i, inst) in self.insts.iter().enumerate() {
+            if let Some(t) = inst.target() {
+                if let Some(l) = is_leader.get_mut(t as usize) {
+                    *l = true;
+                }
+            }
+            if inst.ends_block() {
+                if let Some(l) = is_leader.get_mut(i + 1) {
+                    *l = true;
+                }
+            }
+        }
+        is_leader
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| if l { Some(i as u32) } else { None })
+            .collect()
+    }
+
+    /// Encodes every instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first encoding failure.
+    pub fn encode_all(&self) -> Result<Vec<crate::EncodedInst>, IsaError> {
+        self.insts.iter().map(crate::encode).collect()
+    }
+
+    /// Static count of instructions per opcode, useful for workload reports.
+    pub fn opcode_histogram(&self) -> BTreeMap<&'static str, usize> {
+        let mut h = BTreeMap::new();
+        for inst in &self.insts {
+            *h.entry(inst.opcode.mnemonic()).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; program {} ({} instructions)", self.name, self.insts.len())?;
+        let mut label_of: BTreeMap<u32, &str> = BTreeMap::new();
+        for (name, &idx) in &self.labels {
+            label_of.insert(idx, name);
+        }
+        for (i, inst) in self.insts.iter().enumerate() {
+            if let Some(name) = label_of.get(&(i as u32)) {
+                writeln!(f, "{name}:")?;
+            }
+            writeln!(f, "    {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AliasClass, Reg};
+
+    fn r(n: u8) -> Reg {
+        Reg::int(n).unwrap()
+    }
+
+    fn counting_loop() -> Program {
+        // r1 = 4; loop: r1 -= 1; bne r1, loop; halt
+        Program::from_insts(
+            "loop",
+            vec![
+                Inst::alui(Opcode::Addi, Reg::ZERO, 4, r(1)).unwrap(),
+                Inst::alui(Opcode::Subi, r(1), 1, r(1)).unwrap(),
+                Inst::branch(Opcode::Bne, r(1), 1).unwrap(),
+                Inst::halt(),
+            ],
+        )
+    }
+
+    #[test]
+    fn valid_program_validates() {
+        counting_loop().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_empty_and_haltless() {
+        assert!(Program::from_insts("e", vec![]).validate().is_err());
+        let p = Program::from_insts("n", vec![Inst::nop()]);
+        assert!(matches!(p.validate(), Err(IsaError::MalformedProgram(_))));
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let mut p = counting_loop();
+        p.insts[2].set_target(99);
+        assert_eq!(p.validate(), Err(IsaError::TargetOutOfRange(99)));
+    }
+
+    #[test]
+    fn rejects_out_of_range_entry() {
+        let mut p = counting_loop();
+        p.entry = 50;
+        assert_eq!(p.validate(), Err(IsaError::TargetOutOfRange(50)));
+    }
+
+    #[test]
+    fn leaders_found() {
+        let p = counting_loop();
+        // entry 0; branch target 1; fall-through after branch 3.
+        assert_eq!(p.leaders(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn overlapping_data_rejected() {
+        let mut p = counting_loop();
+        p.data.push(DataSegment::zeroed(0x1000, 16));
+        p.data.push(DataSegment::zeroed(0x1008, 16));
+        assert!(p.validate().is_err());
+        p.data[1].base = 0x1010;
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn data_segment_helpers() {
+        let mut seg = DataSegment::from_words(0x100, &[1, 2]);
+        assert_eq!(seg.end(), 0x110);
+        seg.put_word(8, 77);
+        assert_eq!(&seg.bytes[8..16], &77u64.to_le_bytes());
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let p = counting_loop();
+        let h = p.opcode_histogram();
+        assert_eq!(h["addi"], 1);
+        assert_eq!(h["subi"], 1);
+        assert_eq!(h["bne"], 1);
+        assert_eq!(h["halt"], 1);
+    }
+
+    #[test]
+    fn encode_all_round_trips() {
+        let p = counting_loop();
+        let words = p.encode_all().unwrap();
+        for (w, inst) in words.iter().zip(&p.insts) {
+            assert_eq!(&crate::decode(*w).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn display_includes_labels() {
+        let mut p = counting_loop();
+        p.labels.insert("loop".into(), 1);
+        let text = p.to_string();
+        assert!(text.contains("loop:"));
+        assert!(text.contains("subi r1, #1, r1"));
+    }
+
+    #[test]
+    fn alias_survives_program_round_trip() {
+        let mut p = counting_loop();
+        p.insts.insert(3, Inst::load(Opcode::Ldq, r(2), 0, r(3), AliasClass::Global(5)).unwrap());
+        p.insts[2].set_target(1);
+        let words = p.encode_all().unwrap();
+        assert_eq!(crate::decode(words[3]).unwrap().alias, AliasClass::Global(5));
+    }
+}

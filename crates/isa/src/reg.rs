@@ -1,0 +1,221 @@
+//! Architectural registers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::IsaError;
+
+/// Number of integer architectural registers.
+pub const NUM_INT_REGS: u8 = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_FP_REGS: u8 = 32;
+/// Total number of architectural registers (integer + floating point).
+pub const NUM_ARCH_REGS: u8 = NUM_INT_REGS + NUM_FP_REGS;
+
+/// The register class an architectural register belongs to.
+///
+/// BRISC splits the register space like the Alpha: integer registers
+/// (`r0`..`r31`) and floating-point registers (`f0`..`f31`). `r0` reads as
+/// zero and writes to it are discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegClass {
+    /// Integer register file (`r0`..`r31`).
+    Int,
+    /// Floating-point register file (`f0`..`f31`).
+    Float,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Float => write!(f, "float"),
+        }
+    }
+}
+
+/// An architectural register identifier.
+///
+/// Registers `0..32` are the integer registers `r0`..`r31`; registers
+/// `32..64` are the floating-point registers `f0`..`f31`. The numbering is
+/// flat so the compiler and the simulators can index dense tables with it.
+///
+/// ```
+/// use braid_isa::{Reg, RegClass};
+///
+/// let r3 = Reg::int(3)?;
+/// assert_eq!(r3.class(), RegClass::Int);
+/// assert_eq!(r3.to_string(), "r3");
+///
+/// let f1: Reg = "f1".parse()?;
+/// assert_eq!(f1.class(), RegClass::Float);
+/// assert_eq!(f1.index(), 33);
+/// # Ok::<(), braid_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The integer register hard-wired to zero.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register from its flat index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidRegister`] if `index >= 64`.
+    pub fn new(index: u8) -> Result<Reg, IsaError> {
+        if index < NUM_ARCH_REGS {
+            Ok(Reg(index))
+        } else {
+            Err(IsaError::InvalidRegister(index))
+        }
+    }
+
+    /// Creates the integer register `r<n>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidRegister`] if `n >= 32`.
+    pub fn int(n: u8) -> Result<Reg, IsaError> {
+        if n < NUM_INT_REGS {
+            Ok(Reg(n))
+        } else {
+            Err(IsaError::InvalidRegister(n))
+        }
+    }
+
+    /// Creates the floating-point register `f<n>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidRegister`] if `n >= 32`.
+    pub fn float(n: u8) -> Result<Reg, IsaError> {
+        if n < NUM_FP_REGS {
+            Ok(Reg(NUM_INT_REGS + n))
+        } else {
+            Err(IsaError::InvalidRegister(n))
+        }
+    }
+
+    /// The flat index of this register in `0..64`.
+    #[inline]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// The register class.
+    #[inline]
+    pub fn class(self) -> RegClass {
+        if self.0 < NUM_INT_REGS {
+            RegClass::Int
+        } else {
+            RegClass::Float
+        }
+    }
+
+    /// The index of this register within its class, in `0..32`.
+    #[inline]
+    pub fn class_index(self) -> u8 {
+        self.0 % NUM_INT_REGS
+    }
+
+    /// Whether this is the hard-wired zero register `r0`.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over every architectural register.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_ARCH_REGS).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class() {
+            RegClass::Int => write!(f, "r{}", self.class_index()),
+            RegClass::Float => write!(f, "f{}", self.class_index()),
+        }
+    }
+}
+
+impl FromStr for Reg {
+    type Err = IsaError;
+
+    fn from_str(s: &str) -> Result<Reg, IsaError> {
+        let bad = || IsaError::BadRegisterName(s.to_string());
+        let (class, rest) = match s.as_bytes().first() {
+            Some(b'r') => (RegClass::Int, &s[1..]),
+            Some(b'f') => (RegClass::Float, &s[1..]),
+            _ => return Err(bad()),
+        };
+        let n: u8 = rest.parse().map_err(|_| bad())?;
+        match class {
+            RegClass::Int => Reg::int(n).map_err(|_| bad()),
+            RegClass::Float => Reg::float(n).map_err(|_| bad()),
+        }
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert_eq!(Reg::ZERO.class(), RegClass::Int);
+        assert!(!Reg::int(1).unwrap().is_zero());
+        assert!(!Reg::float(0).unwrap().is_zero());
+    }
+
+    #[test]
+    fn flat_indexing_round_trips() {
+        for r in Reg::all() {
+            let again = Reg::new(r.index()).unwrap();
+            assert_eq!(r, again);
+        }
+        assert_eq!(Reg::all().count(), 64);
+    }
+
+    #[test]
+    fn class_boundaries() {
+        assert_eq!(Reg::new(31).unwrap().class(), RegClass::Int);
+        assert_eq!(Reg::new(32).unwrap().class(), RegClass::Float);
+        assert_eq!(Reg::new(63).unwrap().class(), RegClass::Float);
+        assert!(Reg::new(64).is_err());
+        assert!(Reg::int(32).is_err());
+        assert!(Reg::float(32).is_err());
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for r in Reg::all() {
+            let text = r.to_string();
+            let parsed: Reg = text.parse().unwrap();
+            assert_eq!(parsed, r, "round trip through {text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "x3", "r", "r32", "f32", "r-1", "f 2", "r3x"] {
+            assert!(s.parse::<Reg>().is_err(), "{s:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn class_index_maps_into_file() {
+        assert_eq!(Reg::float(5).unwrap().class_index(), 5);
+        assert_eq!(Reg::float(5).unwrap().index(), 37);
+        assert_eq!(Reg::int(5).unwrap().class_index(), 5);
+    }
+}

@@ -1,0 +1,492 @@
+//! Branch prediction: the paper's perceptron predictor, a perfect
+//! predictor, and a return-address stack.
+
+use crate::stats::Ratio;
+
+/// A conditional-branch direction predictor.
+///
+/// The trait is object-safe so cores can hold `Box<dyn BranchPredictor>`.
+pub trait BranchPredictor {
+    /// Predicts the direction of the branch at `pc` (`true` = taken).
+    fn predict(&mut self, pc: u64) -> bool;
+
+    /// Trains the predictor with the resolved direction. `predicted` must be
+    /// the value [`BranchPredictor::predict`] returned for this instance of
+    /// the branch.
+    fn update(&mut self, pc: u64, taken: bool, predicted: bool);
+
+    /// Accuracy so far.
+    fn accuracy(&self) -> Ratio;
+}
+
+/// The paper's perceptron predictor: a 512-entry table of perceptrons over a
+/// 64-bit global history (Table 4).
+///
+/// Each table entry holds a bias weight and one signed weight per history
+/// bit. The prediction is the sign of `bias + Σ w[i] * h[i]` with history
+/// bits encoded ±1. Training (on mispredictions or low-confidence correct
+/// predictions) nudges each weight toward agreement with the outcome, the
+/// standard Jiménez-Lin rule with threshold `θ = ⌊1.93·h + 14⌋`.
+#[derive(Debug, Clone)]
+pub struct PerceptronPredictor {
+    /// weights[entry][0] is the bias; 1..=history_bits follow.
+    weights: Vec<Vec<i32>>,
+    history: u64,
+    history_bits: u32,
+    threshold: i32,
+    accuracy: Ratio,
+}
+
+impl PerceptronPredictor {
+    /// Creates the paper's configuration: 512 entries, 64-bit history.
+    pub fn paper_default() -> PerceptronPredictor {
+        PerceptronPredictor::new(512, 64)
+    }
+
+    /// Creates a predictor with `entries` perceptrons and `history_bits`
+    /// bits of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `history_bits > 64`.
+    pub fn new(entries: usize, history_bits: u32) -> PerceptronPredictor {
+        assert!(entries > 0, "need at least one perceptron");
+        assert!(history_bits <= 64, "history register is 64 bits wide");
+        PerceptronPredictor {
+            weights: vec![vec![0; history_bits as usize + 1]; entries],
+            history: 0,
+            history_bits,
+            threshold: (1.93 * history_bits as f64 + 14.0) as i32,
+            accuracy: Ratio::default(),
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (pc % self.weights.len() as u64) as usize
+    }
+
+    fn output(&self, pc: u64) -> i32 {
+        let w = &self.weights[self.index(pc)];
+        let mut y = w[0];
+        for i in 0..self.history_bits as usize {
+            let h = if (self.history >> i) & 1 == 1 { 1 } else { -1 };
+            y += w[i + 1] * h;
+        }
+        y
+    }
+}
+
+/// Weight saturation bound: 8-bit signed weights as in the original design.
+const WEIGHT_LIMIT: i32 = 127;
+
+impl BranchPredictor for PerceptronPredictor {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.output(pc) >= 0
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, predicted: bool) {
+        self.accuracy.record(taken == predicted);
+        let y = self.output(pc);
+        if predicted != taken || y.abs() <= self.threshold {
+            let idx = self.index(pc);
+            let t = if taken { 1 } else { -1 };
+            let w = &mut self.weights[idx];
+            w[0] = (w[0] + t).clamp(-WEIGHT_LIMIT, WEIGHT_LIMIT);
+            for i in 0..self.history_bits as usize {
+                let h = if (self.history >> i) & 1 == 1 { 1 } else { -1 };
+                w[i + 1] = (w[i + 1] + t * h).clamp(-WEIGHT_LIMIT, WEIGHT_LIMIT);
+            }
+        }
+        self.history = (self.history << 1) | taken as u64;
+    }
+
+    fn accuracy(&self) -> Ratio {
+        self.accuracy
+    }
+}
+
+/// An oracle predictor: always right (the paper's Figure 1 front-end).
+#[derive(Debug, Clone, Default)]
+pub struct PerfectPredictor {
+    accuracy: Ratio,
+    /// The oracle outcome for the next prediction, supplied by the trace.
+    oracle: bool,
+}
+
+impl PerfectPredictor {
+    /// Creates a perfect predictor.
+    pub fn new() -> PerfectPredictor {
+        PerfectPredictor::default()
+    }
+
+    /// Supplies the actual outcome of the branch about to be predicted.
+    pub fn set_oracle(&mut self, taken: bool) {
+        self.oracle = taken;
+    }
+}
+
+impl BranchPredictor for PerfectPredictor {
+    fn predict(&mut self, _pc: u64) -> bool {
+        self.oracle
+    }
+
+    fn update(&mut self, _pc: u64, taken: bool, predicted: bool) {
+        debug_assert_eq!(taken, predicted, "perfect predictor mispredicted");
+        self.accuracy.record(taken == predicted);
+    }
+
+    fn accuracy(&self) -> Ratio {
+        self.accuracy
+    }
+}
+
+/// A return-address stack predicting `ret` targets.
+///
+/// ```
+/// use braid_uarch::ReturnAddressStack;
+///
+/// let mut ras = ReturnAddressStack::new(16);
+/// ras.push(101);
+/// assert_eq!(ras.pop_predict(), Some(101));
+/// assert_eq!(ras.pop_predict(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    stack: Vec<u64>,
+    capacity: usize,
+    accuracy: Ratio,
+}
+
+impl ReturnAddressStack {
+    /// Creates a stack holding at most `capacity` return addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ReturnAddressStack {
+        assert!(capacity > 0);
+        ReturnAddressStack { stack: Vec::with_capacity(capacity), capacity, accuracy: Ratio::default() }
+    }
+
+    /// Pushes the return address of a call; overflow discards the oldest.
+    pub fn push(&mut self, return_to: u64) {
+        if self.stack.len() == self.capacity {
+            self.stack.remove(0);
+        }
+        self.stack.push(return_to);
+    }
+
+    /// Pops the predicted target for a return, or `None` on underflow.
+    pub fn pop_predict(&mut self) -> Option<u64> {
+        self.stack.pop()
+    }
+
+    /// Records whether a return-target prediction was correct.
+    pub fn record(&mut self, correct: bool) {
+        self.accuracy.record(correct);
+    }
+
+    /// Return-target prediction accuracy so far.
+    pub fn accuracy(&self) -> Ratio {
+        self.accuracy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train<P: BranchPredictor>(p: &mut P, pattern: &[(u64, bool)], reps: usize) {
+        for _ in 0..reps {
+            for &(pc, taken) in pattern {
+                let pred = p.predict(pc);
+                p.update(pc, taken, pred);
+            }
+        }
+    }
+
+    #[test]
+    fn perceptron_learns_always_taken() {
+        let mut p = PerceptronPredictor::paper_default();
+        train(&mut p, &[(0x40, true)], 100);
+        assert!(p.predict(0x40));
+        // Accuracy over the whole run is high once warmed up.
+        assert!(p.accuracy().rate() > 0.9, "accuracy {}", p.accuracy());
+    }
+
+    #[test]
+    fn perceptron_learns_alternating_pattern() {
+        // T N T N ... is linearly separable on the last history bit.
+        let mut p = PerceptronPredictor::paper_default();
+        let mut correct = 0;
+        let total = 400;
+        let mut taken = false;
+        for i in 0..total {
+            taken = !taken;
+            let pred = p.predict(0x80);
+            if i >= 200 && pred == taken {
+                correct += 1;
+            }
+            p.update(0x80, taken, pred);
+        }
+        assert!(correct >= 190, "late-phase correct = {correct}/200");
+    }
+
+    #[test]
+    fn perceptron_learns_history_correlation() {
+        // Branch B is taken iff branch A was taken: needs history.
+        let mut p = PerceptronPredictor::new(512, 16);
+        let mut correct = 0;
+        for i in 0..600 {
+            let a_taken = (i / 3) % 2 == 0;
+            let pa = p.predict(0x10);
+            p.update(0x10, a_taken, pa);
+            let pb = p.predict(0x20);
+            if i >= 300 && pb == a_taken {
+                correct += 1;
+            }
+            p.update(0x20, a_taken, pb);
+        }
+        assert!(correct >= 280, "late-phase correct = {correct}/300");
+    }
+
+    #[test]
+    fn weights_saturate() {
+        let mut p = PerceptronPredictor::new(1, 4);
+        train(&mut p, &[(0, true)], 10_000);
+        for w in &p.weights[0] {
+            assert!(w.abs() <= WEIGHT_LIMIT);
+        }
+    }
+
+    #[test]
+    fn perfect_predictor_follows_oracle() {
+        let mut p = PerfectPredictor::new();
+        for &taken in &[true, false, true, true] {
+            p.set_oracle(taken);
+            let pred = p.predict(0);
+            assert_eq!(pred, taken);
+            p.update(0, taken, pred);
+        }
+        assert_eq!(p.accuracy().rate(), 1.0);
+    }
+
+    #[test]
+    fn ras_predicts_nested_calls() {
+        let mut ras = ReturnAddressStack::new(8);
+        ras.push(10);
+        ras.push(20);
+        assert_eq!(ras.pop_predict(), Some(20));
+        assert_eq!(ras.pop_predict(), Some(10));
+        assert_eq!(ras.pop_predict(), None);
+    }
+
+    #[test]
+    fn ras_overflow_discards_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.pop_predict(), Some(3));
+        assert_eq!(ras.pop_predict(), Some(2));
+        assert_eq!(ras.pop_predict(), None, "1 was discarded by overflow");
+    }
+
+    #[test]
+    fn predictor_is_object_safe() {
+        let mut preds: Vec<Box<dyn BranchPredictor>> = vec![
+            Box::new(PerceptronPredictor::paper_default()),
+            Box::new(PerfectPredictor::new()),
+        ];
+        for p in &mut preds {
+            let _ = p.predict(0);
+        }
+    }
+}
+
+/// A classic gshare predictor: global history XOR PC indexing a table of
+/// 2-bit saturating counters. Included as a baseline against the paper's
+/// perceptron (the `predictors` experiment compares them).
+#[derive(Debug, Clone)]
+pub struct GsharePredictor {
+    counters: Vec<u8>,
+    history: u64,
+    history_bits: u32,
+    accuracy: Ratio,
+}
+
+impl GsharePredictor {
+    /// Creates a gshare predictor with `entries` counters (rounded up to a
+    /// power of two) and `history_bits` bits of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `history_bits > 32`.
+    pub fn new(entries: usize, history_bits: u32) -> GsharePredictor {
+        assert!(entries > 0);
+        assert!(history_bits <= 32);
+        GsharePredictor {
+            counters: vec![1; entries.next_power_of_two()],
+            history: 0,
+            history_bits,
+            accuracy: Ratio::default(),
+        }
+    }
+
+    /// A 4K-entry, 12-bit-history configuration comparable in storage to
+    /// the paper's perceptron table.
+    pub fn classic_4k() -> GsharePredictor {
+        GsharePredictor::new(4096, 12)
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        let mask = self.counters.len() as u64 - 1;
+        let hist = self.history & ((1u64 << self.history_bits) - 1);
+        ((pc ^ hist) & mask) as usize
+    }
+}
+
+impl BranchPredictor for GsharePredictor {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, predicted: bool) {
+        self.accuracy.record(taken == predicted);
+        let i = self.index(pc);
+        let c = &mut self.counters[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = (self.history << 1) | taken as u64;
+    }
+
+    fn accuracy(&self) -> Ratio {
+        self.accuracy
+    }
+}
+
+/// A branch target buffer: a direct-mapped table of predicted targets.
+///
+/// The front end needs a target on the same cycle it predicts "taken"; a
+/// BTB miss on a taken branch costs a refetch bubble even when the
+/// direction was right.
+#[derive(Debug, Clone)]
+pub struct BranchTargetBuffer {
+    /// (tag, target) per entry; `u64::MAX` tag = empty.
+    entries: Vec<(u64, u64)>,
+    accuracy: Ratio,
+}
+
+impl BranchTargetBuffer {
+    /// Creates a BTB with `entries` slots (rounded up to a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> BranchTargetBuffer {
+        assert!(entries > 0);
+        BranchTargetBuffer {
+            entries: vec![(u64::MAX, 0); entries.next_power_of_two()],
+            accuracy: Ratio::default(),
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (pc & (self.entries.len() as u64 - 1)) as usize
+    }
+
+    /// Looks up the predicted target for the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> Option<u64> {
+        let (tag, target) = self.entries[self.index(pc)];
+        if tag == pc {
+            Some(target)
+        } else {
+            None
+        }
+    }
+
+    /// Installs/updates the target and records whether the earlier
+    /// prediction was correct.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let correct = self.predict(pc) == Some(target);
+        self.accuracy.record(correct);
+        let i = self.index(pc);
+        self.entries[i] = (pc, target);
+    }
+
+    /// Target-prediction accuracy so far.
+    pub fn accuracy(&self) -> Ratio {
+        self.accuracy
+    }
+}
+
+#[cfg(test)]
+mod gshare_btb_tests {
+    use super::*;
+
+    #[test]
+    fn gshare_learns_biased_branches() {
+        let mut p = GsharePredictor::classic_4k();
+        for _ in 0..200 {
+            let pred = p.predict(0x44);
+            p.update(0x44, true, pred);
+        }
+        assert!(p.predict(0x44));
+        assert!(p.accuracy().rate() > 0.9);
+    }
+
+    #[test]
+    fn gshare_uses_history() {
+        // Alternating T/N resolves through history bits.
+        let mut p = GsharePredictor::new(1024, 8);
+        let mut taken = false;
+        let mut late_correct = 0;
+        for i in 0..600 {
+            taken = !taken;
+            let pred = p.predict(0x80);
+            if i >= 300 && pred == taken {
+                late_correct += 1;
+            }
+            p.update(0x80, taken, pred);
+        }
+        assert!(late_correct >= 280, "late correct {late_correct}/300");
+    }
+
+    #[test]
+    fn gshare_counters_saturate() {
+        let mut p = GsharePredictor::new(16, 0);
+        for _ in 0..100 {
+            let pred = p.predict(3);
+            p.update(3, true, pred);
+        }
+        // One not-taken cannot flip a saturated counter.
+        let pred = p.predict(3);
+        p.update(3, false, pred);
+        assert!(p.predict(3), "still predicts taken after one flip");
+    }
+
+    #[test]
+    fn btb_hits_after_install() {
+        let mut btb = BranchTargetBuffer::new(64);
+        assert_eq!(btb.predict(0x10), None);
+        btb.update(0x10, 0x99);
+        assert_eq!(btb.predict(0x10), Some(0x99));
+        // Conflicting pc evicts (direct mapped).
+        btb.update(0x10 + 64, 0x55);
+        assert_eq!(btb.predict(0x10), None);
+        assert_eq!(btb.predict(0x10 + 64), Some(0x55));
+    }
+
+    #[test]
+    fn btb_tracks_accuracy() {
+        let mut btb = BranchTargetBuffer::new(16);
+        btb.update(1, 7); // miss
+        btb.update(1, 7); // hit
+        btb.update(1, 9); // target changed: miss
+        assert_eq!(btb.accuracy().hits(), 1);
+        assert_eq!(btb.accuracy().total(), 3);
+    }
+}

@@ -1,0 +1,157 @@
+//! Checkpoint bookkeeping for branch-misprediction and exception recovery.
+//!
+//! The paper's recovery mechanism creates a checkpoint at every branch; the
+//! braid machine stores *less* state per checkpoint because internal
+//! register values never outlive their basic block. This module models the
+//! resource: a bounded stack of checkpoints, each tagged with the dynamic
+//! sequence number of the instruction it precedes and the number of state
+//! words it had to save (reported so experiments can compare checkpoint
+//! footprints between machines).
+
+/// A bounded stack of in-flight checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointStack {
+    /// (sequence number, saved state words)
+    live: Vec<(u64, u32)>,
+    capacity: usize,
+    taken: u64,
+    recovered: u64,
+    words_saved: u64,
+}
+
+impl CheckpointStack {
+    /// Creates a stack allowing `capacity` outstanding checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> CheckpointStack {
+        assert!(capacity > 0);
+        CheckpointStack { live: Vec::new(), capacity, taken: 0, recovered: 0, words_saved: 0 }
+    }
+
+    /// Whether another checkpoint can be taken (cores stall otherwise).
+    pub fn has_space(&self) -> bool {
+        self.live.len() < self.capacity
+    }
+
+    /// Number of outstanding checkpoints.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no checkpoints are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Takes a checkpoint before instruction `seq` saving `state_words`
+    /// words of register state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is full ([`CheckpointStack::has_space`] guards
+    /// this) or `seq` is not increasing.
+    pub fn take(&mut self, seq: u64, state_words: u32) {
+        assert!(self.has_space(), "checkpoint stack overflow");
+        if let Some(&(last, _)) = self.live.last() {
+            assert!(last < seq, "checkpoints must be taken in program order");
+        }
+        self.live.push((seq, state_words));
+        self.taken += 1;
+        self.words_saved += state_words as u64;
+    }
+
+    /// Releases the oldest checkpoint (its branch retired).
+    pub fn release_oldest(&mut self) {
+        if !self.live.is_empty() {
+            self.live.remove(0);
+        }
+    }
+
+    /// Releases checkpoints whose instruction has retired (seq < `retired`).
+    pub fn release_retired(&mut self, retired: u64) {
+        self.live.retain(|&(s, _)| s >= retired);
+    }
+
+    /// Recovers to the checkpoint at `seq`, discarding it and everything
+    /// younger. Returns `true` if the checkpoint existed.
+    pub fn recover_to(&mut self, seq: u64) -> bool {
+        let found = self.live.iter().any(|&(s, _)| s == seq);
+        if found {
+            self.live.retain(|&(s, _)| s < seq);
+            self.recovered += 1;
+        }
+        found
+    }
+
+    /// Total checkpoints ever taken.
+    pub fn taken(&self) -> u64 {
+        self.taken
+    }
+
+    /// Total recoveries performed.
+    pub fn recovered(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Total state words saved across all checkpoints — the braid machine's
+    /// advantage shows up here (internal registers are never saved).
+    pub fn words_saved(&self) -> u64 {
+        self.words_saved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_and_release_in_order() {
+        let mut c = CheckpointStack::new(4);
+        c.take(10, 64);
+        c.take(20, 64);
+        assert_eq!(c.len(), 2);
+        c.release_oldest();
+        assert_eq!(c.len(), 1);
+        c.release_retired(25);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn recovery_discards_younger() {
+        let mut c = CheckpointStack::new(4);
+        c.take(10, 8);
+        c.take(20, 8);
+        c.take(30, 8);
+        assert!(c.recover_to(20));
+        assert_eq!(c.len(), 1, "only the checkpoint at 10 remains");
+        assert!(!c.recover_to(30), "30 was discarded");
+        assert_eq!(c.recovered(), 1);
+    }
+
+    #[test]
+    fn capacity_limits_outstanding() {
+        let mut c = CheckpointStack::new(2);
+        c.take(1, 1);
+        c.take(2, 1);
+        assert!(!c.has_space());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut c = CheckpointStack::new(1);
+        c.take(1, 1);
+        c.take(2, 1);
+    }
+
+    #[test]
+    fn words_saved_accumulates() {
+        let mut c = CheckpointStack::new(8);
+        c.take(1, 64); // conventional machine: full register state
+        c.take(2, 8); // braid machine: external registers only
+        assert_eq!(c.words_saved(), 72);
+        assert_eq!(c.taken(), 2);
+    }
+}

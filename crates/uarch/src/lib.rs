@@ -1,0 +1,36 @@
+//! # braid-uarch: microarchitecture substrates
+//!
+//! Hardware building blocks shared by every execution-core model in the
+//! braid reproduction (paper Table 4's "common parameters"):
+//!
+//! * [`cache`] — set-associative caches and the L1I/L1D/L2/memory hierarchy
+//!   (64KB 4-way L1I @ 3 cycles, 64KB 2-way L1D @ 3 cycles, 1MB 8-way
+//!   unified L2 @ 6 cycles, 400-cycle main memory), including the *perfect*
+//!   mode used by the paper's Figure 1.
+//! * [`branch`] — the perceptron conditional-branch predictor (64-bit
+//!   global history, 512-entry weight table), a return-address stack, and a
+//!   perfect predictor.
+//! * [`lsq`] — a load-store queue enforcing memory ordering at run time and
+//!   providing store-to-load forwarding.
+//! * [`checkpoint`] — checkpoint bookkeeping for branch-misprediction and
+//!   exception recovery.
+//! * [`port`] — per-cycle port and bandwidth arbiters used to model limited
+//!   register-file ports and bypass paths.
+//! * [`stats`] — counters and histograms for simulator statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod cache;
+pub mod checkpoint;
+pub mod lsq;
+pub mod port;
+pub mod stats;
+
+pub use branch::{BranchPredictor, PerceptronPredictor, PerfectPredictor, ReturnAddressStack};
+pub use cache::{Cache, CacheConfig, CacheStats, MemoryHierarchy, MemoryHierarchyConfig};
+pub use checkpoint::CheckpointStack;
+pub use lsq::{LoadStoreQueue, LsqOutcome};
+pub use port::{BandwidthMeter, PortArbiter};
+pub use stats::{Histogram, Ratio};

@@ -1,0 +1,275 @@
+//! Load-store queue: run-time memory disambiguation.
+//!
+//! The paper keeps a conventional load-store queue in both machines ("a
+//! conventional memory disambiguation structure such as the load-store queue
+//! is used to enforce memory ordering at run time"). Stores split address
+//! generation from data as real machines do: the address is published as
+//! soon as the base register is ready, the data arrives when the value is
+//! produced. With the default speculative policy (perfect memory-dependence
+//! prediction) a load waits only for genuinely overlapping older stores,
+//! forwarding from them once their data exists; the conservative policy
+//! additionally waits for every older store's address generation.
+
+/// Sentinel for "not yet".
+const NEVER: u64 = u64::MAX;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    seq: u64,
+    is_store: bool,
+    /// The operation's actual address span, known to the simulator from the
+    /// trace at insertion.
+    span: (u64, u64),
+    /// Whether address generation has executed (the address is
+    /// architecturally known).
+    published: bool,
+    /// Cycle at which the store's data is available ([`NEVER`] until known).
+    data_at: u64,
+}
+
+fn overlaps(a: (u64, u64), b: (u64, u64)) -> bool {
+    // Spans near the top of the address space saturate rather than wrap;
+    // a span that reaches the end overlaps anything above its start.
+    a.0 < b.0.saturating_add(b.1) && b.0 < a.0.saturating_add(a.1)
+}
+
+/// What the LSQ says about a load that wants to issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LsqOutcome {
+    /// The load may access the cache.
+    Ready,
+    /// The load receives its value from an older store (store-to-load
+    /// forwarding); no cache access is needed.
+    Forwarded {
+        /// Sequence number of the forwarding store.
+        store_seq: u64,
+    },
+    /// The load must wait: an older store's address is unknown, or an
+    /// overlapping older store has not produced its data yet.
+    WaitOn {
+        /// Sequence number of the blocking store.
+        store_seq: u64,
+    },
+}
+
+/// A combined load-store queue ordered by dynamic sequence number.
+///
+/// Cores insert entries (with their trace addresses) at allocate, publish
+/// store addresses at address generation and store data when the value is
+/// produced, query loads with [`LoadStoreQueue::load_outcome`], and remove
+/// entries at retirement.
+///
+/// Two disambiguation policies are supported. **Speculative** (the
+/// default): loads ignore older stores whose span does not overlap, even
+/// before address generation — perfect memory-dependence prediction, the
+/// usual academic idealization of the load speculation every machine of
+/// the paper's era performs. **Conservative**: a load waits until every
+/// older store has published its address.
+#[derive(Debug, Clone)]
+pub struct LoadStoreQueue {
+    entries: Vec<Entry>,
+    capacity: usize,
+    conservative: bool,
+}
+
+impl LoadStoreQueue {
+    /// Creates an LSQ holding up to `capacity` in-flight memory operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> LoadStoreQueue {
+        assert!(capacity > 0);
+        LoadStoreQueue { entries: Vec::with_capacity(capacity), capacity, conservative: false }
+    }
+
+    /// Switches to conservative disambiguation: loads wait for every older
+    /// store's address generation.
+    pub fn set_conservative(&mut self, conservative: bool) {
+        self.conservative = conservative;
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether another memory operation can be allocated.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Allocates an entry for the memory operation `seq` spanning
+    /// `addr..addr+bytes` (the span comes from the trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full or `seq` is not monotonically increasing.
+    pub fn insert(&mut self, seq: u64, is_store: bool, addr: u64, bytes: u64) {
+        assert!(self.has_space(), "LSQ overflow");
+        if let Some(last) = self.entries.last() {
+            assert!(last.seq < seq, "LSQ entries must be inserted in program order");
+        }
+        self.entries.push(Entry { seq, is_store, span: (addr, bytes), published: false, data_at: NEVER });
+    }
+
+    /// Publishes the address of operation `seq` (address generation
+    /// complete).
+    pub fn set_address(&mut self, seq: u64, addr: u64, bytes: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
+            debug_assert_eq!(e.span, (addr, bytes), "agen must match the trace");
+            e.published = true;
+            if !e.is_store {
+                e.data_at = 0;
+            }
+        }
+    }
+
+    /// Publishes the cycle at which store `seq`'s data is available.
+    pub fn set_data_at(&mut self, seq: u64, at: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
+            e.data_at = at;
+        }
+    }
+
+    /// Decides whether the load `seq` (address `addr`/`bytes`) may issue at
+    /// `now`, must wait, or is forwarded from an older store.
+    pub fn load_outcome(&self, seq: u64, addr: u64, bytes: u64, now: u64) -> LsqOutcome {
+        let mut forwarded: Option<u64> = None;
+        for e in self.entries.iter().filter(|e| e.is_store && e.seq < seq) {
+            if self.conservative && !e.published {
+                return LsqOutcome::WaitOn { store_seq: e.seq };
+            }
+            if overlaps(e.span, (addr, bytes)) {
+                if e.data_at > now {
+                    return LsqOutcome::WaitOn { store_seq: e.seq };
+                }
+                // The youngest overlapping older store wins.
+                forwarded = Some(e.seq);
+            }
+        }
+        match forwarded {
+            Some(store_seq) => LsqOutcome::Forwarded { store_seq },
+            None => LsqOutcome::Ready,
+        }
+    }
+
+    /// Removes the entry for `seq` at retirement.
+    pub fn retire(&mut self, seq: u64) {
+        self.entries.retain(|e| e.seq != seq);
+    }
+
+    /// Squashes every entry younger than `seq` (branch-misprediction
+    /// recovery).
+    pub fn flush_after(&mut self, seq: u64) {
+        self.entries.retain(|e| e.seq <= seq);
+    }
+
+    /// Squashes everything.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservative_load_waits_for_unpublished_store_address() {
+        let mut q = LoadStoreQueue::new(8);
+        q.set_conservative(true);
+        q.insert(1, true, 0x200, 8);
+        q.insert(2, false, 0x100, 8);
+        assert_eq!(q.load_outcome(2, 0x100, 8, 10), LsqOutcome::WaitOn { store_seq: 1 });
+        // Address published (disjoint): the load goes ahead even though the
+        // store's data is still in flight.
+        q.set_address(1, 0x200, 8);
+        assert_eq!(q.load_outcome(2, 0x100, 8, 10), LsqOutcome::Ready);
+    }
+
+    #[test]
+    fn speculative_load_ignores_disjoint_unpublished_stores() {
+        let mut q = LoadStoreQueue::new(8);
+        q.insert(1, true, 0x200, 8);
+        q.insert(2, false, 0x100, 8);
+        // Perfect dependence prediction: the spans are disjoint, so the
+        // load proceeds before the store's address generation.
+        assert_eq!(q.load_outcome(2, 0x100, 8, 10), LsqOutcome::Ready);
+    }
+
+    #[test]
+    fn overlapping_store_forwards_once_data_arrives() {
+        let mut q = LoadStoreQueue::new(8);
+        q.insert(1, true, 0x100, 8);
+        q.set_address(1, 0x100, 8);
+        q.insert(2, false, 0x100, 8);
+        // Address known, data not yet: overlapping load waits.
+        assert_eq!(q.load_outcome(2, 0x100, 8, 10), LsqOutcome::WaitOn { store_seq: 1 });
+        q.set_data_at(1, 15);
+        assert_eq!(q.load_outcome(2, 0x100, 8, 14), LsqOutcome::WaitOn { store_seq: 1 });
+        assert_eq!(q.load_outcome(2, 0x100, 8, 15), LsqOutcome::Forwarded { store_seq: 1 });
+        // Partial overlap also forwards (conservative single-source model).
+        assert_eq!(q.load_outcome(2, 0x104, 8, 15), LsqOutcome::Forwarded { store_seq: 1 });
+        // Disjoint access goes to the cache regardless of store data.
+        assert_eq!(q.load_outcome(2, 0x108, 8, 0), LsqOutcome::Ready);
+    }
+
+    #[test]
+    fn youngest_older_store_wins() {
+        let mut q = LoadStoreQueue::new(8);
+        q.insert(1, true, 0x100, 8);
+        q.set_address(1, 0x100, 8);
+        q.set_data_at(1, 0);
+        q.insert(2, true, 0x100, 8);
+        q.set_address(2, 0x100, 8);
+        q.set_data_at(2, 0);
+        q.insert(3, false, 0x100, 8);
+        assert_eq!(q.load_outcome(3, 0x100, 8, 5), LsqOutcome::Forwarded { store_seq: 2 });
+    }
+
+    #[test]
+    fn younger_stores_do_not_block_loads() {
+        let mut q = LoadStoreQueue::new(8);
+        q.set_conservative(true);
+        q.insert(1, false, 0x100, 8);
+        q.insert(2, true, 0x100, 8); // younger store, address unpublished
+        assert_eq!(q.load_outcome(1, 0x100, 8, 0), LsqOutcome::Ready);
+    }
+
+    #[test]
+    fn retire_and_flush() {
+        let mut q = LoadStoreQueue::new(4);
+        q.insert(1, true, 0, 8);
+        q.insert(2, false, 64, 8);
+        q.insert(3, true, 128, 8);
+        q.retire(1);
+        assert_eq!(q.len(), 2);
+        q.flush_after(2);
+        assert_eq!(q.len(), 1);
+        q.flush();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut q = LoadStoreQueue::new(2);
+        q.insert(1, false, 0, 8);
+        assert!(q.has_space());
+        q.insert(2, false, 64, 8);
+        assert!(!q.has_space());
+    }
+
+    #[test]
+    #[should_panic(expected = "program order")]
+    fn out_of_order_insert_panics() {
+        let mut q = LoadStoreQueue::new(4);
+        q.insert(2, false, 0, 8);
+        q.insert(1, false, 8, 8);
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-cycle structural-hazard arbiters.
+//!
+//! The paper's sweeps over register-file ports (Figure 7) and bypass paths
+//! (Figure 8) are modelled with these arbiters: a fixed number of grants per
+//! cycle, contention visible as stalls.
+
+/// Grants up to `ports` uses per cycle.
+///
+/// ```
+/// use braid_uarch::PortArbiter;
+///
+/// let mut read_ports = PortArbiter::new(2);
+/// assert!(read_ports.try_use(100));
+/// assert!(read_ports.try_use(100));
+/// assert!(!read_ports.try_use(100)); // third read this cycle stalls
+/// assert!(read_ports.try_use(101));  // next cycle is fresh
+/// ```
+#[derive(Debug, Clone)]
+pub struct PortArbiter {
+    ports: u32,
+    cycle: u64,
+    used: u32,
+    grants: u64,
+    conflicts: u64,
+}
+
+impl PortArbiter {
+    /// Creates an arbiter with `ports` grants per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn new(ports: u32) -> PortArbiter {
+        assert!(ports > 0, "an arbiter needs at least one port");
+        PortArbiter { ports, cycle: u64::MAX, used: 0, grants: 0, conflicts: 0 }
+    }
+
+    /// Number of ports per cycle.
+    pub fn ports(&self) -> u32 {
+        self.ports
+    }
+
+    fn roll(&mut self, cycle: u64) {
+        if cycle != self.cycle {
+            self.cycle = cycle;
+            self.used = 0;
+        }
+    }
+
+    /// Tries to use one port in `cycle`; `false` means structural stall.
+    pub fn try_use(&mut self, cycle: u64) -> bool {
+        self.roll(cycle);
+        if self.used < self.ports {
+            self.used += 1;
+            self.grants += 1;
+            true
+        } else {
+            self.conflicts += 1;
+            false
+        }
+    }
+
+    /// Tries to use `n` ports at once in `cycle`; all or nothing.
+    pub fn try_use_n(&mut self, cycle: u64, n: u32) -> bool {
+        self.roll(cycle);
+        if self.used + n <= self.ports {
+            self.used += n;
+            self.grants += n as u64;
+            true
+        } else {
+            self.conflicts += 1;
+            false
+        }
+    }
+
+    /// Ports still free in `cycle`.
+    pub fn free(&mut self, cycle: u64) -> u32 {
+        self.roll(cycle);
+        self.ports - self.used
+    }
+
+    /// Total grants ever issued.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Total denied requests (structural conflicts).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+}
+
+/// Measures sustained bandwidth use (values per cycle) without limiting it.
+///
+/// Used for the "average of 2 external values produced every cycle" style
+/// observations in the paper's §5.1.
+#[derive(Debug, Clone, Default)]
+pub struct BandwidthMeter {
+    events: u64,
+    first_cycle: Option<u64>,
+    last_cycle: u64,
+}
+
+impl BandwidthMeter {
+    /// Creates an empty meter.
+    pub fn new() -> BandwidthMeter {
+        BandwidthMeter::default()
+    }
+
+    /// Records `n` events in `cycle`.
+    pub fn record(&mut self, cycle: u64, n: u64) {
+        self.events += n;
+        if self.first_cycle.is_none() {
+            self.first_cycle = Some(cycle);
+        }
+        self.last_cycle = self.last_cycle.max(cycle);
+    }
+
+    /// Total events recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Mean events per cycle over the observed interval.
+    pub fn per_cycle(&self) -> f64 {
+        match self.first_cycle {
+            None => 0.0,
+            Some(first) => {
+                let span = (self.last_cycle - first + 1) as f64;
+                self.events as f64 / span
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_reset_each_cycle() {
+        let mut a = PortArbiter::new(3);
+        assert!(a.try_use_n(1, 3));
+        assert!(!a.try_use(1));
+        assert_eq!(a.free(1), 0);
+        assert_eq!(a.free(2), 3);
+        assert!(a.try_use(2));
+    }
+
+    #[test]
+    fn all_or_nothing_group_use() {
+        let mut a = PortArbiter::new(4);
+        assert!(a.try_use_n(5, 3));
+        assert!(!a.try_use_n(5, 2), "only one port left");
+        assert!(a.try_use_n(5, 1));
+        assert_eq!(a.grants(), 4);
+        assert_eq!(a.conflicts(), 1);
+    }
+
+    #[test]
+    fn arbiter_handles_nonmonotonic_cycles() {
+        // Cores may probe a future cycle then return; the arbiter just keys
+        // on cycle change.
+        let mut a = PortArbiter::new(1);
+        assert!(a.try_use(10));
+        assert!(a.try_use(11));
+        assert!(a.try_use(10), "cycle change resets the count");
+    }
+
+    #[test]
+    fn bandwidth_meter_averages() {
+        let mut m = BandwidthMeter::new();
+        assert_eq!(m.per_cycle(), 0.0);
+        m.record(100, 2);
+        m.record(101, 2);
+        m.record(103, 4);
+        assert_eq!(m.events(), 8);
+        assert!((m.per_cycle() - 2.0).abs() < 1e-12, "8 events over 4 cycles");
+    }
+}

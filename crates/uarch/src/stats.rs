@@ -1,0 +1,254 @@
+//! Simulator statistics: ratios and histograms.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A hit/total style ratio counter.
+///
+/// ```
+/// use braid_uarch::Ratio;
+///
+/// let mut hits = Ratio::default();
+/// hits.record(true);
+/// hits.record(true);
+/// hits.record(false);
+/// assert_eq!(hits.total(), 3);
+/// assert!((hits.rate() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Records one event; `hit` says whether it counts toward the numerator.
+    pub fn record(&mut self, hit: bool) {
+        self.hits += hit as u64;
+        self.total += 1;
+    }
+
+    /// Number of positive events.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of negative events.
+    pub fn misses(&self) -> u64 {
+        self.total - self.hits
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of positive events; `0.0` when nothing was recorded.
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.2}%)", self.hits, self.total, self.rate() * 100.0)
+    }
+}
+
+/// An exact histogram over `u64` values.
+///
+/// Used for value-lifetime and braid-size distributions (paper §1 and §2),
+/// where the interesting queries are the mean and the cumulative fraction at
+/// a threshold ("80% of values have a lifetime of 32 instructions or
+/// fewer").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+        self.sum += value as u128;
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += n;
+        self.total += n;
+        self.sum += value as u128 * n as u128;
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the samples; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of samples `<= value`; `0.0` when empty.
+    pub fn cdf_at(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let below: u64 = self.counts.range(..=value).map(|(_, c)| c).sum();
+        below as f64 / self.total as f64
+    }
+
+    /// The smallest value `v` with `cdf_at(v) >= p` for `p` in `(0, 1]`.
+    ///
+    /// Returns `None` when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0.0, 1.0]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!(p > 0.0 && p <= 1.0, "percentile requires p in (0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (p * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (&v, &c) in &self.counts {
+            seen += c;
+            if seen >= target {
+                return Some(v);
+            }
+        }
+        self.counts.keys().next_back().copied()
+    }
+
+    /// The largest recorded value, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Count of samples equal to `value`.
+    pub fn count_of(&self, value: u64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(value, count)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.iter() {
+            self.record_n(v, c);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={} mean={:.2} max={:?}", self.total, self.mean(), self.max())
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Histogram {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_counts() {
+        let mut r = Ratio::default();
+        assert_eq!(r.rate(), 0.0);
+        for i in 0..10 {
+            r.record(i % 2 == 0);
+        }
+        assert_eq!(r.hits(), 5);
+        assert_eq!(r.misses(), 5);
+        assert_eq!(r.rate(), 0.5);
+        assert_eq!(r.to_string(), "5/10 (50.00%)");
+    }
+
+    #[test]
+    fn histogram_mean_and_cdf() {
+        let h: Histogram = [1, 2, 2, 3, 10].into_iter().collect();
+        assert_eq!(h.total(), 5);
+        assert!((h.mean() - 3.6).abs() < 1e-12);
+        assert_eq!(h.cdf_at(2), 0.6);
+        assert_eq!(h.cdf_at(0), 0.0);
+        assert_eq!(h.cdf_at(10), 1.0);
+        assert_eq!(h.max(), Some(10));
+        assert_eq!(h.count_of(2), 2);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let h: Histogram = (1..=100).collect();
+        assert_eq!(h.percentile(0.5), Some(50));
+        assert_eq!(h.percentile(0.99), Some(99));
+        assert_eq!(h.percentile(1.0), Some(100));
+        assert_eq!(h.percentile(0.01), Some(1));
+        assert_eq!(Histogram::new().percentile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile requires")]
+    fn percentile_rejects_zero() {
+        let _ = Histogram::new().percentile(0.0);
+    }
+
+    #[test]
+    fn histogram_merge_and_record_n() {
+        let mut a: Histogram = [1, 1].into_iter().collect();
+        let mut b = Histogram::new();
+        b.record_n(1, 3);
+        b.record_n(5, 0);
+        a.merge(&b);
+        assert_eq!(a.count_of(1), 5);
+        assert_eq!(a.count_of(5), 0);
+        assert_eq!(a.total(), 5);
+    }
+
+    #[test]
+    fn extend_works() {
+        let mut h = Histogram::new();
+        h.extend([4u64, 4, 4]);
+        assert_eq!(h.count_of(4), 3);
+    }
+}

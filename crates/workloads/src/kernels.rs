@@ -1,0 +1,321 @@
+//! Hand-written assembly kernels.
+//!
+//! Human-readable anchors alongside the synthetic suite: the paper's
+//! Figure 2 loop from gcc's life analysis, and seven classic kernels whose
+//! dataflow shapes match the SPEC programs they echo.
+
+use braid_isa::asm::assemble;
+
+use crate::profiles::BenchClass;
+use crate::Workload;
+
+fn kernel(name: &str, class: BenchClass, fuel: u64, src: &str) -> Workload {
+    let program = assemble(src).unwrap_or_else(|e| panic!("kernel {name}: {e}"));
+    let mut program = program;
+    program.name = name.to_string();
+    Workload { name: name.to_string(), class, program, fuel }
+}
+
+/// The paper's Figure 2: the inner loop of gcc's life-analysis function,
+/// transliterated to BRISC (aN→r16+N, tN→rN, zero→r0). Three braids per
+/// iteration: the `x` computation (with the branch), the induction
+/// increment + compare, and the single-instruction `lda`.
+pub fn fig2_life() -> Workload {
+    kernel(
+        "fig2_life",
+        BenchClass::Int,
+        2_000_000,
+        r#"
+        ; r16 = basic_block_live_at_end[i], r17 = basic_block_new_live_at_end[i],
+        ; r8 = basic_block_significant[i], r4 = j*4, r5 = j, r9 = regset_size
+            addi r0, #0x20000, r16
+            addi r0, #0x24000, r17
+            addi r0, #0x28000, r8
+            addi r0, #0, r4
+            addi r0, #0, r5
+            addi r0, #512, r9
+        loop:
+            addq r17, r4, r10
+            addq r16, r4, r11
+            addq r8,  r4, r12
+            ldl  r3, 0(r10) @global:1
+            addi r5, #1, r5
+            ldl  r10, 0(r11) @global:2
+            cmpeq r9, r5, r7
+            ldl  r11, 0(r12) @global:3
+            lda  r4, 4(r4)
+            andnot r3, r10, r10
+            addq r0, r10, r10
+            and  r10, r11, r11
+            zapnot r11, #15, r11
+            cmovnei r10, #1, r6
+            beq  r7, loop
+            halt
+            .data 0x20000 3 1 4 1 5
+            .data 0x24000 9 2 6 5 3
+            .data 0x28000 5 8 9 7 9
+        "#,
+    )
+}
+
+/// Dot product over two arrays: a single two-load multiply-accumulate braid
+/// per iteration (swim/wupwise flavour).
+pub fn dot_product() -> Workload {
+    kernel(
+        "dot_product",
+        BenchClass::Float,
+        2_000_000,
+        r#"
+            addi r0, #0x3000, r20
+            addi r0, #0x5000, r21
+            addi r0, #0, r4
+            addi r0, #256, r1
+        loop:
+            addq r20, r4, r10
+            addq r21, r4, r11
+            ldt  f10, 0(r10) @global:1
+            ldt  f11, 0(r11) @global:2
+            mult f10, f11, f12
+            addt f1, f12, f1
+            lda  r4, 8(r4)
+            subi r1, #1, r1
+            bne  r1, loop
+            stt  f1, 0(r20) @global:1
+            halt
+            .data 0x3000 4607182418800017408 4607182418800017408
+            .data 0x5000 4611686018427387904 4611686018427387904
+        "#,
+    )
+}
+
+/// A 1-D three-point stencil: long dependent chains per element (mgrid
+/// flavour).
+pub fn stencil() -> Workload {
+    kernel(
+        "stencil",
+        BenchClass::Float,
+        2_000_000,
+        r#"
+            addi r0, #0x3000, r20   ; src
+            addi r0, #0x8000, r21   ; dst
+            addi r0, #0, r4
+            addi r0, #200, r1
+        loop:
+            addq r20, r4, r10
+            ldt  f10, 0(r10)  @global:1
+            ldt  f11, 8(r10)  @global:1
+            ldt  f12, 16(r10) @global:1
+            addt f10, f11, f13
+            addt f13, f12, f13
+            mult f13, f11, f13
+            addt f13, f10, f13
+            addq r21, r4, r11
+            stt  f13, 8(r11) @global:2
+            lda  r4, 8(r4)
+            subi r1, #1, r1
+            bne  r1, loop
+            halt
+            .data 0x3000 4607182418800017408
+        "#,
+    )
+}
+
+/// Pointer chasing through a small ring (mcf flavour): every load depends
+/// on the previous one.
+pub fn pointer_chase() -> Workload {
+    kernel(
+        "pointer_chase",
+        BenchClass::Int,
+        2_000_000,
+        r#"
+            addi r0, #0x6000, r3
+            addi r0, #2000, r1
+        loop:
+            ldq  r3, 0(r3) @heap:0
+            ldq  r10, 8(r3) @heap:0
+            addq r2, r10, r2
+            subi r1, #1, r1
+            bne  r1, loop
+            halt
+            ; a 4-node ring: 0x6000 -> 0x6040 -> 0x6080 -> 0x60c0 -> 0x6000
+            .data 0x6000 0x6040 7
+            .data 0x6040 0x6080 9
+            .data 0x6080 0x60c0 11
+            .data 0x60c0 0x6000 13
+        "#,
+    )
+}
+
+/// Byte-histogram flavoured loop (gzip-like): loads feeding masked updates
+/// with a data-dependent branch.
+pub fn histogram() -> Workload {
+    kernel(
+        "histogram",
+        BenchClass::Int,
+        2_000_000,
+        r#"
+            addi r0, #0x3000, r20   ; input
+            addi r0, #0x9000, r21   ; counts
+            addi r0, #0, r4
+            addi r0, #512, r1
+        loop:
+            andi r4, #2040, r5
+            addq r20, r5, r10
+            ldq  r11, 0(r10) @global:1
+            andi r11, #248, r12
+            addq r21, r12, r13
+            ldq  r14, 0(r13) @global:2
+            addi r14, #1, r14
+            stq  r14, 0(r13) @global:2
+            andi r11, #1, r6
+            beq  r6, even
+            addi r2, #1, r2
+        even:
+            lda  r4, 8(r4)
+            subi r1, #1, r1
+            bne  r1, loop
+            halt
+            .data 0x3000 3 141 59 26 53 589 79 323 84 626 43 38 32 79 502 88
+        "#,
+    )
+}
+
+/// Small dense matrix multiply (4x4 blocks), sixtrack/apsi flavour: long
+/// multiply-accumulate braids with two-array inputs.
+pub fn matmul() -> Workload {
+    kernel(
+        "matmul",
+        BenchClass::Float,
+        4_000_000,
+        r#"
+            addi r0, #0x3000, r20   ; A
+            addi r0, #0x5000, r21   ; B
+            addi r0, #0x8000, r22   ; C
+            addi r0, #64, r1        ; row-pairs to process
+        loop:
+            ldt  f10, 0(r20)  @global:1
+            ldt  f11, 8(r20)  @global:1
+            ldt  f12, 0(r21)  @global:2
+            ldt  f13, 8(r21)  @global:2
+            mult f10, f12, f14
+            mult f11, f13, f15
+            addt f14, f15, f14
+            stt  f14, 0(r22) @global:3
+            ldt  f12, 16(r21) @global:2
+            ldt  f13, 24(r21) @global:2
+            mult f10, f12, f14
+            mult f11, f13, f15
+            addt f14, f15, f14
+            stt  f14, 8(r22) @global:3
+            lda  r20, 16(r20)
+            lda  r21, 32(r21)
+            lda  r22, 16(r22)
+            subi r1, #1, r1
+            bne  r1, loop
+            halt
+            .data 0x3000 4607182418800017408 4611686018427387904
+            .data 0x5000 4613937818241073152 4616189618054758400
+        "#,
+    )
+}
+
+/// CRC-flavoured bit mixing (bzip2/gzip flavour): long integer chains with
+/// table lookups and shifts.
+pub fn crc_mix() -> Workload {
+    kernel(
+        "crc_mix",
+        BenchClass::Int,
+        4_000_000,
+        r#"
+            addi r0, #0x3000, r20   ; input
+            addi r0, #0x6000, r21   ; table
+            addi r0, #1024, r1
+            addi r0, #-1, r2        ; crc state
+        loop:
+            ldq  r10, 0(r20) @global:1
+            xor  r2, r10, r11
+            andi r11, #2040, r12
+            addq r21, r12, r13
+            ldq  r14, 0(r13) @global:2
+            srli r2, #8, r15
+            xor  r15, r14, r2
+            lda  r20, 8(r20)
+            subi r1, #1, r1
+            bne  r1, loop
+            stq  r2, 0(r21) @global:2
+            halt
+            .data 0x3000 385 12 99 1044 6 23 817 55
+            .data 0x6000 0xedb88320 0x1db71064 0x3b6e20c8 0x26d930ac
+        "#,
+    )
+}
+
+/// Array partition pass (quicksort inner loop, twolf/vpr flavour):
+/// data-dependent branches over comparisons.
+pub fn partition() -> Workload {
+    kernel(
+        "partition",
+        BenchClass::Int,
+        4_000_000,
+        r#"
+            addi r0, #0x3000, r20   ; input
+            addi r0, #0x9000, r21   ; lows
+            addi r0, #0xb000, r22   ; highs
+            addi r0, #512, r1
+            addi r0, #500000, r9    ; pivot
+        loop:
+            ldq  r10, 0(r20) @global:1
+            cmplt r10, r9, r11
+            subq  r10, r9, r11
+            blt  r11, low
+            stq  r10, 0(r22) @global:3
+            lda  r22, 8(r22)
+            br   next
+        low:
+            stq  r10, 0(r21) @global:2
+            lda  r21, 8(r21)
+        next:
+            lda  r20, 8(r20)
+            subi r1, #1, r1
+            bne  r1, loop
+            halt
+            .data 0x3000 3917 981223 44871 650001 12 999999 500001 499999
+        "#,
+    )
+}
+
+/// All hand-written kernels.
+pub fn all() -> Vec<Workload> {
+    vec![
+        fig2_life(),
+        dot_product(),
+        stencil(),
+        pointer_chase(),
+        histogram(),
+        matmul(),
+        crc_mix(),
+        partition(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_validate() {
+        for k in all() {
+            k.program.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+        assert_eq!(all().len(), 8);
+    }
+
+    #[test]
+    fn fig2_matches_paper_block_shape() {
+        let k = fig2_life();
+        // 15-instruction loop body as in the paper's Figure 2(b).
+        let loop_body: Vec<_> = k.program.insts[6..21].to_vec();
+        assert_eq!(loop_body.len(), 15);
+        assert!(loop_body.last().unwrap().opcode.is_cond_branch());
+    }
+}

@@ -1,0 +1,200 @@
+//! Per-benchmark generator parameters.
+//!
+//! Each profile is tuned toward the paper's measured braid statistics
+//! (Tables 1–3) and the benchmark's well-known memory/branch character.
+//! `tree_ops` drives braid size; `trees_per_block` plus
+//! `singles_per_block` drive braids per block; `join_prob` drives braid
+//! width (the paper measures ~1.1, i.e. near-chains).
+
+/// Integer or floating-point benchmark (the paper reports the two groups
+/// separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchClass {
+    /// SPECint-like program.
+    Int,
+    /// SPECfp-like program.
+    Float,
+}
+
+/// The memory access pattern of a workload's dominant loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemPattern {
+    /// Sequential streaming through arrays (unit stride).
+    Stream,
+    /// Strided accesses (`stride` elements apart, a power of two).
+    Strided(u64),
+    /// Data-dependent indexing over the footprint.
+    Random,
+    /// Pointer chasing through a shuffled linked ring (mcf-like).
+    PointerChase,
+}
+
+/// Generator parameters for one benchmark.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    /// Benchmark name (SPEC CPU2000).
+    pub name: &'static str,
+    /// Integer or floating point.
+    pub class: BenchClass,
+    /// Code bodies in the main loop (at most 6).
+    pub block_bodies: u32,
+    /// Operation trees (≈ multi-instruction braids) per body.
+    pub trees_per_block: (u32, u32),
+    /// Operations per tree (braid size ≈ ops + 1 for the sink).
+    pub tree_ops: (u32, u32),
+    /// Single-instruction braids (nops, event counters) per body.
+    pub singles_per_block: (u32, u32),
+    /// Probability an operation joins/forks chains (braid width control).
+    pub join_prob: f64,
+    /// Probability a tree leaf is a load.
+    pub load_prob: f64,
+    /// Probability a tree root is stored (vs. accumulated).
+    pub store_prob: f64,
+    /// Fraction of trees computed in floating point.
+    pub fp_frac: f64,
+    /// Probability each body is guarded by a data-dependent branch.
+    pub guard_prob: f64,
+    /// Fraction of guard outcomes that are data-random (unpredictable).
+    pub branch_noise: f64,
+    /// Data footprint in bytes.
+    pub footprint: u64,
+    /// Dominant access pattern.
+    pub pattern: MemPattern,
+    /// Baseline dynamic instructions at scale 1.0.
+    pub dyn_insts: u64,
+}
+
+macro_rules! profile {
+    ($name:literal, $class:ident, bodies=$bodies:literal, trees=($t0:literal,$t1:literal),
+     ops=($o0:literal,$o1:literal), singles=($s0:literal,$s1:literal), join=$join:literal,
+     load=$load:literal, store=$store:literal, fp=$fp:literal, guard=$guard:literal,
+     noise=$noise:literal, foot=$foot:expr, pat=$pat:expr) => {
+        WorkloadProfile {
+            name: $name,
+            class: BenchClass::$class,
+            block_bodies: $bodies,
+            trees_per_block: ($t0, $t1),
+            tree_ops: ($o0, $o1),
+            singles_per_block: ($s0, $s1),
+            join_prob: $join,
+            load_prob: $load,
+            store_prob: $store,
+            fp_frac: $fp,
+            guard_prob: $guard,
+            branch_noise: $noise,
+            footprint: $foot,
+            pattern: $pat,
+            dyn_insts: 60_000,
+        }
+    };
+}
+
+use MemPattern::*;
+
+/// The 26 benchmark profiles (12 integer, 14 floating point), tuned toward
+/// the paper's Tables 1–3.
+pub static PROFILES: &[WorkloadProfile] = &[
+    // ---- SPECint 2000 ----
+    profile!("bzip2", Int, bodies=3, trees=(1,2), ops=(5,7), singles=(0,1), join=0.08,
+             load=0.30, store=0.50, fp=0.0, guard=0.80, noise=0.25, foot=128<<10, pat=Stream),
+    profile!("crafty", Int, bodies=5, trees=(1,2), ops=(4,6), singles=(0,1), join=0.10,
+             load=0.35, store=0.35, fp=0.0, guard=0.85, noise=0.35, foot=64<<10, pat=Random),
+    profile!("eon", Int, bodies=4, trees=(2,3), ops=(2,3), singles=(1,2), join=0.08,
+             load=0.30, store=0.45, fp=0.25, guard=0.70, noise=0.15, foot=32<<10, pat=Strided(4)),
+    profile!("gap", Int, bodies=4, trees=(1,2), ops=(3,5), singles=(0,1), join=0.08,
+             load=0.35, store=0.40, fp=0.0, guard=0.75, noise=0.20, foot=96<<10, pat=Stream),
+    profile!("gcc", Int, bodies=6, trees=(1,2), ops=(3,4), singles=(0,1), join=0.10,
+             load=0.35, store=0.40, fp=0.0, guard=0.80, noise=0.30, foot=128<<10, pat=Random),
+    profile!("gzip", Int, bodies=3, trees=(1,2), ops=(5,7), singles=(0,1), join=0.08,
+             load=0.35, store=0.45, fp=0.0, guard=0.75, noise=0.25, foot=96<<10, pat=Stream),
+    profile!("mcf", Int, bodies=3, trees=(1,1), ops=(3,4), singles=(0,0), join=0.05,
+             load=0.50, store=0.25, fp=0.0, guard=0.70, noise=0.30, foot=4<<20, pat=PointerChase),
+    profile!("parser", Int, bodies=5, trees=(1,2), ops=(2,4), singles=(1,2), join=0.06,
+             load=0.35, store=0.35, fp=0.0, guard=0.85, noise=0.30, foot=64<<10, pat=Random),
+    profile!("perlbmk", Int, bodies=5, trees=(1,2), ops=(3,4), singles=(2,2), join=0.08,
+             load=0.35, store=0.40, fp=0.0, guard=0.80, noise=0.25, foot=64<<10, pat=Random),
+    profile!("twolf", Int, bodies=5, trees=(2,3), ops=(3,5), singles=(1,1), join=0.10,
+             load=0.35, store=0.40, fp=0.10, guard=0.80, noise=0.30, foot=64<<10, pat=Random),
+    profile!("vortex", Int, bodies=5, trees=(2,3), ops=(2,3), singles=(1,2), join=0.06,
+             load=0.35, store=0.45, fp=0.0, guard=0.75, noise=0.15, foot=64<<10, pat=Strided(8)),
+    profile!("vpr", Int, bodies=5, trees=(1,2), ops=(3,5), singles=(1,2), join=0.10,
+             load=0.35, store=0.40, fp=0.10, guard=0.80, noise=0.30, foot=64<<10, pat=Random),
+    // ---- SPECfp 2000 ----
+    profile!("ammp", Float, bodies=3, trees=(1,2), ops=(4,5), singles=(0,0), join=0.28,
+             load=0.40, store=0.35, fp=0.85, guard=0.70, noise=0.10, foot=96<<10, pat=Stream),
+    profile!("applu", Float, bodies=2, trees=(3,3), ops=(4,6), singles=(1,1), join=0.28,
+             load=0.40, store=0.45, fp=0.85, guard=0.0, noise=0.05, foot=128<<10, pat=Stream),
+    profile!("apsi", Float, bodies=2, trees=(2,2), ops=(4,5), singles=(0,1), join=0.28,
+             load=0.40, store=0.45, fp=0.80, guard=0.1, noise=0.05, foot=64<<10, pat=Strided(16)),
+    profile!("art", Float, bodies=3, trees=(1,2), ops=(4,5), singles=(0,1), join=0.28,
+             load=0.45, store=0.30, fp=0.75, guard=0.5, noise=0.15, foot=3<<20, pat=Stream),
+    profile!("equake", Float, bodies=3, trees=(1,2), ops=(3,5), singles=(0,1), join=0.28,
+             load=0.45, store=0.35, fp=0.80, guard=0.6, noise=0.10, foot=128<<10, pat=Random),
+    profile!("facerec", Float, bodies=3, trees=(1,2), ops=(2,4), singles=(1,1), join=0.28,
+             load=0.40, store=0.35, fp=0.80, guard=0.5, noise=0.10, foot=96<<10, pat=Stream),
+    profile!("fma3d", Float, bodies=4, trees=(1,2), ops=(4,5), singles=(0,1), join=0.28,
+             load=0.40, store=0.40, fp=0.80, guard=0.5, noise=0.10, foot=96<<10, pat=Strided(8)),
+    profile!("galgel", Float, bodies=2, trees=(2,3), ops=(2,3), singles=(0,1), join=0.28,
+             load=0.40, store=0.40, fp=0.80, guard=0.0, noise=0.05, foot=128<<10, pat=Stream),
+    profile!("lucas", Float, bodies=1, trees=(3,4), ops=(9,11), singles=(0,1), join=0.28,
+             load=0.35, store=0.40, fp=0.85, guard=0.0, noise=0.05, foot=128<<10, pat=Strided(32)),
+    profile!("mesa", Float, bodies=4, trees=(1,2), ops=(2,3), singles=(1,1), join=0.28,
+             load=0.35, store=0.40, fp=0.60, guard=0.6, noise=0.15, foot=96<<10, pat=Stream),
+    profile!("mgrid", Float, bodies=1, trees=(5,5), ops=(23,27), singles=(0,0), join=0.28,
+             load=0.45, store=0.35, fp=0.90, guard=0.0, noise=0.02, foot=4<<20, pat=Strided(4)),
+    profile!("sixtrack", Float, bodies=3, trees=(1,2), ops=(3,4), singles=(1,1), join=0.28,
+             load=0.35, store=0.40, fp=0.80, guard=0.4, noise=0.10, foot=96<<10, pat=Stream),
+    profile!("swim", Float, bodies=2, trees=(3,4), ops=(7,9), singles=(1,1), join=0.28,
+             load=0.45, store=0.45, fp=0.90, guard=0.0, noise=0.02, foot=4<<20, pat=Stream),
+    profile!("wupwise", Float, bodies=2, trees=(1,2), ops=(4,6), singles=(1,1), join=0.28,
+             load=0.40, store=0.40, fp=0.85, guard=0.3, noise=0.05, foot=128<<10, pat=Stream),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_six_profiles_with_unique_names() {
+        assert_eq!(PROFILES.len(), 26);
+        let mut names: Vec<&str> = PROFILES.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 26);
+    }
+
+    #[test]
+    fn class_split_matches_paper() {
+        let ints = PROFILES.iter().filter(|p| p.class == BenchClass::Int).count();
+        let fps = PROFILES.iter().filter(|p| p.class == BenchClass::Float).count();
+        assert_eq!((ints, fps), (12, 14));
+    }
+
+    #[test]
+    fn parameters_are_sane() {
+        for p in PROFILES {
+            assert!(p.block_bodies >= 1 && p.block_bodies <= 6);
+            assert!(p.trees_per_block.0 >= 1 && p.trees_per_block.0 <= p.trees_per_block.1);
+            assert!(p.tree_ops.0 >= 1 && p.tree_ops.0 <= p.tree_ops.1);
+            assert!(p.singles_per_block.0 <= p.singles_per_block.1);
+            for f in [p.join_prob, p.load_prob, p.store_prob, p.fp_frac, p.guard_prob, p.branch_noise] {
+                assert!((0.0..=1.0).contains(&f), "{}: {f} out of range", p.name);
+            }
+            assert!(p.footprint >= 4096);
+            assert!(p.dyn_insts > 0);
+            if p.class == BenchClass::Int {
+                assert!(p.fp_frac <= 0.3);
+            } else {
+                assert!(p.fp_frac >= 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn mgrid_has_the_big_braids() {
+        let mgrid = PROFILES.iter().find(|p| p.name == "mgrid").unwrap();
+        assert!(mgrid.tree_ops.0 >= 10, "paper Table 2: mgrid braid size 13.2");
+        let mcf = PROFILES.iter().find(|p| p.name == "mcf").unwrap();
+        assert_eq!(mcf.pattern, MemPattern::PointerChase);
+    }
+}

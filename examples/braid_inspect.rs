@@ -1,0 +1,48 @@
+//! Inspect the braids of a program: reproduce the paper's Figure 2 walk-
+//! through on its own gcc life-analysis example, printing each braid with
+//! its `S`/`T`/`I`/`E` annotations, sizes, widths and operand counts.
+//!
+//! ```text
+//! cargo run --release --example braid_inspect            # paper Figure 2
+//! cargo run --release --example braid_inspect -- mcf     # a suite benchmark
+//! ```
+
+use braid::compiler::{translate, TranslatorConfig};
+use braid::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1);
+    let workload = match which.as_deref() {
+        None => workloads::kernels::fig2_life(),
+        Some(name) => workloads::by_name(name, 0.1)
+            .or_else(|| workloads::kernel_suite().into_iter().find(|k| k.name == name))
+            .ok_or_else(|| format!("unknown workload {name:?}"))?,
+    };
+    let translation = translate(&workload.program, &TranslatorConfig::default())?;
+    println!("workload {}: {} instructions, {} braids", workload.name, translation.program.len(), translation.braids.len());
+    println!("{}\n", translation.stats);
+
+    let show = translation.braids.len().min(24);
+    for (i, desc) in translation.braids.iter().take(show).enumerate() {
+        println!("braid {i} (block {}, {} instructions, {} internal values):", desc.block, desc.len, desc.internals);
+        for idx in desc.start..desc.start + desc.len {
+            let inst = &translation.program.insts[idx as usize];
+            let b = inst.braid;
+            let t = |on: bool| if on { "T" } else { "." };
+            println!(
+                "  {:>4}  {}{}{}{}{}  {}",
+                idx,
+                if b.start { "S" } else { "." },
+                t(b.t[0]),
+                t(b.t[1]),
+                if b.internal { "I" } else { "." },
+                if b.external { "E" } else { "." },
+                inst,
+            );
+        }
+    }
+    if translation.braids.len() > show {
+        println!("... ({} more braids)", translation.braids.len() - show);
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Sweep the braid machine's design space on one workload: BEU count,
+//! scheduling window, FIFO depth and external register file size — the
+//! paper's Figures 6 and 9–12 condensed into one report.
+//!
+//! ```text
+//! cargo run --release --example design_space -- gzip
+//! ```
+
+use braid::core::config::BraidConfig;
+use braid::core::cores::BraidCore;
+use braid::core::functional::Machine;
+use braid::compiler::{translate, TranslatorConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gzip".to_string());
+    let workload =
+        braid::workloads::by_name(&name, 1.0).ok_or_else(|| format!("unknown benchmark {name:?}"))?;
+    let translation = translate(&workload.program, &TranslatorConfig::default())?;
+    let mut machine = Machine::new(&translation.program);
+    let trace = machine.run(&translation.program, workload.fuel)?;
+
+    let run = |cfg: BraidConfig| BraidCore::new(cfg).run(&translation.program, &trace).ipc();
+    let base = run(BraidConfig::paper_default());
+    println!("workload {name}: braid default IPC {base:.3}\n");
+
+    println!("BEUs (paper Figure 9):");
+    for beus in [1u32, 2, 4, 8, 16] {
+        let mut cfg = BraidConfig::paper_default();
+        cfg.beus = beus;
+        let ipc = run(cfg);
+        println!("  {beus:>2} BEUs: IPC {ipc:.3} ({:+.1}%)", 100.0 * (ipc / base - 1.0));
+    }
+
+    println!("\nscheduling window (paper Figure 11):");
+    for w in [1u32, 2, 4, 8] {
+        let mut cfg = BraidConfig::paper_default();
+        cfg.window_size = w;
+        let ipc = run(cfg);
+        println!("  window {w}: IPC {ipc:.3} ({:+.1}%)", 100.0 * (ipc / base - 1.0));
+    }
+
+    println!("\nFIFO entries (paper Figure 10):");
+    for q in [4u32, 8, 16, 32, 64] {
+        let mut cfg = BraidConfig::paper_default();
+        cfg.fifo_entries = q;
+        let ipc = run(cfg);
+        println!("  {q:>2} entries: IPC {ipc:.3} ({:+.1}%)", 100.0 * (ipc / base - 1.0));
+    }
+
+    println!("\nexternal registers (paper Figure 6):");
+    for e in [64u32, 16, 8, 4, 2, 1] {
+        let mut cfg = BraidConfig::paper_default();
+        cfg.external_regs = e;
+        let ipc = run(cfg);
+        println!("  {e:>2} entries: IPC {ipc:.3} ({:+.1}%)", 100.0 * (ipc / base - 1.0));
+    }
+    Ok(())
+}

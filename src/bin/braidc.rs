@@ -1,0 +1,122 @@
+//! `braidc` — the braid binary-translation tool.
+//!
+//! ```text
+//! braidc translate <file.s>       annotate + reorder, print braid assembly
+//! braidc inspect   <file.s>       print braids with S/T/I/E bits and stats
+//! braidc encode    <file.s>       print the 64-bit encodings
+//! braidc stats     <file.s>       print Tables 1-3 statistics only
+//! braidc dot       <file.s>       Graphviz dataflow graph, braids colored
+//! braidc assemble  <file.s> <out.brisc>   write a binary container
+//! ```
+//!
+//! Every command also accepts a `.brisc` binary in place of assembly.
+
+use std::fs;
+use std::process::ExitCode;
+
+use braid::compiler::{translate, TranslatorConfig};
+use braid::isa::asm::{assemble, disassemble};
+use braid::isa::encode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: braidc <translate|inspect|encode|stats|dot> <file.s|file.brisc>\n       braidc assemble <file.s> <out.brisc>"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<braid::isa::Program, String> {
+    if path.ends_with(".brisc") {
+        let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        braid::isa::container::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let source = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        assemble(&source).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() == 3 && args[0] == "assemble" {
+        let program = match load(&args[1]) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("braidc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let bytes = match braid::isa::container::to_bytes(&program) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("braidc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = fs::write(&args[2], bytes) {
+            eprintln!("braidc: {}: {e}", args[2]);
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} ({} instructions)", args[2], program.len());
+        return ExitCode::SUCCESS;
+    }
+    let [cmd, path] = args.as_slice() else { return usage() };
+    let program = match load(path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("braidc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "translate" | "inspect" | "stats" => {
+            let t = match translate(&program, &TranslatorConfig::default()) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("braidc: translation failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match cmd.as_str() {
+                "translate" => print!("{}", disassemble(&t.program)),
+                "stats" => println!("{}", t.stats),
+                _ => {
+                    println!("{} braids over {} instructions", t.braids.len(), t.program.len());
+                    println!("{}\n", t.stats);
+                    for (i, d) in t.braids.iter().enumerate() {
+                        println!("braid {i} (block {}, {} insts, {} internals):", d.block, d.len, d.internals);
+                        for idx in d.start..d.start + d.len {
+                            let inst = &t.program.insts[idx as usize];
+                            let b = inst.braid;
+                            println!(
+                                "  {:>5}  {}{}{}{}{}  {}",
+                                idx,
+                                if b.start { 'S' } else { '.' },
+                                if b.t[0] { 'T' } else { '.' },
+                                if b.t[1] { 'T' } else { '.' },
+                                if b.internal { 'I' } else { '.' },
+                                if b.external { 'E' } else { '.' },
+                                inst
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        "dot" => {
+            print!("{}", braid::compiler::viz::program_to_dot(&program, &TranslatorConfig::default()));
+        }
+        "encode" => {
+            for (i, inst) in program.insts.iter().enumerate() {
+                match encode(inst) {
+                    Ok(w) => println!("{i:>5}  {w}  {inst}"),
+                    Err(e) => {
+                        eprintln!("braidc: instruction {i}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,159 @@
+//! `braidsim` — run a BRISC program (or a suite benchmark) on any of the
+//! four execution-core models.
+//!
+//! ```text
+//! braidsim <core> <file.s | @benchmark> [--width N] [--perfect] [--fuel N]
+//!
+//! cores: ooo | braid | dep | inorder | all
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! braidsim all my_kernel.s
+//! braidsim braid @gcc --perfect
+//! braidsim ooo @mgrid --width 16
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use braid::compiler::{translate, TranslatorConfig};
+use braid::core::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
+use braid::core::cores::{BraidCore, DepSteerCore, InOrderCore, OooCore};
+use braid::core::functional::Machine;
+use braid::core::report::SimReport;
+use braid::isa::asm::assemble;
+use braid::isa::Program;
+
+struct Options {
+    width: u32,
+    perfect: bool,
+    fuel: u64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: braidsim <ooo|braid|dep|inorder|all> <file.s | @benchmark> [--width N] [--perfect] [--fuel N]");
+    ExitCode::from(2)
+}
+
+fn load_program(spec: &str) -> Result<(Program, u64), String> {
+    if let Some(name) = spec.strip_prefix('@') {
+        let w = braid::workloads::by_name(name, 1.0)
+            .or_else(|| braid::workloads::kernel_suite().into_iter().find(|k| k.name == name))
+            .ok_or_else(|| format!("unknown benchmark {name:?}"))?;
+        Ok((w.program, w.fuel))
+    } else if spec.ends_with(".brisc") {
+        let bytes = fs::read(spec).map_err(|e| format!("{spec}: {e}"))?;
+        let mut p = braid::isa::container::from_bytes(&bytes).map_err(|e| format!("{spec}: {e}"))?;
+        p.name = spec.to_string();
+        Ok((p, 50_000_000))
+    } else {
+        let source = fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+        let mut p = assemble(&source).map_err(|e| format!("{spec}: {e}"))?;
+        p.name = spec.to_string();
+        Ok((p, 50_000_000))
+    }
+}
+
+fn report(label: &str, r: &SimReport) {
+    println!("--- {label} ---");
+    println!("{r}");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return usage();
+    }
+    let core = args[0].as_str();
+    let spec = args[1].as_str();
+    let mut opts = Options { width: 8, perfect: false, fuel: 0 };
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--perfect" => opts.perfect = true,
+            "--width" if i + 1 < args.len() => {
+                i += 1;
+                opts.width = args[i].parse().unwrap_or(8);
+            }
+            "--fuel" if i + 1 < args.len() => {
+                i += 1;
+                opts.fuel = args[i].parse().unwrap_or(0);
+            }
+            other => {
+                eprintln!("braidsim: unknown option {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+
+    let (program, default_fuel) = match load_program(spec) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("braidsim: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fuel = if opts.fuel > 0 { opts.fuel } else { default_fuel };
+
+    let mut m = Machine::new(&program);
+    let trace = match m.run(&program, fuel) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("braidsim: functional run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}: {} dynamic instructions", program.name, trace.len());
+
+    let perfect = |mut c: braid::core::config::CommonConfig| {
+        if opts.perfect {
+            c = c.perfect();
+        }
+        c
+    };
+    let want = |name: &str| core == name || core == "all";
+
+    if want("ooo") {
+        let mut cfg = OooConfig::paper_wide(opts.width);
+        cfg.common = perfect(cfg.common);
+        report("out-of-order", &OooCore::new(cfg).run(&program, &trace));
+    }
+    if want("dep") {
+        let mut cfg = DepConfig::paper_wide(opts.width);
+        cfg.common = perfect(cfg.common);
+        report("dependence-steering", &DepSteerCore::new(cfg).run(&program, &trace));
+    }
+    if want("inorder") {
+        let mut cfg = InOrderConfig::paper_wide(opts.width);
+        cfg.common = perfect(cfg.common);
+        report("in-order", &InOrderCore::new(cfg).run(&program, &trace));
+    }
+    if want("braid") {
+        let t = match translate(&program, &TranslatorConfig::default()) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("braidsim: translation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut mb = Machine::new(&t.program);
+        let braid_trace = match mb.run(&t.program, fuel) {
+            Ok(tr) => tr,
+            Err(e) => {
+                eprintln!("braidsim: braid functional run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut cfg = BraidConfig::paper_wide(opts.width);
+        cfg.common = perfect(cfg.common);
+        cfg.common.mispredict_penalty = 19;
+        report("braid", &BraidCore::new(cfg).run(&t.program, &braid_trace));
+    }
+    if !["ooo", "dep", "inorder", "braid", "all"].contains(&core) {
+        return usage();
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,20 @@
+//! # braid: facade crate for the braid-microarchitecture reproduction
+//!
+//! Re-exports the workspace crates implementing *Achieving Out-of-Order
+//! Performance with Almost In-Order Complexity* (Tseng & Patt, ISCA 2008).
+//! See the individual crates for details:
+//!
+//! * [`isa`] — the BRISC instruction set with braid annotation bits.
+//! * [`uarch`] — microarchitecture substrates (caches, predictors, LSQ...).
+//! * [`compiler`] — the braid-forming binary translator.
+//! * [`core`] — the functional executor and the four timing cores.
+//! * [`workloads`] — the synthetic SPEC CPU2000-profiled workload suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use braid_compiler as compiler;
+pub use braid_core as core;
+pub use braid_isa as isa;
+pub use braid_uarch as uarch;
+pub use braid_workloads as workloads;

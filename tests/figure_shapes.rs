@@ -1,0 +1,96 @@
+//! Shape-regression tests: the qualitative conclusions of the paper's
+//! figures, asserted on a small benchmark sample so a model change that
+//! breaks a reproduced shape fails CI.
+
+use braid_bench::experiments as exp;
+use braid_bench::{prepare, Prepared};
+
+fn sample() -> Vec<Prepared> {
+    ["gcc", "gzip", "swim", "twolf"]
+        .iter()
+        .map(|n| prepare(braid_workloads::by_name(n, 0.05).expect("known benchmark")))
+        .collect()
+}
+
+fn avg(t: &braid_bench::table::Table) -> &[f64] {
+    &t.row("average").expect("average row").values
+}
+
+#[test]
+fn figure6_shape_eight_external_registers_suffice() {
+    let s = sample();
+    let t = exp::fig6(&s);
+    let a = avg(&t);
+    // columns: e64 e32 e16 e8 e4 e2 e1
+    assert!(a[3] > 0.97, "8 entries within 3% of 64: {a:?}");
+    // Small-scale scheduling noise allows ~2% wiggle.
+    assert!(a[6] <= a[3] + 0.03, "1 entry is never materially better than 8: {a:?}");
+}
+
+#[test]
+fn figure8_shape_two_bypass_values_suffice() {
+    let s = sample();
+    let t = exp::fig8(&s);
+    let a = avg(&t);
+    // columns: b8 b4 b2 b1
+    assert!(a[2] > 0.95, "2 bypass values within 5% of 8: {a:?}");
+}
+
+#[test]
+fn figure9_shape_beus_scale() {
+    let s = sample();
+    let t = exp::fig9(&s);
+    let a = avg(&t);
+    // columns: beu1 beu2 beu4 beu8 beu16 — monotonic non-decreasing.
+    for w in a.windows(2) {
+        assert!(w[1] >= w[0] * 0.98, "more BEUs never hurt: {a:?}");
+    }
+    assert!(a[3] > a[0] * 1.2, "8 BEUs clearly beat 1: {a:?}");
+}
+
+#[test]
+fn figure11_shape_window_two_is_the_knee() {
+    let s = sample();
+    let t = exp::fig11(&s);
+    let a = avg(&t);
+    // columns: w1 w2 w4 w8
+    let rise_1_2 = a[1] - a[0];
+    let rise_2_4 = a[2] - a[1];
+    assert!(rise_1_2 > 0.0, "window 2 beats window 1: {a:?}");
+    assert!(rise_1_2 > rise_2_4, "the 1→2 step is the steep one: {a:?}");
+}
+
+#[test]
+fn figure14_shape_more_beus_beat_wider_beus() {
+    let s = sample();
+    let t = exp::fig14(&s);
+    let a = avg(&t);
+    // columns: 4beu-2fu, 8beu-1fu
+    assert!(a[1] > a[0], "8 BEUs x 1 FU beats 4 BEUs x 2 FUs: {a:?}");
+}
+
+#[test]
+fn figure13_shape_paradigm_ordering() {
+    let s = sample();
+    let t = exp::fig13(&s);
+    let a = avg(&t);
+    // columns: io4 dep4 braid4 ooo4 io8 dep8 braid8 ooo8 io16 dep16 braid16 ooo16
+    let (io8, braid8, ooo8) = (a[4], a[6], a[7]);
+    assert!(io8 < braid8, "braid clearly beats in-order: {a:?}");
+    assert!(braid8 <= ooo8 * 1.02, "out-of-order is the ceiling: {a:?}");
+    assert!(braid8 > ooo8 * 0.6, "braid stays in out-of-order territory: {a:?}");
+    // Performance keeps growing with width for the ooo machine (paper §4.4
+    // observation 1: "significant performance gain is still available").
+    assert!(a[11] > a[7], "16-wide ooo beats 8-wide: {a:?}");
+}
+
+#[test]
+fn splits_shape_paper_rates() {
+    let s = sample();
+    let t = exp::splits(&s);
+    let a = avg(&t);
+    // columns: ws-split ord-split single-insts single-brnop
+    assert!(a[0] < 0.05, "working-set splits stay rare: {a:?}");
+    assert!(a[1] < 0.05, "ordering splits stay rare: {a:?}");
+    assert!(a[2] > 0.08 && a[2] < 0.35, "single-inst braids near the paper's 20%: {a:?}");
+}
