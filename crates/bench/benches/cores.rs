@@ -1,7 +1,7 @@
 //! Simulator throughput: dynamic instructions simulated per second for each
 //! execution-core model, the functional executor, and the translator.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use braid_bench::microbench::{criterion_group, criterion_main, Criterion, Throughput};
 
 use braid_compiler::{translate, TranslatorConfig};
 use braid_core::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
@@ -28,19 +28,19 @@ fn bench_cores(c: &mut Criterion) {
     });
     g.bench_function("ooo_core", |b| {
         let core = OooCore::new(OooConfig::paper_8wide());
-        b.iter(|| core.run(&w.program, &trace))
+        b.iter(|| core.run(&w.program, &trace).expect("runs"))
     });
     g.bench_function("braid_core", |b| {
         let core = BraidCore::new(BraidConfig::paper_default());
-        b.iter(|| core.run(&t.program, &braid_trace))
+        b.iter(|| core.run(&t.program, &braid_trace).expect("runs"))
     });
     g.bench_function("dep_core", |b| {
         let core = DepSteerCore::new(DepConfig::paper_8wide());
-        b.iter(|| core.run(&w.program, &trace))
+        b.iter(|| core.run(&w.program, &trace).expect("runs"))
     });
     g.bench_function("inorder_core", |b| {
         let core = InOrderCore::new(InOrderConfig::paper_8wide());
-        b.iter(|| core.run(&w.program, &trace))
+        b.iter(|| core.run(&w.program, &trace).expect("runs"))
     });
     g.finish();
 

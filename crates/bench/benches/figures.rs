@@ -4,7 +4,7 @@
 //! pipeline. Full-scale regeneration is `cargo run --release -p braid-bench
 //! --bin exp -- all`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use braid_bench::microbench::{criterion_group, criterion_main, Criterion};
 
 use braid_bench::experiments as exp;
 use braid_bench::{prepare, Prepared};

@@ -1,7 +1,7 @@
 //! Microbenchmarks of the microarchitecture substrates: cache accesses,
 //! perceptron predictions, and load-store queue queries.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use braid_bench::microbench::{criterion_group, criterion_main, Criterion, Throughput};
 
 use braid_uarch::branch::{BranchPredictor, PerceptronPredictor};
 use braid_uarch::cache::{Access, MemoryHierarchy, MemoryHierarchyConfig};

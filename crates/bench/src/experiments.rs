@@ -17,11 +17,11 @@ fn braid_cfg() -> BraidConfig {
 }
 
 fn run_braid_with(p: &Prepared, cfg: &BraidConfig) -> SimReport {
-    BraidCore::new(cfg.clone()).run(&p.translation.program, &p.braid_trace)
+    BraidCore::new(cfg.clone()).run(&p.translation.program, &p.braid_trace).expect("runs")
 }
 
 fn run_ooo_with(p: &Prepared, cfg: &OooConfig) -> SimReport {
-    OooCore::new(cfg.clone()).run(&p.workload.program, &p.trace)
+    OooCore::new(cfg.clone()).run(&p.workload.program, &p.trace).expect("runs")
 }
 
 /// Table 1: braids per basic block (measured vs paper, plus the
@@ -414,9 +414,11 @@ pub fn fig13(suite: &[Prepared]) -> Table {
         for w in widths {
             let io = InOrderCore::new(InOrderConfig::paper_wide(w))
                 .run(&p.workload.program, &p.trace)
+                .expect("runs")
                 .ipc();
             let dep = DepSteerCore::new(DepConfig::paper_wide(w))
                 .run(&p.workload.program, &p.trace)
+                .expect("runs")
                 .ipc();
             let braid = run_braid_with(p, &BraidConfig::paper_wide(w)).ipc();
             let ooo = run_ooo_with(p, &OooConfig::paper_wide(w)).ipc();
@@ -501,8 +503,8 @@ pub fn paradigm_ipcs(p: &Prepared) -> [f64; 4] {
     let mut ooo_cfg = OooConfig::paper_8wide();
     ooo_cfg.common = perfect_common();
     [
-        InOrderCore::new(io_cfg).run(&p.workload.program, &p.trace).ipc(),
-        DepSteerCore::new(dep_cfg).run(&p.workload.program, &p.trace).ipc(),
+        InOrderCore::new(io_cfg).run(&p.workload.program, &p.trace).expect("runs").ipc(),
+        DepSteerCore::new(dep_cfg).run(&p.workload.program, &p.trace).expect("runs").ipc(),
         run_braid_with(p, &braid_config).ipc(),
         run_ooo_with(p, &ooo_cfg).ipc(),
     ]
@@ -547,10 +549,12 @@ pub fn exceptions(suite: &[Prepared]) -> Table {
     );
     for p in suite {
         let core = braid_core::cores::BraidCore::new(braid_cfg());
-        let clean = core.run(&p.translation.program, &p.braid_trace);
+        let clean = core.run(&p.translation.program, &p.braid_trace).expect("runs");
         let points: Vec<u64> =
             (0..p.braid_trace.len() as u64).step_by(2000).skip(1).collect();
-        let exc = core.run_with_exceptions(&p.translation.program, &p.braid_trace, &points, 200);
+        let exc = core
+            .run_with_exceptions(&p.translation.program, &p.braid_trace, &points, 200)
+            .expect("runs");
         t.push(
             &p.workload.name,
             vec![exc.cycles as f64 / clean.cycles as f64, exc.exceptions_taken as f64],

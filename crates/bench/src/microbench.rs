@@ -1,0 +1,169 @@
+//! A minimal, dependency-free stand-in for the slice of the Criterion API
+//! the bench targets use.
+//!
+//! The repository builds in hermetic environments without registry access,
+//! so the `[[bench]]` targets (which use `harness = false` and are plain
+//! binaries) time themselves with `std::time` instead of pulling in the
+//! Criterion crate. Only the API surface the benches actually call is
+//! provided: `benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`/`iter`, and `finish`, plus the `criterion_group!` /
+//! `criterion_main!` entry-point macros.
+//!
+//! Timing methodology: each benchmark runs one untimed warm-up call, then
+//! `sample_size` timed samples. A sample times a batch of iterations sized
+//! so the batch takes roughly a millisecond (calibrated from the warm-up).
+//! The median per-iteration time is reported, with throughput derived from
+//! the group's [`Throughput`] declaration when one is set.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Creates a driver. `criterion_group!` calls this for you.
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== {name} ==");
+        BenchmarkGroup { sample_size: 20, throughput: None }
+    }
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing sample and throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its median per-iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        // Warm-up: one iteration, also used to calibrate the batch size so
+        // each timed sample lasts on the order of a millisecond.
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 20) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = batch;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed / batch as u32);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / median.as_secs_f64();
+                println!("{id:32} {median:>12.2?}/iter  {rate:>14.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / median.as_secs_f64();
+                println!("{id:32} {median:>12.2?}/iter  {rate:>14.0} B/s");
+            }
+            None => println!("{id:32} {median:>12.2?}/iter"),
+        }
+        self
+    }
+
+    /// Ends the group. (Reporting is incremental, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many times as the harness requests.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::microbench::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, Criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("shim");
+        let mut calls = 0u64;
+        g.sample_size(3).throughput(Throughput::Elements(8)).bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.finish();
+        assert!(calls > 3, "warm-up plus samples should iterate, got {calls}");
+    }
+}

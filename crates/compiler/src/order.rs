@@ -48,11 +48,31 @@ fn constraint_edges(
     };
 
     // Memory ordering: conflicting accesses keep their original order.
+    // Two accesses off the same base value at statically disjoint offsets
+    // cannot overlap, whatever their (coarse, per-object) alias classes
+    // say, so stream kernels touching one array many times per iteration
+    // do not serialise into one braid chain. "Same base value" means the
+    // same register fed by the same in-block reaching def (or live-in for
+    // both); a redefinition between the accesses, e.g. an `lda` advancing
+    // the stream pointer, defeats the disambiguation and we stay
+    // conservative.
+    let base_slot = |p: usize| if inst(p).opcode.is_store() { 1 } else { 0 };
+    let provably_disjoint = |i: usize, j: usize| {
+        let (a, b) = (inst(i), inst(j));
+        let (sa, sb) = (base_slot(i), base_slot(j));
+        a.srcs[sa] == b.srcs[sb]
+            && du.src_def[i][sa] == du.src_def[j][sb]
+            && ((a.imm as i64) + a.opcode.mem_bytes() as i64 <= b.imm as i64
+                || (b.imm as i64) + b.opcode.mem_bytes() as i64 <= a.imm as i64)
+    };
     let mem_ops: Vec<usize> = (0..len).filter(|&p| inst(p).opcode.is_mem()).collect();
     for (x, &i) in mem_ops.iter().enumerate() {
         for &j in &mem_ops[x + 1..] {
             let (a, b) = (inst(i), inst(j));
-            if (a.opcode.is_store() || b.opcode.is_store()) && a.alias.may_alias(b.alias) {
+            if (a.opcode.is_store() || b.opcode.is_store())
+                && a.alias.may_alias(b.alias)
+                && !provably_disjoint(i, j)
+            {
                 push(bb.braid_of[i], bb.braid_of[j]);
             }
         }

@@ -2,6 +2,8 @@
 
 use braid_uarch::cache::MemoryHierarchyConfig;
 
+use crate::error::SimError;
+
 /// Which conditional-branch direction predictor the front end uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PredictorKind {
@@ -41,8 +43,10 @@ pub struct CommonConfig {
     pub conservative_disambiguation: bool,
     /// Maximum in-flight (dispatched, unretired) instructions.
     pub window: usize,
-    /// Hard cycle limit as a runaway guard (0 = none).
-    pub max_cycles: u64,
+    /// Livelock watchdog: cycles without a retirement before the run aborts
+    /// with [`crate::error::SimError::Livelock`] (0 = the 20 000-cycle
+    /// default, far beyond any legitimate stall).
+    pub watchdog_cycles: u64,
 }
 
 impl CommonConfig {
@@ -60,7 +64,7 @@ impl CommonConfig {
             lsq_entries: 64,
             conservative_disambiguation: false,
             window: 256,
-            max_cycles: 0,
+            watchdog_cycles: 0,
         }
     }
 
@@ -78,6 +82,27 @@ impl CommonConfig {
         self.perfect_branch_predictor = true;
         self.mem = MemoryHierarchyConfig::perfect();
         self
+    }
+
+    /// Checks that the shared parameters describe a runnable machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] naming the first bad parameter.
+    pub fn validate(&self) -> Result<(), SimError> {
+        require(self.width > 0, "width must be positive")?;
+        require(self.window > 0, "window must hold at least one instruction")?;
+        require(self.lsq_entries > 0, "lsq needs at least one entry")?;
+        Ok(())
+    }
+}
+
+/// Shorthand for configuration checks.
+fn require(ok: bool, msg: &str) -> Result<(), SimError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(SimError::Config(msg.to_string()))
     }
 }
 
@@ -131,6 +156,23 @@ impl OooConfig {
             rf_write_ports: width,
             bypass_per_cycle: width,
         }
+    }
+
+    /// Checks the machine is constructible (every pool and port count the
+    /// core divides by or allocates from is positive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] naming the first bad parameter.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.common.validate()?;
+        require(self.schedulers > 0, "ooo: at least one scheduler")?;
+        require(self.sched_entries > 0, "ooo: schedulers need entries")?;
+        require(self.fus > 0, "ooo: at least one functional unit")?;
+        require(self.regs > 0, "ooo: register buffer cannot be empty")?;
+        require(self.rf_write_ports > 0, "ooo: at least one register write port")?;
+        require(self.bypass_per_cycle > 0, "ooo: bypass bandwidth must be positive")?;
+        Ok(())
     }
 }
 
@@ -213,6 +255,27 @@ impl BraidConfig {
         cfg.rename_src_per_cycle = width;
         cfg
     }
+
+    /// Checks the machine is constructible. Starvation-prone knobs
+    /// (allocation/rename bandwidth, read ports) are deliberately *not*
+    /// rejected at zero: the livelock watchdog reports those with a state
+    /// dump instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] naming the first bad parameter.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.common.validate()?;
+        require(self.beus > 0, "braid: at least one BEU")?;
+        require(self.fifo_entries > 0, "braid: BEU FIFOs need entries")?;
+        require(self.window_size > 0, "braid: the issue window must be positive")?;
+        require(self.fus_per_beu > 0, "braid: BEUs need functional units")?;
+        require(self.external_regs > 0, "braid: external register file cannot be empty")?;
+        require(self.ext_write_ports > 0, "braid: at least one external write port")?;
+        require(self.internal_write_ports > 0, "braid: at least one internal write port")?;
+        require(self.bypass_per_cycle > 0, "braid: bypass bandwidth must be positive")?;
+        Ok(())
+    }
 }
 
 /// FIFO dependence-based steering (Palacharla-style), the paper's "dep"
@@ -259,6 +322,21 @@ impl DepConfig {
             bypass_per_cycle: width,
         }
     }
+
+    /// Checks the machine is constructible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] naming the first bad parameter.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.common.validate()?;
+        require(self.fifos > 0, "dep: at least one FIFO")?;
+        require(self.fifo_entries > 0, "dep: FIFOs need entries")?;
+        require(self.fus > 0, "dep: at least one functional unit")?;
+        require(self.regs > 0, "dep: register buffer cannot be empty")?;
+        require(self.bypass_per_cycle > 0, "dep: bypass bandwidth must be positive")?;
+        Ok(())
+    }
 }
 
 /// The in-order baseline of Figure 13.
@@ -286,6 +364,17 @@ impl InOrderConfig {
         cfg.common = cfg.common.with_width(width);
         cfg.fus = width;
         cfg
+    }
+
+    /// Checks the machine is constructible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] naming the first bad parameter.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.common.validate()?;
+        require(self.fus > 0, "inorder: at least one functional unit")?;
+        Ok(())
     }
 }
 

@@ -22,6 +22,7 @@ use braid_isa::Program;
 
 use crate::config::BraidConfig;
 use crate::cores::common::{Bandwidth, Engine, RegPool};
+use crate::error::SimError;
 use crate::report::SimReport;
 use crate::trace::Trace;
 
@@ -49,7 +50,13 @@ impl BraidCore {
     /// The program should come from the braid translator; an unannotated
     /// program still runs (every instruction is a single-instruction braid
     /// with external operands) but gains nothing.
-    pub fn run(&self, program: &Program, trace: &Trace) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] for an impossible machine description,
+    /// [`SimError::Livelock`] (with a BEU FIFO dump) if the pipeline stops
+    /// retiring.
+    pub fn run(&self, program: &Program, trace: &Trace) -> Result<SimReport, SimError> {
         self.run_with_exceptions(program, trace, &[], 0)
     }
 
@@ -58,14 +65,19 @@ impl BraidCore {
     /// checkpoint, disables all but one BEU, re-executes strictly in order
     /// until the excepting instruction retires, charges `handler_latency`
     /// cycles for the handler, and resumes normal mode.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BraidCore::run`].
     pub fn run_with_exceptions(
         &self,
         program: &Program,
         trace: &Trace,
         exceptions: &[u64],
         handler_latency: u64,
-    ) -> SimReport {
+    ) -> Result<SimReport, SimError> {
         let cfg = &self.config;
+        cfg.validate()?;
         let mut eng = Engine::new(program, trace, &cfg.common);
         let mut fifos: Vec<VecDeque<u64>> = vec![VecDeque::new(); cfg.beus as usize];
         let mut ext_pool = RegPool::new(cfg.external_regs);
@@ -259,10 +271,10 @@ impl BraidCore {
                 if exception_mode.is_some() {
                     current_beu = 0;
                 } else if inst.braid.start {
-                    // Choose the BEU with the most free space.
-                    current_beu = (0..fifos.len())
-                        .min_by_key(|&b| fifos[b].len())
-                        .expect("at least one BEU");
+                    // Choose the BEU with the most free space (config
+                    // validation guarantees at least one exists).
+                    current_beu =
+                        (0..fifos.len()).min_by_key(|&b| fifos[b].len()).unwrap_or(0);
                 }
                 if fifos[current_beu].len() >= cfg.fifo_entries as usize {
                     eng.report.stall_window += 1;
@@ -280,14 +292,22 @@ impl BraidCore {
             bypass.gc(eng.cycle.saturating_sub(64));
             ext_wr.gc(eng.cycle.saturating_sub(64));
             if !eng.advance() {
-                break;
+                let dump: Vec<String> = fifos
+                    .iter()
+                    .enumerate()
+                    .map(|(b, fifo)| {
+                        eng.describe_queue(&format!("beu{b}"), &mut fifo.iter().copied())
+                    })
+                    .chain(exception_mode.map(|e| format!("exception mode on seq {e}")))
+                    .collect();
+                return Err(eng.livelock("braid", dump));
             }
         }
         // Braid checkpoints save only external state (paper §3.4): the
         // external register file, not the internal files.
         let mut report = eng.finish(cfg.external_regs as u64);
         report.exceptions_taken = exceptions_taken;
-        report
+        Ok(report)
     }
 }
 
@@ -329,10 +349,35 @@ mod tests {
     #[test]
     fn retires_everything() {
         let (p, t) = braid_trace(PARALLEL_LOOP);
-        let r = BraidCore::new(perfect_config()).run(&p, &t);
-        assert!(!r.timed_out);
+        let r = BraidCore::new(perfect_config()).run(&p, &t).expect("runs");
         assert_eq!(r.instructions, t.len() as u64);
         assert!(r.ipc() > 1.0, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn zero_allocation_bandwidth_trips_the_watchdog() {
+        let (p, t) = braid_trace(PARALLEL_LOOP);
+        let mut starved = perfect_config();
+        starved.alloc_ext_per_cycle = 0;
+        starved.common.watchdog_cycles = 500;
+        match BraidCore::new(starved).run(&p, &t) {
+            Err(SimError::Livelock(report)) => {
+                assert_eq!(report.core, "braid");
+                assert_eq!(report.watchdog_cycles, 500);
+                let text = report.to_string();
+                assert!(text.contains("livelock"), "{text}");
+                assert!(!report.queues.is_empty(), "dump must list the BEU FIFOs");
+            }
+            other => panic!("expected livelock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn impossible_config_is_rejected() {
+        let (p, t) = braid_trace(PARALLEL_LOOP);
+        let mut bad = perfect_config();
+        bad.beus = 0;
+        assert!(matches!(BraidCore::new(bad).run(&p, &t), Err(SimError::Config(_))));
     }
 
     #[test]
@@ -340,9 +385,8 @@ mod tests {
         let (p, t) = braid_trace(PARALLEL_LOOP);
         let mut one = perfect_config();
         one.beus = 1;
-        let r1 = BraidCore::new(one).run(&p, &t);
-        let r8 = BraidCore::new(perfect_config()).run(&p, &t);
-        assert!(!r1.timed_out && !r8.timed_out);
+        let r1 = BraidCore::new(one).run(&p, &t).expect("runs");
+        let r8 = BraidCore::new(perfect_config()).run(&p, &t).expect("runs");
         assert!(
             r8.ipc() > r1.ipc() * 1.3,
             "8 BEUs {} vs 1 BEU {}",
@@ -356,9 +400,8 @@ mod tests {
         let (p, t) = braid_trace(PARALLEL_LOOP);
         let mut small = perfect_config();
         small.external_regs = 1;
-        let r1 = BraidCore::new(small).run(&p, &t);
-        let r8 = BraidCore::new(perfect_config()).run(&p, &t);
-        assert!(!r1.timed_out);
+        let r1 = BraidCore::new(small).run(&p, &t).expect("runs");
+        let r8 = BraidCore::new(perfect_config()).run(&p, &t).expect("runs");
         assert!(r1.stall_regs > 0);
         assert!(r1.ipc() < r8.ipc(), "1 ext reg {} vs 8 {}", r1.ipc(), r8.ipc());
     }
@@ -381,9 +424,8 @@ mod tests {
         );
         let mut w1 = perfect_config();
         w1.window_size = 1;
-        let r1 = BraidCore::new(w1).run(&p, &t);
-        let r2 = BraidCore::new(perfect_config()).run(&p, &t);
-        assert!(!r1.timed_out && !r2.timed_out);
+        let r1 = BraidCore::new(w1).run(&p, &t).expect("runs");
+        let r2 = BraidCore::new(perfect_config()).run(&p, &t).expect("runs");
         // Second-order issue-ordering effects can shave fractions of a
         // percent; the wider window must never *lose* materially.
         assert!(r2.ipc() >= r1.ipc() * 0.99, "w2 {} vs w1 {}", r2.ipc(), r1.ipc());
@@ -409,9 +451,8 @@ mod tests {
         );
         let mut narrow = perfect_config();
         narrow.bypass_per_cycle = 1;
-        let r_narrow = BraidCore::new(narrow).run(&p, &t);
-        let r_full = BraidCore::new(perfect_config()).run(&p, &t);
-        assert!(!r_narrow.timed_out);
+        let r_narrow = BraidCore::new(narrow).run(&p, &t).expect("runs");
+        let r_full = BraidCore::new(perfect_config()).run(&p, &t).expect("runs");
         let loss = 1.0 - r_narrow.ipc() / r_full.ipc();
         assert!(loss < 0.10, "narrow bypass costs {:.1}% with internal chains", loss * 100.0);
         assert!(r_full.external_values_per_cycle < 3.0);
@@ -430,9 +471,8 @@ mod tests {
         let (p, t) = braid_trace(&body);
         let mut small = perfect_config();
         small.fifo_entries = 4;
-        let r4 = BraidCore::new(small).run(&p, &t);
-        let r32 = BraidCore::new(perfect_config()).run(&p, &t);
-        assert!(!r4.timed_out && !r32.timed_out);
+        let r4 = BraidCore::new(small).run(&p, &t).expect("runs");
+        let r32 = BraidCore::new(perfect_config()).run(&p, &t).expect("runs");
         assert!(r4.ipc() <= r32.ipc());
         assert!(r4.stall_window > 0, "distribution stalled on FIFO space");
     }
@@ -440,7 +480,7 @@ mod tests {
     #[test]
     fn checkpoints_are_smaller_than_conventional() {
         let (p, t) = braid_trace(PARALLEL_LOOP);
-        let r = BraidCore::new(perfect_config()).run(&p, &t);
+        let r = BraidCore::new(perfect_config()).run(&p, &t).expect("runs");
         let branches = 200;
         assert_eq!(r.checkpoint_words, branches * 8);
     }
@@ -484,8 +524,7 @@ mod exception_tests {
     fn exceptions_still_retire_everything() {
         let (p, t) = braid_trace(LOOP);
         let core = BraidCore::new(perfect_config());
-        let r = core.run_with_exceptions(&p, &t, &[100, 500, 900], 200);
-        assert!(!r.timed_out);
+        let r = core.run_with_exceptions(&p, &t, &[100, 500, 900], 200).expect("runs");
         assert_eq!(r.instructions, t.len() as u64);
         assert_eq!(r.exceptions_taken, 3);
     }
@@ -494,9 +533,8 @@ mod exception_tests {
     fn exceptions_cost_cycles() {
         let (p, t) = braid_trace(LOOP);
         let core = BraidCore::new(perfect_config());
-        let clean = core.run(&p, &t);
-        let excepted = core.run_with_exceptions(&p, &t, &[300, 600], 500);
-        assert!(!excepted.timed_out);
+        let clean = core.run(&p, &t).expect("runs");
+        let excepted = core.run_with_exceptions(&p, &t, &[300, 600], 500).expect("runs");
         assert!(
             excepted.cycles > clean.cycles + 800,
             "two 500-cycle handlers plus in-order episodes: {} vs {}",
@@ -510,7 +548,7 @@ mod exception_tests {
     fn out_of_range_exceptions_are_ignored() {
         let (p, t) = braid_trace(LOOP);
         let core = BraidCore::new(perfect_config());
-        let r = core.run_with_exceptions(&p, &t, &[u64::MAX - 1], 100);
+        let r = core.run_with_exceptions(&p, &t, &[u64::MAX - 1], 100).expect("runs");
         assert_eq!(r.exceptions_taken, 0);
         assert_eq!(r.instructions, t.len() as u64);
     }
@@ -521,10 +559,9 @@ mod exception_tests {
         // on the braid machine costs real time even with a free handler.
         let (p, t) = braid_trace(LOOP);
         let core = BraidCore::new(perfect_config());
-        let clean = core.run(&p, &t);
+        let clean = core.run(&p, &t).expect("runs");
         let every: Vec<u64> = (0..t.len() as u64).step_by(200).collect();
-        let r = core.run_with_exceptions(&p, &t, &every, 0);
-        assert!(!r.timed_out);
+        let r = core.run_with_exceptions(&p, &t, &every, 0).expect("runs");
         assert_eq!(r.instructions, t.len() as u64);
         assert!(r.cycles > clean.cycles, "{} vs {}", r.cycles, clean.cycles);
     }
@@ -565,9 +602,8 @@ mod cluster_tests {
         clustered.clusters = 4;
         clustered.inter_cluster_delay = 4;
 
-        let rf = BraidCore::new(flat).run(&t.program, &trace);
-        let rc = BraidCore::new(clustered).run(&t.program, &trace);
-        assert!(!rf.timed_out && !rc.timed_out);
+        let rf = BraidCore::new(flat).run(&t.program, &trace).expect("runs");
+        let rc = BraidCore::new(clustered).run(&t.program, &trace).expect("runs");
         assert_eq!(rf.instructions, rc.instructions);
         assert!(
             rc.ipc() <= rf.ipc(),
@@ -588,8 +624,8 @@ mod cluster_tests {
         let mut b = a.clone();
         b.clusters = 1;
         b.inter_cluster_delay = 99;
-        let ra = BraidCore::new(a).run(&t.program, &trace);
-        let rb = BraidCore::new(b).run(&t.program, &trace);
+        let ra = BraidCore::new(a).run(&t.program, &trace).expect("runs");
+        let rb = BraidCore::new(b).run(&t.program, &trace).expect("runs");
         assert_eq!(ra.cycles, rb.cycles);
     }
 }

@@ -7,9 +7,15 @@ use braid_uarch::cache::{Access, MemoryHierarchy};
 use braid_uarch::lsq::{LoadStoreQueue, LsqOutcome};
 
 use crate::config::CommonConfig;
+use crate::error::{LivelockReport, SimError};
 use crate::frontend::{Fetched, Frontend};
 use crate::report::SimReport;
 use crate::trace::Trace;
+
+/// Default for [`CommonConfig::watchdog_cycles`]: the longest legitimate
+/// retirement gap is a few hundred cycles (a memory-latency chain plus a
+/// misprediction repair), so twenty thousand quiet cycles mean livelock.
+pub const DEFAULT_WATCHDOG_CYCLES: u64 = 20_000;
 
 /// Sentinel for "no producer / not yet known".
 pub const NONE: u64 = u64::MAX;
@@ -131,13 +137,11 @@ impl RegPool {
 
     /// Books the earliest available slot at or after `from`, holding it for
     /// `hold` cycles; returns the cycle at which the slot was granted.
+    /// An empty pool (rejected by config validation) grants immediately.
     pub fn alloc_earliest(&mut self, from: u64, hold: u64) -> u64 {
-        let (i, &free_at) = self
-            .slots
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &t)| t)
-            .expect("pool is non-empty");
+        let Some((i, &free_at)) = self.slots.iter().enumerate().min_by_key(|&(_, &t)| t) else {
+            return from;
+        };
         let start = from.max(free_at);
         self.slots[i] = start + hold;
         start
@@ -196,7 +200,10 @@ pub struct Engine<'a> {
     /// dispatched once: their dependence links are reused and the writer
     /// table is not touched.
     replay_until: u64,
-    max_cycles: u64,
+    /// Cycle of the most recent retirement, watched by [`Engine::advance`].
+    last_retire_cycle: u64,
+    /// No-retire-progress threshold before the run aborts as livelocked.
+    watchdog_cycles: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -225,10 +232,11 @@ impl<'a> Engine<'a> {
             external_values: 0,
             pending_stores: Vec::new(),
             replay_until: 0,
-            max_cycles: if config.max_cycles == 0 {
-                10_000 + trace.len() as u64 * 600
+            last_retire_cycle: 0,
+            watchdog_cycles: if config.watchdog_cycles == 0 {
+                DEFAULT_WATCHDOG_CYCLES
             } else {
-                config.max_cycles
+                config.watchdog_cycles
             },
         }
     }
@@ -515,13 +523,16 @@ impl<'a> Engine<'a> {
             on_retire(self, seq);
             self.head += 1;
             self.report.instructions += 1;
+            self.last_retire_cycle = self.cycle;
             n += 1;
             self.progress = true;
         }
     }
 
     /// Advances time: one cycle after progress, otherwise straight to the
-    /// next known event. Returns `false` when the cycle guard trips.
+    /// next known event. Returns `false` when the no-retire-progress
+    /// watchdog trips — the caller should abort with [`Engine::livelock`],
+    /// attaching its scheduler-state dump.
     pub fn advance(&mut self) -> bool {
         if self.progress {
             self.cycle += 1;
@@ -546,11 +557,48 @@ impl<'a> Engine<'a> {
             self.cycle = if next == NONE { self.cycle + 1 } else { next };
         }
         self.progress = false;
-        if self.cycle >= self.max_cycles {
-            self.report.timed_out = true;
-            return false;
+        self.cycle - self.last_retire_cycle <= self.watchdog_cycles
+    }
+
+    /// Builds the livelock error after [`Engine::advance`] returned
+    /// `false`. `queues` is the core's own view of its stuck schedulers
+    /// (BEU FIFO contents, busy bits, ...) — the engine cannot see it.
+    pub fn livelock(&self, core: &'static str, queues: Vec<String>) -> SimError {
+        SimError::Livelock(Box::new(LivelockReport {
+            core,
+            cycle: self.cycle,
+            last_retire_cycle: self.last_retire_cycle,
+            watchdog_cycles: self.watchdog_cycles,
+            retired: self.report.instructions,
+            head: self.head,
+            in_flight: self.in_flight() as u64,
+            fetch_queue: self.queue.len(),
+            queues,
+        }))
+    }
+
+    /// One dump line for a scheduler/FIFO: occupancy plus the head entry's
+    /// identity and why it has not issued.
+    pub fn describe_queue(&self, name: &str, entries: &mut dyn Iterator<Item = u64>) -> String {
+        let seqs: Vec<u64> = entries.collect();
+        match seqs.first() {
+            None => format!("{name}: empty"),
+            Some(&head) => {
+                let s = &self.slots[head as usize];
+                let waiting: Vec<u64> = s
+                    .deps
+                    .iter()
+                    .copied()
+                    .filter(|&d| d != NONE && self.slots[d as usize].avail_at > self.cycle)
+                    .collect();
+                format!(
+                    "{name}: {} entries, head seq {head} (inst {}) issued={} deps-waiting={waiting:?}",
+                    seqs.len(),
+                    s.idx,
+                    s.issued,
+                )
+            }
         }
-        true
     }
 
     /// Finalizes the report after the run loop ends.

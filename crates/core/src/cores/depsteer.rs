@@ -15,6 +15,7 @@ use braid_isa::Program;
 
 use crate::config::DepConfig;
 use crate::cores::common::{Bandwidth, Engine, RegPool, NONE};
+use crate::error::SimError;
 use crate::report::SimReport;
 use crate::trace::Trace;
 
@@ -31,8 +32,15 @@ impl DepSteerCore {
     }
 
     /// Simulates `trace` of `program`.
-    pub fn run(&self, program: &Program, trace: &Trace) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] for an impossible machine description,
+    /// [`SimError::Livelock`] (with a FIFO dump) if the pipeline stops
+    /// retiring.
+    pub fn run(&self, program: &Program, trace: &Trace) -> Result<SimReport, SimError> {
         let cfg = &self.config;
+        cfg.validate()?;
         let mut eng = Engine::new(program, trace, &cfg.common);
         let mut fifos: Vec<VecDeque<u64>> = vec![VecDeque::new(); cfg.fifos as usize];
         let mut regs = RegPool::new(cfg.regs);
@@ -121,11 +129,16 @@ impl DepSteerCore {
             eng.fetch_phase();
             bypass.gc(eng.cycle.saturating_sub(64));
             if !eng.advance() {
-                break;
+                let dump: Vec<String> = fifos
+                    .iter()
+                    .enumerate()
+                    .map(|(f, q)| eng.describe_queue(&format!("fifo{f}"), &mut q.iter().copied()))
+                    .collect();
+                return Err(eng.livelock("dep", dump));
             }
         }
         let _ = NONE;
-        eng.finish(64)
+        Ok(eng.finish(64))
     }
 }
 
@@ -156,8 +169,7 @@ mod tests {
         let (p, t) = trace_of(
             "addi r0, #50, r1\nloop: addq r2, r1, r2\nsubi r1, #1, r1\nbne r1, loop\nhalt",
         );
-        let r = DepSteerCore::new(perfect_config()).run(&p, &t);
-        assert!(!r.timed_out);
+        let r = DepSteerCore::new(perfect_config()).run(&p, &t).expect("runs");
         assert_eq!(r.instructions, t.len() as u64);
     }
 
@@ -176,8 +188,7 @@ mod tests {
                 halt
             "#,
         );
-        let r = DepSteerCore::new(perfect_config()).run(&p, &t);
-        assert!(!r.timed_out);
+        let r = DepSteerCore::new(perfect_config()).run(&p, &t).expect("runs");
         assert!(r.ipc() > 1.5, "ipc {}", r.ipc());
     }
 
@@ -197,11 +208,10 @@ mod tests {
                 halt
             "#,
         );
-        let dep = DepSteerCore::new(perfect_config()).run(&p, &t);
+        let dep = DepSteerCore::new(perfect_config()).run(&p, &t).expect("runs");
         let mut ooo_cfg = OooConfig::paper_8wide();
         ooo_cfg.common = CommonConfig::paper_8wide().perfect();
-        let ooo = OooCore::new(ooo_cfg).run(&p, &t);
-        assert!(!dep.timed_out && !ooo.timed_out);
+        let ooo = OooCore::new(ooo_cfg).run(&p, &t).expect("runs");
         assert!(dep.ipc() <= ooo.ipc() * 1.05, "dep {} vs ooo {}", dep.ipc(), ooo.ipc());
     }
 }

@@ -10,6 +10,7 @@ use braid_isa::Program;
 
 use crate::config::InOrderConfig;
 use crate::cores::common::Engine;
+use crate::error::SimError;
 use crate::report::SimReport;
 use crate::trace::Trace;
 
@@ -26,8 +27,14 @@ impl InOrderCore {
     }
 
     /// Simulates `trace` of `program`.
-    pub fn run(&self, program: &Program, trace: &Trace) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] for an impossible machine description,
+    /// [`SimError::Livelock`] if the pipeline stops retiring.
+    pub fn run(&self, program: &Program, trace: &Trace) -> Result<SimReport, SimError> {
         let cfg = &self.config;
+        cfg.validate()?;
         let mut eng = Engine::new(program, trace, &cfg.common);
         let mut queue: VecDeque<u64> = VecDeque::new();
 
@@ -64,10 +71,11 @@ impl InOrderCore {
 
             eng.fetch_phase();
             if !eng.advance() {
-                break;
+                let dump = vec![eng.describe_queue("queue", &mut queue.iter().copied())];
+                return Err(eng.livelock("inorder", dump));
             }
         }
-        eng.finish(0)
+        Ok(eng.finish(0))
     }
 }
 
@@ -99,8 +107,7 @@ mod tests {
         let (p, t) = trace_of(
             "addi r0, #50, r1\nloop: addq r2, r1, r2\nsubi r1, #1, r1\nbne r1, loop\nhalt",
         );
-        let r = InOrderCore::new(perfect_config()).run(&p, &t);
-        assert!(!r.timed_out);
+        let r = InOrderCore::new(perfect_config()).run(&p, &t).expect("runs");
         assert_eq!(r.instructions, t.len() as u64);
     }
 
@@ -125,12 +132,11 @@ mod tests {
         );
         let mut real = perfect_config();
         real.common.mem = braid_uarch::cache::MemoryHierarchyConfig::default();
-        let io = InOrderCore::new(real.clone()).run(&p, &t);
+        let io = InOrderCore::new(real.clone()).run(&p, &t).expect("runs");
         let mut ooo_cfg = OooConfig::paper_8wide();
         ooo_cfg.common = real.common.clone();
         ooo_cfg.common.mispredict_penalty = 23;
-        let ooo = OooCore::new(ooo_cfg).run(&p, &t);
-        assert!(!io.timed_out && !ooo.timed_out);
+        let ooo = OooCore::new(ooo_cfg).run(&p, &t).expect("runs");
         assert!(
             io.ipc() < ooo.ipc(),
             "in-order {} must trail out-of-order {}",
@@ -153,8 +159,7 @@ mod tests {
                 halt
             "#,
         );
-        let r = InOrderCore::new(perfect_config()).run(&p, &t);
-        assert!(!r.timed_out);
+        let r = InOrderCore::new(perfect_config()).run(&p, &t).expect("runs");
         assert!(r.ipc() > 2.0, "independent ops issue together: {}", r.ipc());
     }
 }

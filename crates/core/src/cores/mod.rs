@@ -1,4 +1,10 @@
 //! The four execution-core timing models of the paper's Figure 13.
+//!
+//! Every core's `run` returns `Result<SimReport, SimError>`; the hot paths
+//! must stay panic-free (the lint below enforces the `unwrap` half; config
+//! validation and the livelock watchdog cover what `Result` cannot).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub(crate) mod common;
 

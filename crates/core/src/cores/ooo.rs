@@ -10,6 +10,7 @@ use braid_isa::Program;
 
 use crate::config::OooConfig;
 use crate::cores::common::{Bandwidth, Engine, RegPool};
+use crate::error::SimError;
 use crate::report::SimReport;
 use crate::trace::Trace;
 
@@ -26,8 +27,15 @@ impl OooCore {
     }
 
     /// Simulates `trace` of `program`, returning the run statistics.
-    pub fn run(&self, program: &Program, trace: &Trace) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] for an impossible machine description,
+    /// [`SimError::Livelock`] (with a scheduler dump) if the pipeline
+    /// stops retiring.
+    pub fn run(&self, program: &Program, trace: &Trace) -> Result<SimReport, SimError> {
         let cfg = &self.config;
+        cfg.validate()?;
         let mut eng = Engine::new(program, trace, &cfg.common);
         let mut scheds: Vec<Vec<u64>> = vec![Vec::new(); cfg.schedulers as usize];
         let mut regs = RegPool::new(cfg.regs);
@@ -57,11 +65,6 @@ impl OooCore {
                 }
             }
             ready.sort_unstable();
-            if std::env::var("BRAID_DBG").is_ok() && eng.cycle > 1000 && eng.cycle < 1030 {
-                let occ: usize = scheds.iter().map(|q| q.len()).sum();
-                let front = eng.queue.front().map(|f| (f.seq, f.idx));
-                eprintln!("cyc {} ready {} occ {} inflight {} q {} front {:?} head {}", eng.cycle, ready.len(), occ, eng.in_flight(), eng.queue.len(), front, eng.head);
-            }
             let mut reads_left = cfg.rf_read_ports;
             let mut fus_left = cfg.fus;
             let mut issued: Vec<(usize, usize)> = Vec::new();
@@ -112,12 +115,13 @@ impl OooCore {
                 } else {
                     u32::MAX
                 };
+                // Config validation guarantees at least one scheduler.
                 let (sched, len) = scheds
                     .iter()
                     .enumerate()
                     .map(|(i, q)| (i, q.len()))
                     .min_by_key(|&(_, l)| l)
-                    .expect("at least one scheduler");
+                    .unwrap_or((0, usize::MAX));
                 if len >= cfg.sched_entries as usize {
                     if reg_slot != u32::MAX {
                         regs.release(reg_slot, eng.cycle);
@@ -136,12 +140,17 @@ impl OooCore {
             bypass.gc(eng.cycle.saturating_sub(64));
             wr_ports.gc(eng.cycle.saturating_sub(64));
             if !eng.advance() {
-                break;
+                let dump: Vec<String> = scheds
+                    .iter()
+                    .enumerate()
+                    .map(|(s, q)| eng.describe_queue(&format!("sched{s}"), &mut q.iter().copied()))
+                    .collect();
+                return Err(eng.livelock("ooo", dump));
             }
         }
         // A conventional checkpoint saves the full architectural register
         // map (64 registers).
-        eng.finish(64)
+        Ok(eng.finish(64))
     }
 }
 
@@ -170,10 +179,35 @@ mod tests {
         let (p, t) = trace_of(
             "addi r0, #20, r1\nloop: subi r1, #1, r1\naddq r2, r1, r2\nbne r1, loop\nhalt",
         );
-        let r = OooCore::new(perfect_config()).run(&p, &t);
-        assert!(!r.timed_out);
+        let r = OooCore::new(perfect_config()).run(&p, &t).expect("runs");
         assert_eq!(r.instructions, t.len() as u64);
         assert!(r.ipc() > 0.5, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn zero_read_ports_trip_the_watchdog() {
+        let (p, t) = trace_of(
+            "addi r0, #20, r1\nloop: subi r1, #1, r1\naddq r2, r1, r2\nbne r1, loop\nhalt",
+        );
+        let mut starved = perfect_config();
+        starved.rf_read_ports = 0;
+        starved.common.watchdog_cycles = 500;
+        match OooCore::new(starved).run(&p, &t) {
+            Err(SimError::Livelock(report)) => {
+                assert_eq!(report.core, "ooo");
+                assert!(report.cycle >= 500);
+                assert!(!report.queues.is_empty(), "dump must list the schedulers");
+            }
+            other => panic!("expected livelock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn impossible_config_is_rejected() {
+        let (p, t) = trace_of("halt");
+        let mut bad = perfect_config();
+        bad.schedulers = 0;
+        assert!(matches!(OooCore::new(bad).run(&p, &t), Err(SimError::Config(_))));
     }
 
     #[test]
@@ -187,8 +221,7 @@ mod tests {
         }
         src.push_str("subi r1, #1, r1\nbne r1, loop\nhalt");
         let (p, t) = trace_of(&src);
-        let r = OooCore::new(perfect_config()).run(&p, &t);
-        assert!(!r.timed_out);
+        let r = OooCore::new(perfect_config()).run(&p, &t).expect("runs");
         assert!(r.ipc() > 3.0, "ipc {}", r.ipc());
     }
 
@@ -197,8 +230,7 @@ mod tests {
         let (p, t) = trace_of(
             "addi r0, #500, r1\nloop: addq r2, r2, r2\nsubi r1, #1, r1\nbne r1, loop\nhalt",
         );
-        let r = OooCore::new(perfect_config()).run(&p, &t);
-        assert!(!r.timed_out);
+        let r = OooCore::new(perfect_config()).run(&p, &t).expect("runs");
         // The r2 chain serializes one addq per cycle; with the subi and bne
         // in parallel IPC can approach 3 but not exceed it by much.
         assert!(r.ipc() <= 3.2, "ipc {}", r.ipc());
@@ -213,11 +245,10 @@ mod tests {
         }
         src.push_str("subi r1, #1, r1\nbne r1, outer\nhalt");
         let (p, t) = trace_of(&src);
-        let big = OooCore::new(perfect_config()).run(&p, &t);
+        let big = OooCore::new(perfect_config()).run(&p, &t).expect("runs");
         let mut small_cfg = perfect_config();
         small_cfg.regs = 8;
-        let small = OooCore::new(small_cfg).run(&p, &t);
-        assert!(!big.timed_out && !small.timed_out);
+        let small = OooCore::new(small_cfg).run(&p, &t).expect("runs");
         assert!(
             small.ipc() < big.ipc() * 0.8,
             "8 regs {} vs 256 regs {}",
@@ -242,8 +273,7 @@ mod tests {
                 halt
             "#,
         );
-        let r = OooCore::new(perfect_config()).run(&p, &t);
-        assert!(!r.timed_out);
+        let r = OooCore::new(perfect_config()).run(&p, &t).expect("runs");
         // Most iterations forward; a few loads issue after their store
         // retired and read the cache instead.
         assert!(r.forwarded_loads >= 50, "forwards: {}", r.forwarded_loads);
@@ -267,8 +297,8 @@ mod tests {
         );
         let mut real = perfect_config();
         real.common.mem = braid_uarch::cache::MemoryHierarchyConfig::default();
-        let with_misses = OooCore::new(real).run(&p, &t);
-        let perfect = OooCore::new(perfect_config()).run(&p, &t);
+        let with_misses = OooCore::new(real).run(&p, &t).expect("runs");
+        let perfect = OooCore::new(perfect_config()).run(&p, &t).expect("runs");
         assert!(with_misses.cycles > perfect.cycles * 2);
         assert!(with_misses.l1d.misses() > 1000);
     }
@@ -296,9 +326,8 @@ mod tests {
         );
         let mut real_bp = perfect_config();
         real_bp.common.perfect_branch_predictor = false;
-        let r1 = OooCore::new(real_bp).run(&p, &t);
-        let r2 = OooCore::new(perfect_config()).run(&p, &t);
-        assert!(!r1.timed_out && !r2.timed_out);
+        let r1 = OooCore::new(real_bp).run(&p, &t).expect("runs");
+        let r2 = OooCore::new(perfect_config()).run(&p, &t).expect("runs");
         assert!(r1.branch_accuracy.misses() > 20, "{}", r1.branch_accuracy);
         assert!(r1.cycles > r2.cycles, "mispredicts must cost time");
         assert!(r1.mispredict_stall_cycles > 0);

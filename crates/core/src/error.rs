@@ -1,0 +1,109 @@
+//! Typed timing-simulation failures.
+//!
+//! Every execution core returns `Result<SimReport, SimError>`: a machine
+//! that cannot make progress reports *why* — an impossible configuration or
+//! a livelocked pipeline with a state dump — instead of panicking or
+//! spinning forever. The fault-injection harness (`braid-verify`) leans on
+//! this contract: corrupted programs and annotations must surface here, as
+//! values, never as panics or hangs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a timing core could not produce a report.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The configuration describes an impossible machine (zero width, no
+    /// execution units, an empty register pool, ...).
+    Config(String),
+    /// The no-retire-progress watchdog fired: the pipeline ran
+    /// [`LivelockReport::watchdog_cycles`] cycles without retiring a single
+    /// instruction.
+    Livelock(Box<LivelockReport>),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::Livelock(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Pipeline state captured when the watchdog detects a livelock, precise
+/// enough to see *what* is stuck: the retirement head, the in-flight
+/// window, and each scheduler/FIFO's occupancy and head readiness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LivelockReport {
+    /// Which core model livelocked (`"braid"`, `"ooo"`, ...).
+    pub core: &'static str,
+    /// Cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// Cycle of the last retirement (0 if nothing ever retired).
+    pub last_retire_cycle: u64,
+    /// The watchdog threshold that was exceeded.
+    pub watchdog_cycles: u64,
+    /// Instructions retired before the machine stuck.
+    pub retired: u64,
+    /// Oldest unretired sequence number.
+    pub head: u64,
+    /// Dispatched but unretired instructions.
+    pub in_flight: u64,
+    /// Occupancy of the fetch-to-dispatch decoupling queue.
+    pub fetch_queue: usize,
+    /// Core-specific occupancy dump: one line per scheduler / BEU FIFO
+    /// ("beu3: 5 entries, head seq 42 idx 17 deps-ready=false busy=[...]").
+    pub queues: Vec<String>,
+}
+
+impl fmt::Display for LivelockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} core livelocked: no retirement for {} cycles (cycle {}, last retire at {})",
+            self.core,
+            self.cycle - self.last_retire_cycle,
+            self.cycle,
+            self.last_retire_cycle
+        )?;
+        writeln!(
+            f,
+            "  retired {} instructions; head seq {}; {} in flight; {} queued at dispatch",
+            self.retired, self.head, self.in_flight, self.fetch_queue
+        )?;
+        for line in &self.queues {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_dump() {
+        let e = SimError::Livelock(Box::new(LivelockReport {
+            core: "braid",
+            cycle: 20_100,
+            last_retire_cycle: 100,
+            watchdog_cycles: 20_000,
+            retired: 17,
+            head: 17,
+            in_flight: 3,
+            fetch_queue: 4,
+            queues: vec!["beu0: empty".into(), "beu1: seq 18 waiting on seq 12".into()],
+        }));
+        let text = e.to_string();
+        assert!(text.contains("no retirement for 20000 cycles"));
+        assert!(text.contains("retired 17 instructions"));
+        assert!(text.contains("beu1: seq 18 waiting on seq 12"));
+        let c = SimError::Config("width must be positive".into());
+        assert!(c.to_string().contains("width must be positive"));
+    }
+}

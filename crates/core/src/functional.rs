@@ -94,6 +94,12 @@ pub enum ExecError {
     },
     /// The instruction budget was exhausted before `halt`.
     OutOfFuel,
+    /// A control-flow instruction carries no encoded target — a malformed
+    /// (hand-built or corrupted) program.
+    MissingTarget {
+        /// The program counter of the offending instruction.
+        pc: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -104,6 +110,9 @@ impl fmt::Display for ExecError {
                 write!(f, "instruction {idx}: internal value for {reg} missing")
             }
             ExecError::OutOfFuel => write!(f, "instruction budget exhausted before halt"),
+            ExecError::MissingTarget { pc } => {
+                write!(f, "control-flow instruction at pc {pc} has no target")
+            }
         }
     }
 }
@@ -190,6 +199,12 @@ impl Machine {
         } else {
             Ok(self.regs[reg.index() as usize])
         }
+    }
+
+    fn target_of(&self, inst: &braid_isa::Inst) -> Result<u64, ExecError> {
+        inst.target()
+            .map(|t| t as u64)
+            .ok_or(ExecError::MissingTarget { pc: self.pc })
     }
 
     /// Executes one instruction, returning its trace entry.
@@ -306,7 +321,7 @@ impl Machine {
             }
             Br => {
                 taken = true;
-                next_pc = inst.target().expect("br has target") as u64;
+                next_pc = self.target_of(inst)?;
             }
             Beq | Bne | Blt | Bge | Ble | Bgt => {
                 let v = src[0] as i64;
@@ -319,13 +334,13 @@ impl Machine {
                     _ => v > 0,
                 };
                 if taken {
-                    next_pc = inst.target().expect("cond branch has target") as u64;
+                    next_pc = self.target_of(inst)?;
                 }
             }
             Call => {
                 taken = true;
                 result = Some(self.pc + 1);
-                next_pc = inst.target().expect("call has target") as u64;
+                next_pc = self.target_of(inst)?;
             }
             Ret => {
                 taken = true;

@@ -49,6 +49,7 @@
 
 pub mod config;
 pub mod cores;
+pub mod error;
 pub mod frontend;
 pub mod functional;
 pub mod processor;
@@ -57,6 +58,7 @@ pub mod report;
 pub mod trace;
 
 pub use config::{BraidConfig, CommonConfig, DepConfig, InOrderConfig, OooConfig};
+pub use error::{LivelockReport, SimError};
 pub use functional::{ExecError, Machine};
 pub use processor::{run_braid, run_dep, run_inorder, run_ooo};
 pub use report::SimReport;

@@ -42,9 +42,6 @@ pub struct SimReport {
     pub checkpoint_words: u64,
     /// Exceptions taken (braid machine: single-BEU in-order episodes).
     pub exceptions_taken: u64,
-    /// The run hit the cycle guard before retiring everything (a model
-    /// bug if ever true).
-    pub timed_out: bool,
 }
 
 impl SimReport {
@@ -71,11 +68,10 @@ impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} insts in {} cycles: IPC {:.3}{}",
+            "{} insts in {} cycles: IPC {:.3}",
             self.instructions,
             self.cycles,
             self.ipc(),
-            if self.timed_out { " (TIMED OUT)" } else { "" }
         )?;
         writeln!(
             f,

@@ -1,0 +1,303 @@
+//! # braid-prng: a dependency-free deterministic PRNG
+//!
+//! The repository builds in hermetic environments with no registry access,
+//! so everything that needs randomness — the seeded workload generator, the
+//! fault injector, and the in-repo property-test harness — draws from this
+//! small xoshiro256** generator instead of the `rand` crate.
+//!
+//! The generator is deterministic by construction: the same seed always
+//! yields the same stream, across platforms and releases. Workload
+//! generation depends on that property ("the same profile always yields the
+//! same program"), so the state-transition function must never change; add
+//! a new generator instead if a different stream is ever needed.
+//!
+//! ```
+//! use braid_prng::Rng;
+//!
+//! let mut a = Rng::seed_from_u64(42);
+//! let mut b = Rng::seed_from_u64(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let die = a.gen_range(1..=6u32);
+//! assert!((1..=6).contains(&die));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A small, fast, deterministic generator (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        Rng { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A uniform value from `range` (half-open or inclusive; any primitive
+    /// integer type).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoBounds<T>,
+    {
+        let (lo, hi_incl) = range.into_bounds();
+        T::sample(self, lo, hi_incl)
+    }
+
+    /// A uniform u64 in `[0, bound)` without modulo bias (Lemire's method).
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // 128-bit multiply-shift; retry in the biased low zone.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Fisher–Yates shuffle of `slice`.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element of `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        &slice[self.gen_range(0..slice.len())]
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi]` (both inclusive).
+    fn sample(rng: &mut Rng, lo: Self, hi: Self) -> Self;
+}
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait IntoBounds<T> {
+    /// Converts to `(low, high_inclusive)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn into_bounds(self) -> (T, T);
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                (lo as u64).wrapping_add(rng.bounded_u64(span)) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+                // Shift into unsigned space to avoid overflow on spans.
+                let ulo = (lo as $u).wrapping_sub(<$t>::MIN as $u);
+                let uhi = (hi as $u).wrapping_sub(<$t>::MIN as $u);
+                let span = (uhi as u64).wrapping_sub(ulo as u64).wrapping_add(1);
+                let draw = if span == 0 { rng.next_u64() } else { rng.bounded_u64(span) };
+                ((ulo as u64).wrapping_add(draw) as $u).wrapping_add(<$t>::MIN as $u) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl<T: SampleUniform + Dec> IntoBounds<T> for Range<T> {
+    fn into_bounds(self) -> (T, T) {
+        assert!(self.start < self.end, "gen_range on an empty range");
+        (self.start, self.end.dec())
+    }
+}
+
+impl<T: SampleUniform> IntoBounds<T> for RangeInclusive<T> {
+    fn into_bounds(self) -> (T, T) {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range on an empty range");
+        (lo, hi)
+    }
+}
+
+/// Decrement by one, for converting half-open bounds to inclusive ones.
+pub trait Dec {
+    /// `self - 1`.
+    fn dec(self) -> Self;
+}
+
+macro_rules! impl_dec {
+    ($($t:ty),*) => {$(
+        impl Dec for $t {
+            fn dec(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+
+impl_dec!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn reference_stream_is_frozen() {
+        // Workload generation depends on this exact stream; if this test
+        // ever fails, the generator's state transition changed and every
+        // "deterministic" workload changed with it.
+        let mut r = Rng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10..20u32);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&w));
+            let u = r.gen_range(0..3usize);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn full_and_extreme_ranges() {
+        let mut r = Rng::seed_from_u64(2);
+        for _ in 0..100 {
+            let _ = r.gen_range(0..=u64::MAX);
+            let _ = r.gen_range(i64::MIN..=i64::MAX);
+            assert_eq!(r.gen_range(3..4u32), 3, "single-value range");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Rng::seed_from_u64(3);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.gen_bool(0.25)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn range_distribution_is_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(4);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn shuffle_and_choose() {
+        let mut r = Rng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..32).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        let pick = *r.choose(&v);
+        assert!(v.contains(&pick));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::seed_from_u64(0).gen_range(5..5u32);
+    }
+}

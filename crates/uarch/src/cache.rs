@@ -399,7 +399,7 @@ mod mshr_tests {
         let mut h = MemoryHierarchy::new(mshr_config(1));
         let miss = h.access_at(Access::Load, 0x0000, 0);
         for i in 0..8 {
-            assert_eq!(h.access_at(Access::Load, 0x0000 + i, 1), 3, "hits bypass MSHRs");
+            assert_eq!(h.access_at(Access::Load, i, 1), 3, "hits bypass MSHRs");
         }
         let second = h.access_at(Access::Load, 0x4000, 1);
         assert!(second > miss, "the busy MSHR still delays a second miss");

@@ -1,0 +1,437 @@
+//! Deterministic fault injection.
+//!
+//! Each fault class perturbs one layer of the stack — braid annotation
+//! bits, program structure, assembler input, or machine configuration —
+//! and asserts the whole pipeline fails *typed*: an error value, or a
+//! clean [`DivergenceReport`](crate::oracle::DivergenceReport) from the
+//! co-simulation oracle. A panic anywhere, or a hang the livelock
+//! watchdog does not catch, is a verification failure.
+//!
+//! Faults are seeded from [`braid_prng`], so a failing case is replayable
+//! from its `(kind, seed)` pair alone.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use braid_compiler::{translate, Translation, TranslatorConfig};
+use braid_core::config::BraidConfig;
+use braid_core::cores::BraidCore;
+use braid_prng::Rng;
+
+use crate::oracle::{cosim_braid, run_golden, GoldenRun, OracleError};
+
+/// Instruction budget for every faulted run: small enough to bound the
+/// campaign, large enough that the clean program halts well within it.
+const FUEL: u64 = 50_000;
+
+/// The base program every structural fault perturbs: loops, loads, stores
+/// and a conditional branch, so each fault class has something to corrupt.
+const BASE_SRC: &str = r#"
+    addi r0, #150, r1
+    addi r0, #0x2000, r9
+loop:
+    addq r1, r1, r2
+    addq r2, r1, r2
+    slli r2, #3, r3
+    stq  r2, 0(r9) @stack:1
+    ldq  r4, 0(r9) @stack:1
+    addq r4, r3, r5
+    stq  r5, 8(r9) @stack:2
+    andi r5, #1, r6
+    beq  r6, skip
+    addi r7, #1, r7
+skip:
+    subi r1, #1, r1
+    bne  r1, loop
+    halt
+"#;
+
+/// The catalogue of injectable fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Toggle an `S` (braid start) bit, merging or splitting braids and
+    /// desynchronizing the internal-context lifetime.
+    FlipStart,
+    /// Toggle a `T` (read-internal) source bit, pointing a source at an
+    /// internal value that may not exist.
+    FlipTemp,
+    /// Toggle an `I` (write-internal) destination bit.
+    FlipInternal,
+    /// Toggle an `E` (write-external) destination bit, hiding a value the
+    /// rest of the program needs.
+    FlipExternal,
+    /// Corrupt a non-control immediate (wrong literal or displacement).
+    CorruptImmediate,
+    /// Point a branch outside the program.
+    BadBranchTarget,
+    /// Truncate the translated program mid-braid (drops `halt` and leaves
+    /// dangling control targets).
+    TruncateBraid,
+    /// Mark more values internal than the 8-entry internal file holds.
+    InternalOverflow,
+    /// Feed the assembler syntactically corrupted source text.
+    MalformedAsm,
+    /// Run the braid core with an impossible configuration.
+    BadConfig,
+    /// Starve external-register allocation so the pipeline livelocks; the
+    /// watchdog must convert the hang into a typed error.
+    Starvation,
+}
+
+impl FaultKind {
+    /// Every fault class, in catalogue order.
+    pub const ALL: [FaultKind; 11] = [
+        FaultKind::FlipStart,
+        FaultKind::FlipTemp,
+        FaultKind::FlipInternal,
+        FaultKind::FlipExternal,
+        FaultKind::CorruptImmediate,
+        FaultKind::BadBranchTarget,
+        FaultKind::TruncateBraid,
+        FaultKind::InternalOverflow,
+        FaultKind::MalformedAsm,
+        FaultKind::BadConfig,
+        FaultKind::Starvation,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::FlipStart => "flip-S",
+            FaultKind::FlipTemp => "flip-T",
+            FaultKind::FlipInternal => "flip-I",
+            FaultKind::FlipExternal => "flip-E",
+            FaultKind::CorruptImmediate => "corrupt-imm",
+            FaultKind::BadBranchTarget => "bad-branch-target",
+            FaultKind::TruncateBraid => "truncate-braid",
+            FaultKind::InternalOverflow => "internal-overflow",
+            FaultKind::MalformedAsm => "malformed-asm",
+            FaultKind::BadConfig => "bad-config",
+            FaultKind::Starvation => "starvation",
+        }
+    }
+}
+
+/// One injected fault: its class and the PRNG seed that drove it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The fault class.
+    pub kind: FaultKind,
+    /// Seed for the perturbation choices (replayable).
+    pub seed: u64,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.kind.name(), self.seed)
+    }
+}
+
+/// How the stack responded to one injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// A typed error surfaced (`ExecError`, `TranslateError`, `SimError`,
+    /// an assembler error, or a failed-retirement report). Desired.
+    TypedError(String),
+    /// The co-simulation oracle caught a wrong answer and produced a
+    /// structured divergence report. Desired.
+    Divergence(String),
+    /// The fault had no architecturally visible effect.
+    Masked,
+    /// Something panicked. Always a verification failure.
+    Panicked(String),
+}
+
+/// One fault plus its observed outcome.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// The injected fault.
+    pub fault: Fault,
+    /// What happened.
+    pub outcome: FaultOutcome,
+}
+
+/// Aggregated results of a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignSummary {
+    /// Every case, in injection order.
+    pub reports: Vec<FaultReport>,
+}
+
+impl CampaignSummary {
+    fn count(&self, f: impl Fn(&FaultOutcome) -> bool) -> usize {
+        self.reports.iter().filter(|r| f(&r.outcome)).count()
+    }
+
+    /// Cases that produced a typed error.
+    pub fn typed_errors(&self) -> usize {
+        self.count(|o| matches!(o, FaultOutcome::TypedError(_)))
+    }
+
+    /// Cases the oracle flagged as divergent.
+    pub fn divergences(&self) -> usize {
+        self.count(|o| matches!(o, FaultOutcome::Divergence(_)))
+    }
+
+    /// Cases with no observable effect.
+    pub fn masked(&self) -> usize {
+        self.count(|o| matches!(o, FaultOutcome::Masked))
+    }
+
+    /// Cases that panicked — must be zero.
+    pub fn panics(&self) -> usize {
+        self.count(|o| matches!(o, FaultOutcome::Panicked(_)))
+    }
+}
+
+impl fmt::Display for CampaignSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} faults: {} typed errors, {} divergences, {} masked, {} panics",
+            self.reports.len(),
+            self.typed_errors(),
+            self.divergences(),
+            self.masked(),
+            self.panics()
+        )
+    }
+}
+
+/// Classifies the oracle's response to a (possibly corrupted) translation.
+fn evaluate(t: &Translation, golden: &GoldenRun) -> FaultOutcome {
+    match cosim_braid(t, "fault", FUEL, golden) {
+        Err(OracleError::Diverged(d)) => FaultOutcome::Divergence(d.to_string()),
+        Err(e) => FaultOutcome::TypedError(e.to_string()),
+        Ok(trace) => {
+            match BraidCore::new(BraidConfig::paper_default()).run(&t.program, &trace) {
+                Err(e) => FaultOutcome::TypedError(e.to_string()),
+                Ok(r) if r.instructions != trace.len() as u64 => FaultOutcome::TypedError(
+                    format!("braid retired {} of {}", r.instructions, trace.len()),
+                ),
+                Ok(_) => FaultOutcome::Masked,
+            }
+        }
+    }
+}
+
+/// Picks an instruction index satisfying `pred`, if any exists.
+fn pick_inst(
+    rng: &mut Rng,
+    t: &Translation,
+    pred: impl Fn(&braid_isa::Inst) -> bool,
+) -> Option<usize> {
+    let candidates: Vec<usize> = t
+        .program
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| pred(i))
+        .map(|(idx, _)| idx)
+        .collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(*rng.choose(&candidates))
+    }
+}
+
+fn inject(fault: Fault, golden: &GoldenRun, clean: &Translation) -> FaultOutcome {
+    let mut rng = Rng::seed_from_u64(fault.seed);
+    let mut t = clean.clone();
+    match fault.kind {
+        FaultKind::FlipStart => {
+            if let Some(i) = pick_inst(&mut rng, &t, |i| !i.opcode.is_branch()) {
+                t.program.insts[i].braid.start = !t.program.insts[i].braid.start;
+            }
+            evaluate(&t, golden)
+        }
+        FaultKind::FlipTemp => {
+            if let Some(i) = pick_inst(&mut rng, &t, |i| i.opcode.num_srcs() > 0) {
+                let slot = rng.gen_range(0..t.program.insts[i].opcode.num_srcs());
+                t.program.insts[i].braid.t[slot] = !t.program.insts[i].braid.t[slot];
+            }
+            evaluate(&t, golden)
+        }
+        FaultKind::FlipInternal => {
+            if let Some(i) = pick_inst(&mut rng, &t, |i| i.dest.is_some()) {
+                t.program.insts[i].braid.internal = !t.program.insts[i].braid.internal;
+            }
+            evaluate(&t, golden)
+        }
+        FaultKind::FlipExternal => {
+            if let Some(i) = pick_inst(&mut rng, &t, |i| i.dest.is_some()) {
+                t.program.insts[i].braid.external = !t.program.insts[i].braid.external;
+            }
+            evaluate(&t, golden)
+        }
+        FaultKind::CorruptImmediate => {
+            if let Some(i) =
+                pick_inst(&mut rng, &t, |i| i.target().is_none() && !i.opcode.is_branch())
+            {
+                t.program.insts[i].imm ^= 1 << rng.gen_range(0..12u32);
+            }
+            evaluate(&t, golden)
+        }
+        FaultKind::BadBranchTarget => {
+            if let Some(i) = pick_inst(&mut rng, &t, |i| i.target().is_some()) {
+                let beyond = t.program.insts.len() as u32 + rng.gen_range(1..1000u32);
+                t.program.insts[i].set_target(beyond);
+            }
+            evaluate(&t, golden)
+        }
+        FaultKind::TruncateBraid => {
+            let cut = rng.gen_range(1..t.program.insts.len());
+            t.program.insts.truncate(cut);
+            t.braid_of_inst.truncate(cut);
+            evaluate(&t, golden)
+        }
+        FaultKind::InternalOverflow => {
+            // Mark every destination in a window internal: far more live
+            // internal values than the 8-entry file provides.
+            let start = rng.gen_range(0..t.program.insts.len().saturating_sub(1));
+            let end = (start + 12).min(t.program.insts.len());
+            for inst in &mut t.program.insts[start..end] {
+                if inst.dest.is_some() {
+                    inst.braid.internal = true;
+                }
+            }
+            evaluate(&t, golden)
+        }
+        FaultKind::MalformedAsm => {
+            let garbage = ["ldq r1,", "@@", "bne r99, nowhere", "addq r1 r2", "#####"];
+            let mut src = String::from(BASE_SRC);
+            let at = rng.gen_range(0..src.len());
+            // Insert on a character boundary near `at`.
+            let at = (at..src.len()).find(|&i| src.is_char_boundary(i)).unwrap_or(src.len());
+            let piece = *rng.choose(&garbage[..]);
+            src.insert_str(at, piece);
+            match braid_isa::asm::assemble(&src) {
+                Err(e) => FaultOutcome::TypedError(e.to_string()),
+                Ok(p) => match translate(&p, &TranslatorConfig::default()) {
+                    Err(e) => FaultOutcome::TypedError(e.to_string()),
+                    // The insertion landed somewhere harmless (or changed
+                    // the program entirely); co-simulate it against its own
+                    // golden run — the stack must still not panic.
+                    Ok(t2) => match run_golden(&p, FUEL) {
+                        Err(e) => FaultOutcome::TypedError(e.to_string()),
+                        Ok(g2) => evaluate(&t2, &g2),
+                    },
+                },
+            }
+        }
+        FaultKind::BadConfig => {
+            let mut cfg = BraidConfig::paper_default();
+            match rng.gen_range(0..4u32) {
+                0 => cfg.beus = 0,
+                1 => cfg.fifo_entries = 0,
+                2 => cfg.common.width = 0,
+                _ => cfg.external_regs = 0,
+            }
+            match BraidCore::new(cfg).run(&t.program, &golden.trace) {
+                Err(e) => FaultOutcome::TypedError(e.to_string()),
+                Ok(_) => FaultOutcome::Masked,
+            }
+        }
+        FaultKind::Starvation => {
+            let mut cfg = BraidConfig::paper_default();
+            cfg.alloc_ext_per_cycle = 0;
+            cfg.common.watchdog_cycles = 2_000;
+            match cosim_braid(&t, "fault", FUEL, golden) {
+                Err(OracleError::Diverged(d)) => FaultOutcome::Divergence(d.to_string()),
+                Err(e) => FaultOutcome::TypedError(e.to_string()),
+                Ok(trace) => match BraidCore::new(cfg).run(&t.program, &trace) {
+                    Err(e) => FaultOutcome::TypedError(e.to_string()),
+                    Ok(_) => FaultOutcome::Masked,
+                },
+            }
+        }
+    }
+}
+
+/// Runs `cases_per_class` seeded cases of every fault class against the
+/// built-in base program.
+///
+/// Every case runs under `catch_unwind`; a panic is recorded as
+/// [`FaultOutcome::Panicked`] rather than aborting the campaign, so the
+/// caller can assert `summary.panics() == 0`.
+///
+/// # Panics
+///
+/// Panics only if the *clean* base program fails to assemble, translate,
+/// or execute — that is a broken build, not an injected fault.
+pub fn run_fault_campaign(master_seed: u64, cases_per_class: usize) -> CampaignSummary {
+    let program = braid_isa::asm::assemble(BASE_SRC).expect("base program assembles");
+    let golden = run_golden(&program, FUEL).expect("base program runs");
+    let clean = translate(&program, &TranslatorConfig::default()).expect("base translates");
+
+    let mut summary = CampaignSummary::default();
+    let mut seeder = Rng::seed_from_u64(master_seed);
+    for &kind in &FaultKind::ALL {
+        for _ in 0..cases_per_class {
+            let fault = Fault { kind, seed: seeder.next_u64() };
+            let outcome = catch_unwind(AssertUnwindSafe(|| inject(fault, &golden, &clean)))
+                .unwrap_or_else(|p| {
+                    let msg = p
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    FaultOutcome::Panicked(msg)
+                });
+            summary.reports.push(FaultReport { fault, outcome });
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_never_panics_and_faults_are_observed() {
+        let summary = run_fault_campaign(0xB1AD, 8);
+        assert_eq!(summary.reports.len(), FaultKind::ALL.len() * 8);
+        for r in &summary.reports {
+            assert!(
+                !matches!(r.outcome, FaultOutcome::Panicked(_)),
+                "fault {} panicked: {:?}",
+                r.fault,
+                r.outcome
+            );
+        }
+        assert_eq!(summary.panics(), 0);
+        // The stack must actually *catch* things: a campaign where every
+        // fault is masked means the oracle is blind.
+        assert!(
+            summary.typed_errors() + summary.divergences() > summary.reports.len() / 4,
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let a = run_fault_campaign(7, 3);
+        let b = run_fault_campaign(7, 3);
+        let pairs = a.reports.iter().zip(b.reports.iter());
+        for (x, y) in pairs {
+            assert_eq!(x.fault, y.fault);
+            assert_eq!(x.outcome, y.outcome);
+        }
+    }
+
+    #[test]
+    fn bad_branch_targets_always_fail_typed() {
+        let summary = run_fault_campaign(99, 4);
+        for r in summary.reports.iter().filter(|r| r.fault.kind == FaultKind::BadBranchTarget) {
+            assert!(
+                matches!(r.outcome, FaultOutcome::TypedError(_)),
+                "fault {}: {:?}",
+                r.fault,
+                r.outcome
+            );
+        }
+    }
+}

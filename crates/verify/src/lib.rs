@@ -1,0 +1,19 @@
+//! # braid-verify: co-simulation oracle and fault injector
+//!
+//! Verification machinery for the braid simulator: a lockstep oracle that
+//! retires every timing core against the functional golden model, and a
+//! deterministic fault injector that perturbs programs and braid
+//! annotations to assert the whole stack fails *typed* — an error or a
+//! divergence report, never a panic or a hang.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod oracle;
+
+pub use fault::{run_fault_campaign, CampaignSummary, Fault, FaultKind, FaultOutcome, FaultReport};
+pub use oracle::{
+    check_all_cores, check_core, CoreKind, DivergenceReport, MemDelta, OracleError, OracleReport,
+    RegDelta,
+};

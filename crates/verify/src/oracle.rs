@@ -1,0 +1,439 @@
+//! Lockstep co-simulation oracle.
+//!
+//! The oracle retires each timing core against the functional golden model
+//! ([`Machine`]):
+//!
+//! 1. The golden model executes the *original* program, recording the
+//!    committed trace and every store in commit order.
+//! 2. For the braid core, the program is translated and a second machine
+//!    replays the *translated* program in lockstep against the golden store
+//!    streams. Streams are kept *per address*: the translator may legally
+//!    reorder provably-disjoint stores inside a block, but same-address
+//!    stores keep their order, so each address's value sequence must match
+//!    exactly. The first mismatching store pins the divergence to a program
+//!    counter and the offending braid. At halt the external register files
+//!    and the touched memory are compared.
+//! 3. The timing core then replays the committed trace and must retire
+//!    every dynamic instruction (the watchdog inside the core converts a
+//!    hang into a typed [`SimError`]).
+//!
+//! Any mismatch is reported as a structured [`DivergenceReport`] rather
+//! than an assertion failure, so fault-injection campaigns can distinguish
+//! "cleanly caught wrong answer" from "crash".
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use braid_compiler::{translate, TranslateError, Translation, TranslatorConfig};
+use braid_core::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
+use braid_core::cores::{BraidCore, DepSteerCore, InOrderCore, OooCore};
+use braid_core::functional::{ExecError, Machine};
+use braid_core::trace::{Trace, TraceEntry};
+use braid_core::SimError;
+use braid_isa::{Program, Reg};
+
+/// The four timing cores the oracle can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreKind {
+    /// Conventional out-of-order.
+    Ooo,
+    /// In-order.
+    InOrder,
+    /// FIFO dependence-based steering.
+    DepSteer,
+    /// The braid microarchitecture (runs the translated program).
+    Braid,
+}
+
+impl CoreKind {
+    /// All four cores, in the paper's Figure 13 order.
+    pub const ALL: [CoreKind; 4] =
+        [CoreKind::InOrder, CoreKind::DepSteer, CoreKind::Braid, CoreKind::Ooo];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoreKind::Ooo => "ooo",
+            CoreKind::InOrder => "inorder",
+            CoreKind::DepSteer => "dep",
+            CoreKind::Braid => "braid",
+        }
+    }
+}
+
+/// One architectural register whose final value differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegDelta {
+    /// The register.
+    pub reg: Reg,
+    /// Value in the golden (original-program) machine.
+    pub golden: u64,
+    /// Value in the subject (translated-program) machine.
+    pub subject: u64,
+}
+
+/// One memory word whose value differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemDelta {
+    /// The byte address.
+    pub addr: u64,
+    /// Word in the golden machine.
+    pub golden: u64,
+    /// Word in the subject machine.
+    pub subject: u64,
+}
+
+/// A structured description of where co-simulation diverged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergenceReport {
+    /// The core under test.
+    pub core: &'static str,
+    /// Workload / program name.
+    pub workload: String,
+    /// Program counter (translated program) of the first divergence, or
+    /// `u64::MAX` when only the final state differs.
+    pub pc: u64,
+    /// The braid containing `pc`, when known.
+    pub braid: Option<u32>,
+    /// Registers whose final values differ.
+    pub reg_deltas: Vec<RegDelta>,
+    /// Memory words whose final values differ.
+    pub mem_deltas: Vec<MemDelta>,
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} diverged on {}", self.core, self.workload)?;
+        if self.pc != u64::MAX {
+            write!(f, " at pc {}", self.pc)?;
+        }
+        if let Some(b) = self.braid {
+            write!(f, " (braid {b})")?;
+        }
+        for d in &self.reg_deltas {
+            write!(f, "\n  {}: golden {:#x} vs {:#x}", d.reg, d.golden, d.subject)?;
+        }
+        for d in &self.mem_deltas {
+            write!(f, "\n  [{:#x}]: golden {:#x} vs {:#x}", d.addr, d.golden, d.subject)?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors (and caught divergences) from an oracle check.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum OracleError {
+    /// The golden model itself failed.
+    Exec(ExecError),
+    /// Braid translation failed.
+    Translate(TranslateError),
+    /// The timing core failed (bad config or livelock).
+    Sim(SimError),
+    /// The timing core finished but did not retire the whole trace.
+    Retirement {
+        /// The core under test.
+        core: &'static str,
+        /// Dynamic instructions in the trace.
+        expected: u64,
+        /// Instructions the core retired.
+        retired: u64,
+    },
+    /// Co-simulation produced different architectural results.
+    Diverged(Box<DivergenceReport>),
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Exec(e) => write!(f, "golden model failed: {e}"),
+            OracleError::Translate(e) => write!(f, "translation failed: {e}"),
+            OracleError::Sim(e) => write!(f, "timing core failed: {e}"),
+            OracleError::Retirement { core, expected, retired } => {
+                write!(f, "{core} retired {retired} of {expected} instructions")
+            }
+            OracleError::Diverged(d) => d.fmt(f),
+        }
+    }
+}
+
+impl Error for OracleError {}
+
+impl From<ExecError> for OracleError {
+    fn from(e: ExecError) -> OracleError {
+        OracleError::Exec(e)
+    }
+}
+
+impl From<TranslateError> for OracleError {
+    fn from(e: TranslateError) -> OracleError {
+        OracleError::Translate(e)
+    }
+}
+
+impl From<SimError> for OracleError {
+    fn from(e: SimError) -> OracleError {
+        OracleError::Sim(e)
+    }
+}
+
+/// A passed oracle check.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// The core under test.
+    pub core: &'static str,
+    /// Workload / program name.
+    pub workload: String,
+    /// Dynamic instructions retired.
+    pub instructions: u64,
+    /// Cycles the timing core took.
+    pub cycles: u64,
+}
+
+impl fmt::Display for OracleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ok — {} insts in {} cycles",
+            self.core, self.workload, self.instructions, self.cycles
+        )
+    }
+}
+
+/// The golden model's full run: final machine, trace, stores in commit order.
+pub(crate) struct GoldenRun {
+    pub(crate) machine: Machine,
+    pub(crate) trace: Trace,
+    /// Every committed store: `(address, stored bytes as a value)`.
+    pub(crate) stores: Vec<(u64, u64)>,
+}
+
+/// Reads back exactly the bytes `inst` stored at `addr`.
+fn stored_value(m: &Machine, program: &Program, idx: u32, addr: u64) -> u64 {
+    match program.insts[idx as usize].opcode.mem_bytes() {
+        4 => m.mem.read_u32(addr) as u64,
+        _ => m.mem.read_u64(addr),
+    }
+}
+
+pub(crate) fn run_golden(program: &Program, fuel: u64) -> Result<GoldenRun, OracleError> {
+    let mut m = Machine::new(program);
+    let mut entries: Vec<TraceEntry> = Vec::new();
+    let mut stores = Vec::new();
+    while !m.halted() {
+        if entries.len() as u64 >= fuel {
+            return Err(ExecError::OutOfFuel.into());
+        }
+        let e = m.step(program)?;
+        if program.insts[e.idx as usize].opcode.is_store() {
+            stores.push((e.addr, stored_value(&m, program, e.idx, e.addr)));
+        }
+        entries.push(e);
+    }
+    Ok(GoldenRun { machine: m, trace: Trace { entries }, stores })
+}
+
+/// Registers safe to compare after a braid translation: every write in the
+/// translated program reaches the external file (internal-only values are
+/// braid-local by construction and may legitimately never surface).
+fn externally_visible(translated: &Program) -> Vec<Reg> {
+    Reg::all()
+        .filter(|r| translated.insts.iter().all(|i| i.dest != Some(*r) || i.braid.external))
+        .collect()
+}
+
+/// Lockstep-replays the translated program against the golden store stream
+/// and final state. Returns the braided trace on success.
+pub(crate) fn cosim_braid(
+    t: &Translation,
+    name: &str,
+    fuel: u64,
+    golden: &GoldenRun,
+) -> Result<Trace, OracleError> {
+    let mut m = Machine::new(&t.program);
+    let mut entries: Vec<TraceEntry> = Vec::new();
+    // Per-address golden value streams (see the module docs: disjoint
+    // stores may be reordered, same-address stores may not).
+    let mut pending: HashMap<u64, VecDeque<u64>> = HashMap::new();
+    for &(addr, value) in &golden.stores {
+        pending.entry(addr).or_default().push_back(value);
+    }
+    let mut outstanding = golden.stores.len();
+    let diverge = |pc: u64, mem_deltas: Vec<MemDelta>| {
+        OracleError::Diverged(Box::new(DivergenceReport {
+            core: "braid",
+            workload: name.to_string(),
+            pc,
+            braid: t.braid_of_inst.get(pc as usize).copied(),
+            reg_deltas: Vec::new(),
+            mem_deltas,
+        }))
+    };
+    while !m.halted() {
+        if entries.len() as u64 >= fuel {
+            return Err(ExecError::OutOfFuel.into());
+        }
+        let e = m.step(&t.program)?;
+        if t.program.insts[e.idx as usize].opcode.is_store() {
+            let got = stored_value(&m, &t.program, e.idx, e.addr);
+            let want = pending.get_mut(&e.addr).and_then(VecDeque::pop_front);
+            match want {
+                None => {
+                    return Err(diverge(
+                        e.idx as u64,
+                        vec![MemDelta { addr: e.addr, golden: 0, subject: got }],
+                    ));
+                }
+                Some(w) if w != got => {
+                    return Err(diverge(
+                        e.idx as u64,
+                        vec![MemDelta { addr: e.addr, golden: w, subject: got }],
+                    ));
+                }
+                Some(_) => outstanding -= 1,
+            }
+        }
+        entries.push(e);
+    }
+
+    // Final state: externally-visible registers and every touched word.
+    let mut reg_deltas = Vec::new();
+    for r in externally_visible(&t.program) {
+        let (g, s) = (golden.machine.reg(r), m.reg(r));
+        if g != s {
+            reg_deltas.push(RegDelta { reg: r, golden: g, subject: s });
+        }
+    }
+    let mut mem_deltas = Vec::new();
+    let touched: BTreeSet<u64> = golden.stores.iter().map(|&(a, _)| a).collect();
+    for addr in touched {
+        let (g, s) = (golden.machine.mem.read_u64(addr), m.mem.read_u64(addr));
+        if g != s {
+            mem_deltas.push(MemDelta { addr, golden: g, subject: s });
+        }
+    }
+    if outstanding != 0 || !reg_deltas.is_empty() || !mem_deltas.is_empty() {
+        return Err(OracleError::Diverged(Box::new(DivergenceReport {
+            core: "braid",
+            workload: name.to_string(),
+            pc: u64::MAX,
+            braid: None,
+            reg_deltas,
+            mem_deltas,
+        })));
+    }
+    Ok(Trace { entries })
+}
+
+fn require_full_retirement(
+    core: &'static str,
+    expected: u64,
+    retired: u64,
+) -> Result<(), OracleError> {
+    if retired == expected {
+        Ok(())
+    } else {
+        Err(OracleError::Retirement { core, expected, retired })
+    }
+}
+
+/// Runs `program` through the lockstep oracle on the given timing core.
+///
+/// # Errors
+///
+/// See [`OracleError`]; a clean mismatch comes back as
+/// [`OracleError::Diverged`] carrying the structured report.
+pub fn check_core(
+    kind: CoreKind,
+    program: &Program,
+    name: &str,
+    fuel: u64,
+) -> Result<OracleReport, OracleError> {
+    let golden = run_golden(program, fuel)?;
+    let expected = golden.trace.len() as u64;
+    let report = match kind {
+        CoreKind::Braid => {
+            let t = translate(program, &TranslatorConfig::default())?;
+            let braid_trace = cosim_braid(&t, name, fuel, &golden)?;
+            let r = BraidCore::new(BraidConfig::paper_default()).run(&t.program, &braid_trace)?;
+            require_full_retirement("braid", braid_trace.len() as u64, r.instructions)?;
+            r
+        }
+        CoreKind::Ooo => {
+            let r = OooCore::new(OooConfig::paper_8wide()).run(program, &golden.trace)?;
+            require_full_retirement("ooo", expected, r.instructions)?;
+            r
+        }
+        CoreKind::InOrder => {
+            let r = InOrderCore::new(InOrderConfig::paper_8wide()).run(program, &golden.trace)?;
+            require_full_retirement("inorder", expected, r.instructions)?;
+            r
+        }
+        CoreKind::DepSteer => {
+            let r = DepSteerCore::new(DepConfig::paper_8wide()).run(program, &golden.trace)?;
+            require_full_retirement("dep", expected, r.instructions)?;
+            r
+        }
+    };
+    Ok(OracleReport {
+        core: kind.name(),
+        workload: name.to_string(),
+        instructions: report.instructions,
+        cycles: report.cycles,
+    })
+}
+
+/// Runs all four timing cores under the oracle.
+///
+/// # Errors
+///
+/// Fails on the first core that errors or diverges.
+pub fn check_all_cores(
+    program: &Program,
+    name: &str,
+    fuel: u64,
+) -> Result<Vec<OracleReport>, OracleError> {
+    CoreKind::ALL.iter().map(|&k| check_core(k, program, name, fuel)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_isa::asm::assemble;
+
+    const LOOP: &str = r#"
+        addi r0, #200, r1
+        addi r0, #0x1000, r9
+    loop:
+        addq r1, r1, r2
+        addq r2, r1, r2
+        stq  r2, 0(r9) @stack:1
+        ldq  r3, 0(r9) @stack:1
+        addq r3, r1, r4
+        stq  r4, 8(r9) @stack:2
+        subi r1, #1, r1
+        bne  r1, loop
+        halt
+    "#;
+
+    #[test]
+    fn all_cores_pass_on_a_clean_loop() {
+        let p = assemble(LOOP).unwrap();
+        let reports = check_all_cores(&p, "loop", 100_000).expect("oracle passes");
+        assert_eq!(reports.len(), 4);
+        for r in reports {
+            assert!(r.instructions > 0);
+            assert!(r.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn infinite_loops_surface_as_out_of_fuel() {
+        let p = assemble("loop: br loop\nhalt").unwrap();
+        match check_core(CoreKind::Ooo, &p, "spin", 1_000) {
+            Err(OracleError::Exec(ExecError::OutOfFuel)) => {}
+            other => panic!("expected OutOfFuel, got {other:?}"),
+        }
+    }
+}

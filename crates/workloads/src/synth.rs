@@ -25,8 +25,7 @@
 use std::collections::HashMap;
 
 use braid_isa::{AliasClass, BraidBits, DataSegment, Inst, Opcode, Program, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use braid_prng::Rng;
 
 use crate::profiles::{BenchClass, MemPattern, WorkloadProfile};
 use crate::Workload;
@@ -140,7 +139,7 @@ fn load_address(asm: &mut Asm, addr: u64, dest: u8) {
 #[allow(clippy::too_many_arguments)]
 fn emit_tree(
     asm: &mut Asm,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     p: &WorkloadProfile,
     fp: bool,
     ops: u32,
@@ -156,7 +155,7 @@ fn emit_tree(
     let mut chains: Vec<u8> = Vec::new();
     let mut emitted = 0u32;
 
-    let seed_leaf = |asm: &mut Asm, rng: &mut StdRng, dest: u8, emitted: &mut u32| {
+    let seed_leaf = |asm: &mut Asm, rng: &mut Rng, dest: u8, emitted: &mut u32| {
         if rng.gen_bool(p.load_prob) {
             let (base, alias) = if addrs.len() > 1 && rng.gen_bool(0.4) {
                 addrs[rng.gen_range(1..addrs.len())]
@@ -250,7 +249,7 @@ fn emit_tree(
 
 /// Emits `n` single-instruction braids (alignment nops and independent
 /// event-counter updates, as a non-braid-aware compiler leaves behind).
-fn emit_singles(asm: &mut Asm, rng: &mut StdRng, n: u32, used_events: &mut [bool; 2]) {
+fn emit_singles(asm: &mut Asm, rng: &mut Rng, n: u32, used_events: &mut [bool; 2]) {
     for _ in 0..n {
         let free = (0..EVENTS.len()).find(|&i| !used_events[i]);
         let choice = rng.gen_range(0..10);
@@ -298,7 +297,7 @@ pub fn generate(profile: &WorkloadProfile, scale: f64) -> Workload {
         p.name,
         ADDR_T.len()
     );
-    let mut rng = StdRng::seed_from_u64(fnv(p.name));
+    let mut rng = Rng::seed_from_u64(fnv(p.name));
     let mut asm = Asm::default();
     let chase = p.pattern == MemPattern::PointerChase;
     let random = p.pattern == MemPattern::Random;

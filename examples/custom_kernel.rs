@@ -62,8 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("braid statistics: {}", translation.stats);
 
     // Timing comparison.
-    let ooo = OooCore::new(OooConfig::paper_8wide()).run(&program, &trace);
-    let braid = BraidCore::new(BraidConfig::paper_default()).run(&translation.program, &braid_trace);
+    let ooo = OooCore::new(OooConfig::paper_8wide()).run(&program, &trace)?;
+    let braid = BraidCore::new(BraidConfig::paper_default()).run(&translation.program, &braid_trace)?;
     println!("\nout-of-order IPC {:.3}", ooo.ipc());
     println!("braid        IPC {:.3} ({:.1}% of out-of-order)", braid.ipc(), 100.0 * braid.ipc() / ooo.ipc());
     Ok(())

@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut machine = Machine::new(&translation.program);
     let trace = machine.run(&translation.program, workload.fuel)?;
 
-    let run = |cfg: BraidConfig| BraidCore::new(cfg).run(&translation.program, &trace).ipc();
+    let run = |cfg: BraidConfig| BraidCore::new(cfg).run(&translation.program, &trace).expect("runs").ipc();
     let base = run(BraidConfig::paper_default());
     println!("workload {name}: braid default IPC {base:.3}\n");
 

@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = m.run(&t.program, workload.fuel)?;
     let core = BraidCore::new(BraidConfig::paper_default());
 
-    let clean = core.run(&t.program, &trace);
+    let clean = core.run(&t.program, &trace)?;
     println!("clean run      : {} cycles, IPC {:.3}", clean.cycles, clean.ipc());
 
     for (label, every, handler) in [
@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("frequent (1/500)", 500, 200),
     ] {
         let points: Vec<u64> = (0..trace.len() as u64).step_by(every).skip(1).collect();
-        let r = core.run_with_exceptions(&t.program, &trace, &points, handler);
+        let r = core.run_with_exceptions(&t.program, &trace, &points, handler)?;
         println!(
             "{label}: {} cycles, IPC {:.3}  ({} exceptions, {:.1}% slowdown)",
             r.cycles,

@@ -1,0 +1,47 @@
+//! Verification tour: the co-simulation oracle, the fault-injection
+//! campaign, and the livelock watchdog, all through the public API.
+//!
+//! ```text
+//! cargo run --release --example verification [workload]
+//! ```
+
+use braid::core::config::BraidConfig;
+use braid::core::cores::BraidCore;
+use braid::core::functional::Machine;
+use braid::core::SimError;
+use braid::compiler::{translate, TranslatorConfig};
+use braid_verify::{check_all_cores, run_fault_campaign};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gzip".into());
+    let w = braid::workloads::by_name(&name, 0.05)
+        .ok_or_else(|| format!("unknown workload {name}"))?;
+
+    // 1. Lockstep oracle: every timing core retires the workload against
+    //    the functional golden model, or explains exactly where it split.
+    println!("== oracle: {} ==", w.name);
+    for r in check_all_cores(&w.program, &w.name, w.fuel)? {
+        println!("  {r}");
+    }
+
+    // 2. Fault campaign: perturb annotations, structure, source text and
+    //    configuration; every case must fail typed, never panic or hang.
+    let summary = run_fault_campaign(0xB1AD, 4);
+    println!("== fault campaign ==\n  {summary}");
+    assert_eq!(summary.panics(), 0, "campaign must be panic-free");
+
+    // 3. Watchdog: starve external-register allocation so the braid core
+    //    can never retire, and show the structured livelock report.
+    let t = translate(&w.program, &TranslatorConfig::default())?;
+    let trace = Machine::new(&t.program).run(&t.program, w.fuel)?;
+    let mut cfg = BraidConfig::paper_default();
+    cfg.alloc_ext_per_cycle = 0;
+    cfg.common.watchdog_cycles = 1_000;
+    match BraidCore::new(cfg).run(&t.program, &trace) {
+        Err(SimError::Livelock(report)) => {
+            println!("== watchdog ==\n{report}");
+        }
+        other => panic!("expected a livelock report, got {other:?}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and a warnings-as-errors
+# clippy pass over the whole workspace (including the non-default
+# braid-bench member). Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "tier-1 OK"

@@ -23,6 +23,7 @@ use braid::core::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
 use braid::core::cores::{BraidCore, DepSteerCore, InOrderCore, OooCore};
 use braid::core::functional::Machine;
 use braid::core::report::SimReport;
+use braid::core::SimError;
 use braid::isa::asm::assemble;
 use braid::isa::Program;
 
@@ -53,6 +54,19 @@ fn load_program(spec: &str) -> Result<(Program, u64), String> {
         let mut p = assemble(&source).map_err(|e| format!("{spec}: {e}"))?;
         p.name = spec.to_string();
         Ok((p, 50_000_000))
+    }
+}
+
+fn report_result(label: &str, r: Result<SimReport, SimError>) -> bool {
+    match r {
+        Ok(rep) => {
+            report(label, &rep);
+            true
+        }
+        Err(e) => {
+            eprintln!("braidsim: {label} simulation failed:\n{e}");
+            false
+        }
     }
 }
 
@@ -119,17 +133,23 @@ fn main() -> ExitCode {
     if want("ooo") {
         let mut cfg = OooConfig::paper_wide(opts.width);
         cfg.common = perfect(cfg.common);
-        report("out-of-order", &OooCore::new(cfg).run(&program, &trace));
+        if !report_result("out-of-order", OooCore::new(cfg).run(&program, &trace)) {
+            return ExitCode::FAILURE;
+        }
     }
     if want("dep") {
         let mut cfg = DepConfig::paper_wide(opts.width);
         cfg.common = perfect(cfg.common);
-        report("dependence-steering", &DepSteerCore::new(cfg).run(&program, &trace));
+        if !report_result("dependence-steering", DepSteerCore::new(cfg).run(&program, &trace)) {
+            return ExitCode::FAILURE;
+        }
     }
     if want("inorder") {
         let mut cfg = InOrderConfig::paper_wide(opts.width);
         cfg.common = perfect(cfg.common);
-        report("in-order", &InOrderCore::new(cfg).run(&program, &trace));
+        if !report_result("in-order", InOrderCore::new(cfg).run(&program, &trace)) {
+            return ExitCode::FAILURE;
+        }
     }
     if want("braid") {
         let t = match translate(&program, &TranslatorConfig::default()) {
@@ -150,7 +170,9 @@ fn main() -> ExitCode {
         let mut cfg = BraidConfig::paper_wide(opts.width);
         cfg.common = perfect(cfg.common);
         cfg.common.mispredict_penalty = 19;
-        report("braid", &BraidCore::new(cfg).run(&t.program, &braid_trace));
+        if !report_result("braid", BraidCore::new(cfg).run(&t.program, &braid_trace)) {
+            return ExitCode::FAILURE;
+        }
     }
     if !["ooo", "dep", "inorder", "braid", "all"].contains(&core) {
         return usage();

@@ -4,154 +4,181 @@
 //! braid paradigm: for *any* valid program, the braid-annotated, reordered
 //! program computes the same architectural results (externally-written
 //! registers and memory) as the original.
+//!
+//! The generators draw from the in-repo deterministic PRNG (`braid-prng`)
+//! rather than proptest, so the suite runs in hermetic environments with no
+//! registry access. Each property checks a fixed number of seeded cases;
+//! failures print the offending seed, which reproduces the case exactly.
 
 use braid::compiler::{translate, TranslatorConfig};
 use braid::core::functional::Machine;
 use braid::isa::{decode, encode, AliasClass, Inst, Opcode, Program, Reg};
-use proptest::prelude::*;
+use braid_prng::Rng;
 
-// ---- strategies ----
+const CASES: u64 = 96;
 
-fn arb_int_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|n| Reg::int(n).expect("in range"))
+// ---- generators ----
+
+fn gen_int_reg(rng: &mut Rng) -> Reg {
+    Reg::int(rng.gen_range(0..32u8)).expect("in range")
 }
 
-fn arb_fp_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|n| Reg::float(n).expect("in range"))
+fn gen_fp_reg(rng: &mut Rng) -> Reg {
+    Reg::float(rng.gen_range(0..32u8)).expect("in range")
 }
 
 /// Random programs must not lie to the compiler: alias tags assert
 /// disjointness the profiler would have verified, but random base
 /// registers can collide, so everything stays [`AliasClass::Unknown`]
 /// (conservative and always truthful).
-fn arb_alias() -> impl Strategy<Value = AliasClass> {
-    Just(AliasClass::Unknown)
+fn gen_alias(_rng: &mut Rng) -> AliasClass {
+    AliasClass::Unknown
 }
 
-/// Any validly-shaped non-control instruction.
-fn arb_straightline_inst() -> impl Strategy<Value = Inst> {
-    let alu2 = (
-        prop_oneof![
-            Just(Opcode::Add),
-            Just(Opcode::Sub),
-            Just(Opcode::Mul),
-            Just(Opcode::And),
-            Just(Opcode::Or),
-            Just(Opcode::Xor),
-            Just(Opcode::Andnot),
-            Just(Opcode::Cmpeq),
-            Just(Opcode::Cmplt),
-            Just(Opcode::Cmovne),
-        ],
-        arb_int_reg(),
-        arb_int_reg(),
-        arb_int_reg(),
-    )
-        .prop_map(|(op, a, b, d)| Inst::alu(op, a, b, d).expect("valid shape"));
-    let alui = (
-        prop_oneof![
-            Just(Opcode::Addi),
-            Just(Opcode::Subi),
-            Just(Opcode::Andi),
-            Just(Opcode::Ori),
-            Just(Opcode::Xori),
-            Just(Opcode::Cmpeqi),
-            Just(Opcode::Zapnot),
-            Just(Opcode::Cmovnei),
-        ],
-        arb_int_reg(),
-        -1000i32..1000,
-        arb_int_reg(),
-    )
-        .prop_map(|(op, s, imm, d)| Inst::alui(op, s, imm, d).expect("valid shape"));
-    let shift = (
-        prop_oneof![Just(Opcode::Slli), Just(Opcode::Srli), Just(Opcode::Srai)],
-        arb_int_reg(),
-        0i32..64,
-        arb_int_reg(),
-    )
-        .prop_map(|(op, s, imm, d)| Inst::alui(op, s, imm, d).expect("valid shape"));
-    let fp = (
-        prop_oneof![Just(Opcode::Fadd), Just(Opcode::Fsub), Just(Opcode::Fmul)],
-        arb_fp_reg(),
-        arb_fp_reg(),
-        arb_fp_reg(),
-    )
-        .prop_map(|(op, a, b, d)| Inst::alu(op, a, b, d).expect("valid shape"));
-    // Loads/stores over a small aligned pool so loads observe stores.
-    let load = (arb_int_reg(), 0i32..32, arb_int_reg(), arb_alias())
-        .prop_map(|(base, slot, d, alias)| {
-            Inst::load(Opcode::Ldq, base, slot * 8, d, alias).expect("valid shape")
-        });
-    let store = (arb_int_reg(), arb_int_reg(), 0i32..32, arb_alias())
-        .prop_map(|(v, base, slot, alias)| {
-            Inst::store(Opcode::Stq, v, base, slot * 8, alias).expect("valid shape")
-        });
-    prop_oneof![6 => alu2, 6 => alui, 2 => shift, 3 => fp, 3 => load, 3 => store, 1 => Just(Inst::nop())]
+/// Any validly-shaped non-control instruction. Weights mirror the old
+/// proptest strategy: 6 alu / 6 alui / 2 shift / 3 fp / 3 load / 3 store /
+/// 1 nop.
+fn gen_straightline_inst(rng: &mut Rng) -> Inst {
+    match rng.gen_range(0..24u32) {
+        0..=5 => {
+            let op = *rng.choose(&[
+                Opcode::Add,
+                Opcode::Sub,
+                Opcode::Mul,
+                Opcode::And,
+                Opcode::Or,
+                Opcode::Xor,
+                Opcode::Andnot,
+                Opcode::Cmpeq,
+                Opcode::Cmplt,
+                Opcode::Cmovne,
+            ]);
+            let (a, b, d) = (gen_int_reg(rng), gen_int_reg(rng), gen_int_reg(rng));
+            Inst::alu(op, a, b, d).expect("valid shape")
+        }
+        6..=11 => {
+            let op = *rng.choose(&[
+                Opcode::Addi,
+                Opcode::Subi,
+                Opcode::Andi,
+                Opcode::Ori,
+                Opcode::Xori,
+                Opcode::Cmpeqi,
+                Opcode::Zapnot,
+                Opcode::Cmovnei,
+            ]);
+            let (s, d) = (gen_int_reg(rng), gen_int_reg(rng));
+            Inst::alui(op, s, rng.gen_range(-1000..1000i32), d).expect("valid shape")
+        }
+        12..=13 => {
+            let op = *rng.choose(&[Opcode::Slli, Opcode::Srli, Opcode::Srai]);
+            let (s, d) = (gen_int_reg(rng), gen_int_reg(rng));
+            Inst::alui(op, s, rng.gen_range(0..64i32), d).expect("valid shape")
+        }
+        14..=16 => {
+            let op = *rng.choose(&[Opcode::Fadd, Opcode::Fsub, Opcode::Fmul]);
+            let (a, b, d) = (gen_fp_reg(rng), gen_fp_reg(rng), gen_fp_reg(rng));
+            Inst::alu(op, a, b, d).expect("valid shape")
+        }
+        // Loads/stores over a small aligned pool so loads observe stores.
+        17..=19 => {
+            let (base, d) = (gen_int_reg(rng), gen_int_reg(rng));
+            let slot = rng.gen_range(0..32i32);
+            Inst::load(Opcode::Ldq, base, slot * 8, d, gen_alias(rng)).expect("valid shape")
+        }
+        20..=22 => {
+            let (v, base) = (gen_int_reg(rng), gen_int_reg(rng));
+            let slot = rng.gen_range(0..32i32);
+            Inst::store(Opcode::Stq, v, base, slot * 8, gen_alias(rng)).expect("valid shape")
+        }
+        _ => Inst::nop(),
+    }
 }
 
 /// A random straight-line program with a few forward branches (so the CFG
-/// has multiple blocks), ending in `halt`.
-fn arb_program() -> impl Strategy<Value = Program> {
-    (
-        proptest::collection::vec(arb_straightline_inst(), 4..80),
-        proptest::collection::vec((0usize..76, 1u32..8, 0u8..32), 0..4),
-    )
-        .prop_map(|(mut insts, branches)| {
-            // Splice in forward conditional branches.
-            for (at, skip, reg) in branches {
-                let at = at.min(insts.len().saturating_sub(1));
-                let target = (at as u32 + 1 + skip).min(insts.len() as u32);
-                let src = Reg::int(reg).expect("in range");
-                insts.insert(at, Inst::branch(Opcode::Bne, src, target + 1).expect("shape"));
+/// has multiple blocks), ending in `halt`. Retries until the program
+/// validates (random branch splices almost always do).
+fn gen_program(rng: &mut Rng) -> Program {
+    loop {
+        let len = rng.gen_range(4..80usize);
+        let mut insts: Vec<Inst> = (0..len).map(|_| gen_straightline_inst(rng)).collect();
+        // Splice in forward conditional branches.
+        for _ in 0..rng.gen_range(0..4usize) {
+            let at = rng.gen_range(0..76usize).min(insts.len().saturating_sub(1));
+            let skip = rng.gen_range(1..8u32);
+            let target = (at as u32 + 1 + skip).min(insts.len() as u32);
+            let src = Reg::int(rng.gen_range(0..32u8)).expect("in range");
+            insts.insert(at, Inst::branch(Opcode::Bne, src, target + 1).expect("shape"));
+        }
+        // Force every branch strictly forward (insertion shifts indices,
+        // which could otherwise create loops) and inside the program.
+        let halt_at = insts.len() as u32;
+        #[allow(clippy::needless_range_loop)] // set_target needs &mut insts[i]
+        for i in 0..insts.len() {
+            if let Some(t) = insts[i].target() {
+                insts[i].set_target(t.max(i as u32 + 1).min(halt_at));
             }
-            // Force every branch strictly forward (insertion shifts indices,
-            // which could otherwise create loops) and inside the program.
-            let halt_at = insts.len() as u32;
-            #[allow(clippy::needless_range_loop)] // set_target needs &mut insts[i]
-            for i in 0..insts.len() {
-                if let Some(t) = insts[i].target() {
-                    insts[i].set_target(t.max(i as u32 + 1).min(halt_at));
-                }
-            }
-            insts.push(Inst::halt());
-            let mut p = Program::from_insts("prop", insts);
-            // A small data pool; base registers hold small values, so all
-            // accesses land in a low page.
-            p.data.push(braid::isa::DataSegment::from_words(
-                0,
-                &(0..128).map(|i| i * 17 + 3).collect::<Vec<u64>>(),
-            ));
-            p
-        })
-        .prop_filter("program validates", |p| p.validate().is_ok())
+        }
+        insts.push(Inst::halt());
+        let mut p = Program::from_insts("prop", insts);
+        // A small data pool; base registers hold small values, so all
+        // accesses land in a low page.
+        p.data.push(braid::isa::DataSegment::from_words(
+            0,
+            &(0..128).map(|i| i * 17 + 3).collect::<Vec<u64>>(),
+        ));
+        if p.validate().is_ok() {
+            return p;
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// decode(encode(i)) is the identity on valid instructions.
-    #[test]
-    fn encoding_round_trips(inst in arb_straightline_inst()) {
-        let word = encode(&inst).expect("valid instructions encode");
-        prop_assert_eq!(decode(word).expect("decodes"), inst);
+/// Runs `check` for [`CASES`] seeded cases, tagging failures with the seed.
+fn for_each_case(name: &str, mut check: impl FnMut(&mut Rng)) {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!("property `{name}` failed for seed {seed}");
+            std::panic::resume_unwind(payload);
+        }
     }
+}
 
-    /// The assembler parses what the disassembler prints.
-    #[test]
-    fn disassembly_round_trips(p in arb_program()) {
+// ---- properties ----
+
+/// decode(encode(i)) is the identity on valid instructions.
+#[test]
+fn encoding_round_trips() {
+    for_each_case("encoding_round_trips", |rng| {
+        for _ in 0..16 {
+            let inst = gen_straightline_inst(rng);
+            let word = encode(&inst).expect("valid instructions encode");
+            assert_eq!(decode(word).expect("decodes"), inst);
+        }
+    });
+}
+
+/// The assembler parses what the disassembler prints.
+#[test]
+fn disassembly_round_trips() {
+    for_each_case("disassembly_round_trips", |rng| {
+        let p = gen_program(rng);
         let text = braid::isa::asm::disassemble(&p);
         let back = braid::isa::asm::assemble(&text).expect("reassembles");
-        prop_assert_eq!(back.insts, p.insts);
-    }
+        assert_eq!(back.insts, p.insts);
+    });
+}
 
-    /// Translation is a permutation within blocks that preserves live
-    /// architectural state.
-    #[test]
-    fn translation_preserves_semantics(p in arb_program()) {
+/// Translation is a permutation within blocks that preserves live
+/// architectural state.
+#[test]
+fn translation_preserves_semantics() {
+    for_each_case("translation_preserves_semantics", |rng| {
+        let p = gen_program(rng);
         let t = translate(&p, &TranslatorConfig::default()).expect("translates");
-        prop_assert_eq!(t.program.len(), p.len());
-        prop_assert_eq!(t.program.opcode_histogram(), p.opcode_histogram());
+        assert_eq!(t.program.len(), p.len());
+        assert_eq!(t.program.opcode_histogram(), p.opcode_histogram());
 
         let fuel = 100_000;
         let mut original = Machine::new(&p);
@@ -172,59 +199,223 @@ proptest! {
             let purely_external =
                 !writers.is_empty() && writers.iter().all(|i| i.braid.external && !i.braid.internal);
             if purely_external {
-                prop_assert_eq!(original.reg(reg), braided.reg(reg), "register {} diverged", reg);
+                assert_eq!(original.reg(reg), braided.reg(reg), "register {reg} diverged");
             }
         }
         for addr in (0..1024u64).step_by(8) {
-            prop_assert_eq!(original.mem.read_u64(addr), braided.mem.read_u64(addr));
+            assert_eq!(original.mem.read_u64(addr), braided.mem.read_u64(addr));
         }
-    }
+    });
+}
 
-    /// Structural braid invariants: the partition tiles each block, `S`
-    /// bits mark exactly the braid starts, and every `T`-annotated source
-    /// was produced internally earlier in the same braid.
-    #[test]
-    fn braid_partition_invariants(p in arb_program()) {
+/// Structural braid invariants: the partition tiles each block, `S`
+/// bits mark exactly the braid starts, and every `T`-annotated source
+/// was produced internally earlier in the same braid.
+#[test]
+fn braid_partition_invariants() {
+    for_each_case("braid_partition_invariants", |rng| {
+        let p = gen_program(rng);
         let t = translate(&p, &TranslatorConfig::default()).expect("translates");
         let total: u32 = t.braids.iter().map(|d| d.len).sum();
-        prop_assert_eq!(total as usize, t.program.len());
+        assert_eq!(total as usize, t.program.len());
         for (i, desc) in t.braids.iter().enumerate() {
-            prop_assert!(desc.len >= 1);
+            assert!(desc.len >= 1);
             // `internals` counts all internal values of the braid; the
             // 8-register bound applies to the *simultaneous* working set,
             // which `translate` enforces via its internal allocation pass.
-            prop_assert!(desc.internals <= desc.len);
+            assert!(desc.internals <= desc.len);
             for (k, idx) in (desc.start..desc.start + desc.len).enumerate() {
-                prop_assert_eq!(t.braid_of_inst[idx as usize], i as u32);
+                assert_eq!(t.braid_of_inst[idx as usize], i as u32);
                 let inst = &t.program.insts[idx as usize];
-                prop_assert_eq!(inst.braid.start, k == 0);
+                assert_eq!(inst.braid.start, k == 0);
                 for (slot, &is_t) in inst.braid.t.iter().enumerate() {
-                    if !is_t { continue; }
+                    if !is_t {
+                        continue;
+                    }
                     let reg = inst.srcs[slot].expect("T implies a source");
                     let produced = (desc.start..idx).rev().any(|j| {
                         t.program.insts[j as usize].written_reg() == Some(reg)
                             && t.program.insts[j as usize].braid.internal
                     });
-                    prop_assert!(produced, "T source {} at {} has no internal producer", reg, idx);
+                    assert!(produced, "T source {reg} at {idx} has no internal producer");
                 }
             }
         }
-    }
+    });
+}
 
-    /// Every dynamic instruction retires on the braid machine, and the
-    /// cycle count respects the width bound.
-    #[test]
-    fn braid_core_retires_random_programs(p in arb_program()) {
-        use braid::core::config::BraidConfig;
-        use braid::core::cores::BraidCore;
+/// Every dynamic instruction retires on the braid machine, and the
+/// cycle count respects the width bound.
+#[test]
+fn braid_core_retires_random_programs() {
+    use braid::core::config::BraidConfig;
+    use braid::core::cores::BraidCore;
+    for_each_case("braid_core_retires_random_programs", |rng| {
+        let p = gen_program(rng);
         let t = translate(&p, &TranslatorConfig::default()).expect("translates");
         let mut m = Machine::new(&t.program);
         let trace = m.run(&t.program, 100_000).expect("runs");
         let mut cfg = BraidConfig::paper_default();
         cfg.common = cfg.common.perfect();
-        let r = BraidCore::new(cfg).run(&t.program, &trace);
-        prop_assert!(!r.timed_out);
-        prop_assert_eq!(r.instructions, trace.len() as u64);
-        prop_assert!(r.cycles as usize >= trace.len() / 8);
+        let r = BraidCore::new(cfg).run(&t.program, &trace).expect("runs");
+        assert_eq!(r.instructions, trace.len() as u64);
+        assert!(r.cycles as usize >= trace.len() / 8);
+    });
+}
+
+// ---- Memory edge cases (paper-independent substrate properties) ----
+
+/// Sparse-page memory: writes that straddle page boundaries, wrap the
+/// address space, or interleave at random must all read back exactly, and
+/// untouched bytes must stay zero.
+mod memory_properties {
+    use super::for_each_case;
+    use braid::core::functional::Memory;
+
+    const PAGE: u64 = 4096;
+
+    #[test]
+    fn page_boundary_straddles_round_trip() {
+        for_each_case("page_boundary_straddles_round_trip", |rng| {
+            let mut mem = Memory::new();
+            // A write beginning within 7 bytes of a page boundary spans
+            // two pages; both halves must land.
+            let page = rng.gen_range(0..1024u64);
+            let offset = PAGE - rng.gen_range(1..8u64);
+            let addr = page * PAGE + offset;
+            let value = rng.next_u64();
+            mem.write_u64(addr, value);
+            assert_eq!(mem.read_u64(addr), value);
+            // Byte-level view agrees with the little-endian encoding.
+            for (i, &b) in value.to_le_bytes().iter().enumerate() {
+                assert_eq!(mem.read_u8(addr + i as u64), b);
+            }
+        });
+    }
+
+    #[test]
+    fn address_space_wraps() {
+        for_each_case("address_space_wraps", |rng| {
+            let mut mem = Memory::new();
+            // The last `wrap` bytes of the 8-byte write land at the bottom
+            // of the address space.
+            let wrap = rng.gen_range(1..8u64);
+            let start = 0u64.wrapping_sub(8 - wrap);
+            let value = rng.next_u64();
+            mem.write_u64(start, value);
+            assert_eq!(mem.read_u64(start), value, "wrap at {start:#x}");
+            let wrapped = start.wrapping_add(7);
+            assert!(wrapped < 8, "picked a wrapping start");
+            assert_eq!(mem.read_u8(wrapped), value.to_le_bytes()[7]);
+        });
+    }
+
+    #[test]
+    fn random_writes_match_a_shadow_model() {
+        for_each_case("random_writes_match_a_shadow_model", |rng| {
+            let mut mem = Memory::new();
+            let mut shadow: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+            for _ in 0..64 {
+                // Cluster addresses around page boundaries and the wrap
+                // point, where the bugs would live.
+                let base = match rng.gen_range(0..3u32) {
+                    0 => rng.gen_range(0..4 * PAGE),
+                    1 => rng.gen_range(1..16u64) * PAGE - rng.gen_range(0..16u64),
+                    _ => u64::MAX - rng.gen_range(0..16u64),
+                };
+                let len = rng.gen_range(1..9usize);
+                let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u8)).collect();
+                mem.write_bytes(base, &bytes);
+                for (i, &b) in bytes.iter().enumerate() {
+                    shadow.insert(base.wrapping_add(i as u64), b);
+                }
+            }
+            for (&addr, &b) in &shadow {
+                assert_eq!(mem.read_u8(addr), b, "at {addr:#x}");
+            }
+        });
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        for_each_case("unwritten_memory_reads_zero", |rng| {
+            let mem = Memory::new();
+            let addr = rng.next_u64();
+            assert_eq!(mem.read_u8(addr), 0);
+            assert_eq!(mem.read_u64(addr), 0);
+            let mut mem = Memory::new();
+            mem.write_u8(addr, 0xAB);
+            // A single write must not bleed into neighbours.
+            assert_eq!(mem.read_u8(addr.wrapping_add(1)), 0);
+            assert_eq!(mem.read_u8(addr.wrapping_sub(1)), 0);
+        });
+    }
+
+    #[test]
+    fn read_write_bytes_round_trip_every_width() {
+        for_each_case("read_write_bytes_round_trip_every_width", |rng| {
+            let mut mem = Memory::new();
+            let addr = rng.next_u64();
+            let v32 = rng.next_u64() as u32;
+            mem.write_bytes(addr, &v32.to_le_bytes());
+            assert_eq!(mem.read_u32(addr), v32);
+            let v64 = rng.next_u64();
+            mem.write_u64(addr, v64);
+            assert_eq!(mem.read_u64(addr), v64);
+            let raw: [u8; 8] = mem.read_bytes(addr);
+            assert_eq!(raw, v64.to_le_bytes());
+        });
+    }
+}
+
+/// The one-call pipelines return typed `RunError`s — never panic — on
+/// malformed or degenerate inputs.
+mod run_error_properties {
+    use braid::core::config::{BraidConfig, OooConfig};
+    use braid::core::processor::{run_braid, run_braid_with_translation, run_ooo, RunError};
+    use braid::isa::{Inst, Program};
+
+    #[test]
+    fn empty_program_is_a_typed_error() {
+        let p = Program::from_insts("empty", vec![]);
+        match run_ooo(&p, &OooConfig::paper_8wide(), 1_000) {
+            Err(RunError::Exec(_)) => {}
+            other => panic!("expected typed exec error, got {other:?}"),
+        }
+        match run_braid_with_translation(&p, &BraidConfig::paper_default(), 1_000) {
+            Err(_) => {}
+            Ok(_) => panic!("empty program must not simulate"),
+        }
+    }
+
+    #[test]
+    fn missing_halt_is_a_typed_error() {
+        let p = Program::from_insts("no-halt", vec![Inst::nop(), Inst::nop()]);
+        match run_braid(&p, &BraidConfig::paper_default(), 1_000) {
+            Err(RunError::Exec(_) | RunError::Translate(_)) => {}
+            other => panic!("expected typed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_out_of_range_is_a_typed_error() {
+        let mut br = Inst::br(1_000_000);
+        br.braid = braid::isa::BraidBits::unannotated(false);
+        let p = Program::from_insts("wild-branch", vec![br, Inst::halt()]);
+        match run_ooo(&p, &OooConfig::paper_8wide(), 1_000) {
+            Err(RunError::Exec(_)) => {}
+            other => panic!("expected typed exec error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_config_is_a_typed_sim_error() {
+        let p = braid::isa::asm::assemble("addi r0, #1, r1\nhalt").unwrap();
+        let mut cfg = OooConfig::paper_8wide();
+        cfg.schedulers = 0;
+        match run_ooo(&p, &cfg, 1_000) {
+            Err(RunError::Sim(_)) => {}
+            other => panic!("expected typed sim error, got {other:?}"),
+        }
     }
 }

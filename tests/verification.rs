@@ -1,0 +1,43 @@
+//! Tier-1 verification: the lockstep co-simulation oracle across all four
+//! timing cores on real workloads, plus the deterministic fault campaign.
+
+use braid_verify::{check_all_cores, run_fault_campaign, FaultOutcome};
+
+#[test]
+fn oracle_passes_every_core_on_sampled_spec_workloads() {
+    for name in ["gcc", "gzip", "swim", "twolf", "mcf", "art"] {
+        let w = braid_workloads::by_name(name, 0.05).expect("known workload");
+        let reports = check_all_cores(&w.program, &w.name, w.fuel)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(reports.len(), 4, "{name}: all four cores must report");
+        for r in &reports {
+            assert!(r.instructions > 0, "{name}/{} retired nothing", r.core);
+            assert!(r.cycles > 0, "{name}/{} took no cycles", r.core);
+        }
+    }
+}
+
+#[test]
+fn oracle_passes_every_core_on_kernels() {
+    for w in braid_workloads::kernel_suite() {
+        let reports = check_all_cores(&w.program, &w.name, w.fuel)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(reports.len(), 4);
+    }
+}
+
+#[test]
+fn fault_campaign_completes_typed_and_panic_free() {
+    let summary = run_fault_campaign(2026, 6);
+    assert_eq!(summary.panics(), 0, "{summary}");
+    for r in &summary.reports {
+        assert!(
+            !matches!(r.outcome, FaultOutcome::Panicked(_)),
+            "fault {} panicked",
+            r.fault
+        );
+    }
+    // The harness must actually observe faults, not mask everything.
+    assert!(summary.typed_errors() > 0, "{summary}");
+    assert!(summary.typed_errors() + summary.divergences() > summary.masked(), "{summary}");
+}
