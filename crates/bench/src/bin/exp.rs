@@ -21,7 +21,7 @@ use braid_bench::{prepare_suite, scale, Prepared};
 const ALL: &[&str] = &[
     "tab1", "tab2", "tab3", "chars", "splits", "fig1", "fig5", "fig6", "fig7", "fig8",
     "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "pipeline", "clusters",
-    "exceptions", "disambiguation", "predictors", "mshrs", "fig13perfect",
+    "exceptions", "disambiguation", "predictors", "mshrs", "fig13perfect", "widthsweep",
 ];
 
 fn run_one(name: &str, suite: &[Prepared]) -> Option<Table> {
@@ -49,6 +49,7 @@ fn run_one(name: &str, suite: &[Prepared]) -> Option<Table> {
         "predictors" => exp::predictors(suite),
         "mshrs" => exp::mshrs(suite),
         "fig13perfect" => exp::fig13perfect(suite),
+        "widthsweep" => exp::widthsweep(suite),
         _ => return None,
     };
     Some(table)

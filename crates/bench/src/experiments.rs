@@ -672,3 +672,51 @@ pub fn fig13perfect(suite: &[Prepared]) -> Table {
     t.push_mean("average");
     t
 }
+
+/// Figure 13 regenerated through the parallel sweep engine: the same
+/// (workload × core × width) grid as [`fig13`], but expanded as a
+/// `braid_sweep` grid, sharded across all host cores by the work-stealing
+/// pool, and read back from the deterministic aggregate. Absolute IPC per
+/// point (no normalization), so the table doubles as a cross-check that
+/// the sweep engine reproduces the serial experiment paths.
+pub fn widthsweep(suite: &[Prepared]) -> Table {
+    use braid_sweep::{run_sweep, CoreModel, SweepSpec};
+
+    let widths = [4u32, 8, 16];
+    let mut spec = SweepSpec::new("widthsweep");
+    spec.workloads = suite.iter().map(|p| p.workload.name.clone()).collect();
+    spec.scale = crate::scale();
+    spec.widths = widths.to_vec();
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let run = run_sweep(&spec, threads, None, false).expect("no snapshot I/O involved");
+
+    let mut headers = vec!["bench".to_string()];
+    for w in widths {
+        for core in CoreModel::ALL {
+            headers.push(format!("{core}{w}"));
+        }
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Width sweep (parallel engine): absolute IPC at 4, 8, 16-wide",
+        &header_refs,
+    );
+    // Outcomes arrive in expansion order: workload, core, width. Regroup
+    // into one row per workload with width-major columns.
+    for (wi, p) in suite.iter().enumerate() {
+        let mut values = vec![0.0; widths.len() * CoreModel::ALL.len()];
+        for (ci, _) in CoreModel::ALL.iter().enumerate() {
+            for (xi, _) in widths.iter().enumerate() {
+                let idx = (wi * CoreModel::ALL.len() + ci) * widths.len() + xi;
+                let o = &run.outcomes[idx];
+                let s = o.stats.as_ref().unwrap_or_else(|e| {
+                    panic!("{}: sweep point failed: {e}", o.point.key())
+                });
+                values[xi * CoreModel::ALL.len() + ci] = s.ipc();
+            }
+        }
+        t.push(&p.workload.name, values);
+    }
+    t.push_mean("average");
+    t
+}

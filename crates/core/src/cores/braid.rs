@@ -153,7 +153,7 @@ impl BraidCore {
                         eng.deps_ready(seq)
                     } else {
                         // Cross-cluster operands arrive late (paper §5.2).
-                        let skip_value = eng.inst(seq).opcode.is_store();
+                        let skip_value = eng.op(seq).is_store();
                         eng.slots[seq as usize].deps.iter().enumerate().all(|(i, &d)| {
                             if (skip_value && i == 0) || d == crate::cores::common::NONE {
                                 return true;
@@ -176,17 +176,17 @@ impl BraidCore {
                         widx += 1;
                         continue;
                     }
-                    let inst = eng.inst(seq);
+                    let d = *eng.op(seq);
                     // Register-file read ports: internal per BEU, external
                     // global (the busy-bit vector tracks availability; the
                     // ports bound bandwidth).
                     let mut int_reads = 0u32;
                     let mut ext_reads = 0u32;
-                    for (slot, r) in inst.src_regs().enumerate() {
-                        if r.is_zero() {
+                    for (slot, &r) in d.srcs.iter().enumerate() {
+                        if r == crate::predecode::NO_REG {
                             continue;
                         }
-                        if inst.braid.t[slot] {
+                        if d.is_t(slot) {
                             int_reads += 1;
                         } else {
                             ext_reads += 1;
@@ -196,8 +196,8 @@ impl BraidCore {
                         widx += 1;
                         continue;
                     }
-                    let writes_external = inst.braid.external && inst.written_reg().is_some();
-                    let writes_internal = inst.braid.internal && inst.written_reg().is_some();
+                    let writes_external = d.is_external();
+                    let writes_internal = d.is_internal();
                     let beu = b;
                     let mut ext_delay = false;
                     let ok = eng.issue(seq, |_, complete| {
@@ -255,14 +255,15 @@ impl BraidCore {
                 if !eng.admit(&f) {
                     break;
                 }
-                let inst = &eng.program.insts[f.idx as usize];
+                let d = *eng.code.op(f.idx);
                 // Allocation/rename bandwidth is consumed only by external
                 // operands (paper §5.1).
-                let ext_dest = (inst.braid.external && inst.written_reg().is_some()) as u32;
-                let ext_srcs = inst
-                    .src_regs()
+                let ext_dest = d.is_external() as u32;
+                let ext_srcs = d
+                    .srcs
+                    .iter()
                     .enumerate()
-                    .filter(|&(slot, r)| !r.is_zero() && !inst.braid.t[slot])
+                    .filter(|&(slot, &r)| r != crate::predecode::NO_REG && !d.is_t(slot))
                     .count() as u32;
                 if ext_dest > ext_allocs_left || ext_srcs > renames_left {
                     eng.report.stall_alloc_bw += 1;
@@ -270,7 +271,7 @@ impl BraidCore {
                 }
                 if exception_mode.is_some() {
                     current_beu = 0;
-                } else if inst.braid.start {
+                } else if eng.program.insts[f.idx as usize].braid.start {
                     // Choose the BEU with the most free space (config
                     // validation guarantees at least one exists).
                     current_beu =

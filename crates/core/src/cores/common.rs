@@ -9,6 +9,7 @@ use braid_uarch::lsq::{LoadStoreQueue, LsqOutcome};
 use crate::config::CommonConfig;
 use crate::error::{LivelockReport, SimError};
 use crate::frontend::{Fetched, Frontend};
+use crate::predecode::{DecodedOp, PreDecoded, NO_REG};
 use crate::report::SimReport;
 use crate::trace::Trace;
 
@@ -163,6 +164,9 @@ pub enum LoadGate {
 pub struct Engine<'a> {
     /// The simulated program.
     pub program: &'a Program,
+    /// Predecoded static instructions (the hot-path instruction cache,
+    /// keyed by static index — see [`crate::predecode`]).
+    pub code: PreDecoded,
     /// The committed dynamic trace.
     pub trace: &'a Trace,
     /// Fetch engine.
@@ -204,6 +208,10 @@ pub struct Engine<'a> {
     last_retire_cycle: u64,
     /// No-retire-progress threshold before the run aborts as livelocked.
     watchdog_cycles: u64,
+    /// Reusable fetch output buffer (no per-cycle allocation).
+    fetch_scratch: Vec<Fetched>,
+    /// Host wall-clock at construction, for throughput counters.
+    started: std::time::Instant,
 }
 
 impl<'a> Engine<'a> {
@@ -211,6 +219,7 @@ impl<'a> Engine<'a> {
     pub fn new(program: &'a Program, trace: &'a Trace, config: &CommonConfig) -> Engine<'a> {
         Engine {
             program,
+            code: PreDecoded::new(program),
             trace,
             frontend: Frontend::new(program, trace, config),
             mem: MemoryHierarchy::new(config.mem),
@@ -238,12 +247,21 @@ impl<'a> Engine<'a> {
             } else {
                 config.watchdog_cycles
             },
+            fetch_scratch: Vec::with_capacity(4 * config.width as usize),
+            started: std::time::Instant::now(),
         }
     }
 
     /// The static instruction behind sequence number `seq`.
     pub fn inst(&self, seq: u64) -> &'a Inst {
         &self.program.insts[self.slots[seq as usize].idx as usize]
+    }
+
+    /// The predecoded form of the instruction behind sequence number `seq`
+    /// (the hot-path alternative to [`Engine::inst`]).
+    #[inline]
+    pub fn op(&self, seq: u64) -> &DecodedOp {
+        self.code.op(self.slots[seq as usize].idx)
     }
 
     /// Instructions currently in flight.
@@ -256,16 +274,17 @@ impl<'a> Engine<'a> {
         self.head as usize >= self.trace.len()
     }
 
-    /// Fills the decoupling buffer from the front end.
+    /// Fills the decoupling buffer from the front end, reusing the
+    /// engine-owned scratch buffer (no per-cycle allocation).
     pub fn fetch_phase(&mut self) {
         let room = (4 * self.width as usize).saturating_sub(self.queue.len());
         if room == 0 {
             return;
         }
-        let fetched = self.frontend.fetch(self.cycle, &mut self.mem, room);
-        if !fetched.is_empty() {
+        self.frontend.fetch_into(self.cycle, &mut self.mem, room, &mut self.fetch_scratch);
+        if !self.fetch_scratch.is_empty() {
             self.progress = true;
-            self.queue.extend(fetched);
+            self.queue.extend(self.fetch_scratch.drain(..));
         }
     }
 
@@ -276,7 +295,7 @@ impl<'a> Engine<'a> {
             self.report.stall_window += 1;
             return false;
         }
-        if self.program.insts[f.idx as usize].opcode.is_mem() && !self.lsq.has_space() {
+        if self.code.op(f.idx).is_mem() && !self.lsq.has_space() {
             self.report.stall_lsq += 1;
             return false;
         }
@@ -286,15 +305,15 @@ impl<'a> Engine<'a> {
     /// The producer sequence numbers `f` would depend on if dispatched now
     /// (used by dependence-based steering before committing to a FIFO).
     pub fn peek_deps(&self, f: &Fetched) -> [u64; 3] {
-        let inst = &self.program.insts[f.idx as usize];
+        let d = self.code.op(f.idx);
         let mut deps = [NONE; 3];
-        for (i, r) in inst.src_regs().enumerate() {
-            if !r.is_zero() {
-                deps[i] = self.last_writer[r.index() as usize];
+        for (i, &r) in d.srcs.iter().enumerate() {
+            if r != NO_REG {
+                deps[i] = self.last_writer[r as usize];
             }
         }
-        if inst.opcode.reads_dest() {
-            deps[2] = self.last_writer[inst.dest.expect("reads_dest implies dest").index() as usize];
+        if d.reads_dest != NO_REG {
+            deps[2] = self.last_writer[d.reads_dest as usize];
         }
         deps
     }
@@ -309,30 +328,27 @@ impl<'a> Engine<'a> {
     pub fn dispatch_slot(&mut self, f: &Fetched, tag: u32) -> u64 {
         let seq = f.seq;
         debug_assert_eq!(seq, self.next_dispatch, "in-order dispatch");
-        let inst = &self.program.insts[f.idx as usize];
+        let d = *self.code.op(f.idx);
         let replaying = seq < self.replay_until;
         let deps = if replaying {
             self.slots[seq as usize].deps
         } else {
             let mut deps = [NONE; 3];
-            for (i, r) in inst.src_regs().enumerate() {
-                if !r.is_zero() {
-                    deps[i] = self.last_writer[r.index() as usize];
+            for (i, &r) in d.srcs.iter().enumerate() {
+                if r != NO_REG {
+                    deps[i] = self.last_writer[r as usize];
                 }
             }
-            if inst.opcode.reads_dest() {
-                let d = inst.dest.expect("reads_dest implies dest");
-                deps[2] = self.last_writer[d.index() as usize];
+            if d.reads_dest != NO_REG {
+                deps[2] = self.last_writer[d.reads_dest as usize];
             }
-            if let Some(d) = inst.written_reg() {
-                if !d.is_zero() {
-                    self.last_writer[d.index() as usize] = seq;
-                }
+            if d.dest != NO_REG {
+                self.last_writer[d.dest as usize] = seq;
             }
             deps
         };
-        if inst.opcode.is_mem() {
-            self.lsq.insert(seq, inst.opcode.is_store(), f.addr, inst.opcode.mem_bytes());
+        if d.is_mem() {
+            self.lsq.insert(seq, d.is_store(), f.addr, d.mem_bytes as u64);
         }
         self.slots[seq as usize] = Slot {
             idx: f.idx,
@@ -374,7 +390,7 @@ impl<'a> Engine<'a> {
     /// available. Stores issue at address generation: only the base (and
     /// the implicit cmov read) gate issue; the data may arrive later.
     pub fn deps_ready(&self, seq: u64) -> bool {
-        let skip_value = self.inst(seq).opcode.is_store();
+        let skip_value = self.op(seq).is_store();
         self.slots[seq as usize]
             .deps
             .iter()
@@ -389,7 +405,7 @@ impl<'a> Engine<'a> {
     /// Memory-ordering gate for a load about to issue.
     pub fn load_gate(&self, seq: u64) -> LoadGate {
         let s = &self.slots[seq as usize];
-        let bytes = self.program.insts[s.idx as usize].opcode.mem_bytes();
+        let bytes = self.code.op(s.idx).mem_bytes as u64;
         match self.lsq.load_outcome(seq, s.addr, bytes, self.cycle) {
             LsqOutcome::Ready => LoadGate::Go,
             LsqOutcome::Forwarded { .. } => LoadGate::Forward,
@@ -405,8 +421,7 @@ impl<'a> Engine<'a> {
     /// Returns `false` if the instruction is a load that must wait on the
     /// LSQ (nothing is recorded in that case).
     pub fn issue(&mut self, seq: u64, ext_avail: impl FnOnce(&mut Self, u64) -> u64) -> bool {
-        let inst = self.inst(seq);
-        let op = inst.opcode;
+        let op = *self.op(seq);
         let cycle = self.cycle;
         let (avail, done) = if op.is_load() {
             let lat = match self.load_gate(seq) {
@@ -430,7 +445,7 @@ impl<'a> Engine<'a> {
             // Address generation issues as soon as the base is ready; the
             // data arrives when the value producer completes.
             let addr = self.slots[seq as usize].addr;
-            let bytes = op.mem_bytes();
+            let bytes = op.mem_bytes as u64;
             self.lsq.set_address(seq, addr, bytes);
             let agen_done = cycle + 1;
             let value_dep = self.slots[seq as usize].deps[0];
@@ -451,8 +466,8 @@ impl<'a> Engine<'a> {
             }
             (agen_done, data_at.max(agen_done))
         } else {
-            let complete = cycle + op.latency();
-            let avail = if inst.written_reg().is_some() {
+            let complete = cycle + op.latency as u64;
+            let avail = if op.has_dest() {
                 ext_avail(self, complete)
             } else {
                 complete
@@ -469,7 +484,7 @@ impl<'a> Engine<'a> {
                 self.frontend.resolve_branch(seq, resolve);
             }
         }
-        if self.inst(seq).braid.external && self.inst(seq).written_reg().is_some() {
+        if op.is_external() {
             self.external_values += 1;
         }
         self.progress = true;
@@ -512,9 +527,10 @@ impl<'a> Engine<'a> {
             if !s.issued || s.done_at > self.cycle {
                 break;
             }
-            let inst = self.inst(seq);
-            if inst.opcode.is_mem() {
-                if inst.opcode.is_store() {
+            let op = self.code.op(s.idx);
+            if op.is_mem() {
+                let is_store = op.is_store();
+                if is_store {
                     let addr = s.addr;
                     self.mem.access(Access::Store, addr);
                 }
@@ -592,9 +608,10 @@ impl<'a> Engine<'a> {
                     .filter(|&d| d != NONE && self.slots[d as usize].avail_at > self.cycle)
                     .collect();
                 format!(
-                    "{name}: {} entries, head seq {head} (inst {}) issued={} deps-waiting={waiting:?}",
+                    "{name}: {} entries, head seq {head} (inst {} `{}`) issued={} deps-waiting={waiting:?}",
                     seqs.len(),
                     s.idx,
+                    self.inst(head),
                     s.issued,
                 )
             }
@@ -604,6 +621,8 @@ impl<'a> Engine<'a> {
     /// Finalizes the report after the run loop ends.
     pub fn finish(mut self, checkpoint_words_per_branch: u64) -> SimReport {
         self.report.cycles = self.cycle.max(1);
+        self.report.host_nanos = self.started.elapsed().as_nanos() as u64;
+        self.report.retire_slots = self.report.cycles * self.width as u64;
         self.report.branch_accuracy = self.frontend.branch_accuracy();
         self.report.ras_accuracy = self.frontend.ras_accuracy();
         let (l1i, l1d, l2) = self.mem.stats();

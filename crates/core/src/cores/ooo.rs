@@ -41,6 +41,10 @@ impl OooCore {
         let mut regs = RegPool::new(cfg.regs);
         let mut bypass = Bandwidth::new(cfg.bypass_per_cycle);
         let mut wr_ports = Bandwidth::new(cfg.rf_write_ports);
+        // Per-cycle scratch, reused across iterations (no allocation on the
+        // cycle loop).
+        let mut ready: Vec<(u64, usize, usize)> = Vec::new();
+        let mut issued: Vec<(usize, usize)> = Vec::new();
 
         while !eng.finished() {
             // Retire: free the in-flight register buffer entry.
@@ -56,7 +60,7 @@ impl OooCore {
             // scheduler windows, bounded by the functional units and the
             // register-file read ports (an aggressive global select, as the
             // paper's "very aggressive conventional" machine warrants).
-            let mut ready: Vec<(u64, usize, usize)> = Vec::new();
+            ready.clear();
             for (s, q) in scheds.iter().enumerate() {
                 for (i, &seq) in q.iter().enumerate() {
                     if eng.deps_ready(seq) {
@@ -67,12 +71,12 @@ impl OooCore {
             ready.sort_unstable();
             let mut reads_left = cfg.rf_read_ports;
             let mut fus_left = cfg.fus;
-            let mut issued: Vec<(usize, usize)> = Vec::new();
+            issued.clear();
             for &(seq, s, i) in &ready {
                 if fus_left == 0 {
                     break;
                 }
-                let srcs = eng.inst(seq).opcode.num_srcs() as u32;
+                let srcs = eng.op(seq).num_srcs as u32;
                 if srcs > reads_left {
                     continue;
                 }
@@ -91,7 +95,7 @@ impl OooCore {
             }
             // Remove issued entries, highest position first per scheduler.
             issued.sort_unstable_by(|a, b| b.cmp(a));
-            for (s, i) in issued {
+            for &(s, i) in &issued {
                 scheds[s].remove(i);
             }
 

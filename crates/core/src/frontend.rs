@@ -143,14 +143,27 @@ impl<'a> Frontend<'a> {
     }
 
     /// Fetches up to `room` instructions in `cycle` (bounded by the fetch
-    /// width, the 3-branch limit, I-cache misses, and mispredictions).
+    /// width, the 3-branch limit, I-cache misses, and mispredictions),
+    /// allocating a fresh buffer. Prefer [`Frontend::fetch_into`] on hot
+    /// paths.
     pub fn fetch(&mut self, cycle: u64, mem: &mut MemoryHierarchy, room: usize) -> Vec<Fetched> {
         let mut out = Vec::new();
+        self.fetch_into(cycle, mem, room, &mut out);
+        out
+    }
+
+    /// Like [`Frontend::fetch`], but appends into the caller-owned `out`
+    /// buffer (cleared first) so the per-cycle loop allocates nothing.
+    pub fn fetch_into(
+        &mut self,
+        cycle: u64,
+        mem: &mut MemoryHierarchy,
+        room: usize,
+        out: &mut Vec<Fetched>,
+    ) {
+        out.clear();
         if cycle < self.resume_at || self.blocked_on.is_some() {
-            if std::env::var("BRAID_DBG").is_ok() && cycle > 1000 && cycle < 1050 {
-                eprintln!("fetch blocked at {cycle}: resume_at {} blocked_on {:?}", self.resume_at, self.blocked_on);
-            }
-            return out;
+            return;
         }
         let l1i_latency = mem.config().l1i.latency;
         let mut branches = 0;
@@ -226,10 +239,6 @@ impl<'a> Frontend<'a> {
                 break;
             }
         }
-        if std::env::var("BRAID_DBG").is_ok() && cycle > 1000 && cycle < 1050 {
-            eprintln!("fetch at {cycle}: got {} room {room} pos {}", out.len(), self.pos);
-        }
-        out
     }
 }
 

@@ -52,6 +52,7 @@ pub mod cores;
 pub mod error;
 pub mod frontend;
 pub mod functional;
+pub mod predecode;
 pub mod processor;
 pub mod profile;
 pub mod report;

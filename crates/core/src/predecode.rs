@@ -1,0 +1,257 @@
+//! Predecoded static instructions for the per-cycle hot path.
+//!
+//! The timing cores interrogate each dynamic instruction many times per
+//! cycle — dependence construction, readiness checks, issue, retirement —
+//! and every query used to re-derive properties from the [`Inst`] via
+//! `Opcode` matches and `Option<Reg>` iterators. [`PreDecoded`] folds all
+//! of that into one flat, cache-friendly table built **once per run**,
+//! keyed by static instruction index (the simulated PC): a [`DecodedOp`]
+//! per static instruction with register indices and a flag byte.
+//!
+//! Invariants (see DESIGN.md "Predecode cache"):
+//!
+//! * The table is a pure function of the immutable [`Program`]; it is
+//!   built at engine construction and never updated. Checkpoint squash /
+//!   replay never invalidates it because squashes replay the *same*
+//!   static instructions.
+//! * Register slots hold the flat [`Reg::index`] (0–63) or [`NO_REG`].
+//!   The hard-wired zero register is folded to [`NO_REG`] at build time,
+//!   so dependence construction needs no `is_zero` test on the hot path.
+//! * Flags mirror the corresponding `Opcode` predicates exactly; the
+//!   `decoded_table_matches_opcode_predicates` test enforces this for
+//!   every instruction of every kernel workload.
+
+use braid_isa::{Inst, Program};
+
+/// Sentinel register slot: "no register / hard-wired zero".
+pub const NO_REG: u8 = u8::MAX;
+
+/// Flag: the instruction accesses memory.
+pub const F_MEM: u8 = 1 << 0;
+/// Flag: the instruction is a load.
+pub const F_LOAD: u8 = 1 << 1;
+/// Flag: the instruction is a store.
+pub const F_STORE: u8 = 1 << 2;
+/// Flag: the instruction is a control transfer.
+pub const F_BRANCH: u8 = 1 << 3;
+/// Flag: the instruction writes a register destination.
+pub const F_HAS_DEST: u8 = 1 << 4;
+/// Flag: the destination is braid-external (and written).
+pub const F_EXTERNAL: u8 = 1 << 5;
+/// Flag: the destination is braid-internal (and written).
+pub const F_INTERNAL: u8 = 1 << 6;
+
+/// One predecoded static instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodedOp {
+    /// Explicit source register indices ([`NO_REG`] for absent or zero).
+    pub srcs: [u8; 2],
+    /// Implicit old-destination read (conditional moves), or [`NO_REG`].
+    pub reads_dest: u8,
+    /// Written register index ([`NO_REG`] for none or the zero register —
+    /// discarded writes create no dataflow edge).
+    pub dest: u8,
+    /// Execution latency in cycles (address generation only for memory).
+    pub latency: u8,
+    /// Bytes accessed by a memory operation, `0` otherwise.
+    pub mem_bytes: u8,
+    /// Explicit source count (register-file read ports consumed).
+    pub num_srcs: u8,
+    /// `F_*` property flags.
+    pub flags: u8,
+    /// Braid `T` bits per source slot (bit *i* set: source *i* is read
+    /// from the producing braid's internal register file).
+    pub t_bits: u8,
+}
+
+impl DecodedOp {
+    /// Decodes one instruction.
+    fn new(inst: &Inst) -> DecodedOp {
+        let op = inst.opcode;
+        let mut srcs = [NO_REG; 2];
+        for (i, r) in inst.src_regs().enumerate() {
+            if !r.is_zero() {
+                srcs[i] = r.index();
+            }
+        }
+        let reads_dest = if op.reads_dest() {
+            // `reads_dest` implies a destination by instruction validation.
+            inst.dest.map_or(NO_REG, |d| d.index())
+        } else {
+            NO_REG
+        };
+        let written = inst.written_reg();
+        let dest = match written {
+            Some(d) if !d.is_zero() => d.index(),
+            _ => NO_REG,
+        };
+        let mut flags = 0u8;
+        if op.is_mem() {
+            flags |= F_MEM;
+        }
+        if op.is_load() {
+            flags |= F_LOAD;
+        }
+        if op.is_store() {
+            flags |= F_STORE;
+        }
+        if op.is_branch() {
+            flags |= F_BRANCH;
+        }
+        if written.is_some() {
+            flags |= F_HAS_DEST;
+        }
+        if inst.braid.external && written.is_some() {
+            flags |= F_EXTERNAL;
+        }
+        if inst.braid.internal && written.is_some() {
+            flags |= F_INTERNAL;
+        }
+        let mut t_bits = 0u8;
+        for (slot, &is_t) in inst.braid.t.iter().enumerate() {
+            if is_t {
+                t_bits |= 1 << slot;
+            }
+        }
+        DecodedOp {
+            srcs,
+            reads_dest,
+            dest,
+            latency: inst.opcode.latency() as u8,
+            mem_bytes: op.mem_bytes() as u8,
+            num_srcs: op.num_srcs() as u8,
+            flags,
+            t_bits,
+        }
+    }
+
+    /// Whether the instruction accesses memory.
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        self.flags & F_MEM != 0
+    }
+
+    /// Whether the instruction is a load.
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        self.flags & F_LOAD != 0
+    }
+
+    /// Whether the instruction is a store.
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        self.flags & F_STORE != 0
+    }
+
+    /// Whether the instruction is a control transfer.
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        self.flags & F_BRANCH != 0
+    }
+
+    /// Whether the instruction writes any register destination (including
+    /// the architecturally-discarded zero register).
+    #[inline]
+    pub fn has_dest(&self) -> bool {
+        self.flags & F_HAS_DEST != 0
+    }
+
+    /// Whether the written destination is braid-external.
+    #[inline]
+    pub fn is_external(&self) -> bool {
+        self.flags & F_EXTERNAL != 0
+    }
+
+    /// Whether the written destination is braid-internal.
+    #[inline]
+    pub fn is_internal(&self) -> bool {
+        self.flags & F_INTERNAL != 0
+    }
+
+    /// Whether source slot `slot` carries a braid `T` annotation (read
+    /// from the internal register file).
+    #[inline]
+    pub fn is_t(&self, slot: usize) -> bool {
+        self.t_bits & (1 << slot) != 0
+    }
+}
+
+/// The per-program predecode table, indexed by static instruction index.
+#[derive(Debug, Clone)]
+pub struct PreDecoded {
+    ops: Vec<DecodedOp>,
+}
+
+impl PreDecoded {
+    /// Builds the table for `program` (one pass, done once per run).
+    pub fn new(program: &Program) -> PreDecoded {
+        PreDecoded { ops: program.insts.iter().map(DecodedOp::new).collect() }
+    }
+
+    /// The decoded form of static instruction `idx`.
+    #[inline]
+    pub fn op(&self, idx: u32) -> &DecodedOp {
+        &self.ops[idx as usize]
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoded_table_matches_opcode_predicates() {
+        for w in braid_workloads::kernel_suite() {
+            let table = PreDecoded::new(&w.program);
+            assert_eq!(table.len(), w.program.len());
+            for (i, inst) in w.program.insts.iter().enumerate() {
+                let d = table.op(i as u32);
+                let op = inst.opcode;
+                assert_eq!(d.is_mem(), op.is_mem(), "{}: inst {i} mem flag", w.name);
+                assert_eq!(d.is_load(), op.is_load(), "{}: inst {i} load flag", w.name);
+                assert_eq!(d.is_store(), op.is_store(), "{}: inst {i} store flag", w.name);
+                assert_eq!(d.is_branch(), op.is_branch(), "{}: inst {i} branch flag", w.name);
+                assert_eq!(
+                    d.has_dest(),
+                    inst.written_reg().is_some(),
+                    "{}: inst {i} dest flag",
+                    w.name
+                );
+                assert_eq!(d.latency as u64, op.latency(), "{}: inst {i} latency", w.name);
+                assert_eq!(d.mem_bytes as u64, op.mem_bytes(), "{}: inst {i} bytes", w.name);
+                assert_eq!(d.num_srcs as usize, op.num_srcs(), "{}: inst {i} srcs", w.name);
+                // Register slots agree with the iterator view.
+                let mut want = [NO_REG; 2];
+                for (k, r) in inst.src_regs().enumerate() {
+                    if !r.is_zero() {
+                        want[k] = r.index();
+                    }
+                }
+                assert_eq!(d.srcs, want, "{}: inst {i} src regs", w.name);
+                if op.reads_dest() {
+                    assert_eq!(Some(d.reads_dest), inst.dest.map(|r| r.index()));
+                } else {
+                    assert_eq!(d.reads_dest, NO_REG);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_register_writes_are_folded_out() {
+        let p = braid_isa::asm::assemble("addi r1, #1, r0\nhalt").unwrap();
+        let t = PreDecoded::new(&p);
+        assert!(t.op(0).has_dest(), "the write exists architecturally");
+        assert_eq!(t.op(0).dest, NO_REG, "but creates no dataflow edge");
+    }
+}

@@ -42,6 +42,12 @@ pub struct SimReport {
     pub checkpoint_words: u64,
     /// Exceptions taken (braid machine: single-BEU in-order episodes).
     pub exceptions_taken: u64,
+    /// Host wall-clock nanoseconds the timing run took. **Not
+    /// deterministic** — excluded from sweep aggregation and golden files.
+    pub host_nanos: u64,
+    /// Total retirement slots offered (`cycles × width`); with
+    /// [`SimReport::instructions`] this gives retire-bandwidth utilization.
+    pub retire_slots: u64,
 }
 
 impl SimReport {
@@ -62,6 +68,34 @@ impl SimReport {
             self.ipc() / baseline.ipc()
         }
     }
+
+    /// Host throughput: simulated cycles per wall-clock second.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.host_nanos == 0 {
+            0.0
+        } else {
+            self.cycles as f64 * 1e9 / self.host_nanos as f64
+        }
+    }
+
+    /// Host throughput: retired instructions per wall-clock second.
+    pub fn sim_insts_per_sec(&self) -> f64 {
+        if self.host_nanos == 0 {
+            0.0
+        } else {
+            self.instructions as f64 * 1e9 / self.host_nanos as f64
+        }
+    }
+
+    /// Fraction of retirement slots actually used (`instructions /
+    /// (cycles × width)`).
+    pub fn retire_slot_utilization(&self) -> f64 {
+        if self.retire_slots == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.retire_slots as f64
+        }
+    }
 }
 
 impl fmt::Display for SimReport {
@@ -78,7 +112,7 @@ impl fmt::Display for SimReport {
             "  branches {}, ras {}, L1I {}, L1D {}, L2 {}",
             self.branch_accuracy, self.ras_accuracy, self.l1i, self.l1d, self.l2
         )?;
-        write!(
+        writeln!(
             f,
             "  stalls: regs {} window {} lsq {} alloc {} lsqwait {}; ext values/cycle {:.2}",
             self.stall_regs,
@@ -87,6 +121,13 @@ impl fmt::Display for SimReport {
             self.stall_alloc_bw,
             self.lsq_wait_events,
             self.external_values_per_cycle
+        )?;
+        write!(
+            f,
+            "  host: {:.2} Mcycles/s, {:.2} Minsts/s, retire-slot util {:.1}%",
+            self.sim_cycles_per_sec() / 1e6,
+            self.sim_insts_per_sec() / 1e6,
+            self.retire_slot_utilization() * 100.0
         )
     }
 }

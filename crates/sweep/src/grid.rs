@@ -1,0 +1,320 @@
+//! Declarative sweep grids: (workload × core × config) cross products.
+//!
+//! A [`SweepSpec`] names the axes; [`SweepSpec::expand`] flattens them
+//! into a deterministic list of [`GridPoint`]s, one per simulation. The
+//! expansion order is fixed (workloads outermost, then cores, widths,
+//! BEUs, FIFO depths, windows, bypasses), so a grid index identifies the
+//! same point on every run and every thread count — resume and
+//! deterministic aggregation both key off it.
+//!
+//! An axis value of `0` means "the model's paper default" for that knob.
+//! Axes a core model ignores (BEUs on anything but the braid machine,
+//! FIFO depth and bypass bandwidth on the in-order core) are collapsed to
+//! their first value for that core, so the grid never contains two points
+//! that would run the identical simulation.
+
+use std::fmt;
+
+/// Which timing core a grid point runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreModel {
+    /// The in-order baseline.
+    InOrder,
+    /// FIFO dependence-based steering (Palacharla-style).
+    DepSteer,
+    /// The conventional out-of-order machine.
+    Ooo,
+    /// The braid microarchitecture.
+    Braid,
+}
+
+impl CoreModel {
+    /// Every model, in the canonical (Figure 13) order.
+    pub const ALL: [CoreModel; 4] =
+        [CoreModel::InOrder, CoreModel::DepSteer, CoreModel::Ooo, CoreModel::Braid];
+
+    /// The short stable name used in keys, JSON, and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoreModel::InOrder => "inorder",
+            CoreModel::DepSteer => "dep",
+            CoreModel::Ooo => "ooo",
+            CoreModel::Braid => "braid",
+        }
+    }
+
+    /// Parses a CLI/JSON name (the inverse of [`CoreModel::name`]).
+    pub fn parse(s: &str) -> Option<CoreModel> {
+        match s {
+            "inorder" | "io" => Some(CoreModel::InOrder),
+            "dep" | "depsteer" => Some(CoreModel::DepSteer),
+            "ooo" => Some(CoreModel::Ooo),
+            "braid" => Some(CoreModel::Braid),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CoreModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A declarative sweep: the cross product of every non-empty axis.
+///
+/// Empty numeric axes behave as `[0]` ("paper default"). `workloads` and
+/// `cores` must be non-empty for the grid to contain any points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Sweep name; names the snapshot and aggregate files under `results/`.
+    pub name: String,
+    /// Workload names, resolved via `braid_workloads::by_name_any`.
+    pub workloads: Vec<String>,
+    /// Core models to run.
+    pub cores: Vec<CoreModel>,
+    /// Machine widths (`0` = the model's 8-wide paper default).
+    pub widths: Vec<u32>,
+    /// Braid execution unit counts (braid only; `0` = default).
+    pub beus: Vec<u32>,
+    /// Issue-queue depths: BEU/dep FIFO entries, ooo scheduler entries
+    /// (`0` = default; the in-order core ignores this axis).
+    pub fifo_depths: Vec<u32>,
+    /// Instruction windows: braid in-order scheduling window, max
+    /// in-flight instructions elsewhere (`0` = default).
+    pub windows: Vec<u32>,
+    /// Bypass network bandwidths in values/cycle (`0` = default; the
+    /// in-order core ignores this axis).
+    pub bypasses: Vec<u32>,
+    /// Dynamic-length scale for synthetic suite workloads (kernels ignore
+    /// it).
+    pub scale: f64,
+    /// Run with the perfect front end and perfect caches of Figure 1.
+    pub perfect: bool,
+}
+
+impl SweepSpec {
+    /// A spec with every numeric axis at the paper default, all four
+    /// cores, no workloads, and a small scale suitable for smoke runs.
+    pub fn new(name: &str) -> SweepSpec {
+        SweepSpec {
+            name: name.to_string(),
+            workloads: Vec::new(),
+            cores: CoreModel::ALL.to_vec(),
+            widths: Vec::new(),
+            beus: Vec::new(),
+            fifo_depths: Vec::new(),
+            windows: Vec::new(),
+            bypasses: Vec::new(),
+            scale: 0.05,
+            perfect: false,
+        }
+    }
+
+    /// Flattens the spec into grid points in the fixed expansion order.
+    pub fn expand(&self) -> Vec<GridPoint> {
+        fn axis(values: &[u32]) -> Vec<u32> {
+            if values.is_empty() {
+                vec![0]
+            } else {
+                values.to_vec()
+            }
+        }
+        /// Collapses an axis the core ignores to its first value.
+        fn effective(values: &[u32], applies: bool) -> &[u32] {
+            if applies || values.len() <= 1 {
+                values
+            } else {
+                &values[..1]
+            }
+        }
+
+        let widths = axis(&self.widths);
+        let beus = axis(&self.beus);
+        let fifos = axis(&self.fifo_depths);
+        let windows = axis(&self.windows);
+        let bypasses = axis(&self.bypasses);
+
+        let mut points = Vec::new();
+        for workload in &self.workloads {
+            for &core in &self.cores {
+                let is_braid = core == CoreModel::Braid;
+                let is_inorder = core == CoreModel::InOrder;
+                for &width in &widths {
+                    for &beus in effective(&beus, is_braid) {
+                        for &fifo in effective(&fifos, !is_inorder) {
+                            for &window in &windows {
+                                for &bypass in effective(&bypasses, !is_inorder) {
+                                    points.push(GridPoint {
+                                        index: points.len() as u32,
+                                        workload: workload.clone(),
+                                        core,
+                                        width,
+                                        beus,
+                                        fifo,
+                                        window,
+                                        bypass,
+                                        scale: self.scale,
+                                        perfect: self.perfect,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// A stable hex digest of everything that affects the grid and its
+    /// results (axes, scale, perfect mode — not the name). Snapshots carry
+    /// it so resume refuses to mix results from a different grid.
+    pub fn digest(&self) -> String {
+        let mut canon = String::new();
+        canon.push_str("workloads=");
+        canon.push_str(&self.workloads.join(","));
+        canon.push_str(";cores=");
+        for c in &self.cores {
+            canon.push_str(c.name());
+            canon.push(',');
+        }
+        for (label, axis) in [
+            ("widths", &self.widths),
+            ("beus", &self.beus),
+            ("fifos", &self.fifo_depths),
+            ("windows", &self.windows),
+            ("bypasses", &self.bypasses),
+        ] {
+            canon.push(';');
+            canon.push_str(label);
+            canon.push('=');
+            for v in axis {
+                canon.push_str(&v.to_string());
+                canon.push(',');
+            }
+        }
+        canon.push_str(&format!(";scale={};perfect={}", self.scale, self.perfect));
+        format!("{:016x}", fnv1a64(&canon))
+    }
+}
+
+/// 64-bit FNV-1a; tiny, deterministic, good enough for a change-detector.
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One simulation of the grid: a workload on a core with concrete knobs.
+///
+/// Numeric knobs of `0` mean "the model's paper default".
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPoint {
+    /// Position in the expansion order; the stable sort key for
+    /// aggregation and the resume index.
+    pub index: u32,
+    /// Workload name.
+    pub workload: String,
+    /// Core model.
+    pub core: CoreModel,
+    /// Machine width.
+    pub width: u32,
+    /// Braid execution units (braid only).
+    pub beus: u32,
+    /// Issue-queue depth (FIFO / scheduler entries).
+    pub fifo: u32,
+    /// Instruction window.
+    pub window: u32,
+    /// Bypass bandwidth in values/cycle.
+    pub bypass: u32,
+    /// Synthetic-suite scale.
+    pub scale: f64,
+    /// Perfect front end and caches.
+    pub perfect: bool,
+}
+
+impl GridPoint {
+    /// A human-readable key unique within the grid, e.g.
+    /// `dot_product:braid:w8:b4:f16:v2:y2`. Snapshots store it next to the
+    /// index as a corruption check.
+    pub fn key(&self) -> String {
+        format!(
+            "{}:{}:w{}:b{}:f{}:v{}:y{}",
+            self.workload, self.core, self.width, self.beus, self.fifo, self.window, self.bypass
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_names_round_trip() {
+        for c in CoreModel::ALL {
+            assert_eq!(CoreModel::parse(c.name()), Some(c));
+        }
+        assert_eq!(CoreModel::parse("nonesuch"), None);
+    }
+
+    #[test]
+    fn default_axes_give_one_point_per_workload_core() {
+        let mut spec = SweepSpec::new("t");
+        spec.workloads = vec!["a".into(), "b".into()];
+        let pts = spec.expand();
+        assert_eq!(pts.len(), 2 * 4);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(p.index as usize, i);
+        }
+    }
+
+    #[test]
+    fn ignored_axes_collapse_without_duplicate_points() {
+        let mut spec = SweepSpec::new("t");
+        spec.workloads = vec!["a".into()];
+        spec.beus = vec![4, 8];
+        spec.bypasses = vec![2, 4];
+        let pts = spec.expand();
+        // braid: 2 beus × 2 bypasses; ooo/dep: 1 × 2; inorder: 1 × 1.
+        assert_eq!(pts.len(), 4 + 2 + 2 + 1);
+        let keys: std::collections::HashSet<String> = pts.iter().map(GridPoint::key).collect();
+        assert_eq!(keys.len(), pts.len(), "keys are unique");
+    }
+
+    #[test]
+    fn expansion_order_is_stable() {
+        let mut spec = SweepSpec::new("t");
+        spec.workloads = vec!["x".into()];
+        spec.cores = vec![CoreModel::Braid];
+        spec.widths = vec![4, 8];
+        spec.windows = vec![2, 4];
+        let keys: Vec<String> = spec.expand().iter().map(GridPoint::key).collect();
+        assert_eq!(
+            keys,
+            [
+                "x:braid:w4:b0:f0:v2:y0",
+                "x:braid:w4:b0:f0:v4:y0",
+                "x:braid:w8:b0:f0:v2:y0",
+                "x:braid:w8:b0:f0:v4:y0",
+            ]
+        );
+    }
+
+    #[test]
+    fn digest_tracks_grid_changes_only() {
+        let mut a = SweepSpec::new("one");
+        a.workloads = vec!["x".into()];
+        let mut b = a.clone();
+        b.name = "two".into();
+        assert_eq!(a.digest(), b.digest(), "name does not change the grid");
+        b.widths = vec![4];
+        assert_ne!(a.digest(), b.digest());
+        let mut c = a.clone();
+        c.scale = 0.1;
+        assert_ne!(a.digest(), c.digest());
+    }
+}

@@ -1,0 +1,408 @@
+//! A minimal, dependency-free JSON value with a deterministic writer.
+//!
+//! The sweep engine needs machine-readable snapshots without pulling
+//! `serde` into the hermetic workspace, so this module implements exactly
+//! the subset the snapshots use. Two properties matter:
+//!
+//! * **Deterministic output.** Object keys keep insertion order, integers
+//!   print as themselves, and floats use Rust's shortest-roundtrip
+//!   [`Display`](std::fmt::Display) (forced to carry a `.` or exponent so
+//!   they re-parse as floats). The same value always writes the same
+//!   bytes — the thread-count-determinism test depends on this.
+//! * **Round-tripping.** `parse(value.to_string())` reproduces the value,
+//!   which snapshot/resume depends on.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (all sweep counters are unsigned).
+    Int(u64),
+    /// A float; written so it re-parses as a float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order (deterministic output).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is an integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(n) => Some(*n as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn write_indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    for _ in 0..depth {
+        f.write_str("  ")?;
+    }
+    Ok(())
+}
+
+fn write_value(f: &mut fmt::Formatter<'_>, v: &Json, depth: usize) -> fmt::Result {
+    match v {
+        Json::Null => f.write_str("null"),
+        Json::Bool(b) => write!(f, "{b}"),
+        Json::Int(n) => write!(f, "{n}"),
+        Json::Float(x) => {
+            if x.is_finite() {
+                let s = format!("{x}");
+                if s.contains('.') || s.contains('e') || s.contains('E') {
+                    f.write_str(&s)
+                } else {
+                    write!(f, "{s}.0")
+                }
+            } else {
+                // JSON has no Inf/NaN; null is the conventional stand-in.
+                f.write_str("null")
+            }
+        }
+        Json::Str(s) => write_escaped(f, s),
+        Json::Arr(items) if items.is_empty() => f.write_str("[]"),
+        Json::Arr(items) => {
+            f.write_str("[\n")?;
+            for (i, item) in items.iter().enumerate() {
+                write_indent(f, depth + 1)?;
+                write_value(f, item, depth + 1)?;
+                f.write_str(if i + 1 < items.len() { ",\n" } else { "\n" })?;
+            }
+            write_indent(f, depth)?;
+            f.write_str("]")
+        }
+        Json::Obj(fields) if fields.is_empty() => f.write_str("{}"),
+        Json::Obj(fields) => {
+            f.write_str("{\n")?;
+            for (i, (k, val)) in fields.iter().enumerate() {
+                write_indent(f, depth + 1)?;
+                write_escaped(f, k)?;
+                f.write_str(": ")?;
+                write_value(f, val, depth + 1)?;
+                f.write_str(if i + 1 < fields.len() { ",\n" } else { "\n" })?;
+            }
+            write_indent(f, depth)?;
+            f.write_str("}")
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(f, self, 0)
+    }
+}
+
+/// A JSON parse error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, ParseError> {
+        Err(ParseError { at: self.pos, msg: msg.to_string() })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", b as char))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            self.err(&format!("expected `{lit}`"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else { return self.err("unterminated string") };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else { return self.err("bad escape") };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(cp) = hex.and_then(char::from_u32) else {
+                                return self.err("bad \\u escape");
+                            };
+                            out.push(cp);
+                            self.pos += 4;
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Re-sync to the char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(s) => {
+                            out.push_str(s);
+                            self.pos = end;
+                        }
+                        Err(_) => return self.err("invalid utf-8"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Json::Float(x)),
+            Err(_) => self.err("bad number"),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.eat_lit("null", Json::Null),
+            Some(b't') => self.eat_lit("true", Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return self.err("expected `,` or `]`"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    let v = self.value()?;
+                    fields.push((key, v));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return self.err("expected `,` or `}`"),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a byte offset on malformed input.
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing garbage");
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::Str("sweep \"x\"\n".into())),
+            ("cycles".into(), Json::Int(18446744073709551615)),
+            ("ipc".into(), Json::Float(2.5)),
+            ("whole".into(), Json::Float(2.0)),
+            ("ok".into(), Json::Bool(true)),
+            ("none".into(), Json::Null),
+            ("pts".into(), Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("empty".into(), Json::Arr(vec![])),
+        ]);
+        let text = v.to_string();
+        assert_eq!(parse(&text).expect("parses"), v);
+    }
+
+    #[test]
+    fn whole_floats_stay_floats() {
+        let text = Json::Float(3.0).to_string();
+        assert_eq!(text, "3.0");
+        assert_eq!(parse(&text).unwrap(), Json::Float(3.0));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let v = Json::Obj(vec![
+            ("b".into(), Json::Int(2)),
+            ("a".into(), Json::Int(1)),
+        ]);
+        assert_eq!(v.to_string(), v.to_string());
+        assert_eq!(v.to_string(), "{\n  \"b\": 2,\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = parse("{\"a\": }").unwrap_err();
+        assert!(e.at > 0);
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("[] junk").is_err());
+    }
+
+    #[test]
+    fn parses_unicode_and_escapes() {
+        let v = parse("\"caf\\u00e9 déjà\"").unwrap();
+        assert_eq!(v.as_str(), Some("café déjà"));
+    }
+}

@@ -1,0 +1,129 @@
+//! A std-only work-stealing thread pool for embarrassingly parallel grids.
+//!
+//! The sweep engine needs to shard a few dozen to a few thousand
+//! independent simulation points across OS threads without pulling an
+//! external runtime (the workspace is hermetic — no `rayon`). Because the
+//! task set is fixed up front (no task ever spawns another), a very small
+//! design is both correct and fast:
+//!
+//! * Every worker owns a deque of task indices, seeded round-robin so the
+//!   initial distribution is balanced.
+//! * A worker pops from the **front** of its own deque; when that runs
+//!   dry it steals from the **back** of a victim's deque, scanning the
+//!   other workers in a fixed rotation. Opposite ends keep the owner and
+//!   thieves off the same cache lines of work.
+//! * A worker exits when every deque is empty. With a fixed task set this
+//!   termination check is race-free: an in-flight task can never make new
+//!   work appear.
+//!
+//! Results land in a slot per task index, so the output order is the input
+//! order — **independent of thread count and steal timing**. That property
+//! is what makes the sweep aggregation deterministic.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Runs `work(index, item)` for every item on `threads` workers and
+/// returns the results **in input order**, regardless of which worker ran
+/// which item or in what order.
+///
+/// `threads` is clamped to `1..=items.len()`. With `threads == 1` the
+/// items run strictly in input order on one spawned worker, which is the
+/// reference schedule the determinism tests compare against.
+///
+/// # Panics
+///
+/// Propagates a panic from `work` after the scope unwinds the remaining
+/// workers.
+pub fn run_indexed<T, R, F>(threads: usize, items: Vec<T>, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..threads).map(|w| Mutex::new((w..n).step_by(threads).collect())).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let slots = &slots;
+            let queues = &queues;
+            let results = &results;
+            let work = &work;
+            scope.spawn(move || loop {
+                let own = queues[w].lock().expect("queue poisoned").pop_front();
+                let task = own.or_else(|| {
+                    (1..threads).find_map(|d| {
+                        queues[(w + d) % threads].lock().expect("queue poisoned").pop_back()
+                    })
+                });
+                let Some(i) = task else { return };
+                let item = slots[i].lock().expect("slot poisoned").take();
+                if let Some(item) = item {
+                    let r = work(i, item);
+                    *results[i].lock().expect("result poisoned") = Some(r);
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("result poisoned").expect("every task ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_keep_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let out = run_indexed(threads, items.clone(), |i, x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            let want: Vec<u64> = items.iter().map(|x| x * x).collect();
+            assert_eq!(out, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let ran = AtomicUsize::new(0);
+        let out = run_indexed(4, vec![(); 50], |_, ()| {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(out.len(), 50);
+        assert_eq!(ran.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = run_indexed(8, Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stealing_drains_imbalanced_work() {
+        // One slow item seeded to worker 0; the rest are instant. With
+        // stealing, everything still completes.
+        let out = run_indexed(4, (0..32).collect::<Vec<u64>>(), |_, x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=32).collect::<Vec<u64>>());
+    }
+}

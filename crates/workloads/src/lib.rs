@@ -75,6 +75,14 @@ pub fn kernel_suite() -> Vec<Workload> {
     kernels::all()
 }
 
+/// Looks a workload up in the synthetic suite first, then among the
+/// hand-written kernels (which ignore `scale`). This is the single
+/// resolver the CLI and the sweep engine share, so `dot_product` and
+/// `mcf` name workloads the same way everywhere.
+pub fn by_name_any(name: &str, scale: f64) -> Option<Workload> {
+    by_name(name, scale).or_else(|| kernels::all().into_iter().find(|w| w.name == name))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,6 +11,14 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q -p braid-sweep"
+cargo test -q -p braid-sweep
+
+echo "==> sweep smoke (tiny grid, 2 threads)"
+cargo run --release --bin braidsim -- sweep --name tier1-smoke --threads 2 \
+  --workloads dot_product,fig2_life --cores inorder,braid
+rm -f results/tier1-smoke.json results/tier1-smoke.partial.json
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

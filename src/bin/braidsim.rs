@@ -3,6 +3,10 @@
 //!
 //! ```text
 //! braidsim <core> <file.s | @benchmark> [--width N] [--perfect] [--fuel N]
+//! braidsim sweep [--workloads a,b] [--cores c,d] [--widths ...] [--beus ...]
+//!                [--fifos ...] [--windows ...] [--bypasses ...] [--scale F]
+//!                [--perfect] [--threads N] [--name NAME] [--out FILE]
+//!                [--resume]
 //!
 //! cores: ooo | braid | dep | inorder | all
 //! ```
@@ -13,7 +17,14 @@
 //! braidsim all my_kernel.s
 //! braidsim braid @gcc --perfect
 //! braidsim ooo @mgrid --width 16
+//! braidsim sweep --workloads gcc,mcf --widths 4,8,16 --threads 8
 //! ```
+//!
+//! The `sweep` subcommand expands the axes into a (workload × core ×
+//! config) grid, shards it across a work-stealing thread pool, snapshots
+//! partial results to `results/<name>.partial.json` after every point, and
+//! writes the deterministic aggregate to `results/<name>.json` (the same
+//! bytes for any `--threads`). `--resume` reuses a matching snapshot.
 
 use std::fs;
 use std::process::ExitCode;
@@ -35,13 +46,15 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!("usage: braidsim <ooo|braid|dep|inorder|all> <file.s | @benchmark> [--width N] [--perfect] [--fuel N]");
+    eprintln!("       braidsim sweep [--workloads a,b] [--cores c,d] [--widths ...] [--beus ...]");
+    eprintln!("                      [--fifos ...] [--windows ...] [--bypasses ...] [--scale F]");
+    eprintln!("                      [--perfect] [--threads N] [--name NAME] [--out FILE] [--resume]");
     ExitCode::from(2)
 }
 
 fn load_program(spec: &str) -> Result<(Program, u64), String> {
     if let Some(name) = spec.strip_prefix('@') {
-        let w = braid::workloads::by_name(name, 1.0)
-            .or_else(|| braid::workloads::kernel_suite().into_iter().find(|k| k.name == name))
+        let w = braid::workloads::by_name_any(name, 1.0)
             .ok_or_else(|| format!("unknown benchmark {name:?}"))?;
         Ok((w.program, w.fuel))
     } else if spec.ends_with(".brisc") {
@@ -75,8 +88,156 @@ fn report(label: &str, r: &SimReport) {
     println!("{r}");
 }
 
+/// Parses a comma-separated numeric axis like `4,8,16`.
+fn parse_axis(flag: &str, value: &str) -> Result<Vec<u32>, String> {
+    value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<u32>().map_err(|_| format!("{flag}: bad value {s:?}")))
+        .collect()
+}
+
+/// The `sweep` subcommand: expand, shard, aggregate, report.
+fn run_sweep_cmd(args: &[String]) -> ExitCode {
+    use braid::sweep::{aggregate, run_sweep, write_json, CoreModel, Json, SweepSpec};
+
+    let mut spec = SweepSpec::new("sweep");
+    // A small kernel grid by default: 4 workloads × 4 cores = 16 points.
+    spec.workloads =
+        ["fig2_life", "dot_product", "stencil", "pointer_chase"].map(String::from).to_vec();
+    let mut threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut out: Option<String> = None;
+    let mut resume = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let r: Result<(), String> = match flag {
+            "--perfect" => {
+                spec.perfect = true;
+                Ok(())
+            }
+            "--resume" => {
+                resume = true;
+                Ok(())
+            }
+            "--widths" | "--beus" | "--fifos" | "--windows" | "--bypasses" | "--workloads"
+            | "--cores" | "--scale" | "--threads" | "--name" | "--out" => {
+                i += 1;
+                match (flag, args.get(i)) {
+                    (_, None) => Err(format!("{flag} needs a value")),
+                    ("--widths", Some(v)) => parse_axis(flag, v).map(|a| spec.widths = a),
+                    ("--beus", Some(v)) => parse_axis(flag, v).map(|a| spec.beus = a),
+                    ("--fifos", Some(v)) => parse_axis(flag, v).map(|a| spec.fifo_depths = a),
+                    ("--windows", Some(v)) => parse_axis(flag, v).map(|a| spec.windows = a),
+                    ("--bypasses", Some(v)) => parse_axis(flag, v).map(|a| spec.bypasses = a),
+                    ("--workloads", Some(v)) => {
+                        spec.workloads = v.split(',').map(String::from).collect();
+                        Ok(())
+                    }
+                    ("--cores", Some(v)) => v
+                        .split(',')
+                        .map(|s| {
+                            CoreModel::parse(s).ok_or_else(|| format!("unknown core {s:?}"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                        .map(|cores| spec.cores = cores),
+                    ("--scale", Some(v)) => v
+                        .parse()
+                        .map(|s| spec.scale = s)
+                        .map_err(|_| format!("--scale: bad value {v:?}")),
+                    ("--threads", Some(v)) => v
+                        .parse()
+                        .map(|t: usize| threads = t.max(1))
+                        .map_err(|_| format!("--threads: bad value {v:?}")),
+                    ("--name", Some(v)) => {
+                        spec.name = v.clone();
+                        Ok(())
+                    }
+                    (_, Some(v)) => {
+                        out = Some(v.clone());
+                        Ok(())
+                    }
+                }
+            }
+            other => Err(format!("unknown option {other}")),
+        };
+        if let Err(e) = r {
+            eprintln!("braidsim: sweep: {e}");
+            return usage();
+        }
+        i += 1;
+    }
+
+    let points = spec.expand();
+    if points.is_empty() {
+        eprintln!("braidsim: sweep: the grid is empty (no workloads or cores)");
+        return ExitCode::FAILURE;
+    }
+    let out = out.unwrap_or_else(|| format!("results/{}.json", spec.name));
+    let partial = std::path::PathBuf::from(format!("results/{}.partial.json", spec.name));
+    println!(
+        "sweep `{}`: {} grid points on {} threads (digest {})",
+        spec.name,
+        points.len(),
+        threads,
+        spec.digest()
+    );
+
+    let run = match run_sweep(&spec, threads, Some(&partial), resume) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("braidsim: sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(w) = &run.snapshot_error {
+        eprintln!("braidsim: sweep: warning: snapshot writes failed: {w}");
+    }
+
+    let mut failures = 0usize;
+    for o in &run.outcomes {
+        match &o.stats {
+            Ok(s) => println!("  [{:3}] {:<40} ipc {:.3}", o.point.index, o.point.key(), s.ipc()),
+            Err(e) => {
+                failures += 1;
+                println!("  [{:3}] {:<40} ERROR {e}", o.point.index, o.point.key());
+            }
+        }
+    }
+    let doc = aggregate(&run);
+    if let Some(Json::Obj(fields)) = doc.get("summary").cloned() {
+        for (k, v) in fields {
+            if let Json::Float(x) = v {
+                println!("  {k}: {x:.3}");
+            }
+        }
+    }
+    println!(
+        "{} points ({} reused) in {:.2}s, {:.2} Mcycles/s aggregate",
+        run.outcomes.len(),
+        run.reused,
+        run.host_nanos as f64 / 1e9,
+        run.cycles_per_sec() / 1e6
+    );
+    if let Err(e) = write_json(std::path::Path::new(&out), &doc) {
+        eprintln!("braidsim: sweep: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    let _ = std::fs::remove_file(&partial);
+    if failures > 0 {
+        eprintln!("braidsim: sweep: {failures} point(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        return run_sweep_cmd(&args[1..]);
+    }
     if args.len() < 2 {
         return usage();
     }

@@ -9,6 +9,7 @@
 //! * [`compiler`] — the braid-forming binary translator.
 //! * [`core`] — the functional executor and the four timing cores.
 //! * [`workloads`] — the synthetic SPEC CPU2000-profiled workload suite.
+//! * [`sweep`] — the parallel (workload × core × config) sweep engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,5 +17,6 @@
 pub use braid_compiler as compiler;
 pub use braid_core as core;
 pub use braid_isa as isa;
+pub use braid_sweep as sweep;
 pub use braid_uarch as uarch;
 pub use braid_workloads as workloads;

@@ -140,6 +140,34 @@ fn four_cores_retire_everything_and_order_sanely() {
 }
 
 #[test]
+fn sweep_aggregate_is_byte_identical_across_thread_counts() {
+    use braid::sweep::{aggregate, run_sweep, SweepSpec};
+
+    // Kernels keep this cheap; all four cores exercise every run path.
+    let mut spec = SweepSpec::new("e2e-determinism");
+    spec.workloads = vec!["dot_product".into(), "crc_mix".into()];
+
+    let docs: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            let run = run_sweep(&spec, threads, None, false)
+                .unwrap_or_else(|e| panic!("{threads}-thread sweep failed: {e}"));
+            assert_eq!(run.reused, 0);
+            aggregate(&run).to_string()
+        })
+        .collect();
+
+    assert_eq!(docs[0], docs[1], "1-thread and 2-thread aggregates differ");
+    assert_eq!(docs[0], docs[2], "1-thread and 8-thread aggregates differ");
+    // 2 workloads × 4 cores, every point successful.
+    assert!(docs[0].contains("\"grid_points\": 8"));
+    assert!(docs[0].contains("\"completed\": 8"));
+    assert!(!docs[0].contains("\"status\": \"error\""));
+    // The non-deterministic host clock must never leak into the document.
+    assert!(!docs[0].contains("host_nanos"));
+}
+
+#[test]
 fn checkpoint_state_is_smaller_on_the_braid_machine() {
     let w = braid::workloads::by_name("perlbmk", SCALE).unwrap();
     let mut m = Machine::new(&w.program);

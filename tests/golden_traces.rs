@@ -1,0 +1,160 @@
+//! Golden-trace regression tests for the hand-written kernels.
+//!
+//! For every kernel workload, `tests/golden/<name>.golden` pins down the
+//! observable behaviour of the whole stack on the paper-default machines:
+//!
+//! * the dynamic (retired) instruction count,
+//! * the functional model's final architectural register state
+//!   (non-zero registers only), and
+//! * the cycle count of each of the four timing cores.
+//!
+//! Everything recorded is deterministic — integer state and cycle counts
+//! only, no host wall-clock, no floats — so the files are byte-stable
+//! across machines and optimization levels. Any drift is either a real
+//! behaviour change (update the goldens deliberately) or a regression
+//! (fix it).
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! BRAID_UPDATE_GOLDEN=1 cargo test --test golden_traces
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use braid::compiler::{translate, TranslatorConfig};
+use braid::core::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
+use braid::core::cores::{BraidCore, DepSteerCore, InOrderCore, OooCore};
+use braid::core::functional::Machine;
+use braid::isa::Reg;
+use braid::workloads::{kernel_suite, Workload};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Renders the kernel's golden record: one `key value` line per fact, in
+/// a fixed order.
+fn render_golden(w: &Workload) -> String {
+    let mut m = Machine::new(&w.program);
+    let trace = m.run(&w.program, w.fuel).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    assert!(m.halted(), "{} must halt", w.name);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "instructions {}", trace.len());
+    for reg in Reg::all() {
+        let v = m.reg(reg);
+        if v != 0 {
+            let _ = writeln!(out, "reg {reg} {v:#x}");
+        }
+    }
+
+    let io = InOrderCore::new(InOrderConfig::paper_8wide())
+        .run(&w.program, &trace)
+        .unwrap_or_else(|e| panic!("{}: inorder: {e}", w.name));
+    let dep = DepSteerCore::new(DepConfig::paper_8wide())
+        .run(&w.program, &trace)
+        .unwrap_or_else(|e| panic!("{}: dep: {e}", w.name));
+    let ooo = OooCore::new(OooConfig::paper_8wide())
+        .run(&w.program, &trace)
+        .unwrap_or_else(|e| panic!("{}: ooo: {e}", w.name));
+
+    let t = translate(&w.program, &TranslatorConfig::default())
+        .unwrap_or_else(|e| panic!("{}: translate: {e}", w.name));
+    let mut mb = Machine::new(&t.program);
+    let braid_trace =
+        mb.run(&t.program, w.fuel).unwrap_or_else(|e| panic!("{}: braid trace: {e}", w.name));
+    let braid = BraidCore::new(BraidConfig::paper_default())
+        .run(&t.program, &braid_trace)
+        .unwrap_or_else(|e| panic!("{}: braid: {e}", w.name));
+
+    for (label, r) in [("inorder", &io), ("dep", &dep), ("ooo", &ooo), ("braid", &braid)] {
+        assert_eq!(r.instructions, trace.len() as u64, "{}/{label} retires all", w.name);
+        let _ = writeln!(out, "cycles {label} {}", r.cycles);
+    }
+    out
+}
+
+/// A readable line diff: every line that changed, went missing, or
+/// appeared, with its line number.
+fn diff_report(name: &str, golden: &str, current: &str) -> String {
+    let mut out = format!(
+        "golden trace mismatch for kernel `{name}`\n\
+         (if this change is intentional, regenerate with \
+         BRAID_UPDATE_GOLDEN=1 cargo test --test golden_traces)\n"
+    );
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    let current_lines: Vec<&str> = current.lines().collect();
+    let n = golden_lines.len().max(current_lines.len());
+    for i in 0..n {
+        match (golden_lines.get(i), current_lines.get(i)) {
+            (Some(g), Some(c)) if g == c => {}
+            (Some(g), Some(c)) => {
+                let _ = writeln!(out, "  line {}: golden  `{g}`", i + 1);
+                let _ = writeln!(out, "  line {}: current `{c}`", i + 1);
+            }
+            (Some(g), None) => {
+                let _ = writeln!(out, "  line {}: missing from current: `{g}`", i + 1);
+            }
+            (None, Some(c)) => {
+                let _ = writeln!(out, "  line {}: only in current: `{c}`", i + 1);
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+#[test]
+fn kernels_match_their_golden_traces() {
+    let update = std::env::var("BRAID_UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let dir = golden_dir();
+    if update {
+        fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+
+    let mut failures = Vec::new();
+    for w in kernel_suite() {
+        let current = render_golden(&w);
+        let path = dir.join(format!("{}.golden", w.name));
+        if update {
+            fs::write(&path, &current).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            continue;
+        }
+        let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e}\n(no golden file — generate the set with \
+                 BRAID_UPDATE_GOLDEN=1 cargo test --test golden_traces)",
+                path.display()
+            )
+        });
+        if golden != current {
+            failures.push(diff_report(&w.name, &golden, &current));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn golden_files_cover_exactly_the_kernel_suite() {
+    if std::env::var("BRAID_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        return; // the update pass is rewriting the set right now
+    }
+    let mut on_disk: Vec<String> = fs::read_dir(golden_dir())
+        .expect("tests/golden exists")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".golden").map(String::from)
+        })
+        .collect();
+    on_disk.sort();
+    let mut kernels: Vec<String> = kernel_suite().into_iter().map(|w| w.name).collect();
+    kernels.sort();
+    assert_eq!(
+        on_disk, kernels,
+        "tests/golden/ out of sync with the kernel suite — \
+         regenerate with BRAID_UPDATE_GOLDEN=1 cargo test --test golden_traces"
+    );
+}

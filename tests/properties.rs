@@ -263,6 +263,37 @@ fn braid_core_retires_random_programs() {
     });
 }
 
+/// Differential test against the co-simulation oracle: for ≥200
+/// PRNG-generated programs, the braid pipeline (translate → functional →
+/// timing) runs in lockstep with the functional golden model and finishes
+/// with no divergence in registers, memory, or retirement counts. Every
+/// tenth case additionally runs all four timing cores through the oracle.
+///
+/// This is a different check from [`translation_preserves_semantics`]:
+/// the oracle compares state *during* execution (committed stores, per-
+/// instruction results), not just at the end, so reordering bugs that
+/// cancel out by halt still get caught.
+#[test]
+fn differential_oracle_finds_no_divergence() {
+    use braid_verify::oracle::{check_all_cores, check_core, CoreKind};
+
+    const DIFF_CASES: u64 = 200;
+    const FUEL: u64 = 100_000;
+    for seed in 0..DIFF_CASES {
+        // A seed stream disjoint from the other properties' `0..CASES`.
+        let mut rng = Rng::seed_from_u64(0xD1FF_0000 + seed);
+        let p = gen_program(&mut rng);
+        let name = format!("diff-seed-{seed}");
+        let report = check_core(CoreKind::Braid, &p, &name, FUEL)
+            .unwrap_or_else(|e| panic!("differential oracle failed for seed {seed}:\n{e}"));
+        assert!(report.instructions > 0, "seed {seed}: nothing retired");
+        if seed % 10 == 0 {
+            check_all_cores(&p, &name, FUEL)
+                .unwrap_or_else(|e| panic!("all-core oracle failed for seed {seed}:\n{e}"));
+        }
+    }
+}
+
 // ---- Memory edge cases (paper-independent substrate properties) ----
 
 /// Sparse-page memory: writes that straddle page boundaries, wrap the
