@@ -1,0 +1,380 @@
+//! Structured diagnostics: stable error codes, spans, severities, and the
+//! human-readable / JSON renderers.
+
+use std::fmt;
+
+/// Stable diagnostic codes of the braid contract checker.
+///
+/// Codes are part of the tool's interface: tests, scripts and the
+/// fault-injection harness match on them, so existing codes must never be
+/// renumbered (append new ones instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// `BC001`: a basic-block leader lacks the `S` bit, so the previous
+    /// braid's internal context would leak across a block boundary.
+    Bc001BraidCrossesBlock,
+    /// `BC002`: a read annotated `T` (or a conditional move's implicit
+    /// old-destination read) cannot be satisfied by the internal register
+    /// file: no internal producer exists in the braid, or a later
+    /// non-internal def makes the internal copy stale.
+    Bc002BadInternalRead,
+    /// `BC003`: ISA-level validation failed (operand shapes, register
+    /// classes, targets, or the structural braid-bit rules enforced by
+    /// `Inst::validate`).
+    Bc003Isa,
+    /// `BC004`: a braid's simultaneously-live internal values exceed the
+    /// internal register file capacity.
+    Bc004InternalOverflow,
+    /// `BC005`: a value written only to the internal file escapes its
+    /// braid — an external read observes a stale external copy, or the
+    /// value is live out of its block without ever reaching the external
+    /// register file.
+    Bc005LostValue,
+    /// `BC006` (warning): the `I` bit is set but no instruction ever reads
+    /// the value from the internal file — a wasted internal-file entry.
+    Bc006UnusedInternal,
+    /// `BC007`: translation metadata (braid descriptors, braid-of-inst
+    /// table) is inconsistent with the emitted program.
+    Bc007Metadata,
+    /// `BC008`: translation reordered two may-aliasing memory operations
+    /// (at least one a store) that are not provably disjoint — the same
+    /// legality rule the dynamic oracle enforces.
+    Bc008MemoryOrder,
+    /// `BC009`: the translation is not a block-local permutation of the
+    /// original program, or an instruction was altered beyond its braid
+    /// bits.
+    Bc009NotAPermutation,
+}
+
+impl Code {
+    /// The stable `BC0xx` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Bc001BraidCrossesBlock => "BC001",
+            Code::Bc002BadInternalRead => "BC002",
+            Code::Bc003Isa => "BC003",
+            Code::Bc004InternalOverflow => "BC004",
+            Code::Bc005LostValue => "BC005",
+            Code::Bc006UnusedInternal => "BC006",
+            Code::Bc007Metadata => "BC007",
+            Code::Bc008MemoryOrder => "BC008",
+            Code::Bc009NotAPermutation => "BC009",
+        }
+    }
+
+    /// The severity this code always reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::Bc006UnusedInternal => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// Every code, in numbering order.
+    pub const ALL: &'static [Code] = &[
+        Code::Bc001BraidCrossesBlock,
+        Code::Bc002BadInternalRead,
+        Code::Bc003Isa,
+        Code::Bc004InternalOverflow,
+        Code::Bc005LostValue,
+        Code::Bc006UnusedInternal,
+        Code::Bc007Metadata,
+        Code::Bc008MemoryOrder,
+        Code::Bc009NotAPermutation,
+    ];
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not a contract violation.
+    Warning,
+    /// A braid-contract violation; the program must be refused.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// An instruction-index span `[start, end)` in the checked program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// First instruction index covered (inclusive).
+    pub start: u32,
+    /// One past the last instruction index covered.
+    pub end: u32,
+}
+
+impl Span {
+    /// A span covering the single instruction `idx`.
+    pub fn inst(idx: u32) -> Span {
+        Span { start: idx, end: idx + 1 }
+    }
+
+    /// A span covering `[start, end)`.
+    pub fn range(start: u32, end: u32) -> Span {
+        Span { start, end }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.end == self.start + 1 {
+            write!(f, "inst {}", self.start)
+        } else {
+            write!(f, "insts {}..{}", self.start, self.end)
+        }
+    }
+}
+
+/// One finding of the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Instruction span the finding is anchored to.
+    pub span: Span,
+    /// Basic block (by index in address order) containing the span, when
+    /// the finding is block-local.
+    pub block: Option<u32>,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Disassembly of the first spanned instruction, for context.
+    pub inst: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic; severity is derived from the code.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { code, span, block: None, message: message.into(), inst: None }
+    }
+
+    /// Attaches the containing block index.
+    pub fn in_block(mut self, block: u32) -> Diagnostic {
+        self.block = Some(block);
+        self
+    }
+
+    /// Attaches the disassembly of the implicated instruction.
+    pub fn with_inst(mut self, inst: impl Into<String>) -> Diagnostic {
+        self.inst = Some(inst.into());
+        self
+    }
+
+    /// The severity (fixed per code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity(), self.code, self.message)?;
+        write!(f, "\n  --> {}", self.span)?;
+        if let Some(b) = self.block {
+            write!(f, " (block {b})")?;
+        }
+        if let Some(inst) = &self.inst {
+            write!(f, "\n  |   {}: {inst}", self.span.start)?;
+        }
+        Ok(())
+    }
+}
+
+/// The full result of checking one program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckReport {
+    /// Name of the checked program.
+    pub program: String,
+    /// Findings, in the order discovered (roughly instruction order per
+    /// analysis pass).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CheckReport {
+    /// An empty report for `program`.
+    pub fn new(program: impl Into<String>) -> CheckReport {
+        CheckReport { program: program.into(), diagnostics: Vec::new() }
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity() == Severity::Error).count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity() == Severity::Warning).count()
+    }
+
+    /// Whether any error was found.
+    pub fn has_errors(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// Whether the report is completely clean (no errors, no warnings).
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether any finding carries `code`.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Renders the machine-readable JSON form.
+    ///
+    /// The emitter is hand-rolled (the workspace is hermetic); strings are
+    /// escaped per RFC 8259.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"program\":");
+        json_string(&mut out, &self.program);
+        out.push_str(&format!(",\"errors\":{},\"warnings\":{}", self.errors(), self.warnings()));
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"start\":{},\"end\":{}",
+                d.code,
+                d.severity(),
+                d.span.start,
+                d.span.end
+            ));
+            if let Some(b) = d.block {
+                out.push_str(&format!(",\"block\":{b}"));
+            }
+            out.push_str(",\"message\":");
+            json_string(&mut out, &d.message);
+            if let Some(inst) = &d.inst {
+                out.push_str(",\"inst\":");
+                json_string(&mut out, inst);
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "check: {} is clean", self.program);
+        }
+        writeln!(
+            f,
+            "check: {} findings for {} ({} errors, {} warnings)",
+            self.diagnostics.len(),
+            self.program,
+            self.errors(),
+            self.warnings()
+        )?;
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(Code::Bc001BraidCrossesBlock.as_str(), "BC001");
+        assert_eq!(Code::Bc009NotAPermutation.as_str(), "BC009");
+        assert_eq!(Code::ALL.len(), 9);
+        for (i, c) in Code::ALL.iter().enumerate() {
+            assert_eq!(c.as_str(), format!("BC{:03}", i + 1));
+        }
+    }
+
+    #[test]
+    fn only_unused_internal_is_a_warning() {
+        for &c in Code::ALL {
+            let expect =
+                if c == Code::Bc006UnusedInternal { Severity::Warning } else { Severity::Error };
+            assert_eq!(c.severity(), expect, "{c}");
+        }
+    }
+
+    #[test]
+    fn report_counts_and_flags() {
+        let mut r = CheckReport::new("p");
+        assert!(r.is_clean() && !r.has_errors());
+        r.push(Diagnostic::new(Code::Bc006UnusedInternal, Span::inst(1), "w"));
+        assert!(!r.is_clean() && !r.has_errors());
+        r.push(Diagnostic::new(Code::Bc002BadInternalRead, Span::inst(2), "e"));
+        assert!(r.has_errors());
+        assert_eq!((r.errors(), r.warnings()), (1, 1));
+        assert!(r.has_code(Code::Bc002BadInternalRead));
+        assert!(!r.has_code(Code::Bc008MemoryOrder));
+    }
+
+    #[test]
+    fn json_carries_code_and_span() {
+        let mut r = CheckReport::new("demo \"x\"");
+        r.push(
+            Diagnostic::new(Code::Bc005LostValue, Span::inst(7), "lost \\ value")
+                .in_block(2)
+                .with_inst("addq r1, r2, r3"),
+        );
+        let j = r.to_json();
+        assert!(j.contains("\"program\":\"demo \\\"x\\\"\""));
+        assert!(j.contains("\"code\":\"BC005\""));
+        assert!(j.contains("\"start\":7,\"end\":8"));
+        assert!(j.contains("\"block\":2"));
+        assert!(j.contains("\"message\":\"lost \\\\ value\""));
+        assert!(j.contains("\"inst\":\"addq r1, r2, r3\""));
+        assert!(j.contains("\"errors\":1,\"warnings\":0"));
+    }
+
+    #[test]
+    fn text_rendering_carries_code_and_span() {
+        let mut r = CheckReport::new("demo");
+        r.push(Diagnostic::new(Code::Bc004InternalOverflow, Span::range(3, 9), "too many"));
+        let text = r.to_string();
+        assert!(text.contains("error[BC004]: too many"));
+        assert!(text.contains("--> insts 3..9"));
+    }
+}

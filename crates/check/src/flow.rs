@@ -1,0 +1,337 @@
+//! The braid dataflow verification pass.
+//!
+//! The pass abstractly interprets each basic block the way the braid
+//! machine executes it, tracking *which def* each register file would hold
+//! at every point:
+//!
+//! * `ext[r]` — the def whose value the **external** register file holds
+//!   (updated by `E` writes),
+//! * `int[r]` — the def the braid's **internal** context holds (updated by
+//!   `I` writes, cleared at every braid start),
+//! * `seq[r]` — the def sequential semantics says `r` holds (updated by
+//!   every def).
+//!
+//! A braid program is correct exactly when every read observes the def the
+//! program's dataflow prescribes. Internal (`T`-annotated and implicit
+//! conditional-move) reads must observe the braid's own latest def of the
+//! register (`BC002` otherwise); external reads that follow a same-braid
+//! internal-only def must not exist (`BC005` — the value was confined to
+//! an internal file it never left). Cross-braid *interleavings* are legal
+//! (that renaming freedom is the paper's point): both checks therefore
+//! compare against braid-local defs, not global ones — an external read
+//! after an *earlier braid's* internal-only def may be a WAR reordering
+//! whose reader legitimately wants the older value, and only the
+//! version-aware translation check (which sees the pre-translation
+//! program) can tell those apart.
+//!
+//! On top of the same walk the pass derives internal-file occupancy
+//! (`BC004`, the 8-entry bound), unused internal values (`BC006`), missing
+//! leader `S` bits (`BC001`), and an annotation-aware liveness that flags
+//! internal-only values escaping their block (`BC005` at block ends).
+
+use braid_isa::{Program, Reg};
+
+use crate::diag::{Code, Diagnostic, Span};
+use crate::model::{Blocks, Extent, RegMask};
+
+/// Which def a register file slot currently holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    /// The value on entry to the block.
+    LiveIn,
+    /// The value produced by the instruction at this index.
+    Def(u32),
+}
+
+/// Runs the braid dataflow checks, appending findings to `report`.
+pub(crate) fn check_braid_flow(
+    program: &Program,
+    blocks: &Blocks,
+    exts: &[Extent],
+    max_internal: u32,
+    report: &mut crate::CheckReport,
+) {
+    // BC001: every block leader must start a braid; otherwise the previous
+    // braid's internal context survives a control-flow boundary.
+    for b in 0..blocks.len() {
+        let lead = blocks.start[b] as usize;
+        if !program.insts[lead].braid.start {
+            report.push(
+                Diagnostic::new(
+                    Code::Bc001BraidCrossesBlock,
+                    Span::inst(lead as u32),
+                    format!(
+                        "block leader lacks the S bit: the braid would carry internal \
+                         state across the boundary of block {b}"
+                    ),
+                )
+                .in_block(b as u32)
+                .with_inst(program.insts[lead].to_string()),
+            );
+        }
+    }
+
+    let nb = blocks.len();
+    let mut gen = vec![RegMask::EMPTY; nb];
+    let mut kill = vec![RegMask::EMPTY; nb];
+    // Per block: (reg, def) pairs whose final value never reached the
+    // external file — errors iff the register is live out.
+    let mut end_candidates: Vec<Vec<(Reg, u32)>> = vec![Vec::new(); nb];
+
+    let mut ei = 0;
+    for b in 0..nb {
+        let mut ext_src = [Src::LiveIn; 64];
+        let mut seq = [Src::LiveIn; 64];
+        while ei < exts.len() && exts[ei].block == b {
+            let e = exts[ei];
+            ei += 1;
+            // Internal context: cleared at every braid start.
+            let mut int: [Option<u32>; 64] = [None; 64];
+            // The braid's own latest def of each register.
+            let mut nearest: [Option<u32>; 64] = [None; 64];
+            // `I`-writing defs of this extent with their last internal use.
+            let mut idefs: Vec<(u32, Option<u32>)> = Vec::new();
+
+            for i in e.start..e.end {
+                let inst = &program.insts[i as usize];
+                let disasm = || inst.to_string();
+
+                let mut internal_read = |r: Reg, what: &str, report: &mut crate::CheckReport| {
+                    let ri = r.index() as usize;
+                    match int[ri] {
+                        None => report.push(
+                            Diagnostic::new(
+                                Code::Bc002BadInternalRead,
+                                Span::inst(i),
+                                format!(
+                                    "{what} {r} reads the internal register file, but no braid \
+                                     instruction has written {r} internally"
+                                ),
+                            )
+                            .in_block(b as u32)
+                            .with_inst(disasm()),
+                        ),
+                        Some(d) => {
+                            if nearest[ri] != Some(d) {
+                                let near = nearest[ri].map_or_else(
+                                    || "outside the braid".to_string(),
+                                    |n| format!("at inst {n}"),
+                                );
+                                report.push(
+                                    Diagnostic::new(
+                                        Code::Bc002BadInternalRead,
+                                        Span::inst(i),
+                                        format!(
+                                            "{what} {r} reads a stale internal value (inst {d}); \
+                                             the braid's latest def of {r} is {near}"
+                                        ),
+                                    )
+                                    .in_block(b as u32)
+                                    .with_inst(disasm()),
+                                );
+                            }
+                            // The internal slot is observed either way.
+                            if let Some(entry) = idefs.iter_mut().find(|(p, _)| *p == d) {
+                                entry.1 = Some(i);
+                            }
+                        }
+                    }
+                };
+                let external_read = |r: Reg,
+                                     what: &str,
+                                     seq: &[Src; 64],
+                                     ext_src: &[Src; 64],
+                                     gen: &mut RegMask,
+                                     kill: &RegMask,
+                                     report: &mut crate::CheckReport| {
+                    let ri = r.index() as usize;
+                    if ext_src[ri] != seq[ri] {
+                        if let Src::Def(d) = seq[ri] {
+                            // Only a def in the reader's own braid is
+                            // provably stale: braids preserve original
+                            // order internally, so the reader follows the
+                            // def it cannot see. A def in an *earlier*
+                            // braid of the block may be a legal WAR
+                            // reordering (the reader wants the old value);
+                            // the version-aware translation check decides
+                            // those.
+                            if d >= e.start {
+                                report.push(
+                                    Diagnostic::new(
+                                        Code::Bc005LostValue,
+                                        Span::inst(i),
+                                        format!(
+                                            "{what} {r} reads the external register file, but \
+                                             the braid's latest value of {r} (inst {d}) was \
+                                             written only to an internal file"
+                                        ),
+                                    )
+                                    .in_block(b as u32)
+                                    .with_inst(disasm()),
+                                );
+                            }
+                        }
+                    }
+                    if !kill.contains(r) {
+                        gen.insert(r);
+                    }
+                };
+
+                // Explicit source reads.
+                for slot in 0..2 {
+                    let Some(r) = inst.srcs[slot] else { continue };
+                    if r.is_zero() {
+                        continue; // reads as zero; the files are never consulted
+                    }
+                    if inst.braid.t[slot] {
+                        internal_read(r, "source", report);
+                    } else {
+                        external_read(r, "source", &seq, &ext_src, &mut gen[b], &kill[b], report);
+                    }
+                }
+                // Implicit old-destination read of conditional moves: the
+                // machine prefers the internal copy when one exists.
+                if inst.opcode.reads_dest() {
+                    if let Some(d) = inst.dest {
+                        if !d.is_zero() {
+                            if int[d.index() as usize].is_some() {
+                                internal_read(d, "implicit old destination", report);
+                            } else {
+                                external_read(
+                                    d,
+                                    "implicit old destination",
+                                    &seq,
+                                    &ext_src,
+                                    &mut gen[b],
+                                    &kill[b],
+                                    report,
+                                );
+                            }
+                        }
+                    }
+                }
+                // The def.
+                if let Some(d) = inst.dest {
+                    if !d.is_zero() {
+                        let di = d.index() as usize;
+                        if inst.braid.internal {
+                            int[di] = Some(i);
+                            idefs.push((i, None));
+                        }
+                        if inst.braid.external {
+                            ext_src[di] = Src::Def(i);
+                            kill[b].insert(d);
+                        }
+                        seq[di] = Src::Def(i);
+                        nearest[di] = Some(i);
+                    }
+                }
+            }
+
+            flush_extent(program, b, e, &idefs, max_internal, report);
+        }
+
+        // Only registers *no* def of which reached the external file are
+        // locally provable losses: when an earlier braid's E def exists,
+        // the sequentially-latest internal-only def may be a legal WAR
+        // reordering (the E def is the architectural final value), which
+        // only the version-aware translation check can decide.
+        for ri in 0..64u8 {
+            if let Src::Def(d) = seq[ri as usize] {
+                if ext_src[ri as usize] == Src::LiveIn {
+                    if let Ok(r) = Reg::new(ri) {
+                        end_candidates[b].push((r, d));
+                    }
+                }
+            }
+        }
+    }
+
+    let live_out = blocks.liveness(&gen, &kill);
+    for (b, candidates) in end_candidates.iter().enumerate() {
+        for &(r, d) in candidates {
+            if live_out[b].contains(r) {
+                report.push(
+                    Diagnostic::new(
+                        Code::Bc005LostValue,
+                        Span::inst(d),
+                        format!(
+                            "{r} is live out of block {b}, but its last value (inst {d}) \
+                             never reaches the external register file"
+                        ),
+                    )
+                    .in_block(b as u32)
+                    .with_inst(program.insts[d as usize].to_string()),
+                );
+            }
+        }
+    }
+}
+
+/// Per-extent occupancy checks: `BC006` for internal values nothing reads,
+/// `BC004` when the simultaneously-live internal values exceed the file.
+///
+/// Lifetimes mirror the translator's working-set accounting: an internal
+/// def occupies an entry from its def to its last internal read — or to
+/// the braid's end when nothing reads it, so corrupted `I` bits cannot
+/// hide from the bound.
+fn flush_extent(
+    program: &Program,
+    block: usize,
+    e: Extent,
+    idefs: &[(u32, Option<u32>)],
+    max_internal: u32,
+    report: &mut crate::CheckReport,
+) {
+    for &(d, last_use) in idefs {
+        if last_use.is_none() {
+            let inst = &program.insts[d as usize];
+            let reg = inst.dest.map(|r| r.to_string()).unwrap_or_else(|| "?".to_string());
+            report.push(
+                Diagnostic::new(
+                    Code::Bc006UnusedInternal,
+                    Span::inst(d),
+                    format!(
+                        "internal value of {reg} is never read from the internal file \
+                         (wasted internal-register entry)"
+                    ),
+                )
+                .in_block(block as u32)
+                .with_inst(inst.to_string()),
+            );
+        }
+    }
+
+    let mut live = 0u32;
+    let mut active: Vec<u32> = Vec::new(); // effective last-use indices
+    let mut reported = false;
+    for i in e.start..e.end {
+        if let Some(&(_, last_use)) = idefs.iter().find(|(p, _)| *p == i) {
+            live += 1;
+            if live > max_internal && !reported {
+                report.push(
+                    Diagnostic::new(
+                        Code::Bc004InternalOverflow,
+                        Span::range(e.start, e.end),
+                        format!(
+                            "braid holds {live} simultaneously-live internal values at inst {i}, \
+                             exceeding the {max_internal}-entry internal register file"
+                        ),
+                    )
+                    .in_block(block as u32)
+                    .with_inst(program.insts[i as usize].to_string()),
+                );
+                reported = true;
+            }
+            active.push(last_use.unwrap_or(e.end.saturating_sub(1)));
+        }
+        active.retain(|&lu| {
+            if lu == i {
+                live -= 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+}

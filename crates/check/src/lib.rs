@@ -1,0 +1,412 @@
+//! `braid-check`: a static verifier for the braid contract.
+//!
+//! The braid microarchitecture (Tseng & Patt, ISCA 2008) never re-checks at
+//! runtime the contract its translator must uphold: braids are contiguous
+//! and confined to one basic block, internal working sets fit the 8-entry
+//! internal register file, the `S`/`T`/`I`/`E` bits agree with the
+//! program's def-use facts, and internal values never escape their braid.
+//! This crate proves that contract per program, statically, before a single
+//! cycle is simulated — and independently of the compiler's own analyses,
+//! so a translator bug cannot vouch for itself.
+//!
+//! # Entry points
+//!
+//! * [`check_program`] — judge any annotated [`braid_isa::Program`] on its
+//!   own: ISA validation (`BC003`), braid structure (`BC001`), internal
+//!   read consistency (`BC002`), internal-file capacity (`BC004`), lost
+//!   values (`BC005`) and unused internal values (`BC006`).
+//! * [`check_reordering`] — compare a translation against its original:
+//!   block-local permutation (`BC009`) and static memory-order legality
+//!   (`BC008`, the dynamic oracle's rule applied without simulation).
+//! * [`check_descriptors`] — validate translator metadata against the
+//!   emitted program (`BC007`).
+//!
+//! Every finding is a [`Diagnostic`] with a stable `BC0xx` [`Code`], an
+//! instruction-index [`Span`], a severity, and a message; a [`CheckReport`]
+//! renders them human-readably via `Display` and machine-readably via
+//! [`CheckReport::to_json`].
+//!
+//! ```
+//! use braid_check::{check_program, CheckConfig};
+//! use braid_isa::asm::assemble;
+//!
+//! // Unannotated programs are trivially well-formed braid programs
+//! // (every instruction its own braid, every value external).
+//! let p = assemble("addq r1, r2, r3\nhalt")?;
+//! let report = check_program(&p, &CheckConfig::default());
+//! assert!(report.is_clean());
+//! # Ok::<(), braid_isa::IsaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diag;
+mod flow;
+mod model;
+mod reorder;
+
+pub use diag::{CheckReport, Code, Diagnostic, Severity, Span};
+pub use model::{extents, Blocks, Extent, RegMask};
+pub use reorder::{check_descriptors, check_reordering, BraidDescView};
+
+/// Configuration of the static checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Internal register file entries per braid execution unit; braids
+    /// whose simultaneously-live internal values exceed this are `BC004`
+    /// errors. The paper's hardware (and the translator default) uses 8.
+    pub max_internal_regs: u32,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig { max_internal_regs: 8 }
+    }
+}
+
+/// Checks an annotated program against the braid contract.
+///
+/// The analyses are robust to arbitrarily malformed input: ISA-level
+/// violations are reported as `BC003` diagnostics (instead of aborting at
+/// the first, as [`braid_isa::Program::validate`] does) and the dataflow
+/// passes still run, so a single corrupted instruction yields both its
+/// structural and its dataflow consequences in one report.
+pub fn check_program(program: &braid_isa::Program, config: &CheckConfig) -> CheckReport {
+    let mut report = CheckReport::new(&program.name);
+    let n = program.insts.len();
+
+    // BC003: ISA validation, re-run per instruction for spans.
+    if n == 0 {
+        report.push(Diagnostic::new(
+            Code::Bc003Isa,
+            Span::range(0, 0),
+            "program has no instructions",
+        ));
+        return report;
+    }
+    if program.entry as usize >= n {
+        report.push(Diagnostic::new(
+            Code::Bc003Isa,
+            Span::range(0, n as u32),
+            format!("entry point {} is out of range", program.entry),
+        ));
+    }
+    let mut saw_halt = false;
+    for (i, inst) in program.insts.iter().enumerate() {
+        if let Err(e) = inst.validate() {
+            report.push(
+                Diagnostic::new(Code::Bc003Isa, Span::inst(i as u32), e.to_string())
+                    .with_inst(inst.to_string()),
+            );
+        }
+        if let Some(t) = inst.target() {
+            if t as usize >= n {
+                report.push(
+                    Diagnostic::new(
+                        Code::Bc003Isa,
+                        Span::inst(i as u32),
+                        format!("control target {t} is out of range"),
+                    )
+                    .with_inst(inst.to_string()),
+                );
+            }
+        }
+        saw_halt |= inst.opcode == braid_isa::Opcode::Halt;
+    }
+    if !saw_halt {
+        report.push(Diagnostic::new(
+            Code::Bc003Isa,
+            Span::range(0, n as u32),
+            "program has no halt instruction",
+        ));
+    }
+
+    let blocks = Blocks::build(program);
+    let exts = extents(program, &blocks);
+    flow::check_braid_flow(program, &blocks, &exts, config.max_internal_regs, &mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_isa::asm::assemble;
+    use braid_isa::{AliasClass, BraidBits, Inst, Opcode, Program, Reg};
+
+    fn check(p: &Program) -> CheckReport {
+        check_program(p, &CheckConfig::default())
+    }
+
+    fn codes(r: &CheckReport) -> Vec<Code> {
+        let mut v: Vec<Code> = r.diagnostics.iter().map(|d| d.code).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn unannotated_and_translated_programs_are_clean() {
+        let p = assemble(
+            "loop: addq r1, r2, r3\nstq r3, 0(r9)\naddi r1, #1, r1\nbne r1, loop\nhalt",
+        )
+        .unwrap();
+        assert!(check(&p).is_clean(), "{}", check(&p));
+    }
+
+    #[test]
+    fn bc001_leader_without_start_bit() {
+        let mut p = assemble("nop\nnop\nhalt").unwrap();
+        p.insts[0].braid.start = false;
+        let r = check(&p);
+        assert_eq!(codes(&r), vec![Code::Bc001BraidCrossesBlock]);
+        assert_eq!(r.diagnostics[0].span, Span::inst(0));
+    }
+
+    #[test]
+    fn bc002_internal_read_without_producer() {
+        let mut p = assemble("addq r1, r2, r3\nhalt").unwrap();
+        p.insts[0].braid.t[0] = true; // r1 was never written internally
+        let r = check(&p);
+        assert_eq!(codes(&r), vec![Code::Bc002BadInternalRead]);
+        assert_eq!(r.diagnostics[0].span, Span::inst(0));
+    }
+
+    #[test]
+    fn bc002_stale_internal_read() {
+        // One braid: r3 written internally (inst 0), overwritten
+        // externally-only (inst 1), then read via the internal file.
+        let mut p =
+            assemble("addq r1, r2, r3\naddq r0, r1, r3\naddq r3, r0, r4\nhalt").unwrap();
+        for i in 1..3 {
+            p.insts[i].braid.start = false;
+        }
+        p.insts[0].braid = BraidBits { start: true, t: [false, false], internal: true, external: false };
+        p.insts[2].braid.t[0] = true;
+        let r = check(&p);
+        assert_eq!(codes(&r), vec![Code::Bc002BadInternalRead]);
+        assert_eq!(r.diagnostics[0].span, Span::inst(2));
+        assert!(r.diagnostics[0].message.contains("stale"), "{}", r.diagnostics[0].message);
+    }
+
+    #[test]
+    fn bc003_malformed_instruction_and_missing_halt() {
+        let bad = Inst {
+            opcode: Opcode::Add,
+            dest: None, // add requires a destination
+            srcs: [Some(Reg::int(1).unwrap()), Some(Reg::int(2).unwrap())],
+            imm: 0,
+            alias: AliasClass::default(),
+            braid: BraidBits::unannotated(false),
+        };
+        let p = Program::from_insts("bad", vec![bad]);
+        let r = check(&p);
+        assert!(r.has_code(Code::Bc003Isa));
+        assert!(r.diagnostics.iter().any(|d| d.span == Span::inst(0)));
+        assert!(r.diagnostics.iter().any(|d| d.message.contains("halt")));
+    }
+
+    #[test]
+    fn bc004_internal_working_set_overflow() {
+        // One braid with nine internal values all live to the braid's end.
+        let mut src = String::new();
+        for k in 0..9 {
+            src.push_str(&format!("addq r1, r1, r{}\n", 2 + k));
+        }
+        src.push_str("halt");
+        let mut p = assemble(&src).unwrap();
+        for (i, inst) in p.insts.iter_mut().enumerate() {
+            inst.braid.start = i == 0;
+            if inst.dest.is_some() {
+                inst.braid.internal = true;
+                inst.braid.external = false;
+            }
+        }
+        let r = check(&p);
+        assert!(r.has_code(Code::Bc004InternalOverflow), "{r}");
+        let d = r.diagnostics.iter().find(|d| d.code == Code::Bc004InternalOverflow).unwrap();
+        assert_eq!(d.span, Span::range(0, 10));
+        // Exactly one overflow report per extent, not one per def.
+        assert_eq!(
+            r.diagnostics.iter().filter(|d| d.code == Code::Bc004InternalOverflow).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn bc005_external_read_of_internal_only_value() {
+        let mut p = assemble("addq r1, r2, r3\naddq r3, r0, r4\nhalt").unwrap();
+        p.insts[0].braid.internal = true;
+        p.insts[0].braid.external = false;
+        // inst 1 follows in the *same* braid and reads r3 externally: it
+        // provably comes after the internal-only def it cannot see.
+        p.insts[1].braid.start = false;
+        let r = check(&p);
+        assert!(r.has_code(Code::Bc005LostValue), "{r}");
+        let d = r.diagnostics.iter().find(|d| d.code == Code::Bc005LostValue).unwrap();
+        assert_eq!(d.span, Span::inst(1));
+    }
+
+    #[test]
+    fn cross_braid_external_read_of_older_value_is_legal() {
+        // Same shape, but the reader starts its own braid: a translator
+        // may legally hoist an internal-only def above a reader of the
+        // *older* external value (WAR renaming), so the local pass stays
+        // quiet. The def draws the BC006 unused-internal warning only.
+        let mut p = assemble("addq r1, r2, r3\naddq r3, r0, r4\nhalt").unwrap();
+        p.insts[0].braid.internal = true;
+        p.insts[0].braid.external = false;
+        let r = check(&p);
+        assert!(!r.has_code(Code::Bc005LostValue), "{r}");
+        assert!(!r.has_errors(), "{r}");
+    }
+
+    #[test]
+    fn bc005_internal_value_live_out_of_block() {
+        let p0 = assemble("addq r1, r2, r3\nret r31\nhalt").unwrap();
+        assert!(check(&p0).is_clean());
+        let mut p = p0;
+        p.insts[0].braid.internal = true;
+        p.insts[0].braid.external = false;
+        let r = check(&p);
+        assert!(r.has_code(Code::Bc005LostValue), "{r}");
+        let d = r.diagnostics.iter().find(|d| d.code == Code::Bc005LostValue).unwrap();
+        assert_eq!(d.span, Span::inst(0), "anchored at the confined def");
+        assert!(d.message.contains("live out"), "{}", d.message);
+    }
+
+    #[test]
+    fn dead_internal_value_at_block_end_is_not_lost() {
+        // Same shape, but the block ends in halt: nothing is live out, so
+        // the unescaped internal value is only a BC006 warning.
+        let mut p = assemble("addq r1, r2, r3\nhalt").unwrap();
+        p.insts[0].braid.internal = true;
+        p.insts[0].braid.external = false;
+        let r = check(&p);
+        assert!(!r.has_code(Code::Bc005LostValue), "{r}");
+        assert_eq!(codes(&r), vec![Code::Bc006UnusedInternal]);
+    }
+
+    #[test]
+    fn bc006_unused_internal_is_a_warning() {
+        let mut p = assemble("addq r1, r2, r3\nhalt").unwrap();
+        p.insts[0].braid.internal = true; // dual write, but nothing reads it internally
+        let r = check(&p);
+        assert_eq!(codes(&r), vec![Code::Bc006UnusedInternal]);
+        assert!(!r.has_errors());
+        assert_eq!(r.warnings(), 1);
+    }
+
+    #[test]
+    fn bc007_descriptor_mismatches() {
+        let p = assemble("addq r1, r2, r3\nhalt").unwrap();
+        // Claims one braid of length 2 with an internal value; the program
+        // has two S bits and no I bit.
+        let descs =
+            [BraidDescView { block: 0, start: 0, len: 2, internals: 1 }];
+        let mut r = CheckReport::new("p");
+        check_descriptors(&p, &descs, &[0, 0], &mut r);
+        assert!(r.has_code(Code::Bc007Metadata), "{r}");
+        assert!(r.diagnostics.iter().any(|d| d.span == Span::inst(1)), "S-bit mismatch at 1");
+        assert!(r.diagnostics.iter().any(|d| d.message.contains("internal values")));
+    }
+
+    #[test]
+    fn bc008_reordered_aliasing_memory_ops() {
+        let orig = assemble("stq r1, 0(r9)\nldq r2, 0(r9)\nhalt").unwrap();
+        let mut trans = orig.clone();
+        trans.insts.swap(0, 1);
+        let mut r = CheckReport::new("p");
+        check_reordering(&orig, &trans, &[1, 0, 2], &mut r);
+        assert_eq!(codes(&r), vec![Code::Bc008MemoryOrder]);
+        assert_eq!(r.diagnostics[0].span, Span::range(0, 2));
+    }
+
+    #[test]
+    fn disjoint_offsets_may_reorder() {
+        let orig = assemble("stq r1, 0(r9)\nldq r2, 8(r9)\nhalt").unwrap();
+        let mut trans = orig.clone();
+        trans.insts.swap(0, 1);
+        let mut r = CheckReport::new("p");
+        check_reordering(&orig, &trans, &[1, 0, 2], &mut r);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn bc009_altered_instruction_and_broken_map() {
+        let orig = assemble("addq r1, r2, r3\nhalt").unwrap();
+        let mut trans = orig.clone();
+        trans.insts[0].imm = 7;
+        let mut r = CheckReport::new("p");
+        check_reordering(&orig, &trans, &[0, 1], &mut r);
+        assert_eq!(codes(&r), vec![Code::Bc009NotAPermutation]);
+
+        let mut r2 = CheckReport::new("p");
+        check_reordering(&orig, &orig.clone(), &[0, 0], &mut r2);
+        assert!(r2.has_code(Code::Bc009NotAPermutation), "duplicate target index");
+    }
+
+    #[test]
+    fn bc009_cross_block_move() {
+        let orig = assemble("addq r1, r2, r3\nbr 3\naddq r3, r3, r4\nhalt").unwrap();
+        let mut trans = orig.clone();
+        trans.insts.swap(0, 2);
+        let mut r = CheckReport::new("p");
+        check_reordering(&orig, &trans, &[2, 1, 0, 3], &mut r);
+        assert!(r.has_code(Code::Bc009NotAPermutation), "{r}");
+        assert!(r.diagnostics.iter().any(|d| d.message.contains("block boundary")));
+    }
+
+    #[test]
+    fn version_aware_lost_value_across_braids() {
+        // The def's consumer sits in another braid, so the local flow pass
+        // stays quiet — but against the original program the read provably
+        // wants inst 0's value, which never reaches the external file.
+        let orig = assemble("addq r1, r2, r3\naddq r3, r0, r4\nhalt").unwrap();
+        let mut trans = orig.clone();
+        trans.insts[0].braid.internal = true;
+        trans.insts[0].braid.external = false;
+        assert!(!check(&trans).has_errors(), "locally ambiguous, not flagged");
+        let mut r = CheckReport::new("p");
+        check_reordering(&orig, &trans, &[0, 1, 2], &mut r);
+        assert!(r.has_code(Code::Bc005LostValue), "{r}");
+    }
+
+    #[test]
+    fn version_aware_war_hoist_is_legal() {
+        // The internal-only def is hoisted above a reader of the *older*
+        // value: the reader's original reaching def is the live-in, and
+        // that is still what the external file holds. No finding.
+        let orig = assemble("addq r3, r0, r4\naddq r1, r2, r3\nhalt").unwrap();
+        let mut trans = assemble("addq r1, r2, r3\naddq r3, r0, r4\nhalt").unwrap();
+        trans.insts[0].braid.internal = true;
+        trans.insts[0].braid.external = false;
+        let mut r = CheckReport::new("p");
+        check_reordering(&orig, &trans, &[1, 0, 2], &mut r);
+        assert!(!r.has_code(Code::Bc005LostValue), "{r}");
+    }
+
+    #[test]
+    fn golden_rendered_diagnostics() {
+        // Pins the exact rendered text for one corrupted program: an
+        // internal-only value read back through the external file.
+        let mut p = assemble("addq r1, r2, r3\naddq r3, r0, r4\nhalt").unwrap();
+        p.name = "golden".into();
+        p.insts[0].braid.internal = true;
+        p.insts[0].braid.external = false;
+        p.insts[1].braid.start = false; // same braid: the read is provably stale
+        let r = check(&p);
+        let expected = "\
+check: 2 findings for golden (1 errors, 1 warnings)
+error[BC005]: source r3 reads the external register file, but the braid's latest value of r3 (inst 0) was written only to an internal file
+  --> inst 1 (block 0)
+  |   1: addq r3, r0, r4
+warning[BC006]: internal value of r3 is never read from the internal file (wasted internal-register entry)
+  --> inst 0 (block 0)
+  |   0: addq r1, r2, r3";
+        assert_eq!(r.to_string(), expected);
+        let json = r.to_json();
+        assert!(json.contains("\"code\":\"BC005\""));
+        assert!(json.contains("\"start\":1,\"end\":2"));
+    }
+}

@@ -1,0 +1,268 @@
+//! The checker's own program model: basic blocks, braid extents derived
+//! from the `S` bits, and a small register-set/liveness toolkit.
+//!
+//! This deliberately re-derives block structure and dataflow from the
+//! program alone instead of depending on `braid-compiler`'s analyses: a
+//! verifier that trusted the compiler's own CFG and liveness would inherit
+//! its bugs. The successor and conservatism rules (fall-through, direct
+//! targets, `ret` treated as exiting to unknown code with every register
+//! live) mirror what any binary translator of this ISA must assume, so a
+//! clean translation is check-clean and vice versa.
+
+use braid_isa::{Program, Reg};
+
+/// A set of architectural registers as a 64-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegMask(pub u64);
+
+impl RegMask {
+    /// The empty set.
+    pub const EMPTY: RegMask = RegMask(0);
+    /// Every architectural register.
+    pub const ALL: RegMask = RegMask(u64::MAX);
+
+    /// Inserts a register.
+    pub fn insert(&mut self, r: Reg) {
+        self.0 |= 1 << r.index();
+    }
+
+    /// Membership test.
+    pub fn contains(self, r: Reg) -> bool {
+        self.0 >> r.index() & 1 == 1
+    }
+
+    /// Set union.
+    pub fn union(self, other: RegMask) -> RegMask {
+        RegMask(self.0 | other.0)
+    }
+}
+
+/// Basic-block structure of a program, rebuilt by leader analysis.
+#[derive(Debug, Clone)]
+pub struct Blocks {
+    /// Per block: first instruction index (inclusive).
+    pub start: Vec<u32>,
+    /// Per block: one past the last instruction index.
+    pub end: Vec<u32>,
+    /// Per block: successor block ids via direct edges.
+    pub succs: Vec<Vec<usize>>,
+    /// Per block: whether it exits indirectly (`ret`), making every
+    /// register conservatively live-out.
+    pub indirect: Vec<bool>,
+    /// For each instruction index, its containing block.
+    pub block_of: Vec<usize>,
+}
+
+impl Blocks {
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.start.len()
+    }
+
+    /// Whether the program had no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.start.is_empty()
+    }
+
+    /// Instruction range of block `b`.
+    pub fn range(&self, b: usize) -> std::ops::Range<usize> {
+        self.start[b] as usize..self.end[b] as usize
+    }
+
+    /// Rebuilds the block structure of `program`.
+    ///
+    /// Robust against malformed programs: out-of-range targets simply
+    /// contribute no leader or edge (ISA validation reports them
+    /// separately).
+    pub fn build(program: &Program) -> Blocks {
+        let n = program.insts.len();
+        if n == 0 {
+            return Blocks {
+                start: Vec::new(),
+                end: Vec::new(),
+                succs: Vec::new(),
+                indirect: Vec::new(),
+                block_of: Vec::new(),
+            };
+        }
+        let mut starts = program.leaders();
+        starts.push(0); // blocks tile the program even when entry != 0
+        starts.sort_unstable();
+        starts.dedup();
+        let block_index = |idx: u32| starts.binary_search(&idx).ok();
+
+        let nb = starts.len();
+        let mut end = Vec::with_capacity(nb);
+        let mut block_of = vec![0usize; n];
+        for (b, &s) in starts.iter().enumerate() {
+            let e = starts.get(b + 1).copied().unwrap_or(n as u32);
+            for i in s..e {
+                block_of[i as usize] = b;
+            }
+            end.push(e);
+        }
+
+        let mut succs = vec![Vec::new(); nb];
+        let mut indirect = vec![false; nb];
+        for b in 0..nb {
+            let last = &program.insts[end[b] as usize - 1];
+            let mut out: Vec<usize> = Vec::new();
+            use braid_isa::Opcode;
+            match last.opcode {
+                Opcode::Halt => {}
+                Opcode::Ret => indirect[b] = true,
+                Opcode::Br | Opcode::Call => {
+                    if let Some(t) = last.target().and_then(block_index) {
+                        out.push(t);
+                    }
+                }
+                op if op.is_cond_branch() => {
+                    if let Some(t) = last.target().and_then(block_index) {
+                        out.push(t);
+                    }
+                    if let Some(ft) = block_index(end[b]) {
+                        out.push(ft);
+                    }
+                }
+                _ => {
+                    if let Some(ft) = block_index(end[b]) {
+                        out.push(ft);
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            succs[b] = out;
+        }
+        Blocks { start: starts, end, succs, indirect, block_of }
+    }
+
+    /// Backward liveness over the blocks given per-block `gen` (upward
+    /// exposed uses) and `kill` sets. Indirect-exit blocks treat every
+    /// register as live-out.
+    pub fn liveness(&self, gen: &[RegMask], kill: &[RegMask]) -> Vec<RegMask> {
+        let n = self.len();
+        let mut live_in = vec![RegMask::EMPTY; n];
+        let mut live_out = vec![RegMask::EMPTY; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..n).rev() {
+                let mut out = if self.indirect[b] { RegMask::ALL } else { RegMask::EMPTY };
+                for &s in &self.succs[b] {
+                    out = out.union(live_in[s]);
+                }
+                let inn = RegMask(gen[b].0 | (out.0 & !kill[b].0));
+                if out != live_out[b] || inn != live_in[b] {
+                    live_out[b] = out;
+                    live_in[b] = inn;
+                    changed = true;
+                }
+            }
+        }
+        live_out
+    }
+}
+
+/// One braid extent: a maximal run of instructions within a block starting
+/// at an `S` bit (or at the block leader, which must carry `S`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// Containing block.
+    pub block: usize,
+    /// First instruction index (inclusive).
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+}
+
+/// Derives the braid extents of every block from the `S` bits. The block
+/// leader always opens an extent, whether or not its `S` bit is set (a
+/// missing leader `S` is reported separately as `BC001`); every other `S`
+/// bit closes the previous extent.
+pub fn extents(program: &Program, blocks: &Blocks) -> Vec<Extent> {
+    let mut out = Vec::new();
+    for b in 0..blocks.len() {
+        let mut cur = blocks.start[b];
+        for i in blocks.range(b).skip(1) {
+            if program.insts[i].braid.start {
+                out.push(Extent { block: b, start: cur, end: i as u32 });
+                cur = i as u32;
+            }
+        }
+        out.push(Extent { block: b, start: cur, end: blocks.end[b] });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_isa::asm::assemble;
+
+    #[test]
+    fn blocks_mirror_leader_analysis() {
+        let p = assemble(
+            "addi r0, #4, r1\nloop: subi r1, #1, r1\nbne r1, loop\nhalt",
+        )
+        .unwrap();
+        let blocks = Blocks::build(&p);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks.range(1), 1..3);
+        assert_eq!(blocks.succs[0], vec![1]);
+        assert_eq!(blocks.succs[1], vec![1, 2]);
+        assert!(blocks.succs[2].is_empty());
+        assert_eq!(blocks.block_of, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn ret_blocks_are_indirect() {
+        let p = assemble("call f, r31\nhalt\nf: nop\nret r31").unwrap();
+        let blocks = Blocks::build(&p);
+        assert_eq!(blocks.indirect, vec![false, false, true]);
+        assert_eq!(blocks.succs[0], vec![2], "call edge to callee");
+    }
+
+    #[test]
+    fn malformed_targets_make_no_edges() {
+        let mut p = assemble("beq r1, 0\nhalt").unwrap();
+        p.insts[0].set_target(99);
+        let blocks = Blocks::build(&p);
+        assert_eq!(blocks.succs[0], vec![1], "only the fall-through survives");
+    }
+
+    #[test]
+    fn extents_split_at_s_bits() {
+        let mut p = assemble("addq r1, r2, r3\naddq r3, r1, r4\nstq r4, 0(r9)\nhalt").unwrap();
+        // One block of 4; put S on 0 and 2.
+        for (i, inst) in p.insts.iter_mut().enumerate() {
+            inst.braid.start = i == 0 || i == 2;
+        }
+        let blocks = Blocks::build(&p);
+        let ex = extents(&p, &blocks);
+        assert_eq!(ex.len(), 2);
+        assert_eq!((ex[0].start, ex[0].end), (0, 2));
+        assert_eq!((ex[1].start, ex[1].end), (2, 4));
+    }
+
+    #[test]
+    fn leader_without_s_still_opens_extent() {
+        let mut p = assemble("nop\nnop\nhalt").unwrap();
+        for inst in &mut p.insts {
+            inst.braid.start = false;
+        }
+        let blocks = Blocks::build(&p);
+        let ex = extents(&p, &blocks);
+        assert_eq!(ex.len(), 1);
+        assert_eq!((ex[0].start, ex[0].end), (0, 3));
+    }
+
+    #[test]
+    fn liveness_with_all_out_on_indirect() {
+        let p = assemble("f: addi r0, #1, r9\nret r31\nhalt").unwrap();
+        let blocks = Blocks::build(&p);
+        let n = blocks.len();
+        let live_out = blocks.liveness(&vec![RegMask::EMPTY; n], &vec![RegMask::EMPTY; n]);
+        assert!(live_out[0].contains(Reg::int(9).unwrap()));
+    }
+}

@@ -1,0 +1,455 @@
+//! Translation-shape checks: the translated program against its original
+//! (`BC005`, `BC008`, `BC009`) and against the translator's own braid
+//! descriptors (`BC007`).
+//!
+//! These passes need the *pre-translation* program (or the translation
+//! metadata), so they are separate from [`crate::check_program`], which
+//! judges an annotated program on its own. In particular the version-aware
+//! lost-value check here resolves the cases the local flow pass must stay
+//! quiet about: whether an external read placed after a reordered def
+//! wants the old value (legal WAR renaming) or the new one (a lost value)
+//! is decided by the original program order.
+
+use braid_isa::{Program, Reg};
+
+use crate::diag::{Code, Diagnostic, Span};
+use crate::model::{Blocks, RegMask};
+
+/// A braid descriptor as seen by the checker. Mirrors the translator's
+/// `BraidDesc` without depending on `braid-compiler` (the compiler depends
+/// on this crate, not the other way round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BraidDescView {
+    /// Block the braid claims to belong to.
+    pub block: usize,
+    /// First instruction index in the translated program.
+    pub start: u32,
+    /// Number of instructions.
+    pub len: u32,
+    /// Values the braid claims to write to the internal register file.
+    pub internals: u32,
+}
+
+/// Checks that `translated` is a legal reordering of `original`:
+///
+/// * `BC009` — the translation must be a block-local permutation that
+///   changes nothing but the braid annotation bits,
+/// * `BC008` — per block, may-aliasing memory operations (at least one a
+///   store) that are not provably disjoint must keep their original order —
+///   the same legality rule the dynamic oracle enforces, applied
+///   statically, and
+/// * `BC005` — every external register read must observe the translated
+///   image of its original reaching def (skipped when `BC009` fired; the
+///   correspondence would be meaningless).
+///
+/// `new_index_of[i]` is the translated index of original instruction `i`.
+/// Spans of `BC008`/`BC009` diagnostics refer to the **translated** program
+/// where a translated index exists, so they line up with
+/// [`crate::check_program`] findings.
+pub fn check_reordering(
+    original: &Program,
+    translated: &Program,
+    new_index_of: &[u32],
+    report: &mut crate::CheckReport,
+) {
+    let n = original.insts.len();
+    if translated.insts.len() != n || new_index_of.len() != n {
+        report.push(Diagnostic::new(
+            Code::Bc009NotAPermutation,
+            Span::range(0, translated.insts.len() as u32),
+            format!(
+                "shape mismatch: original has {n} instructions, translation has {} \
+                 (index map covers {})",
+                translated.insts.len(),
+                new_index_of.len()
+            ),
+        ));
+        return;
+    }
+
+    // The index map must be a permutation of 0..n.
+    let mut hit = vec![false; n];
+    let mut map_ok = true;
+    for (old, &new) in new_index_of.iter().enumerate() {
+        let Some(slot) = hit.get_mut(new as usize) else {
+            report.push(Diagnostic::new(
+                Code::Bc009NotAPermutation,
+                Span::inst(old as u32),
+                format!("original instruction {old} maps to out-of-range index {new}"),
+            ));
+            map_ok = false;
+            continue;
+        };
+        if *slot {
+            report.push(Diagnostic::new(
+                Code::Bc009NotAPermutation,
+                Span::inst(new),
+                format!("translated index {new} is claimed by more than one original instruction"),
+            ));
+            map_ok = false;
+        }
+        *slot = true;
+    }
+    if !map_ok {
+        return; // the map is meaningless; per-pair checks would mislead
+    }
+
+    let blocks = Blocks::build(original);
+    for (old, &new) in new_index_of.iter().enumerate() {
+        let (a, b) = (&original.insts[old], &translated.insts[new as usize]);
+        let same = a.opcode == b.opcode
+            && a.dest == b.dest
+            && a.srcs == b.srcs
+            && a.imm == b.imm
+            && a.alias == b.alias;
+        if !same {
+            report.push(
+                Diagnostic::new(
+                    Code::Bc009NotAPermutation,
+                    Span::inst(new),
+                    format!(
+                        "translated instruction differs from original {old} beyond its braid \
+                         bits (original: {a})"
+                    ),
+                )
+                .with_inst(b.to_string()),
+            );
+        }
+        // Block-local: same boundaries on both sides, so one range check
+        // against the original's block structure suffices.
+        let bo = blocks.block_of[old];
+        let range = blocks.range(bo);
+        if !range.contains(&(new as usize)) {
+            report.push(
+                Diagnostic::new(
+                    Code::Bc009NotAPermutation,
+                    Span::inst(new),
+                    format!(
+                        "original instruction {old} of block {bo} (insts {}..{}) was moved \
+                         across the block boundary",
+                        range.start, range.end
+                    ),
+                )
+                .in_block(bo as u32)
+                .with_inst(b.to_string()),
+            );
+        }
+    }
+
+    if !report.has_code(Code::Bc009NotAPermutation) {
+        check_external_dataflow(original, translated, &blocks, new_index_of, report);
+    }
+    check_memory_order(original, &blocks, new_index_of, report);
+}
+
+/// The version-aware lost-value check (`BC005`), in two legs:
+///
+/// * every source that reads the external register file must observe the
+///   translated image of its reaching def in the original order (or both
+///   must resolve to the block's live-in value), and
+/// * for every register live out of a block, the final external state of
+///   the translated block must be the image of the original block's final
+///   def of that register.
+///
+/// `T`-annotated reads go through the internal file and belong to
+/// [`crate::check_program`]'s flow pass. This pass is what makes
+/// cross-braid reorderings safe to leave unflagged there: a reader (or a
+/// successor block) placed after an internal-only def is fine exactly when
+/// the def it *originally* depended on still feeds it.
+fn check_external_dataflow(
+    original: &Program,
+    translated: &Program,
+    blocks: &Blocks,
+    new_index_of: &[u32],
+    report: &mut crate::CheckReport,
+) {
+    // Plain (annotation-free) liveness of the original program, for the
+    // block-final leg.
+    let nb = blocks.len();
+    let mut gen = vec![RegMask::EMPTY; nb];
+    let mut kill = vec![RegMask::EMPTY; nb];
+    for b in 0..nb {
+        for i in blocks.range(b) {
+            let inst = &original.insts[i];
+            let mut read = |r: Option<Reg>| {
+                if let Some(r) = r {
+                    if !r.is_zero() && !kill[b].contains(r) {
+                        gen[b].insert(r);
+                    }
+                }
+            };
+            read(inst.srcs[0]);
+            read(inst.srcs[1]);
+            if inst.opcode.reads_dest() {
+                read(inst.dest);
+            }
+            if let Some(d) = inst.dest {
+                if !d.is_zero() {
+                    kill[b].insert(d);
+                }
+            }
+        }
+    }
+    let live_out = blocks.liveness(&gen, &kill);
+
+    #[allow(clippy::needless_range_loop)] // parallel indexing of blocks and live_out
+    for b in 0..blocks.len() {
+        let range = blocks.range(b);
+        for i in range.clone() {
+            let ti = new_index_of[i] as usize;
+            let tinst = &translated.insts[ti];
+            for slot in 0..2 {
+                if tinst.braid.t[slot] {
+                    continue; // internal read: the flow pass's domain
+                }
+                let Some(r) = tinst.srcs[slot] else { continue };
+                if r.is_zero() {
+                    continue;
+                }
+                let orig_def =
+                    (range.start..i).rev().find(|&j| original.insts[j].dest == Some(r));
+                let ext_def = (range.start..ti).rev().find(|&tj| {
+                    let x = &translated.insts[tj];
+                    x.dest == Some(r) && x.braid.external
+                });
+                let expected = orig_def.map(|j| new_index_of[j] as usize);
+                if ext_def != expected {
+                    let holds = ext_def.map_or_else(
+                        || "the block's live-in value".to_string(),
+                        |tj| format!("the value of inst {tj}"),
+                    );
+                    let wanted = match (orig_def, expected) {
+                        (Some(j), Some(nj)) => {
+                            format!("the def of inst {nj} (original inst {j})")
+                        }
+                        _ => "the block's live-in value".to_string(),
+                    };
+                    report.push(
+                        Diagnostic::new(
+                            Code::Bc005LostValue,
+                            Span::inst(ti as u32),
+                            format!(
+                                "source {r} should observe {wanted}, but the external \
+                                 register file holds {holds}"
+                            ),
+                        )
+                        .in_block(b as u32)
+                        .with_inst(tinst.to_string()),
+                    );
+                }
+            }
+        }
+
+        // Block-final leg: a live-out register must leave the block as the
+        // value of the original block's final def of it.
+        for ri in 0..64u8 {
+            let Ok(r) = Reg::new(ri) else { continue };
+            if r.is_zero() || !live_out[b].contains(r) {
+                continue;
+            }
+            let Some(j) = range.clone().rev().find(|&j| original.insts[j].dest == Some(r))
+            else {
+                continue;
+            };
+            let final_ext = range.clone().rev().find(|&tj| {
+                let x = &translated.insts[tj];
+                x.dest == Some(r) && x.braid.external
+            });
+            let nj = new_index_of[j] as usize;
+            if final_ext != Some(nj) {
+                let holds = final_ext.map_or_else(
+                    || "the block's live-in value".to_string(),
+                    |tj| format!("the value of inst {tj}"),
+                );
+                report.push(
+                    Diagnostic::new(
+                        Code::Bc005LostValue,
+                        Span::inst(nj as u32),
+                        format!(
+                            "{r} is live out of block {b}, but its final def (original inst \
+                             {j}, translated inst {nj}) does not reach the external register \
+                             file, which holds {holds} at the block's end"
+                        ),
+                    )
+                    .in_block(b as u32)
+                    .with_inst(translated.insts[nj].to_string()),
+                );
+            }
+        }
+    }
+}
+
+/// The static leg of the memory-ordering rule: mirrors the translator's
+/// conflict test (`order.rs`) — and therefore the dynamic oracle's legality
+/// rule — on the original program, then requires every conflicting pair to
+/// keep its order under `new_index_of`.
+fn check_memory_order(
+    original: &Program,
+    blocks: &Blocks,
+    new_index_of: &[u32],
+    report: &mut crate::CheckReport,
+) {
+    for b in 0..blocks.len() {
+        let range = blocks.range(b);
+        // Reaching def (in-block instruction index) of each mem op's base
+        // register; `None` means live-in. Matches `BlockDefUse::src_def`.
+        let mut last_def: [Option<u32>; 64] = [None; 64];
+        let mut base_def: Vec<Option<u32>> = vec![None; range.len()];
+        let mut mem_ops: Vec<usize> = Vec::new();
+        for (k, i) in range.clone().enumerate() {
+            let inst = &original.insts[i];
+            if inst.opcode.is_mem() {
+                let slot = if inst.opcode.is_store() { 1 } else { 0 };
+                base_def[k] = inst
+                    .srcs[slot]
+                    .and_then(|r: Reg| last_def[r.index() as usize]);
+                mem_ops.push(i);
+            }
+            if let Some(d) = inst.dest {
+                if !d.is_zero() {
+                    last_def[d.index() as usize] = Some(i as u32);
+                }
+            }
+        }
+        let base_slot = |i: usize| if original.insts[i].opcode.is_store() { 1usize } else { 0 };
+        let provably_disjoint = |i: usize, j: usize| {
+            let (a, c) = (&original.insts[i], &original.insts[j]);
+            a.srcs[base_slot(i)] == c.srcs[base_slot(j)]
+                && base_def[i - range.start] == base_def[j - range.start]
+                && ((a.imm as i64) + a.opcode.mem_bytes() as i64 <= c.imm as i64
+                    || (c.imm as i64) + c.opcode.mem_bytes() as i64 <= a.imm as i64)
+        };
+        for (x, &i) in mem_ops.iter().enumerate() {
+            for &j in &mem_ops[x + 1..] {
+                let (a, c) = (&original.insts[i], &original.insts[j]);
+                if (a.opcode.is_store() || c.opcode.is_store())
+                    && a.alias.may_alias(c.alias)
+                    && !provably_disjoint(i, j)
+                    && new_index_of[i] >= new_index_of[j]
+                {
+                    report.push(
+                        Diagnostic::new(
+                            Code::Bc008MemoryOrder,
+                            Span::range(new_index_of[j], new_index_of[i] + 1),
+                            format!(
+                                "may-aliasing memory operations reordered: original insts \
+                                 {i} (`{a}`) and {j} (`{c}`) now execute as {} and {}",
+                                new_index_of[i], new_index_of[j]
+                            ),
+                        )
+                        .in_block(b as u32),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Checks translation metadata against the emitted program (`BC007`): braid
+/// descriptors must tile each block in order, `S` bits must sit exactly at
+/// descriptor starts, `braid_of_inst` must agree with the tiling, and each
+/// descriptor's `internals` count must match the `I` bits in its range.
+pub fn check_descriptors(
+    program: &Program,
+    descs: &[BraidDescView],
+    braid_of_inst: &[u32],
+    report: &mut crate::CheckReport,
+) {
+    let n = program.insts.len() as u32;
+    if braid_of_inst.len() != n as usize {
+        report.push(Diagnostic::new(
+            Code::Bc007Metadata,
+            Span::range(0, n),
+            format!(
+                "braid-of-inst table covers {} instructions, program has {n}",
+                braid_of_inst.len()
+            ),
+        ));
+        return;
+    }
+    let blocks = Blocks::build(program);
+    let mut expect = 0u32; // descriptors must tile [0, n) in order
+    for (bi, d) in descs.iter().enumerate() {
+        if d.start != expect || d.len == 0 || d.start + d.len > n {
+            report.push(Diagnostic::new(
+                Code::Bc007Metadata,
+                Span::range(d.start.min(n), (d.start + d.len).min(n)),
+                format!(
+                    "braid {bi} descriptor [{}, {}) does not tile the program \
+                     (expected start {expect})",
+                    d.start,
+                    d.start + d.len
+                ),
+            ));
+            return; // tiling is broken; later per-braid checks would cascade
+        }
+        expect = d.start + d.len;
+        for i in d.start..d.start + d.len {
+            let inst = &program.insts[i as usize];
+            if inst.braid.start != (i == d.start) {
+                report.push(
+                    Diagnostic::new(
+                        Code::Bc007Metadata,
+                        Span::inst(i),
+                        format!(
+                            "S bit of inst {i} disagrees with braid {bi} \
+                             (descriptor starts at {})",
+                            d.start
+                        ),
+                    )
+                    .with_inst(inst.to_string()),
+                );
+            }
+            if braid_of_inst[i as usize] != bi as u32 {
+                report.push(Diagnostic::new(
+                    Code::Bc007Metadata,
+                    Span::inst(i),
+                    format!(
+                        "braid-of-inst says braid {}, descriptor tiling says braid {bi}",
+                        braid_of_inst[i as usize]
+                    ),
+                ));
+            }
+            if blocks.block_of[i as usize] != d.block {
+                report.push(
+                    Diagnostic::new(
+                        Code::Bc007Metadata,
+                        Span::inst(i),
+                        format!(
+                            "braid {bi} claims block {}, but inst {i} is in block {}",
+                            d.block, blocks.block_of[i as usize]
+                        ),
+                    )
+                    .in_block(blocks.block_of[i as usize] as u32),
+                );
+            }
+        }
+        let actual_internals = (d.start..d.start + d.len)
+            .filter(|&i| {
+                let inst = &program.insts[i as usize];
+                inst.braid.internal && inst.dest.is_some()
+            })
+            .count() as u32;
+        if actual_internals != d.internals {
+            report.push(
+                Diagnostic::new(
+                    Code::Bc007Metadata,
+                    Span::range(d.start, d.start + d.len),
+                    format!(
+                        "braid {bi} claims {} internal values, annotation bits say \
+                         {actual_internals}",
+                        d.internals
+                    ),
+                )
+                .in_block(d.block as u32),
+            );
+        }
+    }
+    if expect != n {
+        report.push(Diagnostic::new(
+            Code::Bc007Metadata,
+            Span::range(expect, n),
+            format!("braid descriptors cover {expect} instructions, program has {n}"),
+        ));
+    }
+}

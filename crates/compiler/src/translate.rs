@@ -19,11 +19,17 @@ pub struct TranslatorConfig {
     /// working set would exceed this are split (the paper uses 8 and
     /// reports ~2% of braids split).
     pub max_internal_regs: u32,
+    /// Run the static braid-contract checker (`braid-check`) over the
+    /// translation before returning it, failing with
+    /// [`TranslateError::Check`] on any error-severity finding. On by
+    /// default in debug builds, off in release (callers that want the
+    /// guarantee unconditionally run [`Translation::check`] themselves).
+    pub self_check: bool,
 }
 
 impl Default for TranslatorConfig {
     fn default() -> TranslatorConfig {
-        TranslatorConfig { max_internal_regs: 8 }
+        TranslatorConfig { max_internal_regs: 8, self_check: cfg!(debug_assertions) }
     }
 }
 
@@ -57,6 +63,31 @@ pub struct Translation {
     pub stats: BraidStats,
 }
 
+impl Translation {
+    /// Runs the full static braid-contract check over this translation:
+    /// the annotated program on its own ([`braid_check::check_program`]),
+    /// the reordering against `original` (`BC008`/`BC009`), and the braid
+    /// descriptors against the emitted annotation bits (`BC007`).
+    ///
+    /// `original` must be the program this translation was produced from.
+    pub fn check(&self, original: &Program, config: &braid_check::CheckConfig) -> braid_check::CheckReport {
+        let mut report = braid_check::check_program(&self.program, config);
+        braid_check::check_reordering(original, &self.program, &self.new_index_of, &mut report);
+        let descs: Vec<braid_check::BraidDescView> = self
+            .braids
+            .iter()
+            .map(|d| braid_check::BraidDescView {
+                block: d.block,
+                start: d.start,
+                len: d.len,
+                internals: d.internals,
+            })
+            .collect();
+        braid_check::check_descriptors(&self.program, &descs, &self.braid_of_inst, &mut report);
+        report
+    }
+}
+
 /// Errors from [`translate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -66,6 +97,10 @@ pub enum TranslateError {
     /// Internal register allocation overflowed — a working-set splitting
     /// bug, never expected on valid input.
     Alloc(AllocOverflow),
+    /// The translator's own output failed the static braid-contract check
+    /// (only produced when [`TranslatorConfig::self_check`] is on); always
+    /// a translator bug.
+    Check(Box<braid_check::CheckReport>),
 }
 
 impl fmt::Display for TranslateError {
@@ -73,6 +108,7 @@ impl fmt::Display for TranslateError {
         match self {
             TranslateError::Isa(e) => write!(f, "invalid input program: {e}"),
             TranslateError::Alloc(e) => write!(f, "internal allocation failed: {e}"),
+            TranslateError::Check(r) => write!(f, "translation failed self-check: {r}"),
         }
     }
 }
@@ -82,6 +118,7 @@ impl Error for TranslateError {
         match self {
             TranslateError::Isa(e) => Some(e),
             TranslateError::Alloc(e) => Some(e),
+            TranslateError::Check(_) => None,
         }
     }
 }
@@ -195,7 +232,17 @@ pub fn translate(program: &Program, config: &TranslatorConfig) -> Result<Transla
 
     debug_assert_eq!(out.insts.len(), program.insts.len());
     debug_assert!(out.validate().is_ok(), "translation must stay valid");
-    Ok(Translation { program: out, braids: descs, braid_of_inst, new_index_of, stats })
+    let translation = Translation { program: out, braids: descs, braid_of_inst, new_index_of, stats };
+    if config.self_check {
+        let report = translation.check(
+            program,
+            &braid_check::CheckConfig { max_internal_regs: config.max_internal_regs },
+        );
+        if report.has_errors() {
+            return Err(TranslateError::Check(Box::new(report)));
+        }
+    }
+    Ok(translation)
 }
 
 #[cfg(test)]
@@ -326,6 +373,33 @@ mod tests {
     }
 
     #[test]
+    fn self_check_passes_on_figure2() {
+        let p = assemble(FIG2).unwrap();
+        // Default config self-checks in debug builds already; run the full
+        // check explicitly so the assertion holds in release too.
+        let t = translate(&p, &TranslatorConfig::default()).unwrap();
+        let r = t.check(&p, &braid_check::CheckConfig::default());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn self_check_rejects_a_corrupted_translation() {
+        let p = assemble(FIG2).unwrap();
+        let mut t = translate(&p, &TranslatorConfig::default()).unwrap();
+        // Confine a dual value to the internal file: the value is consumed
+        // outside its braid, so the checker must flag the lost value.
+        let idx = t
+            .program
+            .insts
+            .iter()
+            .position(|i| i.braid.internal && i.braid.external)
+            .expect("figure 2 has a dual def");
+        t.program.insts[idx].braid.external = false;
+        let r = t.check(&p, &braid_check::CheckConfig::default());
+        assert!(r.has_errors(), "{r}");
+    }
+
+    #[test]
     fn invalid_program_rejected() {
         let p = Program::from_insts("empty", vec![]);
         assert!(matches!(
@@ -348,7 +422,9 @@ mod tests {
             halt
         "#;
         let p = assemble(src).unwrap();
-        let t2 = translate(&p, &TranslatorConfig { max_internal_regs: 2 }).unwrap();
+        let t2 =
+            translate(&p, &TranslatorConfig { max_internal_regs: 2, ..Default::default() })
+                .unwrap();
         let t8 = translate(&p, &TranslatorConfig::default()).unwrap();
         assert!(t2.stats.working_set_splits > 0);
         assert_eq!(t8.stats.working_set_splits, 0);

@@ -1,6 +1,7 @@
 //! Graphviz export of a block's braids — the paper's Figure 2(c) as a
 //! `dot` graph: one color per braid, solid edges for internal values,
-//! dashed edges for external communication.
+//! dashed edges for external communication. Instructions implicated by
+//! checker diagnostics can be highlighted (`braidc viz --check`).
 
 use std::fmt::Write as _;
 
@@ -15,22 +16,66 @@ const PALETTE: &[&str] = &[
     "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
 ];
 
+/// Escapes a string for use inside a double-quoted `dot` attribute.
+fn dot_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders the dataflow graph of one basic block as Graphviz `dot` text,
 /// with braids color-coded (the paper's Figure 2(c)).
 pub fn block_to_dot(program: &Program, cfg: &Cfg, bb: &BlockBraids, du: &BlockDefUse) -> String {
+    block_to_dot_marked(program, cfg, bb, du, &[])
+}
+
+/// Like [`block_to_dot`], additionally highlighting marked instructions.
+///
+/// `marks` pairs an absolute instruction index with a short tag (typically
+/// a `BC0xx` diagnostic code); marked nodes get a thick red border and the
+/// tag in their label and tooltip. Marks outside this block are ignored, so
+/// the full diagnostic list of a program can be passed to every block.
+pub fn block_to_dot_marked(
+    program: &Program,
+    cfg: &Cfg,
+    bb: &BlockBraids,
+    du: &BlockDefUse,
+    marks: &[(u32, String)],
+) -> String {
     let blk = &cfg.blocks[bb.block];
     let mut out = String::new();
     let _ = writeln!(out, "digraph block{} {{", bb.block);
     let _ = writeln!(out, "  rankdir=TB; node [shape=box, style=filled, fontname=monospace];");
     for p in 0..blk.len() {
-        let inst = &program.insts[blk.start as usize + p];
+        let idx = blk.start as usize + p;
+        let inst = &program.insts[idx];
         let braid = bb.braid_of[p] as usize;
         let color = PALETTE[braid % PALETTE.len()];
-        let label = format!("{inst}").replace('"', "'");
-        let _ = writeln!(
-            out,
-            "  n{p} [label=\"{label}\", fillcolor=\"{color}\", tooltip=\"braid {braid}\"];"
-        );
+        let tags: Vec<&str> =
+            marks.iter().filter(|(i, _)| *i as usize == idx).map(|(_, t)| t.as_str()).collect();
+        if tags.is_empty() {
+            let label = dot_escape(&inst.to_string());
+            let _ = writeln!(
+                out,
+                "  n{p} [label=\"{label}\", fillcolor=\"{color}\", tooltip=\"braid {braid}\"];"
+            );
+        } else {
+            let tagged = format!("{inst}\n{}", tags.join(" "));
+            let label = dot_escape(&tagged);
+            let tooltip = dot_escape(&format!("braid {braid}: {}", tags.join(", ")));
+            let _ = writeln!(
+                out,
+                "  n{p} [label=\"{label}\", fillcolor=\"{color}\", tooltip=\"{tooltip}\", \
+                 color=\"#e31a1c\", penwidth=3];"
+            );
+        }
     }
     // Solid intra-braid edges; dashed cross-braid (external) edges.
     for (p, slots) in du.src_def.iter().enumerate() {
@@ -39,16 +84,26 @@ pub fn block_to_dot(program: &Program, cfg: &Cfg, bb: &BlockBraids, du: &BlockDe
             let _ = writeln!(out, "  n{d} -> n{p} [style={style}];");
         }
     }
-    // External inputs appear as dashed edges from a source port.
+    // Reads with no in-block def appear as dashed edges from a plaintext
+    // port. Slots 0/1 are the explicit sources; slot 2 is the conditional
+    // move's implicit old-destination read.
     for (p, slots) in du.src_def.iter().enumerate() {
         let inst = &program.insts[blk.start as usize + p];
-        let reads: Vec<_> = inst.read_regs().collect();
         for (slot, present) in slots.iter().enumerate() {
-            if present.is_none() && slot < reads.len() && !reads[slot].is_zero() {
-                let reg = reads[slot.min(reads.len() - 1)];
-                let _ = writeln!(out, "  in_{reg} [label=\"{reg}\", shape=plaintext, style=\"\"];");
-                let _ = writeln!(out, "  in_{reg} -> n{p} [style=dashed, color=gray];");
+            if present.is_some() {
+                continue;
             }
+            let reg = match slot {
+                0 | 1 => inst.srcs[slot],
+                _ if inst.opcode.reads_dest() => inst.dest,
+                _ => None,
+            };
+            let Some(reg) = reg else { continue };
+            if reg.is_zero() {
+                continue;
+            }
+            let _ = writeln!(out, "  in_{reg} [label=\"{reg}\", shape=plaintext, style=\"\"];");
+            let _ = writeln!(out, "  in_{reg} -> n{p} [style=dashed, color=gray];");
         }
     }
     out.push_str("}\n");
@@ -57,6 +112,16 @@ pub fn block_to_dot(program: &Program, cfg: &Cfg, bb: &BlockBraids, du: &BlockDe
 
 /// Renders every block of `program` to `dot`, one digraph per block.
 pub fn program_to_dot(program: &Program, config: &TranslatorConfig) -> String {
+    program_to_dot_highlight(program, config, &[])
+}
+
+/// Like [`program_to_dot`], highlighting the instructions named by `marks`
+/// (absolute instruction index, tag) — see [`block_to_dot_marked`].
+pub fn program_to_dot_highlight(
+    program: &Program,
+    config: &TranslatorConfig,
+    marks: &[(u32, String)],
+) -> String {
     let cfg = Cfg::build(program);
     let live = liveness(program, &cfg);
     let dus: Vec<BlockDefUse> =
@@ -65,7 +130,7 @@ pub fn program_to_dot(program: &Program, config: &TranslatorConfig) -> String {
     let mut out = String::new();
     #[allow(clippy::needless_range_loop)] // parallel indexing of braids and dus
     for b in 0..cfg.len() {
-        out.push_str(&block_to_dot(program, &cfg, &braids.blocks[b], &dus[b]));
+        out.push_str(&block_to_dot_marked(program, &cfg, &braids.blocks[b], &dus[b], marks));
     }
     out
 }
@@ -106,5 +171,30 @@ mod tests {
         let p = assemble("nop\nhalt").unwrap();
         let dot = program_to_dot(&p, &TranslatorConfig::default());
         assert!(!dot.contains("\"\"\""));
+        assert_eq!(dot_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn conditional_move_input_edges_use_the_right_registers() {
+        // cmovnei r10, #1, r6 reads r10 (slot 0) and its old destination
+        // r6 (slot 2); both are live-in here, so both appear as input
+        // ports. The old code mapped slot indices into the packed
+        // read-register list and drew a spurious edge for the wrong slot.
+        let p = assemble("cmovnei r10, #1, r6\nhalt").unwrap();
+        let dot = program_to_dot(&p, &TranslatorConfig::default());
+        assert!(dot.contains("in_r10 -> n0"), "explicit source port:\n{dot}");
+        assert!(dot.contains("in_r6 -> n0"), "implicit old-dest port:\n{dot}");
+        assert_eq!(dot.matches("in_r6 ->").count(), 1, "no duplicate edges");
+    }
+
+    #[test]
+    fn marked_instructions_are_highlighted() {
+        let p = assemble("addq r1, r2, r3\nhalt").unwrap();
+        let marks = vec![(0u32, "BC005".to_string())];
+        let dot = program_to_dot_highlight(&p, &TranslatorConfig::default(), &marks);
+        assert!(dot.contains("penwidth=3"), "{dot}");
+        assert!(dot.contains("BC005"), "{dot}");
+        // The unmarked halt block renders without highlights.
+        assert_eq!(dot.matches("penwidth=3").count(), 1);
     }
 }

@@ -20,6 +20,9 @@ pub enum RunError {
     Exec(ExecError),
     /// Braid translation failed.
     Translate(TranslateError),
+    /// The translated program failed the static braid-contract check; the
+    /// braid machine refuses to run it.
+    Check(Box<braid_check::CheckReport>),
     /// Timing simulation failed (bad config or livelock).
     Sim(crate::error::SimError),
 }
@@ -29,6 +32,7 @@ impl fmt::Display for RunError {
         match self {
             RunError::Exec(e) => write!(f, "functional execution failed: {e}"),
             RunError::Translate(e) => write!(f, "braid translation failed: {e}"),
+            RunError::Check(r) => write!(f, "braid contract violated: {r}"),
             RunError::Sim(e) => write!(f, "timing simulation failed: {e}"),
         }
     }
@@ -39,6 +43,7 @@ impl Error for RunError {
         match self {
             RunError::Exec(e) => Some(e),
             RunError::Translate(e) => Some(e),
+            RunError::Check(_) => None,
             RunError::Sim(e) => Some(e),
         }
     }
@@ -125,15 +130,29 @@ pub fn run_braid(
 /// Like [`run_braid`] but also returns the translation (for braid
 /// statistics).
 ///
+/// The translation is vetted by the static braid-contract checker before
+/// any simulation — in debug *and* release builds — so the braid machine
+/// never executes an ill-formed program. The translator's own debug
+/// self-check is turned off here to avoid checking twice.
+///
 /// # Errors
 ///
-/// Propagates translation and functional-execution failures.
+/// Propagates translation and functional-execution failures; returns
+/// [`RunError::Check`] when the translation violates the braid contract.
 pub fn run_braid_with_translation(
     program: &Program,
     config: &BraidConfig,
     max_insts: u64,
 ) -> Result<(SimReport, Translation), RunError> {
-    let translation = translate(program, &TranslatorConfig::default())?;
+    let tconfig = TranslatorConfig { self_check: false, ..Default::default() };
+    let translation = translate(program, &tconfig)?;
+    let report = translation.check(
+        program,
+        &braid_check::CheckConfig { max_internal_regs: tconfig.max_internal_regs },
+    );
+    if report.has_errors() {
+        return Err(RunError::Check(Box::new(report)));
+    }
     let trace = trace_program(&translation.program, max_insts)?;
     let report = BraidCore::new(config.clone()).run(&translation.program, &trace)?;
     Ok((report, translation))

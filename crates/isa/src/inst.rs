@@ -287,6 +287,31 @@ impl Inst {
         if op.imm_kind() == ImmKind::Target && self.imm < 0 {
             return malformed(format!("{op} target must be non-negative"));
         }
+        // Braid-bit shape rules. These are structural (annotation vs operand
+        // shape); dataflow consistency of the bits is `braid-check`'s job.
+        for (i, &t) in self.braid.t.iter().enumerate() {
+            if !t {
+                continue;
+            }
+            if i >= op.num_srcs() {
+                return malformed(format!("{op} has a T bit on non-register operand {i}"));
+            }
+            if self.srcs[i].is_some_and(|s| s.is_zero()) {
+                return malformed(format!(
+                    "{op} has a T bit on the zero register (source {i})"
+                ));
+            }
+        }
+        if (self.braid.internal || self.braid.external) && !op.has_dest() {
+            return malformed(format!("{op} writes no destination but carries I/E bits"));
+        }
+        if let Some(d) = self.dest {
+            if !d.is_zero() && !self.braid.internal && !self.braid.external {
+                return malformed(format!(
+                    "{op} destination {d} is written to neither register file"
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -350,6 +375,13 @@ fn write_alias(f: &mut fmt::Formatter<'_>, alias: AliasClass) -> fmt::Result {
     }
 }
 
+/// A register operand for display: missing operands render as `r?` so
+/// `Display` stays total on malformed instructions (the checker prints
+/// them in diagnostics).
+fn shown(r: Option<Reg>) -> String {
+    r.map_or_else(|| "r?".to_string(), |r| r.to_string())
+}
+
 impl fmt::Display for Inst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let op = self.opcode;
@@ -357,17 +389,17 @@ impl fmt::Display for Inst {
         match op.imm_kind() {
             ImmKind::MemOffset if op.is_load() => {
                 // ldl rd, off(rb) [@alias]
-                write!(f, " {}, {}({})", self.dest.unwrap(), self.imm, self.srcs[0].unwrap())?;
+                write!(f, " {}, {}({})", shown(self.dest), self.imm, shown(self.srcs[0]))?;
                 write_alias(f, self.alias)?;
             }
             ImmKind::MemOffset if op.is_store() => {
                 // stl rs, off(rb) [@alias]
-                write!(f, " {}, {}({})", self.srcs[0].unwrap(), self.imm, self.srcs[1].unwrap())?;
+                write!(f, " {}, {}({})", shown(self.srcs[0]), self.imm, shown(self.srcs[1]))?;
                 write_alias(f, self.alias)?;
             }
             ImmKind::MemOffset => {
                 // lda rd, off(rb)
-                write!(f, " {}, {}({})", self.dest.unwrap(), self.imm, self.srcs[0].unwrap())?;
+                write!(f, " {}, {}({})", shown(self.dest), self.imm, shown(self.srcs[0]))?;
             }
             ImmKind::Target => {
                 if let Some(s) = self.srcs[0] {
@@ -375,12 +407,12 @@ impl fmt::Display for Inst {
                 }
                 write!(f, " {}", self.imm)?;
                 if op == Opcode::Call {
-                    write!(f, ", {}", self.dest.unwrap())?;
+                    write!(f, ", {}", shown(self.dest))?;
                 }
             }
             ImmKind::Value => {
                 // op rs, #imm, rd   (dest last, Alpha listing style)
-                write!(f, " {}, #{}, {}", self.srcs[0].unwrap(), self.imm, self.dest.unwrap())?;
+                write!(f, " {}, #{}, {}", shown(self.srcs[0]), self.imm, shown(self.dest))?;
             }
             ImmKind::None => {
                 let mut first = true;
@@ -499,5 +531,43 @@ mod tests {
         assert!(Inst::br(0).ends_block());
         assert!(Inst::branch(Opcode::Beq, r(1), 0).unwrap().ends_block());
         assert!(!Inst::nop().ends_block());
+    }
+
+    #[test]
+    fn t_bit_requires_a_register_operand() {
+        // addi has one register source; a T bit on the immediate slot is
+        // meaningless and rejected.
+        let mut inst = Inst::alui(Opcode::Addi, r(1), 5, r(2)).unwrap();
+        inst.braid.t[0] = true;
+        assert!(inst.validate().is_ok(), "T on the register source is fine");
+        inst.braid.t[1] = true;
+        assert!(inst.validate().is_err(), "T on the immediate slot");
+
+        // The zero register never lives in an internal file.
+        let mut inst = Inst::alu(Opcode::Add, r(0), r(2), r(3)).unwrap();
+        inst.braid.t[0] = true;
+        assert!(inst.validate().is_err(), "T on r0");
+    }
+
+    #[test]
+    fn destination_bits_match_destination_presence() {
+        let mut store = Inst::store(Opcode::Stq, r(1), r(2), 0, AliasClass::Unknown).unwrap();
+        store.braid.internal = true;
+        assert!(store.validate().is_err(), "I bit without a destination");
+        store.braid.internal = false;
+        store.braid.external = true;
+        assert!(store.validate().is_err(), "E bit without a destination");
+
+        let mut add = Inst::alu(Opcode::Add, r(1), r(2), r(3)).unwrap();
+        add.braid.external = false;
+        assert!(add.validate().is_err(), "written value must land somewhere");
+        add.braid.internal = true;
+        assert!(add.validate().is_ok(), "internal-only write is fine");
+
+        // A zero-register destination may carry any combination: the write
+        // is discarded, so neither file is implicated.
+        let mut nopish = Inst::alu(Opcode::Add, r(1), r(2), r(0)).unwrap();
+        nopish.braid.external = false;
+        assert!(nopish.validate().is_ok(), "r0 dest with I/E clear");
     }
 }

@@ -26,7 +26,7 @@ const FUEL: u64 = 50_000;
 
 /// The base program every structural fault perturbs: loops, loads, stores
 /// and a conditional branch, so each fault class has something to corrupt.
-const BASE_SRC: &str = r#"
+pub(crate) const BASE_SRC: &str = r#"
     addi r0, #150, r1
     addi r0, #0x2000, r9
 loop:
@@ -70,6 +70,10 @@ pub enum FaultKind {
     TruncateBraid,
     /// Mark more values internal than the 8-entry internal file holds.
     InternalOverflow,
+    /// Retarget one source-register index to a different register of the
+    /// same class: the instruction stays well-formed, only the dataflow is
+    /// wrong.
+    CorruptRegIndex,
     /// Feed the assembler syntactically corrupted source text.
     MalformedAsm,
     /// Run the braid core with an impossible configuration.
@@ -81,7 +85,7 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// Every fault class, in catalogue order.
-    pub const ALL: [FaultKind; 11] = [
+    pub const ALL: [FaultKind; 12] = [
         FaultKind::FlipStart,
         FaultKind::FlipTemp,
         FaultKind::FlipInternal,
@@ -90,6 +94,7 @@ impl FaultKind {
         FaultKind::BadBranchTarget,
         FaultKind::TruncateBraid,
         FaultKind::InternalOverflow,
+        FaultKind::CorruptRegIndex,
         FaultKind::MalformedAsm,
         FaultKind::BadConfig,
         FaultKind::Starvation,
@@ -106,6 +111,7 @@ impl FaultKind {
             FaultKind::BadBranchTarget => "bad-branch-target",
             FaultKind::TruncateBraid => "truncate-braid",
             FaultKind::InternalOverflow => "internal-overflow",
+            FaultKind::CorruptRegIndex => "corrupt-reg",
             FaultKind::MalformedAsm => "malformed-asm",
             FaultKind::BadConfig => "bad-config",
             FaultKind::Starvation => "starvation",
@@ -296,6 +302,28 @@ fn inject(fault: Fault, golden: &GoldenRun, clean: &Translation) -> FaultOutcome
                 if inst.dest.is_some() {
                     inst.braid.internal = true;
                 }
+            }
+            evaluate(&t, golden)
+        }
+        FaultKind::CorruptRegIndex => {
+            if let Some(i) = pick_inst(&mut rng, &t, |i| {
+                (0..i.opcode.num_srcs()).any(|s| i.srcs[s].is_some_and(|r| !r.is_zero()))
+            }) {
+                let inst = &mut t.program.insts[i];
+                let slots: Vec<usize> = (0..inst.opcode.num_srcs())
+                    .filter(|&s| inst.srcs[s].is_some_and(|r| !r.is_zero()))
+                    .collect();
+                let slot = *rng.choose(&slots);
+                let old = inst.srcs[slot].expect("slot filtered to Some");
+                // Stay within the class (and off r0) so the instruction
+                // remains well-formed; only the dataflow is wrong.
+                let delta = rng.gen_range(1..31u32) as u8;
+                let index = 1 + (old.class_index() + delta + 30) % 31;
+                inst.srcs[slot] = Some(match old.class() {
+                    braid_isa::RegClass::Int => braid_isa::Reg::int(index),
+                    braid_isa::RegClass::Float => braid_isa::Reg::float(index),
+                }
+                .expect("index in 1..32"));
             }
             evaluate(&t, golden)
         }

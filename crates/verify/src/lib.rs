@@ -4,15 +4,19 @@
 //! retires every timing core against the functional golden model, and a
 //! deterministic fault injector that perturbs programs and braid
 //! annotations to assert the whole stack fails *typed* — an error or a
-//! divergence report, never a panic or a hang.
+//! divergence report, never a panic or a hang. The fault campaign has a
+//! static leg ([`static_check`]) asserting the braid-contract checker
+//! rejects encoding-corrupting fault classes before anything executes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fault;
 pub mod oracle;
+pub mod static_check;
 
 pub use fault::{run_fault_campaign, CampaignSummary, Fault, FaultKind, FaultOutcome, FaultReport};
+pub use static_check::{checker_panic_count, run_static_campaign, StaticFaultReport};
 pub use oracle::{
     check_all_cores, check_core, CoreKind, DivergenceReport, MemDelta, OracleError, OracleReport,
     RegDelta,

@@ -1,0 +1,286 @@
+//! Static leg of the fault campaign: the checker catches encoding faults.
+//!
+//! The dynamic campaign in [`fault`](crate::fault) proves the *runtime*
+//! stack (oracle plus timing cores) fails typed under corruption. This
+//! module proves the *static* checker rejects the encoding-corrupting
+//! fault classes before anything executes: each targeted corruption of a
+//! clean translation of the shared base program must draw the expected
+//! `BC0xx` diagnostic from the checker alone — no simulation, no oracle.
+//! Translation-level corruptions are judged by the full
+//! `Translation::check` (local flow plus the version-aware reordering
+//! legs); the overflow fixture, which has no originating translation, by
+//! [`braid_check::check_program`].
+//!
+//! Corruption targets are found by deterministic scans (first qualifying
+//! instruction), so every case is stable across runs and the expected
+//! diagnostic can be pinned per class.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use braid_check::{check_program, Blocks, CheckConfig, CheckReport, Code};
+use braid_compiler::{translate, Translation, TranslatorConfig};
+use braid_isa::{Program, Reg, NUM_INT_REGS};
+use braid_prng::Rng;
+
+use crate::fault::{FaultKind, BASE_SRC};
+
+/// One statically checked fault case.
+#[derive(Debug, Clone)]
+pub struct StaticFaultReport {
+    /// The fault class that was injected.
+    pub kind: FaultKind,
+    /// The diagnostic the checker is required to emit for it.
+    pub expected: Code,
+    /// The checker's full report on the corrupted program.
+    pub report: CheckReport,
+}
+
+impl StaticFaultReport {
+    /// Whether the checker flagged the corruption with the expected code.
+    ///
+    /// The report may contain further diagnostics — one corruption can
+    /// break several rules at once — only the expected code is required.
+    pub fn caught(&self) -> bool {
+        self.report.has_code(self.expected)
+    }
+}
+
+/// Assembles and translates the shared base program (self-check off: the
+/// whole point is to run the checker on *corrupted* copies ourselves).
+fn clean_translation() -> (Program, Translation) {
+    let program = braid_isa::asm::assemble(BASE_SRC).expect("base program assembles");
+    let t = translate(&program, &TranslatorConfig { self_check: false, ..Default::default() })
+        .expect("base program translates");
+    (program, t)
+}
+
+/// Clears the `S` bit on a block leader, fusing a braid across the block
+/// boundary (the dynamic `FlipStart` class). Prefers a non-entry block so
+/// the corruption models a braid leaking across a real control edge.
+fn clear_leader_start(p: &mut Program) -> bool {
+    let blocks = Blocks::build(p);
+    let leader = blocks.start.get(1).copied().unwrap_or(blocks.start[0]);
+    p.insts[leader as usize].braid.start = false;
+    true
+}
+
+/// Sets a `T` bit on a braid-leading instruction that reads a register:
+/// the internal map is empty at a braid start, so no producer exists (the
+/// dynamic `FlipTemp` class).
+fn set_bad_temp(p: &mut Program) -> bool {
+    for inst in &mut p.insts {
+        if !inst.braid.start {
+            continue;
+        }
+        for slot in 0..inst.opcode.num_srcs() {
+            if !inst.braid.t[slot] && inst.srcs[slot].is_some_and(|r| !r.is_zero()) {
+                inst.braid.t[slot] = true;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Clears the `I` bit on the producer feeding a `T` read — the read's
+/// internal value no longer exists (the dynamic `FlipInternal` class).
+fn clear_producer_internal(p: &mut Program) -> bool {
+    let mut starts = vec![0usize; p.insts.len()];
+    let mut start = 0usize;
+    for (j, inst) in p.insts.iter().enumerate() {
+        if inst.braid.start {
+            start = j;
+        }
+        starts[j] = start;
+    }
+    let producer = p.insts.iter().enumerate().find_map(|(j, inst)| {
+        (0..inst.opcode.num_srcs()).find_map(|slot| {
+            if !inst.braid.t[slot] {
+                return None;
+            }
+            let reg = inst.srcs[slot]?;
+            (starts[j]..j)
+                .rev()
+                .find(|&d| p.insts[d].dest == Some(reg) && p.insts[d].braid.internal)
+        })
+    });
+    if let Some(d) = producer {
+        p.insts[d].braid.internal = false;
+        return true;
+    }
+    false
+}
+
+/// Clears the `E` bit on a dual (internal + external) definition: the
+/// value is consumed outside the braid but never reaches the external
+/// file (the dynamic `FlipExternal` class).
+fn clear_dual_external(p: &mut Program) -> bool {
+    for inst in &mut p.insts {
+        if inst.braid.internal && inst.braid.external {
+            inst.braid.external = false;
+            return true;
+        }
+    }
+    false
+}
+
+/// Retargets a `T` source at a register no instruction ever defines: the
+/// read is well-formed but its producer does not exist (the dynamic
+/// `CorruptRegIndex` class).
+fn retarget_temp_source(p: &mut Program) -> bool {
+    let fresh = (1..NUM_INT_REGS)
+        .map(|n| Reg::int(n).expect("index in range"))
+        .find(|r| p.insts.iter().all(|i| i.dest != Some(*r)));
+    let Some(fresh) = fresh else { return false };
+    for j in 0..p.insts.len() {
+        for slot in 0..p.insts[j].opcode.num_srcs() {
+            if p.insts[j].braid.t[slot]
+                && p.insts[j].srcs[slot].is_some_and(|r| r.class() == fresh.class())
+            {
+                p.insts[j].srcs[slot] = Some(fresh);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// A hand-built program with nine internal-only values live at once in a
+/// single braid — one more than the internal file holds (the dynamic
+/// `InternalOverflow` class; the base translation never allocates that
+/// deep, so this class gets its own fixture).
+fn overflow_program() -> Program {
+    let mut src = String::new();
+    for k in 0..9 {
+        src.push_str(&format!("addq r1, r1, r{}\n", 2 + k));
+    }
+    src.push_str("halt");
+    let mut p = braid_isa::asm::assemble(&src).expect("overflow fixture assembles");
+    for (i, inst) in p.insts.iter_mut().enumerate() {
+        inst.braid.start = i == 0;
+        if inst.dest.is_some() {
+            inst.braid.internal = true;
+            inst.braid.external = false;
+        }
+    }
+    p
+}
+
+/// Runs the full static campaign: one targeted corruption per statically
+/// checkable fault class, each judged by [`check_program`] alone.
+///
+/// # Panics
+///
+/// Panics if the clean base program fails to assemble or translate, or if
+/// a corruption scan finds no target in it — both mean the fixture is
+/// broken, not that a fault went uncaught.
+pub fn run_static_campaign() -> Vec<StaticFaultReport> {
+    let (original, t) = clean_translation();
+    let config = CheckConfig::default();
+    let mut out = Vec::new();
+    let mut case = |kind: FaultKind, expected: Code, corrupt: &dyn Fn(&mut Program) -> bool| {
+        let mut bad = t.clone();
+        assert!(
+            corrupt(&mut bad.program),
+            "no {} corruption target in the base program",
+            kind.name()
+        );
+        out.push(StaticFaultReport { kind, expected, report: bad.check(&original, &config) });
+    };
+    case(FaultKind::FlipStart, Code::Bc001BraidCrossesBlock, &clear_leader_start);
+    case(FaultKind::FlipTemp, Code::Bc002BadInternalRead, &set_bad_temp);
+    case(FaultKind::FlipInternal, Code::Bc002BadInternalRead, &clear_producer_internal);
+    case(FaultKind::FlipExternal, Code::Bc005LostValue, &clear_dual_external);
+    case(FaultKind::CorruptRegIndex, Code::Bc002BadInternalRead, &retarget_temp_source);
+    out.push(StaticFaultReport {
+        kind: FaultKind::InternalOverflow,
+        expected: Code::Bc004InternalOverflow,
+        report: check_program(&overflow_program(), &config),
+    });
+    out
+}
+
+/// Checks `cases` randomly corrupted translations and returns how many
+/// made the checker panic — must be zero. Random corruption flips braid
+/// bits, retargets or removes source registers, perturbs immediates, and
+/// truncates the program: shapes the targeted campaign does not cover.
+pub fn checker_panic_count(master_seed: u64, cases: usize) -> usize {
+    let (_, t) = clean_translation();
+    let mut rng = Rng::seed_from_u64(master_seed);
+    let mut panics = 0;
+    for _ in 0..cases {
+        let mut p = t.program.clone();
+        for _ in 0..rng.gen_range(1..5u32) {
+            let choice = rng.gen_range(0..8u32);
+            if choice == 7 {
+                if p.insts.len() > 1 {
+                    let cut = rng.gen_range(1..p.insts.len());
+                    p.insts.truncate(cut);
+                }
+                continue;
+            }
+            let i = rng.gen_range(0..p.insts.len());
+            let inst = &mut p.insts[i];
+            match choice {
+                0 => inst.braid.start = !inst.braid.start,
+                1 => inst.braid.t[0] = !inst.braid.t[0],
+                2 => inst.braid.t[1] = !inst.braid.t[1],
+                3 => inst.braid.internal = !inst.braid.internal,
+                4 => inst.braid.external = !inst.braid.external,
+                // Out-of-range indices come back as `None`, deliberately
+                // dropping an operand.
+                5 => inst.srcs[0] = Reg::int(rng.gen_range(0..40u32) as u8).ok(),
+                _ => inst.imm ^= 1 << rng.gen_range(0..16u32),
+            }
+        }
+        if catch_unwind(AssertUnwindSafe(|| check_program(&p, &CheckConfig::default()))).is_err() {
+            panics += 1;
+        }
+    }
+    panics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_static_fault_class_is_caught_with_its_expected_code() {
+        let reports = run_static_campaign();
+        assert_eq!(reports.len(), 6);
+        for r in &reports {
+            assert!(
+                r.caught(),
+                "{} escaped the checker: expected {}, got\n{}",
+                r.kind.name(),
+                r.expected.as_str(),
+                r.report
+            );
+            assert!(r.report.has_errors(), "{}: expected code is error-severity", r.kind.name());
+        }
+    }
+
+    #[test]
+    fn static_campaign_covers_distinct_fault_classes() {
+        let reports = run_static_campaign();
+        let mut kinds: Vec<&str> = reports.iter().map(|r| r.kind.name()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), 6, "each class appears exactly once");
+    }
+
+    #[test]
+    fn diagnostics_carry_well_formed_spans() {
+        for r in run_static_campaign() {
+            assert!(!r.report.diagnostics.is_empty());
+            for d in &r.report.diagnostics {
+                assert!(d.span.start < d.span.end, "{}: empty span", r.kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn checker_never_panics_on_random_corruption() {
+        assert_eq!(checker_panic_count(0xC0DE, 100), 0);
+    }
+}

@@ -14,6 +14,14 @@ cargo test -q
 echo "==> cargo test -q -p braid-sweep"
 cargo test -q -p braid-sweep
 
+echo "==> cargo test -q -p braid-check"
+cargo test -q -p braid-check
+
+echo "==> braidc check over the kernel suite"
+for kernel in fig2_life dot_product stencil pointer_chase histogram matmul crc_mix partition; do
+  ./target/release/braidc check "@$kernel"
+done
+
 echo "==> sweep smoke (tiny grid, 2 threads)"
 cargo run --release --bin braidsim -- sweep --name tier1-smoke --threads 2 \
   --workloads dot_product,fig2_life --cores inorder,braid

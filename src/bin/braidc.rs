@@ -1,44 +1,93 @@
 //! `braidc` — the braid binary-translation tool.
 //!
 //! ```text
-//! braidc translate <file.s>       annotate + reorder, print braid assembly
-//! braidc inspect   <file.s>       print braids with S/T/I/E bits and stats
-//! braidc encode    <file.s>       print the 64-bit encodings
-//! braidc stats     <file.s>       print Tables 1-3 statistics only
-//! braidc dot       <file.s>       Graphviz dataflow graph, braids colored
+//! braidc translate <prog>         annotate + reorder, print braid assembly
+//! braidc inspect   <prog>         print braids with S/T/I/E bits and stats
+//! braidc encode    <prog>         print the 64-bit encodings
+//! braidc stats     <prog>         print Tables 1-3 statistics only
+//! braidc check     <prog> [--json] [--deny-warnings]
+//!                                 verify the braid contract statically
+//! braidc dot|viz   <prog> [--check]
+//!                                 Graphviz dataflow graph, braids colored;
+//!                                 --check highlights diagnostic findings
 //! braidc assemble  <file.s> <out.brisc>   write a binary container
 //! ```
 //!
-//! Every command also accepts a `.brisc` binary in place of assembly.
+//! `<prog>` is assembly, a `.brisc` binary, or `@name` for a workload from
+//! the benchmark suite. Annotated inputs (any braid bits set) are checked
+//! as-is; unannotated inputs are translated first and the full translation
+//! (including reordering legality and descriptor metadata) is checked.
 
 use std::fs;
 use std::process::ExitCode;
 
+use braid::check::{CheckConfig, CheckReport};
 use braid::compiler::{translate, TranslatorConfig};
 use braid::isa::asm::{assemble, disassemble};
 use braid::isa::encode;
+use braid::isa::Program;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: braidc <translate|inspect|encode|stats|dot> <file.s|file.brisc>\n       braidc assemble <file.s> <out.brisc>"
+        "usage: braidc <translate|inspect|encode|stats> <prog>\n       \
+         braidc check <prog> [--json] [--deny-warnings]\n       \
+         braidc dot|viz <prog> [--check]\n       \
+         braidc assemble <file.s> <out.brisc>\n       \
+         (<prog> = file.s | file.brisc | @benchmark)"
     );
     ExitCode::from(2)
 }
 
-fn load(path: &str) -> Result<braid::isa::Program, String> {
-    if path.ends_with(".brisc") {
-        let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-        braid::isa::container::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))
+fn load(spec: &str) -> Result<Program, String> {
+    if let Some(name) = spec.strip_prefix('@') {
+        let w = braid::workloads::by_name_any(name, 1.0)
+            .ok_or_else(|| format!("unknown benchmark {name:?}"))?;
+        Ok(w.program)
+    } else if spec.ends_with(".brisc") {
+        let bytes = fs::read(spec).map_err(|e| format!("{spec}: {e}"))?;
+        braid::isa::container::from_bytes(&bytes).map_err(|e| format!("{spec}: {e}"))
     } else {
-        let source = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        assemble(&source).map_err(|e| format!("{path}: {e}"))
+        let source = fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+        assemble(&source).map_err(|e| format!("{spec}: {e}"))
+    }
+}
+
+/// Whether any braid annotation deviates from the unannotated default —
+/// i.e. the program has already been translated (or hand-annotated).
+fn is_annotated(p: &Program) -> bool {
+    p.insts
+        .iter()
+        .any(|i| !i.braid.start || i.braid.t[0] || i.braid.t[1] || i.braid.internal)
+}
+
+/// Checks `program`: annotated inputs directly, unannotated inputs through
+/// the translator (checking the full translation against the input).
+/// Returns the report and the program the report's spans refer to.
+fn check_any(program: &Program) -> Result<(CheckReport, Program), String> {
+    if is_annotated(program) {
+        Ok((braid::check::check_program(program, &CheckConfig::default()), program.clone()))
+    } else {
+        let t = translate(program, &TranslatorConfig { self_check: false, ..Default::default() })
+            .map_err(|e| format!("translation failed: {e}"))?;
+        let report = t.check(program, &CheckConfig::default());
+        Ok((report, t.program))
     }
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all: Vec<String> = std::env::args().skip(1).collect();
+    let flags: Vec<&str> =
+        all.iter().filter(|a| a.starts_with("--")).map(String::as_str).collect();
+    let args: Vec<&String> = all.iter().filter(|a| !a.starts_with("--")).collect();
+    if let Some(unknown) =
+        flags.iter().find(|f| !["--json", "--deny-warnings", "--check"].contains(*f))
+    {
+        eprintln!("braidc: unknown option {unknown}");
+        return usage();
+    }
+
     if args.len() == 3 && args[0] == "assemble" {
-        let program = match load(&args[1]) {
+        let program = match load(args[1]) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("braidc: {e}");
@@ -52,7 +101,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        if let Err(e) = fs::write(&args[2], bytes) {
+        if let Err(e) = fs::write(args[2], bytes) {
             eprintln!("braidc: {}: {e}", args[2]);
             return ExitCode::FAILURE;
         }
@@ -102,8 +151,45 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "dot" => {
-            print!("{}", braid::compiler::viz::program_to_dot(&program, &TranslatorConfig::default()));
+        "check" => {
+            let (report, _) = match check_any(&program) {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("braidc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if flags.contains(&"--json") {
+                println!("{}", report.to_json());
+            } else {
+                println!("{report}");
+            }
+            if report.has_errors() || (flags.contains(&"--deny-warnings") && !report.is_clean()) {
+                return ExitCode::FAILURE;
+            }
+        }
+        "dot" | "viz" => {
+            let config = TranslatorConfig::default();
+            if flags.contains(&"--check") {
+                let (report, target) = match check_any(&program) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        eprintln!("braidc: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let marks: Vec<(u32, String)> = report
+                    .diagnostics
+                    .iter()
+                    .map(|d| (d.span.start, d.code.to_string()))
+                    .collect();
+                print!("{}", braid::compiler::viz::program_to_dot_highlight(&target, &config, &marks));
+                if report.has_errors() {
+                    eprintln!("{report}");
+                }
+            } else {
+                print!("{}", braid::compiler::viz::program_to_dot(&program, &config));
+            }
         }
         "encode" => {
             for (i, inst) in program.insts.iter().enumerate() {

@@ -313,13 +313,20 @@ fn main() -> ExitCode {
         }
     }
     if want("braid") {
-        let t = match translate(&program, &TranslatorConfig::default()) {
+        let t = match translate(&program, &TranslatorConfig { self_check: false, ..Default::default() }) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("braidsim: translation failed: {e}");
                 return ExitCode::FAILURE;
             }
         };
+        // The braid machine refuses contract-violating programs outright;
+        // a corrupted translation must never reach the timing model.
+        let check = t.check(&program, &braid::check::CheckConfig::default());
+        if check.has_errors() {
+            eprintln!("braidsim: refusing ill-formed braid program:\n{check}");
+            return ExitCode::FAILURE;
+        }
         let mut mb = Machine::new(&t.program);
         let braid_trace = match mb.run(&t.program, fuel) {
             Ok(tr) => tr,

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use braid_check as check;
 pub use braid_compiler as compiler;
 pub use braid_core as core;
 pub use braid_isa as isa;

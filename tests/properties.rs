@@ -244,6 +244,24 @@ fn braid_partition_invariants() {
     });
 }
 
+/// The static braid-contract checker accepts every translator output:
+/// program flow, reordering legality, and descriptor metadata are all
+/// clean — no errors *and* no warnings — for 200 random programs.
+#[test]
+fn translation_is_always_check_clean() {
+    use braid::check::CheckConfig;
+
+    const CHECK_CASES: u64 = 200;
+    for seed in 0..CHECK_CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let p = gen_program(&mut rng);
+        let config = TranslatorConfig { self_check: false, ..Default::default() };
+        let t = translate(&p, &config).expect("translates");
+        let report = t.check(&p, &CheckConfig { max_internal_regs: config.max_internal_regs });
+        assert!(report.is_clean(), "seed {seed}: translator output flagged:\n{report}");
+    }
+}
+
 /// Every dynamic instruction retires on the braid machine, and the
 /// cycle count respects the width bound.
 #[test]
