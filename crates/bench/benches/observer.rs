@@ -1,0 +1,53 @@
+//! Observer overhead: the timing cores with the no-op observer (the plain
+//! `run` path, which must monomorphize to the unobserved engine) versus a
+//! full `PipelineObserver` collecting every event. The no-op numbers here
+//! should match the `cores` bench within noise; the ISSUE budget for the
+//! disabled path is ≤2% of the unobserved baseline.
+
+use braid_bench::microbench::{criterion_group, criterion_main, Criterion, Throughput};
+
+use braid_compiler::{translate, TranslatorConfig};
+use braid_core::config::{BraidConfig, OooConfig};
+use braid_core::cores::{BraidCore, OooCore};
+use braid_core::functional::Machine;
+use braid_obs::PipelineObserver;
+
+fn bench_observer(c: &mut Criterion) {
+    let w = braid_workloads::by_name("gcc", 0.2).expect("gcc exists");
+    let mut m = Machine::new(&w.program);
+    let trace = m.run(&w.program, w.fuel).expect("runs");
+    let t = translate(&w.program, &TranslatorConfig::default()).expect("translates");
+    let mut mb = Machine::new(&t.program);
+    let braid_trace = mb.run(&t.program, w.fuel).expect("runs");
+    let n = trace.len() as u64;
+
+    let mut g = c.benchmark_group("observer_overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("ooo_noop", |b| {
+        let core = OooCore::new(OooConfig::paper_8wide());
+        b.iter(|| core.run(&w.program, &trace).expect("runs"))
+    });
+    g.bench_function("ooo_observed", |b| {
+        let core = OooCore::new(OooConfig::paper_8wide());
+        b.iter(|| {
+            let mut obs = PipelineObserver::new();
+            core.run_observed(&w.program, &trace, &mut obs).expect("runs")
+        })
+    });
+    g.bench_function("braid_noop", |b| {
+        let core = BraidCore::new(BraidConfig::paper_default());
+        b.iter(|| core.run(&t.program, &braid_trace).expect("runs"))
+    });
+    g.bench_function("braid_observed", |b| {
+        let core = BraidCore::new(BraidConfig::paper_default());
+        b.iter(|| {
+            let mut obs = PipelineObserver::new();
+            core.run_observed(&t.program, &braid_trace, &mut obs).expect("runs")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(observer, bench_observer);
+criterion_main!(observer);

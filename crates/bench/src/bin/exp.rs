@@ -6,8 +6,10 @@
 //! ```
 //!
 //! Experiments: tab1 tab2 tab3 chars splits fig1 fig5 fig6 fig7 fig8 fig9
-//! fig10 fig11 fig12 fig13 fig14 pipeline. Set `BRAID_SCALE` to change the
-//! dynamic instruction count (default 1.0 ≈ 60k per benchmark).
+//! fig10 fig11 fig12 fig13 fig14 pipeline clusters exceptions
+//! disambiguation predictors mshrs fig13perfect widthsweep cpistack. Set
+//! `BRAID_SCALE` to change the dynamic instruction count (default 1.0 ≈
+//! 60k per benchmark).
 //!
 //! Each experiment prints its table and writes `results/<name>.txt`.
 
@@ -22,6 +24,7 @@ const ALL: &[&str] = &[
     "tab1", "tab2", "tab3", "chars", "splits", "fig1", "fig5", "fig6", "fig7", "fig8",
     "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "pipeline", "clusters",
     "exceptions", "disambiguation", "predictors", "mshrs", "fig13perfect", "widthsweep",
+    "cpistack",
 ];
 
 fn run_one(name: &str, suite: &[Prepared]) -> Option<Table> {
@@ -50,6 +53,7 @@ fn run_one(name: &str, suite: &[Prepared]) -> Option<Table> {
         "mshrs" => exp::mshrs(suite),
         "fig13perfect" => exp::fig13perfect(suite),
         "widthsweep" => exp::widthsweep(suite),
+        "cpistack" => exp::cpistack(suite),
         _ => return None,
     };
     Some(table)

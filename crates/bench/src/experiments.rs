@@ -720,3 +720,33 @@ pub fn widthsweep(suite: &[Prepared]) -> Table {
     t.push_mean("average");
     t
 }
+
+/// CPI-stack breakdown: where every cycle goes on each paradigm,
+/// aggregated across the whole suite through the parallel sweep engine
+/// (`braid_sweep::cpi_by_core`). Each column is one stall cause as a
+/// percentage of total cycles; rows sum to 100 because the engine charges
+/// every cycle to exactly one cause.
+pub fn cpistack(suite: &[Prepared]) -> Table {
+    use braid_core::StallCause;
+    use braid_sweep::{cpi_by_core, run_sweep, SweepSpec};
+
+    let mut spec = SweepSpec::new("cpistack");
+    spec.workloads = suite.iter().map(|p| p.workload.name.clone()).collect();
+    spec.scale = crate::scale();
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let run = run_sweep(&spec, threads, None, false).expect("no snapshot I/O involved");
+
+    let mut headers = vec!["core".to_string()];
+    headers.extend(StallCause::ALL.iter().map(|c| c.key().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "CPI stack: percent of cycles charged to each cause, whole suite",
+        &header_refs,
+    );
+    for (core, stack) in cpi_by_core(&run) {
+        let values =
+            StallCause::ALL.iter().map(|&c| 100.0 * stack.fraction(c)).collect();
+        t.push(core.name(), values);
+    }
+    t
+}

@@ -23,6 +23,7 @@ use braid_isa::Program;
 use crate::config::BraidConfig;
 use crate::cores::common::{Bandwidth, Engine, RegPool};
 use crate::error::SimError;
+use crate::obs::{NoopObserver, Observer};
 use crate::report::SimReport;
 use crate::trace::Trace;
 
@@ -60,6 +61,21 @@ impl BraidCore {
         self.run_with_exceptions(program, trace, &[], 0)
     }
 
+    /// Like [`BraidCore::run`], sending pipeline events to `obs` (the
+    /// no-op observer path is identical to [`BraidCore::run`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`BraidCore::run`].
+    pub fn run_observed<O: Observer>(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        obs: &mut O,
+    ) -> Result<SimReport, SimError> {
+        self.run_with_exceptions_observed(program, trace, &[], 0, obs)
+    }
+
     /// Simulates `trace`, raising an exception at each dynamic sequence
     /// number in `exceptions` (paper §3.4): the machine rolls back to the
     /// checkpoint, disables all but one BEU, re-executes strictly in order
@@ -76,9 +92,26 @@ impl BraidCore {
         exceptions: &[u64],
         handler_latency: u64,
     ) -> Result<SimReport, SimError> {
+        self.run_with_exceptions_observed(program, trace, exceptions, handler_latency, &mut NoopObserver)
+    }
+
+    /// Like [`BraidCore::run_with_exceptions`], sending pipeline events to
+    /// `obs`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BraidCore::run`].
+    pub fn run_with_exceptions_observed<O: Observer>(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        exceptions: &[u64],
+        handler_latency: u64,
+        obs: &mut O,
+    ) -> Result<SimReport, SimError> {
         let cfg = &self.config;
         cfg.validate()?;
-        let mut eng = Engine::new(program, trace, &cfg.common);
+        let mut eng = Engine::new(program, trace, &cfg.common, obs);
         let mut fifos: Vec<VecDeque<u64>> = vec![VecDeque::new(); cfg.beus as usize];
         let mut ext_pool = RegPool::new(cfg.external_regs);
         let mut bypass = Bandwidth::new(cfg.bypass_per_cycle);
@@ -292,6 +325,11 @@ impl BraidCore {
             eng.fetch_phase();
             bypass.gc(eng.cycle.saturating_sub(64));
             ext_wr.gc(eng.cycle.saturating_sub(64));
+            if O::ENABLED {
+                for (b, fifo) in fifos.iter().enumerate() {
+                    eng.obs.unit_occupancy(b as u32, fifo.len() as u32);
+                }
+            }
             if !eng.advance() {
                 let dump: Vec<String> = fifos
                     .iter()

@@ -8,7 +8,8 @@ use braid_uarch::lsq::{LoadStoreQueue, LsqOutcome};
 
 use crate::config::CommonConfig;
 use crate::error::{LivelockReport, SimError};
-use crate::frontend::{Fetched, Frontend};
+use crate::frontend::{FetchGap, Fetched, Frontend};
+use crate::obs::{NoopObserver, Observer, StallCause};
 use crate::predecode::{DecodedOp, PreDecoded, NO_REG};
 use crate::report::SimReport;
 use crate::trace::Trace;
@@ -159,9 +160,23 @@ pub enum LoadGate {
     Wait,
 }
 
+/// Snapshot of the stall-event counters at the last time step, so the CPI
+/// attribution can tell which stalls happened *this* cycle.
+#[derive(Debug, Clone, Copy, Default)]
+struct StallMark {
+    window: u64,
+    regs: u64,
+    lsq: u64,
+    alloc_bw: u64,
+    lsq_wait: u64,
+}
+
 /// The common simulation frame: front end, memory system, in-flight window
 /// and retirement. Each core drives this with its own dispatch/issue logic.
-pub struct Engine<'a> {
+///
+/// Generic over an [`Observer`]: the default [`NoopObserver`] monomorphizes
+/// every event hook away, so uninstrumented runs pay nothing.
+pub struct Engine<'a, O: Observer = NoopObserver> {
     /// The simulated program.
     pub program: &'a Program,
     /// Predecoded static instructions (the hot-path instruction cache,
@@ -212,11 +227,24 @@ pub struct Engine<'a> {
     fetch_scratch: Vec<Fetched>,
     /// Host wall-clock at construction, for throughput counters.
     started: std::time::Instant,
+    /// Pipeline event sink (see [`crate::obs`]).
+    pub obs: &'a mut O,
+    /// Whether [`Engine::retire_phase`] retired anything this cycle (CPI
+    /// attribution; cleared by [`Engine::advance`]).
+    retired_this_cycle: bool,
+    /// Stall counters as of the previous time step (CPI attribution).
+    stall_mark: StallMark,
 }
 
-impl<'a> Engine<'a> {
-    /// Builds the frame for `trace` of `program` under `config`.
-    pub fn new(program: &'a Program, trace: &'a Trace, config: &CommonConfig) -> Engine<'a> {
+impl<'a, O: Observer> Engine<'a, O> {
+    /// Builds the frame for `trace` of `program` under `config`, sending
+    /// pipeline events to `obs`.
+    pub fn new(
+        program: &'a Program,
+        trace: &'a Trace,
+        config: &CommonConfig,
+        obs: &'a mut O,
+    ) -> Engine<'a, O> {
         Engine {
             program,
             code: PreDecoded::new(program),
@@ -249,6 +277,9 @@ impl<'a> Engine<'a> {
             },
             fetch_scratch: Vec::with_capacity(4 * config.width as usize),
             started: std::time::Instant::now(),
+            obs,
+            retired_this_cycle: false,
+            stall_mark: StallMark::default(),
         }
     }
 
@@ -284,6 +315,11 @@ impl<'a> Engine<'a> {
         self.frontend.fetch_into(self.cycle, &mut self.mem, room, &mut self.fetch_scratch);
         if !self.fetch_scratch.is_empty() {
             self.progress = true;
+            if O::ENABLED {
+                for f in &self.fetch_scratch {
+                    self.obs.fetch(f.seq, f.idx, self.cycle);
+                }
+            }
             self.queue.extend(self.fetch_scratch.drain(..));
         }
     }
@@ -361,6 +397,9 @@ impl<'a> Engine<'a> {
         };
         self.next_dispatch += 1;
         self.progress = true;
+        if O::ENABLED {
+            self.obs.dispatch(seq, f.idx, tag, self.cycle);
+        }
         seq
     }
 
@@ -384,6 +423,9 @@ impl<'a> Engine<'a> {
         self.queue.clear();
         self.frontend.rewind(self.head, self.cycle + 1);
         self.progress = true;
+        if O::ENABLED {
+            self.obs.squash(self.cycle);
+        }
     }
 
     /// Whether every register producer `seq` needs *to issue* has its value
@@ -478,6 +520,10 @@ impl<'a> Engine<'a> {
         s.issued = true;
         s.avail_at = avail;
         s.done_at = done;
+        if O::ENABLED {
+            self.obs.issue(seq, cycle, avail, done);
+        }
+        let s = &self.slots[seq as usize];
         if op.is_branch() {
             let resolve = cycle + 1;
             if s.mispredicted {
@@ -496,6 +542,7 @@ impl<'a> Engine<'a> {
         let mut resolved = false;
         let slots = &mut self.slots;
         let lsq = &mut self.lsq;
+        let obs = &mut *self.obs;
         self.pending_stores.retain(|&seq| {
             let value_dep = slots[seq as usize].deps[0];
             debug_assert_ne!(value_dep, NONE);
@@ -506,6 +553,9 @@ impl<'a> Engine<'a> {
             let data_at = slots[seq as usize].avail_at.max(avail);
             slots[seq as usize].done_at = data_at;
             lsq.set_data_at(seq, data_at);
+            if O::ENABLED {
+                obs.store_data(seq, data_at);
+            }
             resolved = true;
             false
         });
@@ -517,7 +567,7 @@ impl<'a> Engine<'a> {
     /// Retires completed instructions in order, up to the machine width.
     /// `on_retire` runs per retired sequence number (for core-specific
     /// resource frees).
-    pub fn retire_phase(&mut self, mut on_retire: impl FnMut(&mut Engine<'a>, u64)) {
+    pub fn retire_phase(&mut self, mut on_retire: impl FnMut(&mut Engine<'a, O>, u64)) {
         self.resolve_pending_stores();
         let mut n = 0;
         while n < self.width && self.head < self.next_dispatch {
@@ -537,19 +587,79 @@ impl<'a> Engine<'a> {
                 self.lsq.retire(seq);
             }
             on_retire(self, seq);
+            if O::ENABLED {
+                self.obs.retire(seq, self.cycle);
+            }
             self.head += 1;
             self.report.instructions += 1;
             self.last_retire_cycle = self.cycle;
+            self.retired_this_cycle = true;
             n += 1;
             self.progress = true;
         }
     }
 
+    /// Classifies the cycle that just ended (CPI attribution; see
+    /// [`crate::obs`] for the priority rules). Returns the cause and the
+    /// static index of the oldest in-flight instruction (`u32::MAX` for an
+    /// empty window) for hotspot profiles.
+    fn classify_cycle(&self) -> (StallCause, u32) {
+        let in_flight = self.head < self.next_dispatch;
+        let head_idx =
+            if in_flight { self.slots[self.head as usize].idx } else { u32::MAX };
+        if self.retired_this_cycle {
+            return (StallCause::Base, head_idx);
+        }
+        // Oldest-first: a load miss holding retirement outranks the
+        // secondary dispatch pressure it causes.
+        if in_flight {
+            let s = &self.slots[self.head as usize];
+            if s.issued && s.done_at > self.cycle && self.code.op(s.idx).is_load() {
+                return (StallCause::DCache, head_idx);
+            }
+        }
+        let r = &self.report;
+        let m = &self.stall_mark;
+        let cause = if r.lsq_wait_events > m.lsq_wait || r.stall_lsq > m.lsq {
+            StallCause::Lsq
+        } else if r.stall_regs > m.regs {
+            StallCause::Regs
+        } else if r.stall_window > m.window {
+            StallCause::WindowFull
+        } else if r.stall_alloc_bw > m.alloc_bw {
+            StallCause::AllocBw
+        } else if in_flight {
+            // Executing a non-load at the head, or serialized behind
+            // scheduler order / dependence chains.
+            StallCause::BeuSerial
+        } else {
+            match self.frontend.stall_kind(self.cycle) {
+                FetchGap::Mispredict => StallCause::MispredictRefill,
+                FetchGap::ICache => StallCause::ICache,
+                // Dispatch gated without a counted stall (exception
+                // handler episodes) while fetched work waits.
+                FetchGap::None | FetchGap::Done if !self.queue.is_empty() => {
+                    StallCause::BeuSerial
+                }
+                FetchGap::None | FetchGap::Done => StallCause::EmptyFrontend,
+            }
+        };
+        (cause, head_idx)
+    }
+
     /// Advances time: one cycle after progress, otherwise straight to the
-    /// next known event. Returns `false` when the no-retire-progress
-    /// watchdog trips — the caller should abort with [`Engine::livelock`],
-    /// attaching its scheduler-state dump.
+    /// next known event. Every cycle stepped over is attributed to exactly
+    /// one [`StallCause`] in the report's CPI stack (an event-free span
+    /// inherits the classification of its opening cycle — nothing changes
+    /// mid-span, or it would have been progress). Returns `false` when the
+    /// no-retire-progress watchdog trips — the caller should abort with
+    /// [`Engine::livelock`], attaching its scheduler-state dump.
     pub fn advance(&mut self) -> bool {
+        // Classify before moving time: the span inherits the state of its
+        // opening cycle (`done_at > cycle` comparisons must not see the
+        // fast-forwarded clock).
+        let (cause, head_idx) = self.classify_cycle();
+        let from = self.cycle;
         if self.progress {
             self.cycle += 1;
         } else {
@@ -572,6 +682,19 @@ impl<'a> Engine<'a> {
             }
             self.cycle = if next == NONE { self.cycle + 1 } else { next };
         }
+        self.report.cpi.add(cause, self.cycle - from);
+        if O::ENABLED {
+            self.obs.cycle_cause(from, self.cycle - from, cause, head_idx);
+            self.obs.lsq_occupancy(self.lsq.len() as u32);
+        }
+        self.retired_this_cycle = false;
+        self.stall_mark = StallMark {
+            window: self.report.stall_window,
+            regs: self.report.stall_regs,
+            lsq: self.report.stall_lsq,
+            alloc_bw: self.report.stall_alloc_bw,
+            lsq_wait: self.report.lsq_wait_events,
+        };
         self.progress = false;
         self.cycle - self.last_retire_cycle <= self.watchdog_cycles
     }
@@ -621,6 +744,14 @@ impl<'a> Engine<'a> {
     /// Finalizes the report after the run loop ends.
     pub fn finish(mut self, checkpoint_words_per_branch: u64) -> SimReport {
         self.report.cycles = self.cycle.max(1);
+        // The attribution loop charged exactly `cycle` cycles; an empty
+        // trace (cycle 0 clamped to 1) leaves a residue, charged to the
+        // empty front end so the stack still sums to `cycles`.
+        let attributed = self.report.cpi.total();
+        debug_assert!(attributed == self.cycle, "CPI stack {attributed} != cycle {}", self.cycle);
+        if attributed < self.report.cycles {
+            self.report.cpi.add(StallCause::EmptyFrontend, self.report.cycles - attributed);
+        }
         self.report.host_nanos = self.started.elapsed().as_nanos() as u64;
         self.report.retire_slots = self.report.cycles * self.width as u64;
         self.report.branch_accuracy = self.frontend.branch_accuracy();

@@ -16,6 +16,7 @@ use braid_isa::Program;
 use crate::config::DepConfig;
 use crate::cores::common::{Bandwidth, Engine, RegPool, NONE};
 use crate::error::SimError;
+use crate::obs::{NoopObserver, Observer};
 use crate::report::SimReport;
 use crate::trace::Trace;
 
@@ -39,9 +40,24 @@ impl DepSteerCore {
     /// [`SimError::Livelock`] (with a FIFO dump) if the pipeline stops
     /// retiring.
     pub fn run(&self, program: &Program, trace: &Trace) -> Result<SimReport, SimError> {
+        self.run_observed(program, trace, &mut NoopObserver)
+    }
+
+    /// Like [`DepSteerCore::run`], sending pipeline events to `obs` (the
+    /// no-op observer path is identical to [`DepSteerCore::run`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`DepSteerCore::run`].
+    pub fn run_observed<O: Observer>(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        obs: &mut O,
+    ) -> Result<SimReport, SimError> {
         let cfg = &self.config;
         cfg.validate()?;
-        let mut eng = Engine::new(program, trace, &cfg.common);
+        let mut eng = Engine::new(program, trace, &cfg.common, obs);
         let mut fifos: Vec<VecDeque<u64>> = vec![VecDeque::new(); cfg.fifos as usize];
         let mut regs = RegPool::new(cfg.regs);
         let mut bypass = Bandwidth::new(cfg.bypass_per_cycle);
@@ -128,6 +144,11 @@ impl DepSteerCore {
 
             eng.fetch_phase();
             bypass.gc(eng.cycle.saturating_sub(64));
+            if O::ENABLED {
+                for (i, q) in fifos.iter().enumerate() {
+                    eng.obs.unit_occupancy(i as u32, q.len() as u32);
+                }
+            }
             if !eng.advance() {
                 let dump: Vec<String> = fifos
                     .iter()

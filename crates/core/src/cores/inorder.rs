@@ -11,6 +11,7 @@ use braid_isa::Program;
 use crate::config::InOrderConfig;
 use crate::cores::common::Engine;
 use crate::error::SimError;
+use crate::obs::{NoopObserver, Observer};
 use crate::report::SimReport;
 use crate::trace::Trace;
 
@@ -33,9 +34,24 @@ impl InOrderCore {
     /// [`SimError::Config`] for an impossible machine description,
     /// [`SimError::Livelock`] if the pipeline stops retiring.
     pub fn run(&self, program: &Program, trace: &Trace) -> Result<SimReport, SimError> {
+        self.run_observed(program, trace, &mut NoopObserver)
+    }
+
+    /// Like [`InOrderCore::run`], sending pipeline events to `obs` (the
+    /// no-op observer path is identical to [`InOrderCore::run`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`InOrderCore::run`].
+    pub fn run_observed<O: Observer>(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        obs: &mut O,
+    ) -> Result<SimReport, SimError> {
         let cfg = &self.config;
         cfg.validate()?;
-        let mut eng = Engine::new(program, trace, &cfg.common);
+        let mut eng = Engine::new(program, trace, &cfg.common, obs);
         let mut queue: VecDeque<u64> = VecDeque::new();
 
         while !eng.finished() {
@@ -70,6 +86,9 @@ impl InOrderCore {
             }
 
             eng.fetch_phase();
+            if O::ENABLED {
+                eng.obs.unit_occupancy(0, queue.len() as u32);
+            }
             if !eng.advance() {
                 let dump = vec![eng.describe_queue("queue", &mut queue.iter().copied())];
                 return Err(eng.livelock("inorder", dump));

@@ -11,6 +11,7 @@ use braid_isa::Program;
 use crate::config::OooConfig;
 use crate::cores::common::{Bandwidth, Engine, RegPool};
 use crate::error::SimError;
+use crate::obs::{NoopObserver, Observer};
 use crate::report::SimReport;
 use crate::trace::Trace;
 
@@ -34,9 +35,25 @@ impl OooCore {
     /// [`SimError::Livelock`] (with a scheduler dump) if the pipeline
     /// stops retiring.
     pub fn run(&self, program: &Program, trace: &Trace) -> Result<SimReport, SimError> {
+        self.run_observed(program, trace, &mut NoopObserver)
+    }
+
+    /// Like [`OooCore::run`], sending pipeline events to `obs`. The core
+    /// monomorphizes over the observer, so the
+    /// [`NoopObserver`]-instantiated path is identical to [`OooCore::run`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`OooCore::run`].
+    pub fn run_observed<O: Observer>(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        obs: &mut O,
+    ) -> Result<SimReport, SimError> {
         let cfg = &self.config;
         cfg.validate()?;
-        let mut eng = Engine::new(program, trace, &cfg.common);
+        let mut eng = Engine::new(program, trace, &cfg.common, obs);
         let mut scheds: Vec<Vec<u64>> = vec![Vec::new(); cfg.schedulers as usize];
         let mut regs = RegPool::new(cfg.regs);
         let mut bypass = Bandwidth::new(cfg.bypass_per_cycle);
@@ -143,6 +160,11 @@ impl OooCore {
             eng.fetch_phase();
             bypass.gc(eng.cycle.saturating_sub(64));
             wr_ports.gc(eng.cycle.saturating_sub(64));
+            if O::ENABLED {
+                for (s, q) in scheds.iter().enumerate() {
+                    eng.obs.unit_occupancy(s as u32, q.len() as u32);
+                }
+            }
             if !eng.advance() {
                 let dump: Vec<String> = scheds
                     .iter()

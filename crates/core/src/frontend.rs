@@ -27,6 +27,20 @@ pub const TEXT_BASE: u64 = 0x4000_0000;
 /// Bytes per instruction in the simulated text segment.
 pub const INST_BYTES: u64 = 8;
 
+/// Why fetch is currently not delivering instructions (CPI attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchGap {
+    /// Fetch can deliver (or the stall reason has expired).
+    None,
+    /// Blocked on an unresolved misprediction, refilling after one, or
+    /// recovering from a rewind / BTB bubble.
+    Mispredict,
+    /// Waiting for an instruction-cache miss to return.
+    ICache,
+    /// The trace is exhausted; nothing left to fetch.
+    Done,
+}
+
 /// One fetched dynamic instruction handed to the core.
 #[derive(Debug, Clone, Copy)]
 pub struct Fetched {
@@ -61,6 +75,8 @@ pub struct Frontend<'a> {
     mispredict_stall_from: u64,
     /// Cycles spent stalled on misprediction refills.
     pub mispredict_stall_cycles: u64,
+    /// Why `resume_at` is in the future (CPI attribution).
+    resume_reason: FetchGap,
 }
 
 impl<'a> Frontend<'a> {
@@ -91,6 +107,7 @@ impl<'a> Frontend<'a> {
             },
             mispredict_stall_from: 0,
             mispredict_stall_cycles: 0,
+            resume_reason: FetchGap::None,
         }
     }
 
@@ -115,6 +132,21 @@ impl<'a> Frontend<'a> {
         self.pos = pos as usize;
         self.blocked_on = None;
         self.resume_at = self.resume_at.max(cycle);
+        self.resume_reason = FetchGap::Mispredict;
+    }
+
+    /// Why fetch is not delivering at `cycle` ([`FetchGap::None`] when it
+    /// can, or when the last recorded reason has expired).
+    pub fn stall_kind(&self, cycle: u64) -> FetchGap {
+        if self.blocked_on.is_some() {
+            FetchGap::Mispredict
+        } else if self.done() {
+            FetchGap::Done
+        } else if cycle < self.resume_at {
+            self.resume_reason
+        } else {
+            FetchGap::None
+        }
     }
 
     /// Notifies the front end that the mispredicted branch `seq` resolved
@@ -123,6 +155,7 @@ impl<'a> Frontend<'a> {
         if self.blocked_on == Some(seq) {
             self.blocked_on = None;
             self.resume_at = self.resume_at.max(cycle + self.penalty);
+            self.resume_reason = FetchGap::Mispredict;
             self.mispredict_stall_cycles +=
                 self.resume_at.saturating_sub(self.mispredict_stall_from);
         }
@@ -174,6 +207,7 @@ impl<'a> Frontend<'a> {
             let lat = mem.access(Access::Fetch, TEXT_BASE + entry.idx as u64 * INST_BYTES);
             if lat > l1i_latency {
                 self.resume_at = cycle + (lat - l1i_latency);
+                self.resume_reason = FetchGap::ICache;
                 // The missing instruction itself is fetched when the line
                 // arrives.
                 break;
@@ -229,6 +263,7 @@ impl<'a> Frontend<'a> {
             self.pos += 1;
             if btb_bubble {
                 self.resume_at = self.resume_at.max(cycle + 2);
+                self.resume_reason = FetchGap::Mispredict;
                 break;
             }
             if mispredicted {

@@ -16,6 +16,8 @@
 //!   and FIFO dependence-based steering (Palacharla-style).
 //! * [`config`] — Table 4 processor configurations with builders.
 //! * [`report`] — per-run statistics ([`SimReport`]).
+//! * [`obs`] — the cycle-accounting taxonomy (CPI stacks) and the
+//!   zero-overhead-when-disabled pipeline [`obs::Observer`] trait.
 //! * [`profile`] — dynamic value fanout/lifetime profiling (the paper's §1
 //!   characterization).
 //! * [`processor`] — one-call pipelines combining translation, functional
@@ -52,6 +54,7 @@ pub mod cores;
 pub mod error;
 pub mod frontend;
 pub mod functional;
+pub mod obs;
 pub mod predecode;
 pub mod processor;
 pub mod profile;
@@ -61,6 +64,7 @@ pub mod trace;
 pub use config::{BraidConfig, CommonConfig, DepConfig, InOrderConfig, OooConfig};
 pub use error::{LivelockReport, SimError};
 pub use functional::{ExecError, Machine};
+pub use obs::{CpiStack, NoopObserver, Observer, StallCause};
 pub use processor::{run_braid, run_dep, run_inorder, run_ooo};
 pub use report::SimReport;
 pub use trace::{Trace, TraceEntry};

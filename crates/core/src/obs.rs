@@ -1,0 +1,337 @@
+//! Core-side observability: the cycle-accounting taxonomy ([`StallCause`],
+//! [`CpiStack`]) and the pipeline [`Observer`] trait.
+//!
+//! The engine attributes **every simulated cycle to exactly one cause** —
+//! the CPI stack — unconditionally, because the accounting is one
+//! classification per time step and is itself part of the deterministic
+//! [`crate::report::SimReport`]. Event-level instrumentation (per-dynamic-
+//! instruction timestamps, per-unit occupancy) is behind the generic
+//! [`Observer`] trait: cores monomorphize over it, and the default
+//! [`NoopObserver`] (with [`Observer::ENABLED`]` = false`) compiles to
+//! nothing, so the hot path is identical to an uninstrumented build. Heavy
+//! collectors live in the `braid-obs` crate.
+//!
+//! ## Accounting rules (one cause per cycle, fixed priority)
+//!
+//! A cycle span is classified from the machine state at the end of the
+//! cycle that opened it, with this priority order:
+//!
+//! 1. [`StallCause::Base`] — at least one instruction retired.
+//! 2. [`StallCause::DCache`] — the oldest in-flight instruction is an
+//!    issued load still waiting on the data memory hierarchy.
+//! 3. [`StallCause::Lsq`] — a load was rejected by memory ordering, or
+//!    dispatch stalled on a full load-store queue, this cycle.
+//! 4. [`StallCause::Regs`] — a register-buffer / external-register-file
+//!    allocation stalled this cycle.
+//! 5. [`StallCause::WindowFull`] — dispatch stalled on window, scheduler
+//!    or BEU-FIFO space this cycle.
+//! 6. [`StallCause::AllocBw`] — dispatch stalled on allocation/rename
+//!    bandwidth this cycle.
+//! 7. [`StallCause::BeuSerial`] — something is in flight but none of the
+//!    above applies: the oldest instruction is executing a non-load, or is
+//!    serialized behind scheduler order (the braid machine's in-order BEU
+//!    windows), or dispatch is gated without a counted stall (exception
+//!    episodes).
+//! 8. [`StallCause::MispredictRefill`] — the window is empty and the front
+//!    end is blocked on an unresolved misprediction, refilling after one,
+//!    or recovering from a checkpoint rewind / BTB bubble.
+//! 9. [`StallCause::ICache`] — the window is empty and fetch waits on an
+//!    instruction-cache miss.
+//! 10. [`StallCause::EmptyFrontend`] — nothing anywhere: the trace is
+//!     exhausted (drain) or fetch delivered nothing this cycle.
+//!
+//! When the engine fast-forwards over event-free cycles the whole span
+//! inherits the classification of its opening cycle: nothing changes in
+//! between (retirement would be progress), so the cause persists.
+
+use std::fmt;
+
+/// Why a cycle did not retire anything (or [`StallCause::Base`] when it
+/// did). One of these is charged for every simulated cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum StallCause {
+    /// At least one instruction retired this cycle.
+    Base,
+    /// Dispatch stalled: window / scheduler / BEU-FIFO space exhausted.
+    WindowFull,
+    /// Dispatch or writeback stalled: no register-buffer or
+    /// external-register-file entry.
+    Regs,
+    /// Memory ordering: a load waited on an older store, or dispatch
+    /// stalled on a full load-store queue.
+    Lsq,
+    /// Dispatch stalled: allocation / rename bandwidth exhausted.
+    AllocBw,
+    /// Empty window while the front end refills after a misprediction,
+    /// checkpoint rewind, or BTB bubble.
+    MispredictRefill,
+    /// Empty window while fetch waits on an instruction-cache miss.
+    ICache,
+    /// The oldest in-flight instruction is an issued load waiting on the
+    /// data memory hierarchy.
+    DCache,
+    /// Nothing in flight and the front end has nothing to deliver.
+    EmptyFrontend,
+    /// In-flight work executing or serialized (in-order BEU windows,
+    /// dependence chains, exception episodes) with no resource stall.
+    BeuSerial,
+}
+
+/// Number of [`StallCause`] variants (the CPI-stack arity).
+pub const NUM_CAUSES: usize = 10;
+
+impl StallCause {
+    /// Every cause, in canonical (rendering and serialization) order.
+    pub const ALL: [StallCause; NUM_CAUSES] = [
+        StallCause::Base,
+        StallCause::WindowFull,
+        StallCause::Regs,
+        StallCause::Lsq,
+        StallCause::AllocBw,
+        StallCause::MispredictRefill,
+        StallCause::ICache,
+        StallCause::DCache,
+        StallCause::EmptyFrontend,
+        StallCause::BeuSerial,
+    ];
+
+    /// Stable machine-readable key (JSON field names, golden files).
+    pub fn key(self) -> &'static str {
+        match self {
+            StallCause::Base => "base",
+            StallCause::WindowFull => "window_full",
+            StallCause::Regs => "regs",
+            StallCause::Lsq => "lsq",
+            StallCause::AllocBw => "alloc_bw",
+            StallCause::MispredictRefill => "mispredict_refill",
+            StallCause::ICache => "icache",
+            StallCause::DCache => "dcache",
+            StallCause::EmptyFrontend => "empty_frontend",
+            StallCause::BeuSerial => "beu_serial",
+        }
+    }
+
+    /// Position in [`StallCause::ALL`] (the [`CpiStack`] index).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The cause with key `key`, if any (golden/JSON parsing).
+    pub fn from_key(key: &str) -> Option<StallCause> {
+        StallCause::ALL.into_iter().find(|c| c.key() == key)
+    }
+}
+
+impl fmt::Display for StallCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Cycles charged per [`StallCause`]: the CPI stack of one run. The
+/// engine guarantees [`CpiStack::total`] equals `SimReport::cycles`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpiStack {
+    counts: [u64; NUM_CAUSES],
+}
+
+impl CpiStack {
+    /// An empty stack.
+    pub fn new() -> CpiStack {
+        CpiStack::default()
+    }
+
+    /// Charges `n` cycles to `cause`.
+    pub fn add(&mut self, cause: StallCause, n: u64) {
+        self.counts[cause.index()] += n;
+    }
+
+    /// Cycles charged to `cause`.
+    pub fn get(&self, cause: StallCause) -> u64 {
+        self.counts[cause.index()]
+    }
+
+    /// Total cycles accounted (equals `SimReport::cycles` after a run).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(cause, cycles)` in canonical order, zero entries included.
+    pub fn iter(&self) -> impl Iterator<Item = (StallCause, u64)> + '_ {
+        StallCause::ALL.into_iter().map(|c| (c, self.get(c)))
+    }
+
+    /// Adds every count of `other` into `self` (sweep aggregation).
+    pub fn merge(&mut self, other: &CpiStack) {
+        for (i, n) in other.counts.iter().enumerate() {
+            self.counts[i] += n;
+        }
+    }
+
+    /// Fraction of the accounted cycles charged to `cause` (`0.0` when
+    /// nothing is accounted).
+    pub fn fraction(&self, cause: StallCause) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(cause) as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CpiStack {
+    /// Multi-line breakdown with per-cause percentages and a bar chart,
+    /// zero causes omitted.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        writeln!(f, "cycles by cause ({total} total):")?;
+        for (cause, n) in self.iter() {
+            if n == 0 {
+                continue;
+            }
+            let pct = 100.0 * n as f64 / total as f64;
+            let bar = "#".repeat((pct / 2.0).round() as usize);
+            writeln!(f, "  {:<18} {n:>12} {pct:>5.1}% {bar}", cause.key())?;
+        }
+        Ok(())
+    }
+}
+
+/// Pipeline event sink. Cores are generic over an `Observer`, so the
+/// default [`NoopObserver`] monomorphizes every hook away; collectors
+/// (the `braid-obs` crate) override the hooks they need.
+///
+/// Events carry dynamic sequence numbers (`seq`, trace position), static
+/// instruction indices (`idx`) and the core-specific execution unit the
+/// instruction was steered to (`unit`: scheduler, FIFO or BEU id).
+///
+/// Per-cycle sampling hooks ([`Observer::unit_occupancy`],
+/// [`Observer::lsq_occupancy`]) are invoked once per simulated *event
+/// step*: when the engine fast-forwards over quiet cycles the sample
+/// represents the whole (unchanging) span. Guard any per-cycle work the
+/// core itself must do with [`Observer::ENABLED`].
+pub trait Observer {
+    /// Whether this observer wants events at all; `false` lets cores skip
+    /// event-assembly work entirely (the hooks still compile to no-ops).
+    const ENABLED: bool = true;
+
+    /// `seq` (static `idx`) entered the fetch queue in `cycle`.
+    fn fetch(&mut self, seq: u64, idx: u32, cycle: u64) {
+        let _ = (seq, idx, cycle);
+    }
+
+    /// `seq` dispatched into execution unit `unit` in `cycle`.
+    fn dispatch(&mut self, seq: u64, idx: u32, unit: u32, cycle: u64) {
+        let _ = (seq, idx, unit, cycle);
+    }
+
+    /// `seq` issued in `cycle`; its value is visible at `avail_at` and it
+    /// may retire at `done_at` (a pending store's `done_at` may still be
+    /// unknown — see [`Observer::store_data`]).
+    fn issue(&mut self, seq: u64, cycle: u64, avail_at: u64, done_at: u64) {
+        let _ = (seq, cycle, avail_at, done_at);
+    }
+
+    /// A store's previously-unknown data-arrival time resolved to
+    /// `done_at`.
+    fn store_data(&mut self, seq: u64, done_at: u64) {
+        let _ = (seq, done_at);
+    }
+
+    /// `seq` retired in `cycle`.
+    fn retire(&mut self, seq: u64, cycle: u64) {
+        let _ = (seq, cycle);
+    }
+
+    /// Checkpoint rollback in `cycle`: everything not yet retired
+    /// (dispatched *or* merely fetched) is squashed and will re-fetch.
+    fn squash(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+
+    /// The span `[cycle, cycle + n)` was charged to `cause`. `head_idx`
+    /// is the static index of the oldest in-flight instruction, or
+    /// `u32::MAX` when the window was empty (hotspot attribution).
+    fn cycle_cause(&mut self, cycle: u64, n: u64, cause: StallCause, head_idx: u32) {
+        let _ = (cycle, n, cause, head_idx);
+    }
+
+    /// Occupancy sample for execution unit `unit` (scheduler / FIFO /
+    /// BEU): `occ` entries at this event step.
+    fn unit_occupancy(&mut self, unit: u32, occ: u32) {
+        let _ = (unit, occ);
+    }
+
+    /// Load-store-queue occupancy sample at this event step.
+    fn lsq_occupancy(&mut self, occ: u32) {
+        let _ = occ;
+    }
+}
+
+/// The do-nothing observer: every hook is a no-op and
+/// [`Observer::ENABLED`] is `false`, so instrumented cores compile to the
+/// same code as uninstrumented ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    const ENABLED: bool = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causes_have_unique_keys_and_stable_indices() {
+        for (i, c) in StallCause::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(StallCause::from_key(c.key()), Some(c));
+        }
+        let mut keys: Vec<&str> = StallCause::ALL.iter().map(|c| c.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), NUM_CAUSES);
+        assert_eq!(StallCause::from_key("nonsense"), None);
+    }
+
+    #[test]
+    fn stack_accounting() {
+        let mut s = CpiStack::new();
+        s.add(StallCause::Base, 10);
+        s.add(StallCause::DCache, 5);
+        s.add(StallCause::Base, 2);
+        assert_eq!(s.get(StallCause::Base), 12);
+        assert_eq!(s.total(), 17);
+        let mut t = CpiStack::new();
+        t.add(StallCause::DCache, 3);
+        s.merge(&t);
+        assert_eq!(s.get(StallCause::DCache), 8);
+        assert_eq!(s.total(), 20);
+        assert!((s.fraction(StallCause::Base) - 0.6).abs() < 1e-12);
+        assert_eq!(CpiStack::new().fraction(StallCause::Base), 0.0);
+    }
+
+    #[test]
+    fn display_omits_zero_causes() {
+        let mut s = CpiStack::new();
+        s.add(StallCause::Base, 3);
+        s.add(StallCause::ICache, 1);
+        let text = s.to_string();
+        assert!(text.contains("base"), "{text}");
+        assert!(text.contains("icache"), "{text}");
+        assert!(!text.contains("dcache"), "{text}");
+        assert!(text.contains("75.0%"), "{text}");
+    }
+
+    #[test]
+    fn noop_observer_is_disabled() {
+        const { assert!(!NoopObserver::ENABLED) };
+        // The default hooks are callable no-ops.
+        let mut o = NoopObserver;
+        o.fetch(0, 0, 0);
+        o.cycle_cause(0, 1, StallCause::Base, u32::MAX);
+    }
+}

@@ -9,6 +9,7 @@ use braid_isa::Program;
 use crate::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
 use crate::cores::{BraidCore, DepSteerCore, InOrderCore, OooCore};
 use crate::functional::{ExecError, Machine};
+use crate::obs::Observer;
 use crate::report::SimReport;
 use crate::trace::Trace;
 
@@ -125,6 +126,81 @@ pub fn run_braid(
 ) -> Result<SimReport, RunError> {
     let (report, _) = run_braid_with_translation(program, config, max_insts)?;
     Ok(report)
+}
+
+/// Runs `program` on the out-of-order machine with pipeline events sent to
+/// `obs` (see [`crate::obs`]).
+///
+/// # Errors
+///
+/// Propagates functional-execution failures.
+pub fn run_ooo_observed<O: Observer>(
+    program: &Program,
+    config: &OooConfig,
+    max_insts: u64,
+    obs: &mut O,
+) -> Result<SimReport, RunError> {
+    let trace = trace_program(program, max_insts)?;
+    Ok(OooCore::new(config.clone()).run_observed(program, &trace, obs)?)
+}
+
+/// Runs `program` on the in-order machine with pipeline events sent to
+/// `obs`.
+///
+/// # Errors
+///
+/// Propagates functional-execution failures.
+pub fn run_inorder_observed<O: Observer>(
+    program: &Program,
+    config: &InOrderConfig,
+    max_insts: u64,
+    obs: &mut O,
+) -> Result<SimReport, RunError> {
+    let trace = trace_program(program, max_insts)?;
+    Ok(InOrderCore::new(config.clone()).run_observed(program, &trace, obs)?)
+}
+
+/// Runs `program` on the dependence-steering machine with pipeline events
+/// sent to `obs`.
+///
+/// # Errors
+///
+/// Propagates functional-execution failures.
+pub fn run_dep_observed<O: Observer>(
+    program: &Program,
+    config: &DepConfig,
+    max_insts: u64,
+    obs: &mut O,
+) -> Result<SimReport, RunError> {
+    let trace = trace_program(program, max_insts)?;
+    Ok(DepSteerCore::new(config.clone()).run_observed(program, &trace, obs)?)
+}
+
+/// Translates `program` into braids and runs it on the braid machine with
+/// pipeline events sent to `obs`; also returns the translation so callers
+/// can map events back to braid structure.
+///
+/// # Errors
+///
+/// As for [`run_braid_with_translation`].
+pub fn run_braid_observed<O: Observer>(
+    program: &Program,
+    config: &BraidConfig,
+    max_insts: u64,
+    obs: &mut O,
+) -> Result<(SimReport, Translation), RunError> {
+    let tconfig = TranslatorConfig { self_check: false, ..Default::default() };
+    let translation = translate(program, &tconfig)?;
+    let report = translation.check(
+        program,
+        &braid_check::CheckConfig { max_internal_regs: tconfig.max_internal_regs },
+    );
+    if report.has_errors() {
+        return Err(RunError::Check(Box::new(report)));
+    }
+    let trace = trace_program(&translation.program, max_insts)?;
+    let report = BraidCore::new(config.clone()).run_observed(&translation.program, &trace, obs)?;
+    Ok((report, translation))
 }
 
 /// Like [`run_braid`] but also returns the translation (for braid

@@ -4,6 +4,8 @@ use std::fmt;
 
 use braid_uarch::stats::Ratio;
 
+use crate::obs::CpiStack;
+
 /// Statistics produced by one timing-simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct SimReport {
@@ -48,6 +50,9 @@ pub struct SimReport {
     /// Total retirement slots offered (`cycles × width`); with
     /// [`SimReport::instructions`] this gives retire-bandwidth utilization.
     pub retire_slots: u64,
+    /// The CPI stack: every cycle attributed to exactly one cause
+    /// ([`CpiStack::total`] always equals [`SimReport::cycles`]).
+    pub cpi: CpiStack,
 }
 
 impl SimReport {
@@ -96,6 +101,19 @@ impl SimReport {
             self.instructions as f64 / self.retire_slots as f64
         }
     }
+
+    /// Sum of every stall-event counter (dispatch stalls on registers,
+    /// window, LSQ capacity and allocation bandwidth, plus load
+    /// memory-ordering waits). These are *events*, not cycles — a single
+    /// cycle can record several — so this complements, rather than
+    /// duplicates, the per-cycle [`SimReport::cpi`] stack.
+    pub fn stall_total(&self) -> u64 {
+        self.stall_regs
+            + self.stall_window
+            + self.stall_lsq
+            + self.stall_alloc_bw
+            + self.lsq_wait_events
+    }
 }
 
 impl fmt::Display for SimReport {
@@ -114,13 +132,22 @@ impl fmt::Display for SimReport {
         )?;
         writeln!(
             f,
-            "  stalls: regs {} window {} lsq {} alloc {} lsqwait {}; ext values/cycle {:.2}",
+            "  stalls: regs {} window {} lsq {} alloc {} lsqwait {} (total {}); ext values/cycle {:.2}",
             self.stall_regs,
             self.stall_window,
             self.stall_lsq,
             self.stall_alloc_bw,
             self.lsq_wait_events,
+            self.stall_total(),
             self.external_values_per_cycle
+        )?;
+        writeln!(
+            f,
+            "  mispredict-stall cycles {}, forwarded loads {}, checkpoint words {}, exceptions {}",
+            self.mispredict_stall_cycles,
+            self.forwarded_loads,
+            self.checkpoint_words,
+            self.exceptions_taken
         )?;
         write!(
             f,
@@ -150,5 +177,44 @@ mod tests {
     fn display_mentions_ipc() {
         let a = SimReport { cycles: 10, instructions: 20, ..SimReport::default() };
         assert!(a.to_string().contains("IPC 2.000"));
+    }
+
+    #[test]
+    fn stall_total_sums_every_counter() {
+        let r = SimReport {
+            stall_regs: 1,
+            stall_window: 2,
+            stall_lsq: 4,
+            lsq_wait_events: 8,
+            stall_alloc_bw: 16,
+            ..SimReport::default()
+        };
+        assert_eq!(r.stall_total(), 31);
+        assert_eq!(SimReport::default().stall_total(), 0);
+    }
+
+    #[test]
+    fn display_prints_every_stall_counter() {
+        // Once-omitted fields (mispredict stall cycles, forwarded loads,
+        // checkpoint words, exceptions) must all be visible.
+        let r = SimReport {
+            cycles: 10,
+            instructions: 5,
+            mispredict_stall_cycles: 111,
+            forwarded_loads: 222,
+            checkpoint_words: 333,
+            exceptions_taken: 444,
+            stall_regs: 555,
+            stall_window: 666,
+            stall_lsq: 777,
+            lsq_wait_events: 888,
+            stall_alloc_bw: 999,
+            ..SimReport::default()
+        };
+        let text = r.to_string();
+        for n in ["111", "222", "333", "444", "555", "666", "777", "888", "999"] {
+            assert!(text.contains(n), "missing {n} in {text}");
+        }
+        assert!(text.contains(&format!("total {}", r.stall_total())), "{text}");
     }
 }

@@ -160,6 +160,28 @@ impl Program {
         self.insts.iter().map(crate::encode).collect()
     }
 
+    /// Per-instruction braid ordinals: instruction `i` belongs to braid
+    /// `braid_ids()[i]`, counting `S` (start) bits in program order. An
+    /// unannotated program (no explicit starts beyond the default) maps
+    /// every instruction to the braid opened by the nearest preceding
+    /// start. Used by observability exports to fold per-PC profiles into
+    /// per-braid profiles.
+    pub fn braid_ids(&self) -> Vec<u32> {
+        let mut ids = Vec::with_capacity(self.insts.len());
+        let mut current: u32 = 0;
+        let mut seen_start = false;
+        for inst in &self.insts {
+            if inst.braid.start {
+                if seen_start {
+                    current += 1;
+                }
+                seen_start = true;
+            }
+            ids.push(current);
+        }
+        ids
+    }
+
     /// Static count of instructions per opcode, useful for workload reports.
     pub fn opcode_histogram(&self) -> BTreeMap<&'static str, usize> {
         let mut h = BTreeMap::new();
@@ -212,6 +234,19 @@ mod tests {
     #[test]
     fn valid_program_validates() {
         counting_loop().validate().unwrap();
+    }
+
+    #[test]
+    fn braid_ids_count_start_bits() {
+        let mut p = counting_loop();
+        // Unannotated default: every instruction starts its own braid.
+        assert_eq!(p.braid_ids(), vec![0, 1, 2, 3]);
+        // Merge the middle two into one braid.
+        p.insts[2].braid.start = false;
+        assert_eq!(p.braid_ids(), vec![0, 1, 1, 2]);
+        // A leading non-start instruction still belongs to braid 0.
+        p.insts[0].braid.start = false;
+        assert_eq!(p.braid_ids(), vec![0, 0, 0, 1]);
     }
 
     #[test]

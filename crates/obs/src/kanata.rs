@@ -1,0 +1,401 @@
+//! Konata-compatible pipeline-viewer export and an in-repo format checker.
+//!
+//! The [Konata](https://github.com/shioyadan/Konata) pipeline viewer reads
+//! a tab-separated `Kanata 0004` log: `C=`/`C` advance the clock, `I`
+//! introduces an instruction record, `L` labels it, `S`/`E` open and close
+//! pipeline stages and `R` retires or flushes it. [`write_kanata`] renders
+//! a [`PipelineObserver`]'s records with four stages:
+//!
+//! | stage | span |
+//! |-------|------|
+//! | `F`   | fetch → dispatch |
+//! | `Ds`  | dispatch → issue (queue + operand wait) |
+//! | `Ex`  | issue → completion |
+//! | `Cm`  | completion → retirement (waiting in order) |
+//!
+//! Squashed attempts close with `R … 1` (flush) at the squash cycle, so
+//! wrong-path work is visible. Output is fully deterministic: records are
+//! emitted in fetch order and events are stably sorted by cycle.
+//!
+//! [`check_kanata`] is the validating counterpart used by tests and
+//! `scripts/tier1.sh`: it re-parses a log and enforces the structural
+//! rules a viewer depends on (clock monotonicity, stages opened before
+//! closed, every record eventually retired or flushed).
+
+use std::fmt::Write as _;
+
+use braid_isa::Program;
+
+use crate::record::{InstRecord, PipelineObserver, NEVER};
+
+/// A stage transition: close the previous stage (if any) and open `stage`
+/// (if any) at `cycle`.
+struct Event {
+    cycle: u64,
+    uid: usize,
+    /// Lines to append for this uid at this cycle, already formatted
+    /// without the leading clock bookkeeping.
+    lines: Vec<String>,
+}
+
+fn inst_label(program: &Program, r: &InstRecord) -> String {
+    let text = match program.insts.get(r.idx as usize) {
+        Some(inst) => inst.to_string(),
+        None => "<unknown>".to_string(),
+    };
+    // Tabs are the format's field separator; labels must not contain them.
+    format!("[{}] {}", r.idx, text.replace('\t', " "))
+}
+
+/// Stage plan for one record: `(cycle, open_stage)` transitions plus the
+/// final close cycle and retire type.
+fn plan(r: &InstRecord) -> (Vec<(u64, &'static str)>, u64, u32) {
+    let mut stages: Vec<(u64, &'static str)> = vec![(r.fetch, "F")];
+    let mut clock = r.fetch;
+    // The close cycle: retirement, flush, or (pathologically) fetch.
+    let end = if r.flushed {
+        r.flush_cycle.max(r.fetch)
+    } else if r.retire != NEVER {
+        r.retire
+    } else {
+        r.fetch
+    };
+    let mut push = |at: u64, stage: &'static str, clock: &mut u64| {
+        if at == NEVER {
+            return;
+        }
+        // Clamp to monotonic, and drop transitions past the record's end.
+        let at = at.max(*clock);
+        if at <= end {
+            stages.push((at, stage));
+            *clock = at;
+        }
+    };
+    push(r.dispatch, "Ds", &mut clock);
+    push(r.issue, "Ex", &mut clock);
+    if !r.flushed && r.retire != NEVER && r.done != NEVER && r.done < r.retire {
+        push(r.done, "Cm", &mut clock);
+    }
+    // Dedup same-cycle transitions: keep the last stage opened per cycle so
+    // zero-length stages do not confuse the viewer.
+    let mut dedup: Vec<(u64, &'static str)> = Vec::with_capacity(stages.len());
+    for (at, stage) in stages {
+        if let Some(last) = dedup.last_mut() {
+            if last.0 == at {
+                last.1 = stage;
+                continue;
+            }
+        }
+        dedup.push((at, stage));
+    }
+    (dedup, end, if r.flushed { 1 } else { 0 })
+}
+
+/// Renders the collector's records as a `Kanata 0004` log.
+///
+/// `program` supplies the disassembly for the left-pane labels (for the
+/// braid machine, pass the *translated* program the core actually ran).
+pub fn write_kanata(program: &Program, obs: &PipelineObserver) -> String {
+    let mut events: Vec<Event> = Vec::new();
+    for (uid, r) in obs.records().iter().enumerate() {
+        let (stages, end, rtype) = plan(r);
+        events.push(Event {
+            cycle: r.fetch,
+            uid,
+            lines: vec![
+                format!("I\t{uid}\t{}\t0", r.seq),
+                format!("L\t{uid}\t0\t{}", inst_label(program, r)),
+            ],
+        });
+        let mut prev: Option<&'static str> = None;
+        for &(at, stage) in &stages {
+            let mut lines = Vec::new();
+            if let Some(p) = prev {
+                lines.push(format!("E\t{uid}\t0\t{p}"));
+            }
+            lines.push(format!("S\t{uid}\t0\t{stage}"));
+            events.push(Event { cycle: at, uid, lines });
+            prev = Some(stage);
+        }
+        let mut lines = Vec::new();
+        if let Some(p) = prev {
+            lines.push(format!("E\t{uid}\t0\t{p}"));
+        }
+        lines.push(format!("R\t{uid}\t{}\t{rtype}", r.seq));
+        events.push(Event { cycle: end, uid, lines });
+    }
+    // Stable by construction: per-uid events are pushed in cycle order, and
+    // a stable sort keeps the fetch-order tie-break deterministic.
+    events.sort_by_key(|e| (e.cycle, e.uid));
+
+    let mut out = String::from("Kanata\t0004\n");
+    let mut clock: Option<u64> = None;
+    for e in &events {
+        match clock {
+            None => writeln!(out, "C=\t{}", e.cycle).expect("string write"),
+            Some(c) if e.cycle > c => {
+                writeln!(out, "C\t{}", e.cycle - c).expect("string write");
+            }
+            _ => {}
+        }
+        clock = Some(e.cycle);
+        for line in &e.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// What [`check_kanata`] learned about a valid log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KanataSummary {
+    /// Instruction records introduced (`I` commands).
+    pub records: u64,
+    /// Records closed with a retire (`R … 0`).
+    pub retired: u64,
+    /// Records closed with a flush (`R … 1`).
+    pub flushed: u64,
+    /// Total cycles the clock advanced over.
+    pub cycles: u64,
+}
+
+#[derive(Debug, Default)]
+struct RecordState {
+    open_stage: Option<String>,
+    closed: bool,
+}
+
+fn field<'a>(fields: &[&'a str], i: usize, line_no: usize) -> Result<&'a str, String> {
+    fields.get(i).copied().ok_or_else(|| format!("line {line_no}: missing field {i}"))
+}
+
+fn numeric(s: &str, line_no: usize) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|_| format!("line {line_no}: `{s}` is not a number"))
+}
+
+/// Validates a `Kanata 0004` log, returning a summary on success.
+///
+/// Enforced rules: the version header; `C` deltas are ≥ 1; every `L` /
+/// `S` / `E` / `R` refers to a previously-introduced id; `E` closes the
+/// stage the matching `S` opened; nothing follows a record's `R`; and at
+/// the end of the log every record has been closed by an `R`.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn check_kanata(text: &str) -> Result<KanataSummary, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, "Kanata\t0004")) => {}
+        Some((_, other)) => return Err(format!("bad header `{other}` (want `Kanata\\t0004`)")),
+        None => return Err("empty log".to_string()),
+    }
+    let mut summary = KanataSummary::default();
+    let mut clock_set = false;
+    let mut states: Vec<RecordState> = Vec::new();
+    let known = |id: &str, line_no: usize, states: &[RecordState]| {
+        let id = numeric(id, line_no)?;
+        if id as usize >= states.len() {
+            return Err(format!("line {line_no}: id {id} used before its `I`"));
+        }
+        Ok(id as usize)
+    };
+    for (i, line) in lines {
+        let line_no = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "C=" => {
+                numeric(field(&fields, 1, line_no)?, line_no)?;
+                clock_set = true;
+            }
+            "C" => {
+                if !clock_set {
+                    return Err(format!("line {line_no}: `C` before `C=`"));
+                }
+                let delta = numeric(field(&fields, 1, line_no)?, line_no)?;
+                if delta == 0 {
+                    return Err(format!("line {line_no}: clock delta must be >= 1"));
+                }
+                summary.cycles += delta;
+            }
+            "I" => {
+                let id = numeric(field(&fields, 1, line_no)?, line_no)?;
+                numeric(field(&fields, 2, line_no)?, line_no)?;
+                numeric(field(&fields, 3, line_no)?, line_no)?;
+                if id as usize != states.len() {
+                    return Err(format!(
+                        "line {line_no}: ids must be introduced densely in order (got {id}, want {})",
+                        states.len()
+                    ));
+                }
+                states.push(RecordState::default());
+                summary.records += 1;
+            }
+            "L" => {
+                let id = known(field(&fields, 1, line_no)?, line_no, &states)?;
+                field(&fields, 3, line_no)?;
+                if states[id].closed {
+                    return Err(format!("line {line_no}: label after retire of id {id}"));
+                }
+            }
+            "S" | "E" => {
+                let cmd = fields[0];
+                let id = known(field(&fields, 1, line_no)?, line_no, &states)?;
+                numeric(field(&fields, 2, line_no)?, line_no)?;
+                let stage = field(&fields, 3, line_no)?;
+                let st = &mut states[id];
+                if st.closed {
+                    return Err(format!("line {line_no}: `{cmd}` after retire of id {id}"));
+                }
+                if cmd == "S" {
+                    if let Some(open) = &st.open_stage {
+                        return Err(format!(
+                            "line {line_no}: id {id} opens `{stage}` while `{open}` is open"
+                        ));
+                    }
+                    st.open_stage = Some(stage.to_string());
+                } else {
+                    match st.open_stage.take() {
+                        Some(open) if open == stage => {}
+                        Some(open) => {
+                            return Err(format!(
+                                "line {line_no}: id {id} closes `{stage}` but `{open}` is open"
+                            ));
+                        }
+                        None => {
+                            return Err(format!(
+                                "line {line_no}: id {id} closes `{stage}` with no open stage"
+                            ));
+                        }
+                    }
+                }
+            }
+            "R" => {
+                let id = known(field(&fields, 1, line_no)?, line_no, &states)?;
+                numeric(field(&fields, 2, line_no)?, line_no)?;
+                let rtype = numeric(field(&fields, 3, line_no)?, line_no)?;
+                let st = &mut states[id];
+                if st.closed {
+                    return Err(format!("line {line_no}: id {id} retired twice"));
+                }
+                if let Some(open) = &st.open_stage {
+                    return Err(format!(
+                        "line {line_no}: id {id} retires with stage `{open}` still open"
+                    ));
+                }
+                st.closed = true;
+                match rtype {
+                    0 => summary.retired += 1,
+                    1 => summary.flushed += 1,
+                    _ => return Err(format!("line {line_no}: retire type must be 0 or 1")),
+                }
+            }
+            other => return Err(format!("line {line_no}: unknown command `{other}`")),
+        }
+    }
+    if let Some(id) = states.iter().position(|s| !s.closed) {
+        return Err(format!("id {id} was never retired or flushed"));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_core::Observer;
+
+    fn tiny_program() -> Program {
+        braid_isa::asm::assemble("addi r0, #1, r1\nhalt").expect("assembles")
+    }
+
+    fn observed_pair() -> PipelineObserver {
+        let mut o = PipelineObserver::new();
+        o.fetch(0, 0, 0);
+        o.dispatch(0, 0, 0, 1);
+        o.issue(0, 2, 3, 3);
+        o.fetch(1, 1, 1);
+        o.dispatch(1, 1, 0, 2);
+        o.issue(1, 3, 4, 4);
+        o.retire(0, 4);
+        o.retire(1, 5);
+        o
+    }
+
+    #[test]
+    fn writer_output_validates_and_counts() {
+        let text = write_kanata(&tiny_program(), &observed_pair());
+        assert!(text.starts_with("Kanata\t0004\n"), "{text}");
+        assert!(text.contains("addi"), "label carries the disassembly: {text}");
+        let s = check_kanata(&text).expect("valid log");
+        assert_eq!(s.records, 2);
+        assert_eq!(s.retired, 2);
+        assert_eq!(s.flushed, 0);
+        assert_eq!(s.cycles, 5, "clock walks fetch 0 to retire 5");
+    }
+
+    #[test]
+    fn flushed_records_close_with_type_1() {
+        let mut o = PipelineObserver::new();
+        o.fetch(0, 0, 0);
+        o.dispatch(0, 0, 0, 1);
+        o.squash(3);
+        o.fetch(0, 0, 4);
+        o.dispatch(0, 0, 0, 5);
+        o.issue(0, 6, 7, 7);
+        o.retire(0, 8);
+        let text = write_kanata(&tiny_program(), &o);
+        let s = check_kanata(&text).expect("valid log");
+        assert_eq!(s.records, 2);
+        assert_eq!(s.retired, 1);
+        assert_eq!(s.flushed, 1);
+        assert!(text.contains("\t1\n"), "flush retire type present: {text}");
+    }
+
+    #[test]
+    fn writer_is_deterministic() {
+        let a = write_kanata(&tiny_program(), &observed_pair());
+        let b = write_kanata(&tiny_program(), &observed_pair());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checker_rejects_malformed_logs() {
+        assert!(check_kanata("").unwrap_err().contains("empty"));
+        assert!(check_kanata("Kanata\t0003\n").unwrap_err().contains("bad header"));
+        let bad_uid = "Kanata\t0004\nC=\t0\nS\t7\t0\tF\n";
+        assert!(check_kanata(bad_uid).unwrap_err().contains("before its `I`"));
+        let zero_delta = "Kanata\t0004\nC=\t0\nC\t0\n";
+        assert!(check_kanata(zero_delta).unwrap_err().contains(">= 1"));
+        let unclosed = "Kanata\t0004\nC=\t0\nI\t0\t0\t0\nS\t0\t0\tF\n";
+        assert!(check_kanata(unclosed).unwrap_err().contains("never retired"));
+        let open_retire = "Kanata\t0004\nC=\t0\nI\t0\t0\t0\nS\t0\t0\tF\nR\t0\t0\t0\n";
+        assert!(check_kanata(open_retire).unwrap_err().contains("still open"));
+        let bad_close = "Kanata\t0004\nC=\t0\nI\t0\t0\t0\nS\t0\t0\tF\nE\t0\t0\tEx\n";
+        assert!(check_kanata(bad_close).unwrap_err().contains("but `F` is open"));
+    }
+
+    #[test]
+    fn stage_plan_clamps_and_dedups() {
+        // done == retire: no Cm stage; dispatch == issue cycle collapses Ds.
+        let r = InstRecord {
+            seq: 0,
+            idx: 0,
+            unit: 0,
+            fetch: 2,
+            dispatch: 3,
+            issue: 3,
+            avail: 5,
+            done: 6,
+            retire: 6,
+            flushed: false,
+            flush_cycle: NEVER,
+        };
+        let (stages, end, rtype) = plan(&r);
+        assert_eq!(stages, vec![(2, "F"), (3, "Ex")]);
+        assert_eq!((end, rtype), (6, 0));
+    }
+}

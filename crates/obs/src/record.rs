@@ -1,0 +1,283 @@
+//! The event collector: per-instruction records, occupancy timelines and
+//! stall hotspots.
+
+use std::collections::BTreeMap;
+
+use braid_core::{CpiStack, Observer, StallCause};
+use braid_uarch::Histogram;
+
+/// Sentinel timestamp: "this event has not happened".
+pub const NEVER: u64 = u64::MAX;
+
+/// One fetch *attempt* of one dynamic instruction.
+///
+/// A squash ends every in-flight attempt (marking it [`InstRecord::flushed`])
+/// and the re-fetch of the same sequence number opens a **new** record, so
+/// wrong-path work stays visible in the pipeline viewer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstRecord {
+    /// Dynamic sequence number (position in the committed trace).
+    pub seq: u64,
+    /// Static instruction index.
+    pub idx: u32,
+    /// Execution unit (scheduler / FIFO / BEU id) the instruction was
+    /// steered to; `u32::MAX` before dispatch.
+    pub unit: u32,
+    /// Cycle the instruction entered the fetch queue.
+    pub fetch: u64,
+    /// Cycle it dispatched into its unit ([`NEVER`] if it never did).
+    pub dispatch: u64,
+    /// Cycle it issued to a function unit ([`NEVER`] if it never did).
+    pub issue: u64,
+    /// Cycle its result became visible to consumers ([`NEVER`] if unknown).
+    pub avail: u64,
+    /// Cycle its execution completed — earliest retirement ([`NEVER`] if
+    /// unknown; a store's completion resolves late, when its data arrives).
+    pub done: u64,
+    /// Cycle it retired ([`NEVER`] if it was squashed instead).
+    pub retire: u64,
+    /// Whether this attempt was squashed by a checkpoint rollback.
+    pub flushed: bool,
+    /// Cycle of the squash ([`NEVER`] when not flushed).
+    pub flush_cycle: u64,
+}
+
+impl InstRecord {
+    fn new(seq: u64, idx: u32, fetch: u64) -> InstRecord {
+        InstRecord {
+            seq,
+            idx,
+            unit: u32::MAX,
+            fetch,
+            dispatch: NEVER,
+            issue: NEVER,
+            avail: NEVER,
+            done: NEVER,
+            retire: NEVER,
+            flushed: false,
+            flush_cycle: NEVER,
+        }
+    }
+
+    /// Whether this attempt reached retirement.
+    pub fn retired(&self) -> bool {
+        self.retire != NEVER
+    }
+
+    /// Dispatch-to-issue latency (queue + operand wait), if both happened.
+    pub fn dispatch_to_issue(&self) -> Option<u64> {
+        if self.dispatch == NEVER || self.issue == NEVER {
+            None
+        } else {
+            Some(self.issue.saturating_sub(self.dispatch))
+        }
+    }
+}
+
+/// The full event collector: implements [`Observer`] and accumulates
+/// everything the exporters need.
+///
+/// Records grow with the dynamic instruction count (one entry per fetch
+/// attempt), so attach one only when an export was requested; the CPI
+/// stack alone is always available from the `SimReport`.
+#[derive(Debug, Default)]
+pub struct PipelineObserver {
+    records: Vec<InstRecord>,
+    /// seq → index into `records` of the live (not yet retired or
+    /// squashed) attempt.
+    live: BTreeMap<u64, usize>,
+    unit_occ: BTreeMap<u32, Histogram>,
+    lsq_occ: Histogram,
+    /// Static index → cycles the instruction sat at the head of the window
+    /// while a non-`Base` cause was charged.
+    hotspots: BTreeMap<u32, u64>,
+    cpi: CpiStack,
+    squashes: u64,
+}
+
+impl PipelineObserver {
+    /// Creates an empty collector.
+    pub fn new() -> PipelineObserver {
+        PipelineObserver::default()
+    }
+
+    /// Every fetch attempt, in fetch order.
+    pub fn records(&self) -> &[InstRecord] {
+        &self.records
+    }
+
+    /// Occupancy histogram per execution unit (one sample per event step).
+    pub fn unit_histograms(&self) -> &BTreeMap<u32, Histogram> {
+        &self.unit_occ
+    }
+
+    /// Load-store-queue occupancy histogram (one sample per event step).
+    pub fn lsq_histogram(&self) -> &Histogram {
+        &self.lsq_occ
+    }
+
+    /// Static index → head-of-window stall cycles (cycles charged to a
+    /// non-`Base` cause while this instruction was the oldest in flight).
+    pub fn hotspots(&self) -> &BTreeMap<u32, u64> {
+        &self.hotspots
+    }
+
+    /// The CPI stack mirrored from the engine's per-cycle attributions.
+    pub fn cpi(&self) -> &CpiStack {
+        &self.cpi
+    }
+
+    /// Number of checkpoint rollbacks observed.
+    pub fn squashes(&self) -> u64 {
+        self.squashes
+    }
+
+    /// Number of squashed (wrong-path) fetch attempts.
+    pub fn flushed_count(&self) -> u64 {
+        self.records.iter().filter(|r| r.flushed).count() as u64
+    }
+
+    /// Number of attempts that retired.
+    pub fn retired_count(&self) -> u64 {
+        self.records.iter().filter(|r| r.retired()).count() as u64
+    }
+
+    fn live_mut(&mut self, seq: u64) -> Option<&mut InstRecord> {
+        let i = *self.live.get(&seq)?;
+        self.records.get_mut(i)
+    }
+}
+
+impl Observer for PipelineObserver {
+    fn fetch(&mut self, seq: u64, idx: u32, cycle: u64) {
+        let i = self.records.len();
+        self.records.push(InstRecord::new(seq, idx, cycle));
+        self.live.insert(seq, i);
+    }
+
+    fn dispatch(&mut self, seq: u64, idx: u32, unit: u32, cycle: u64) {
+        if let Some(r) = self.live_mut(seq) {
+            debug_assert_eq!(r.idx, idx, "dispatch must match the fetched record");
+            r.unit = unit;
+            r.dispatch = cycle;
+        }
+    }
+
+    fn issue(&mut self, seq: u64, cycle: u64, avail_at: u64, done_at: u64) {
+        if let Some(r) = self.live_mut(seq) {
+            r.issue = cycle;
+            r.avail = avail_at;
+            r.done = done_at;
+        }
+    }
+
+    fn store_data(&mut self, seq: u64, done_at: u64) {
+        if let Some(r) = self.live_mut(seq) {
+            r.done = done_at;
+        }
+    }
+
+    fn retire(&mut self, seq: u64, cycle: u64) {
+        if let Some(i) = self.live.remove(&seq) {
+            if let Some(r) = self.records.get_mut(i) {
+                r.retire = cycle;
+            }
+        }
+    }
+
+    fn squash(&mut self, cycle: u64) {
+        self.squashes += 1;
+        for (_, i) in std::mem::take(&mut self.live) {
+            if let Some(r) = self.records.get_mut(i) {
+                r.flushed = true;
+                r.flush_cycle = cycle;
+            }
+        }
+    }
+
+    fn cycle_cause(&mut self, _cycle: u64, n: u64, cause: StallCause, head_idx: u32) {
+        self.cpi.add(cause, n);
+        if cause != StallCause::Base && head_idx != u32::MAX {
+            *self.hotspots.entry(head_idx).or_insert(0) += n;
+        }
+    }
+
+    fn unit_occupancy(&mut self, unit: u32, occ: u32) {
+        self.unit_occ.entry(unit).or_default().record(occ as u64);
+    }
+
+    fn lsq_occupancy(&mut self, occ: u32) {
+        self.lsq_occ.record(occ as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_follow_the_event_stream() {
+        let mut o = PipelineObserver::new();
+        o.fetch(0, 7, 1);
+        o.dispatch(0, 7, 3, 2);
+        o.issue(0, 4, 6, 7);
+        o.retire(0, 9);
+        let r = o.records()[0];
+        assert_eq!((r.seq, r.idx, r.unit), (0, 7, 3));
+        assert_eq!((r.fetch, r.dispatch, r.issue, r.avail, r.done, r.retire), (1, 2, 4, 6, 7, 9));
+        assert!(r.retired() && !r.flushed);
+        assert_eq!(r.dispatch_to_issue(), Some(2));
+        assert_eq!(o.retired_count(), 1);
+    }
+
+    #[test]
+    fn squash_flushes_all_live_attempts_and_refetch_opens_new_records() {
+        let mut o = PipelineObserver::new();
+        o.fetch(0, 1, 1);
+        o.fetch(1, 2, 1);
+        o.dispatch(0, 1, 0, 2);
+        o.squash(5);
+        assert_eq!(o.squashes(), 1);
+        assert_eq!(o.flushed_count(), 2);
+        assert!(o.records().iter().all(|r| r.flushed && r.flush_cycle == 5));
+        // The same sequence numbers fetch again: fresh records.
+        o.fetch(0, 1, 6);
+        o.retire(0, 9);
+        assert_eq!(o.records().len(), 3);
+        assert!(o.records()[2].retired());
+        assert!(o.records()[0].flushed, "the old attempt stays flushed");
+    }
+
+    #[test]
+    fn late_store_data_updates_done() {
+        let mut o = PipelineObserver::new();
+        o.fetch(4, 0, 0);
+        o.issue(4, 2, 3, NEVER);
+        o.store_data(4, 11);
+        assert_eq!(o.records()[0].done, 11);
+    }
+
+    #[test]
+    fn hotspots_skip_base_and_empty_window() {
+        let mut o = PipelineObserver::new();
+        o.cycle_cause(0, 3, StallCause::DCache, 5);
+        o.cycle_cause(3, 1, StallCause::Base, 5);
+        o.cycle_cause(4, 2, StallCause::EmptyFrontend, u32::MAX);
+        assert_eq!(o.hotspots().get(&5), Some(&3));
+        assert_eq!(o.hotspots().len(), 1);
+        assert_eq!(o.cpi().total(), 6);
+    }
+
+    #[test]
+    fn occupancy_histograms_accumulate() {
+        let mut o = PipelineObserver::new();
+        o.unit_occupancy(0, 2);
+        o.unit_occupancy(0, 4);
+        o.unit_occupancy(1, 1);
+        o.lsq_occupancy(3);
+        assert_eq!(o.unit_histograms().len(), 2);
+        assert_eq!(o.unit_histograms()[&0].total(), 2);
+        assert!((o.unit_histograms()[&0].mean() - 3.0).abs() < 1e-12);
+        assert_eq!(o.lsq_histogram().max(), Some(3));
+    }
+}

@@ -40,6 +40,7 @@ use std::time::Instant;
 use braid_core::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
 use braid_core::processor::{run_braid, run_dep, run_inorder, run_ooo};
 use braid_core::report::SimReport;
+use braid_core::{CpiStack, StallCause};
 
 pub use grid::{CoreModel, GridPoint, SweepSpec};
 pub use json::Json;
@@ -75,6 +76,9 @@ pub struct PointStats {
     pub checkpoint_words: u64,
     /// Exceptions taken.
     pub exceptions_taken: u64,
+    /// The CPI stack: cycles attributed per [`StallCause`] (sums to
+    /// `cycles`).
+    pub cpi: CpiStack,
     /// Host wall-clock nanoseconds (in-memory only; `0` after resume).
     pub host_nanos: u64,
 }
@@ -94,6 +98,7 @@ impl PointStats {
             external_values_per_cycle: r.external_values_per_cycle,
             checkpoint_words: r.checkpoint_words,
             exceptions_taken: r.exceptions_taken,
+            cpi: r.cpi,
             host_nanos: r.host_nanos,
         }
     }
@@ -496,6 +501,12 @@ fn point_json(point: &GridPoint, stats: &Result<PointStats, String>) -> Json {
             ));
             fields.push(("checkpoint_words".into(), Json::Int(s.checkpoint_words)));
             fields.push(("exceptions_taken".into(), Json::Int(s.exceptions_taken)));
+            fields.push((
+                "cpi".into(),
+                Json::Obj(
+                    s.cpi.iter().map(|(c, n)| (c.key().to_string(), Json::Int(n))).collect(),
+                ),
+            ));
         }
         Err(msg) => {
             fields.push(("status".into(), Json::Str("error".into())));
@@ -554,6 +565,44 @@ fn load_into(
     Ok(reused)
 }
 
+/// Reconstructs a CPI stack from its snapshot object; a missing or
+/// malformed object (a snapshot predating CPI accounting) yields an
+/// all-zero stack rather than refusing the whole snapshot.
+fn cpi_from_json(obj: Option<&Json>) -> CpiStack {
+    let mut cpi = CpiStack::new();
+    if let Some(Json::Obj(fields)) = obj {
+        for (key, v) in fields {
+            if let (Some(cause), Some(n)) = (StallCause::from_key(key), v.as_u64()) {
+                cpi.add(cause, n);
+            }
+        }
+    }
+    cpi
+}
+
+/// Aggregated CPI stacks per core model: every successful point's stack,
+/// merged in grid order. Cores with no successful points are omitted.
+/// This is the input for paper-style CPI-breakdown tables.
+pub fn cpi_by_core(run: &SweepRun) -> Vec<(CoreModel, CpiStack)> {
+    CoreModel::ALL
+        .into_iter()
+        .filter_map(|core| {
+            let mut merged = CpiStack::new();
+            let mut any = false;
+            for o in &run.outcomes {
+                if o.point.core != core {
+                    continue;
+                }
+                if let Ok(s) = &o.stats {
+                    merged.merge(&s.cpi);
+                    any = true;
+                }
+            }
+            any.then_some((core, merged))
+        })
+        .collect()
+}
+
 /// Reconstructs a point result from its snapshot entry. `host_nanos`
 /// is not serialized, so it comes back as `0`.
 fn stats_from_json(entry: &Json) -> Option<Result<PointStats, String>> {
@@ -576,6 +625,7 @@ fn stats_from_json(entry: &Json) -> Option<Result<PointStats, String>> {
                     .and_then(Json::as_f64)?,
                 checkpoint_words: int("checkpoint_words")?,
                 exceptions_taken: int("exceptions_taken")?,
+                cpi: cpi_from_json(entry.get("cpi")),
                 host_nanos: 0,
             }))
         }
@@ -616,9 +666,46 @@ mod tests {
             };
             let s = run_point(&p).unwrap_or_else(|e| panic!("{core}: {e}"));
             assert!(s.cycles > 0, "{core} simulated no cycles");
+            assert_eq!(s.cpi.total(), s.cycles, "{core}: CPI stack must sum to cycles");
             insts.push(s.instructions);
         }
         assert!(insts.windows(2).all(|w| w[0] == w[1]), "same retire count on every core");
+    }
+
+    #[test]
+    fn cpi_stacks_survive_snapshot_and_aggregate_per_core() {
+        let spec = tiny_spec("cpi");
+        let run = run_sweep(&spec, 2, None, false).unwrap();
+
+        // Serialized points carry the full 10-cause object and it parses
+        // back to the same stack.
+        let doc = aggregate(&run);
+        let pts = doc.get("points").and_then(Json::as_arr).unwrap();
+        for (entry, o) in pts.iter().zip(&run.outcomes) {
+            let s = o.stats.as_ref().unwrap();
+            let cpi = entry.get("cpi").expect("cpi object serialized");
+            let total: u64 = StallCause::ALL
+                .iter()
+                .map(|c| cpi.get(c.key()).and_then(Json::as_u64).expect("every cause present"))
+                .sum();
+            assert_eq!(total, s.cycles);
+            assert_eq!(cpi_from_json(Some(cpi)), s.cpi);
+        }
+        // A pre-CPI snapshot entry degrades to a zero stack.
+        assert_eq!(cpi_from_json(None), CpiStack::new());
+
+        // Per-core aggregation merges every workload's stack.
+        let by_core = cpi_by_core(&run);
+        assert_eq!(by_core.len(), 2, "two cores in the grid");
+        for (core, cpi) in &by_core {
+            let expected: u64 = run
+                .outcomes
+                .iter()
+                .filter(|o| o.point.core == *core)
+                .map(|o| o.stats.as_ref().unwrap().cycles)
+                .sum();
+            assert_eq!(cpi.total(), expected, "{core}: merged stack sums to merged cycles");
+        }
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub struct LoadStoreQueue {
     entries: Vec<Entry>,
     capacity: usize,
     conservative: bool,
+    high_water: usize,
 }
 
 impl LoadStoreQueue {
@@ -80,7 +81,12 @@ impl LoadStoreQueue {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> LoadStoreQueue {
         assert!(capacity > 0);
-        LoadStoreQueue { entries: Vec::with_capacity(capacity), capacity, conservative: false }
+        LoadStoreQueue {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            conservative: false,
+            high_water: 0,
+        }
     }
 
     /// Switches to conservative disambiguation: loads wait for every older
@@ -104,6 +110,12 @@ impl LoadStoreQueue {
         self.entries.len() < self.capacity
     }
 
+    /// Peak occupancy ever reached (capacity-pressure instrumentation;
+    /// survives flushes).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Allocates an entry for the memory operation `seq` spanning
     /// `addr..addr+bytes` (the span comes from the trace).
     ///
@@ -116,6 +128,7 @@ impl LoadStoreQueue {
             assert!(last.seq < seq, "LSQ entries must be inserted in program order");
         }
         self.entries.push(Entry { seq, is_store, span: (addr, bytes), published: false, data_at: NEVER });
+        self.high_water = self.high_water.max(self.entries.len());
     }
 
     /// Publishes the address of operation `seq` (address generation
@@ -179,6 +192,19 @@ impl LoadStoreQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn high_water_tracks_peak_occupancy_across_flushes() {
+        let mut q = LoadStoreQueue::new(4);
+        assert_eq!(q.high_water(), 0);
+        q.insert(1, true, 0x100, 8);
+        q.insert(2, false, 0x200, 8);
+        assert_eq!(q.high_water(), 2);
+        q.flush();
+        assert_eq!(q.high_water(), 2, "peak survives the flush");
+        q.insert(3, false, 0x300, 8);
+        assert_eq!(q.high_water(), 2, "lower occupancy does not move the peak");
+    }
 
     #[test]
     fn conservative_load_waits_for_unpublished_store_address() {

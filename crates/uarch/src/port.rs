@@ -88,6 +88,17 @@ impl PortArbiter {
     pub fn conflicts(&self) -> u64 {
         self.conflicts
     }
+
+    /// Fraction of requests granted (`1.0` for an idle arbiter) — the
+    /// contention summary the observability exports report per port.
+    pub fn grant_rate(&self) -> f64 {
+        let asked = self.grants + self.conflicts;
+        if asked == 0 {
+            1.0
+        } else {
+            self.grants as f64 / asked as f64
+        }
+    }
 }
 
 /// Measures sustained bandwidth use (values per cycle) without limiting it.
@@ -155,6 +166,8 @@ mod tests {
         assert!(a.try_use_n(5, 1));
         assert_eq!(a.grants(), 4);
         assert_eq!(a.conflicts(), 1);
+        assert!((a.grant_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(PortArbiter::new(1).grant_rate(), 1.0);
     }
 
     #[test]

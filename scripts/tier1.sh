@@ -17,6 +17,9 @@ cargo test -q -p braid-sweep
 echo "==> cargo test -q -p braid-check"
 cargo test -q -p braid-check
 
+echo "==> cargo test -q -p braid-obs"
+cargo test -q -p braid-obs
+
 echo "==> braidc check over the kernel suite"
 for kernel in fig2_life dot_product stencil pointer_chase histogram matmul crc_mix partition; do
   ./target/release/braidc check "@$kernel"
@@ -26,6 +29,12 @@ echo "==> sweep smoke (tiny grid, 2 threads)"
 cargo run --release --bin braidsim -- sweep --name tier1-smoke --threads 2 \
   --workloads dot_product,fig2_life --cores inorder,braid
 rm -f results/tier1-smoke.json results/tier1-smoke.partial.json
+
+echo "==> pipeline-viewer smoke (braid @dot_product, Kanata log validated)"
+pipeview_log="$(mktemp)"
+cargo run --release --bin braidsim -- braid @dot_product --pipeview "$pipeview_log"
+./target/release/braidsim check-kanata "$pipeview_log"
+rm -f "$pipeview_log"
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -7,9 +7,12 @@
 //! braidc stats     <prog>         print Tables 1-3 statistics only
 //! braidc check     <prog> [--json] [--deny-warnings]
 //!                                 verify the braid contract statically
-//! braidc dot|viz   <prog> [--check]
+//! braidc dot|viz   <prog> [--check] [--metrics <file.json>]
 //!                                 Graphviz dataflow graph, braids colored;
-//!                                 --check highlights diagnostic findings
+//!                                 --check highlights diagnostic findings,
+//!                                 --metrics annotates nodes with hotspot
+//!                                 stall cycles from a `braidsim --metrics`
+//!                                 export
 //! braidc assemble  <file.s> <out.brisc>   write a binary container
 //! ```
 //!
@@ -31,7 +34,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: braidc <translate|inspect|encode|stats> <prog>\n       \
          braidc check <prog> [--json] [--deny-warnings]\n       \
-         braidc dot|viz <prog> [--check]\n       \
+         braidc dot|viz <prog> [--check] [--metrics <file.json>]\n       \
          braidc assemble <file.s> <out.brisc>\n       \
          (<prog> = file.s | file.brisc | @benchmark)"
     );
@@ -74,8 +77,41 @@ fn check_any(program: &Program) -> Result<(CheckReport, Program), String> {
     }
 }
 
+/// Reads a `braidsim --metrics` export: the core it ran on and the
+/// hotspot marks (`idx` → "N cyc") for dataflow-graph annotation.
+fn load_hotspots(path: &str) -> Result<(String, Vec<(u32, String)>), String> {
+    use braid::sweep::Json;
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = braid::sweep::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let core = doc.get("core").and_then(Json::as_str).unwrap_or("").to_string();
+    let arr = doc
+        .get("hotspots")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: no `hotspots` array (not a --metrics export?)"))?;
+    let marks = arr
+        .iter()
+        .filter_map(|h| {
+            let idx = h.get("idx").and_then(Json::as_u64)?;
+            let cycles = h.get("head_stall_cycles").and_then(Json::as_u64)?;
+            Some((idx as u32, format!("{cycles} cyc")))
+        })
+        .collect();
+    Ok((core, marks))
+}
+
 fn main() -> ExitCode {
-    let all: Vec<String> = std::env::args().skip(1).collect();
+    let mut all: Vec<String> = std::env::args().skip(1).collect();
+    // `--metrics` takes a value; pull the pair out before the boolean-flag
+    // scan below.
+    let mut metrics_path: Option<String> = None;
+    if let Some(i) = all.iter().position(|a| a == "--metrics") {
+        if i + 1 >= all.len() {
+            eprintln!("braidc: --metrics needs a file");
+            return usage();
+        }
+        metrics_path = Some(all.remove(i + 1));
+        all.remove(i);
+    }
     let flags: Vec<&str> =
         all.iter().filter(|a| a.starts_with("--")).map(String::as_str).collect();
     let args: Vec<&String> = all.iter().filter(|a| !a.starts_with("--")).collect();
@@ -170,25 +206,56 @@ fn main() -> ExitCode {
         }
         "dot" | "viz" => {
             let config = TranslatorConfig::default();
+            let mut marks: Vec<(u32, String)> = Vec::new();
+            let mut target = program.clone();
+            let mut errors = None;
             if flags.contains(&"--check") {
-                let (report, target) = match check_any(&program) {
+                let (report, checked) = match check_any(&program) {
                     Ok(x) => x,
                     Err(e) => {
                         eprintln!("braidc: {e}");
                         return ExitCode::FAILURE;
                     }
                 };
-                let marks: Vec<(u32, String)> = report
-                    .diagnostics
-                    .iter()
-                    .map(|d| (d.span.start, d.code.to_string()))
-                    .collect();
-                print!("{}", braid::compiler::viz::program_to_dot_highlight(&target, &config, &marks));
+                marks.extend(
+                    report.diagnostics.iter().map(|d| (d.span.start, d.code.to_string())),
+                );
+                target = checked;
                 if report.has_errors() {
-                    eprintln!("{report}");
+                    errors = Some(report);
                 }
-            } else {
+            }
+            if let Some(mpath) = &metrics_path {
+                let (core, hot) = match load_hotspots(mpath) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        eprintln!("braidc: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                // Braid-machine hotspot indices refer to the *translated*
+                // program; mirror the run's translation so they line up.
+                if core == "braid" && !is_annotated(&target) {
+                    target = match translate(&target, &TranslatorConfig::default()) {
+                        Ok(t) => t.program,
+                        Err(e) => {
+                            eprintln!("braidc: translation failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                }
+                marks.extend(hot);
+            }
+            if marks.is_empty() && metrics_path.is_none() && !flags.contains(&"--check") {
                 print!("{}", braid::compiler::viz::program_to_dot(&program, &config));
+            } else {
+                print!(
+                    "{}",
+                    braid::compiler::viz::program_to_dot_highlight(&target, &config, &marks)
+                );
+            }
+            if let Some(report) = errors {
+                eprintln!("{report}");
             }
         }
         "encode" => {

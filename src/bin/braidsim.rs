@@ -3,10 +3,12 @@
 //!
 //! ```text
 //! braidsim <core> <file.s | @benchmark> [--width N] [--perfect] [--fuel N]
+//!          [--report-json] [--cpi-stack] [--pipeview FILE] [--metrics FILE]
 //! braidsim sweep [--workloads a,b] [--cores c,d] [--widths ...] [--beus ...]
 //!                [--fifos ...] [--windows ...] [--bypasses ...] [--scale F]
 //!                [--perfect] [--threads N] [--name NAME] [--out FILE]
 //!                [--resume]
+//! braidsim check-kanata <file.kanata>
 //!
 //! cores: ooo | braid | dep | inorder | all
 //! ```
@@ -17,8 +19,18 @@
 //! braidsim all my_kernel.s
 //! braidsim braid @gcc --perfect
 //! braidsim ooo @mgrid --width 16
+//! braidsim braid @fig2_life --cpi-stack --pipeview life.kanata
+//! braidsim ooo @dot_product --metrics dot.json --report-json
 //! braidsim sweep --workloads gcc,mcf --widths 4,8,16 --threads 8
 //! ```
+//!
+//! Observability flags: `--report-json` prints the full `SimReport` as
+//! deterministic JSON (host wall-clock time excluded); `--cpi-stack`
+//! prints the per-cause cycle breakdown; `--pipeview` writes a
+//! Konata-compatible pipeline log; `--metrics` writes occupancy, hotspot
+//! and CPI metrics as JSON. `--pipeview`/`--metrics` attach an event
+//! collector, so they require a single core (not `all`). `check-kanata`
+//! validates a pipeline log with the in-repo format checker.
 //!
 //! The `sweep` subcommand expands the axes into a (workload × core ×
 //! config) grid, shards it across a work-stealing thread pool, snapshots
@@ -37,19 +49,117 @@ use braid::core::report::SimReport;
 use braid::core::SimError;
 use braid::isa::asm::assemble;
 use braid::isa::Program;
+use braid::obs::{check_kanata, metrics_json, report_json, write_kanata, PipelineObserver};
 
 struct Options {
     width: u32,
     perfect: bool,
     fuel: u64,
+    report_json: bool,
+    cpi_stack: bool,
+    pipeview: Option<String>,
+    metrics: Option<String>,
+}
+
+impl Options {
+    /// Whether an event collector must be attached to the run.
+    fn observe(&self) -> bool {
+        self.pipeview.is_some() || self.metrics.is_some()
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!("usage: braidsim <ooo|braid|dep|inorder|all> <file.s | @benchmark> [--width N] [--perfect] [--fuel N]");
+    eprintln!("                [--report-json] [--cpi-stack] [--pipeview FILE] [--metrics FILE]");
     eprintln!("       braidsim sweep [--workloads a,b] [--cores c,d] [--widths ...] [--beus ...]");
     eprintln!("                      [--fifos ...] [--windows ...] [--bypasses ...] [--scale F]");
     eprintln!("                      [--perfect] [--threads N] [--name NAME] [--out FILE] [--resume]");
+    eprintln!("       braidsim check-kanata <file.kanata>");
     ExitCode::from(2)
+}
+
+/// The `check-kanata` subcommand: validate a pipeline-viewer log.
+fn run_check_kanata(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("braidsim: check-kanata takes exactly one file");
+        return usage();
+    };
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("braidsim: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_kanata(&text) {
+        Ok(s) => {
+            println!(
+                "{path}: ok — {} records ({} retired, {} flushed) over {} cycles",
+                s.records, s.retired, s.flushed, s.cycles
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("braidsim: {path}: invalid kanata log: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Emits whatever observability outputs were requested for one finished
+/// core run. `program` is the program the core actually executed (the
+/// translated one for the braid machine), so viewer labels and hotspot
+/// disassembly line up with the events.
+fn emit_outputs(
+    core_key: &str,
+    program: &Program,
+    rep: &SimReport,
+    obs: &PipelineObserver,
+    opts: &Options,
+) -> Result<(), String> {
+    if opts.report_json {
+        println!("{}", report_json(rep));
+    }
+    if opts.cpi_stack {
+        print!("{}", rep.cpi);
+    }
+    if let Some(path) = &opts.pipeview {
+        let log = write_kanata(program, obs);
+        fs::write(path, &log).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path} ({} pipeline records)", obs.records().len());
+    }
+    if let Some(path) = &opts.metrics {
+        let doc = metrics_json(program, core_key, rep, obs);
+        fs::write(path, format!("{doc}\n")).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Reports one core's result and emits observability outputs; returns
+/// `false` on failure.
+fn finish_core(
+    label: &str,
+    core_key: &str,
+    program: &Program,
+    result: Result<SimReport, SimError>,
+    obs: &PipelineObserver,
+    opts: &Options,
+) -> bool {
+    match result {
+        Ok(rep) => {
+            report(label, &rep);
+            if let Err(e) = emit_outputs(core_key, program, &rep, obs, opts) {
+                eprintln!("braidsim: {e}");
+                return false;
+            }
+            true
+        }
+        Err(e) => {
+            eprintln!("braidsim: {label} simulation failed:\n{e}");
+            false
+        }
+    }
 }
 
 fn load_program(spec: &str) -> Result<(Program, u64), String> {
@@ -67,19 +177,6 @@ fn load_program(spec: &str) -> Result<(Program, u64), String> {
         let mut p = assemble(&source).map_err(|e| format!("{spec}: {e}"))?;
         p.name = spec.to_string();
         Ok((p, 50_000_000))
-    }
-}
-
-fn report_result(label: &str, r: Result<SimReport, SimError>) -> bool {
-    match r {
-        Ok(rep) => {
-            report(label, &rep);
-            true
-        }
-        Err(e) => {
-            eprintln!("braidsim: {label} simulation failed:\n{e}");
-            false
-        }
     }
 }
 
@@ -238,16 +335,29 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("sweep") {
         return run_sweep_cmd(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("check-kanata") {
+        return run_check_kanata(&args[1..]);
+    }
     if args.len() < 2 {
         return usage();
     }
     let core = args[0].as_str();
     let spec = args[1].as_str();
-    let mut opts = Options { width: 8, perfect: false, fuel: 0 };
+    let mut opts = Options {
+        width: 8,
+        perfect: false,
+        fuel: 0,
+        report_json: false,
+        cpi_stack: false,
+        pipeview: None,
+        metrics: None,
+    };
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
             "--perfect" => opts.perfect = true,
+            "--report-json" => opts.report_json = true,
+            "--cpi-stack" => opts.cpi_stack = true,
             "--width" if i + 1 < args.len() => {
                 i += 1;
                 opts.width = args[i].parse().unwrap_or(8);
@@ -256,12 +366,24 @@ fn main() -> ExitCode {
                 i += 1;
                 opts.fuel = args[i].parse().unwrap_or(0);
             }
+            "--pipeview" if i + 1 < args.len() => {
+                i += 1;
+                opts.pipeview = Some(args[i].clone());
+            }
+            "--metrics" if i + 1 < args.len() => {
+                i += 1;
+                opts.metrics = Some(args[i].clone());
+            }
             other => {
                 eprintln!("braidsim: unknown option {other}");
                 return usage();
             }
         }
         i += 1;
+    }
+    if opts.observe() && core == "all" {
+        eprintln!("braidsim: --pipeview/--metrics need a single core, not `all`");
+        return usage();
     }
 
     let (program, default_fuel) = match load_program(spec) {
@@ -294,21 +416,42 @@ fn main() -> ExitCode {
     if want("ooo") {
         let mut cfg = OooConfig::paper_wide(opts.width);
         cfg.common = perfect(cfg.common);
-        if !report_result("out-of-order", OooCore::new(cfg).run(&program, &trace)) {
+        let core = OooCore::new(cfg);
+        let mut obs = PipelineObserver::new();
+        let result = if opts.observe() {
+            core.run_observed(&program, &trace, &mut obs)
+        } else {
+            core.run(&program, &trace)
+        };
+        if !finish_core("out-of-order", "ooo", &program, result, &obs, &opts) {
             return ExitCode::FAILURE;
         }
     }
     if want("dep") {
         let mut cfg = DepConfig::paper_wide(opts.width);
         cfg.common = perfect(cfg.common);
-        if !report_result("dependence-steering", DepSteerCore::new(cfg).run(&program, &trace)) {
+        let core = DepSteerCore::new(cfg);
+        let mut obs = PipelineObserver::new();
+        let result = if opts.observe() {
+            core.run_observed(&program, &trace, &mut obs)
+        } else {
+            core.run(&program, &trace)
+        };
+        if !finish_core("dependence-steering", "dep", &program, result, &obs, &opts) {
             return ExitCode::FAILURE;
         }
     }
     if want("inorder") {
         let mut cfg = InOrderConfig::paper_wide(opts.width);
         cfg.common = perfect(cfg.common);
-        if !report_result("in-order", InOrderCore::new(cfg).run(&program, &trace)) {
+        let core = InOrderCore::new(cfg);
+        let mut obs = PipelineObserver::new();
+        let result = if opts.observe() {
+            core.run_observed(&program, &trace, &mut obs)
+        } else {
+            core.run(&program, &trace)
+        };
+        if !finish_core("in-order", "inorder", &program, result, &obs, &opts) {
             return ExitCode::FAILURE;
         }
     }
@@ -338,7 +481,14 @@ fn main() -> ExitCode {
         let mut cfg = BraidConfig::paper_wide(opts.width);
         cfg.common = perfect(cfg.common);
         cfg.common.mispredict_penalty = 19;
-        if !report_result("braid", BraidCore::new(cfg).run(&t.program, &braid_trace)) {
+        let core = BraidCore::new(cfg);
+        let mut obs = PipelineObserver::new();
+        let result = if opts.observe() {
+            core.run_observed(&t.program, &braid_trace, &mut obs)
+        } else {
+            core.run(&t.program, &braid_trace)
+        };
+        if !finish_core("braid", "braid", &t.program, result, &obs, &opts) {
             return ExitCode::FAILURE;
         }
     }

@@ -10,6 +10,8 @@
 //! * [`core`] — the functional executor and the four timing cores.
 //! * [`workloads`] — the synthetic SPEC CPU2000-profiled workload suite.
 //! * [`sweep`] — the parallel (workload × core × config) sweep engine.
+//! * [`obs`] — pipeline observability: event records, CPI stacks, Konata
+//!   pipeline-viewer export and JSON metrics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,6 +20,7 @@ pub use braid_check as check;
 pub use braid_compiler as compiler;
 pub use braid_core as core;
 pub use braid_isa as isa;
+pub use braid_obs as obs;
 pub use braid_sweep as sweep;
 pub use braid_uarch as uarch;
 pub use braid_workloads as workloads;
