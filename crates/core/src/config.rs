@@ -47,6 +47,14 @@ pub struct CommonConfig {
     /// with [`crate::error::SimError::Livelock`] (0 = the 20 000-cycle
     /// default, far beyond any legitimate stall).
     pub watchdog_cycles: u64,
+    /// Simulated-cycle deadline: the run aborts with
+    /// [`crate::error::SimError::Deadline`] once the clock reaches this many
+    /// cycles (0 = no deadline). Deadlines ride the same no-progress check
+    /// as the watchdog, so they are deterministic: the same program and
+    /// configuration always abort at the same simulated cycle, regardless
+    /// of host load. Long-lived services use this to bound per-request
+    /// simulation cost.
+    pub deadline_cycles: u64,
 }
 
 impl CommonConfig {
@@ -65,6 +73,7 @@ impl CommonConfig {
             conservative_disambiguation: false,
             window: 256,
             watchdog_cycles: 0,
+            deadline_cycles: 0,
         }
     }
 

@@ -223,6 +223,9 @@ pub struct Engine<'a, O: Observer = NoopObserver> {
     last_retire_cycle: u64,
     /// No-retire-progress threshold before the run aborts as livelocked.
     watchdog_cycles: u64,
+    /// Simulated-cycle budget before the run aborts with
+    /// [`SimError::Deadline`] (`0` = unlimited).
+    deadline_cycles: u64,
     /// Reusable fetch output buffer (no per-cycle allocation).
     fetch_scratch: Vec<Fetched>,
     /// Host wall-clock at construction, for throughput counters.
@@ -275,6 +278,7 @@ impl<'a, O: Observer> Engine<'a, O> {
             } else {
                 config.watchdog_cycles
             },
+            deadline_cycles: config.deadline_cycles,
             fetch_scratch: Vec::with_capacity(4 * config.width as usize),
             started: std::time::Instant::now(),
             obs,
@@ -696,13 +700,27 @@ impl<'a, O: Observer> Engine<'a, O> {
             lsq_wait: self.report.lsq_wait_events,
         };
         self.progress = false;
-        self.cycle - self.last_retire_cycle <= self.watchdog_cycles
+        !self.deadline_elapsed() && self.cycle - self.last_retire_cycle <= self.watchdog_cycles
     }
 
-    /// Builds the livelock error after [`Engine::advance`] returned
-    /// `false`. `queues` is the core's own view of its stuck schedulers
-    /// (BEU FIFO contents, busy bits, ...) — the engine cannot see it.
+    /// Whether the simulated-cycle deadline (if any) has elapsed.
+    fn deadline_elapsed(&self) -> bool {
+        self.deadline_cycles > 0 && self.cycle >= self.deadline_cycles
+    }
+
+    /// Builds the abort error after [`Engine::advance`] returned `false`:
+    /// a [`SimError::Deadline`] when the cycle budget elapsed, otherwise a
+    /// [`SimError::Livelock`]. `queues` is the core's own view of its stuck
+    /// schedulers (BEU FIFO contents, busy bits, ...) — the engine cannot
+    /// see it.
     pub fn livelock(&self, core: &'static str, queues: Vec<String>) -> SimError {
+        if self.deadline_elapsed() {
+            return SimError::Deadline {
+                cycle: self.cycle,
+                deadline_cycles: self.deadline_cycles,
+                retired: self.report.instructions,
+            };
+        }
         SimError::Livelock(Box::new(LivelockReport {
             core,
             cycle: self.cycle,

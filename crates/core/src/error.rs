@@ -21,6 +21,20 @@ pub enum SimError {
     /// [`LivelockReport::watchdog_cycles`] cycles without retiring a single
     /// instruction.
     Livelock(Box<LivelockReport>),
+    /// The simulated-cycle deadline
+    /// ([`crate::config::CommonConfig::deadline_cycles`]) elapsed before the
+    /// trace retired. Unlike a livelock the machine was still making
+    /// progress — the run was simply too long for its budget. The abort
+    /// cycle is deterministic, so deadline failures are reproducible and
+    /// cacheable results like any other.
+    Deadline {
+        /// Cycle at which the run was cut off.
+        cycle: u64,
+        /// The configured deadline that was exceeded.
+        deadline_cycles: u64,
+        /// Instructions retired before the cutoff.
+        retired: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -28,6 +42,11 @@ impl fmt::Display for SimError {
         match self {
             SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             SimError::Livelock(r) => write!(f, "{r}"),
+            SimError::Deadline { cycle, deadline_cycles, retired } => write!(
+                f,
+                "deadline exceeded: {retired} instructions retired in {cycle} cycles \
+                 (budget {deadline_cycles})"
+            ),
         }
     }
 }

@@ -271,6 +271,42 @@ mod tests {
     }
 
     #[test]
+    fn deadline_aborts_deterministically_on_every_core() {
+        use crate::error::SimError;
+        let p = assemble(LOOP).unwrap();
+        let fuel = 100_000;
+        let deadline = 50;
+        let extract = |e: RunError| match e {
+            RunError::Sim(SimError::Deadline { cycle, deadline_cycles, retired }) => {
+                assert_eq!(deadline_cycles, deadline);
+                assert!(cycle >= deadline);
+                (cycle, retired)
+            }
+            other => panic!("expected a deadline error, got: {other}"),
+        };
+        let mut ooo = OooConfig::paper_8wide();
+        ooo.common.deadline_cycles = deadline;
+        let first = extract(run_ooo(&p, &ooo, fuel).unwrap_err());
+        let again = extract(run_ooo(&p, &ooo, fuel).unwrap_err());
+        assert_eq!(first, again, "deadline aborts must be reproducible");
+
+        let mut io = InOrderConfig::paper_8wide();
+        io.common.deadline_cycles = deadline;
+        extract(run_inorder(&p, &io, fuel).unwrap_err());
+        let mut dep = DepConfig::paper_8wide();
+        dep.common.deadline_cycles = deadline;
+        extract(run_dep(&p, &dep, fuel).unwrap_err());
+        let mut braid = BraidConfig::paper_default();
+        braid.common.deadline_cycles = deadline;
+        extract(run_braid(&p, &braid, fuel).unwrap_err());
+
+        // A deadline past the natural run length never fires.
+        let mut roomy = OooConfig::paper_8wide();
+        roomy.common.deadline_cycles = 10_000_000;
+        assert!(run_ooo(&p, &roomy, fuel).is_ok());
+    }
+
+    #[test]
     fn out_of_fuel_is_reported() {
         let p = assemble("loop: br loop\nhalt").unwrap();
         assert!(matches!(

@@ -1,0 +1,136 @@
+//! The content-addressed result cache.
+//!
+//! Keys come from [`braid_sweep::digest::ContentDigest`] over everything
+//! that determines a response payload: the workload's serialized container
+//! bytes (so two names for the same program share entries, and a changed
+//! program misses), the core model, and every config knob including the
+//! effective deadline. Values are the compact-JSON `result` payload —
+//! **without** the response frame, because the frame carries the
+//! client-chosen request id.
+//!
+//! Because simulations are deterministic, a hit is indistinguishable from
+//! a recomputation on the wire; the only observable difference is the
+//! hit/miss counters exposed through the `stats` request.
+//!
+//! Eviction is FIFO at a fixed capacity. That is deliberately dumber than
+//! LRU: insertion order is identical however requests interleave across
+//! connections, so a capacity-limited server still behaves reproducibly
+//! under the load generator's concurrent/sequential comparison.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+struct CacheInner {
+    map: HashMap<String, String>,
+    order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A bounded, thread-safe map from content digest to response payload.
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` payloads (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks `key` up, counting a hit or a miss.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        match inner.map.get(key).cloned() {
+            Some(v) => {
+                inner.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a payload, evicting the oldest entry at capacity. Losing a
+    /// race with another worker computing the same key is harmless: both
+    /// payloads are byte-identical by determinism.
+    pub fn insert(&self, key: String, payload: String) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if inner.map.insert(key.clone(), payload).is_none() {
+            inner.order.push_back(key);
+            while inner.order.len() > self.capacity {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn counters(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("cache poisoned");
+        (inner.hits, inner.misses)
+    }
+
+    /// Number of cached payloads.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_counters_track_lookups() {
+        let c = ResultCache::new(8);
+        assert_eq!(c.get("k"), None);
+        c.insert("k".into(), "v".into());
+        assert_eq!(c.get("k").as_deref(), Some("v"));
+        assert_eq!(c.counters(), (1, 1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_drops_the_oldest() {
+        let c = ResultCache::new(2);
+        c.insert("a".into(), "1".into());
+        c.insert("b".into(), "2".into());
+        c.insert("c".into(), "3".into());
+        assert_eq!(c.get("a"), None, "oldest entry evicted");
+        assert_eq!(c.get("b").as_deref(), Some("2"));
+        assert_eq!(c.get("c").as_deref(), Some("3"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_a_key_does_not_grow_the_order_queue() {
+        let c = ResultCache::new(2);
+        c.insert("a".into(), "1".into());
+        c.insert("a".into(), "1".into());
+        c.insert("b".into(), "2".into());
+        assert_eq!(c.get("a").as_deref(), Some("1"), "no spurious eviction");
+    }
+}

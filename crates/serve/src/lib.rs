@@ -1,0 +1,42 @@
+//! # braid-serve: the deterministic simulation service
+//!
+//! A TCP daemon ([`Server`]) that runs braid simulations on behalf of
+//! remote clients, and a deterministic load generator ([`loadgen`]) that
+//! doubles as its correctness harness.
+//!
+//! The protocol is JSON lines ([`protocol`]): one request object per line
+//! in, one response object per line out, matched by client-chosen `id`.
+//! Requests dispatch onto the long-lived work-stealing pool
+//! ([`braid_sweep::pool::JobPool`]), so a single daemon saturates every
+//! core while each connection still receives its responses **in request
+//! order** — a per-connection sequence number and a reorder buffer on the
+//! writer side restore the order the pool destroys.
+//!
+//! Results are served from a content-addressed cache ([`cache`]): the key
+//! digests the workload's container bytes, the core model, and every
+//! config knob, so two requests for the same simulation — from any
+//! connection, in any order — produce byte-identical response payloads
+//! and the second one costs a hash lookup. Determinism is a *testable
+//! property* here: `braid-loadgen --verify` replays the same request mix
+//! on a single connection and asserts the responses are byte-identical to
+//! the concurrent run's.
+//!
+//! Overload is explicit, never silent: a full job queue answers
+//! `status:"retry"` with a `retry_after_ms` hint, a full connection table
+//! answers the same at accept time, and `shutdown` drains queued work
+//! before the daemon exits ([`server`] documents the exact semantics).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use cache::ResultCache;
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenError, LoadgenReport};
+pub use protocol::{parse_request, Request};
+pub use server::{Server, ServerConfig};
+pub use stats::ServeStats;

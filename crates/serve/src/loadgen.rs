@@ -1,0 +1,373 @@
+//! The deterministic load generator and determinism harness.
+//!
+//! [`run_loadgen`] drives a braid-serve daemon with a seeded request mix
+//! over N concurrent connections. Because the request stream is a pure
+//! function of the seed, and the server's responses are a pure function
+//! of the requests, the *entire exchange* is reproducible — so the
+//! generator doubles as a correctness harness: with
+//! [`LoadgenConfig::verify`] set it replays the identical mix over a
+//! single connection and asserts the response bytes (matched by request,
+//! compared in request order) are identical to the concurrent run's.
+//! Any nondeterminism in the server — a rounding difference between
+//! cached and computed payloads, a cross-connection data race, a reorder
+//! bug in the writer — shows up as a digest mismatch.
+//!
+//! `retry` backpressure responses are handled by resending after the
+//! server's hint; only the terminal response of each request enters the
+//! digest, so a run that hit backpressure digests identically to one
+//! that did not.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use braid_prng::Rng;
+use braid_sweep::digest::hex;
+use braid_sweep::json::{self, Json};
+
+/// Workloads the generated mix draws from (hand-written kernels: cheap,
+/// deterministic, scale-independent).
+const WORKLOADS: [&str; 5] = ["dot_product", "fig2_life", "stencil", "pointer_chase", "histogram"];
+const CORES: [&str; 4] = ["inorder", "dep", "ooo", "braid"];
+const WIDTHS: [u32; 3] = [0, 4, 8];
+
+/// Load-generator configuration; the `braid-loadgen` binary maps its
+/// flags onto these fields.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address, e.g. `127.0.0.1:4848`.
+    pub addr: String,
+    /// Concurrent connections for the main phase.
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Mix seed; same seed, same requests, byte for byte.
+    pub seed: u64,
+    /// Replay the mix on one connection and verify byte-identical
+    /// responses.
+    pub verify: bool,
+    /// Send `shutdown` after the run (and after verification).
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: String::new(),
+            connections: 2,
+            requests: 50,
+            seed: 7,
+            verify: true,
+            shutdown: false,
+        }
+    }
+}
+
+/// What a load-generator run observed.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests sent (excluding resends after `retry`).
+    pub sent: usize,
+    /// `ok` responses received.
+    pub ok: usize,
+    /// `error` responses received.
+    pub errors: usize,
+    /// Backpressure (`retry`) responses absorbed by resending.
+    pub retries: usize,
+    /// Digest over the concurrent run's responses, in request order.
+    pub digest: String,
+    /// Digest of the single-connection replay (verify mode only).
+    pub replay_digest: Option<String>,
+    /// Server cache hits at the end of the run (from `stats`).
+    pub cache_hits: u64,
+    /// Server cache misses at the end of the run.
+    pub cache_misses: u64,
+}
+
+impl LoadgenReport {
+    /// Whether verification (when requested) held: every request
+    /// answered, replay digest identical.
+    pub fn verified(&self) -> bool {
+        match &self.replay_digest {
+            Some(d) => d == &self.digest,
+            None => true,
+        }
+    }
+}
+
+/// Load-generator failures.
+#[derive(Debug)]
+pub enum LoadgenError {
+    /// Socket I/O failed.
+    Io(io::Error),
+    /// The server closed a connection or sent an unparseable line.
+    Protocol(String),
+    /// A request never received a terminal response.
+    Lost {
+        /// Requests sent.
+        expected: usize,
+        /// Terminal responses received.
+        got: usize,
+    },
+    /// Verify mode: the replay responses differ from the concurrent run.
+    Mismatch {
+        /// Digest of the concurrent run.
+        concurrent: String,
+        /// Digest of the sequential replay.
+        replay: String,
+    },
+}
+
+impl std::fmt::Display for LoadgenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadgenError::Io(e) => write!(f, "i/o: {e}"),
+            LoadgenError::Protocol(m) => write!(f, "protocol: {m}"),
+            LoadgenError::Lost { expected, got } => {
+                write!(f, "lost responses: sent {expected}, got {got}")
+            }
+            LoadgenError::Mismatch { concurrent, replay } => write!(
+                f,
+                "determinism violation: concurrent digest {concurrent} != replay digest {replay}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadgenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadgenError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadgenError {
+    fn from(e: io::Error) -> LoadgenError {
+        LoadgenError::Io(e)
+    }
+}
+
+/// Generates the deterministic request mix: `n` request lines with ids
+/// `1..=n`, drawn from a seeded distribution of roughly 60% `simulate`,
+/// 15% `sweep-point`, 15% `translate`, 10% `check` over the kernel
+/// workloads and all four cores.
+pub fn generate_requests(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (1..=n as u64)
+        .map(|id| {
+            let workload = *rng.choose(&WORKLOADS);
+            let r = rng.next_f64();
+            if r < 0.60 {
+                let core = *rng.choose(&CORES);
+                let width = *rng.choose(&WIDTHS);
+                format!(
+                    "{{\"id\":{id},\"kind\":\"simulate\",\"workload\":\"{workload}\",\
+                     \"core\":\"{core}\",\"width\":{width}}}"
+                )
+            } else if r < 0.75 {
+                let core = *rng.choose(&CORES);
+                let width = *rng.choose(&WIDTHS);
+                let fifo = if rng.gen_bool(0.5) { 16 } else { 0 };
+                format!(
+                    "{{\"id\":{id},\"kind\":\"sweep-point\",\"workload\":\"{workload}\",\
+                     \"core\":\"{core}\",\"width\":{width},\"fifo\":{fifo}}}"
+                )
+            } else if r < 0.90 {
+                format!("{{\"id\":{id},\"kind\":\"translate\",\"workload\":\"{workload}\"}}")
+            } else {
+                format!("{{\"id\":{id},\"kind\":\"check\",\"workload\":\"{workload}\"}}")
+            }
+        })
+        .collect()
+}
+
+/// One connection's worth of send/receive. Requests go one at a time
+/// (send, await terminal response); `retry` responses sleep for the
+/// server's hint and resend. Returns `(request index, terminal line)`
+/// pairs plus the retry count.
+fn drive_connection(
+    addr: &str,
+    slice: Vec<(usize, String)>,
+) -> Result<(Vec<(usize, String)>, usize), LoadgenError> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut out = Vec::with_capacity(slice.len());
+    let mut retries = 0usize;
+    for (idx, line) in slice {
+        loop {
+            writeln!(writer, "{line}")?;
+            writer.flush()?;
+            let mut resp = String::new();
+            if reader.read_line(&mut resp)? == 0 {
+                return Err(LoadgenError::Protocol("server closed the connection".into()));
+            }
+            let resp = resp.trim_end().to_string();
+            let doc = json::parse(&resp)
+                .map_err(|e| LoadgenError::Protocol(format!("bad response line: {e}")))?;
+            if doc.get("status").and_then(Json::as_str) == Some("retry") {
+                retries += 1;
+                let ms = doc.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(10);
+                thread::sleep(Duration::from_millis(ms));
+                continue;
+            }
+            out.push((idx, resp));
+            break;
+        }
+    }
+    Ok((out, retries))
+}
+
+/// Sends the request list over `connections` sockets (request `i` rides
+/// connection `i % connections`, orders preserved per connection) and
+/// returns the terminal responses in request order plus the total retry
+/// count.
+fn run_phase(
+    addr: &str,
+    lines: &[String],
+    connections: usize,
+) -> Result<(Vec<String>, usize), LoadgenError> {
+    let connections = connections.max(1);
+    let mut slices: Vec<Vec<(usize, String)>> = vec![Vec::new(); connections];
+    for (i, line) in lines.iter().enumerate() {
+        slices[i % connections].push((i, line.clone()));
+    }
+    let mut handles = Vec::new();
+    for slice in slices {
+        let addr = addr.to_string();
+        handles.push(thread::spawn(move || drive_connection(&addr, slice)));
+    }
+    let mut by_index = BTreeMap::new();
+    let mut retries = 0usize;
+    for h in handles {
+        let (pairs, r) = h.join().map_err(|_| {
+            LoadgenError::Protocol("connection thread panicked".into())
+        })??;
+        retries += r;
+        for (idx, line) in pairs {
+            by_index.insert(idx, line);
+        }
+    }
+    if by_index.len() != lines.len() {
+        return Err(LoadgenError::Lost { expected: lines.len(), got: by_index.len() });
+    }
+    Ok((by_index.into_values().collect(), retries))
+}
+
+/// Digests a response list: the canonical 16-hex-digit rendering of the
+/// newline-joined lines.
+fn digest_responses(lines: &[String]) -> String {
+    hex(lines.join("\n").as_bytes())
+}
+
+/// Sends one out-of-mix request on a fresh connection and returns the
+/// parsed response document.
+fn control_request(addr: &str, line: &str) -> Result<Json, LoadgenError> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, "{line}")?;
+    writer.flush()?;
+    let mut resp = String::new();
+    if reader.read_line(&mut resp)? == 0 {
+        return Err(LoadgenError::Protocol("server closed the control connection".into()));
+    }
+    json::parse(resp.trim_end())
+        .map_err(|e| LoadgenError::Protocol(format!("bad control response: {e}")))
+}
+
+/// Runs the full load-generation session against a live daemon.
+///
+/// # Errors
+///
+/// Returns [`LoadgenError::Mismatch`] when verify mode detects a
+/// determinism violation, [`LoadgenError::Lost`] when a request never got
+/// a terminal response, and I/O or protocol errors for transport
+/// failures.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, LoadgenError> {
+    let lines = generate_requests(cfg.requests, cfg.seed);
+    let (responses, retries) = run_phase(&cfg.addr, &lines, cfg.connections)?;
+    let digest = digest_responses(&responses);
+
+    let replay_digest = if cfg.verify {
+        let (replay, _) = run_phase(&cfg.addr, &lines, 1)?;
+        let replay_digest = digest_responses(&replay);
+        if replay_digest != digest {
+            return Err(LoadgenError::Mismatch { concurrent: digest, replay: replay_digest });
+        }
+        Some(replay_digest)
+    } else {
+        None
+    };
+
+    let mut ok = 0usize;
+    let mut errors = 0usize;
+    for line in &responses {
+        match json::parse(line).ok().as_ref().and_then(|d| d.get("status")).and_then(Json::as_str)
+        {
+            Some("ok") => ok += 1,
+            _ => errors += 1,
+        }
+    }
+
+    let stats = control_request(&cfg.addr, "{\"id\":0,\"kind\":\"stats\"}")?;
+    let cache = stats.get("result").and_then(|r| r.get("cache"));
+    let cache_hits = cache.and_then(|c| c.get("hits")).and_then(Json::as_u64).unwrap_or(0);
+    let cache_misses = cache.and_then(|c| c.get("misses")).and_then(Json::as_u64).unwrap_or(0);
+
+    if cfg.shutdown {
+        let resp = control_request(&cfg.addr, "{\"id\":0,\"kind\":\"shutdown\"}")?;
+        if resp.get("status").and_then(Json::as_str) != Some("ok") {
+            return Err(LoadgenError::Protocol(format!(
+                "shutdown refused: {}",
+                resp.compact()
+            )));
+        }
+    }
+
+    Ok(LoadgenReport {
+        sent: cfg.requests,
+        ok,
+        errors,
+        retries,
+        digest,
+        replay_digest,
+        cache_hits,
+        cache_misses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_mix_is_deterministic_and_well_formed() {
+        let a = generate_requests(200, 7);
+        let b = generate_requests(200, 7);
+        assert_eq!(a, b, "same seed, same bytes");
+        let c = generate_requests(200, 8);
+        assert_ne!(a, c, "different seed, different mix");
+        let mut kinds = std::collections::BTreeMap::new();
+        for (i, line) in a.iter().enumerate() {
+            let (id, req) = crate::protocol::parse_request(line)
+                .unwrap_or_else(|e| panic!("line {i} malformed: {e:?}"));
+            assert_eq!(id, i as u64 + 1, "ids are 1..=n in order");
+            *kinds.entry(req.kind()).or_insert(0u32) += 1;
+        }
+        for kind in ["simulate", "sweep-point", "translate", "check"] {
+            assert!(kinds.get(kind).copied().unwrap_or(0) > 0, "mix contains {kind}");
+        }
+    }
+
+    #[test]
+    fn response_digest_is_order_sensitive() {
+        let a = vec!["x".to_string(), "y".to_string()];
+        let b = vec!["y".to_string(), "x".to_string()];
+        assert_ne!(digest_responses(&a), digest_responses(&b));
+    }
+}

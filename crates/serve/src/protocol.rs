@@ -1,0 +1,282 @@
+//! The JSON-lines wire protocol.
+//!
+//! One request object per line; every request carries a client-chosen
+//! numeric `id` and a `kind`. Responses echo the `id` with a `status` of
+//! `ok`, `error`, or `retry`:
+//!
+//! ```text
+//! → {"id":1,"kind":"simulate","workload":"dot_product","core":"braid","width":8}
+//! ← {"id":1,"status":"ok","result":{...}}
+//! → {"id":2,"kind":"simulate","workload":"nonesuch","core":"ooo"}
+//! ← {"id":2,"status":"error","code":"unknown-workload","message":"..."}
+//! ← {"id":3,"status":"retry","retry_after_ms":25}
+//! ```
+//!
+//! Response lines are built by splicing a cached compact-JSON payload into
+//! a fixed frame, so a cache hit and the original computation emit
+//! **byte-identical** lines — the load generator's verify mode depends on
+//! this.
+//!
+//! Error `code` strings are a wire contract (extend, never repurpose):
+//! `bad-request` for lines this module rejects, `shutting-down` for work
+//! refused mid-drain, and [`braid_sweep::SweepError::code`]'s codes
+//! (`unknown-workload`, `livelock`, `deadline`, `translate`, ...) for
+//! simulation failures.
+
+use braid_sweep::grid::CoreModel;
+use braid_sweep::json::{self, Json};
+
+/// A parsed request, minus the `id` (returned alongside by
+/// [`parse_request`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run one workload on one core and return the full simulation report.
+    Simulate {
+        /// Workload name (synthetic suite or kernel).
+        workload: String,
+        /// Core model to run.
+        core: CoreModel,
+        /// Machine width (`0` = the model's 8-wide paper default).
+        width: u32,
+        /// Synthetic-suite scale (kernels ignore it).
+        scale: f64,
+        /// Perfect front end and caches.
+        perfect: bool,
+        /// Simulated-cycle deadline override (`0` = the server default).
+        deadline: u64,
+    },
+    /// Translate a workload into braids and return the Table 1–3 statistics.
+    Translate {
+        /// Workload name.
+        workload: String,
+        /// Synthetic-suite scale.
+        scale: f64,
+    },
+    /// Translate a workload and run the static braid-contract checker.
+    Check {
+        /// Workload name.
+        workload: String,
+        /// Synthetic-suite scale.
+        scale: f64,
+    },
+    /// Run one sweep grid point (the full axis set) and return its stats.
+    SweepPoint {
+        /// The grid point to run (its `index` is ignored).
+        point: braid_sweep::GridPoint,
+    },
+    /// Return server statistics: cache counters, queue depths, latency
+    /// histogram, aggregated CPI stack.
+    Stats,
+    /// Drain queued work and stop the daemon.
+    Shutdown,
+}
+
+/// A request the protocol layer rejected, with the response fields to
+/// report it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// The request id if one could be recovered, else `0`.
+    pub id: u64,
+    /// Stable machine-readable code (`bad-request`).
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn new(id: u64, message: impl Into<String>) -> ProtocolError {
+        ProtocolError { id, code: "bad-request", message: message.into() }
+    }
+}
+
+fn opt_u64(obj: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_u64().ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+fn opt_u32(obj: &Json, key: &str, default: u32) -> Result<u32, String> {
+    let v = opt_u64(obj, key, u64::from(default))?;
+    u32::try_from(v).map_err(|_| format!("`{key}` is out of range"))
+}
+
+fn opt_f64(obj: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_f64().ok_or_else(|| format!("`{key}` must be a number")),
+    }
+}
+
+fn opt_bool(obj: &Json, key: &str, default: bool) -> Result<bool, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_bool().ok_or_else(|| format!("`{key}` must be a boolean")),
+    }
+}
+
+fn req_workload(obj: &Json) -> Result<String, String> {
+    obj.get("workload")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| "`workload` (string) is required".to_string())
+}
+
+fn req_core(obj: &Json) -> Result<CoreModel, String> {
+    let name = obj
+        .get("core")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "`core` (string) is required".to_string())?;
+    CoreModel::parse(name).ok_or_else(|| format!("unknown core model `{name}`"))
+}
+
+/// Parses one request line into `(id, request)`.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] (always code `bad-request`) for anything
+/// that is not a JSON object with a numeric `id` and a recognized `kind`
+/// with well-typed fields. The error carries the request's `id` when one
+/// was readable so the reply still correlates.
+pub fn parse_request(line: &str) -> Result<(u64, Request), ProtocolError> {
+    let doc = json::parse(line).map_err(|e| ProtocolError::new(0, format!("not JSON: {e}")))?;
+    let id = match doc.get("id") {
+        Some(v) => v.as_u64().ok_or_else(|| ProtocolError::new(0, "`id` must be a non-negative integer"))?,
+        None => return Err(ProtocolError::new(0, "`id` is required")),
+    };
+    let fail = |msg: String| ProtocolError::new(id, msg);
+    let kind = doc
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail("`kind` (string) is required".into()))?;
+    let req = match kind {
+        "simulate" => Request::Simulate {
+            workload: req_workload(&doc).map_err(fail)?,
+            core: req_core(&doc).map_err(fail)?,
+            width: opt_u32(&doc, "width", 0).map_err(fail)?,
+            scale: opt_f64(&doc, "scale", 0.05).map_err(fail)?,
+            perfect: opt_bool(&doc, "perfect", false).map_err(fail)?,
+            deadline: opt_u64(&doc, "deadline", 0).map_err(fail)?,
+        },
+        "translate" => Request::Translate {
+            workload: req_workload(&doc).map_err(fail)?,
+            scale: opt_f64(&doc, "scale", 0.05).map_err(fail)?,
+        },
+        "check" => Request::Check {
+            workload: req_workload(&doc).map_err(fail)?,
+            scale: opt_f64(&doc, "scale", 0.05).map_err(fail)?,
+        },
+        "sweep-point" => Request::SweepPoint {
+            point: braid_sweep::GridPoint {
+                index: 0,
+                workload: req_workload(&doc).map_err(fail)?,
+                core: req_core(&doc).map_err(fail)?,
+                width: opt_u32(&doc, "width", 0).map_err(fail)?,
+                beus: opt_u32(&doc, "beus", 0).map_err(fail)?,
+                fifo: opt_u32(&doc, "fifo", 0).map_err(fail)?,
+                window: opt_u32(&doc, "window", 0).map_err(fail)?,
+                bypass: opt_u32(&doc, "bypass", 0).map_err(fail)?,
+                scale: opt_f64(&doc, "scale", 0.05).map_err(fail)?,
+                perfect: opt_bool(&doc, "perfect", false).map_err(fail)?,
+            },
+        },
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => return Err(fail(format!("unknown kind `{other}`"))),
+    };
+    Ok((id, req))
+}
+
+impl Request {
+    /// The request's wire kind, used for per-kind stats counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Simulate { .. } => "simulate",
+            Request::Translate { .. } => "translate",
+            Request::Check { .. } => "check",
+            Request::SweepPoint { .. } => "sweep-point",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Builds an `ok` response line by splicing a compact-JSON `result`
+/// payload into the frame. The payload is exactly what the result cache
+/// stores, so hits and misses emit byte-identical lines.
+pub fn ok_line(id: u64, payload: &str) -> String {
+    format!("{{\"id\":{id},\"status\":\"ok\",\"result\":{payload}}}")
+}
+
+/// Builds an `error` response line.
+pub fn error_line(id: u64, code: &str, message: &str) -> String {
+    Json::Obj(vec![
+        ("id".into(), Json::Int(id)),
+        ("status".into(), Json::Str("error".into())),
+        ("code".into(), Json::Str(code.into())),
+        ("message".into(), Json::Str(message.into())),
+    ])
+    .compact()
+}
+
+/// Builds a `retry` (backpressure) response line: the request was not
+/// queued; resend it after roughly `retry_after_ms`.
+pub fn retry_line(id: u64, retry_after_ms: u64) -> String {
+    format!("{{\"id\":{id},\"status\":\"retry\",\"retry_after_ms\":{retry_after_ms}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulate_round_trips_with_defaults() {
+        let (id, req) =
+            parse_request(r#"{"id":7,"kind":"simulate","workload":"dot_product","core":"braid"}"#)
+                .unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(
+            req,
+            Request::Simulate {
+                workload: "dot_product".into(),
+                core: CoreModel::Braid,
+                width: 0,
+                scale: 0.05,
+                perfect: false,
+                deadline: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_point_carries_every_axis() {
+        let line = r#"{"id":1,"kind":"sweep-point","workload":"x","core":"ooo","width":4,"fifo":16,"window":32,"bypass":2,"scale":0.02,"perfect":true}"#;
+        let (_, req) = parse_request(line).unwrap();
+        let Request::SweepPoint { point } = req else { panic!("wrong kind") };
+        assert_eq!(point.key(), "x:ooo:w4:b0:f16:v32:y2");
+        assert!(point.perfect);
+    }
+
+    #[test]
+    fn bad_lines_keep_the_id_when_readable() {
+        assert_eq!(parse_request("not json").unwrap_err().id, 0);
+        assert_eq!(parse_request(r#"{"kind":"stats"}"#).unwrap_err().id, 0);
+        let e = parse_request(r#"{"id":9,"kind":"warp"}"#).unwrap_err();
+        assert_eq!((e.id, e.code), (9, "bad-request"));
+        let e = parse_request(r#"{"id":3,"kind":"simulate","core":"braid"}"#).unwrap_err();
+        assert!(e.message.contains("workload"));
+        let e = parse_request(r#"{"id":4,"kind":"simulate","workload":"x","core":"vliw"}"#)
+            .unwrap_err();
+        assert!(e.message.contains("vliw"));
+    }
+
+    #[test]
+    fn response_lines_are_stable() {
+        assert_eq!(ok_line(5, r#"{"cycles":10}"#), r#"{"id":5,"status":"ok","result":{"cycles":10}}"#);
+        assert_eq!(
+            error_line(6, "deadline", "too slow"),
+            r#"{"id":6,"status":"error","code":"deadline","message":"too slow"}"#
+        );
+        assert_eq!(retry_line(8, 25), r#"{"id":8,"status":"retry","retry_after_ms":25}"#);
+    }
+}

@@ -1,0 +1,447 @@
+//! The daemon: TCP accept loop, per-connection ordering, dispatch, drain.
+//!
+//! ## Threading model
+//!
+//! One accept loop, two threads per connection (reader and writer), one
+//! shared [`JobPool`] sized to the host. The reader parses each line,
+//! stamps it with a per-connection sequence number, and submits the work
+//! to the pool; the pool finishes jobs in whatever order the machine
+//! likes; the writer holds a reorder buffer keyed by sequence number and
+//! releases lines strictly in request order. Clients therefore see an
+//! in-order protocol over an out-of-order core — the same bargain the
+//! simulated machine makes.
+//!
+//! ## Backpressure
+//!
+//! Both queues are bounded and both refusals are explicit protocol
+//! events, never stalls or silent drops:
+//!
+//! - job queue full → `{"status":"retry","retry_after_ms":N}` for that
+//!   request; the client resends later.
+//! - connection table full → a single `retry` line at accept time, then
+//!   the connection closes.
+//!
+//! ## Shutdown and drain
+//!
+//! A `shutdown` request closes the pool's intake (queued jobs still run),
+//! stops the accept loop, and answers `ok` once the drain is underway.
+//! Requests already queued — on any connection — complete and are
+//! delivered; compute requests arriving after the drain began get an
+//! `error` with code `shutting-down`. [`Server::run`] returns once every
+//! connection thread has exited and the pool is empty, so a caller that
+//! joins `run` observes a fully quiesced daemon.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use braid_core::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
+use braid_core::processor::{run_braid, run_dep, run_inorder, run_ooo, RunError};
+use braid_obs::report_json;
+use braid_sweep::digest::{hex, ContentDigest};
+use braid_sweep::grid::CoreModel;
+use braid_sweep::json::Json;
+use braid_sweep::pool::{JobPool, SubmitError};
+use braid_sweep::{run_point, SweepError};
+
+use crate::cache::ResultCache;
+use crate::protocol::{self, Request};
+use crate::stats::ServeStats;
+
+/// Daemon configuration. The defaults suit tests and smoke runs; the
+/// `braidd` binary maps its flags onto these fields.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads in the shared job pool (`0` = available
+    /// parallelism).
+    pub threads: usize,
+    /// Bound on queued (not yet running) jobs; beyond it requests get
+    /// `retry` responses.
+    pub queue_bound: usize,
+    /// Maximum simultaneous connections; beyond it connections are
+    /// refused with a `retry` line.
+    pub max_connections: usize,
+    /// Result-cache capacity in payloads.
+    pub cache_capacity: usize,
+    /// Default simulated-cycle deadline applied to `simulate` requests
+    /// that do not carry their own (`0` = none).
+    pub deadline_cycles: u64,
+    /// The `retry_after_ms` hint sent with backpressure responses.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            queue_bound: 256,
+            max_connections: 32,
+            cache_capacity: 4096,
+            deadline_cycles: 0,
+            retry_after_ms: 25,
+        }
+    }
+}
+
+/// State shared by the accept loop, every connection, and every job.
+struct Shared {
+    cfg: ServerConfig,
+    cache: ResultCache,
+    stats: ServeStats,
+    pool: JobPool,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+}
+
+/// The simulation daemon. [`Server::bind`] claims the socket (so callers
+/// can learn the ephemeral port before any client connects);
+/// [`Server::run`] serves until a `shutdown` request drains it.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listen socket and builds the shared state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the address cannot be bound.
+    pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let threads = if cfg.threads == 0 {
+            thread::available_parallelism().map_or(4, usize::from)
+        } else {
+            cfg.threads
+        };
+        let shared = Arc::new(Shared {
+            cache: ResultCache::new(cfg.cache_capacity),
+            stats: ServeStats::new(),
+            pool: JobPool::new(threads, cfg.queue_bound),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            cfg,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket's `local_addr` failure.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves connections until a `shutdown` request, then drains: waits
+    /// for every connection thread to exit and every queued job to
+    /// finish before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns accept-loop I/O errors; per-connection I/O errors only end
+    /// that connection.
+    pub fn run(&self) -> io::Result<()> {
+        let mut handles = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let shared = Arc::clone(&self.shared);
+            if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+                shared.stats.record_retry();
+                let mut w = BufWriter::new(&stream);
+                let _ = writeln!(w, "{}", protocol::retry_line(0, shared.cfg.retry_after_ms));
+                let _ = w.flush();
+                continue;
+            }
+            shared.active.fetch_add(1, Ordering::SeqCst);
+            let addr = self.local_addr()?;
+            handles.push(thread::spawn(move || {
+                let _ = handle_connection(stream, &shared, addr);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        self.shared.pool.drain();
+        Ok(())
+    }
+}
+
+/// Writer half of a connection: reorders `(seq, line)` pairs back into
+/// request order and flushes each line as soon as it is releasable.
+fn writer_loop(stream: TcpStream, rx: Receiver<(u64, String)>) {
+    let mut out = BufWriter::new(stream);
+    let mut pending = std::collections::BTreeMap::new();
+    let mut next = 0u64;
+    for (seq, line) in rx {
+        pending.insert(seq, line);
+        while let Some(line) = pending.remove(&next) {
+            if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+                return;
+            }
+            next += 1;
+        }
+    }
+}
+
+/// Reader half of a connection: parse, stamp, dispatch.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, addr: std::net::SocketAddr) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let (tx, rx) = mpsc::channel::<(u64, String)>();
+    let writer = thread::spawn(move || writer_loop(stream, rx));
+    let mut seq = 0u64;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let this_seq = seq;
+        seq += 1;
+        let send = |line: String| {
+            // The writer only exits once every sender is dropped, so a
+            // failed send means the socket died; the reader will see EOF.
+            let _ = tx.send((this_seq, line));
+        };
+        match protocol::parse_request(&line) {
+            Err(e) => {
+                shared.stats.record_protocol_error();
+                send(protocol::error_line(e.id, e.code, &e.message));
+            }
+            Ok((id, Request::Stats)) => {
+                shared.stats.record_request("stats");
+                let doc = shared.stats.to_json(&shared.cache, &shared.pool);
+                send(protocol::ok_line(id, &doc.compact()));
+            }
+            Ok((id, Request::Shutdown)) => {
+                shared.stats.record_request("shutdown");
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.pool.close();
+                send(protocol::ok_line(id, "\"draining\""));
+                // Wake the accept loop out of `incoming()` so it can
+                // observe the flag; the dummy connection is discarded.
+                drop(TcpStream::connect(addr));
+                break;
+            }
+            Ok((id, req)) => {
+                shared.stats.record_request(req.kind());
+                let tx_job = tx.clone();
+                let job_shared = Arc::clone(shared);
+                let submitted = shared.pool.try_submit(move || {
+                    let started = Instant::now();
+                    let line = execute(&job_shared, id, &req);
+                    job_shared
+                        .stats
+                        .record_latency_us(started.elapsed().as_micros() as u64);
+                    let _ = tx_job.send((this_seq, line));
+                });
+                match submitted {
+                    Ok(()) => {}
+                    Err(SubmitError::Saturated) => {
+                        shared.stats.record_retry();
+                        send(protocol::retry_line(id, shared.cfg.retry_after_ms));
+                    }
+                    Err(SubmitError::Closing) => {
+                        shared.stats.record_request_error();
+                        send(protocol::error_line(
+                            id,
+                            "shutting-down",
+                            "server is draining; no new work accepted",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+    Ok(())
+}
+
+/// Runs one compute request to a finished response line. Infallible at
+/// this layer: failures become `error` lines.
+fn execute(shared: &Shared, id: u64, req: &Request) -> String {
+    match run_request(shared, req) {
+        Ok(payload) => protocol::ok_line(id, &payload),
+        Err(e) => {
+            shared.stats.record_request_error();
+            protocol::error_line(id, e.code(), &e.to_string())
+        }
+    }
+}
+
+/// Resolves a workload and digests its container bytes — the
+/// program-identity half of every cache key.
+fn program_digest(workload: &str, scale: f64) -> Result<(braid_workloads::Workload, String), SweepError> {
+    let w = braid_workloads::by_name_any(workload, scale)
+        .ok_or_else(|| SweepError::UnknownWorkload { workload: workload.to_string() })?;
+    let bytes = braid_isa::container::to_bytes(&w.program).map_err(|e| SweepError::Malformed {
+        path: std::path::PathBuf::from(&w.name),
+        msg: format!("workload failed container serialization: {e}"),
+    })?;
+    let digest = hex(&bytes);
+    Ok((w, digest))
+}
+
+/// Executes a compute request, serving the payload from the cache when
+/// the content digest matches a previous computation.
+fn run_request(shared: &Shared, req: &Request) -> Result<String, SweepError> {
+    match req {
+        Request::Simulate { workload, core, width, scale, perfect, deadline } => {
+            let (w, pdigest) = program_digest(workload, *scale)?;
+            let deadline = if *deadline > 0 { *deadline } else { shared.cfg.deadline_cycles };
+            let key = ContentDigest::new()
+                .field("kind", "simulate")
+                .field("program", &pdigest)
+                .field("core", core.name())
+                .field("config", format!("w{width}:p{perfect}:d{deadline}"))
+                .finish();
+            if let Some(hit) = shared.cache.get(&key) {
+                return Ok(hit);
+            }
+            let report = simulate(&w, *core, *width, *perfect, deadline)
+                .map_err(|source| SweepError::Point { key: w.name.clone(), source })?;
+            shared.stats.merge_cpi(&report.cpi);
+            let payload = report_json(&report).compact();
+            shared.cache.insert(key, payload.clone());
+            Ok(payload)
+        }
+        Request::Translate { workload, scale } => {
+            let (w, pdigest) = program_digest(workload, *scale)?;
+            let key = ContentDigest::new()
+                .field("kind", "translate")
+                .field("program", &pdigest)
+                .finish();
+            if let Some(hit) = shared.cache.get(&key) {
+                return Ok(hit);
+            }
+            let t = braid_compiler::translate(&w.program, &braid_compiler::TranslatorConfig::default())
+                .map_err(|e| SweepError::Point { key: w.name.clone(), source: RunError::Translate(e) })?;
+            let payload = translation_json(&w.name, &t).compact();
+            shared.cache.insert(key, payload.clone());
+            Ok(payload)
+        }
+        Request::Check { workload, scale } => {
+            let (w, pdigest) = program_digest(workload, *scale)?;
+            let key =
+                ContentDigest::new().field("kind", "check").field("program", &pdigest).finish();
+            if let Some(hit) = shared.cache.get(&key) {
+                return Ok(hit);
+            }
+            let t = braid_compiler::translate(&w.program, &braid_compiler::TranslatorConfig::default())
+                .map_err(|e| SweepError::Point { key: w.name.clone(), source: RunError::Translate(e) })?;
+            let report = t.check(&w.program, &braid_check::CheckConfig::default());
+            let doc = braid_sweep::json::parse(&report.to_json()).map_err(|e| {
+                SweepError::Malformed { path: std::path::PathBuf::from(&w.name), msg: e.to_string() }
+            })?;
+            let payload = doc.compact();
+            shared.cache.insert(key, payload.clone());
+            Ok(payload)
+        }
+        Request::SweepPoint { point } => {
+            let (_, pdigest) = program_digest(&point.workload, point.scale)?;
+            let key = ContentDigest::new()
+                .field("kind", "sweep-point")
+                .field("program", &pdigest)
+                .field("core", point.core.name())
+                .field("config", point.key())
+                .field("perfect", format!("{}", point.perfect))
+                .finish();
+            if let Some(hit) = shared.cache.get(&key) {
+                return Ok(hit);
+            }
+            let stats = run_point(point)?;
+            shared.stats.merge_cpi(&stats.cpi);
+            let payload = Json::Obj(vec![
+                ("key".into(), Json::Str(point.key())),
+                ("instructions".into(), Json::Int(stats.instructions)),
+                ("cycles".into(), Json::Int(stats.cycles)),
+                ("ipc".into(), Json::Float(stats.ipc())),
+                ("cpi".into(), braid_obs::cpi_json(&stats.cpi)),
+            ])
+            .compact();
+            shared.cache.insert(key, payload.clone());
+            Ok(payload)
+        }
+        // Handled inline by the reader; never dispatched to the pool.
+        Request::Stats | Request::Shutdown => unreachable!("inline request reached the pool"),
+    }
+}
+
+/// Runs one simulate request: the paper config for `core` at `width`,
+/// with the perfect-hardware switch and the simulated-cycle deadline
+/// applied.
+fn simulate(
+    w: &braid_workloads::Workload,
+    core: CoreModel,
+    width: u32,
+    perfect: bool,
+    deadline: u64,
+) -> Result<braid_core::SimReport, RunError> {
+    match core {
+        CoreModel::InOrder => {
+            let mut cfg =
+                if width > 0 { InOrderConfig::paper_wide(width) } else { InOrderConfig::paper_8wide() };
+            if perfect {
+                cfg.common = cfg.common.clone().perfect();
+            }
+            cfg.common.deadline_cycles = deadline;
+            run_inorder(&w.program, &cfg, w.fuel)
+        }
+        CoreModel::DepSteer => {
+            let mut cfg = if width > 0 { DepConfig::paper_wide(width) } else { DepConfig::paper_8wide() };
+            if perfect {
+                cfg.common = cfg.common.clone().perfect();
+            }
+            cfg.common.deadline_cycles = deadline;
+            run_dep(&w.program, &cfg, w.fuel)
+        }
+        CoreModel::Ooo => {
+            let mut cfg = if width > 0 { OooConfig::paper_wide(width) } else { OooConfig::paper_8wide() };
+            if perfect {
+                cfg.common = cfg.common.clone().perfect();
+            }
+            cfg.common.deadline_cycles = deadline;
+            run_ooo(&w.program, &cfg, w.fuel)
+        }
+        CoreModel::Braid => {
+            let mut cfg =
+                if width > 0 { BraidConfig::paper_wide(width) } else { BraidConfig::paper_default() };
+            if perfect {
+                cfg.common = cfg.common.clone().perfect();
+            }
+            cfg.common.deadline_cycles = deadline;
+            run_braid(&w.program, &cfg, w.fuel)
+        }
+    }
+}
+
+/// The `translate` result payload: program shape plus the paper's braid
+/// statistics (means over the program's braids).
+fn translation_json(name: &str, t: &braid_compiler::Translation) -> Json {
+    let s = &t.stats;
+    Json::Obj(vec![
+        ("workload".into(), Json::Str(name.into())),
+        ("instructions".into(), Json::Int(t.program.insts.len() as u64)),
+        ("braids".into(), Json::Int(t.braids.len() as u64)),
+        ("size_mean".into(), Json::Float(s.size.mean())),
+        ("width_mean".into(), Json::Float(s.width.mean())),
+        ("internals_mean".into(), Json::Float(s.internals.mean())),
+        ("ext_inputs_mean".into(), Json::Float(s.ext_inputs.mean())),
+        ("ext_outputs_mean".into(), Json::Float(s.ext_outputs.mean())),
+    ])
+}

@@ -1,0 +1,145 @@
+//! Server-side observability: request counters, latency histograms, and
+//! the aggregated CPI stack.
+//!
+//! Everything lives behind one mutex and is rendered to JSON on demand by
+//! the `stats` request. Latency is host wall-clock time and therefore the
+//! one non-deterministic part of the protocol surface — the load
+//! generator's verify mode excludes `stats` responses from its digests
+//! for exactly that reason.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use braid_core::CpiStack;
+use braid_obs::{cpi_json, hist_json};
+use braid_sweep::json::Json;
+use braid_sweep::pool::JobPool;
+use braid_uarch::Histogram;
+
+use crate::cache::ResultCache;
+
+#[derive(Default)]
+struct StatsInner {
+    by_kind: BTreeMap<&'static str, u64>,
+    protocol_errors: u64,
+    request_errors: u64,
+    retries: u64,
+    latency_us: Histogram,
+    cpi: CpiStack,
+}
+
+/// Aggregated server statistics, shared by every connection.
+#[derive(Default)]
+pub struct ServeStats {
+    inner: Mutex<StatsInner>,
+}
+
+impl ServeStats {
+    /// An empty collector.
+    pub fn new() -> ServeStats {
+        ServeStats::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StatsInner> {
+        self.inner.lock().expect("stats poisoned")
+    }
+
+    /// Counts one accepted request of `kind`.
+    pub fn record_request(&self, kind: &'static str) {
+        *self.lock().by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Counts a line the protocol layer rejected.
+    pub fn record_protocol_error(&self) {
+        self.lock().protocol_errors += 1;
+    }
+
+    /// Counts a request that executed but failed (error response).
+    pub fn record_request_error(&self) {
+        self.lock().request_errors += 1;
+    }
+
+    /// Counts a backpressure (`retry`) response.
+    pub fn record_retry(&self) {
+        self.lock().retries += 1;
+    }
+
+    /// Records one executed request's service latency in microseconds.
+    pub fn record_latency_us(&self, us: u64) {
+        self.lock().latency_us.record(us);
+    }
+
+    /// Merges the CPI stack of one **computed** (non-cached) simulation.
+    /// Cache hits skip the simulation, so they add nothing here — the
+    /// stack attributes the cycles this server actually simulated.
+    pub fn merge_cpi(&self, cpi: &CpiStack) {
+        self.lock().cpi.merge(cpi);
+    }
+
+    /// Renders the full statistics document served by the `stats` request.
+    pub fn to_json(&self, cache: &ResultCache, pool: &JobPool) -> Json {
+        let inner = self.lock();
+        let (hits, misses) = cache.counters();
+        let depth = pool.depth();
+        let requests =
+            inner.by_kind.iter().map(|(k, n)| ((*k).to_string(), Json::Int(*n))).collect();
+        Json::Obj(vec![
+            ("requests".into(), Json::Obj(requests)),
+            ("protocol_errors".into(), Json::Int(inner.protocol_errors)),
+            ("request_errors".into(), Json::Int(inner.request_errors)),
+            ("retries".into(), Json::Int(inner.retries)),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::Int(hits)),
+                    ("misses".into(), Json::Int(misses)),
+                    ("entries".into(), Json::Int(cache.len() as u64)),
+                    ("capacity".into(), Json::Int(cache.capacity() as u64)),
+                ]),
+            ),
+            (
+                "pool".into(),
+                Json::Obj(vec![
+                    ("queued".into(), Json::Int(depth.queued as u64)),
+                    ("running".into(), Json::Int(depth.running as u64)),
+                    ("panics".into(), Json::Int(pool.panics())),
+                ]),
+            ),
+            ("latency_us".into(), hist_json(&inner.latency_us)),
+            ("cpi".into(), cpi_json(&inner.cpi)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_core::StallCause;
+
+    #[test]
+    fn stats_document_reflects_recorded_events() {
+        let stats = ServeStats::new();
+        let cache = ResultCache::new(4);
+        let pool = JobPool::new(1, 4);
+        stats.record_request("simulate");
+        stats.record_request("simulate");
+        stats.record_request("stats");
+        stats.record_retry();
+        stats.record_protocol_error();
+        stats.record_latency_us(120);
+        let mut cpi = CpiStack::new();
+        cpi.add(StallCause::Base, 10);
+        stats.merge_cpi(&cpi);
+        cache.insert("k".into(), "v".into());
+        let _ = cache.get("k");
+
+        let doc = stats.to_json(&cache, &pool);
+        assert_eq!(doc.get("requests").unwrap().get("simulate").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("retries").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("protocol_errors").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("cache").unwrap().get("hits").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("latency_us").unwrap().get("samples").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("cpi").unwrap().get("base").unwrap().as_u64(), Some(10));
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,206 @@
+//! End-to-end tests: a live daemon on an ephemeral port, real sockets,
+//! real threads. Each test owns its own server and shuts it down via the
+//! protocol, so the tests double as drain-semantics coverage.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::thread::{self, JoinHandle};
+
+use braid_serve::loadgen::{run_loadgen, LoadgenConfig};
+use braid_serve::server::{Server, ServerConfig};
+use braid_sweep::json::{self, Json};
+
+/// Boots a daemon and returns its address plus the join handle for its
+/// accept loop.
+fn start(cfg: ServerConfig) -> (String, JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// A simple synchronous client: send one line, read one line.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { reader, writer: BufWriter::new(stream) }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        line.trim_end().to_string()
+    }
+
+    fn round_trip(&mut self, line: &str) -> Json {
+        self.send(line);
+        json::parse(&self.recv()).expect("response is JSON")
+    }
+}
+
+fn status(doc: &Json) -> &str {
+    doc.get("status").and_then(Json::as_str).expect("status field")
+}
+
+#[test]
+fn simulate_is_served_cached_and_drained() {
+    let (addr, handle) = start(ServerConfig { threads: 2, ..ServerConfig::default() });
+    let mut c = Client::connect(&addr);
+
+    let req = r#"{"id":1,"kind":"simulate","workload":"dot_product","core":"braid"}"#;
+    c.send(req);
+    let first = c.recv();
+    let doc = json::parse(&first).unwrap();
+    assert_eq!(status(&doc), "ok");
+    assert!(doc.get("result").unwrap().get("cycles").unwrap().as_u64().unwrap() > 0);
+
+    // Same content, different id: byte-identical modulo the id field.
+    c.send(r#"{"id":2,"kind":"simulate","workload":"dot_product","core":"braid"}"#);
+    let second = c.recv();
+    assert_eq!(first.replace("\"id\":1", "\"id\":2"), second);
+
+    let stats = c.round_trip(r#"{"id":3,"kind":"stats"}"#);
+    let cache = stats.get("result").unwrap().get("cache").unwrap();
+    assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
+    assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1));
+
+    let bye = c.round_trip(r#"{"id":4,"kind":"shutdown"}"#);
+    assert_eq!(status(&bye), "ok");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn responses_come_back_in_request_order() {
+    let (addr, handle) = start(ServerConfig { threads: 4, ..ServerConfig::default() });
+    let mut c = Client::connect(&addr);
+
+    // Pipeline a burst of differently-sized jobs; the pool finishes them
+    // out of order, the writer must not.
+    let n = 16u64;
+    for id in 0..n {
+        let workload = ["dot_product", "stencil", "histogram", "pointer_chase"][id as usize % 4];
+        let core = ["braid", "ooo", "inorder", "dep"][(id as usize / 4) % 4];
+        c.send(&format!(
+            r#"{{"id":{id},"kind":"simulate","workload":"{workload}","core":"{core}"}}"#
+        ));
+    }
+    for id in 0..n {
+        let doc = json::parse(&c.recv()).unwrap();
+        assert_eq!(doc.get("id").unwrap().as_u64(), Some(id), "in-order delivery");
+        assert_eq!(status(&doc), "ok");
+    }
+
+    c.send(r#"{"id":99,"kind":"shutdown"}"#);
+    let _ = c.recv();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn deadline_aborts_return_structured_errors() {
+    let (addr, handle) = start(ServerConfig { threads: 1, ..ServerConfig::default() });
+    let mut c = Client::connect(&addr);
+
+    let doc = c.round_trip(
+        r#"{"id":1,"kind":"simulate","workload":"dot_product","core":"ooo","deadline":50}"#,
+    );
+    assert_eq!(status(&doc), "error");
+    assert_eq!(doc.get("code").unwrap().as_str(), Some("deadline"));
+    let msg = doc.get("message").unwrap().as_str().unwrap();
+    assert!(msg.contains("deadline exceeded"), "structured deadline message, got {msg}");
+
+    // The server-wide default applies when the request carries none.
+    let (addr2, handle2) =
+        start(ServerConfig { threads: 1, deadline_cycles: 50, ..ServerConfig::default() });
+    let mut c2 = Client::connect(&addr2);
+    let doc = c2
+        .round_trip(r#"{"id":1,"kind":"simulate","workload":"dot_product","core":"ooo"}"#);
+    assert_eq!(doc.get("code").unwrap().as_str(), Some("deadline"));
+    let _ = c2.round_trip(r#"{"id":2,"kind":"shutdown"}"#);
+    handle2.join().unwrap().unwrap();
+
+    let _ = c.round_trip(r#"{"id":2,"kind":"shutdown"}"#);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn protocol_errors_are_replied_not_fatal() {
+    let (addr, handle) = start(ServerConfig { threads: 1, ..ServerConfig::default() });
+    let mut c = Client::connect(&addr);
+
+    let doc = c.round_trip("this is not json");
+    assert_eq!(status(&doc), "error");
+    assert_eq!(doc.get("code").unwrap().as_str(), Some("bad-request"));
+
+    let doc = c.round_trip(r#"{"id":5,"kind":"simulate","workload":"nonesuch","core":"ooo"}"#);
+    assert_eq!(status(&doc), "error");
+    assert_eq!(doc.get("code").unwrap().as_str(), Some("unknown-workload"));
+    assert_eq!(doc.get("id").unwrap().as_u64(), Some(5));
+
+    // The connection survived both errors.
+    let doc = c.round_trip(r#"{"id":6,"kind":"translate","workload":"fig2_life"}"#);
+    assert_eq!(status(&doc), "ok");
+    assert!(doc.get("result").unwrap().get("braids").unwrap().as_u64().unwrap() > 0);
+
+    let _ = c.round_trip(r#"{"id":7,"kind":"shutdown"}"#);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn check_requests_return_the_full_report() {
+    let (addr, handle) = start(ServerConfig { threads: 1, ..ServerConfig::default() });
+    let mut c = Client::connect(&addr);
+    let doc = c.round_trip(r#"{"id":1,"kind":"check","workload":"stencil"}"#);
+    assert_eq!(status(&doc), "ok");
+    assert_eq!(doc.get("result").unwrap().get("errors").unwrap().as_u64(), Some(0));
+    let _ = c.round_trip(r#"{"id":2,"kind":"shutdown"}"#);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn full_connection_table_refuses_with_retry() {
+    let (addr, handle) =
+        start(ServerConfig { threads: 1, max_connections: 0, ..ServerConfig::default() });
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read retry line");
+    let doc = json::parse(line.trim_end()).unwrap();
+    assert_eq!(status(&doc), "retry");
+    assert!(doc.get("retry_after_ms").unwrap().as_u64().unwrap() > 0);
+
+    // With zero connection slots no shutdown request can ever be
+    // delivered; the daemon thread dies with the test process.
+    drop(reader);
+    drop(handle);
+}
+
+#[test]
+fn loadgen_verifies_concurrent_equals_sequential() {
+    let (addr, handle) = start(ServerConfig { threads: 4, ..ServerConfig::default() });
+    let cfg = LoadgenConfig {
+        addr,
+        connections: 3,
+        requests: 60,
+        seed: 7,
+        verify: true,
+        shutdown: true,
+    };
+    let report = run_loadgen(&cfg).expect("loadgen run");
+    assert!(report.verified(), "replay digest must match");
+    assert_eq!(report.ok, report.sent, "kernel mix produces no errors");
+    assert!(report.cache_hits > 0, "repeated content must hit the cache");
+    assert_eq!(report.digest.len(), 16, "canonical digest rendering");
+    handle.join().unwrap().unwrap();
+}

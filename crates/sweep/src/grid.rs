@@ -195,18 +195,8 @@ impl SweepSpec {
             }
         }
         canon.push_str(&format!(";scale={};perfect={}", self.scale, self.perfect));
-        format!("{:016x}", fnv1a64(&canon))
+        crate::digest::hex(canon.as_bytes())
     }
-}
-
-/// 64-bit FNV-1a; tiny, deterministic, good enough for a change-detector.
-fn fnv1a64(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// One simulation of the grid: a workload on a core with concrete knobs.

@@ -74,6 +74,60 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The value as a `bool`, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value on a single line with no insignificant
+    /// whitespace — the framing JSON-lines protocols need (one value per
+    /// `\n`-terminated line). As deterministic as [`Display`](fmt::Display):
+    /// the same value always yields the same bytes.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(_) | Json::Float(_) | Json::Str(_) => {
+                // Reuse the Display writer: floats need the
+                // re-parses-as-float forcing, strings need escaping, and
+                // none of the scalars emit newlines or indentation.
+                fmt::Write::write_fmt(out, format_args!("{self}")).expect("fmt to string");
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    fmt::Write::write_fmt(out, format_args!("{}", Json::Str(k.clone())))
+                        .expect("fmt to string");
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
@@ -390,6 +444,27 @@ mod tests {
         ]);
         assert_eq!(v.to_string(), v.to_string());
         assert_eq!(v.to_string(), "{\n  \"b\": 2,\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let v = Json::Obj(vec![
+            ("id".into(), Json::Int(7)),
+            ("name".into(), Json::Str("a \"b\"\nc".into())),
+            ("x".into(), Json::Float(2.0)),
+            ("ok".into(), Json::Bool(false)),
+            ("none".into(), Json::Null),
+            ("pts".into(), Json::Arr(vec![Json::Int(1), Json::Int(2), Json::Arr(vec![])])),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let line = v.compact();
+        assert!(!line.contains('\n'), "compact output must be one line");
+        assert_eq!(parse(&line).expect("parses"), v);
+        assert_eq!(
+            line,
+            "{\"id\":7,\"name\":\"a \\\"b\\\"\\nc\",\"x\":2.0,\"ok\":false,\
+             \"none\":null,\"pts\":[1,2,[]],\"empty\":{}}"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod grid;
 pub mod json;
 pub mod pool;
@@ -38,9 +39,9 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use braid_core::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
-use braid_core::processor::{run_braid, run_dep, run_inorder, run_ooo};
+use braid_core::processor::{run_braid, run_dep, run_inorder, run_ooo, RunError};
 use braid_core::report::SimReport;
-use braid_core::{CpiStack, StallCause};
+use braid_core::{CpiStack, SimError, StallCause};
 
 pub use grid::{CoreModel, GridPoint, SweepSpec};
 pub use json::Json;
@@ -190,6 +191,46 @@ pub enum SweepError {
         /// What is wrong with it.
         msg: String,
     },
+    /// A grid point named a workload the suite does not contain.
+    UnknownWorkload {
+        /// The unresolvable name.
+        workload: String,
+    },
+    /// A grid point's simulation failed: impossible configuration,
+    /// livelock, deadline, translation or functional failure. The typed
+    /// cause is preserved so servers can map it to structured protocol
+    /// errors instead of string-matching.
+    Point {
+        /// The failing point's key ([`GridPoint::key`]).
+        key: String,
+        /// The underlying pipeline failure.
+        source: RunError,
+    },
+}
+
+impl SweepError {
+    /// A short stable machine-readable code for the error class, used as
+    /// the `code` field of braid-serve protocol errors. These strings are
+    /// a wire contract; extend, never repurpose.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SweepError::Io { .. } => "io",
+            SweepError::Parse { .. } => "parse",
+            SweepError::DigestMismatch { .. } => "digest-mismatch",
+            SweepError::Malformed { .. } => "malformed",
+            SweepError::UnknownWorkload { .. } => "unknown-workload",
+            SweepError::Point { source, .. } => match source {
+                RunError::Exec(_) => "exec",
+                RunError::Translate(_) => "translate",
+                RunError::Check(_) => "check",
+                RunError::Sim(SimError::Config(_)) => "config",
+                RunError::Sim(SimError::Livelock(_)) => "livelock",
+                RunError::Sim(SimError::Deadline { .. }) => "deadline",
+                RunError::Sim(_) => "sim",
+                _ => "run",
+            },
+        }
+    }
 }
 
 impl fmt::Display for SweepError {
@@ -210,6 +251,10 @@ impl fmt::Display for SweepError {
             SweepError::Malformed { path, msg } => {
                 write!(f, "{}: malformed snapshot: {msg}", path.display())
             }
+            SweepError::UnknownWorkload { workload } => {
+                write!(f, "unknown workload `{workload}`")
+            }
+            SweepError::Point { key, source } => write!(f, "{key}: {source}"),
         }
     }
 }
@@ -219,6 +264,7 @@ impl Error for SweepError {
         match self {
             SweepError::Io { source, .. } => Some(source),
             SweepError::Parse { source, .. } => Some(source),
+            SweepError::Point { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -228,11 +274,14 @@ impl Error for SweepError {
 ///
 /// # Errors
 ///
-/// Returns the failure rendered to a string: unknown workload, bad
-/// configuration, or a simulation error (livelock, out of fuel).
-pub fn run_point(p: &GridPoint) -> Result<PointStats, String> {
+/// Returns the typed failure: [`SweepError::UnknownWorkload`] for an
+/// unresolvable workload name, [`SweepError::Point`] wrapping the
+/// [`RunError`] for a bad configuration or a simulation failure (livelock,
+/// deadline, out of fuel). [`SweepError::code`] maps these to stable
+/// protocol codes.
+pub fn run_point(p: &GridPoint) -> Result<PointStats, SweepError> {
     let w = braid_workloads::by_name_any(&p.workload, p.scale)
-        .ok_or_else(|| format!("unknown workload `{}`", p.workload))?;
+        .ok_or_else(|| SweepError::UnknownWorkload { workload: p.workload.clone() })?;
     let report = match p.core {
         CoreModel::InOrder => {
             let mut cfg = if p.width > 0 {
@@ -306,7 +355,9 @@ pub fn run_point(p: &GridPoint) -> Result<PointStats, String> {
             run_braid(&w.program, &cfg, w.fuel)
         }
     };
-    report.map(|r| PointStats::from_report(&r)).map_err(|e| e.to_string())
+    report
+        .map(|r| PointStats::from_report(&r))
+        .map_err(|source| SweepError::Point { key: p.key(), source })
 }
 
 /// Runs a sweep on `threads` workers.
@@ -351,7 +402,9 @@ pub fn run_sweep(
     let shared = Mutex::new(done);
     let write_failure: Mutex<Option<String>> = Mutex::new(None);
     pool::run_indexed(threads, tasks, |_, (idx, point)| {
-        let stats = run_point(&point);
+        // Errors stay results of the sweep (a livelocking config is a data
+        // point); the snapshot format stores them rendered to strings.
+        let stats = run_point(&point).map_err(|e| e.to_string());
         let mut done = shared.lock().expect("sweep state poisoned");
         done[idx] = Some(stats);
         if let Some(path) = snapshot {
@@ -722,7 +775,9 @@ mod tests {
             scale: 0.05,
             perfect: false,
         };
-        assert!(run_point(&p).unwrap_err().contains("nonesuch"));
+        let err = run_point(&p).unwrap_err();
+        assert_eq!(err.code(), "unknown-workload");
+        assert!(err.to_string().contains("nonesuch"));
         // A bad configuration is an Err string, not a panic.
         p.workload = "dot_product".into();
         p.window = 1;

@@ -20,6 +20,9 @@ cargo test -q -p braid-check
 echo "==> cargo test -q -p braid-obs"
 cargo test -q -p braid-obs
 
+echo "==> cargo test -q -p braid-serve"
+cargo test -q -p braid-serve
+
 echo "==> braidc check over the kernel suite"
 for kernel in fig2_life dot_product stencil pointer_chase histogram matmul crc_mix partition; do
   ./target/release/braidc check "@$kernel"
@@ -35,6 +38,32 @@ pipeview_log="$(mktemp)"
 cargo run --release --bin braidsim -- braid @dot_product --pipeview "$pipeview_log"
 ./target/release/braidsim check-kanata "$pipeview_log"
 rm -f "$pipeview_log"
+
+echo "==> serve smoke (braidd + braid-loadgen verify + clean drain)"
+braidd_log="$(mktemp)"
+./target/release/braidd --addr 127.0.0.1:0 --threads 2 > "$braidd_log" &
+braidd_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$braidd_log" && break
+  sleep 0.1
+done
+serve_addr="$(awk '/listening on/{print $NF}' "$braidd_log")"
+if [ -z "$serve_addr" ]; then
+  echo "braidd never came up:" >&2
+  cat "$braidd_log" >&2
+  kill "$braidd_pid" 2>/dev/null || true
+  exit 1
+fi
+# --verify replays the mix on one connection and fails on any byte
+# difference; the daemon must then drain and exit 0 on its own.
+loadgen_out="$(./target/release/braid-loadgen --addr "$serve_addr" \
+  --connections 2 --requests 50 --seed 7 --verify --shutdown)"
+echo "$loadgen_out"
+wait "$braidd_pid"
+grep -q "drained and stopped" "$braidd_log"
+echo "$loadgen_out" | grep -q "byte-identical"
+echo "$loadgen_out" | grep -Eq "cache: [1-9][0-9]* hits"
+rm -f "$braidd_log"
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -101,6 +101,10 @@ fn load_hotspots(path: &str) -> Result<(String, Vec<(u32, String)>), String> {
 
 fn main() -> ExitCode {
     let mut all: Vec<String> = std::env::args().skip(1).collect();
+    if all.iter().any(|a| a == "--version") {
+        println!("braidc {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
     // `--metrics` takes a value; pull the pair out before the boolean-flag
     // scan below.
     let mut metrics_path: Option<String> = None;

@@ -1,0 +1,95 @@
+//! `braidd` — the braid simulation daemon.
+//!
+//! ```text
+//! braidd [--addr HOST:PORT] [--threads N] [--queue-bound N]
+//!        [--max-connections N] [--cache-capacity N]
+//!        [--deadline-cycles N] [--version]
+//! ```
+//!
+//! Listens for JSON-lines requests (`simulate`, `translate`, `check`,
+//! `sweep-point`, `stats`, `shutdown` — see the `braid-serve` crate docs
+//! for the grammar), dispatches them onto a shared work-stealing pool,
+//! and serves repeated content from a content-addressed result cache.
+//! Responses per connection arrive strictly in request order.
+//!
+//! The default address `127.0.0.1:0` binds an ephemeral port; the daemon
+//! prints `braidd listening on HOST:PORT` once ready, so scripts can
+//! scrape the port. The process exits cleanly after a `shutdown` request
+//! drains the queue.
+
+use std::process::ExitCode;
+
+use braid::serve::{Server, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: braidd [--addr HOST:PORT] [--threads N] [--queue-bound N]\n       \
+         [--max-connections N] [--cache-capacity N] [--deadline-cycles N] [--version]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--version") {
+        println!("braidd {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
+    let mut cfg = ServerConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("braidd: {flag} needs a value");
+            return usage();
+        };
+        let numeric = value.parse::<u64>();
+        match (flag, numeric) {
+            ("--addr", _) => cfg.addr = value.clone(),
+            ("--threads", Ok(n)) => cfg.threads = n as usize,
+            ("--queue-bound", Ok(n)) => cfg.queue_bound = n as usize,
+            ("--max-connections", Ok(n)) => cfg.max_connections = n as usize,
+            ("--cache-capacity", Ok(n)) => cfg.cache_capacity = n as usize,
+            ("--deadline-cycles", Ok(n)) => cfg.deadline_cycles = n,
+            (_, Err(_))
+                if [
+                    "--threads",
+                    "--queue-bound",
+                    "--max-connections",
+                    "--cache-capacity",
+                    "--deadline-cycles",
+                ]
+                .contains(&flag) =>
+            {
+                eprintln!("braidd: {flag} needs a non-negative integer, got {value:?}");
+                return usage();
+            }
+            _ => {
+                eprintln!("braidd: unknown option {flag}");
+                return usage();
+            }
+        }
+        i += 2;
+    }
+
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("braidd: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("braidd listening on {addr}"),
+        Err(e) => {
+            eprintln!("braidd: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("braidd: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("braidd drained and stopped");
+    ExitCode::SUCCESS
+}

@@ -332,6 +332,10 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--version") {
+        println!("braidsim {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
     if args.first().map(String::as_str) == Some("sweep") {
         return run_sweep_cmd(&args[1..]);
     }

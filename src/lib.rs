@@ -21,6 +21,7 @@ pub use braid_compiler as compiler;
 pub use braid_core as core;
 pub use braid_isa as isa;
 pub use braid_obs as obs;
+pub use braid_serve as serve;
 pub use braid_sweep as sweep;
 pub use braid_uarch as uarch;
 pub use braid_workloads as workloads;
