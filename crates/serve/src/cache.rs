@@ -1,4 +1,5 @@
-//! The content-addressed result cache.
+//! The content-addressed result cache: a RAM FIFO in front of an
+//! optional crash-safe on-disk store.
 //!
 //! Keys come from [`braid_sweep::digest::ContentDigest`] over everything
 //! that determines a response payload: the workload's serialized container
@@ -9,32 +10,206 @@
 //! client-chosen request id.
 //!
 //! Because simulations are deterministic, a hit is indistinguishable from
-//! a recomputation on the wire; the only observable difference is the
-//! hit/miss counters exposed through the `stats` request.
+//! a recomputation on the wire — whether it came from RAM, from disk, or
+//! from fresh compute. The only observable difference is the hit/miss
+//! counters exposed through the `stats` request.
 //!
-//! Eviction is FIFO at a fixed capacity. That is deliberately dumber than
-//! LRU: insertion order is identical however requests interleave across
-//! connections, so a capacity-limited server still behaves reproducibly
-//! under the load generator's concurrent/sequential comparison.
+//! RAM eviction is FIFO at a fixed capacity. That is deliberately dumber
+//! than LRU: insertion order is identical however requests interleave
+//! across connections, so a capacity-limited server still behaves
+//! reproducibly under the load generator's concurrent/sequential
+//! comparison.
+//!
+//! ## Disk tier and its atomicity invariant
+//!
+//! With a cache directory configured, every computed payload is also
+//! written to `<dir>/<key>.entry`, framed by
+//! [`braid_sweep::digest::frame`] (payload + magic/length/digest footer).
+//! Writes go to a uniquely named temp file first and are published by
+//! `rename`, which is atomic on the same filesystem — so a reader (or a
+//! daemon restarted after `kill -9`) sees either no entry or a complete
+//! one, never a half-written file under the final name. Every read
+//! re-verifies the footer; an entry that fails verification is
+//! **quarantined** (moved to `<dir>/quarantine/`), counted, and treated
+//! as a miss — the payload is recomputed and rewritten, never served
+//! corrupt.
+//!
+//! Disk *write* failures (full disk, permissions, a yanked volume) demote
+//! the cache to RAM-only for the rest of the process: logged once, never
+//! an exit, because the disk tier is an accelerator, not a correctness
+//! dependency.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use braid_sweep::digest::{frame, unframe};
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::Mutex;
+
+/// A disk fault injected by the chaos harness on one insert. The cache
+/// itself never generates these; the server's chaos schedule passes them
+/// into [`ResultCache::insert_faulty`] so the corruption-detection and
+/// demotion paths are exercised deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Flip a byte of the framed entry before writing and skip the RAM
+    /// tier, so the next lookup reads the corrupt entry from disk and
+    /// must quarantine it.
+    Corrupt,
+    /// Fail the write with an ENOSPC-style I/O error, exercising the
+    /// log-once demotion to RAM-only.
+    WriteError,
+}
+
+/// Counters for the disk tier, surfaced through the `stats` request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskCounters {
+    /// Lookups served from disk (after footer verification).
+    pub hits: u64,
+    /// Entries that failed verification and were moved to quarantine.
+    pub quarantined: u64,
+    /// I/O errors on the disk tier (reads and writes).
+    pub errors: u64,
+    /// Entries successfully published via temp-file + rename.
+    pub writes: u64,
+    /// Whether the disk tier is still accepting writes (false after a
+    /// write failure demoted the cache to RAM-only).
+    pub enabled: bool,
+}
 
 struct CacheInner {
     map: HashMap<String, String>,
     order: VecDeque<String>,
     hits: u64,
     misses: u64,
+    disk_hits: u64,
 }
 
-/// A bounded, thread-safe map from content digest to response payload.
+/// The on-disk tier: content-addressed files with verified footers.
+struct DiskStore {
+    dir: PathBuf,
+    /// Cleared after the first write failure (log-once demotion).
+    enabled: AtomicBool,
+    /// Uniquifies temp-file names across concurrent writers.
+    tmp_seq: AtomicU64,
+    quarantined: AtomicU64,
+    errors: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl DiskStore {
+    fn open(dir: &Path) -> io::Result<DiskStore> {
+        fs::create_dir_all(dir)?;
+        // Sweep temp files left by a crash mid-write; entries under the
+        // final name are always complete (rename is atomic), but orphaned
+        // temps are garbage.
+        for entry in fs::read_dir(dir)?.flatten() {
+            if entry.path().extension().is_some_and(|e| e == "tmp") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(DiskStore {
+            dir: dir.to_path_buf(),
+            enabled: AtomicBool::new(true),
+            tmp_seq: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        })
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.entry"))
+    }
+
+    /// Moves a corrupt entry aside so it is never read again but stays
+    /// available for post-mortems, then counts it.
+    fn quarantine(&self, key: &str, why: &impl std::fmt::Display) {
+        let qdir = self.dir.join("quarantine");
+        let _ = fs::create_dir_all(&qdir);
+        let from = self.entry_path(key);
+        if fs::rename(&from, qdir.join(format!("{key}.entry"))).is_err() {
+            // Renaming failed (e.g. the quarantine dir is unwritable);
+            // deleting still prevents re-serving the corrupt bytes.
+            let _ = fs::remove_file(&from);
+        }
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        eprintln!("braid-serve: quarantined corrupt cache entry {key}: {why}");
+    }
+
+    /// Reads and verifies one entry. Corruption quarantines; I/O errors
+    /// other than not-found are counted. Either way a failed read is a
+    /// miss, never an exit.
+    fn get(&self, key: &str) -> Option<String> {
+        let bytes = match fs::read(self.entry_path(key)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let payload = match unframe(&bytes) {
+            Ok(p) => p,
+            Err(e) => {
+                self.quarantine(key, &e);
+                return None;
+            }
+        };
+        match String::from_utf8(payload.to_vec()) {
+            Ok(s) => Some(s),
+            Err(_) => {
+                self.quarantine(key, &"payload is not UTF-8");
+                None
+            }
+        }
+    }
+
+    /// Publishes one framed entry atomically: write a uniquely named temp
+    /// file, then `rename` onto the final name. Returns the I/O error on
+    /// failure so the caller can demote.
+    fn put(&self, key: &str, framed: &[u8], injected_error: bool) -> io::Result<()> {
+        let n = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.dir.join(format!("{key}.{}.{n}.tmp", std::process::id()));
+        let publish = (|| {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(framed)?;
+            if injected_error {
+                return Err(io::Error::new(io::ErrorKind::StorageFull, "chaos: injected ENOSPC"));
+            }
+            fs::rename(&tmp, self.entry_path(key))
+        })();
+        if publish.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        publish
+    }
+
+    fn counters(&self) -> DiskCounters {
+        DiskCounters {
+            hits: 0, // filled in by the cache, which owns the hit counter
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            enabled: self.enabled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A bounded, thread-safe map from content digest to response payload,
+/// optionally backed by a crash-safe disk store.
 pub struct ResultCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
+    disk: Option<DiskStore>,
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` payloads (clamped to ≥ 1).
+    /// A RAM-only cache holding at most `capacity` payloads (clamped to
+    /// ≥ 1).
     pub fn new(capacity: usize) -> ResultCache {
         ResultCache {
             inner: Mutex::new(CacheInner {
@@ -42,31 +217,58 @@ impl ResultCache {
                 order: VecDeque::new(),
                 hits: 0,
                 misses: 0,
+                disk_hits: 0,
             }),
             capacity: capacity.max(1),
+            disk: None,
         }
     }
 
-    /// Looks `key` up, counting a hit or a miss.
+    /// A two-tier cache: RAM FIFO in front of a content-addressed store
+    /// under `dir` (created if absent; stale temp files from a previous
+    /// crash are swept).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when `dir` cannot be created or scanned —
+    /// the caller decides whether to fall back to RAM-only.
+    pub fn with_disk(capacity: usize, dir: &Path) -> io::Result<ResultCache> {
+        let mut cache = ResultCache::new(capacity);
+        cache.disk = Some(DiskStore::open(dir)?);
+        Ok(cache)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        // Poison recovery: a panicking thread (chaos-injected or real)
+        // must not cascade into total cache loss — the counters and map
+        // it held are still internally consistent line by line.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks `key` up in RAM, then on disk (verifying the footer and
+    /// promoting the payload into RAM), counting a hit or a miss.
     pub fn get(&self, key: &str) -> Option<String> {
-        let mut inner = self.inner.lock().expect("cache poisoned");
-        match inner.map.get(key).cloned() {
-            Some(v) => {
+        {
+            let mut inner = self.lock();
+            if let Some(v) = inner.map.get(key).cloned() {
                 inner.hits += 1;
-                Some(v)
-            }
-            None => {
-                inner.misses += 1;
-                None
+                return Some(v);
             }
         }
+        if let Some(hit) = self.disk.as_ref().and_then(|d| d.get(key)) {
+            let mut inner = self.lock();
+            inner.hits += 1;
+            inner.disk_hits += 1;
+            drop(inner);
+            self.insert_ram(key.to_string(), hit.clone());
+            return Some(hit);
+        }
+        self.lock().misses += 1;
+        None
     }
 
-    /// Inserts a payload, evicting the oldest entry at capacity. Losing a
-    /// race with another worker computing the same key is harmless: both
-    /// payloads are byte-identical by determinism.
-    pub fn insert(&self, key: String, payload: String) {
-        let mut inner = self.inner.lock().expect("cache poisoned");
+    fn insert_ram(&self, key: String, payload: String) {
+        let mut inner = self.lock();
         if inner.map.insert(key.clone(), payload).is_none() {
             inner.order.push_back(key);
             while inner.order.len() > self.capacity {
@@ -77,23 +279,73 @@ impl ResultCache {
         }
     }
 
-    /// `(hits, misses)` since construction.
+    /// Inserts a payload into both tiers, evicting the oldest RAM entry
+    /// at capacity. Losing a race with another worker computing the same
+    /// key is harmless: both payloads are byte-identical by determinism.
+    pub fn insert(&self, key: String, payload: String) {
+        self.insert_faulty(key, payload, None);
+    }
+
+    /// [`ResultCache::insert`] with an optional injected disk fault (see
+    /// [`DiskFault`]) — the chaos harness's hook into the disk tier.
+    pub fn insert_faulty(&self, key: String, payload: String, fault: Option<DiskFault>) {
+        if fault != Some(DiskFault::Corrupt) {
+            self.insert_ram(key.clone(), payload.clone());
+        }
+        let Some(disk) = &self.disk else { return };
+        if !disk.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut framed = frame(payload.as_bytes());
+        if fault == Some(DiskFault::Corrupt) {
+            // Flip a payload byte so the footer digest no longer matches;
+            // the next disk read must quarantine, recompute, and rewrite.
+            let i = framed.len() / 2;
+            framed[i] ^= 0x5a;
+        }
+        match disk.put(&key, &framed, fault == Some(DiskFault::WriteError)) {
+            Ok(()) => {
+                disk.writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                disk.errors.fetch_add(1, Ordering::Relaxed);
+                // Log-once demotion to RAM-only: the first write failure
+                // disables the tier; correctness never depended on it.
+                if disk.enabled.swap(false, Ordering::Relaxed) {
+                    eprintln!(
+                        "braid-serve: disk cache write failed ({e}); demoting to RAM-only"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `(hits, misses)` since construction. Hits count both tiers.
     pub fn counters(&self) -> (u64, u64) {
-        let inner = self.inner.lock().expect("cache poisoned");
+        let inner = self.lock();
         (inner.hits, inner.misses)
     }
 
-    /// Number of cached payloads.
-    pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache poisoned").map.len()
+    /// Disk-tier counters, or `None` for a RAM-only cache.
+    pub fn disk_counters(&self) -> Option<DiskCounters> {
+        self.disk.as_ref().map(|d| {
+            let mut c = d.counters();
+            c.hits = self.lock().disk_hits;
+            c
+        })
     }
 
-    /// Whether the cache is empty.
+    /// Number of RAM-cached payloads.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the RAM tier is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// The configured capacity.
+    /// The configured RAM capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -103,6 +355,13 @@ impl ResultCache {
 mod tests {
     use super::*;
 
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("braid-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn hit_and_miss_counters_track_lookups() {
         let c = ResultCache::new(8);
@@ -111,6 +370,7 @@ mod tests {
         assert_eq!(c.get("k").as_deref(), Some("v"));
         assert_eq!(c.counters(), (1, 1));
         assert_eq!(c.len(), 1);
+        assert!(c.disk_counters().is_none(), "RAM-only cache has no disk tier");
     }
 
     #[test]
@@ -132,5 +392,93 @@ mod tests {
         c.insert("a".into(), "1".into());
         c.insert("b".into(), "2".into());
         assert_eq!(c.get("a").as_deref(), Some("1"), "no spurious eviction");
+    }
+
+    #[test]
+    fn disk_tier_survives_a_new_process_image() {
+        let dir = tmp_dir("persist");
+        let payload = r#"{"cycles":123}"#;
+        {
+            let c = ResultCache::with_disk(4, &dir).expect("open disk tier");
+            c.insert("deadbeef".into(), payload.into());
+        }
+        // A "restarted" cache: fresh RAM, same directory.
+        let c = ResultCache::with_disk(4, &dir).expect("reopen disk tier");
+        assert_eq!(c.get("deadbeef").as_deref(), Some(payload), "warm hit from disk");
+        let d = c.disk_counters().expect("disk tier");
+        assert_eq!(d.hits, 1);
+        assert_eq!(d.quarantined, 0);
+        // Promotion: the second lookup is a RAM hit, not another disk read.
+        assert_eq!(c.get("deadbeef").as_deref(), Some(payload));
+        assert_eq!(c.disk_counters().expect("disk tier").hits, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_truncation_of_an_entry_is_quarantined_not_served() {
+        let dir = tmp_dir("truncate");
+        let payload = "0123456789abcdef0123456789abcdef";
+        let full = {
+            let c = ResultCache::with_disk(4, &dir).expect("open");
+            c.insert("k".into(), payload.into());
+            fs::read(dir.join("k.entry")).expect("entry written")
+        };
+        for cut in [0, 1, full.len() / 2, full.len() - 1] {
+            let c = ResultCache::with_disk(4, &dir).expect("reopen");
+            fs::write(dir.join("k.entry"), &full[..cut]).expect("truncate");
+            assert_eq!(c.get("k"), None, "cut at {cut} must miss, not serve garbage");
+            let d = c.disk_counters().expect("disk tier");
+            assert_eq!(d.quarantined, 1, "cut at {cut} quarantined");
+            assert!(!dir.join("k.entry").exists(), "corrupt entry moved aside");
+            // Recompute path: reinsert publishes a fresh, verified entry.
+            c.insert("k".into(), payload.into());
+        }
+        let c = ResultCache::with_disk(4, &dir).expect("reopen");
+        assert_eq!(c.get("k").as_deref(), Some(payload), "rewritten entry verifies");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_corruption_is_detected_on_the_next_read() {
+        let dir = tmp_dir("corrupt");
+        let c = ResultCache::with_disk(4, &dir).expect("open");
+        c.insert_faulty("k".into(), "payload".into(), Some(DiskFault::Corrupt));
+        // Corrupt insert skipped RAM, so this lookup reads disk, detects
+        // the flip, quarantines, and misses.
+        assert_eq!(c.get("k"), None);
+        let d = c.disk_counters().expect("disk tier");
+        assert_eq!(d.quarantined, 1);
+        assert!(d.enabled, "corruption does not demote the tier");
+        // The recompute-and-rewrite cycle restores service.
+        c.insert("k".into(), "payload".into());
+        assert_eq!(c.get("k").as_deref(), Some("payload"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_failure_demotes_to_ram_only_without_losing_service() {
+        let dir = tmp_dir("demote");
+        let c = ResultCache::with_disk(4, &dir).expect("open");
+        c.insert_faulty("k".into(), "v".into(), Some(DiskFault::WriteError));
+        let d = c.disk_counters().expect("disk tier");
+        assert!(!d.enabled, "first write failure demotes");
+        assert_eq!(d.errors, 1);
+        // RAM tier still serves, and later inserts skip disk silently.
+        assert_eq!(c.get("k").as_deref(), Some("v"));
+        c.insert("j".into(), "w".into());
+        assert_eq!(c.get("j").as_deref(), Some("w"));
+        assert!(!dir.join("j.entry").exists(), "demoted tier writes nothing");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_temp_files_are_swept_on_open() {
+        let dir = tmp_dir("sweep");
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join("k.123.0.tmp"), b"half a wri").expect("stale temp");
+        let c = ResultCache::with_disk(4, &dir).expect("open sweeps temps");
+        assert!(!dir.join("k.123.0.tmp").exists(), "stale temp removed");
+        assert_eq!(c.get("k"), None, "a temp file is never an entry");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,318 @@
+//! Deterministic chaos: seeded fault injection at the service boundary.
+//!
+//! `braidd --chaos <spec>` arms this harness. Every fault decision is a
+//! draw from one seeded [`braid_prng::Rng`] stream, so a fault campaign
+//! is reproducible in the same sense as `braid_verify`'s core-layer
+//! campaign: the *schedule* of draws is fixed by the seed, and which
+//! request absorbs which fault depends only on arrival order. Faults
+//! never touch computed payloads — they tear the delivery, kill the
+//! worker, or rot the disk tier — so the service-level invariant under
+//! test is exactly the paper's bargain restated for a daemon: in-order,
+//! byte-identical per-connection semantics must survive out-of-order,
+//! partially-failing execution. `braid-loadgen --verify` under a chaos
+//! spec is the acceptance test.
+//!
+//! ## Fault classes
+//!
+//! | spec key  | injection point                | client-visible symptom        |
+//! |-----------|--------------------------------|-------------------------------|
+//! | `torn`    | writer, before a response line | partial frame, then EOF       |
+//! | `drop`    | writer, before a response line | connection closed, no reply   |
+//! | `stall`   | writer, before a response line | reply delayed by `stall_ms`   |
+//! | `panic`   | worker, before execution       | reply never arrives           |
+//! | `corrupt` | disk tier, at insert           | quarantine + recompute later  |
+//! | `enospc`  | disk tier, at insert           | log-once demotion to RAM-only |
+//!
+//! Responses written inline by the reader (`stats`, `shutdown`, protocol
+//! errors) are exempt: control traffic must stay reliable so a chaos
+//! soak can still be driven and drained.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use braid_prng::Rng;
+use braid_sweep::json::Json;
+
+use crate::cache::DiskFault;
+
+/// Per-class injection probabilities and the schedule seed, parsed from
+/// the `--chaos` spec string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSpec {
+    /// Seed for the fault schedule.
+    pub seed: u64,
+    /// Probability of a torn (partial) response write, per response.
+    pub torn: f64,
+    /// Probability of dropping the connection before a response.
+    pub drop: f64,
+    /// Probability of stalling a response by `stall_ms`.
+    pub stall: f64,
+    /// Stall duration in milliseconds.
+    pub stall_ms: u64,
+    /// Probability a worker job panics before executing.
+    pub panic: f64,
+    /// Probability a disk-cache insert writes a corrupted entry.
+    pub corrupt: f64,
+    /// Probability a disk-cache insert fails with an ENOSPC-style error.
+    pub enospc: f64,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> ChaosSpec {
+        ChaosSpec {
+            seed: 0,
+            torn: 0.0,
+            drop: 0.0,
+            stall: 0.0,
+            stall_ms: 10,
+            panic: 0.0,
+            corrupt: 0.0,
+            enospc: 0.0,
+        }
+    }
+}
+
+impl ChaosSpec {
+    /// Parses a spec string: comma-separated `key=value` pairs over the
+    /// keys `seed`, `torn`, `drop`, `stall`, `stall_ms`, `panic`,
+    /// `corrupt`, `enospc`. Probabilities must lie in `[0, 1]`; the
+    /// write-fault probabilities (`torn + drop + stall`) must sum to at
+    /// most 1 because they are drawn from one roll, as must the
+    /// disk-fault pair (`corrupt + enospc`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown keys, malformed
+    /// values, or out-of-range probabilities.
+    pub fn parse(spec: &str) -> Result<ChaosSpec, String> {
+        let mut out = ChaosSpec::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos spec item `{part}` is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let prob = || -> Result<f64, String> {
+                let p: f64 = value
+                    .parse()
+                    .map_err(|_| format!("chaos `{key}` needs a number, got `{value}`"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("chaos `{key}` must be in [0,1], got {p}"));
+                }
+                Ok(p)
+            };
+            match key {
+                "seed" => {
+                    out.seed = value
+                        .parse()
+                        .map_err(|_| format!("chaos `seed` needs an integer, got `{value}`"))?;
+                }
+                "stall_ms" => {
+                    out.stall_ms = value
+                        .parse()
+                        .map_err(|_| format!("chaos `stall_ms` needs an integer, got `{value}`"))?;
+                }
+                "torn" => out.torn = prob()?,
+                "drop" => out.drop = prob()?,
+                "stall" => out.stall = prob()?,
+                "panic" => out.panic = prob()?,
+                "corrupt" => out.corrupt = prob()?,
+                "enospc" => out.enospc = prob()?,
+                other => return Err(format!("unknown chaos key `{other}`")),
+            }
+        }
+        if out.torn + out.drop + out.stall > 1.0 {
+            return Err("chaos torn+drop+stall must sum to at most 1".into());
+        }
+        if out.corrupt + out.enospc > 1.0 {
+            return Err("chaos corrupt+enospc must sum to at most 1".into());
+        }
+        Ok(out)
+    }
+}
+
+/// A fault chosen for one response write.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WriteFault {
+    /// Write only a prefix of the line (fraction `keep` of its bytes,
+    /// exclusive of the full length), then sever the connection.
+    Torn {
+        /// Fraction of the line to emit before tearing, in `[0, 1)`.
+        keep: f64,
+    },
+    /// Sever the connection without writing anything.
+    Drop,
+    /// Delay the write, then deliver normally.
+    Stall(Duration),
+}
+
+/// Which counter an injected fault increments (order matches
+/// [`Chaos::injected`]'s array and the `stats` rendering).
+const CLASSES: [&str; 6] = ["torn", "drop", "stall", "panic", "corrupt", "enospc"];
+
+/// The armed chaos harness: one seeded stream behind a mutex plus
+/// per-class injection counters for the `stats` document.
+pub struct Chaos {
+    spec: ChaosSpec,
+    rng: Mutex<Rng>,
+    injected: [AtomicU64; 6],
+}
+
+impl Chaos {
+    /// Arms a harness with `spec`'s probabilities and seed.
+    pub fn new(spec: ChaosSpec) -> Chaos {
+        Chaos {
+            rng: Mutex::new(Rng::seed_from_u64(spec.seed)),
+            spec,
+            injected: Default::default(),
+        }
+    }
+
+    /// The armed spec.
+    pub fn spec(&self) -> &ChaosSpec {
+        &self.spec
+    }
+
+    fn count(&self, class: usize) {
+        self.injected[class].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decides the fate of one pooled response write: one roll across
+    /// the mutually exclusive torn/drop/stall classes.
+    pub fn write_fault(&self) -> Option<WriteFault> {
+        let s = &self.spec;
+        if s.torn + s.drop + s.stall == 0.0 {
+            return None;
+        }
+        let mut rng = self.rng.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let r = rng.next_f64();
+        if r < s.torn {
+            let keep = rng.next_f64();
+            drop(rng);
+            self.count(0);
+            Some(WriteFault::Torn { keep })
+        } else if r < s.torn + s.drop {
+            drop(rng);
+            self.count(1);
+            Some(WriteFault::Drop)
+        } else if r < s.torn + s.drop + s.stall {
+            drop(rng);
+            self.count(2);
+            Some(WriteFault::Stall(Duration::from_millis(s.stall_ms)))
+        } else {
+            None
+        }
+    }
+
+    /// Whether this worker job should panic before executing.
+    pub fn job_panic(&self) -> bool {
+        if self.spec.panic == 0.0 {
+            return false;
+        }
+        let hit = self
+            .rng
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .gen_bool(self.spec.panic);
+        if hit {
+            self.count(3);
+        }
+        hit
+    }
+
+    /// Decides the fate of one disk-cache insert: one roll across the
+    /// mutually exclusive corrupt/enospc classes.
+    pub fn disk_fault(&self) -> Option<DiskFault> {
+        let s = &self.spec;
+        if s.corrupt + s.enospc == 0.0 {
+            return None;
+        }
+        let r = self
+            .rng
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .next_f64();
+        if r < s.corrupt {
+            self.count(4);
+            Some(DiskFault::Corrupt)
+        } else if r < s.corrupt + s.enospc {
+            self.count(5);
+            Some(DiskFault::WriteError)
+        } else {
+            None
+        }
+    }
+
+    /// Renders the armed spec and per-class injection counts for the
+    /// `stats` document.
+    pub fn to_json(&self) -> Json {
+        let injected = CLASSES
+            .iter()
+            .zip(&self.injected)
+            .map(|(name, n)| ((*name).to_string(), Json::Int(n.load(Ordering::Relaxed))))
+            .collect();
+        Json::Obj(vec![
+            ("seed".into(), Json::Int(self.spec.seed)),
+            ("injected".into(), Json::Obj(injected)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_and_validates() {
+        let s = ChaosSpec::parse("seed=9,torn=0.1,drop=0.2,stall=0.3,stall_ms=5,panic=0.4,corrupt=0.5,enospc=0.25")
+            .expect("valid spec");
+        assert_eq!(s.seed, 9);
+        assert_eq!((s.torn, s.drop, s.stall, s.stall_ms), (0.1, 0.2, 0.3, 5));
+        assert_eq!((s.panic, s.corrupt, s.enospc), (0.4, 0.5, 0.25));
+        assert_eq!(ChaosSpec::parse(""), Ok(ChaosSpec::default()), "empty spec is all-off");
+        assert!(ChaosSpec::parse("torn=1.5").is_err(), "probability out of range");
+        assert!(ChaosSpec::parse("torn=0.6,drop=0.6").is_err(), "write classes oversubscribed");
+        assert!(ChaosSpec::parse("corrupt=0.7,enospc=0.7").is_err(), "disk classes oversubscribed");
+        assert!(ChaosSpec::parse("warp=0.1").is_err(), "unknown key");
+        assert!(ChaosSpec::parse("torn").is_err(), "missing value");
+    }
+
+    #[test]
+    fn schedule_is_seed_deterministic() {
+        let draws = |seed| {
+            let c = Chaos::new(ChaosSpec {
+                torn: 0.2,
+                drop: 0.2,
+                stall: 0.2,
+                seed,
+                ..ChaosSpec::default()
+            });
+            (0..64).map(|_| c.write_fault()).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(7), draws(7), "same seed, same schedule");
+        assert_ne!(draws(7), draws(8), "different seed, different schedule");
+    }
+
+    #[test]
+    fn injection_counters_track_draws() {
+        let c = Chaos::new(ChaosSpec { panic: 1.0, corrupt: 1.0, ..ChaosSpec::default() });
+        assert!(c.job_panic());
+        assert_eq!(c.disk_fault(), Some(DiskFault::Corrupt));
+        assert_eq!(c.disk_fault(), Some(DiskFault::Corrupt));
+        let doc = c.to_json();
+        let injected = doc.get("injected").expect("injected");
+        assert_eq!(injected.get("panic").and_then(Json::as_u64), Some(1));
+        assert_eq!(injected.get("corrupt").and_then(Json::as_u64), Some(2));
+        assert_eq!(injected.get("torn").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn all_off_spec_never_injects() {
+        let c = Chaos::new(ChaosSpec::default());
+        for _ in 0..256 {
+            assert_eq!(c.write_fault(), None);
+            assert!(!c.job_panic());
+            assert_eq!(c.disk_fault(), None);
+        }
+    }
+}

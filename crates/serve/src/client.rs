@@ -1,0 +1,325 @@
+//! A resilient braid-serve client: retry, backoff, reconnect, replay.
+//!
+//! The protocol makes resilience cheap: every compute request is
+//! **idempotent**, because the server addresses results by the content
+//! digest of the request itself — replaying a request whose response was
+//! lost (torn frame, dropped connection, panicked worker) re-hits the
+//! same cache key and yields a byte-identical payload. [`Client`]
+//! therefore recovers from every transport-level fault the same way:
+//! sever the connection, back off, reconnect, resend the same line.
+//!
+//! Three mechanisms, all deterministic given the seed and the fault
+//! sequence:
+//!
+//! - **Bounded exponential backoff with seeded jitter**: attempt `k`
+//!   sleeps `min(cap, base·2^k)` milliseconds, scaled by a jitter factor
+//!   in `[0.5, 1.0]` drawn from a seeded [`braid_prng::Rng`] — bounded
+//!   pressure, no synchronized thundering herd, reproducible schedules.
+//! - **`retry_after_ms` honored**: a backpressure response sleeps the
+//!   server's hint or the current backoff, whichever is longer, and does
+//!   not consume an attempt — backpressure is the server working as
+//!   designed, not a fault.
+//! - **Per-request wall-clock budget**: each request gets
+//!   `request_timeout_ms` of real time across all attempts; the socket
+//!   read timeout is re-armed to the remaining budget so a stalled
+//!   server cannot absorb more than the budget either.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use braid_prng::Rng;
+use braid_sweep::json::{self, Json};
+
+/// Client configuration; [`ClientConfig::new`] supplies the defaults the
+/// load generator and tests use.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Daemon address, e.g. `127.0.0.1:4848`.
+    pub addr: String,
+    /// Wall-clock budget per request across all attempts, in
+    /// milliseconds.
+    pub request_timeout_ms: u64,
+    /// Read-timeout cap per attempt, in milliseconds. A response that is
+    /// simply *never coming* — a worker panicked, a stream wedged — must
+    /// not absorb the whole request budget; capping the per-attempt wait
+    /// leaves room to reconnect and replay within the budget.
+    pub attempt_timeout_ms: u64,
+    /// Maximum transport-fault attempts per request (backpressure
+    /// retries are not counted).
+    pub max_attempts: u32,
+    /// First backoff step in milliseconds.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl ClientConfig {
+    /// Defaults: 10 s budget, 2 s per attempt, 16 attempts, 5 ms–250 ms
+    /// backoff.
+    pub fn new(addr: impl Into<String>, seed: u64) -> ClientConfig {
+        ClientConfig {
+            addr: addr.into(),
+            request_timeout_ms: 10_000,
+            attempt_timeout_ms: 2_000,
+            max_attempts: 16,
+            backoff_base_ms: 5,
+            backoff_cap_ms: 250,
+            seed,
+        }
+    }
+}
+
+/// Why a [`Client::request`] gave up.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The request's wall-clock budget ran out before a terminal
+    /// response arrived.
+    TimedOut {
+        /// Transport attempts made within the budget.
+        attempts: u32,
+    },
+    /// Every allowed attempt failed; `last` describes the final failure.
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The last transport failure observed.
+        last: String,
+    },
+    /// The request line itself was rejected locally (e.g. no id field) —
+    /// replaying it could never succeed.
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::TimedOut { attempts } => {
+                write!(f, "request timed out ({attempts} attempts)")
+            }
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "request failed after {attempts} attempts: {last}")
+            }
+            ClientError::BadRequest(m) => write!(f, "bad request line: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// A synchronous client with automatic reconnect-and-replay. One request
+/// is in flight at a time; the connection is established lazily and
+/// replaced whenever the transport misbehaves.
+pub struct Client {
+    cfg: ClientConfig,
+    conn: Option<Conn>,
+    rng: Rng,
+    /// Connections (re)established, including the first.
+    pub connects: u64,
+    /// Requests replayed after a transport fault.
+    pub replays: u64,
+    /// Backpressure (`retry`) responses absorbed.
+    pub retries: u64,
+}
+
+impl Client {
+    /// A client for `cfg.addr`; connects on first use.
+    pub fn new(cfg: ClientConfig) -> Client {
+        let rng = Rng::seed_from_u64(cfg.seed);
+        Client { cfg, conn: None, rng, connects: 0, replays: 0, retries: 0 }
+    }
+
+    /// The backoff sleep for attempt `k` (0-based): `min(cap, base·2^k)`
+    /// scaled by a seeded jitter factor in `[0.5, 1.0]`.
+    fn backoff(&mut self, k: u32) -> Duration {
+        let base = self.cfg.backoff_base_ms.max(1);
+        let exp = base.saturating_mul(1u64 << k.min(20));
+        let capped = exp.min(self.cfg.backoff_cap_ms.max(base));
+        let jitter = 0.5 + self.rng.next_f64() / 2.0;
+        Duration::from_millis(((capped as f64) * jitter).round() as u64)
+    }
+
+    /// The read timeout for one attempt: the remaining budget, capped by
+    /// `attempt_timeout_ms`, floored at 10 ms.
+    fn attempt_timeout(&self, remaining: Duration) -> Duration {
+        remaining
+            .min(Duration::from_millis(self.cfg.attempt_timeout_ms.max(1)))
+            .max(Duration::from_millis(10))
+    }
+
+    fn connect(&mut self, remaining: Duration) -> io::Result<&mut Conn> {
+        if self.conn.is_none() {
+            let timeout = self.attempt_timeout(remaining);
+            let stream = TcpStream::connect(&self.cfg.addr)?;
+            stream.set_read_timeout(Some(timeout))?;
+            self.connects += 1;
+            let reader = BufReader::new(stream.try_clone()?);
+            self.conn = Some(Conn { reader, writer: BufWriter::new(stream) });
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// One send/receive over the current connection. Any failure returns
+    /// `Err` with a description; the caller severs and replays.
+    fn attempt(&mut self, line: &str, remaining: Duration) -> Result<String, String> {
+        let timeout = self.attempt_timeout(remaining);
+        let conn = self.connect(remaining).map_err(|e| format!("connect: {e}"))?;
+        conn.reader
+            .get_ref()
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| format!("arm timeout: {e}"))?;
+        writeln!(conn.writer, "{line}")
+            .and_then(|()| conn.writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut resp = String::new();
+        match conn.reader.read_line(&mut resp) {
+            Ok(0) => Err("server closed the connection".into()),
+            Ok(_) if !resp.ends_with('\n') => {
+                // A torn frame: bytes arrived but the line never
+                // finished. The content cannot be trusted.
+                Err("torn response frame".into())
+            }
+            Ok(_) => Ok(resp.trim_end().to_string()),
+            Err(e) => Err(format!("recv: {e}")),
+        }
+    }
+
+    /// Sends one request line and returns its terminal response line,
+    /// absorbing backpressure and recovering from transport faults by
+    /// reconnect-and-replay (safe: requests are idempotent under the
+    /// server's content-addressed cache).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::BadRequest`] for a line without a readable numeric
+    /// `id` (the response could not be correlated);
+    /// [`ClientError::TimedOut`] when the wall-clock budget lapses;
+    /// [`ClientError::Exhausted`] when `max_attempts` transport attempts
+    /// all failed.
+    pub fn request(&mut self, line: &str) -> Result<String, ClientError> {
+        let id = json::parse(line)
+            .ok()
+            .as_ref()
+            .and_then(|d| d.get("id"))
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::BadRequest("no numeric `id` field".into()))?;
+        let deadline = Instant::now() + Duration::from_millis(self.cfg.request_timeout_ms);
+        let mut attempts = 0u32;
+        let mut last = String::from("never attempted");
+        while attempts < self.cfg.max_attempts {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero())
+            else {
+                return Err(ClientError::TimedOut { attempts });
+            };
+            if attempts > 0 {
+                self.replays += 1;
+            }
+            attempts += 1;
+            match self.attempt(line, remaining) {
+                Ok(resp) => {
+                    let doc = match json::parse(&resp) {
+                        Ok(d) => d,
+                        Err(e) => {
+                            // Unparseable frame: framing is unreliable;
+                            // sever and replay.
+                            last = format!("bad response line: {e}");
+                            self.conn = None;
+                            let b = self.backoff(attempts - 1);
+                            thread::sleep(b);
+                            continue;
+                        }
+                    };
+                    if doc.get("status").and_then(Json::as_str) == Some("retry") {
+                        // Backpressure: not a fault, not an attempt. Honor
+                        // the server's hint, floored by our own backoff.
+                        self.retries += 1;
+                        attempts -= 1;
+                        let hint = doc
+                            .get("retry_after_ms")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(self.cfg.backoff_base_ms);
+                        let b = self.backoff(attempts).max(Duration::from_millis(hint));
+                        thread::sleep(b);
+                        continue;
+                    }
+                    if doc.get("id").and_then(Json::as_u64) != Some(id) {
+                        // A stale or misdelivered frame means the stream
+                        // is desynchronized; the connection is unusable.
+                        last = "response id mismatch".into();
+                        self.conn = None;
+                        let b = self.backoff(attempts - 1);
+                        thread::sleep(b);
+                        continue;
+                    }
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    last = e;
+                    self.conn = None;
+                    let b = self.backoff(attempts - 1);
+                    thread::sleep(b);
+                }
+            }
+        }
+        Err(ClientError::Exhausted { attempts, last })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_exponential_with_seeded_jitter() {
+        let mut a = Client::new(ClientConfig::new("unused", 7));
+        let mut b = Client::new(ClientConfig::new("unused", 7));
+        let seq_a: Vec<u64> = (0..12).map(|k| a.backoff(k).as_millis() as u64).collect();
+        let seq_b: Vec<u64> = (0..12).map(|k| b.backoff(k).as_millis() as u64).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same jitter schedule");
+        for (k, &ms) in seq_a.iter().enumerate() {
+            let nominal = (5u64 << k).min(250);
+            assert!(
+                ms >= nominal / 2 && ms <= nominal,
+                "attempt {k}: {ms}ms outside [{}..{}]",
+                nominal / 2,
+                nominal
+            );
+        }
+        let mut c = Client::new(ClientConfig::new("unused", 8));
+        let seq_c: Vec<u64> = (0..12).map(|k| c.backoff(k).as_millis() as u64).collect();
+        assert_ne!(seq_a, seq_c, "different seed, different jitter");
+    }
+
+    #[test]
+    fn unreachable_server_exhausts_cleanly() {
+        // A port from the ephemeral range with nothing listening:
+        // connecting fails fast, and the client reports exhaustion
+        // rather than hanging or panicking.
+        let mut c = Client::new(ClientConfig {
+            request_timeout_ms: 2_000,
+            max_attempts: 2,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 2,
+            ..ClientConfig::new("127.0.0.1:1", 3)
+        });
+        match c.request(r#"{"id":1,"kind":"stats"}"#) {
+            Err(ClientError::Exhausted { attempts: 2, .. }) | Err(ClientError::TimedOut { .. }) => {}
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn requests_without_an_id_are_rejected_locally() {
+        let mut c = Client::new(ClientConfig::new("127.0.0.1:1", 0));
+        assert!(matches!(c.request("not json"), Err(ClientError::BadRequest(_))));
+        assert!(matches!(c.request(r#"{"kind":"stats"}"#), Err(ClientError::BadRequest(_))));
+    }
+}

@@ -22,20 +22,40 @@
 //! the concurrent run's.
 //!
 //! Overload is explicit, never silent: a full job queue answers
-//! `status:"retry"` with a `retry_after_ms` hint, a full connection table
-//! answers the same at accept time, and `shutdown` drains queued work
-//! before the daemon exits ([`server`] documents the exact semantics).
+//! `status:"retry"` with a `retry_after_ms` hint — shed **by request
+//! class** so cheap introspection survives overload longer than heavy
+//! simulation — a full connection table answers the same at accept time,
+//! and `shutdown` drains queued work before the daemon exits ([`server`]
+//! documents the exact semantics).
+//!
+//! The service is built to survive hostile reality, and to prove it:
+//!
+//! - the cache ([`cache`]) has an optional crash-safe disk tier — entries
+//!   are framed with a length+digest footer, published by atomic rename,
+//!   verified on every read, and quarantined when corrupt, so a `kill -9`
+//!   mid-write can never serve bad bytes after restart;
+//! - a deterministic chaos harness ([`chaos`]) injects torn writes,
+//!   dropped connections, stalls, worker panics, disk corruption, and
+//!   disk-full failures from a seeded schedule, so every recovery path is
+//!   exercisable on demand;
+//! - the bundled client ([`client`]) recovers from all of it with bounded
+//!   seeded backoff and reconnect-and-replay, which is safe because
+//!   content-addressed results make every compute request idempotent.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
+pub mod client;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 pub mod stats;
 
 pub use cache::ResultCache;
+pub use chaos::{Chaos, ChaosSpec};
+pub use client::{Client, ClientConfig, ClientError};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenError, LoadgenReport};
 pub use protocol::{parse_request, Request};
 pub use server::{Server, ServerConfig};

@@ -12,20 +12,24 @@
 //! cached and computed payloads, a cross-connection data race, a reorder
 //! bug in the writer — shows up as a digest mismatch.
 //!
-//! `retry` backpressure responses are handled by resending after the
-//! server's hint; only the terminal response of each request enters the
-//! digest, so a run that hit backpressure digests identically to one
-//! that did not.
+//! Every connection is a resilient [`Client`]: `retry` backpressure
+//! responses are absorbed by resending after the server's hint, and
+//! transport faults — torn frames, dropped connections, responses lost
+//! to a panicked worker — are absorbed by reconnect-and-replay with
+//! seeded, bounded backoff. Only the terminal response of each request
+//! enters the digest, so a run that hit backpressure or chaos faults
+//! digests identically to one that did not. That is the acceptance test
+//! for the chaos harness: `braid-loadgen --verify` against a daemon
+//! under `--chaos` must still report byte-identical responses.
 
 use std::collections::BTreeMap;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::TcpStream;
+use std::io;
 use std::thread;
-use std::time::Duration;
 
-use braid_prng::Rng;
 use braid_sweep::digest::hex;
 use braid_sweep::json::{self, Json};
+
+use crate::client::{Client, ClientConfig, ClientError};
 
 /// Workloads the generated mix draws from (hand-written kernels: cheap,
 /// deterministic, scale-independent).
@@ -43,13 +47,18 @@ pub struct LoadgenConfig {
     pub connections: usize,
     /// Total requests across all connections.
     pub requests: usize,
-    /// Mix seed; same seed, same requests, byte for byte.
+    /// Mix seed; same seed, same requests, byte for byte. Also seeds the
+    /// per-connection backoff jitter streams.
     pub seed: u64,
     /// Replay the mix on one connection and verify byte-identical
     /// responses.
     pub verify: bool,
     /// Send `shutdown` after the run (and after verification).
     pub shutdown: bool,
+    /// Per-request wall-clock budget in milliseconds (all attempts).
+    pub timeout_ms: u64,
+    /// Transport-fault attempts per request before giving up.
+    pub max_attempts: u32,
 }
 
 impl Default for LoadgenConfig {
@@ -61,6 +70,20 @@ impl Default for LoadgenConfig {
             seed: 7,
             verify: true,
             shutdown: false,
+            timeout_ms: 10_000,
+            max_attempts: 16,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// The client configuration for connection slot `slot` (each slot
+    /// gets its own derived jitter seed so backoff schedules decorrelate).
+    fn client_cfg(&self, slot: u64) -> ClientConfig {
+        ClientConfig {
+            request_timeout_ms: self.timeout_ms,
+            max_attempts: self.max_attempts,
+            ..ClientConfig::new(self.addr.clone(), self.seed ^ slot.wrapping_add(0x9e37_79b9))
         }
     }
 }
@@ -68,7 +91,7 @@ impl Default for LoadgenConfig {
 /// What a load-generator run observed.
 #[derive(Debug, Clone)]
 pub struct LoadgenReport {
-    /// Requests sent (excluding resends after `retry`).
+    /// Requests sent (excluding resends after `retry` or faults).
     pub sent: usize,
     /// `ok` responses received.
     pub ok: usize,
@@ -76,6 +99,11 @@ pub struct LoadgenReport {
     pub errors: usize,
     /// Backpressure (`retry`) responses absorbed by resending.
     pub retries: usize,
+    /// Requests replayed after transport faults (torn frames, drops,
+    /// lost responses).
+    pub replays: usize,
+    /// Connections established beyond the initial one per slot.
+    pub reconnects: usize,
     /// Digest over the concurrent run's responses, in request order.
     pub digest: String,
     /// Digest of the single-connection replay (verify mode only).
@@ -84,6 +112,10 @@ pub struct LoadgenReport {
     pub cache_hits: u64,
     /// Server cache misses at the end of the run.
     pub cache_misses: u64,
+    /// Cache hits served from the disk tier (0 without one).
+    pub disk_hits: u64,
+    /// Disk-cache entries quarantined as corrupt (0 without a disk tier).
+    pub quarantined: u64,
 }
 
 impl LoadgenReport {
@@ -104,6 +136,8 @@ pub enum LoadgenError {
     Io(io::Error),
     /// The server closed a connection or sent an unparseable line.
     Protocol(String),
+    /// A request exhausted its attempts or wall-clock budget.
+    Client(ClientError),
     /// A request never received a terminal response.
     Lost {
         /// Requests sent.
@@ -125,6 +159,7 @@ impl std::fmt::Display for LoadgenError {
         match self {
             LoadgenError::Io(e) => write!(f, "i/o: {e}"),
             LoadgenError::Protocol(m) => write!(f, "protocol: {m}"),
+            LoadgenError::Client(e) => write!(f, "client: {e}"),
             LoadgenError::Lost { expected, got } => {
                 write!(f, "lost responses: sent {expected}, got {got}")
             }
@@ -140,6 +175,7 @@ impl std::error::Error for LoadgenError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             LoadgenError::Io(e) => Some(e),
+            LoadgenError::Client(e) => Some(e),
             _ => None,
         }
     }
@@ -151,12 +187,18 @@ impl From<io::Error> for LoadgenError {
     }
 }
 
+impl From<ClientError> for LoadgenError {
+    fn from(e: ClientError) -> LoadgenError {
+        LoadgenError::Client(e)
+    }
+}
+
 /// Generates the deterministic request mix: `n` request lines with ids
 /// `1..=n`, drawn from a seeded distribution of roughly 60% `simulate`,
 /// 15% `sweep-point`, 15% `translate`, 10% `check` over the kernel
 /// workloads and all four cores.
 pub fn generate_requests(n: usize, seed: u64) -> Vec<String> {
-    let mut rng = Rng::seed_from_u64(seed);
+    let mut rng = braid_prng::Rng::seed_from_u64(seed);
     (1..=n as u64)
         .map(|id| {
             let workload = *rng.choose(&WORKLOADS);
@@ -185,69 +227,64 @@ pub fn generate_requests(n: usize, seed: u64) -> Vec<String> {
         .collect()
 }
 
-/// One connection's worth of send/receive. Requests go one at a time
-/// (send, await terminal response); `retry` responses sleep for the
-/// server's hint and resend. Returns `(request index, terminal line)`
-/// pairs plus the retry count.
-fn drive_connection(
-    addr: &str,
-    slice: Vec<(usize, String)>,
-) -> Result<(Vec<(usize, String)>, usize), LoadgenError> {
-    let stream = TcpStream::connect(addr)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut out = Vec::with_capacity(slice.len());
-    let mut retries = 0usize;
-    for (idx, line) in slice {
-        loop {
-            writeln!(writer, "{line}")?;
-            writer.flush()?;
-            let mut resp = String::new();
-            if reader.read_line(&mut resp)? == 0 {
-                return Err(LoadgenError::Protocol("server closed the connection".into()));
-            }
-            let resp = resp.trim_end().to_string();
-            let doc = json::parse(&resp)
-                .map_err(|e| LoadgenError::Protocol(format!("bad response line: {e}")))?;
-            if doc.get("status").and_then(Json::as_str) == Some("retry") {
-                retries += 1;
-                let ms = doc.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(10);
-                thread::sleep(Duration::from_millis(ms));
-                continue;
-            }
-            out.push((idx, resp));
-            break;
-        }
-    }
-    Ok((out, retries))
+/// Resilience counters one connection slot accumulated.
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotStats {
+    retries: usize,
+    replays: usize,
+    reconnects: usize,
 }
 
-/// Sends the request list over `connections` sockets (request `i` rides
-/// connection `i % connections`, orders preserved per connection) and
-/// returns the terminal responses in request order plus the total retry
-/// count.
+/// One connection slot's worth of send/receive through a resilient
+/// [`Client`]: requests go one at a time; backpressure and transport
+/// faults are absorbed inside [`Client::request`]. Returns
+/// `(request index, terminal line)` pairs plus the slot's counters.
+fn drive_connection(
+    cfg: ClientConfig,
+    slice: Vec<(usize, String)>,
+) -> Result<(Vec<(usize, String)>, SlotStats), LoadgenError> {
+    let mut client = Client::new(cfg);
+    let mut out = Vec::with_capacity(slice.len());
+    for (idx, line) in slice {
+        let resp = client.request(&line)?;
+        out.push((idx, resp));
+    }
+    let stats = SlotStats {
+        retries: client.retries as usize,
+        replays: client.replays as usize,
+        reconnects: client.connects.saturating_sub(1) as usize,
+    };
+    Ok((out, stats))
+}
+
+/// Sends the request list over `connections` client slots (request `i`
+/// rides slot `i % connections`, orders preserved per slot) and returns
+/// the terminal responses in request order plus the summed resilience
+/// counters.
 fn run_phase(
-    addr: &str,
+    cfg: &LoadgenConfig,
     lines: &[String],
     connections: usize,
-) -> Result<(Vec<String>, usize), LoadgenError> {
+) -> Result<(Vec<String>, SlotStats), LoadgenError> {
     let connections = connections.max(1);
     let mut slices: Vec<Vec<(usize, String)>> = vec![Vec::new(); connections];
     for (i, line) in lines.iter().enumerate() {
         slices[i % connections].push((i, line.clone()));
     }
     let mut handles = Vec::new();
-    for slice in slices {
-        let addr = addr.to_string();
-        handles.push(thread::spawn(move || drive_connection(&addr, slice)));
+    for (slot, slice) in slices.into_iter().enumerate() {
+        let ccfg = cfg.client_cfg(slot as u64);
+        handles.push(thread::spawn(move || drive_connection(ccfg, slice)));
     }
     let mut by_index = BTreeMap::new();
-    let mut retries = 0usize;
+    let mut total = SlotStats::default();
     for h in handles {
-        let (pairs, r) = h.join().map_err(|_| {
+        let (pairs, s) = h.join().map_err(|_| {
             LoadgenError::Protocol("connection thread panicked".into())
         })??;
-        retries += r;
+        total.retries += s.retries;
+        total.replays += s.replays;
+        total.reconnects += s.reconnects;
         for (idx, line) in pairs {
             by_index.insert(idx, line);
         }
@@ -255,7 +292,7 @@ fn run_phase(
     if by_index.len() != lines.len() {
         return Err(LoadgenError::Lost { expected: lines.len(), got: by_index.len() });
     }
-    Ok((by_index.into_values().collect(), retries))
+    Ok((by_index.into_values().collect(), total))
 }
 
 /// Digests a response list: the canonical 16-hex-digit rendering of the
@@ -264,20 +301,13 @@ fn digest_responses(lines: &[String]) -> String {
     hex(lines.join("\n").as_bytes())
 }
 
-/// Sends one out-of-mix request on a fresh connection and returns the
-/// parsed response document.
-fn control_request(addr: &str, line: &str) -> Result<Json, LoadgenError> {
-    let stream = TcpStream::connect(addr)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    writeln!(writer, "{line}")?;
-    writer.flush()?;
-    let mut resp = String::new();
-    if reader.read_line(&mut resp)? == 0 {
-        return Err(LoadgenError::Protocol("server closed the control connection".into()));
-    }
-    json::parse(resp.trim_end())
-        .map_err(|e| LoadgenError::Protocol(format!("bad control response: {e}")))
+/// Sends one out-of-mix request on a fresh resilient client and returns
+/// the parsed response document.
+fn control_request(cfg: &LoadgenConfig, line: &str) -> Result<Json, LoadgenError> {
+    // Slot id far outside the mix range keeps the jitter stream distinct.
+    let mut client = Client::new(cfg.client_cfg(u64::MAX));
+    let resp = client.request(line)?;
+    json::parse(&resp).map_err(|e| LoadgenError::Protocol(format!("bad control response: {e}")))
 }
 
 /// Runs the full load-generation session against a live daemon.
@@ -286,15 +316,15 @@ fn control_request(addr: &str, line: &str) -> Result<Json, LoadgenError> {
 ///
 /// Returns [`LoadgenError::Mismatch`] when verify mode detects a
 /// determinism violation, [`LoadgenError::Lost`] when a request never got
-/// a terminal response, and I/O or protocol errors for transport
-/// failures.
+/// a terminal response, [`LoadgenError::Client`] when a request exhausted
+/// its retry budget, and I/O or protocol errors for transport failures.
 pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, LoadgenError> {
     let lines = generate_requests(cfg.requests, cfg.seed);
-    let (responses, retries) = run_phase(&cfg.addr, &lines, cfg.connections)?;
+    let (responses, stats) = run_phase(cfg, &lines, cfg.connections)?;
     let digest = digest_responses(&responses);
 
     let replay_digest = if cfg.verify {
-        let (replay, _) = run_phase(&cfg.addr, &lines, 1)?;
+        let (replay, _) = run_phase(cfg, &lines, 1)?;
         let replay_digest = digest_responses(&replay);
         if replay_digest != digest {
             return Err(LoadgenError::Mismatch { concurrent: digest, replay: replay_digest });
@@ -314,13 +344,22 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, LoadgenError> {
         }
     }
 
-    let stats = control_request(&cfg.addr, "{\"id\":0,\"kind\":\"stats\"}")?;
-    let cache = stats.get("result").and_then(|r| r.get("cache"));
-    let cache_hits = cache.and_then(|c| c.get("hits")).and_then(Json::as_u64).unwrap_or(0);
-    let cache_misses = cache.and_then(|c| c.get("misses")).and_then(Json::as_u64).unwrap_or(0);
+    let stats_doc = control_request(cfg, "{\"id\":1,\"kind\":\"stats\"}")?;
+    let cache = stats_doc.get("result").and_then(|r| r.get("cache"));
+    let counter = |path: &[&str]| {
+        let mut node = cache;
+        for key in path {
+            node = node.and_then(|c| c.get(key));
+        }
+        node.and_then(Json::as_u64).unwrap_or(0)
+    };
+    let cache_hits = counter(&["hits"]);
+    let cache_misses = counter(&["misses"]);
+    let disk_hits = counter(&["disk", "hits"]);
+    let quarantined = counter(&["disk", "quarantined"]);
 
     if cfg.shutdown {
-        let resp = control_request(&cfg.addr, "{\"id\":0,\"kind\":\"shutdown\"}")?;
+        let resp = control_request(cfg, "{\"id\":1,\"kind\":\"shutdown\"}")?;
         if resp.get("status").and_then(Json::as_str) != Some("ok") {
             return Err(LoadgenError::Protocol(format!(
                 "shutdown refused: {}",
@@ -333,11 +372,15 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, LoadgenError> {
         sent: cfg.requests,
         ok,
         errors,
-        retries,
+        retries: stats.retries,
+        replays: stats.replays,
+        reconnects: stats.reconnects,
         digest,
         replay_digest,
         cache_hits,
         cache_misses,
+        disk_hits,
+        quarantined,
     })
 }
 
@@ -369,5 +412,15 @@ mod tests {
         let a = vec!["x".to_string(), "y".to_string()];
         let b = vec!["y".to_string(), "x".to_string()];
         assert_ne!(digest_responses(&a), digest_responses(&b));
+    }
+
+    #[test]
+    fn client_seeds_decorrelate_across_slots() {
+        let cfg = LoadgenConfig::default();
+        let seeds: Vec<u64> = (0..4).map(|s| cfg.client_cfg(s).seed).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len(), "each slot gets its own jitter seed");
     }
 }

@@ -187,6 +187,39 @@ pub fn parse_request(line: &str) -> Result<(u64, Request), ProtocolError> {
     Ok((id, req))
 }
 
+/// How early a request class is shed under overload. Lower water marks
+/// shed first: the expensive simulation classes go long before the cheap
+/// introspection ones, and `stats`/`shutdown` (handled inline, never
+/// queued) cannot be shed at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedClass {
+    /// `simulate` and `sweep-point`: full timing simulations, shed first
+    /// (at 3/4 queue occupancy).
+    Heavy,
+    /// `translate`: compiler-only, shed next (at 7/8 occupancy).
+    Medium,
+    /// `check`: static analysis, shed last (only when the queue is
+    /// actually full).
+    Light,
+    /// `stats`/`shutdown`: answered inline by the reader, never shed.
+    Inline,
+}
+
+impl ShedClass {
+    /// Whether a request of this class is shed when `queued` jobs are
+    /// waiting behind a queue bounded at `bound`. Deterministic in the
+    /// observable queue state; the full queue (`try_submit` saturation)
+    /// remains the backstop for every class.
+    pub fn sheds(self, queued: usize, bound: usize) -> bool {
+        let mark = match self {
+            ShedClass::Heavy => (bound * 3).div_ceil(4),
+            ShedClass::Medium => (bound * 7).div_ceil(8),
+            ShedClass::Light | ShedClass::Inline => return false,
+        };
+        queued >= mark.max(1)
+    }
+}
+
 impl Request {
     /// The request's wire kind, used for per-kind stats counters.
     pub fn kind(&self) -> &'static str {
@@ -198,6 +231,75 @@ impl Request {
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
         }
+    }
+
+    /// The request's load-shedding class (see [`ShedClass`]).
+    pub fn shed_class(&self) -> ShedClass {
+        match self {
+            Request::Simulate { .. } | Request::SweepPoint { .. } => ShedClass::Heavy,
+            Request::Translate { .. } => ShedClass::Medium,
+            Request::Check { .. } => ShedClass::Light,
+            Request::Stats | Request::Shutdown => ShedClass::Inline,
+        }
+    }
+}
+
+/// One bounded read from the wire (see [`read_bounded_line`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundedLine {
+    /// A complete line (without the newline), within the bound. Invalid
+    /// UTF-8 is replaced lossily — the JSON parser then rejects it with a
+    /// structured error rather than the connection dying.
+    Line(String),
+    /// The line exceeded the bound before a newline arrived. The caller
+    /// should answer a structured error and close: the framing cannot be
+    /// resynchronized.
+    TooLong,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one newline-terminated line without ever buffering more than
+/// `max` bytes — the slowloris defense: a client feeding an endless
+/// unterminated line costs O(`max`) memory and one structured error, not
+/// a wedged worker.
+///
+/// # Errors
+///
+/// Propagates transport I/O errors (including read timeouts) from the
+/// underlying stream.
+pub fn read_bounded_line(r: &mut impl std::io::BufRead, max: usize) -> std::io::Result<BoundedLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                BoundedLine::Eof
+            } else {
+                // EOF mid-line: surface what arrived; the parser will
+                // reject a torn request with a structured error.
+                BoundedLine::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            if buf.len() + pos > max {
+                r.consume(pos + 1);
+                return Ok(BoundedLine::TooLong);
+            }
+            buf.extend_from_slice(&chunk[..pos]);
+            r.consume(pos + 1);
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return Ok(BoundedLine::Line(String::from_utf8_lossy(&buf).into_owned()));
+        }
+        let n = chunk.len();
+        if buf.len() + n > max {
+            r.consume(n);
+            return Ok(BoundedLine::TooLong);
+        }
+        buf.extend_from_slice(chunk);
+        r.consume(n);
     }
 }
 
@@ -268,6 +370,66 @@ mod tests {
         let e = parse_request(r#"{"id":4,"kind":"simulate","workload":"x","core":"vliw"}"#)
             .unwrap_err();
         assert!(e.message.contains("vliw"));
+    }
+
+    #[test]
+    fn shed_classes_order_the_degradation() {
+        let bound = 256;
+        // Heavy sheds at 3/4, medium at 7/8, light and inline never (the
+        // saturated queue is their backstop).
+        assert!(!ShedClass::Heavy.sheds(191, bound));
+        assert!(ShedClass::Heavy.sheds(192, bound));
+        assert!(!ShedClass::Medium.sheds(223, bound));
+        assert!(ShedClass::Medium.sheds(224, bound));
+        assert!(!ShedClass::Light.sheds(bound, bound));
+        assert!(!ShedClass::Inline.sheds(bound, bound));
+        // Tiny bounds degenerate to shedding only at a non-empty queue.
+        assert!(!ShedClass::Heavy.sheds(0, 1));
+        assert!(ShedClass::Heavy.sheds(1, 1));
+        // Class assignment.
+        let (_, sim) = parse_request(
+            r#"{"id":1,"kind":"simulate","workload":"x","core":"braid"}"#,
+        )
+        .unwrap();
+        assert_eq!(sim.shed_class(), ShedClass::Heavy);
+        let (_, tr) = parse_request(r#"{"id":1,"kind":"translate","workload":"x"}"#).unwrap();
+        assert_eq!(tr.shed_class(), ShedClass::Medium);
+        let (_, ck) = parse_request(r#"{"id":1,"kind":"check","workload":"x"}"#).unwrap();
+        assert_eq!(ck.shed_class(), ShedClass::Light);
+        let (_, st) = parse_request(r#"{"id":1,"kind":"stats"}"#).unwrap();
+        assert_eq!(st.shed_class(), ShedClass::Inline);
+    }
+
+    #[test]
+    fn bounded_reads_enforce_the_line_limit() {
+        use std::io::Cursor;
+        let mut ok = Cursor::new(b"{\"id\":1}\nrest".to_vec());
+        assert_eq!(
+            read_bounded_line(&mut ok, 64).unwrap(),
+            BoundedLine::Line("{\"id\":1}".into())
+        );
+        let mut crlf = Cursor::new(b"abc\r\n".to_vec());
+        assert_eq!(read_bounded_line(&mut crlf, 64).unwrap(), BoundedLine::Line("abc".into()));
+        let mut empty = Cursor::new(Vec::<u8>::new());
+        assert_eq!(read_bounded_line(&mut empty, 64).unwrap(), BoundedLine::Eof);
+        let mut torn = Cursor::new(b"no newline at all".to_vec());
+        assert_eq!(
+            read_bounded_line(&mut torn, 64).unwrap(),
+            BoundedLine::Line("no newline at all".into())
+        );
+        // An endless unterminated line trips the bound, buffering at most
+        // `max` bytes.
+        let mut slowloris = Cursor::new(vec![b'x'; 10_000]);
+        assert_eq!(read_bounded_line(&mut slowloris, 64).unwrap(), BoundedLine::TooLong);
+        // A too-long *terminated* line is also refused, and the stream
+        // resynchronizes on the byte after its newline.
+        let mut long = Cursor::new([vec![b'y'; 100], b"\nshort\n".to_vec()].concat());
+        assert_eq!(read_bounded_line(&mut long, 64).unwrap(), BoundedLine::TooLong);
+        assert_eq!(read_bounded_line(&mut long, 64).unwrap(), BoundedLine::Line("short".into()));
+        // Non-UTF-8 bytes survive as a (lossy) line for the JSON parser
+        // to reject — never a panic or a dropped connection.
+        let mut binary = Cursor::new(vec![0xff, 0xfe, b'\n']);
+        assert!(matches!(read_bounded_line(&mut binary, 64).unwrap(), BoundedLine::Line(_)));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! in-order protocol over an out-of-order core — the same bargain the
 //! simulated machine makes.
 //!
-//! ## Backpressure
+//! ## Backpressure and load shedding
 //!
 //! Both queues are bounded and both refusals are explicit protocol
 //! events, never stalls or silent drops:
@@ -20,6 +20,28 @@
 //!   request; the client resends later.
 //! - connection table full → a single `retry` line at accept time, then
 //!   the connection closes.
+//!
+//! Before the queue is full, requests shed **by class**
+//! ([`protocol::ShedClass`]): the expensive simulation classes are
+//! refused first (3/4 occupancy), `translate` next (7/8), `check` only
+//! when the queue is actually full, and `stats`/`shutdown` — answered
+//! inline by the reader — never. Overload therefore degrades the service
+//! deterministically from the most expensive work inward, and a loaded
+//! daemon stays introspectable.
+//!
+//! ## Hostile clients
+//!
+//! Every connection carries socket read/write timeouts and a bounded
+//! request-line length: a slowloris connection costs one worker at most
+//! `io_timeout_ms` of patience and `max_line_bytes` of memory, then a
+//! structured error and a close — never a wedged worker.
+//!
+//! ## Fault injection
+//!
+//! With a [`crate::chaos`] spec armed, pooled response writes, worker
+//! jobs, and disk-cache inserts absorb seeded faults. Inline responses
+//! (`stats`, `shutdown`, protocol errors) are exempt so control traffic
+//! stays reliable. See the chaos module docs for the class table.
 //!
 //! ## Shutdown and drain
 //!
@@ -31,13 +53,14 @@
 //! connection thread has exited and the pool is empty, so a caller that
 //! joins `run` observes a fully quiesced daemon.
 
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver};
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use braid_core::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
 use braid_core::processor::{run_braid, run_dep, run_inorder, run_ooo, RunError};
@@ -48,8 +71,9 @@ use braid_sweep::json::Json;
 use braid_sweep::pool::{JobPool, SubmitError};
 use braid_sweep::{run_point, SweepError};
 
-use crate::cache::ResultCache;
-use crate::protocol::{self, Request};
+use crate::cache::{DiskFault, ResultCache};
+use crate::chaos::{Chaos, ChaosSpec, WriteFault};
+use crate::protocol::{self, BoundedLine, Request};
 use crate::stats::ServeStats;
 
 /// Daemon configuration. The defaults suit tests and smoke runs; the
@@ -62,18 +86,30 @@ pub struct ServerConfig {
     /// parallelism).
     pub threads: usize,
     /// Bound on queued (not yet running) jobs; beyond it requests get
-    /// `retry` responses.
+    /// `retry` responses, and class-based shedding starts at 3/4 of it.
     pub queue_bound: usize,
     /// Maximum simultaneous connections; beyond it connections are
     /// refused with a `retry` line.
     pub max_connections: usize,
-    /// Result-cache capacity in payloads.
+    /// Result-cache capacity in payloads (the RAM tier).
     pub cache_capacity: usize,
+    /// Directory for the crash-safe disk cache tier (`None` = RAM-only).
+    /// An unusable directory demotes to RAM-only with a warning, never a
+    /// refusal to start.
+    pub cache_dir: Option<PathBuf>,
     /// Default simulated-cycle deadline applied to `simulate` requests
     /// that do not carry their own (`0` = none).
     pub deadline_cycles: u64,
     /// The `retry_after_ms` hint sent with backpressure responses.
     pub retry_after_ms: u64,
+    /// Socket read/write timeout per connection in milliseconds (`0` =
+    /// none). A connection idle or stalled past this is closed.
+    pub io_timeout_ms: u64,
+    /// Maximum request-line length in bytes; longer lines get a
+    /// structured `line-too-long` error and the connection closes.
+    pub max_line_bytes: usize,
+    /// Fault-injection schedule (`None` = no chaos).
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl Default for ServerConfig {
@@ -84,8 +120,12 @@ impl Default for ServerConfig {
             queue_bound: 256,
             max_connections: 32,
             cache_capacity: 4096,
+            cache_dir: None,
             deadline_cycles: 0,
             retry_after_ms: 25,
+            io_timeout_ms: 30_000,
+            max_line_bytes: 64 * 1024,
+            chaos: None,
         }
     }
 }
@@ -96,8 +136,16 @@ struct Shared {
     cache: ResultCache,
     stats: ServeStats,
     pool: JobPool,
+    chaos: Option<Chaos>,
     shutdown: AtomicBool,
     active: AtomicUsize,
+}
+
+impl Shared {
+    /// One chaos roll for a disk-cache insert (never rolls unarmed).
+    fn disk_fault(&self) -> Option<DiskFault> {
+        self.chaos.as_ref().and_then(Chaos::disk_fault)
+    }
 }
 
 /// The simulation daemon. [`Server::bind`] claims the socket (so callers
@@ -109,7 +157,9 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listen socket and builds the shared state.
+    /// Binds the listen socket and builds the shared state. A configured
+    /// but unusable cache directory falls back to RAM-only (warned, not
+    /// fatal) — the disk tier is an accelerator, not a dependency.
     ///
     /// # Errors
     ///
@@ -121,10 +171,21 @@ impl Server {
         } else {
             cfg.threads
         };
+        let cache = match &cfg.cache_dir {
+            Some(dir) => ResultCache::with_disk(cfg.cache_capacity, dir).unwrap_or_else(|e| {
+                eprintln!(
+                    "braidd: cache dir {} unusable ({e}); running RAM-only",
+                    dir.display()
+                );
+                ResultCache::new(cfg.cache_capacity)
+            }),
+            None => ResultCache::new(cfg.cache_capacity),
+        };
         let shared = Arc::new(Shared {
-            cache: ResultCache::new(cfg.cache_capacity),
+            cache,
             stats: ServeStats::new(),
             pool: JobPool::new(threads, cfg.queue_bound),
+            chaos: cfg.chaos.clone().map(Chaos::new),
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             cfg,
@@ -179,16 +240,47 @@ impl Server {
     }
 }
 
-/// Writer half of a connection: reorders `(seq, line)` pairs back into
-/// request order and flushes each line as soon as it is releasable.
-fn writer_loop(stream: TcpStream, rx: Receiver<(u64, String)>) {
+/// One line bound for the wire: `(sequence, line, chaos_exempt)`. Inline
+/// responses (stats, shutdown, protocol errors) are exempt from write
+/// faults so control traffic stays reliable under chaos.
+type Outgoing = (u64, String, bool);
+
+/// Writer half of a connection: reorders [`Outgoing`] messages back into
+/// request order and flushes each line as soon as it is releasable,
+/// applying any armed chaos write fault to non-exempt lines.
+fn writer_loop(stream: &TcpStream, rx: &Receiver<Outgoing>, shared: &Shared, dead: &AtomicBool) {
     let mut out = BufWriter::new(stream);
     let mut pending = std::collections::BTreeMap::new();
     let mut next = 0u64;
-    for (seq, line) in rx {
-        pending.insert(seq, line);
-        while let Some(line) = pending.remove(&next) {
+    let sever = || {
+        let _ = stream.shutdown(Shutdown::Both);
+        dead.store(true, Ordering::Relaxed);
+    };
+    for (seq, line, exempt) in rx {
+        pending.insert(seq, (line, exempt));
+        while let Some((line, exempt)) = pending.remove(&next) {
+            if !exempt {
+                match shared.chaos.as_ref().and_then(Chaos::write_fault) {
+                    Some(WriteFault::Torn { keep }) if line.len() >= 2 => {
+                        // A strict prefix of the line, never the newline:
+                        // the client sees a frame that cannot parse and
+                        // must reconnect and replay.
+                        let b = line.as_bytes();
+                        let cut = ((keep * b.len() as f64) as usize).clamp(1, b.len() - 1);
+                        let _ = out.write_all(&b[..cut]).and_then(|()| out.flush());
+                        sever();
+                        return;
+                    }
+                    Some(WriteFault::Drop) => {
+                        sever();
+                        return;
+                    }
+                    Some(WriteFault::Stall(d)) => thread::sleep(d),
+                    Some(WriteFault::Torn { .. }) | None => {}
+                }
+            }
             if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+                sever();
                 return;
             }
             next += 1;
@@ -196,16 +288,41 @@ fn writer_loop(stream: TcpStream, rx: Receiver<(u64, String)>) {
     }
 }
 
-/// Reader half of a connection: parse, stamp, dispatch.
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, addr: std::net::SocketAddr) -> io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
-    let (tx, rx) = mpsc::channel::<(u64, String)>();
-    let writer = thread::spawn(move || writer_loop(stream, rx));
+/// Reader half of a connection: parse (bounded), shed or stamp, dispatch.
+fn handle_connection(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    addr: std::net::SocketAddr,
+) -> io::Result<()> {
+    if shared.cfg.io_timeout_ms > 0 {
+        let t = Some(Duration::from_millis(shared.cfg.io_timeout_ms));
+        stream.set_read_timeout(t)?;
+        stream.set_write_timeout(t)?;
+    }
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let (tx, rx) = mpsc::channel::<Outgoing>();
+    // The writer observes chaos-severed or broken connections; the reader
+    // polls this flag to stop accepting work for a dead socket.
+    let dead = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let shared = Arc::clone(shared);
+        let dead = Arc::clone(&dead);
+        thread::spawn(move || writer_loop(&stream, &rx, &shared, &dead))
+    };
     let mut seq = 0u64;
-    for line in reader.lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => break,
+    while !dead.load(Ordering::Relaxed) {
+        let line = match protocol::read_bounded_line(&mut reader, shared.cfg.max_line_bytes) {
+            Ok(BoundedLine::Line(l)) => l,
+            Ok(BoundedLine::TooLong) => {
+                // Slowloris / runaway frame: answer structurally, then
+                // close — the line framing cannot be trusted afterwards.
+                shared.stats.record_protocol_error();
+                let msg =
+                    format!("request line exceeds {} bytes", shared.cfg.max_line_bytes);
+                let _ = tx.send((seq, protocol::error_line(0, "line-too-long", &msg), true));
+                break;
+            }
+            Ok(BoundedLine::Eof) | Err(_) => break,
         };
         if line.trim().is_empty() {
             continue;
@@ -215,7 +332,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, addr: std::net::So
         let send = |line: String| {
             // The writer only exits once every sender is dropped, so a
             // failed send means the socket died; the reader will see EOF.
-            let _ = tx.send((this_seq, line));
+            let _ = tx.send((this_seq, line, true));
         };
         match protocol::parse_request(&line) {
             Err(e) => {
@@ -224,7 +341,8 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, addr: std::net::So
             }
             Ok((id, Request::Stats)) => {
                 shared.stats.record_request("stats");
-                let doc = shared.stats.to_json(&shared.cache, &shared.pool);
+                let doc =
+                    shared.stats.to_json(&shared.cache, &shared.pool, shared.chaos.as_ref());
                 send(protocol::ok_line(id, &doc.compact()));
             }
             Ok((id, Request::Shutdown)) => {
@@ -239,15 +357,28 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, addr: std::net::So
             }
             Ok((id, req)) => {
                 shared.stats.record_request(req.kind());
+                // Deterministic load shedding by class: expensive work is
+                // refused early so cheap introspection stays live.
+                if req.shed_class().sheds(shared.pool.depth().queued, shared.cfg.queue_bound) {
+                    shared.stats.record_shed();
+                    send(protocol::retry_line(id, shared.cfg.retry_after_ms));
+                    continue;
+                }
                 let tx_job = tx.clone();
                 let job_shared = Arc::clone(shared);
                 let submitted = shared.pool.try_submit(move || {
+                    if job_shared.chaos.as_ref().is_some_and(Chaos::job_panic) {
+                        // Contained by the pool (counted in `panics`);
+                        // the response never arrives and the client's
+                        // per-request timeout must recover.
+                        panic!("chaos: injected worker panic");
+                    }
                     let started = Instant::now();
                     let line = execute(&job_shared, id, &req);
                     job_shared
                         .stats
                         .record_latency_us(started.elapsed().as_micros() as u64);
-                    let _ = tx_job.send((this_seq, line));
+                    let _ = tx_job.send((this_seq, line, false));
                 });
                 match submitted {
                     Ok(()) => {}
@@ -298,7 +429,8 @@ fn program_digest(workload: &str, scale: f64) -> Result<(braid_workloads::Worklo
 }
 
 /// Executes a compute request, serving the payload from the cache when
-/// the content digest matches a previous computation.
+/// the content digest matches a previous computation. Cache inserts roll
+/// the chaos disk-fault schedule when one is armed.
 fn run_request(shared: &Shared, req: &Request) -> Result<String, SweepError> {
     match req {
         Request::Simulate { workload, core, width, scale, perfect, deadline } => {
@@ -317,7 +449,7 @@ fn run_request(shared: &Shared, req: &Request) -> Result<String, SweepError> {
                 .map_err(|source| SweepError::Point { key: w.name.clone(), source })?;
             shared.stats.merge_cpi(&report.cpi);
             let payload = report_json(&report).compact();
-            shared.cache.insert(key, payload.clone());
+            shared.cache.insert_faulty(key, payload.clone(), shared.disk_fault());
             Ok(payload)
         }
         Request::Translate { workload, scale } => {
@@ -332,7 +464,7 @@ fn run_request(shared: &Shared, req: &Request) -> Result<String, SweepError> {
             let t = braid_compiler::translate(&w.program, &braid_compiler::TranslatorConfig::default())
                 .map_err(|e| SweepError::Point { key: w.name.clone(), source: RunError::Translate(e) })?;
             let payload = translation_json(&w.name, &t).compact();
-            shared.cache.insert(key, payload.clone());
+            shared.cache.insert_faulty(key, payload.clone(), shared.disk_fault());
             Ok(payload)
         }
         Request::Check { workload, scale } => {
@@ -349,7 +481,7 @@ fn run_request(shared: &Shared, req: &Request) -> Result<String, SweepError> {
                 SweepError::Malformed { path: std::path::PathBuf::from(&w.name), msg: e.to_string() }
             })?;
             let payload = doc.compact();
-            shared.cache.insert(key, payload.clone());
+            shared.cache.insert_faulty(key, payload.clone(), shared.disk_fault());
             Ok(payload)
         }
         Request::SweepPoint { point } => {
@@ -374,7 +506,7 @@ fn run_request(shared: &Shared, req: &Request) -> Result<String, SweepError> {
                 ("cpi".into(), braid_obs::cpi_json(&stats.cpi)),
             ])
             .compact();
-            shared.cache.insert(key, payload.clone());
+            shared.cache.insert_faulty(key, payload.clone(), shared.disk_fault());
             Ok(payload)
         }
         // Handled inline by the reader; never dispatched to the pool.

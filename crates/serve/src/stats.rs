@@ -8,7 +8,7 @@
 //! for exactly that reason.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use braid_core::CpiStack;
 use braid_obs::{cpi_json, hist_json};
@@ -17,6 +17,7 @@ use braid_sweep::pool::JobPool;
 use braid_uarch::Histogram;
 
 use crate::cache::ResultCache;
+use crate::chaos::Chaos;
 
 #[derive(Default)]
 struct StatsInner {
@@ -24,6 +25,7 @@ struct StatsInner {
     protocol_errors: u64,
     request_errors: u64,
     retries: u64,
+    shed: u64,
     latency_us: Histogram,
     cpi: CpiStack,
 }
@@ -41,7 +43,10 @@ impl ServeStats {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, StatsInner> {
-        self.inner.lock().expect("stats poisoned")
+        // Poison recovery: every mutation here is a single counter or
+        // histogram bump, so state behind a panicking thread is still
+        // coherent — one crashed worker must not cost the stats document.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Counts one accepted request of `kind`.
@@ -64,6 +69,14 @@ impl ServeStats {
         self.lock().retries += 1;
     }
 
+    /// Counts a request shed by class under overload (also answered
+    /// `retry`, but before reaching the job queue).
+    pub fn record_shed(&self) {
+        let mut inner = self.lock();
+        inner.shed += 1;
+        inner.retries += 1;
+    }
+
     /// Records one executed request's service latency in microseconds.
     pub fn record_latency_us(&self, us: u64) {
         self.lock().latency_us.record(us);
@@ -77,26 +90,39 @@ impl ServeStats {
     }
 
     /// Renders the full statistics document served by the `stats` request.
-    pub fn to_json(&self, cache: &ResultCache, pool: &JobPool) -> Json {
+    /// `chaos` is the armed fault harness, if any — its spec seed and
+    /// per-class injection counts are part of the document.
+    pub fn to_json(&self, cache: &ResultCache, pool: &JobPool, chaos: Option<&Chaos>) -> Json {
         let inner = self.lock();
         let (hits, misses) = cache.counters();
         let depth = pool.depth();
         let requests =
             inner.by_kind.iter().map(|(k, n)| ((*k).to_string(), Json::Int(*n))).collect();
-        Json::Obj(vec![
+        let mut cache_obj = vec![
+            ("hits".into(), Json::Int(hits)),
+            ("misses".into(), Json::Int(misses)),
+            ("entries".into(), Json::Int(cache.len() as u64)),
+            ("capacity".into(), Json::Int(cache.capacity() as u64)),
+        ];
+        if let Some(d) = cache.disk_counters() {
+            cache_obj.push((
+                "disk".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::Int(d.hits)),
+                    ("writes".into(), Json::Int(d.writes)),
+                    ("quarantined".into(), Json::Int(d.quarantined)),
+                    ("errors".into(), Json::Int(d.errors)),
+                    ("enabled".into(), Json::Bool(d.enabled)),
+                ]),
+            ));
+        }
+        let mut doc = vec![
             ("requests".into(), Json::Obj(requests)),
             ("protocol_errors".into(), Json::Int(inner.protocol_errors)),
             ("request_errors".into(), Json::Int(inner.request_errors)),
             ("retries".into(), Json::Int(inner.retries)),
-            (
-                "cache".into(),
-                Json::Obj(vec![
-                    ("hits".into(), Json::Int(hits)),
-                    ("misses".into(), Json::Int(misses)),
-                    ("entries".into(), Json::Int(cache.len() as u64)),
-                    ("capacity".into(), Json::Int(cache.capacity() as u64)),
-                ]),
-            ),
+            ("shed".into(), Json::Int(inner.shed)),
+            ("cache".into(), Json::Obj(cache_obj)),
             (
                 "pool".into(),
                 Json::Obj(vec![
@@ -107,7 +133,11 @@ impl ServeStats {
             ),
             ("latency_us".into(), hist_json(&inner.latency_us)),
             ("cpi".into(), cpi_json(&inner.cpi)),
-        ])
+        ];
+        if let Some(chaos) = chaos {
+            doc.push(("chaos".into(), chaos.to_json()));
+        }
+        Json::Obj(doc)
     }
 }
 
@@ -133,9 +163,14 @@ mod tests {
         cache.insert("k".into(), "v".into());
         let _ = cache.get("k");
 
-        let doc = stats.to_json(&cache, &pool);
+        stats.record_shed();
+
+        let doc = stats.to_json(&cache, &pool, None);
         assert_eq!(doc.get("requests").unwrap().get("simulate").unwrap().as_u64(), Some(2));
-        assert_eq!(doc.get("retries").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("retries").unwrap().as_u64(), Some(2), "shed also counts as a retry");
+        assert_eq!(doc.get("shed").unwrap().as_u64(), Some(1));
+        assert!(doc.get("chaos").is_none(), "no chaos object when the harness is unarmed");
+        assert!(doc.get("cache").unwrap().get("disk").is_none(), "RAM-only cache: no disk object");
         assert_eq!(doc.get("protocol_errors").unwrap().as_u64(), Some(1));
         assert_eq!(doc.get("cache").unwrap().get("hits").unwrap().as_u64(), Some(1));
         assert_eq!(doc.get("latency_us").unwrap().get("samples").unwrap().as_u64(), Some(1));

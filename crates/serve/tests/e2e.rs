@@ -4,11 +4,31 @@
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::thread::{self, JoinHandle};
 
+use braid_serve::chaos::ChaosSpec;
 use braid_serve::loadgen::{run_loadgen, LoadgenConfig};
 use braid_serve::server::{Server, ServerConfig};
 use braid_sweep::json::{self, Json};
+
+/// A scratch directory under the system temp dir, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir =
+            std::env::temp_dir().join(format!("braid-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
 
 /// Boots a daemon and returns its address plus the join handle for its
 /// accept loop.
@@ -196,11 +216,185 @@ fn loadgen_verifies_concurrent_equals_sequential() {
         seed: 7,
         verify: true,
         shutdown: true,
+        ..LoadgenConfig::default()
     };
     let report = run_loadgen(&cfg).expect("loadgen run");
     assert!(report.verified(), "replay digest must match");
     assert_eq!(report.ok, report.sent, "kernel mix produces no errors");
     assert!(report.cache_hits > 0, "repeated content must hit the cache");
     assert_eq!(report.digest.len(), 16, "canonical digest rendering");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn disk_cache_survives_restart_with_byte_identical_hits() {
+    let tmp = TempDir::new("restart");
+    let req = r#"{"id":1,"kind":"simulate","workload":"stencil","core":"braid","width":8}"#;
+
+    // First daemon computes and persists the result.
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        cache_dir: Some(tmp.0.clone()),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(&addr);
+    c.send(req);
+    let cold = c.recv();
+    assert_eq!(status(&json::parse(&cold).unwrap()), "ok");
+    let _ = c.round_trip(r#"{"id":2,"kind":"shutdown"}"#);
+    handle.join().unwrap().unwrap();
+
+    // A fresh daemon over the same directory serves the same bytes from
+    // the disk tier without recomputing.
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        cache_dir: Some(tmp.0.clone()),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(&addr);
+    c.send(req);
+    let warm = c.recv();
+    assert_eq!(warm, cold, "disk-tier hit must be byte-identical to the cold compute");
+
+    let stats = c.round_trip(r#"{"id":2,"kind":"stats"}"#);
+    let cache = stats.get("result").unwrap().get("cache").unwrap();
+    assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1), "served as a hit, not recomputed");
+    assert_eq!(cache.get("misses").unwrap().as_u64(), Some(0));
+    let disk = cache.get("disk").expect("disk counters present with a cache dir");
+    assert_eq!(disk.get("hits").unwrap().as_u64(), Some(1));
+    assert_eq!(disk.get("quarantined").unwrap().as_u64(), Some(0));
+    assert_eq!(disk.get("enabled").unwrap().as_bool(), Some(true));
+
+    let _ = c.round_trip(r#"{"id":3,"kind":"shutdown"}"#);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn chaos_faults_are_injected_and_fully_recovered() {
+    let tmp = TempDir::new("chaos");
+    let spec = ChaosSpec::parse("seed=11,torn=0.08,drop=0.05,stall=0.05,stall_ms=5,panic=0.04,corrupt=0.15")
+        .expect("valid spec");
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        cache_dir: Some(tmp.0.clone()),
+        chaos: Some(spec),
+        ..ServerConfig::default()
+    });
+
+    // The resilient load generator must absorb every injected fault and
+    // still verify byte-identical responses against the single-connection
+    // replay.
+    let cfg = LoadgenConfig {
+        addr: addr.clone(),
+        connections: 3,
+        requests: 60,
+        seed: 9,
+        verify: true,
+        shutdown: false,
+        timeout_ms: 30_000,
+        max_attempts: 32,
+    };
+    let report = run_loadgen(&cfg).expect("loadgen survives chaos");
+    assert!(report.verified(), "responses under chaos must match the replay byte for byte");
+    assert_eq!(report.ok, report.sent, "every request eventually succeeds");
+
+    // Control traffic is exempt from injection, so stats is reliable:
+    // the harness must have actually fired.
+    let mut c = Client::connect(&addr);
+    let stats = c.round_trip(r#"{"id":1,"kind":"stats"}"#);
+    let chaos = stats.get("result").unwrap().get("chaos").expect("chaos block armed");
+    assert_eq!(chaos.get("seed").unwrap().as_u64(), Some(11));
+    let injected = chaos.get("injected").unwrap();
+    let total: u64 = ["torn", "drop", "stall", "panic", "corrupt", "enospc"]
+        .iter()
+        .map(|k| injected.get(k).unwrap().as_u64().unwrap())
+        .sum();
+    assert!(total > 0, "chaos schedule injected at least one fault across the run");
+
+    let _ = c.round_trip(r#"{"id":2,"kind":"shutdown"}"#);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn oversized_request_lines_get_an_error_then_a_close() {
+    let (addr, handle) =
+        start(ServerConfig { threads: 1, max_line_bytes: 128, ..ServerConfig::default() });
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+
+    // Far past the limit, and never a newline until the end: a slowloris
+    // frame. The server must answer with a structured error and hang up
+    // rather than buffer or stall.
+    let long = "x".repeat(4096);
+    writeln!(writer, "{long}").unwrap();
+    writer.flush().unwrap();
+
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error response");
+    let doc = json::parse(line.trim_end()).unwrap();
+    assert_eq!(status(&doc), "error");
+    assert_eq!(doc.get("code").unwrap().as_str(), Some("line-too-long"));
+
+    line.clear();
+    let n = reader.read_line(&mut line).expect("read after error");
+    assert_eq!(n, 0, "server closes the abusive connection");
+
+    // The daemon itself is unharmed.
+    let mut c = Client::connect(&addr);
+    let doc = c.round_trip(r#"{"id":1,"kind":"check","workload":"stencil"}"#);
+    assert_eq!(status(&doc), "ok");
+    let _ = c.round_trip(r#"{"id":2,"kind":"shutdown"}"#);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn overload_sheds_heavy_requests_and_recovers() {
+    // One worker, a small queue: pipelining distinct heavy simulations
+    // faster than they execute must trip the class watermark and shed
+    // with `retry`, never hang or drop.
+    let (addr, handle) =
+        start(ServerConfig { threads: 1, queue_bound: 8, ..ServerConfig::default() });
+    let mut c = Client::connect(&addr);
+
+    let mut reqs = Vec::new();
+    for (i, core) in ["inorder", "dep", "ooo", "braid"].iter().enumerate() {
+        for (j, width) in [0u32, 4, 8].iter().enumerate() {
+            let id = (i * 3 + j) as u64;
+            reqs.push(format!(
+                r#"{{"id":{id},"kind":"simulate","workload":"pointer_chase","core":"{core}","width":{width}}}"#
+            ));
+        }
+    }
+    for r in &reqs {
+        c.send(r);
+    }
+
+    let mut shed_ids = Vec::new();
+    for _ in 0..reqs.len() {
+        let doc = json::parse(&c.recv()).unwrap();
+        match status(&doc) {
+            "ok" => {}
+            "retry" => {
+                assert!(doc.get("retry_after_ms").unwrap().as_u64().unwrap() > 0);
+                shed_ids.push(doc.get("id").unwrap().as_u64().unwrap());
+            }
+            other => panic!("unexpected status under overload: {other}"),
+        }
+    }
+    assert!(!shed_ids.is_empty(), "the queue-depth watermark must shed some heavy requests");
+
+    // Shed requests succeed on resend once pressure drains.
+    for id in shed_ids {
+        let doc = c.round_trip(&reqs[id as usize]);
+        assert_eq!(status(&doc), "ok", "shed request succeeds on retry");
+    }
+
+    let stats = c.round_trip(r#"{"id":90,"kind":"stats"}"#);
+    assert!(
+        stats.get("result").unwrap().get("shed").unwrap().as_u64().unwrap() > 0,
+        "shed counter is visible in stats"
+    );
+    let _ = c.round_trip(r#"{"id":91,"kind":"shutdown"}"#);
     handle.join().unwrap().unwrap();
 }

@@ -63,6 +63,101 @@ impl ContentDigest {
     }
 }
 
+/// Magic trailer identifying a framed disk-cache entry, version 1. Part
+/// of the on-disk contract: bump the digit, never reuse it, if the frame
+/// layout ever changes.
+pub const FRAME_MAGIC: &[u8; 8] = b"BRDCACH1";
+
+/// Total size of the [`frame`] footer in bytes: magic (8) + little-endian
+/// payload length (8) + canonical hex digest of the payload (16).
+pub const FRAME_FOOTER_LEN: usize = 8 + 8 + 16;
+
+/// Why [`unframe`] rejected a byte string. Every variant means the entry
+/// must be treated as corrupt (quarantined), never served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the footer — a torn write truncated the entry.
+    Truncated,
+    /// The trailing magic is absent or from an unknown frame version.
+    BadMagic,
+    /// The footer's recorded payload length disagrees with the actual
+    /// byte count — a torn or interleaved write.
+    LengthMismatch {
+        /// Length the footer claims.
+        recorded: u64,
+        /// Length actually present before the footer.
+        actual: u64,
+    },
+    /// The payload bytes do not hash to the footer's digest — bit rot or
+    /// a partially overwritten entry.
+    DigestMismatch {
+        /// Digest the footer claims.
+        recorded: String,
+        /// Digest of the bytes actually present.
+        actual: String,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => f.write_str("entry shorter than the frame footer"),
+            FrameError::BadMagic => f.write_str("missing or unknown frame magic"),
+            FrameError::LengthMismatch { recorded, actual } => {
+                write!(f, "footer records {recorded} payload bytes, found {actual}")
+            }
+            FrameError::DigestMismatch { recorded, actual } => {
+                write!(f, "footer digest {recorded} != payload digest {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Frames `payload` for crash-safe storage: the payload followed by a
+/// self-describing footer (magic, length, digest). The footer comes
+/// *last* so that any truncation — the failure mode of a torn write —
+/// destroys the footer and is caught by [`unframe`].
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_FOOTER_LEN);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(FRAME_MAGIC);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(hex(payload).as_bytes());
+    out
+}
+
+/// Verifies a framed byte string and returns the payload slice.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] when the footer is missing, truncated, from
+/// an unknown version, or disagrees with the payload in length or digest.
+pub fn unframe(bytes: &[u8]) -> Result<&[u8], FrameError> {
+    if bytes.len() < FRAME_FOOTER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let (payload, footer) = bytes.split_at(bytes.len() - FRAME_FOOTER_LEN);
+    let (magic, rest) = footer.split_at(8);
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let (len_bytes, digest_bytes) = rest.split_at(8);
+    let recorded = u64::from_le_bytes(len_bytes.try_into().expect("8-byte slice"));
+    if recorded != payload.len() as u64 {
+        return Err(FrameError::LengthMismatch { recorded, actual: payload.len() as u64 });
+    }
+    let actual = hex(payload);
+    if digest_bytes != actual.as_bytes() {
+        return Err(FrameError::DigestMismatch {
+            recorded: String::from_utf8_lossy(digest_bytes).into_owned(),
+            actual,
+        });
+    }
+    Ok(payload)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +181,47 @@ mod tests {
         assert_ne!(ab_c, a_bc, "field framing must prevent aliasing");
         let again = ContentDigest::new().field("k", "ab").field("j", "c").finish();
         assert_eq!(ab_c, again, "same fields, same digest");
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        for payload in [&b""[..], b"x", b"{\"cycles\":10}", &[0u8, 255, 7, 42]] {
+            let framed = frame(payload);
+            assert_eq!(framed.len(), payload.len() + FRAME_FOOTER_LEN);
+            assert_eq!(unframe(&framed).expect("verifies"), payload);
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let framed = frame(b"hello braid cache");
+        for cut in 0..framed.len() {
+            assert!(unframe(&framed[..cut]).is_err(), "truncation at {cut} must not verify");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let framed = frame(b"payload under test");
+        for i in 0..framed.len() {
+            let mut mangled = framed.clone();
+            mangled[i] ^= 0x41;
+            assert!(unframe(&mangled).is_err(), "flip at {i} must not verify");
+        }
+    }
+
+    #[test]
+    fn frame_errors_name_the_failure() {
+        assert_eq!(unframe(b"tiny"), Err(FrameError::Truncated));
+        let mut framed = frame(b"abc");
+        framed[3] = b'X'; // corrupt the magic
+        assert_eq!(unframe(&framed), Err(FrameError::BadMagic));
+        // Extra payload byte: length check fires before the digest check.
+        let mut grown = frame(b"abc");
+        grown.insert(0, b'z');
+        assert!(matches!(unframe(&grown), Err(FrameError::LengthMismatch { recorded: 3, actual: 4 })));
+        let mut flipped = frame(b"abc");
+        flipped[0] = b'z';
+        assert!(matches!(unframe(&flipped), Err(FrameError::DigestMismatch { .. })));
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! braid-loadgen --addr HOST:PORT [--connections N] [--requests N]
-//!               [--seed N] [--verify] [--shutdown] [--version]
+//!               [--seed N] [--timeout-ms N] [--attempts N]
+//!               [--verify] [--shutdown] [--version]
 //! ```
 //!
 //! Generates a seeded mix of `simulate`, `sweep-point`, `translate`, and
@@ -12,6 +13,15 @@
 //! bytes must match the concurrent run's — a live determinism check of
 //! the whole service. With `--shutdown` the daemon is drained and stopped
 //! afterwards.
+//!
+//! Every connection is a resilient client: backpressure (`retry`)
+//! responses are resent after the server's hint, and transport faults —
+//! torn frames, dropped connections, responses lost to chaos injection —
+//! are absorbed by reconnect-and-replay with seeded bounded backoff.
+//! `--timeout-ms` bounds each request's wall-clock budget across all
+//! attempts and `--attempts` bounds how many transport faults a single
+//! request may survive. Because recovery is part of the client, `--verify`
+//! holds even against a daemon running under `--chaos`.
 //!
 //! Exits nonzero on usage errors, transport failures, lost requests, or a
 //! verification mismatch.
@@ -23,7 +33,7 @@ use braid::serve::{run_loadgen, LoadgenConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: braid-loadgen --addr HOST:PORT [--connections N] [--requests N]\n       \
-         [--seed N] [--verify] [--shutdown] [--version]"
+         [--seed N] [--timeout-ms N] [--attempts N] [--verify] [--shutdown] [--version]"
     );
     ExitCode::from(2)
 }
@@ -58,8 +68,11 @@ fn main() -> ExitCode {
                     ("--connections", Ok(n)) => cfg.connections = n as usize,
                     ("--requests", Ok(n)) => cfg.requests = n as usize,
                     ("--seed", Ok(n)) => cfg.seed = n,
+                    ("--timeout-ms", Ok(n)) => cfg.timeout_ms = n,
+                    ("--attempts", Ok(n)) => cfg.max_attempts = n as u32,
                     (_, Err(_))
-                        if ["--connections", "--requests", "--seed"].contains(&flag) =>
+                        if ["--connections", "--requests", "--seed", "--timeout-ms", "--attempts"]
+                            .contains(&flag) =>
                     {
                         eprintln!(
                             "braid-loadgen: {flag} needs a non-negative integer, got {value:?}"
@@ -91,10 +104,22 @@ fn main() -> ExitCode {
         "sent {} requests over {} connections (seed {}): {} ok, {} errors, {} retries",
         report.sent, cfg.connections, cfg.seed, report.ok, report.errors, report.retries
     );
+    if report.replays > 0 || report.reconnects > 0 {
+        println!(
+            "resilience: {} replays after transport faults, {} reconnects",
+            report.replays, report.reconnects
+        );
+    }
     println!("response digest {}", report.digest);
     if let Some(replay) = &report.replay_digest {
         println!("replay digest   {replay} — responses byte-identical, service is deterministic");
     }
     println!("server cache: {} hits, {} misses", report.cache_hits, report.cache_misses);
+    if report.disk_hits > 0 || report.quarantined > 0 {
+        println!(
+            "disk tier: {} hits, {} entries quarantined",
+            report.disk_hits, report.quarantined
+        );
+    }
     ExitCode::SUCCESS
 }

@@ -3,7 +3,9 @@
 //! ```text
 //! braidd [--addr HOST:PORT] [--threads N] [--queue-bound N]
 //!        [--max-connections N] [--cache-capacity N]
-//!        [--deadline-cycles N] [--version]
+//!        [--deadline-cycles N] [--cache-dir DIR]
+//!        [--io-timeout-ms N] [--max-line-bytes N]
+//!        [--chaos SPEC] [--version]
 //! ```
 //!
 //! Listens for JSON-lines requests (`simulate`, `translate`, `check`,
@@ -16,15 +18,26 @@
 //! prints `braidd listening on HOST:PORT` once ready, so scripts can
 //! scrape the port. The process exits cleanly after a `shutdown` request
 //! drains the queue.
+//!
+//! `--cache-dir DIR` adds a crash-safe on-disk tier behind the RAM result
+//! cache: entries survive restarts, and a corrupted or torn entry is
+//! quarantined rather than served. `--chaos SPEC` arms the deterministic
+//! fault-injection harness (see `braid_serve::chaos` for the spec
+//! grammar, e.g. `seed=7,torn=0.05,panic=0.02`) — strictly for testing
+//! the service's recovery paths. `--io-timeout-ms` and
+//! `--max-line-bytes` bound how long a slow or hostile client can hold a
+//! connection thread and how much memory a single request line can pin.
 
 use std::process::ExitCode;
 
-use braid::serve::{Server, ServerConfig};
+use braid::serve::{ChaosSpec, Server, ServerConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: braidd [--addr HOST:PORT] [--threads N] [--queue-bound N]\n       \
-         [--max-connections N] [--cache-capacity N] [--deadline-cycles N] [--version]"
+         [--max-connections N] [--cache-capacity N] [--deadline-cycles N]\n       \
+         [--cache-dir DIR] [--io-timeout-ms N] [--max-line-bytes N]\n       \
+         [--chaos SPEC] [--version]"
     );
     ExitCode::from(2)
 }
@@ -51,6 +64,16 @@ fn main() -> ExitCode {
             ("--max-connections", Ok(n)) => cfg.max_connections = n as usize,
             ("--cache-capacity", Ok(n)) => cfg.cache_capacity = n as usize,
             ("--deadline-cycles", Ok(n)) => cfg.deadline_cycles = n,
+            ("--io-timeout-ms", Ok(n)) => cfg.io_timeout_ms = n,
+            ("--max-line-bytes", Ok(n)) => cfg.max_line_bytes = n as usize,
+            ("--cache-dir", _) => cfg.cache_dir = Some(value.into()),
+            ("--chaos", _) => match ChaosSpec::parse(value) {
+                Ok(spec) => cfg.chaos = Some(spec),
+                Err(e) => {
+                    eprintln!("braidd: bad --chaos spec: {e}");
+                    return usage();
+                }
+            },
             (_, Err(_))
                 if [
                     "--threads",
@@ -58,6 +81,8 @@ fn main() -> ExitCode {
                     "--max-connections",
                     "--cache-capacity",
                     "--deadline-cycles",
+                    "--io-timeout-ms",
+                    "--max-line-bytes",
                 ]
                 .contains(&flag) =>
             {
