@@ -7,9 +7,10 @@
 //!
 //! Experiments: tab1 tab2 tab3 chars splits fig1 fig5 fig6 fig7 fig8 fig9
 //! fig10 fig11 fig12 fig13 fig14 pipeline clusters exceptions
-//! disambiguation predictors mshrs fig13perfect widthsweep cpistack. Set
-//! `BRAID_SCALE` to change the dynamic instruction count (default 1.0 ≈
-//! 60k per benchmark).
+//! disambiguation predictors mshrs fig13perfect widthsweep cpistack
+//! sampled. Set `BRAID_SCALE` to change the dynamic instruction count
+//! (default 1.0 ≈ 60k per benchmark; `sampled` runs the hand-written
+//! kernels and ignores the scale).
 //!
 //! Each experiment prints its table and writes `results/<name>.txt`.
 
@@ -24,8 +25,12 @@ const ALL: &[&str] = &[
     "tab1", "tab2", "tab3", "chars", "splits", "fig1", "fig5", "fig6", "fig7", "fig8",
     "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "pipeline", "clusters",
     "exceptions", "disambiguation", "predictors", "mshrs", "fig13perfect", "widthsweep",
-    "cpistack",
+    "cpistack", "sampled",
 ];
+
+/// Experiments that run the hand-written kernels and never touch the
+/// prepared synthetic suite.
+const SUITE_FREE: &[&str] = &["sampled"];
 
 fn run_one(name: &str, suite: &[Prepared]) -> Option<Table> {
     let table = match name {
@@ -54,6 +59,7 @@ fn run_one(name: &str, suite: &[Prepared]) -> Option<Table> {
         "fig13perfect" => exp::fig13perfect(suite),
         "widthsweep" => exp::widthsweep(suite),
         "cpistack" => exp::cpistack(suite),
+        "sampled" => exp::sampled(),
         _ => return None,
     };
     Some(table)
@@ -77,10 +83,15 @@ fn main() {
         }
     }
 
-    let t0 = Instant::now();
-    eprintln!("preparing 26-benchmark suite at scale {} ...", scale());
-    let suite = prepare_suite(scale());
-    eprintln!("prepared in {:.1}s", t0.elapsed().as_secs_f64());
+    let suite = if wanted.iter().all(|w| SUITE_FREE.contains(w)) {
+        Vec::new()
+    } else {
+        let t0 = Instant::now();
+        eprintln!("preparing 26-benchmark suite at scale {} ...", scale());
+        let suite = prepare_suite(scale());
+        eprintln!("prepared in {:.1}s", t0.elapsed().as_secs_f64());
+        suite
+    };
 
     let _ = fs::create_dir_all("results");
     for name in wanted {

@@ -721,6 +721,59 @@ pub fn widthsweep(suite: &[Prepared]) -> Table {
     t
 }
 
+/// Two-tier execution model: sampled-IPC accuracy and host-throughput
+/// speedups over the 8 hand-written kernels × 4 cores. Per row: exact IPC
+/// (full tier), estimated IPC (sampled tier at the default full-coverage
+/// window), signed relative error in percent, and the functional and
+/// sampled tiers' host-throughput speedups over the full simulation.
+///
+/// The functional tier reports no IPC at all — its column is purely the
+/// host-side speedup that makes fast-forwarding worthwhile. The sampled
+/// tier's speedup is below 1 on these tiny kernels (the default window
+/// covers every period wall-to-wall, trading speed for accuracy); it
+/// materializes once instruction counts dwarf the sampling period.
+pub fn sampled() -> Table {
+    use braid_core::processor::{run_tier, CoreConfig, TierReport};
+    use braid_core::{SamplingConfig, Tier};
+
+    let cores = [
+        CoreConfig::InOrder(InOrderConfig::paper_8wide()),
+        CoreConfig::Dep(DepConfig::paper_8wide()),
+        CoreConfig::Ooo(OooConfig::paper_8wide()),
+        CoreConfig::Braid(BraidConfig::paper_default()),
+    ];
+    let sampling = SamplingConfig { lockstep: false, ..SamplingConfig::default() };
+    let mut t = Table::new(
+        "Sampled tier: estimated vs exact IPC and host speedups (default window)",
+        &["kernel:core", "exact-ipc", "est-ipc", "err%", "func-x", "samp-x"],
+    );
+    for w in braid_workloads::kernel_suite() {
+        for core in &cores {
+            let run = |tier| {
+                run_tier(&w.program, core, tier, w.fuel, &sampling)
+                    .unwrap_or_else(|e| panic!("{}:{}: {tier} tier failed: {e}", w.name, core.name()))
+            };
+            let full = run(Tier::Full);
+            let func = run(Tier::Func);
+            let samp = run(Tier::Sampled);
+            let TierReport::Full(exact) = &full else { unreachable!("full tier") };
+            let est_ipc = samp.ipc().unwrap_or(0.0);
+            t.push(
+                format!("{}:{}", w.name, core.name()),
+                vec![
+                    exact.ipc(),
+                    est_ipc,
+                    100.0 * (est_ipc / exact.ipc() - 1.0),
+                    full.host_nanos() as f64 / func.host_nanos().max(1) as f64,
+                    full.host_nanos() as f64 / samp.host_nanos().max(1) as f64,
+                ],
+            );
+        }
+    }
+    t.push_mean("average");
+    t
+}
+
 /// CPI-stack breakdown: where every cycle goes on each paradigm,
 /// aggregated across the whole suite through the parallel sweep engine
 /// (`braid_sweep::cpi_by_core`). Each column is one stall cause as a

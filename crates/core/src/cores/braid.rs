@@ -19,6 +19,7 @@
 use std::collections::{BTreeSet, VecDeque};
 
 use braid_isa::Program;
+use braid_uarch::cache::MemoryHierarchy;
 
 use crate::config::BraidConfig;
 use crate::cores::common::{Bandwidth, Engine, RegPool};
@@ -109,9 +110,41 @@ impl BraidCore {
         handler_latency: u64,
         obs: &mut O,
     ) -> Result<SimReport, SimError> {
+        self.run_inner(program, trace, exceptions, handler_latency, obs, None)
+    }
+
+    /// Like [`BraidCore::run`], but starting from a pre-warmed memory
+    /// hierarchy instead of cold caches. Used by sampled simulation, where
+    /// functional warming supplies the cache state a continuous run would
+    /// have at the window start.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BraidCore::run`].
+    pub fn run_warmed(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        mem: MemoryHierarchy,
+    ) -> Result<SimReport, SimError> {
+        self.run_inner(program, trace, &[], 0, &mut NoopObserver, Some(mem))
+    }
+
+    fn run_inner<O: Observer>(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        exceptions: &[u64],
+        handler_latency: u64,
+        obs: &mut O,
+        warm: Option<MemoryHierarchy>,
+    ) -> Result<SimReport, SimError> {
         let cfg = &self.config;
         cfg.validate()?;
         let mut eng = Engine::new(program, trace, &cfg.common, obs);
+        if let Some(mem) = warm {
+            eng.mem = mem;
+        }
         let mut fifos: Vec<VecDeque<u64>> = vec![VecDeque::new(); cfg.beus as usize];
         let mut ext_pool = RegPool::new(cfg.external_regs);
         let mut bypass = Bandwidth::new(cfg.bypass_per_cycle);

@@ -12,6 +12,7 @@
 use std::collections::VecDeque;
 
 use braid_isa::Program;
+use braid_uarch::cache::MemoryHierarchy;
 
 use crate::config::DepConfig;
 use crate::cores::common::{Bandwidth, Engine, RegPool, NONE};
@@ -55,9 +56,39 @@ impl DepSteerCore {
         trace: &Trace,
         obs: &mut O,
     ) -> Result<SimReport, SimError> {
+        self.run_inner(program, trace, obs, None)
+    }
+
+    /// Like [`DepSteerCore::run`], but starting from a pre-warmed memory
+    /// hierarchy instead of cold caches. Used by sampled simulation, where
+    /// functional warming supplies the cache state a continuous run would
+    /// have at the window start.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DepSteerCore::run`].
+    pub fn run_warmed(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        mem: MemoryHierarchy,
+    ) -> Result<SimReport, SimError> {
+        self.run_inner(program, trace, &mut NoopObserver, Some(mem))
+    }
+
+    fn run_inner<O: Observer>(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        obs: &mut O,
+        warm: Option<MemoryHierarchy>,
+    ) -> Result<SimReport, SimError> {
         let cfg = &self.config;
         cfg.validate()?;
         let mut eng = Engine::new(program, trace, &cfg.common, obs);
+        if let Some(mem) = warm {
+            eng.mem = mem;
+        }
         let mut fifos: Vec<VecDeque<u64>> = vec![VecDeque::new(); cfg.fifos as usize];
         let mut regs = RegPool::new(cfg.regs);
         let mut bypass = Bandwidth::new(cfg.bypass_per_cycle);

@@ -7,6 +7,7 @@
 use std::collections::VecDeque;
 
 use braid_isa::Program;
+use braid_uarch::cache::MemoryHierarchy;
 
 use crate::config::InOrderConfig;
 use crate::cores::common::Engine;
@@ -49,9 +50,39 @@ impl InOrderCore {
         trace: &Trace,
         obs: &mut O,
     ) -> Result<SimReport, SimError> {
+        self.run_inner(program, trace, obs, None)
+    }
+
+    /// Like [`InOrderCore::run`], but starting from a pre-warmed memory
+    /// hierarchy instead of cold caches. Used by sampled simulation, where
+    /// functional warming supplies the cache state a continuous run would
+    /// have at the window start.
+    ///
+    /// # Errors
+    ///
+    /// As for [`InOrderCore::run`].
+    pub fn run_warmed(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        mem: MemoryHierarchy,
+    ) -> Result<SimReport, SimError> {
+        self.run_inner(program, trace, &mut NoopObserver, Some(mem))
+    }
+
+    fn run_inner<O: Observer>(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        obs: &mut O,
+        warm: Option<MemoryHierarchy>,
+    ) -> Result<SimReport, SimError> {
         let cfg = &self.config;
         cfg.validate()?;
         let mut eng = Engine::new(program, trace, &cfg.common, obs);
+        if let Some(mem) = warm {
+            eng.mem = mem;
+        }
         let mut queue: VecDeque<u64> = VecDeque::new();
 
         while !eng.finished() {

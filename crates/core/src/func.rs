@@ -1,0 +1,1469 @@
+//! Two-tier execution: a fast functional interpreter and sampled timing.
+//!
+//! Full cycle-level simulation interrogates every dynamic instruction many
+//! times per cycle; the functional tier here retires the same instruction
+//! stream with **no pipeline structures at all**, dispatching straight over
+//! the per-program [`PreDecoded`] table plus a small side table of
+//! immediates and branch targets ([`FuncTable`]). Execution is basic-block
+//! batched: control flow is only examined at block terminators, so the
+//! straight-line interior of a block runs in a tight loop with no pc or
+//! halt checks. The target (asserted in `tests/functional_tier.rs`) is
+//! ≥10× the instruction throughput of the in-order timing core.
+//!
+//! On top of the fast interpreter sits the **sampled-timing driver**
+//! ([`run_sampled_with`]): fast-forward functionally — warming the timing
+//! backend's caches architecturally as every instruction retires — and for
+//! every sampling period record a trace window (warm-up + sample), replay
+//! it on the real timing core from the warmed checkpoint, and count its
+//! measured cycles directly. Only the *untimed* remainder of a period is
+//! extrapolated, and there warm-up exclusion is exact under deterministic
+//! simulation: the window is timed twice — warm-up prefix alone, then
+//! warm-up + sample — and the extrapolation rate is the marginal
+//! `(full − prefix) / sample`, free of cold-pipeline bias. The default
+//! configuration makes the window span the whole period, so small kernels
+//! are measured wall to wall and only window-boundary effects (pipeline
+//! fill/drain, replay-order cache divergence) remain, bounded well under
+//! the 5% error budget asserted in `tests/functional_tier.rs`.
+//!
+//! Correctness is locked down in layers:
+//!
+//! * [`ArchSnapshot`] captures the architectural state (registers, memory
+//!   deltas as non-zero pages, pc, retired count) of either executor, so
+//!   differential tests compare the two byte for byte.
+//! * In debug builds (or with [`SamplingConfig::lockstep`] set) the
+//!   sampled driver steps the reference interpreter — the same golden
+//!   model `braid-verify`'s oracle wraps — alongside the fast one and
+//!   compares snapshots at every interval boundary, panicking with a
+//!   field-level diff on the first divergence.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use braid_isa::{Opcode, Program, Reg};
+
+use crate::error::SimError;
+use crate::functional::{ExecError, Machine, Memory, PAGE_SIZE};
+use crate::obs::{CpiStack, StallCause};
+use crate::predecode::{DecodedOp, PreDecoded, NO_REG};
+use crate::report::SimReport;
+use crate::trace::{Trace, TraceEntry};
+
+// ---------------------------------------------------------------- tiers --
+
+/// Execution tier: how much timing fidelity a run pays for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Tier {
+    /// Full cycle-level timing simulation over the whole trace.
+    #[default]
+    Full,
+    /// Functional execution only — no timing, maximum host throughput.
+    Func,
+    /// Functional fast-forward with timing over sampled intervals;
+    /// IPC and the CPI stack are extrapolated estimates.
+    Sampled,
+}
+
+impl Tier {
+    /// Every tier, in canonical order.
+    pub const ALL: [Tier; 3] = [Tier::Full, Tier::Func, Tier::Sampled];
+
+    /// Stable machine-readable name (CLI flags, protocol fields, digests).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Full => "full",
+            Tier::Func => "func",
+            Tier::Sampled => "sampled",
+        }
+    }
+
+    /// Parses a tier name as accepted by `--tier` and the braidd protocol.
+    pub fn parse(s: &str) -> Option<Tier> {
+        Tier::ALL.into_iter().find(|t| t.name() == s)
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ------------------------------------------------------------- sampling --
+
+/// Knobs of the sampled-timing tier.
+///
+/// Execution is divided into periods of [`SamplingConfig::period`]
+/// instructions. At the start of each period the driver records
+/// [`SamplingConfig::warmup`] + [`SamplingConfig::sample`] instructions of
+/// trace (each window extended to the next braid boundary so the braid
+/// core never sees a trace that starts or stops mid-braid), times them on
+/// the real core, and fast-forwards the remainder of the period
+/// functionally. The default window covers the whole period (warm-up +
+/// sample = period), trading speed for accuracy; raise `period` above the
+/// window length to sample sparsely on long-running workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamplingConfig {
+    /// Instructions per sampling period (functional + timed).
+    pub period: u64,
+    /// Timed warm-up instructions at the window start. Their cycles are
+    /// excluded from the extrapolation rate used for the untimed rest of
+    /// the period (they carry the window's pipeline-fill cost), but they
+    /// do count toward the measured window itself.
+    pub warmup: u64,
+    /// Timed instructions whose cycles set the extrapolation rate.
+    pub sample: u64,
+    /// Step the reference interpreter in lockstep and compare
+    /// [`ArchSnapshot`]s at every interval boundary (defaults to on in
+    /// debug builds). Purely a validation aid — never changes results.
+    pub lockstep: bool,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> SamplingConfig {
+        SamplingConfig {
+            period: 4096,
+            warmup: 512,
+            sample: 3584,
+            lockstep: cfg!(debug_assertions),
+        }
+    }
+}
+
+impl SamplingConfig {
+    /// Rejects degenerate configurations (zero period or sample).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] with the offending knob.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.period == 0 {
+            return Err(SimError::Config("sampling period must be at least 1".into()));
+        }
+        if self.sample == 0 {
+            return Err(SimError::Config("sample length must be at least 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Stable key fragment for cache digests: every knob that changes
+    /// sampled results (lockstep never does, so it is excluded).
+    pub fn digest_key(&self) -> String {
+        format!("sp{}:sw{}:sl{}", self.period, self.warmup, self.sample)
+    }
+}
+
+// ------------------------------------------------------------ snapshots --
+
+/// Architectural state at an instruction boundary: the external register
+/// file, memory deltas (every non-zero 4 KiB page), pc and retired count.
+///
+/// Snapshots are the currency of the differential test layer: the fast
+/// interpreter, the reference interpreter and (transitively, through the
+/// trace) the timing cores must all agree on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchSnapshot {
+    /// Program counter (static instruction index).
+    pub pc: u64,
+    /// Dynamic instructions retired.
+    pub retired: u64,
+    /// External register file, indexed by [`Reg::index`].
+    pub regs: [u64; 64],
+    /// Non-zero memory pages as `(page index, contents)`, sorted.
+    pub pages: Vec<(u64, Box<[u8; PAGE_SIZE]>)>,
+}
+
+impl ArchSnapshot {
+    /// Snapshots the reference interpreter.
+    pub fn of_machine(m: &Machine) -> ArchSnapshot {
+        ArchSnapshot {
+            pc: m.pc(),
+            retired: m.executed(),
+            regs: *m.regs(),
+            pages: m.mem.nonzero_pages(),
+        }
+    }
+
+    /// FNV-1a digest over the whole snapshot (order-stable, so equal
+    /// snapshots always digest equally across hosts).
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&self.pc.to_le_bytes());
+        eat(&self.retired.to_le_bytes());
+        for r in self.regs {
+            eat(&r.to_le_bytes());
+        }
+        for (idx, page) in &self.pages {
+            eat(&idx.to_le_bytes());
+            eat(page.as_slice());
+        }
+        h
+    }
+
+    /// Human-readable first divergence against `other`, or `None` when the
+    /// snapshots are byte-identical.
+    pub fn divergence(&self, other: &ArchSnapshot) -> Option<String> {
+        if self.retired != other.retired {
+            return Some(format!("retired {} vs {}", self.retired, other.retired));
+        }
+        if self.pc != other.pc {
+            return Some(format!("pc {} vs {}", self.pc, other.pc));
+        }
+        for i in 0..64 {
+            if self.regs[i] != other.regs[i] {
+                return Some(format!(
+                    "register index {i}: {:#x} vs {:#x}",
+                    self.regs[i], other.regs[i]
+                ));
+            }
+        }
+        if self.pages.len() != other.pages.len() {
+            return Some(format!(
+                "{} non-zero pages vs {}",
+                self.pages.len(),
+                other.pages.len()
+            ));
+        }
+        for ((ia, pa), (ib, pb)) in self.pages.iter().zip(&other.pages) {
+            if ia != ib {
+                return Some(format!("page index {ia} vs {ib}"));
+            }
+            if let Some(off) = (0..PAGE_SIZE).find(|&k| pa[k] != pb[k]) {
+                return Some(format!(
+                    "memory byte {:#x}: {:#x} vs {:#x}",
+                    ia * PAGE_SIZE as u64 + off as u64,
+                    pa[off],
+                    pb[off]
+                ));
+            }
+        }
+        None
+    }
+}
+
+// ------------------------------------------------------------ fast memory --
+
+/// Flat boundary: addresses below this live in one contiguous vector (one
+/// bounds check per access); higher and wrapping addresses fall back to the
+/// sparse paged [`Memory`]. Page-aligned so a page never straddles the
+/// boundary.
+const LOW_CAP: u64 = 1 << 26; // 64 MiB
+
+/// Hybrid memory for the fast tier: dense low range, sparse high range.
+/// Semantics are byte-identical to [`Memory`] (zero-filled, wrapping).
+#[derive(Debug, Clone, Default)]
+struct FlatMem {
+    low: Vec<u8>,
+    high: Memory,
+}
+
+impl FlatMem {
+    #[inline]
+    fn read_u8(&self, addr: u64) -> u8 {
+        if addr < LOW_CAP {
+            self.low.get(addr as usize).copied().unwrap_or(0)
+        } else {
+            self.high.read_u8(addr)
+        }
+    }
+
+    #[cold]
+    fn grow_low(&mut self, end: usize) {
+        let want = end.max(self.low.len().saturating_mul(2)).min(LOW_CAP as usize);
+        let want = want.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        self.low.resize(want.max(end), 0);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, addr: u64, b: u8) {
+        if addr < LOW_CAP {
+            let a = addr as usize;
+            if a >= self.low.len() {
+                self.grow_low(a + 1);
+            }
+            self.low[a] = b;
+        } else {
+            self.high.write_u8(addr, b);
+        }
+    }
+
+    /// Reads `N` little-endian bytes (wrapping address space).
+    #[inline]
+    fn read<const N: usize>(&self, addr: u64) -> [u8; N] {
+        let mut out = [0u8; N];
+        if addr <= LOW_CAP - N as u64 {
+            let a = addr as usize;
+            if a < self.low.len() {
+                let take = N.min(self.low.len() - a);
+                out[..take].copy_from_slice(&self.low[a..a + take]);
+            }
+        } else {
+            for (i, b) in out.iter_mut().enumerate() {
+                *b = self.read_u8(addr.wrapping_add(i as u64));
+            }
+        }
+        out
+    }
+
+    /// Writes `N` little-endian bytes (wrapping address space).
+    #[inline]
+    fn write<const N: usize>(&mut self, addr: u64, bytes: [u8; N]) {
+        if addr <= LOW_CAP - N as u64 {
+            let a = addr as usize;
+            if a + N > self.low.len() {
+                self.grow_low(a + N);
+            }
+            self.low[a..a + N].copy_from_slice(&bytes);
+        } else {
+            for (i, &b) in bytes.iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u64), b);
+            }
+        }
+    }
+
+    fn write_slice(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    fn nonzero_pages(&self) -> Vec<(u64, Box<[u8; PAGE_SIZE]>)> {
+        let mut out: Vec<(u64, Box<[u8; PAGE_SIZE]>)> = Vec::new();
+        for (i, chunk) in self.low.chunks(PAGE_SIZE).enumerate() {
+            if chunk.iter().any(|&b| b != 0) {
+                let mut page = Box::new([0u8; PAGE_SIZE]);
+                page[..chunk.len()].copy_from_slice(chunk);
+                out.push((i as u64, page));
+            }
+        }
+        out.extend(self.high.nonzero_pages());
+        out.sort_by_key(|(i, _)| *i);
+        out
+    }
+}
+
+// ------------------------------------------------------------ func table --
+
+/// What [`PreDecoded`] deliberately leaves out (the timing cores never
+/// need values): opcode, sign-extended immediate, encoded branch target
+/// and the braid `S` bit.
+#[derive(Debug, Clone, Copy)]
+struct FuncOp {
+    opcode: Opcode,
+    imm: u64,
+    target: u32,
+    start: bool,
+}
+
+/// Sentinel for "no encoded target" (mirrors [`ExecError::MissingTarget`]).
+const NO_TARGET: u32 = u32::MAX;
+
+/// The fast tier's dispatch table: the shared [`PreDecoded`] table plus
+/// execution-only facts per static instruction and precomputed basic-block
+/// run lengths. Built once per program, immutable afterwards.
+#[derive(Debug, Clone)]
+pub struct FuncTable {
+    pre: PreDecoded,
+    ops: Vec<FuncOp>,
+    /// Straight-line instructions from index `i` up to (not including) the
+    /// next control transfer or halt — the block-batched inner loop runs
+    /// exactly this far with no pc, halt or taken checks.
+    run_len: Vec<u32>,
+}
+
+impl FuncTable {
+    /// Builds the table for `program` (one pass).
+    pub fn new(program: &Program) -> FuncTable {
+        let pre = PreDecoded::new(program);
+        let ops: Vec<FuncOp> = program
+            .insts
+            .iter()
+            .map(|inst| FuncOp {
+                opcode: inst.opcode,
+                imm: inst.imm as i64 as u64,
+                target: inst.target().unwrap_or(NO_TARGET),
+                start: inst.braid.start,
+            })
+            .collect();
+        let n = ops.len();
+        let mut run_len = vec![0u32; n];
+        for i in (0..n).rev() {
+            let op = ops[i].opcode;
+            if op.is_branch() || op == Opcode::Halt {
+                run_len[i] = 0;
+            } else if i + 1 < n {
+                run_len[i] = run_len[i + 1] + 1;
+            } else {
+                run_len[i] = 1;
+            }
+        }
+        FuncTable { pre, ops, run_len }
+    }
+
+    /// The shared predecode table the interpreter dispatches over.
+    pub fn predecoded(&self) -> &PreDecoded {
+        &self.pre
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+// ---------------------------------------------------------- fast machine --
+
+/// The fast functional interpreter.
+///
+/// Architecturally equivalent to [`Machine`] — byte-identical final
+/// registers, memory and retired counts, the property the differential
+/// suite in `tests/functional_tier.rs` pins — but with flat state and
+/// block-batched dispatch: generation-stamped arrays instead of a hash map
+/// for the braid-internal context, hybrid dense/sparse memory, and no
+/// per-instruction control-flow checks inside basic blocks.
+#[derive(Debug, Clone)]
+pub struct FastMachine<'a> {
+    table: &'a FuncTable,
+    regs: [u64; 64],
+    internal: [u64; 64],
+    internal_gen: [u64; 64],
+    gen: u64,
+    mem: FlatMem,
+    pc: u64,
+    halted: bool,
+    executed: u64,
+}
+
+fn reg_of_index(r: u8) -> Reg {
+    Reg::all().find(|x| x.index() == r).unwrap_or(Reg::ZERO)
+}
+
+impl<'a> FastMachine<'a> {
+    /// Creates a machine with `program`'s data segments loaded and the pc
+    /// at its entry. `table` must be built from the same program.
+    pub fn new(program: &Program, table: &'a FuncTable) -> FastMachine<'a> {
+        let mut mem = FlatMem::default();
+        for seg in &program.data {
+            mem.write_slice(seg.base, &seg.bytes);
+        }
+        FastMachine {
+            table,
+            regs: [0; 64],
+            internal: [0; 64],
+            internal_gen: [0; 64],
+            gen: 1,
+            mem,
+            pc: program.entry as u64,
+            halted: false,
+            executed: 0,
+        }
+    }
+
+    /// Whether `halt` has executed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Dynamic instructions executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// The current program counter (instruction index).
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Reads an external (architectural) register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Snapshots the current architectural state.
+    pub fn snapshot(&self) -> ArchSnapshot {
+        ArchSnapshot {
+            pc: self.pc,
+            retired: self.executed,
+            regs: self.regs,
+            pages: self.mem.nonzero_pages(),
+        }
+    }
+
+    #[inline]
+    fn read_src(&self, idx: u32, r: u8, is_t: bool) -> Result<u64, ExecError> {
+        if r == NO_REG {
+            return Ok(0);
+        }
+        let ri = r as usize;
+        if is_t {
+            if self.internal_gen[ri] == self.gen {
+                Ok(self.internal[ri])
+            } else {
+                Err(ExecError::MissingInternal { idx, reg: reg_of_index(r) })
+            }
+        } else {
+            Ok(self.regs[ri])
+        }
+    }
+
+    #[inline]
+    fn old_dest(&self, r: u8) -> u64 {
+        let ri = r as usize;
+        if self.internal_gen[ri] == self.gen {
+            self.internal[ri]
+        } else {
+            self.regs[ri]
+        }
+    }
+
+    /// Executes the instruction at static index `i`, returning
+    /// `(next pc, memory address, taken)` exactly as [`Machine::step`]
+    /// would record them. Does **not** advance `pc` or `executed`.
+    #[inline]
+    fn exec_inst(&mut self, i: usize) -> Result<(u64, u64, bool), ExecError> {
+        let fo = self.table.ops[i];
+        let d = self.table.pre.op(i as u32);
+        if fo.start {
+            self.gen += 1;
+        }
+        let idx = i as u32;
+        let s0 = self.read_src(idx, d.srcs[0], d.t_bits & 1 != 0)?;
+        let s1 = self.read_src(idx, d.srcs[1], d.t_bits & 2 != 0)?;
+        let old = if d.reads_dest != NO_REG { self.old_dest(d.reads_dest) } else { 0 };
+        let imm = fo.imm;
+        let f = |bits: u64| f64::from_bits(bits);
+        let b = |x: f64| x.to_bits();
+
+        let pc = i as u64;
+        let mut next = pc + 1;
+        let mut addr = 0u64;
+        let mut taken = false;
+        let mut result: Option<u64> = None;
+        let target = |pc: u64| -> Result<u64, ExecError> {
+            if fo.target == NO_TARGET {
+                Err(ExecError::MissingTarget { pc })
+            } else {
+                Ok(fo.target as u64)
+            }
+        };
+
+        use Opcode::*;
+        match fo.opcode {
+            Add => result = Some(s0.wrapping_add(s1)),
+            Sub => result = Some(s0.wrapping_sub(s1)),
+            Mul => result = Some(s0.wrapping_mul(s1)),
+            Div => {
+                result = Some(if s1 == 0 {
+                    0
+                } else {
+                    (s0 as i64).wrapping_div(s1 as i64) as u64
+                })
+            }
+            And => result = Some(s0 & s1),
+            Or => result = Some(s0 | s1),
+            Xor => result = Some(s0 ^ s1),
+            Andnot => result = Some(s0 & !s1),
+            Sll => result = Some(s0 << (s1 & 63)),
+            Srl => result = Some(s0 >> (s1 & 63)),
+            Sra => result = Some(((s0 as i64) >> (s1 & 63)) as u64),
+            Cmpeq => result = Some((s0 == s1) as u64),
+            Cmplt => result = Some(((s0 as i64) < (s1 as i64)) as u64),
+            Cmple => result = Some(((s0 as i64) <= (s1 as i64)) as u64),
+            Cmpult => result = Some((s0 < s1) as u64),
+            Addi | Lda => result = Some(s0.wrapping_add(imm)),
+            Subi => result = Some(s0.wrapping_sub(imm)),
+            Muli => result = Some(s0.wrapping_mul(imm)),
+            Andi => result = Some(s0 & imm),
+            Ori => result = Some(s0 | imm),
+            Xori => result = Some(s0 ^ imm),
+            Slli => result = Some(s0 << (imm & 63)),
+            Srli => result = Some(s0 >> (imm & 63)),
+            Srai => result = Some(((s0 as i64) >> (imm & 63)) as u64),
+            Cmpeqi => result = Some((s0 == imm) as u64),
+            Cmplti => result = Some(((s0 as i64) < (imm as i64)) as u64),
+            Zapnot => {
+                let mut v = 0u64;
+                for byte in 0..8 {
+                    if imm >> byte & 1 == 1 {
+                        v |= s0 & (0xff << (byte * 8));
+                    }
+                }
+                result = Some(v);
+            }
+            Cmovne => result = Some(if s0 != 0 { s1 } else { old }),
+            Cmoveq => result = Some(if s0 == 0 { s1 } else { old }),
+            Cmovnei => result = Some(if s0 != 0 { imm } else { old }),
+            Fadd => result = Some(b(f(s0) + f(s1))),
+            Fsub => result = Some(b(f(s0) - f(s1))),
+            Fmul => result = Some(b(f(s0) * f(s1))),
+            Fdiv => result = Some(b(f(s0) / f(s1))),
+            Fsqrt => result = Some(b(f(s0).sqrt())),
+            Fcmpeq => result = Some((f(s0) == f(s1)) as u64),
+            Fcmplt => result = Some((f(s0) < f(s1)) as u64),
+            Fcmple => result = Some((f(s0) <= f(s1)) as u64),
+            Fcmovne => result = Some(if s0 != 0 { s1 } else { old }),
+            Cvtif => result = Some(b(s0 as i64 as f64)),
+            Cvtfi => result = Some(f(s0) as i64 as u64),
+            Ldl => {
+                addr = s0.wrapping_add(imm);
+                let v = u32::from_le_bytes(self.mem.read::<4>(addr));
+                result = Some(v as i32 as i64 as u64);
+            }
+            Ldq | Fldd => {
+                addr = s0.wrapping_add(imm);
+                result = Some(u64::from_le_bytes(self.mem.read::<8>(addr)));
+            }
+            Stl => {
+                addr = s1.wrapping_add(imm);
+                self.mem.write::<4>(addr, (s0 as u32).to_le_bytes());
+            }
+            Stq | Fstd => {
+                addr = s1.wrapping_add(imm);
+                self.mem.write::<8>(addr, s0.to_le_bytes());
+            }
+            Br => {
+                taken = true;
+                next = target(pc)?;
+            }
+            Beq | Bne | Blt | Bge | Ble | Bgt => {
+                let v = s0 as i64;
+                taken = match fo.opcode {
+                    Beq => v == 0,
+                    Bne => v != 0,
+                    Blt => v < 0,
+                    Bge => v >= 0,
+                    Ble => v <= 0,
+                    _ => v > 0,
+                };
+                if taken {
+                    next = target(pc)?;
+                }
+            }
+            Call => {
+                taken = true;
+                result = Some(pc + 1);
+                next = target(pc)?;
+            }
+            Ret => {
+                taken = true;
+                next = s0;
+            }
+            Nop => {}
+            Halt => {
+                self.halted = true;
+                next = pc;
+            }
+        }
+
+        if let Some(v) = result {
+            let dd = d.dest;
+            if dd != NO_REG {
+                if d.is_internal() {
+                    self.internal[dd as usize] = v;
+                    self.internal_gen[dd as usize] = self.gen;
+                }
+                if d.is_external() {
+                    self.regs[dd as usize] = v;
+                }
+            }
+        }
+        Ok((next, addr, taken))
+    }
+
+    /// Runs until `halt`, `executed == stop`, or an error; trace entries
+    /// are recorded only when `RECORD` is set. `fuel` carries the same
+    /// semantics as [`Machine::run`]: attempting to execute with the
+    /// budget exhausted returns [`ExecError::OutOfFuel`].
+    fn run_span<const RECORD: bool, const SINK: bool, S: FnMut(u32, &DecodedOp, u64)>(
+        &mut self,
+        stop: u64,
+        fuel: u64,
+        out: &mut Vec<TraceEntry>,
+        sink: &mut S,
+    ) -> Result<(), ExecError> {
+        let len = self.table.ops.len() as u64;
+        while !self.halted && self.executed < stop {
+            if self.executed >= fuel {
+                return Err(ExecError::OutOfFuel);
+            }
+            if self.pc >= len {
+                return Err(ExecError::PcOutOfRange(self.pc));
+            }
+            let i = self.pc as usize;
+            let straight = self.table.run_len[i] as u64;
+            if straight > 0 {
+                // Basic-block interior: no control flow until the
+                // terminator, so no pc/halt checks per instruction.
+                let budget = stop.min(fuel) - self.executed;
+                let run = straight.min(budget);
+                for k in 0..run {
+                    let at = i + k as usize;
+                    let (_, addr, _) = self.exec_inst(at)?;
+                    if SINK {
+                        sink(at as u32, self.table.pre.op(at as u32), addr);
+                    }
+                    if RECORD {
+                        out.push(TraceEntry {
+                            idx: at as u32,
+                            next_idx: at as u32 + 1,
+                            addr,
+                            taken: false,
+                        });
+                    }
+                }
+                self.executed += run;
+                self.pc += run;
+                continue;
+            }
+            // Block terminator (branch or halt): full single-step.
+            let (next, addr, taken) = self.exec_inst(i)?;
+            if SINK {
+                sink(i as u32, self.table.pre.op(i as u32), addr);
+            }
+            if RECORD {
+                out.push(TraceEntry { idx: i as u32, next_idx: next as u32, addr, taken });
+            }
+            self.executed += 1;
+            self.pc = next;
+        }
+        Ok(())
+    }
+
+    /// Runs until `halt` or the budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`]; semantics match [`Machine::run`].
+    pub fn run(&mut self, max_insts: u64) -> Result<(), ExecError> {
+        let mut sink = Vec::new();
+        self.run_span::<false, false, _>(u64::MAX, max_insts, &mut sink, &mut no_sink)
+    }
+
+    /// Runs until `halt` or `executed == stop` (a pause, not an error).
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run_until(&mut self, stop: u64, fuel: u64) -> Result<(), ExecError> {
+        let mut sink = Vec::new();
+        self.run_span::<false, false, _>(stop, fuel, &mut sink, &mut no_sink)
+    }
+
+    /// Like [`FastMachine::run_until`], reporting every executed
+    /// instruction to `observe` as `(index, decoded op, effective
+    /// address)` — the address is 0 for non-memory instructions. The
+    /// sampled driver uses this for functional warming of
+    /// microarchitectural state.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run_until_observed<S: FnMut(u32, &DecodedOp, u64)>(
+        &mut self,
+        stop: u64,
+        fuel: u64,
+        observe: &mut S,
+    ) -> Result<(), ExecError> {
+        let mut sink = Vec::new();
+        self.run_span::<false, true, _>(stop, fuel, &mut sink, observe)
+    }
+
+    /// Like [`FastMachine::run`], appending every trace entry to `out`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run_recording(
+        &mut self,
+        max_insts: u64,
+        out: &mut Vec<TraceEntry>,
+    ) -> Result<(), ExecError> {
+        self.run_span::<true, false, _>(u64::MAX, max_insts, out, &mut no_sink)
+    }
+
+    /// Records execution up to `stop`, then keeps recording until the next
+    /// braid boundary: the span ends only when the *next* instruction to
+    /// execute carries the braid `S` bit (or the machine halts). This keeps
+    /// sampled trace windows well-formed for the braid timing core, which
+    /// must never replay a window that starts or stops mid-braid.
+    /// Unannotated programs have `S` on every instruction, so the
+    /// extension is a no-op for them.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run_recording_to_boundary(
+        &mut self,
+        stop: u64,
+        fuel: u64,
+        out: &mut Vec<TraceEntry>,
+    ) -> Result<(), ExecError> {
+        self.record_to_boundary::<false, _>(stop, fuel, out, &mut no_sink)
+    }
+
+    /// [`FastMachine::run_recording_to_boundary`] with the per-instruction
+    /// `observe` hook of [`FastMachine::run_until_observed`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run_recording_to_boundary_observed<S: FnMut(u32, &DecodedOp, u64)>(
+        &mut self,
+        stop: u64,
+        fuel: u64,
+        out: &mut Vec<TraceEntry>,
+        observe: &mut S,
+    ) -> Result<(), ExecError> {
+        self.record_to_boundary::<true, _>(stop, fuel, out, observe)
+    }
+
+    fn record_to_boundary<const SINK: bool, S: FnMut(u32, &DecodedOp, u64)>(
+        &mut self,
+        stop: u64,
+        fuel: u64,
+        out: &mut Vec<TraceEntry>,
+        sink: &mut S,
+    ) -> Result<(), ExecError> {
+        self.run_span::<true, SINK, _>(stop, fuel, out, sink)?;
+        let len = self.table.ops.len() as u64;
+        while !self.halted && self.pc < len && !self.table.ops[self.pc as usize].start {
+            if self.executed >= fuel {
+                return Err(ExecError::OutOfFuel);
+            }
+            let i = self.pc as usize;
+            let (next, addr, taken) = self.exec_inst(i)?;
+            if SINK {
+                sink(i as u32, self.table.pre.op(i as u32), addr);
+            }
+            out.push(TraceEntry { idx: i as u32, next_idx: next as u32, addr, taken });
+            self.executed += 1;
+            self.pc = next;
+        }
+        Ok(())
+    }
+}
+
+/// The no-op instruction sink (compiled out entirely by the `SINK = false`
+/// instantiations of the runners).
+fn no_sink(_idx: u32, _op: &DecodedOp, _addr: u64) {}
+
+// ------------------------------------------------------------- reports --
+
+/// Result of a functional-tier run: instruction count, host time and the
+/// final-state digest (deterministic, so cached responses can carry it).
+#[derive(Debug, Clone, Default)]
+pub struct FuncReport {
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Host wall-clock nanoseconds of the run. **Not deterministic.**
+    pub host_nanos: u64,
+    /// [`ArchSnapshot::digest`] of the final architectural state.
+    pub digest: u64,
+}
+
+impl FuncReport {
+    /// Host throughput: executed instructions per wall-clock second.
+    pub fn insts_per_sec(&self) -> f64 {
+        if self.host_nanos == 0 {
+            0.0
+        } else {
+            self.instructions as f64 * 1e9 / self.host_nanos as f64
+        }
+    }
+}
+
+impl fmt::Display for FuncReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} insts functional-only: host {:.2} Minsts/s, state digest {:016x}",
+            self.instructions,
+            self.insts_per_sec() / 1e6,
+            self.digest
+        )
+    }
+}
+
+/// Result of a sampled-timing run: extrapolated cycles and CPI stack plus
+/// the measurement bookkeeping needed to reason about the estimate.
+#[derive(Debug, Clone, Default)]
+pub struct SampledReport {
+    /// Total dynamic instructions (functionally executed — exact).
+    pub instructions: u64,
+    /// Extrapolated cycles ([`SampledReport::cpi`] totals to exactly this).
+    pub est_cycles: u64,
+    /// Extrapolated CPI stack (per-interval measured stacks scaled to the
+    /// period; `total()` always equals [`SampledReport::est_cycles`]).
+    pub cpi: CpiStack,
+    /// Sampling intervals taken.
+    pub intervals: u64,
+    /// Instructions replayed on the timing core (warm-up + sample).
+    pub timed_insts: u64,
+    /// Timed instructions whose cycles entered the estimate as direct
+    /// measurement rather than extrapolation.
+    pub measured_insts: u64,
+    /// Cycles that entered the estimate as direct measurement; the rest of
+    /// [`SampledReport::est_cycles`] is extrapolated.
+    pub measured_cycles: u64,
+    /// Warm-up prefix cycles timed separately so they could be excluded
+    /// from the extrapolation rate (zero when every period was fully
+    /// covered by its window and no extrapolation happened).
+    pub overhead_cycles: u64,
+    /// Host nanoseconds in the functional tier. **Not deterministic.**
+    pub func_host_nanos: u64,
+    /// Host nanoseconds in the timing core. **Not deterministic.**
+    pub timing_host_nanos: u64,
+}
+
+impl SampledReport {
+    /// Estimated retired instructions per cycle.
+    pub fn est_ipc(&self) -> f64 {
+        if self.est_cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.est_cycles as f64
+        }
+    }
+
+    /// Fraction of dynamic instructions replayed on the timing core.
+    pub fn coverage(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.timed_insts as f64 / self.instructions as f64
+        }
+    }
+
+    /// Total host nanoseconds (functional + timing).
+    pub fn host_nanos(&self) -> u64 {
+        self.func_host_nanos + self.timing_host_nanos
+    }
+
+    /// Host throughput over the whole run: instructions per second.
+    pub fn insts_per_sec(&self) -> f64 {
+        let ns = self.host_nanos();
+        if ns == 0 {
+            0.0
+        } else {
+            self.instructions as f64 * 1e9 / ns as f64
+        }
+    }
+}
+
+impl fmt::Display for SampledReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} insts, est {} cycles: est IPC {:.3} ({} intervals, {:.1}% timed)",
+            self.instructions,
+            self.est_cycles,
+            self.est_ipc(),
+            self.intervals,
+            self.coverage() * 100.0
+        )?;
+        write!(
+            f,
+            "  measured {} cycles over {} insts; host {:.2} Minsts/s overall",
+            self.measured_cycles,
+            self.measured_insts,
+            self.insts_per_sec() / 1e6
+        )
+    }
+}
+
+// ------------------------------------------------------------- driver --
+
+/// Errors from the two-tier drivers: either tier can fail.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SampleError {
+    /// The functional tier failed.
+    Exec(ExecError),
+    /// The timing core failed on a sampled window.
+    Sim(SimError),
+}
+
+impl fmt::Display for SampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleError::Exec(e) => write!(f, "functional tier failed: {e}"),
+            SampleError::Sim(e) => write!(f, "timing tier failed: {e}"),
+        }
+    }
+}
+
+impl Error for SampleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SampleError::Exec(e) => Some(e),
+            SampleError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<ExecError> for SampleError {
+    fn from(e: ExecError) -> SampleError {
+        SampleError::Exec(e)
+    }
+}
+
+impl From<SimError> for SampleError {
+    fn from(e: SimError) -> SampleError {
+        SampleError::Sim(e)
+    }
+}
+
+/// Runs the functional tier on `program` and reports host throughput and
+/// the final-state digest.
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn run_func(program: &Program, fuel: u64) -> Result<FuncReport, ExecError> {
+    let table = FuncTable::new(program);
+    let mut m = FastMachine::new(program, &table);
+    let t0 = Instant::now();
+    m.run(fuel)?;
+    let host_nanos = t0.elapsed().as_nanos() as u64;
+    Ok(FuncReport { instructions: m.executed(), host_nanos, digest: m.snapshot().digest() })
+}
+
+/// Forces `stack` to total exactly `cycles` (deterministically): a deficit
+/// is charged to [`StallCause::BeuSerial`] ("in flight, unattributed"), an
+/// excess is shaved off the largest buckets first.
+fn fit_stack(mut stack: CpiStack, cycles: u64) -> CpiStack {
+    let total = stack.total();
+    if total < cycles {
+        stack.add(StallCause::BeuSerial, cycles - total);
+        return stack;
+    }
+    let mut excess = total - cycles;
+    while excess > 0 {
+        // Deterministic: largest bucket, ties broken by canonical order.
+        let mut best = StallCause::Base;
+        let mut best_n = 0u64;
+        for (cause, n) in stack.iter() {
+            if n > best_n {
+                best = cause;
+                best_n = n;
+            }
+        }
+        if best_n == 0 {
+            break;
+        }
+        let take = excess.min(best_n);
+        let mut rebuilt = CpiStack::new();
+        for (cause, n) in stack.iter() {
+            rebuilt.add(cause, if cause == best { n - take } else { n });
+        }
+        stack = rebuilt;
+        excess -= take;
+    }
+    stack
+}
+
+/// Distributes `target` cycles across causes proportional to `stack`
+/// (whose total must be non-zero) by largest-remainder apportionment,
+/// deterministic tie-break by canonical cause order. The result totals
+/// exactly `target`.
+fn apportion(stack: &CpiStack, target: u64) -> CpiStack {
+    let denom = stack.total();
+    if denom == 0 {
+        let mut out = CpiStack::new();
+        out.add(StallCause::Base, target);
+        return out;
+    }
+    let mut quotas = [0u64; crate::obs::NUM_CAUSES];
+    let mut rems: Vec<(u128, usize)> = Vec::with_capacity(crate::obs::NUM_CAUSES);
+    let mut assigned = 0u64;
+    for (slot, cause) in StallCause::ALL.into_iter().enumerate() {
+        let num = stack.get(cause) as u128 * target as u128;
+        let q = (num / denom as u128) as u64;
+        quotas[slot] = q;
+        assigned += q;
+        rems.push((num % denom as u128, slot));
+    }
+    rems.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut left = target.saturating_sub(assigned);
+    for &(_, slot) in rems.iter().cycle().take(rems.len() * 2) {
+        if left == 0 {
+            break;
+        }
+        quotas[slot] += 1;
+        left -= 1;
+    }
+    // Any still-unassigned remainder (degenerate stacks) goes to the first
+    // cause so the invariant holds unconditionally.
+    quotas[0] += left;
+    let mut out = CpiStack::new();
+    for (slot, cause) in StallCause::ALL.into_iter().enumerate() {
+        out.add(cause, quotas[slot]);
+    }
+    out
+}
+
+/// Scales a measured interval (cycles + stack over `m_insts` instructions)
+/// up to the full period of `period_insts` instructions. The returned
+/// stack totals exactly the returned cycle count.
+fn extrapolate(
+    m_cycles: u64,
+    m_insts: u64,
+    stack: &CpiStack,
+    period_insts: u64,
+) -> (u64, CpiStack) {
+    if m_insts == 0 || m_cycles == 0 || period_insts == 0 {
+        return (0, CpiStack::new());
+    }
+    let est = ((m_cycles as u128 * period_insts as u128 + m_insts as u128 / 2)
+        / m_insts as u128) as u64;
+    let est = est.max(1);
+    (est, apportion(stack, est))
+}
+
+/// The timing backend of [`run_sampled_with`].
+///
+/// A plain closure `FnMut(&Trace) -> Result<SimReport, SimError>`
+/// implements this trait with the default no-op hooks: every window is
+/// then timed on a completely cold core. The processor layer implements
+/// it with SMARTS-style *functional warming*: [`SampleTiming::observe`]
+/// feeds every functionally executed instruction into a persistent memory
+/// hierarchy, and each timed window replays on a core seeded from the
+/// [`SampleTiming::checkpoint`] taken at its interval start — the cache
+/// state a continuous run would have there.
+pub trait SampleTiming {
+    /// Called once per functionally executed instruction, in program
+    /// order, across recorded windows and fast-forwarded spans alike.
+    /// `idx` is the static instruction index, `op` its decoded form and
+    /// `addr` the effective address of memory operations (0 otherwise).
+    fn observe(&mut self, idx: u32, op: &DecodedOp, addr: u64) {
+        let _ = (idx, op, addr);
+    }
+
+    /// Called at the start of each sampling interval, before any of its
+    /// instructions execute: capture the warmed state the interval's timed
+    /// windows will start from.
+    fn checkpoint(&mut self) {}
+
+    /// Times `trace` on a fresh core instance (seeded from the last
+    /// checkpoint when the backend maintains warmed state); the warm-up
+    /// subtraction relies on deterministic replay of the shared prefix, so
+    /// two calls between the same pair of checkpoints must start from
+    /// identical state.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] from the timing core.
+    fn time(&mut self, trace: &Trace) -> Result<SimReport, SimError>;
+}
+
+impl<F> SampleTiming for F
+where
+    F: FnMut(&Trace) -> Result<SimReport, SimError>,
+{
+    fn time(&mut self, trace: &Trace) -> Result<SimReport, SimError> {
+        self(trace)
+    }
+}
+
+/// The sampled-timing driver: functionally fast-forwards `program`,
+/// replaying one warm-up + sample window per [`SamplingConfig::period`]
+/// instructions on the timing core supplied by `timing`. Windows
+/// contribute their measured cycles directly; any untimed remainder of a
+/// period is extrapolated at the measured post-warm-up marginal rate.
+///
+/// `timing` receives each recorded sub-trace (the braid-boundary-aligned
+/// windows) through [`SampleTiming::time`], plus the warming hooks
+/// described on [`SampleTiming`].
+///
+/// With [`SamplingConfig::lockstep`] set (the debug default) the reference
+/// interpreter runs alongside and [`ArchSnapshot`]s are compared at every
+/// interval boundary; a divergence panics with a field-level diff, because
+/// it means the fast tier mis-executed an instruction.
+///
+/// # Errors
+///
+/// [`SampleError::Exec`] from the functional tier (including
+/// [`ExecError::OutOfFuel`], exactly as a full-tier run would report it),
+/// [`SampleError::Sim`] from the timing core.
+///
+/// # Panics
+///
+/// On lockstep divergence — an implementation bug, never a workload
+/// property.
+pub fn run_sampled_with<T: SampleTiming>(
+    program: &Program,
+    fuel: u64,
+    cfg: &SamplingConfig,
+    mut timing: T,
+) -> Result<SampledReport, SampleError> {
+    cfg.validate()?;
+    let table = FuncTable::new(program);
+    let mut fast = FastMachine::new(program, &table);
+    let mut golden = if cfg.lockstep { Some(Machine::new(program)) } else { None };
+    let mut rep = SampledReport::default();
+    let mut warm: Vec<TraceEntry> = Vec::new();
+    let mut samp: Vec<TraceEntry> = Vec::new();
+    // One measurement per interval; assembled into the estimate after the
+    // loop, once the per-window fixed overhead can be fitted robustly.
+    let mut intervals: Vec<Interval> = Vec::new();
+
+    while !fast.halted() {
+        let interval_start = fast.executed();
+        warm.clear();
+        samp.clear();
+        timing.checkpoint();
+        let t0 = Instant::now();
+        let mut observe = |i: u32, op: &DecodedOp, a: u64| timing.observe(i, op, a);
+        fast.run_recording_to_boundary_observed(
+            interval_start + cfg.warmup,
+            fuel,
+            &mut warm,
+            &mut observe,
+        )?;
+        fast.run_recording_to_boundary_observed(
+            interval_start + cfg.warmup + cfg.sample,
+            fuel,
+            &mut samp,
+            &mut observe,
+        )?;
+        rep.func_host_nanos += t0.elapsed().as_nanos() as u64;
+        if warm.is_empty() && samp.is_empty() {
+            break;
+        }
+
+        // Time the whole window. The warm-up prefix alone is only needed
+        // when part of the period goes untimed — its subtraction yields
+        // the marginal extrapolation rate, and deterministic replay makes
+        // that subtraction exact. With the default full-coverage window
+        // the second timing run is skipped entirely.
+        let mut full = warm.clone();
+        full.extend_from_slice(&samp);
+        let rf = timing.time(&Trace { entries: full })?;
+        rep.timing_host_nanos += rf.host_nanos;
+        let has_tail =
+            !fast.halted() && fast.executed() < interval_start + cfg.period;
+        let rw = if has_tail && !warm.is_empty() && !samp.is_empty() {
+            let r = timing.time(&Trace { entries: warm.clone() })?;
+            rep.timing_host_nanos += r.host_nanos;
+            Some(r)
+        } else {
+            None
+        };
+
+        // Fast-forward the remainder of the period functionally (still
+        // warming: these instructions are part of the program's history).
+        let t1 = Instant::now();
+        let mut observe = |i: u32, op: &DecodedOp, a: u64| timing.observe(i, op, a);
+        fast.run_until_observed(interval_start + cfg.period, fuel, &mut observe)?;
+        rep.func_host_nanos += t1.elapsed().as_nanos() as u64;
+
+        intervals.push(Interval {
+            rf,
+            rw,
+            warm_insts: warm.len() as u64,
+            samp_insts: samp.len() as u64,
+            period_insts: fast.executed() - interval_start,
+        });
+
+        // Lockstep validation against the reference interpreter (the same
+        // golden model braid-verify's oracle is built on).
+        if let Some(m) = golden.as_mut() {
+            while m.executed() < fast.executed() && !m.halted() {
+                m.step(program)?;
+            }
+            let a = fast.snapshot();
+            let b = ArchSnapshot::of_machine(m);
+            if let Some(diff) = a.divergence(&b) {
+                panic!(
+                    "sampled lockstep divergence at instruction {} (fast vs reference): {diff}",
+                    fast.executed()
+                );
+            }
+        }
+    }
+    rep.instructions = fast.executed();
+    assemble_estimate(&mut rep, &intervals);
+    Ok(rep)
+}
+
+/// One sampling interval's timings: the full warm-up+sample window
+/// (`rf`), the warm-up prefix alone (`rw`, when both parts were
+/// non-empty), and the instruction counts involved.
+struct Interval {
+    rf: SimReport,
+    rw: Option<SimReport>,
+    warm_insts: u64,
+    samp_insts: u64,
+    period_insts: u64,
+}
+
+impl Interval {
+    /// Instructions the window replayed on the timing core.
+    fn timed_insts(&self) -> u64 {
+        self.warm_insts + self.samp_insts
+    }
+}
+
+/// Assembles the final estimate from per-interval measurements.
+///
+/// Every timed window contributes its measured cycles **directly** —
+/// functional cache warming means a window replay is already close to the
+/// continuous run's cost for those instructions, and any correction model
+/// (fixed per-window overhead, rate fitting) was measured to inject more
+/// error than the residual boundary effects it removes. Only the untimed
+/// remainder of each period is extrapolated, at the post-warm-up marginal
+/// rate `(full − warm-up) / sample` when a warm-up split was timed, else
+/// at the window's overall rate. Warm-up cycles are thereby excluded from
+/// every extrapolated cycle while still being counted once where they were
+/// actually measured.
+fn assemble_estimate(rep: &mut SampledReport, intervals: &[Interval]) {
+    for iv in intervals {
+        let timed = iv.timed_insts();
+        // Measured part: counted as-is.
+        rep.est_cycles += iv.rf.cycles;
+        rep.cpi.merge(&iv.rf.cpi);
+        rep.measured_cycles += iv.rf.cycles;
+        rep.measured_insts += timed;
+
+        // Untimed remainder: extrapolate, excluding warm-up cycles from
+        // the rate when the warm-up prefix was timed separately.
+        let tail = iv.period_insts.saturating_sub(timed);
+        if tail > 0 {
+            let (m_cycles, m_insts, m_stack) = match &iv.rw {
+                Some(rw) => {
+                    let cycles = iv.rf.cycles.saturating_sub(rw.cycles);
+                    let mut stack = CpiStack::new();
+                    for (cause, n) in iv.rf.cpi.iter() {
+                        stack.add(cause, n.saturating_sub(rw.cpi.get(cause)));
+                    }
+                    (cycles, iv.samp_insts, fit_stack(stack, cycles))
+                }
+                None => (iv.rf.cycles, timed, iv.rf.cpi),
+            };
+            let (est, est_stack) = extrapolate(m_cycles, m_insts, &m_stack, tail);
+            rep.est_cycles += est;
+            rep.cpi.merge(&est_stack);
+        }
+        if let Some(rw) = &iv.rw {
+            rep.overhead_cycles += rw.cycles;
+        }
+        rep.intervals += 1;
+        rep.timed_insts += timed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_isa::asm::assemble;
+
+    fn both(src: &str) -> (Machine, ArchSnapshot) {
+        let p = assemble(src).expect("assembles");
+        let mut m = Machine::new(&p);
+        m.run(&p, 1_000_000).expect("reference runs");
+        let table = FuncTable::new(&p);
+        let mut fm = FastMachine::new(&p, &table);
+        fm.run(1_000_000).expect("fast runs");
+        (m, fm.snapshot())
+    }
+
+    #[test]
+    fn fast_matches_reference_on_a_loop() {
+        let (m, snap) = both(
+            r#"
+                addi r0, #10, r1
+            loop:
+                addq r2, r1, r2
+                subi r1, #1, r1
+                bne  r1, loop
+                stq  r2, 0x40(r0)
+                halt
+            "#,
+        );
+        assert_eq!(ArchSnapshot::of_machine(&m), snap);
+        assert_eq!(snap.regs[2], 55);
+    }
+
+    #[test]
+    fn fast_matches_reference_on_memory_and_fp() {
+        let (m, snap) = both(
+            r#"
+                addi r0, #0x1000, r1
+                addi r0, #-7, r2
+                stq  r2, 0(r1)
+                ldq  r3, 0(r1)
+                stl  r2, 8(r1)
+                ldl  r4, 8(r1)
+                addi r0, #9, r5
+                cvtqt r5, f1
+                sqrtt f1, f2
+                addt  f1, f2, f3
+                cvttq f3, r6
+                halt
+            "#,
+        );
+        assert_eq!(ArchSnapshot::of_machine(&m), snap);
+        assert_eq!(snap.regs[6], 12);
+    }
+
+    #[test]
+    fn fuel_and_pc_errors_match_reference() {
+        let p = assemble("loop: br loop\nhalt").expect("assembles");
+        let table = FuncTable::new(&p);
+        let mut fm = FastMachine::new(&p, &table);
+        assert_eq!(fm.run(100).expect_err("must run out"), ExecError::OutOfFuel);
+    }
+
+    #[test]
+    fn snapshot_digest_is_order_stable() {
+        let (_, a) = both("addi r0, #1, r1\nstq r1, 0x2000(r0)\nhalt");
+        let (_, b) = both("addi r0, #1, r1\nstq r1, 0x2000(r0)\nhalt");
+        assert_eq!(a.digest(), b.digest());
+        let (_, c) = both("addi r0, #2, r1\nstq r1, 0x2000(r0)\nhalt");
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn extrapolate_keeps_stack_total_equal_to_cycles() {
+        let mut stack = CpiStack::new();
+        stack.add(StallCause::Base, 7);
+        stack.add(StallCause::DCache, 3);
+        let (est, out) = extrapolate(10, 5, &stack, 17);
+        assert_eq!(est, 34);
+        assert_eq!(out.total(), est);
+        let (est0, out0) = extrapolate(0, 0, &stack, 17);
+        assert_eq!((est0, out0.total()), (0, 0));
+    }
+
+    #[test]
+    fn fit_stack_reconciles_both_directions() {
+        let mut s = CpiStack::new();
+        s.add(StallCause::Base, 5);
+        assert_eq!(fit_stack(s, 9).total(), 9);
+        let mut s = CpiStack::new();
+        s.add(StallCause::Base, 5);
+        s.add(StallCause::DCache, 6);
+        assert_eq!(fit_stack(s, 4).total(), 4);
+    }
+
+    #[test]
+    fn tier_names_round_trip() {
+        for t in Tier::ALL {
+            assert_eq!(Tier::parse(t.name()), Some(t));
+        }
+        assert_eq!(Tier::parse("nope"), None);
+    }
+}

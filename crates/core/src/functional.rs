@@ -21,7 +21,11 @@ pub struct Memory {
     pages: HashMap<u64, Box<[u8; PAGE]>>,
 }
 
-const PAGE: usize = 4096;
+/// Memory page granularity in bytes (also the [`crate::func::ArchSnapshot`]
+/// delta granularity).
+pub const PAGE_SIZE: usize = 4096;
+
+const PAGE: usize = PAGE_SIZE;
 
 impl Memory {
     /// Creates empty (zero-filled) memory.
@@ -75,6 +79,21 @@ impl Memory {
     /// Reads a little-endian u32.
     pub fn read_u32(&self, addr: u64) -> u32 {
         u32::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Every page holding at least one non-zero byte, as `(page index,
+    /// contents)` sorted by page index. Untouched and all-zero pages are
+    /// equivalent (both read zero), so this is the canonical memory delta
+    /// for architectural state comparison (see [`crate::func::ArchSnapshot`]).
+    pub fn nonzero_pages(&self) -> Vec<(u64, Box<[u8; PAGE_SIZE]>)> {
+        let mut out: Vec<(u64, Box<[u8; PAGE_SIZE]>)> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.iter().any(|&b| b != 0))
+            .map(|(&i, p)| (i, p.clone()))
+            .collect();
+        out.sort_by_key(|(i, _)| *i);
+        out
     }
 }
 
@@ -155,6 +174,11 @@ impl Machine {
     /// Reads an external (architectural) register.
     pub fn reg(&self, r: Reg) -> u64 {
         self.regs[r.index() as usize]
+    }
+
+    /// The whole external register file, indexed by [`Reg::index`].
+    pub fn regs(&self) -> &[u64; 64] {
+        &self.regs
     }
 
     /// Sets an external register (writes to `r0` are discarded).

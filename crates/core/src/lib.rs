@@ -22,6 +22,9 @@
 //!   characterization).
 //! * [`processor`] — one-call pipelines combining translation, functional
 //!   execution and timing simulation.
+//! * [`func`] — the fast functional tier (block-batched interpreter over
+//!   the predecode tables) and the sampled-timing driver that extrapolates
+//!   IPC/CPI stacks from timed intervals.
 //!
 //! ## Quick start
 //!
@@ -53,6 +56,7 @@ pub mod config;
 pub mod cores;
 pub mod error;
 pub mod frontend;
+pub mod func;
 pub mod functional;
 pub mod obs;
 pub mod predecode;
@@ -63,8 +67,12 @@ pub mod trace;
 
 pub use config::{BraidConfig, CommonConfig, DepConfig, InOrderConfig, OooConfig};
 pub use error::{LivelockReport, SimError};
+pub use func::{
+    ArchSnapshot, FastMachine, FuncReport, FuncTable, SampleError, SampledReport, SamplingConfig,
+    Tier,
+};
 pub use functional::{ExecError, Machine};
 pub use obs::{CpiStack, NoopObserver, Observer, StallCause};
-pub use processor::{run_braid, run_dep, run_inorder, run_ooo};
+pub use processor::{run_braid, run_dep, run_inorder, run_ooo, run_tier, CoreConfig, TierReport};
 pub use report::SimReport;
 pub use trace::{Trace, TraceEntry};

@@ -5,11 +5,18 @@ use std::fmt;
 
 use braid_compiler::{translate, TranslateError, Translation, TranslatorConfig};
 use braid_isa::Program;
+use braid_uarch::cache::{Access, MemoryHierarchy};
 
-use crate::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
+use crate::config::{BraidConfig, CommonConfig, DepConfig, InOrderConfig, OooConfig};
 use crate::cores::{BraidCore, DepSteerCore, InOrderCore, OooCore};
+use crate::frontend::{INST_BYTES, TEXT_BASE};
+use crate::func::{
+    run_func, run_sampled_with, FuncReport, SampleError, SampleTiming, SampledReport,
+    SamplingConfig, Tier,
+};
 use crate::functional::{ExecError, Machine};
 use crate::obs::Observer;
+use crate::predecode::DecodedOp;
 use crate::report::SimReport;
 use crate::trace::Trace;
 
@@ -65,6 +72,219 @@ impl From<TranslateError> for RunError {
 impl From<crate::error::SimError> for RunError {
     fn from(e: crate::error::SimError) -> RunError {
         RunError::Sim(e)
+    }
+}
+
+impl From<SampleError> for RunError {
+    fn from(e: SampleError) -> RunError {
+        match e {
+            SampleError::Exec(e) => RunError::Exec(e),
+            SampleError::Sim(e) => RunError::Sim(e),
+        }
+    }
+}
+
+/// One of the four timing cores with its configuration — the unit the
+/// tier driver dispatches over.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum CoreConfig {
+    /// The in-order machine.
+    InOrder(InOrderConfig),
+    /// The FIFO dependence-steering machine.
+    Dep(DepConfig),
+    /// The conventional out-of-order machine.
+    Ooo(OooConfig),
+    /// The braid machine (implies translation).
+    Braid(BraidConfig),
+}
+
+impl CoreConfig {
+    /// Stable core name, matching the CLI / sweep / serve spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CoreConfig::InOrder(_) => "inorder",
+            CoreConfig::Dep(_) => "dep",
+            CoreConfig::Ooo(_) => "ooo",
+            CoreConfig::Braid(_) => "braid",
+        }
+    }
+
+    /// Whether this core runs the braid-translated program.
+    pub fn is_braid(&self) -> bool {
+        matches!(self, CoreConfig::Braid(_))
+    }
+
+    /// The pipeline/memory configuration shared by every core kind.
+    fn common(&self) -> &CommonConfig {
+        match self {
+            CoreConfig::InOrder(c) => &c.common,
+            CoreConfig::Dep(c) => &c.common,
+            CoreConfig::Ooo(c) => &c.common,
+            CoreConfig::Braid(c) => &c.common,
+        }
+    }
+
+    /// Times `trace` on a **fresh** core instance (the warm-up subtraction
+    /// of sampling relies on every window starting from identical pipeline
+    /// state).
+    fn run_trace(&self, program: &Program, trace: &Trace) -> Result<SimReport, crate::error::SimError> {
+        match self {
+            CoreConfig::InOrder(c) => InOrderCore::new(c.clone()).run(program, trace),
+            CoreConfig::Dep(c) => DepSteerCore::new(c.clone()).run(program, trace),
+            CoreConfig::Ooo(c) => OooCore::new(c.clone()).run(program, trace),
+            CoreConfig::Braid(c) => BraidCore::new(c.clone()).run(program, trace),
+        }
+    }
+
+    /// Like [`CoreConfig::run_trace`], but seeding the fresh core with a
+    /// pre-warmed memory hierarchy.
+    fn run_trace_warmed(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        mem: MemoryHierarchy,
+    ) -> Result<SimReport, crate::error::SimError> {
+        match self {
+            CoreConfig::InOrder(c) => InOrderCore::new(c.clone()).run_warmed(program, trace, mem),
+            CoreConfig::Dep(c) => DepSteerCore::new(c.clone()).run_warmed(program, trace, mem),
+            CoreConfig::Ooo(c) => OooCore::new(c.clone()).run_warmed(program, trace, mem),
+            CoreConfig::Braid(c) => BraidCore::new(c.clone()).run_warmed(program, trace, mem),
+        }
+    }
+}
+
+/// SMARTS-style functional warming for the sampled tier: every functionally
+/// executed instruction (timed windows and fast-forwarded spans alike)
+/// touches a persistent memory hierarchy — I-side at the instruction's
+/// fetch address, D-side at the effective address — and each timed window
+/// replays on a core seeded with the clone checkpointed at its interval
+/// start. Without this, every window would replay on cold caches and
+/// re-pay main-memory latency for lines a continuous run keeps resident,
+/// inflating the estimate by tens of percent on cache-friendly kernels.
+struct WarmedTiming<'a> {
+    core: &'a CoreConfig,
+    program: &'a Program,
+    warm: MemoryHierarchy,
+    checkpoint: MemoryHierarchy,
+}
+
+impl<'a> WarmedTiming<'a> {
+    fn new(core: &'a CoreConfig, program: &'a Program) -> WarmedTiming<'a> {
+        let mem = MemoryHierarchy::new(core.common().mem);
+        WarmedTiming { core, program, checkpoint: mem.clone(), warm: mem }
+    }
+}
+
+impl SampleTiming for WarmedTiming<'_> {
+    fn observe(&mut self, idx: u32, op: &DecodedOp, addr: u64) {
+        self.warm.warm(Access::Fetch, TEXT_BASE + idx as u64 * INST_BYTES);
+        if op.is_load() {
+            self.warm.warm(Access::Load, addr);
+        } else if op.is_store() {
+            self.warm.warm(Access::Store, addr);
+        }
+    }
+
+    fn checkpoint(&mut self) {
+        self.checkpoint = self.warm.clone();
+    }
+
+    fn time(&mut self, trace: &Trace) -> Result<SimReport, crate::error::SimError> {
+        self.core.run_trace_warmed(self.program, trace, self.checkpoint.clone())
+    }
+}
+
+/// What a tiered run produced — shaped by the [`Tier`] requested.
+#[derive(Debug, Clone)]
+pub enum TierReport {
+    /// Full cycle-level simulation: exact cycles and CPI stack.
+    Full(SimReport),
+    /// Functional only: instruction count, throughput, state digest.
+    Func(FuncReport),
+    /// Sampled timing: extrapolated cycles and CPI stack.
+    Sampled(SampledReport),
+}
+
+impl TierReport {
+    /// Dynamic instructions executed (exact on every tier).
+    pub fn instructions(&self) -> u64 {
+        match self {
+            TierReport::Full(r) => r.instructions,
+            TierReport::Func(r) => r.instructions,
+            TierReport::Sampled(r) => r.instructions,
+        }
+    }
+
+    /// Retired instructions per cycle — exact for [`Tier::Full`], an
+    /// estimate for [`Tier::Sampled`], `None` for [`Tier::Func`] (no
+    /// timing at all).
+    pub fn ipc(&self) -> Option<f64> {
+        match self {
+            TierReport::Full(r) => Some(r.ipc()),
+            TierReport::Func(_) => None,
+            TierReport::Sampled(r) => Some(r.est_ipc()),
+        }
+    }
+
+    /// Host wall-clock nanoseconds of the run. **Not deterministic.**
+    pub fn host_nanos(&self) -> u64 {
+        match self {
+            TierReport::Full(r) => r.host_nanos,
+            TierReport::Func(r) => r.host_nanos,
+            TierReport::Sampled(r) => r.host_nanos(),
+        }
+    }
+}
+
+/// For the braid core: translate and vet `program`, returning the program
+/// the core actually executes. Every other core runs `program` as-is.
+fn tier_program(program: &Program, core: &CoreConfig) -> Result<Option<Program>, RunError> {
+    if !core.is_braid() {
+        return Ok(None);
+    }
+    let tconfig = TranslatorConfig { self_check: false, ..Default::default() };
+    let translation = translate(program, &tconfig)?;
+    let report = translation.check(
+        program,
+        &braid_check::CheckConfig { max_internal_regs: tconfig.max_internal_regs },
+    );
+    if report.has_errors() {
+        return Err(RunError::Check(Box::new(report)));
+    }
+    Ok(Some(translation.program))
+}
+
+/// Runs `program` on `core` at the requested execution [`Tier`] — the
+/// single entry point behind `braidsim --tier`, the sweep engine and
+/// braidd. The braid core translates (and statically vets) the program
+/// first on every tier, so tiers always agree on the executed
+/// instruction stream. `sampling` is only consulted for
+/// [`Tier::Sampled`].
+///
+/// # Errors
+///
+/// Propagates translation, functional-execution and timing failures.
+pub fn run_tier(
+    program: &Program,
+    core: &CoreConfig,
+    tier: Tier,
+    max_insts: u64,
+    sampling: &SamplingConfig,
+) -> Result<TierReport, RunError> {
+    let translated = tier_program(program, core)?;
+    let program = translated.as_ref().unwrap_or(program);
+    match tier {
+        Tier::Full => {
+            let trace = trace_program(program, max_insts)?;
+            Ok(TierReport::Full(core.run_trace(program, &trace)?))
+        }
+        Tier::Func => Ok(TierReport::Func(run_func(program, max_insts)?)),
+        Tier::Sampled => {
+            let timing = WarmedTiming::new(core, program);
+            let rep = run_sampled_with(program, max_insts, sampling, timing)?;
+            Ok(TierReport::Sampled(rep))
+        }
     }
 }
 
@@ -313,5 +533,45 @@ mod tests {
             run_ooo(&p, &OooConfig::paper_8wide(), 100),
             Err(RunError::Exec(ExecError::OutOfFuel))
         ));
+    }
+
+    #[test]
+    fn tiers_agree_on_instruction_counts() {
+        let p = assemble(LOOP).unwrap();
+        let fuel = 100_000;
+        let sampling = SamplingConfig { period: 512, warmup: 32, sample: 128, lockstep: true };
+        for core in [
+            CoreConfig::InOrder(InOrderConfig::paper_8wide()),
+            CoreConfig::Dep(DepConfig::paper_8wide()),
+            CoreConfig::Ooo(OooConfig::paper_8wide()),
+            CoreConfig::Braid(BraidConfig::paper_default()),
+        ] {
+            let full = run_tier(&p, &core, Tier::Full, fuel, &sampling).unwrap();
+            let func = run_tier(&p, &core, Tier::Func, fuel, &sampling).unwrap();
+            let sampled = run_tier(&p, &core, Tier::Sampled, fuel, &sampling).unwrap();
+            assert_eq!(full.instructions(), func.instructions(), "{}", core.name());
+            assert_eq!(full.instructions(), sampled.instructions(), "{}", core.name());
+            // The sampled estimate must be in the ballpark of the exact
+            // IPC on this steady loop (tight bounds live in the golden
+            // fixtures; this is the smoke check).
+            let exact = full.ipc().unwrap();
+            let est = sampled.ipc().unwrap();
+            assert!(
+                (est - exact).abs() / exact < 0.25,
+                "{}: exact {exact} vs est {est}",
+                core.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_cpi_stack_totals_estimated_cycles() {
+        let p = assemble(LOOP).unwrap();
+        let sampling = SamplingConfig::default();
+        let core = CoreConfig::InOrder(InOrderConfig::paper_8wide());
+        match run_tier(&p, &core, Tier::Sampled, 100_000, &sampling).unwrap() {
+            TierReport::Sampled(r) => assert_eq!(r.cpi.total(), r.est_cycles),
+            other => panic!("expected a sampled report, got {other:?}"),
+        }
     }
 }

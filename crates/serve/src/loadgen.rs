@@ -36,6 +36,9 @@ use crate::client::{Client, ClientConfig, ClientError};
 const WORKLOADS: [&str; 5] = ["dot_product", "fig2_life", "stencil", "pointer_chase", "histogram"];
 const CORES: [&str; 4] = ["inorder", "dep", "ooo", "braid"];
 const WIDTHS: [u32; 3] = [0, 4, 8];
+/// Execution tiers the simulate mix draws from, weighted toward `full`
+/// so the mix still exercises the original timing path hardest.
+const TIERS: [&str; 4] = ["full", "full", "func", "sampled"];
 
 /// Load-generator configuration; the `braid-loadgen` binary maps its
 /// flags onto these fields.
@@ -196,7 +199,9 @@ impl From<ClientError> for LoadgenError {
 /// Generates the deterministic request mix: `n` request lines with ids
 /// `1..=n`, drawn from a seeded distribution of roughly 60% `simulate`,
 /// 15% `sweep-point`, 15% `translate`, 10% `check` over the kernel
-/// workloads and all four cores.
+/// workloads and all four cores. Simulate requests carry an explicit
+/// execution tier (half `full`, the rest `func`/`sampled`), so a verified
+/// run covers every tier's determinism and cache behaviour at once.
 pub fn generate_requests(n: usize, seed: u64) -> Vec<String> {
     let mut rng = braid_prng::Rng::seed_from_u64(seed);
     (1..=n as u64)
@@ -206,9 +211,10 @@ pub fn generate_requests(n: usize, seed: u64) -> Vec<String> {
             if r < 0.60 {
                 let core = *rng.choose(&CORES);
                 let width = *rng.choose(&WIDTHS);
+                let tier = *rng.choose(&TIERS);
                 format!(
                     "{{\"id\":{id},\"kind\":\"simulate\",\"workload\":\"{workload}\",\
-                     \"core\":\"{core}\",\"width\":{width}}}"
+                     \"core\":\"{core}\",\"width\":{width},\"tier\":\"{tier}\"}}"
                 )
             } else if r < 0.75 {
                 let core = *rng.choose(&CORES);
@@ -404,6 +410,9 @@ mod tests {
         }
         for kind in ["simulate", "sweep-point", "translate", "check"] {
             assert!(kinds.get(kind).copied().unwrap_or(0) > 0, "mix contains {kind}");
+        }
+        for tier in ["\"tier\":\"full\"", "\"tier\":\"func\"", "\"tier\":\"sampled\""] {
+            assert!(a.iter().any(|l| l.contains(tier)), "mix exercises {tier}");
         }
     }
 

@@ -23,6 +23,7 @@
 //! (`unknown-workload`, `livelock`, `deadline`, `translate`, ...) for
 //! simulation failures.
 
+use braid_core::{SamplingConfig, Tier};
 use braid_sweep::grid::CoreModel;
 use braid_sweep::json::{self, Json};
 
@@ -44,6 +45,12 @@ pub enum Request {
         perfect: bool,
         /// Simulated-cycle deadline override (`0` = the server default).
         deadline: u64,
+        /// Execution tier (`full`, `func`, or `sampled`; default `full`).
+        tier: Tier,
+        /// Sampling knobs for the `sampled` tier (`sample_period`,
+        /// `sample_warmup`, `sample_len` on the wire; lockstep is always
+        /// off in the daemon). Ignored by the other tiers.
+        sampling: SamplingConfig,
     },
     /// Translate a workload into braids and return the Table 1–3 statistics.
     Translate {
@@ -122,6 +129,29 @@ fn req_workload(obj: &Json) -> Result<String, String> {
         .ok_or_else(|| "`workload` (string) is required".to_string())
 }
 
+fn opt_tier(obj: &Json) -> Result<Tier, String> {
+    match obj.get("tier") {
+        None => Ok(Tier::Full),
+        Some(v) => {
+            let name = v.as_str().ok_or("`tier` must be a string")?;
+            Tier::parse(name).ok_or_else(|| format!("unknown tier `{name}`"))
+        }
+    }
+}
+
+/// Parses the sampling knobs, defaulting each to the library default.
+/// Lockstep validation is forced off: it never changes results and the
+/// daemon's payloads must not depend on the build profile.
+fn opt_sampling(obj: &Json) -> Result<SamplingConfig, String> {
+    let d = SamplingConfig::default();
+    Ok(SamplingConfig {
+        period: opt_u64(obj, "sample_period", d.period)?,
+        warmup: opt_u64(obj, "sample_warmup", d.warmup)?,
+        sample: opt_u64(obj, "sample_len", d.sample)?,
+        lockstep: false,
+    })
+}
+
 fn req_core(obj: &Json) -> Result<CoreModel, String> {
     let name = obj
         .get("core")
@@ -157,6 +187,8 @@ pub fn parse_request(line: &str) -> Result<(u64, Request), ProtocolError> {
             scale: opt_f64(&doc, "scale", 0.05).map_err(fail)?,
             perfect: opt_bool(&doc, "perfect", false).map_err(fail)?,
             deadline: opt_u64(&doc, "deadline", 0).map_err(fail)?,
+            tier: opt_tier(&doc).map_err(fail)?,
+            sampling: opt_sampling(&doc).map_err(fail)?,
         },
         "translate" => Request::Translate {
             workload: req_workload(&doc).map_err(fail)?,
@@ -178,6 +210,7 @@ pub fn parse_request(line: &str) -> Result<(u64, Request), ProtocolError> {
                 bypass: opt_u32(&doc, "bypass", 0).map_err(fail)?,
                 scale: opt_f64(&doc, "scale", 0.05).map_err(fail)?,
                 perfect: opt_bool(&doc, "perfect", false).map_err(fail)?,
+                tier: opt_tier(&doc).map_err(fail)?,
             },
         },
         "stats" => Request::Stats,
@@ -346,8 +379,45 @@ mod tests {
                 scale: 0.05,
                 perfect: false,
                 deadline: 0,
+                tier: Tier::Full,
+                sampling: SamplingConfig {
+                    lockstep: false,
+                    ..SamplingConfig::default()
+                },
             }
         );
+    }
+
+    #[test]
+    fn tier_and_sampling_knobs_parse() {
+        let line = r#"{"id":2,"kind":"simulate","workload":"stencil","core":"ooo","tier":"sampled","sample_period":8192,"sample_warmup":256,"sample_len":1024}"#;
+        let (_, req) = parse_request(line).unwrap();
+        let Request::Simulate { tier, sampling, .. } = req else { panic!("wrong kind") };
+        assert_eq!(tier, Tier::Sampled);
+        assert_eq!(
+            sampling,
+            SamplingConfig { period: 8192, warmup: 256, sample: 1024, lockstep: false }
+        );
+        // Lockstep is never negotiable over the wire, whatever the build.
+        let (_, req) =
+            parse_request(r#"{"id":3,"kind":"simulate","workload":"x","core":"braid","tier":"func"}"#)
+                .unwrap();
+        let Request::Simulate { tier, sampling, .. } = req else { panic!("wrong kind") };
+        assert_eq!(tier, Tier::Func);
+        assert!(!sampling.lockstep);
+        // An unknown tier is a bad request, not a silent default.
+        let e = parse_request(r#"{"id":4,"kind":"simulate","workload":"x","core":"ooo","tier":"warp"}"#)
+            .unwrap_err();
+        assert!(e.message.contains("warp"));
+    }
+
+    #[test]
+    fn sweep_point_accepts_a_tier() {
+        let line = r#"{"id":5,"kind":"sweep-point","workload":"x","core":"braid","tier":"sampled"}"#;
+        let (_, req) = parse_request(line).unwrap();
+        let Request::SweepPoint { point } = req else { panic!("wrong kind") };
+        assert_eq!(point.tier, Tier::Sampled);
+        assert!(point.key().ends_with(":tsampled"), "tier rides the point key: {}", point.key());
     }
 
     #[test]

@@ -63,7 +63,10 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use braid_core::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
-use braid_core::processor::{run_braid, run_dep, run_inorder, run_ooo, RunError};
+use braid_core::processor::{
+    run_braid, run_dep, run_inorder, run_ooo, run_tier, CoreConfig, RunError, TierReport,
+};
+use braid_core::Tier;
 use braid_obs::report_json;
 use braid_sweep::digest::{hex, ContentDigest};
 use braid_sweep::grid::CoreModel;
@@ -433,22 +436,38 @@ fn program_digest(workload: &str, scale: f64) -> Result<(braid_workloads::Worklo
 /// the chaos disk-fault schedule when one is armed.
 fn run_request(shared: &Shared, req: &Request) -> Result<String, SweepError> {
     match req {
-        Request::Simulate { workload, core, width, scale, perfect, deadline } => {
+        Request::Simulate { workload, core, width, scale, perfect, deadline, tier, sampling } => {
             let (w, pdigest) = program_digest(workload, *scale)?;
             let deadline = if *deadline > 0 { *deadline } else { shared.cfg.deadline_cycles };
-            let key = ContentDigest::new()
+            let mut key = ContentDigest::new()
                 .field("kind", "simulate")
                 .field("program", &pdigest)
                 .field("core", core.name())
-                .field("config", format!("w{width}:p{perfect}:d{deadline}"))
-                .finish();
+                .field("config", format!("w{width}:p{perfect}:d{deadline}"));
+            if *tier != Tier::Full {
+                // Full-tier digests predate execution tiers; the tier
+                // fields join the key only for the new tiers so existing
+                // cache entries (RAM and disk) keep matching.
+                key = key.field("tier", tier.name()).field("sampling", sampling.digest_key());
+            }
+            let key = key.finish();
             if let Some(hit) = shared.cache.get(&key) {
                 return Ok(hit);
             }
-            let report = simulate(&w, *core, *width, *perfect, deadline)
-                .map_err(|source| SweepError::Point { key: w.name.clone(), source })?;
-            shared.stats.merge_cpi(&report.cpi);
-            let payload = report_json(&report).compact();
+            let payload = if *tier == Tier::Full {
+                let report = simulate(&w, *core, *width, *perfect, deadline)
+                    .map_err(|source| SweepError::Point { key: w.name.clone(), source })?;
+                shared.stats.merge_cpi(&report.cpi);
+                report_json(&report).compact()
+            } else {
+                let cfg = tier_core_config(*core, *width, *perfect, deadline);
+                let rep = run_tier(&w.program, &cfg, *tier, w.fuel, sampling)
+                    .map_err(|source| SweepError::Point { key: w.name.clone(), source })?;
+                if let TierReport::Sampled(r) = &rep {
+                    shared.stats.merge_cpi(&r.cpi);
+                }
+                tier_payload(&w.name, *tier, &rep).compact()
+            };
             shared.cache.insert_faulty(key, payload.clone(), shared.disk_fault());
             Ok(payload)
         }
@@ -498,14 +517,19 @@ fn run_request(shared: &Shared, req: &Request) -> Result<String, SweepError> {
             }
             let stats = run_point(point)?;
             shared.stats.merge_cpi(&stats.cpi);
-            let payload = Json::Obj(vec![
+            let mut fields = vec![
                 ("key".into(), Json::Str(point.key())),
                 ("instructions".into(), Json::Int(stats.instructions)),
                 ("cycles".into(), Json::Int(stats.cycles)),
                 ("ipc".into(), Json::Float(stats.ipc())),
                 ("cpi".into(), braid_obs::cpi_json(&stats.cpi)),
-            ])
-            .compact();
+            ];
+            if point.tier == Tier::Sampled {
+                fields.push(("est_cycles".into(), Json::Int(stats.est_cycles)));
+                fields.push(("ipc_est".into(), Json::Float(stats.ipc_est())));
+                fields.push(("ipc_err".into(), Json::Float(stats.ipc_err)));
+            }
+            let payload = Json::Obj(fields).compact();
             shared.cache.insert_faulty(key, payload.clone(), shared.disk_fault());
             Ok(payload)
         }
@@ -560,6 +584,79 @@ fn simulate(
             run_braid(&w.program, &cfg, w.fuel)
         }
     }
+}
+
+/// Builds the [`CoreConfig`] for a tiered simulate request — the same
+/// paper configuration [`simulate`] applies, wrapped for the tier driver.
+fn tier_core_config(core: CoreModel, width: u32, perfect: bool, deadline: u64) -> CoreConfig {
+    match core {
+        CoreModel::InOrder => {
+            let mut cfg =
+                if width > 0 { InOrderConfig::paper_wide(width) } else { InOrderConfig::paper_8wide() };
+            if perfect {
+                cfg.common = cfg.common.clone().perfect();
+            }
+            cfg.common.deadline_cycles = deadline;
+            CoreConfig::InOrder(cfg)
+        }
+        CoreModel::DepSteer => {
+            let mut cfg = if width > 0 { DepConfig::paper_wide(width) } else { DepConfig::paper_8wide() };
+            if perfect {
+                cfg.common = cfg.common.clone().perfect();
+            }
+            cfg.common.deadline_cycles = deadline;
+            CoreConfig::Dep(cfg)
+        }
+        CoreModel::Ooo => {
+            let mut cfg = if width > 0 { OooConfig::paper_wide(width) } else { OooConfig::paper_8wide() };
+            if perfect {
+                cfg.common = cfg.common.clone().perfect();
+            }
+            cfg.common.deadline_cycles = deadline;
+            CoreConfig::Ooo(cfg)
+        }
+        CoreModel::Braid => {
+            let mut cfg =
+                if width > 0 { BraidConfig::paper_wide(width) } else { BraidConfig::paper_default() };
+            if perfect {
+                cfg.common = cfg.common.clone().perfect();
+            }
+            cfg.common.deadline_cycles = deadline;
+            CoreConfig::Braid(cfg)
+        }
+    }
+}
+
+/// Deterministic payload for a non-full-tier simulate. Host wall-clock
+/// numbers never enter the payload: cache hits must be byte-identical to
+/// the original computation, and the loadgen verify mode digests these
+/// bytes across runs.
+fn tier_payload(workload: &str, tier: Tier, rep: &TierReport) -> Json {
+    let mut fields = vec![
+        ("workload".into(), Json::Str(workload.into())),
+        ("tier".into(), Json::Str(tier.name().into())),
+        ("instructions".into(), Json::Int(rep.instructions())),
+    ];
+    match rep {
+        TierReport::Full(r) => {
+            fields.push(("cycles".into(), Json::Int(r.cycles)));
+            fields.push(("ipc".into(), Json::Float(r.ipc())));
+        }
+        TierReport::Func(r) => {
+            fields.push(("digest".into(), Json::Str(format!("{:016x}", r.digest))));
+        }
+        TierReport::Sampled(r) => {
+            fields.push(("est_cycles".into(), Json::Int(r.est_cycles)));
+            fields.push(("est_ipc_micro".into(), Json::Int((r.est_ipc() * 1e6).round() as u64)));
+            fields.push(("intervals".into(), Json::Int(r.intervals)));
+            fields.push(("timed_insts".into(), Json::Int(r.timed_insts)));
+            fields.push(("measured_insts".into(), Json::Int(r.measured_insts)));
+            fields.push(("measured_cycles".into(), Json::Int(r.measured_cycles)));
+            fields.push(("overhead_cycles".into(), Json::Int(r.overhead_cycles)));
+            fields.push(("cpi".into(), braid_obs::cpi_json(&r.cpi)));
+        }
+    }
+    Json::Obj(fields)
 }
 
 /// The `translate` result payload: program shape plus the paper's braid

@@ -189,6 +189,93 @@ fn check_requests_return_the_full_report() {
 }
 
 #[test]
+fn execution_tiers_are_distinct_cache_entries_with_identical_hits() {
+    let (addr, handle) = start(ServerConfig { threads: 2, ..ServerConfig::default() });
+    let mut c = Client::connect(&addr);
+
+    // The same workload/core at three tiers: three distinct computations
+    // (the tier joins the cache digest), then one byte-identical hit each.
+    let req = |id: u64, tier: &str| {
+        format!(
+            r#"{{"id":{id},"kind":"simulate","workload":"dot_product","core":"braid","tier":"{tier}"}}"#
+        )
+    };
+    let mut cold = Vec::new();
+    for (i, tier) in ["full", "func", "sampled"].iter().enumerate() {
+        c.send(&req(i as u64, tier));
+        cold.push(c.recv());
+    }
+    let full = json::parse(&cold[0]).unwrap();
+    assert_eq!(status(&full), "ok");
+    // The full tier answers exactly as an untiered request would — the
+    // tier field must not perturb the original payload or its digest.
+    c.send(r#"{"id":9,"kind":"simulate","workload":"dot_product","core":"braid"}"#);
+    assert_eq!(c.recv(), cold[0].replace("\"id\":0", "\"id\":9"), "tier full == untiered, cached");
+
+    let func = json::parse(&cold[1]).unwrap();
+    let fr = func.get("result").unwrap();
+    assert_eq!(fr.get("tier").unwrap().as_str(), Some("func"));
+    assert_eq!(fr.get("digest").unwrap().as_str().map(str::len), Some(16));
+    assert!(fr.get("cycles").is_none(), "functional tier reports no timing");
+
+    let sampled = json::parse(&cold[2]).unwrap();
+    let sr = sampled.get("result").unwrap();
+    assert_eq!(sr.get("tier").unwrap().as_str(), Some("sampled"));
+    assert!(sr.get("est_cycles").unwrap().as_u64().unwrap() > 0);
+    assert!(sr.get("intervals").unwrap().as_u64().unwrap() > 0);
+    let est = sr.get("est_cycles").unwrap().as_u64().unwrap();
+    let exact = full.get("result").unwrap().get("cycles").unwrap().as_u64().unwrap();
+    let err = (est as f64 / exact as f64 - 1.0).abs();
+    assert!(err <= 0.05, "sampled estimate within 5% of exact: {est} vs {exact}");
+
+    // All three tiers, plus the untiered alias of full, share the
+    // instruction count: tiers agree on the executed stream.
+    let insts = |d: &Json| d.get("result").unwrap().get("instructions").unwrap().as_u64();
+    assert_eq!(insts(&full), insts(&func));
+    assert_eq!(insts(&full), insts(&sampled));
+
+    // Second round: every tier hits its own cache entry byte-for-byte.
+    for (i, tier) in ["full", "func", "sampled"].iter().enumerate() {
+        let id = 20 + i as u64;
+        c.send(&req(id, tier));
+        let warm = c.recv();
+        assert_eq!(
+            warm,
+            cold[i].replace(&format!("\"id\":{i}"), &format!("\"id\":{id}")),
+            "tier {tier} cache hit is byte-identical"
+        );
+    }
+    let stats = c.round_trip(r#"{"id":40,"kind":"stats"}"#);
+    let cache = stats.get("result").unwrap().get("cache").unwrap();
+    assert_eq!(cache.get("misses").unwrap().as_u64(), Some(3), "one computation per tier");
+    assert_eq!(cache.get("hits").unwrap().as_u64(), Some(4), "untiered full + three repeats");
+
+    // Sampling knobs are part of the digest: a different window is a new
+    // computation, not a stale hit.
+    let doc = c.round_trip(
+        r#"{"id":41,"kind":"simulate","workload":"dot_product","core":"braid","tier":"sampled","sample_period":8192,"sample_warmup":256,"sample_len":1024}"#,
+    );
+    assert_eq!(status(&doc), "ok");
+    let stats = c.round_trip(r#"{"id":42,"kind":"stats"}"#);
+    let cache = stats.get("result").unwrap().get("cache").unwrap();
+    assert_eq!(cache.get("misses").unwrap().as_u64(), Some(4));
+
+    // Tiered sweep points carry the estimate alongside the exact run.
+    let doc = c.round_trip(
+        r#"{"id":43,"kind":"sweep-point","workload":"dot_product","core":"ooo","tier":"sampled"}"#,
+    );
+    assert_eq!(status(&doc), "ok");
+    let r = doc.get("result").unwrap();
+    assert!(r.get("key").unwrap().as_str().unwrap().ends_with(":tsampled"));
+    assert!(r.get("cycles").unwrap().as_u64().unwrap() > 0, "exact run rides along");
+    assert!(r.get("est_cycles").unwrap().as_u64().unwrap() > 0);
+    assert!(r.get("ipc_err").unwrap().as_f64().unwrap().abs() <= 0.05);
+
+    let _ = c.round_trip(r#"{"id":50,"kind":"shutdown"}"#);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
 fn full_connection_table_refuses_with_retry() {
     let (addr, handle) =
         start(ServerConfig { threads: 1, max_connections: 0, ..ServerConfig::default() });

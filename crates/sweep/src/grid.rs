@@ -3,9 +3,9 @@
 //! A [`SweepSpec`] names the axes; [`SweepSpec::expand`] flattens them
 //! into a deterministic list of [`GridPoint`]s, one per simulation. The
 //! expansion order is fixed (workloads outermost, then cores, widths,
-//! BEUs, FIFO depths, windows, bypasses), so a grid index identifies the
-//! same point on every run and every thread count — resume and
-//! deterministic aggregation both key off it.
+//! BEUs, FIFO depths, windows, bypasses, execution tiers), so a grid
+//! index identifies the same point on every run and every thread count —
+//! resume and deterministic aggregation both key off it.
 //!
 //! An axis value of `0` means "the model's paper default" for that knob.
 //! Axes a core model ignores (BEUs on anything but the braid machine,
@@ -14,6 +14,8 @@
 //! that would run the identical simulation.
 
 use std::fmt;
+
+use braid_core::Tier;
 
 /// Which timing core a grid point runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,6 +93,11 @@ pub struct SweepSpec {
     pub scale: f64,
     /// Run with the perfect front end and perfect caches of Figure 1.
     pub perfect: bool,
+    /// Execution tiers to run each point at (empty = `[Tier::Full]`,
+    /// which also keeps the grid digest identical to pre-tier sweeps).
+    /// [`Tier::Sampled`] points run the full tier too and carry the
+    /// estimated-vs-exact IPC error.
+    pub tiers: Vec<Tier>,
 }
 
 impl SweepSpec {
@@ -108,6 +115,7 @@ impl SweepSpec {
             bypasses: Vec::new(),
             scale: 0.05,
             perfect: false,
+            tiers: Vec::new(),
         }
     }
 
@@ -134,6 +142,7 @@ impl SweepSpec {
         let fifos = axis(&self.fifo_depths);
         let windows = axis(&self.windows);
         let bypasses = axis(&self.bypasses);
+        let tiers = if self.tiers.is_empty() { vec![Tier::Full] } else { self.tiers.clone() };
 
         let mut points = Vec::new();
         for workload in &self.workloads {
@@ -145,18 +154,21 @@ impl SweepSpec {
                         for &fifo in effective(&fifos, !is_inorder) {
                             for &window in &windows {
                                 for &bypass in effective(&bypasses, !is_inorder) {
-                                    points.push(GridPoint {
-                                        index: points.len() as u32,
-                                        workload: workload.clone(),
-                                        core,
-                                        width,
-                                        beus,
-                                        fifo,
-                                        window,
-                                        bypass,
-                                        scale: self.scale,
-                                        perfect: self.perfect,
-                                    });
+                                    for &tier in &tiers {
+                                        points.push(GridPoint {
+                                            index: points.len() as u32,
+                                            workload: workload.clone(),
+                                            core,
+                                            width,
+                                            beus,
+                                            fifo,
+                                            window,
+                                            bypass,
+                                            scale: self.scale,
+                                            perfect: self.perfect,
+                                            tier,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -195,6 +207,15 @@ impl SweepSpec {
             }
         }
         canon.push_str(&format!(";scale={};perfect={}", self.scale, self.perfect));
+        // Appended only for non-default tier axes so pre-tier snapshots
+        // (whose specs could not name tiers at all) keep their digests.
+        if !self.tiers.is_empty() && self.tiers != [Tier::Full] {
+            canon.push_str(";tiers=");
+            for t in &self.tiers {
+                canon.push_str(t.name());
+                canon.push(',');
+            }
+        }
         crate::digest::hex(canon.as_bytes())
     }
 }
@@ -225,17 +246,26 @@ pub struct GridPoint {
     pub scale: f64,
     /// Perfect front end and caches.
     pub perfect: bool,
+    /// Execution tier this point runs at.
+    pub tier: Tier,
 }
 
 impl GridPoint {
     /// A human-readable key unique within the grid, e.g.
-    /// `dot_product:braid:w8:b4:f16:v2:y2`. Snapshots store it next to the
-    /// index as a corruption check.
+    /// `dot_product:braid:w8:b4:f16:v2:y2`. Non-full tiers append a
+    /// `:t<tier>` suffix; full-tier keys are identical to pre-tier keys so
+    /// old snapshots still resume. Snapshots store it next to the index as
+    /// a corruption check.
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}:{}:w{}:b{}:f{}:v{}:y{}",
             self.workload, self.core, self.width, self.beus, self.fifo, self.window, self.bypass
-        )
+        );
+        if self.tier != Tier::Full {
+            key.push_str(":t");
+            key.push_str(self.tier.name());
+        }
+        key
     }
 }
 
@@ -292,6 +322,39 @@ mod tests {
                 "x:braid:w8:b0:f0:v4:y0",
             ]
         );
+    }
+
+    #[test]
+    fn tier_axis_expands_with_suffixed_keys() {
+        let mut spec = SweepSpec::new("t");
+        spec.workloads = vec!["x".into()];
+        spec.cores = vec![CoreModel::Ooo];
+        spec.tiers = vec![Tier::Full, Tier::Func, Tier::Sampled];
+        let keys: Vec<String> = spec.expand().iter().map(GridPoint::key).collect();
+        assert_eq!(
+            keys,
+            [
+                "x:ooo:w0:b0:f0:v0:y0",
+                "x:ooo:w0:b0:f0:v0:y0:tfunc",
+                "x:ooo:w0:b0:f0:v0:y0:tsampled",
+            ]
+        );
+    }
+
+    #[test]
+    fn full_only_tier_axis_keeps_pre_tier_digest_and_keys() {
+        let mut bare = SweepSpec::new("t");
+        bare.workloads = vec!["x".into()];
+        let mut explicit = bare.clone();
+        explicit.tiers = vec![Tier::Full];
+        assert_eq!(bare.digest(), explicit.digest());
+        assert_eq!(
+            bare.expand().iter().map(GridPoint::key).collect::<Vec<_>>(),
+            explicit.expand().iter().map(GridPoint::key).collect::<Vec<_>>(),
+        );
+        let mut sampled = bare.clone();
+        sampled.tiers = vec![Tier::Sampled];
+        assert_ne!(bare.digest(), sampled.digest());
     }
 
     #[test]

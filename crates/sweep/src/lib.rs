@@ -39,9 +39,9 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use braid_core::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
-use braid_core::processor::{run_braid, run_dep, run_inorder, run_ooo, RunError};
+use braid_core::processor::{run_tier, CoreConfig, RunError, TierReport};
 use braid_core::report::SimReport;
-use braid_core::{CpiStack, SimError, StallCause};
+use braid_core::{CpiStack, SamplingConfig, SimError, StallCause, Tier};
 
 pub use grid::{CoreModel, GridPoint, SweepSpec};
 pub use json::Json;
@@ -80,6 +80,16 @@ pub struct PointStats {
     /// The CPI stack: cycles attributed per [`StallCause`] (sums to
     /// `cycles`).
     pub cpi: CpiStack,
+    /// Execution tier the point ran at ([`Tier::Full`] for snapshots that
+    /// predate tiers).
+    pub tier: Tier,
+    /// Sampled-tier cycle estimate (`0` outside [`Tier::Sampled`]; the
+    /// exact `cycles` ride along because sampled points run the full tier
+    /// too, precisely to measure the estimate's error).
+    pub est_cycles: u64,
+    /// Signed relative IPC error of the estimate, `(est - exact) / exact`
+    /// (`0` outside [`Tier::Sampled`]).
+    pub ipc_err: f64,
     /// Host wall-clock nanoseconds (in-memory only; `0` after resume).
     pub host_nanos: u64,
 }
@@ -100,16 +110,29 @@ impl PointStats {
             checkpoint_words: r.checkpoint_words,
             exceptions_taken: r.exceptions_taken,
             cpi: r.cpi,
+            tier: Tier::Full,
+            est_cycles: 0,
+            ipc_err: 0.0,
             host_nanos: r.host_nanos,
         }
     }
 
-    /// Retired instructions per cycle.
+    /// Retired instructions per cycle (exact; `0` for functional-only
+    /// points, which have no timing).
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {
             0.0
         } else {
             self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Sampled-tier estimated IPC (`0` outside [`Tier::Sampled`]).
+    pub fn ipc_est(&self) -> f64 {
+        if self.est_cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.est_cycles as f64
         }
     }
 }
@@ -282,7 +305,52 @@ impl Error for SweepError {
 pub fn run_point(p: &GridPoint) -> Result<PointStats, SweepError> {
     let w = braid_workloads::by_name_any(&p.workload, p.scale)
         .ok_or_else(|| SweepError::UnknownWorkload { workload: p.workload.clone() })?;
-    let report = match p.core {
+    let core = core_config(p);
+    // Lockstep snapshot comparison is a debugging aid; sweeps run release
+    // grids, so keep the production behavior on both build profiles.
+    let sampling = SamplingConfig { lockstep: false, ..SamplingConfig::default() };
+    let point_err = |source| SweepError::Point { key: p.key(), source };
+    let tiered = |tier| run_tier(&w.program, &core, tier, w.fuel, &sampling).map_err(point_err);
+    match p.tier {
+        Tier::Full => match tiered(Tier::Full)? {
+            TierReport::Full(r) => Ok(PointStats::from_report(&r)),
+            _ => unreachable!("full tier returns a full report"),
+        },
+        Tier::Func => match tiered(Tier::Func)? {
+            TierReport::Func(r) => Ok(PointStats {
+                instructions: r.instructions,
+                tier: Tier::Func,
+                host_nanos: r.host_nanos,
+                ..PointStats::from_report(&SimReport::default())
+            }),
+            _ => unreachable!("func tier returns a func report"),
+        },
+        // A sampled point is an accuracy measurement: run both tiers and
+        // carry the estimated-vs-exact IPC error alongside the exact stats.
+        Tier::Sampled => {
+            let exact = match tiered(Tier::Full)? {
+                TierReport::Full(r) => r,
+                _ => unreachable!("full tier returns a full report"),
+            };
+            let est = match tiered(Tier::Sampled)? {
+                TierReport::Sampled(r) => r,
+                _ => unreachable!("sampled tier returns a sampled report"),
+            };
+            let mut stats = PointStats::from_report(&exact);
+            stats.tier = Tier::Sampled;
+            stats.est_cycles = est.est_cycles;
+            stats.ipc_err =
+                if exact.ipc() > 0.0 { stats.ipc_est() / exact.ipc() - 1.0 } else { 0.0 };
+            stats.host_nanos = exact.host_nanos.saturating_add(est.host_nanos());
+            Ok(stats)
+        }
+    }
+}
+
+/// Builds the typed core configuration a grid point describes (knob value
+/// `0` = the model's paper default).
+fn core_config(p: &GridPoint) -> CoreConfig {
+    match p.core {
         CoreModel::InOrder => {
             let mut cfg = if p.width > 0 {
                 InOrderConfig::paper_wide(p.width)
@@ -295,7 +363,7 @@ pub fn run_point(p: &GridPoint) -> Result<PointStats, SweepError> {
             if p.window > 0 {
                 cfg.common.window = p.window as usize;
             }
-            run_inorder(&w.program, &cfg, w.fuel)
+            CoreConfig::InOrder(cfg)
         }
         CoreModel::DepSteer => {
             let mut cfg =
@@ -312,7 +380,7 @@ pub fn run_point(p: &GridPoint) -> Result<PointStats, SweepError> {
             if p.bypass > 0 {
                 cfg.bypass_per_cycle = p.bypass;
             }
-            run_dep(&w.program, &cfg, w.fuel)
+            CoreConfig::Dep(cfg)
         }
         CoreModel::Ooo => {
             let mut cfg =
@@ -329,7 +397,7 @@ pub fn run_point(p: &GridPoint) -> Result<PointStats, SweepError> {
             if p.bypass > 0 {
                 cfg.bypass_per_cycle = p.bypass;
             }
-            run_ooo(&w.program, &cfg, w.fuel)
+            CoreConfig::Ooo(cfg)
         }
         CoreModel::Braid => {
             let mut cfg = if p.width > 0 {
@@ -352,12 +420,9 @@ pub fn run_point(p: &GridPoint) -> Result<PointStats, SweepError> {
             if p.bypass > 0 {
                 cfg.bypass_per_cycle = p.bypass;
             }
-            run_braid(&w.program, &cfg, w.fuel)
+            CoreConfig::Braid(cfg)
         }
-    };
-    report
-        .map(|r| PointStats::from_report(&r))
-        .map_err(|source| SweepError::Point { key: p.key(), source })
+    }
 }
 
 /// Runs a sweep on `threads` workers.
@@ -500,13 +565,14 @@ fn sweep_json(
 
 /// Per-core geometric-mean IPC over the successful points (deterministic:
 /// computed in grid-index order from serialized-precision inputs).
+/// Functional-only points have no timing and are excluded.
 fn summary_json(points: &[GridPoint], done: &[Option<Result<PointStats, String>>]) -> Json {
     let mut fields = Vec::new();
     for core in CoreModel::ALL {
         let mut log_sum = 0.0f64;
         let mut n = 0usize;
         for (point, stats) in points.iter().zip(done) {
-            if point.core != core {
+            if point.core != core || point.tier == Tier::Func {
                 continue;
             }
             if let Some(Ok(s)) = stats {
@@ -533,6 +599,7 @@ fn point_json(point: &GridPoint, stats: &Result<PointStats, String>) -> Json {
         ("fifo".into(), Json::Int(u64::from(point.fifo))),
         ("window".into(), Json::Int(u64::from(point.window))),
         ("bypass".into(), Json::Int(u64::from(point.bypass))),
+        ("tier".into(), Json::Str(point.tier.name().into())),
     ];
     match stats {
         Ok(s) => {
@@ -540,6 +607,11 @@ fn point_json(point: &GridPoint, stats: &Result<PointStats, String>) -> Json {
             fields.push(("instructions".into(), Json::Int(s.instructions)));
             fields.push(("cycles".into(), Json::Int(s.cycles)));
             fields.push(("ipc".into(), Json::Float(s.ipc())));
+            if s.tier == Tier::Sampled {
+                fields.push(("est_cycles".into(), Json::Int(s.est_cycles)));
+                fields.push(("ipc_est".into(), Json::Float(s.ipc_est())));
+                fields.push(("ipc_err".into(), Json::Float(s.ipc_err)));
+            }
             fields.push(("forwarded_loads".into(), Json::Int(s.forwarded_loads)));
             fields
                 .push(("mispredict_stall_cycles".into(), Json::Int(s.mispredict_stall_cycles)));
@@ -657,13 +729,23 @@ pub fn cpi_by_core(run: &SweepRun) -> Vec<(CoreModel, CpiStack)> {
 }
 
 /// Reconstructs a point result from its snapshot entry. `host_nanos`
-/// is not serialized, so it comes back as `0`.
+/// is not serialized, so it comes back as `0`. Tier fields are read
+/// zero-tolerantly (mirroring [`cpi_from_json`]): a snapshot written
+/// before execution tiers existed simply has no `tier` / `est_cycles` /
+/// `ipc_err` fields and loads as a full-tier point with no estimate.
 fn stats_from_json(entry: &Json) -> Option<Result<PointStats, String>> {
     match entry.get("status").and_then(Json::as_str)? {
         "error" => Some(Err(entry.get("error").and_then(Json::as_str)?.to_string())),
         "ok" => {
             let int = |k: &str| entry.get(k).and_then(Json::as_u64);
             Some(Ok(PointStats {
+                tier: entry
+                    .get("tier")
+                    .and_then(Json::as_str)
+                    .and_then(Tier::parse)
+                    .unwrap_or(Tier::Full),
+                est_cycles: int("est_cycles").unwrap_or(0),
+                ipc_err: entry.get("ipc_err").and_then(Json::as_f64).unwrap_or(0.0),
                 instructions: int("instructions")?,
                 cycles: int("cycles")?,
                 forwarded_loads: int("forwarded_loads")?,
@@ -716,6 +798,7 @@ mod tests {
                 bypass: 0,
                 scale: 0.05,
                 perfect: false,
+                tier: Tier::Full,
             };
             let s = run_point(&p).unwrap_or_else(|e| panic!("{core}: {e}"));
             assert!(s.cycles > 0, "{core} simulated no cycles");
@@ -774,6 +857,7 @@ mod tests {
             bypass: 0,
             scale: 0.05,
             perfect: false,
+            tier: Tier::Full,
         };
         let err = run_point(&p).unwrap_err();
         assert_eq!(err.code(), "unknown-workload");

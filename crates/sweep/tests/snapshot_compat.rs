@@ -1,0 +1,119 @@
+//! Snapshot-format compatibility: sweeps must resume from snapshots
+//! written before execution tiers existed.
+//!
+//! `fixtures/pre_tier_snapshot.json` is a checked-in aggregate in the
+//! pre-tier document shape — no `tier`, `est_cycles`, `ipc_est` or
+//! `ipc_err` fields anywhere. Loading it must reuse every point
+//! zero-tolerantly (the same policy as `cpi_from_json`'s handling of
+//! pre-CPI snapshots), not refuse the file.
+
+use std::fs;
+use std::path::PathBuf;
+
+use braid_core::Tier;
+use braid_sweep::{aggregate, run_sweep, CoreModel, Json, SweepSpec};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/pre_tier_snapshot.json")
+}
+
+/// The spec the fixture was generated from.
+fn fixture_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new("pr6-compat");
+    spec.workloads = vec!["dot_product".into(), "fig2_life".into()];
+    spec.cores = vec![CoreModel::InOrder, CoreModel::Braid];
+    spec
+}
+
+#[test]
+fn fixture_has_no_tier_fields() {
+    let text = fs::read_to_string(fixture_path()).expect("fixture readable");
+    for field in ["\"tier\"", "\"est_cycles\"", "\"ipc_est\"", "\"ipc_err\""] {
+        assert!(!text.contains(field), "fixture must predate {field}");
+    }
+}
+
+#[test]
+fn pre_tier_snapshot_resumes_without_rerunning() {
+    let spec = fixture_spec();
+    let run = run_sweep(&spec, 2, Some(&fixture_path()), true).expect("pre-tier snapshot loads");
+    assert_eq!(run.reused, 4, "every point satisfied from the old snapshot");
+    for o in &run.outcomes {
+        let s = o.stats.as_ref().expect("fixture points all succeeded");
+        // Missing fields default, they do not refuse the snapshot.
+        assert_eq!(s.tier, Tier::Full);
+        assert_eq!(s.est_cycles, 0);
+        assert_eq!(s.ipc_err, 0.0);
+        assert!(s.cycles > 0, "real stats came through");
+        assert_eq!(s.cpi.total(), s.cycles, "CPI stack survived the round trip");
+    }
+}
+
+#[test]
+fn pre_tier_snapshot_matches_fresh_run() {
+    // The old snapshot's numbers must agree with what the current engine
+    // computes — resume is a cache, never an alternate result.
+    let spec = fixture_spec();
+    let resumed = run_sweep(&spec, 2, Some(&fixture_path()), true).expect("resumes");
+    let fresh = run_sweep(&spec, 2, None, false).expect("runs");
+    assert_eq!(aggregate(&resumed).to_string(), aggregate(&fresh).to_string());
+}
+
+#[test]
+fn tiered_grids_do_not_collide_with_pre_tier_snapshots() {
+    // Asking the same grid for non-full tiers changes the digest, so the
+    // old snapshot is refused instead of silently misapplied.
+    let mut spec = fixture_spec();
+    spec.tiers = vec![Tier::Full, Tier::Sampled];
+    let err = run_sweep(&spec, 1, Some(&fixture_path()), true).expect_err("digest must differ");
+    assert_eq!(err.code(), "digest-mismatch");
+}
+
+#[test]
+fn sampled_points_carry_ipc_error_and_round_trip() {
+    let mut spec = SweepSpec::new("tiered");
+    spec.workloads = vec!["dot_product".into()];
+    spec.cores = vec![CoreModel::Ooo];
+    spec.tiers = vec![Tier::Full, Tier::Sampled, Tier::Func];
+    let run = run_sweep(&spec, 2, None, false).expect("runs");
+    assert_eq!(run.outcomes.len(), 3);
+
+    let by_tier = |t: Tier| {
+        run.outcomes
+            .iter()
+            .find(|o| o.point.tier == t)
+            .expect("tier present")
+            .stats
+            .as_ref()
+            .expect("point ran")
+    };
+    let full = by_tier(Tier::Full);
+    let sampled = by_tier(Tier::Sampled);
+    let func = by_tier(Tier::Func);
+
+    assert_eq!(full.instructions, sampled.instructions);
+    assert_eq!(full.instructions, func.instructions);
+    assert_eq!(full.cycles, sampled.cycles, "sampled points carry the exact run too");
+    assert!(sampled.est_cycles > 0);
+    assert!(sampled.ipc_err.abs() <= 0.05, "ipc_err {} within budget", sampled.ipc_err);
+    assert_eq!(func.cycles, 0, "functional-only points have no timing");
+
+    // Keys are distinct, and the serialized estimate survives a resume.
+    let doc = aggregate(&run);
+    let path = std::env::temp_dir()
+        .join(format!("braid-sweep-tiered-{}.json", std::process::id()));
+    braid_sweep::write_json(&path, &doc).expect("snapshot written");
+    let resumed = run_sweep(&spec, 1, Some(&path), true).expect("resumes");
+    assert_eq!(resumed.reused, 3);
+    assert_eq!(aggregate(&resumed).to_string(), doc.to_string());
+    let _ = fs::remove_file(&path);
+
+    let pts = doc.get("points").and_then(Json::as_arr).expect("points");
+    let tiers: Vec<&str> =
+        pts.iter().filter_map(|e| e.get("tier").and_then(Json::as_str)).collect();
+    assert_eq!(tiers, ["full", "sampled", "func"]);
+    let sampled_entry = &pts[1];
+    assert!(sampled_entry.get("est_cycles").is_some());
+    assert!(sampled_entry.get("ipc_est").is_some());
+    assert!(sampled_entry.get("ipc_err").is_some());
+}

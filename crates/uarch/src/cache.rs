@@ -130,6 +130,28 @@ impl Cache {
         false
     }
 
+    /// Touches `addr` like [`Cache::access`] — allocating on miss and
+    /// updating LRU — but without recording statistics. Used for functional
+    /// warming, where the access is part of the program's history rather
+    /// than the measured window.
+    pub fn touch(&mut self, addr: u64, is_write: bool) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let (range, tag) = self.set_range(addr);
+        let set = &mut self.lines[range];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = tick;
+            line.dirty |= is_write;
+            return true;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("cache sets are non-empty");
+        *victim = Line { tag, valid: true, dirty: is_write, lru: tick };
+        false
+    }
+
     /// Probes without modifying replacement state; `true` if present.
     pub fn contains(&self, addr: u64) -> bool {
         let (range, tag) = self.set_range(addr);
@@ -272,6 +294,27 @@ impl MemoryHierarchy {
         done - cycle
     }
 
+    /// Warms the hierarchy with an access that is part of the program's
+    /// history but not of the measured window: lines are allocated and LRU
+    /// state advances exactly as in [`MemoryHierarchy::access`], but no
+    /// statistics are recorded and no MSHRs are booked. A no-op under
+    /// perfect caches. Used by sampled simulation (SMARTS-style functional
+    /// warming) so timed windows start from the cache state a continuous
+    /// run would have.
+    pub fn warm(&mut self, kind: Access, addr: u64) {
+        if self.config.perfect {
+            return;
+        }
+        let is_write = kind == Access::Store;
+        let l1 = match kind {
+            Access::Fetch => &mut self.l1i,
+            Access::Load | Access::Store => &mut self.l1d,
+        };
+        if !l1.touch(addr, is_write) {
+            self.l2.touch(addr, is_write);
+        }
+    }
+
     /// Statistics for (L1I, L1D, L2).
     pub fn stats(&self) -> (CacheStats, CacheStats, CacheStats) {
         (*self.l1i.stats(), *self.l1d.stats(), *self.l2.stats())
@@ -330,6 +373,34 @@ mod tests {
         assert_eq!(CacheConfig::paper_l1i().sets(), 256);
         assert_eq!(CacheConfig::paper_l1d().sets(), 512);
         assert_eq!(CacheConfig::paper_l2().sets(), 2048);
+    }
+
+    #[test]
+    fn touch_allocates_without_stats() {
+        let mut c = Cache::new(tiny());
+        assert!(!c.touch(0, false));
+        assert!(c.touch(0, false));
+        assert!(c.access(0, false), "touch made the later access a hit");
+        assert_eq!(c.stats().hits.total(), 1, "only the real access counted");
+    }
+
+    #[test]
+    fn warm_fills_both_levels_silently() {
+        let mut h = MemoryHierarchy::new(MemoryHierarchyConfig::default());
+        h.warm(Access::Load, 0x1000);
+        assert_eq!(h.access(Access::Load, 0x1000), 3, "L1D warmed");
+        assert_eq!(h.access(Access::Fetch, 0x1000), 9, "L2 warmed too");
+        let (_, l1d, _) = h.stats();
+        assert_eq!(l1d.hits.total(), 1, "warming left no statistics");
+    }
+
+    #[test]
+    fn warm_is_noop_under_perfect_caches() {
+        let mut h = MemoryHierarchy::new(MemoryHierarchyConfig::perfect());
+        h.warm(Access::Load, 0x1000);
+        assert_eq!(h.access(Access::Load, 0x1000), 3);
+        let (_, l1d, _) = h.stats();
+        assert_eq!(l1d.hits.total(), 1);
     }
 
     #[test]

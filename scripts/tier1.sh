@@ -23,6 +23,25 @@ cargo test -q -p braid-obs
 echo "==> cargo test -q -p braid-serve"
 cargo test -q -p braid-serve
 
+echo "==> functional-tier differential suite (release: 10x throughput floor armed)"
+cargo test --release -q --test functional_tier
+
+echo "==> sampled-vs-full smoke (braidsim --tier sampled must land within 5%)"
+full_cycles="$(cargo run --release -q --bin braidsim -- ooo @dot_product --report-json \
+  | sed -n 's/^ *"cycles": \([0-9]*\),*/\1/p' | head -n 1)"
+est_cycles="$(cargo run --release -q --bin braidsim -- ooo @dot_product --tier sampled --report-json \
+  | sed -n 's/.*"est_cycles":\([0-9]*\).*/\1/p' | head -n 1)"
+if [ -z "$full_cycles" ] || [ -z "$est_cycles" ]; then
+  echo "sampled smoke: missing cycle fields (full=$full_cycles sampled=$est_cycles)" >&2
+  exit 1
+fi
+err=$(( (est_cycles - full_cycles) * 1000 / full_cycles ))
+if [ "${err#-}" -gt 50 ]; then
+  echo "sampled smoke: estimate off by ${err} permille (full=$full_cycles sampled=$est_cycles)" >&2
+  exit 1
+fi
+echo "sampled smoke OK (full=$full_cycles cycles, sampled est=$est_cycles, err=${err} permille)"
+
 echo "==> braidc check over the kernel suite"
 for kernel in fig2_life dot_product stencil pointer_chase histogram matmul crc_mix partition; do
   ./target/release/braidc check "@$kernel"

@@ -3,9 +3,11 @@
 //!
 //! ```text
 //! braidsim <core> <file.s | @benchmark> [--width N] [--perfect] [--fuel N]
+//!          [--tier full|func|sampled] [--sample-period N] [--sample-warmup N]
+//!          [--sample-len N] [--lockstep]
 //!          [--report-json] [--cpi-stack] [--pipeview FILE] [--metrics FILE]
 //! braidsim sweep [--workloads a,b] [--cores c,d] [--widths ...] [--beus ...]
-//!                [--fifos ...] [--windows ...] [--bypasses ...] [--scale F]
+//!                [--fifos ...] [--windows ...] [--bypasses ...] [--tiers t1,t2] [--scale F]
 //!                [--perfect] [--threads N] [--name NAME] [--out FILE]
 //!                [--resume]
 //! braidsim check-kanata <file.kanata>
@@ -23,6 +25,15 @@
 //! braidsim ooo @dot_product --metrics dot.json --report-json
 //! braidsim sweep --workloads gcc,mcf --widths 4,8,16 --threads 8
 //! ```
+//!
+//! Execution tiers (`--tier`): `full` (default) is exact cycle-level
+//! simulation; `func` runs the fast functional interpreter only (no
+//! timing — prints host throughput and the architectural state digest);
+//! `sampled` fast-forwards functionally and times sampled intervals,
+//! reporting extrapolated IPC and CPI. `--sample-period/-warmup/-len`
+//! tune the sampling windows; `--lockstep` compares the fast interpreter
+//! against the reference at every interval boundary (always on in debug
+//! builds). `--pipeview`/`--metrics` need `--tier full`.
 //!
 //! Observability flags: `--report-json` prints the full `SimReport` as
 //! deterministic JSON (host wall-clock time excluded); `--cpi-stack`
@@ -45,8 +56,9 @@ use braid::compiler::{translate, TranslatorConfig};
 use braid::core::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
 use braid::core::cores::{BraidCore, DepSteerCore, InOrderCore, OooCore};
 use braid::core::functional::Machine;
+use braid::core::processor::{run_tier, CoreConfig, TierReport};
 use braid::core::report::SimReport;
-use braid::core::SimError;
+use braid::core::{SamplingConfig, SimError, Tier};
 use braid::isa::asm::assemble;
 use braid::isa::Program;
 use braid::obs::{check_kanata, metrics_json, report_json, write_kanata, PipelineObserver};
@@ -55,6 +67,8 @@ struct Options {
     width: u32,
     perfect: bool,
     fuel: u64,
+    tier: Tier,
+    sampling: SamplingConfig,
     report_json: bool,
     cpi_stack: bool,
     pipeview: Option<String>,
@@ -70,9 +84,10 @@ impl Options {
 
 fn usage() -> ExitCode {
     eprintln!("usage: braidsim <ooo|braid|dep|inorder|all> <file.s | @benchmark> [--width N] [--perfect] [--fuel N]");
+    eprintln!("                [--tier full|func|sampled] [--sample-period N] [--sample-warmup N] [--sample-len N] [--lockstep]");
     eprintln!("                [--report-json] [--cpi-stack] [--pipeview FILE] [--metrics FILE]");
     eprintln!("       braidsim sweep [--workloads a,b] [--cores c,d] [--widths ...] [--beus ...]");
-    eprintln!("                      [--fifos ...] [--windows ...] [--bypasses ...] [--scale F]");
+    eprintln!("                      [--fifos ...] [--windows ...] [--bypasses ...] [--tiers t1,t2] [--scale F]");
     eprintln!("                      [--perfect] [--threads N] [--name NAME] [--out FILE] [--resume]");
     eprintln!("       braidsim check-kanata <file.kanata>");
     ExitCode::from(2)
@@ -219,7 +234,7 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
                 Ok(())
             }
             "--widths" | "--beus" | "--fifos" | "--windows" | "--bypasses" | "--workloads"
-            | "--cores" | "--scale" | "--threads" | "--name" | "--out" => {
+            | "--cores" | "--tiers" | "--scale" | "--threads" | "--name" | "--out" => {
                 i += 1;
                 match (flag, args.get(i)) {
                     (_, None) => Err(format!("{flag} needs a value")),
@@ -239,6 +254,11 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
                         })
                         .collect::<Result<Vec<_>, _>>()
                         .map(|cores| spec.cores = cores),
+                    ("--tiers", Some(v)) => v
+                        .split(',')
+                        .map(|s| Tier::parse(s).ok_or_else(|| format!("unknown tier {s:?}")))
+                        .collect::<Result<Vec<_>, _>>()
+                        .map(|tiers| spec.tiers = tiers),
                     ("--scale", Some(v)) => v
                         .parse()
                         .map(|s| spec.scale = s)
@@ -330,6 +350,125 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Builds the tier driver's core selection, mirroring the full-tier
+/// per-core configuration exactly (width, perfect, and the braid
+/// machine's CLI mispredict penalty).
+fn tier_core_config(name: &str, opts: &Options) -> Option<CoreConfig> {
+    let perfect = |mut c: braid::core::config::CommonConfig| {
+        if opts.perfect {
+            c = c.perfect();
+        }
+        c
+    };
+    Some(match name {
+        "ooo" => {
+            let mut cfg = OooConfig::paper_wide(opts.width);
+            cfg.common = perfect(cfg.common);
+            CoreConfig::Ooo(cfg)
+        }
+        "dep" => {
+            let mut cfg = DepConfig::paper_wide(opts.width);
+            cfg.common = perfect(cfg.common);
+            CoreConfig::Dep(cfg)
+        }
+        "inorder" => {
+            let mut cfg = InOrderConfig::paper_wide(opts.width);
+            cfg.common = perfect(cfg.common);
+            CoreConfig::InOrder(cfg)
+        }
+        "braid" => {
+            let mut cfg = BraidConfig::paper_wide(opts.width);
+            cfg.common = perfect(cfg.common);
+            cfg.common.mispredict_penalty = 19;
+            CoreConfig::Braid(cfg)
+        }
+        _ => return None,
+    })
+}
+
+/// Deterministic JSON for a tiered report (host wall-clock excluded, IPC
+/// as integer micro-IPC so the bytes are stable across hosts).
+fn tier_json(core: &str, tier: Tier, rep: &TierReport) -> String {
+    let mut s = format!("{{\"core\":\"{core}\",\"tier\":\"{}\"", tier.name());
+    s.push_str(&format!(",\"instructions\":{}", rep.instructions()));
+    match rep {
+        TierReport::Full(r) => {
+            s.push_str(&format!(",\"cycles\":{}", r.cycles));
+        }
+        TierReport::Func(r) => {
+            s.push_str(&format!(",\"digest\":\"{:016x}\"", r.digest));
+        }
+        TierReport::Sampled(r) => {
+            s.push_str(&format!(
+                ",\"est_cycles\":{},\"est_ipc_micro\":{},\"intervals\":{},\"timed_insts\":{},\"measured_insts\":{},\"measured_cycles\":{},\"overhead_cycles\":{}",
+                r.est_cycles,
+                (r.est_ipc() * 1e6).round() as u64,
+                r.intervals,
+                r.timed_insts,
+                r.measured_insts,
+                r.measured_cycles,
+                r.overhead_cycles,
+            ));
+            s.push_str(",\"cpi\":{");
+            let mut first = true;
+            for (cause, n) in r.cpi.iter() {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                s.push_str(&format!("\"{}\":{n}", cause.key()));
+            }
+            s.push('}');
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Runs the functional or sampled tier over the selected core(s).
+fn run_tiered(core: &str, program: &Program, fuel: u64, opts: &Options) -> ExitCode {
+    let names: Vec<&str> = if core == "all" {
+        vec!["ooo", "dep", "inorder", "braid"]
+    } else {
+        vec![core]
+    };
+    // The functional tier has no timing core at all, so without braid
+    // translation in play every selection runs the same interpreter once.
+    let names: Vec<&str> = if opts.tier == Tier::Func && core == "all" {
+        vec!["inorder", "braid"]
+    } else {
+        names
+    };
+    for name in names {
+        let Some(cfg) = tier_core_config(name, opts) else {
+            return usage();
+        };
+        match run_tier(program, &cfg, opts.tier, fuel, &opts.sampling) {
+            Ok(rep) => {
+                println!("--- {name} ({} tier) ---", opts.tier);
+                match &rep {
+                    TierReport::Full(r) => println!("{r}"),
+                    TierReport::Func(r) => println!("{r}"),
+                    TierReport::Sampled(r) => {
+                        println!("{r}");
+                        if opts.cpi_stack {
+                            print!("{}", r.cpi);
+                        }
+                    }
+                }
+                if opts.report_json {
+                    println!("{}", tier_json(name, opts.tier, &rep));
+                }
+            }
+            Err(e) => {
+                eprintln!("braidsim: {name} ({} tier) failed: {e}", opts.tier);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--version") {
@@ -351,6 +490,8 @@ fn main() -> ExitCode {
         width: 8,
         perfect: false,
         fuel: 0,
+        tier: Tier::Full,
+        sampling: SamplingConfig::default(),
         report_json: false,
         cpi_stack: false,
         pipeview: None,
@@ -362,6 +503,7 @@ fn main() -> ExitCode {
             "--perfect" => opts.perfect = true,
             "--report-json" => opts.report_json = true,
             "--cpi-stack" => opts.cpi_stack = true,
+            "--lockstep" => opts.sampling.lockstep = true,
             "--width" if i + 1 < args.len() => {
                 i += 1;
                 opts.width = args[i].parse().unwrap_or(8);
@@ -369,6 +511,28 @@ fn main() -> ExitCode {
             "--fuel" if i + 1 < args.len() => {
                 i += 1;
                 opts.fuel = args[i].parse().unwrap_or(0);
+            }
+            "--tier" if i + 1 < args.len() => {
+                i += 1;
+                match Tier::parse(&args[i]) {
+                    Some(t) => opts.tier = t,
+                    None => {
+                        eprintln!("braidsim: unknown tier {:?}", args[i]);
+                        return usage();
+                    }
+                }
+            }
+            "--sample-period" if i + 1 < args.len() => {
+                i += 1;
+                opts.sampling.period = args[i].parse().unwrap_or(opts.sampling.period);
+            }
+            "--sample-warmup" if i + 1 < args.len() => {
+                i += 1;
+                opts.sampling.warmup = args[i].parse().unwrap_or(opts.sampling.warmup);
+            }
+            "--sample-len" if i + 1 < args.len() => {
+                i += 1;
+                opts.sampling.sample = args[i].parse().unwrap_or(opts.sampling.sample);
             }
             "--pipeview" if i + 1 < args.len() => {
                 i += 1;
@@ -398,6 +562,17 @@ fn main() -> ExitCode {
         }
     };
     let fuel = if opts.fuel > 0 { opts.fuel } else { default_fuel };
+
+    if opts.tier != Tier::Full {
+        if opts.observe() {
+            eprintln!("braidsim: --pipeview/--metrics need --tier full");
+            return usage();
+        }
+        if !["ooo", "dep", "inorder", "braid", "all"].contains(&core) {
+            return usage();
+        }
+        return run_tiered(core, &program, fuel, &opts);
+    }
 
     let mut m = Machine::new(&program);
     let trace = match m.run(&program, fuel) {

