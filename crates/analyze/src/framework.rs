@@ -1,0 +1,301 @@
+//! A small reusable dataflow-analysis framework over [`braid_compiler::cfg`]
+//! blocks.
+//!
+//! Passes describe a lattice of per-block facts (an initial "no information"
+//! value, a join, and a transfer function) and a direction; [`solve`] runs
+//! the standard iterative worklist algorithm to the fixpoint and returns the
+//! fact on entry and exit of every block. Both analysis passes shipped here
+//! ([`Reachability`], [`ExtLiveness`]) and the report layer are built on it,
+//! so new program-wide analyses only have to provide the lattice.
+
+use braid_compiler::cfg::{BlockId, Cfg};
+use braid_isa::Program;
+
+/// Direction a dataflow pass propagates facts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from predecessors to successors (entry seeds the solve).
+    Forward,
+    /// Facts flow from successors to predecessors (exits seed the solve).
+    Backward,
+}
+
+/// A dataflow pass: a lattice of facts plus a per-block transfer function.
+///
+/// `join` must be monotone-friendly (a least-upper-bound style merge) and
+/// `transfer` monotone in its input for the worklist solve to terminate;
+/// every finite-height lattice with those properties converges.
+pub trait Pass {
+    /// The per-block fact.
+    type Fact: Clone + PartialEq;
+
+    /// Which way facts propagate.
+    fn direction(&self) -> Direction;
+
+    /// The "no information yet" fact interior blocks start from.
+    fn init(&self) -> Self::Fact;
+
+    /// The fact at the boundary: program entry for forward passes, block
+    /// exits for backward passes. `indirect` is true for blocks that exit
+    /// via `ret`, whose continuation is statically unknown — backward
+    /// passes typically answer with their most conservative fact there.
+    fn boundary(&self, indirect: bool) -> Self::Fact;
+
+    /// Transforms the fact across block `b` (entry→exit for forward
+    /// passes, exit→entry for backward passes).
+    fn transfer(&self, program: &Program, cfg: &Cfg, b: BlockId, input: &Self::Fact)
+        -> Self::Fact;
+
+    /// Merges `other` into `acc`, returning whether `acc` changed.
+    fn join(&self, acc: &mut Self::Fact, other: &Self::Fact) -> bool;
+}
+
+/// The fixpoint of a pass: the fact observed on entry and exit of each
+/// block, in the *program* direction (for backward passes `entry[b]` is
+/// still the fact at the block's first instruction).
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// Fact at the first instruction of each block.
+    pub entry: Vec<F>,
+    /// Fact just after the last instruction of each block.
+    pub exit: Vec<F>,
+}
+
+/// Runs `pass` to its fixpoint over `cfg` with the standard iterative
+/// worklist algorithm.
+pub fn solve<P: Pass>(program: &Program, cfg: &Cfg, pass: &P) -> Solution<P::Fact> {
+    let n = cfg.len();
+    let mut entry: Vec<P::Fact> = vec![pass.init(); n];
+    let mut exit: Vec<P::Fact> = vec![pass.init(); n];
+    if n == 0 {
+        return Solution { entry, exit };
+    }
+    let preds = cfg.predecessors();
+    let forward = pass.direction() == Direction::Forward;
+    let entry_block = cfg.entry_block(program);
+    let indirect = {
+        let mut v = vec![false; n];
+        for &b in &cfg.indirect_exits {
+            if b < n {
+                v[b] = true;
+            }
+        }
+        v
+    };
+
+    // Seed: entry block (forward) or every exit block (backward).
+    let mut on_list = vec![false; n];
+    let mut worklist: std::collections::VecDeque<BlockId> = std::collections::VecDeque::new();
+    if forward {
+        pass.join(&mut entry[entry_block], &pass.boundary(false));
+        worklist.push_back(entry_block);
+        on_list[entry_block] = true;
+    } else {
+        for b in 0..n {
+            if cfg.blocks[b].succs.is_empty() || indirect[b] {
+                pass.join(&mut exit[b], &pass.boundary(indirect[b]));
+            }
+            worklist.push_back(b);
+            on_list[b] = true;
+        }
+    }
+
+    while let Some(b) = worklist.pop_front() {
+        on_list[b] = false;
+        if forward {
+            let out = pass.transfer(program, cfg, b, &entry[b]);
+            if out != exit[b] {
+                exit[b] = out;
+                for &s in &cfg.blocks[b].succs {
+                    if pass.join(&mut entry[s], &exit[b]) && !on_list[s] {
+                        worklist.push_back(s);
+                        on_list[s] = true;
+                    }
+                }
+            }
+        } else {
+            let inp = pass.transfer(program, cfg, b, &exit[b]);
+            if inp != entry[b] {
+                entry[b] = inp;
+                for &p in &preds[b] {
+                    if pass.join(&mut exit[p], &entry[b]) && !on_list[p] {
+                        worklist.push_back(p);
+                        on_list[p] = true;
+                    }
+                }
+            }
+        }
+    }
+    Solution { entry, exit }
+}
+
+/// Forward reachability from the program entry: can block `b` execute at
+/// all? Used to keep unreachable code out of the structural reports.
+pub struct Reachability;
+
+impl Pass for Reachability {
+    type Fact = bool;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn init(&self) -> bool {
+        false
+    }
+
+    fn boundary(&self, _indirect: bool) -> bool {
+        true
+    }
+
+    fn transfer(&self, _program: &Program, _cfg: &Cfg, _b: BlockId, input: &bool) -> bool {
+        *input
+    }
+
+    fn join(&self, acc: &mut bool, other: &bool) -> bool {
+        let changed = !*acc && *other;
+        *acc |= *other;
+        changed
+    }
+}
+
+/// The reachable-block set of `cfg`. When the program contains an indirect
+/// exit (`ret`), its continuation is unknown and every block is
+/// conservatively reachable.
+pub fn reachable_blocks(program: &Program, cfg: &Cfg) -> Vec<bool> {
+    if !cfg.indirect_exits.is_empty() {
+        return vec![true; cfg.len()];
+    }
+    solve(program, cfg, &Reachability).entry
+}
+
+/// Backward liveness of *externally visible* register values: a register is
+/// ext-live where some later read may consult the external register file
+/// for it (a read whose `T` bit is clear). Unlike plain liveness, an
+/// internal-only (`I` without `E`) def does **not** kill the fact — it
+/// never updates the external file, so the older external copy stays
+/// observable. The communication pass uses this to find `E` writes whose
+/// value no one ever reads externally.
+pub struct ExtLiveness;
+
+/// A 64-register bitmask fact (bit = [`braid_isa::Reg::index`]).
+pub type RegMask = u64;
+
+impl Pass for ExtLiveness {
+    type Fact = RegMask;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn init(&self) -> RegMask {
+        0
+    }
+
+    fn boundary(&self, indirect: bool) -> RegMask {
+        // `ret` continuations are unknown: everything may be read.
+        if indirect {
+            !0
+        } else {
+            0
+        }
+    }
+
+    fn transfer(&self, program: &Program, cfg: &Cfg, b: BlockId, live_out: &RegMask) -> RegMask {
+        let mut live = *live_out;
+        let Some(block) = cfg.blocks.get(b) else { return live };
+        for i in block.range().rev() {
+            let Some(inst) = program.insts.get(i) else { continue };
+            // An external write satisfies later external reads.
+            if inst.braid.external {
+                if let Some(d) = inst.written_reg().filter(|r| !r.is_zero()) {
+                    live &= !(1u64 << d.index());
+                }
+            }
+            for (slot, r) in inst.src_regs().enumerate() {
+                if r.is_zero() {
+                    continue;
+                }
+                let internal = slot < 2 && inst.braid.t[slot];
+                if !internal {
+                    live |= 1u64 << r.index();
+                }
+            }
+            // A conditional move's implicit old-destination read consults
+            // whichever file holds the value; conservatively keep the
+            // external copy live.
+            if inst.opcode.reads_dest() {
+                if let Some(d) = inst.dest.filter(|r| !r.is_zero()) {
+                    live |= 1u64 << d.index();
+                }
+            }
+        }
+        live
+    }
+
+    fn join(&self, acc: &mut RegMask, other: &RegMask) -> bool {
+        let before = *acc;
+        *acc |= *other;
+        *acc != before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_isa::asm::assemble;
+
+    #[test]
+    fn reachability_skips_dead_blocks() {
+        // Block after an unconditional branch-over is unreachable.
+        let p = assemble("br skip\naddq r1, r2, r3\nskip: halt").unwrap();
+        let cfg = Cfg::build(&p);
+        let reach = reachable_blocks(&p, &cfg);
+        assert_eq!(reach.len(), 3);
+        let dead = cfg.block_of[1];
+        assert!(!reach[dead], "block holding inst 1 must be unreachable");
+        assert!(reach[cfg.block_of[0]] && reach[cfg.block_of[2]]);
+    }
+
+    #[test]
+    fn reachability_is_total_with_indirect_exits() {
+        let p = assemble("ret r31\naddq r1, r2, r3\nhalt").unwrap();
+        let cfg = Cfg::build(&p);
+        assert!(reachable_blocks(&p, &cfg).iter().all(|&r| r));
+    }
+
+    #[test]
+    fn ext_liveness_sees_through_internal_defs() {
+        // r3 is written internally mid-block; the later external read of
+        // r3 still observes the *older* external value, so r3 must be
+        // ext-live on entry.
+        let mut p = assemble("addq r1, r2, r3\naddq r3, r0, r4\nhalt").unwrap();
+        p.insts[0].braid.internal = true;
+        p.insts[0].braid.external = false;
+        let cfg = Cfg::build(&p);
+        let sol = solve(&p, &cfg, &ExtLiveness);
+        let b0 = cfg.block_of[0];
+        let r3 = braid_isa::Reg::int(3).unwrap();
+        assert!(sol.entry[b0] & (1 << r3.index()) != 0, "r3 must stay ext-live");
+
+        // With an external def, the block kills r3's incoming liveness.
+        let p2 = assemble("addq r1, r2, r3\naddq r3, r0, r4\nhalt").unwrap();
+        let cfg2 = Cfg::build(&p2);
+        let sol2 = solve(&p2, &cfg2, &ExtLiveness);
+        assert!(sol2.entry[cfg2.block_of[0]] & (1 << r3.index()) == 0);
+    }
+
+    #[test]
+    fn backward_liveness_crosses_loop_edges() {
+        let p = assemble(
+            "addi r0, #4, r1\nloop: subi r1, #1, r1\nbne r1, loop\nhalt",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        let sol = solve(&p, &cfg, &ExtLiveness);
+        let r1 = braid_isa::Reg::int(1).unwrap();
+        let loop_b = cfg.block_of[1];
+        // r1 is live around the back edge.
+        assert!(sol.exit[loop_b] & (1 << r1.index()) != 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Structural analysis passes: latency-weighted critical paths, internal
+//! register pressure, and external-communication cost.
+//!
+//! These passes describe the *shape* of an annotated program — what limits
+//! it and where. They feed the report layer and the `braidc -O` candidate
+//! scoring. The sound program-level cycle bound lives in [`crate::bound`];
+//! everything here is per-block / per-braid structure.
+
+use braid_check::{extents, Blocks, Extent};
+use braid_compiler::cfg::Cfg;
+use braid_compiler::dataflow::BlockDefUse;
+use braid_isa::Program;
+
+use crate::framework::RegMask;
+
+/// Latency-weighted dataflow critical path of one basic block.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockPath {
+    /// Block index (address order).
+    pub block: usize,
+    /// First instruction index of the block.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Longest def-use chain through the block, weighted by each
+    /// instruction's execution latency, in cycles.
+    pub cp_cycles: u64,
+    /// Instruction index at which the critical path ends.
+    pub tail: u32,
+}
+
+/// Computes the latency-weighted critical path of every block: the longest
+/// chain of def-use-dependent instructions, each contributing its
+/// [`braid_isa::Opcode::latency`]. One full execution of the block can
+/// never finish faster than its critical path on any of the cores (loads
+/// are weighted at their minimum latency).
+pub fn critical_paths(program: &Program, cfg: &Cfg) -> Vec<BlockPath> {
+    let mut out = Vec::with_capacity(cfg.len());
+    for b in 0..cfg.len() {
+        let blk = &cfg.blocks[b];
+        let du = BlockDefUse::compute(program, cfg, b);
+        let len = blk.len();
+        let mut depth = vec![0u64; len];
+        let mut cp = 0u64;
+        let mut tail = blk.start;
+        for p in 0..len {
+            let inst = &program.insts[blk.start as usize + p];
+            let mut ready = 0u64;
+            for d in du.src_def[p].iter().flatten() {
+                ready = ready.max(depth[*d as usize]);
+            }
+            depth[p] = ready + inst.opcode.latency();
+            if depth[p] > cp {
+                cp = depth[p];
+                tail = blk.start + p as u32;
+            }
+        }
+        out.push(BlockPath { block: b, start: blk.start, end: blk.end, cp_cycles: cp, tail });
+    }
+    out
+}
+
+/// Latency-weighted critical path of one braid extent: the same chain
+/// computation as [`critical_paths`], restricted to dependence edges whose
+/// endpoints both lie inside the extent.
+pub fn extent_path(program: &Program, cfg: &Cfg, e: &Extent) -> u64 {
+    let Some(&b) = cfg.block_of.get(e.start as usize) else { return 0 };
+    let du = BlockDefUse::compute(program, cfg, b);
+    let blk = &cfg.blocks[b];
+    let rel = |idx: u32| (idx - blk.start) as usize;
+    let mut depth = vec![0u64; blk.len()];
+    let mut cp = 0u64;
+    for i in e.start..e.end.min(blk.end) {
+        let p = rel(i);
+        let inst = &program.insts[i as usize];
+        let mut ready = 0u64;
+        for d in du.src_def[p].iter().flatten() {
+            let abs = blk.start + *d;
+            if abs >= e.start {
+                ready = ready.max(depth[*d as usize]);
+            }
+        }
+        depth[p] = ready + inst.opcode.latency();
+        cp = cp.max(depth[p]);
+    }
+    cp
+}
+
+/// Internal-register pressure of one braid extent.
+#[derive(Debug, Clone, Copy)]
+pub struct BraidPressure {
+    /// The braid extent this was measured for.
+    pub extent: Extent,
+    /// Peak number of simultaneously-live internal values (an internal def
+    /// occupies an entry from its def to its last internal read, or to the
+    /// braid's end when nothing reads it — the translator's own
+    /// working-set accounting).
+    pub peak: u32,
+    /// The internal register file capacity the profile was taken against.
+    pub capacity: u32,
+}
+
+impl BraidPressure {
+    /// How many more simultaneously-live internal values this braid could
+    /// hold before the translator would be forced to split it.
+    pub fn headroom(&self) -> u32 {
+        self.capacity.saturating_sub(self.peak)
+    }
+}
+
+/// Profiles internal-register pressure for every braid extent of the
+/// annotated program.
+pub fn pressure_profile(program: &Program, blocks: &Blocks, capacity: u32) -> Vec<BraidPressure> {
+    extents(program, blocks)
+        .into_iter()
+        .map(|e| {
+            let mut current_def: [Option<u32>; 64] = [None; 64];
+            // (def index, effective last internal read).
+            let mut intervals: Vec<(u32, u32)> = Vec::new();
+            for i in e.start..e.end {
+                let Some(inst) = program.insts.get(i as usize) else { break };
+                let internal_read = |r: braid_isa::Reg, intervals: &mut Vec<(u32, u32)>| {
+                    if let Some(d) = current_def[r.index() as usize] {
+                        if let Some(iv) = intervals.iter_mut().find(|(s, _)| *s == d) {
+                            iv.1 = i;
+                        }
+                    }
+                };
+                for (slot, r) in inst.src_regs().enumerate() {
+                    if slot < 2 && inst.braid.t[slot] && !r.is_zero() {
+                        internal_read(r, &mut intervals);
+                    }
+                }
+                if inst.opcode.reads_dest() {
+                    if let Some(d) = inst.dest.filter(|r| !r.is_zero()) {
+                        internal_read(d, &mut intervals);
+                    }
+                }
+                if inst.braid.internal {
+                    if let Some(d) = inst.written_reg().filter(|r| !r.is_zero()) {
+                        current_def[d.index() as usize] = Some(i);
+                        // Unread internal defs hold their entry to the
+                        // braid's end, mirroring the checker's BC004 bound.
+                        intervals.push((i, e.end.saturating_sub(1)));
+                    }
+                }
+            }
+            let mut peak = 0u32;
+            for i in e.start..e.end {
+                let live = intervals.iter().filter(|&&(s, l)| s <= i && i <= l).count() as u32;
+                peak = peak.max(live);
+            }
+            BraidPressure { extent: e, peak, capacity }
+        })
+        .collect()
+}
+
+/// External-communication profile of one basic block.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockComm {
+    /// Block index (address order).
+    pub block: usize,
+    /// Braid extents in the block.
+    pub braids: u32,
+    /// Source reads satisfied by the external register file (`T` clear on
+    /// a non-zero register): each consumes an external read port at issue.
+    pub ext_reads: u32,
+    /// Results written to the external register file (`E` set): each
+    /// consumes external write/rename bandwidth.
+    pub ext_writes: u32,
+    /// Results written to both files (`I` and `E`): braid-internal values
+    /// that also escape.
+    pub dual_writes: u32,
+    /// `E` writes whose value is never externally read on any path —
+    /// wasted external bandwidth that could have been internal-only.
+    pub unread_ext_writes: u32,
+}
+
+/// Profiles external communication per block. `ext_live_out[b]` is the
+/// [`crate::framework::ExtLiveness`] fact at the block's exit.
+pub fn communication(
+    program: &Program,
+    cfg: &Cfg,
+    blocks: &Blocks,
+    ext_live_out: &[RegMask],
+) -> Vec<BlockComm> {
+    let per_block_extents = {
+        let mut v = vec![0u32; cfg.len()];
+        for e in extents(program, blocks) {
+            if let Some(c) = v.get_mut(e.block) {
+                *c += 1;
+            }
+        }
+        v
+    };
+    let mut out = Vec::with_capacity(cfg.len());
+    for b in 0..cfg.len() {
+        let blk = &cfg.blocks[b];
+        let mut comm = BlockComm {
+            block: b,
+            braids: per_block_extents.get(b).copied().unwrap_or(0),
+            ext_reads: 0,
+            ext_writes: 0,
+            dual_writes: 0,
+            unread_ext_writes: 0,
+        };
+        // Walk backwards tracking ext-liveness within the block so each E
+        // write can be classified as read-later or wasted.
+        let mut live = ext_live_out.get(b).copied().unwrap_or(!0);
+        for i in blk.range().rev() {
+            let Some(inst) = program.insts.get(i) else { continue };
+            if inst.braid.external {
+                comm.ext_writes += 1;
+                if inst.braid.internal {
+                    comm.dual_writes += 1;
+                }
+                if let Some(d) = inst.written_reg().filter(|r| !r.is_zero()) {
+                    if live & (1u64 << d.index()) == 0 {
+                        comm.unread_ext_writes += 1;
+                    }
+                    live &= !(1u64 << d.index());
+                }
+            }
+            for (slot, r) in inst.src_regs().enumerate() {
+                if r.is_zero() {
+                    continue;
+                }
+                if !(slot < 2 && inst.braid.t[slot]) {
+                    comm.ext_reads += 1;
+                    live |= 1u64 << r.index();
+                }
+            }
+            if inst.opcode.reads_dest() {
+                if let Some(d) = inst.dest.filter(|r| !r.is_zero()) {
+                    live |= 1u64 << d.index();
+                }
+            }
+        }
+        out.push(comm);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{solve, ExtLiveness};
+    use braid_isa::asm::assemble;
+
+    #[test]
+    fn critical_path_weights_latencies() {
+        // mul (3) feeding add (1) feeding add (1): cp = 5 even though an
+        // independent 2-inst chain exists.
+        let p = assemble(
+            "mulq r1, r2, r3\naddq r3, r1, r4\naddq r4, r1, r5\naddq r6, r7, r8\nhalt",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        let paths = critical_paths(&p, &cfg);
+        let b0 = cfg.block_of[0];
+        assert_eq!(paths[b0].cp_cycles, 5);
+        assert_eq!(paths[b0].tail, 2);
+    }
+
+    #[test]
+    fn pressure_counts_live_internal_values() {
+        // Two internal defs both read by the final add: both live at inst 2.
+        let mut p = assemble("addq r1, r2, r3\naddq r1, r2, r4\naddq r3, r4, r5\nhalt").unwrap();
+        for i in 0..2 {
+            p.insts[i].braid.internal = true;
+            p.insts[i].braid.external = false;
+        }
+        p.insts[2].braid.t = [true, true];
+        for i in 1..3 {
+            p.insts[i].braid.start = false;
+        }
+        let blocks = Blocks::build(&p);
+        let prof = pressure_profile(&p, &blocks, 8);
+        let peak = prof.iter().map(|bp| bp.peak).max().unwrap();
+        assert_eq!(peak, 2);
+        assert_eq!(prof.iter().find(|bp| bp.peak == 2).unwrap().headroom(), 6);
+    }
+
+    #[test]
+    fn communication_flags_unread_external_writes() {
+        // r3's external write is immediately overwritten externally and
+        // never read: wasted bandwidth.
+        let p = assemble("addq r1, r2, r3\naddq r1, r2, r3\nstq r3, 0(r9) @stack:1\nhalt")
+            .unwrap();
+        let cfg = Cfg::build(&p);
+        let blocks = Blocks::build(&p);
+        let live = solve(&p, &cfg, &ExtLiveness);
+        let comm = communication(&p, &cfg, &blocks, &live.exit);
+        let b0 = cfg.block_of[0];
+        assert_eq!(comm[b0].unread_ext_writes, 1, "{:?}", comm[b0]);
+        assert!(comm[b0].ext_reads >= 3);
+    }
+}

@@ -1,0 +1,312 @@
+//! Analysis findings: stable `PB1xx` codes, the whole-program report, and
+//! the text/JSON renderers (following `braid_check::diag` conventions).
+
+use std::fmt;
+
+use braid_check::{json_string, Span};
+
+use crate::bound::CycleBound;
+
+/// Stable analysis codes. Like the checker's `BC0xx` codes these are part
+/// of the tool interface — tests and scripts match on them, so existing
+/// codes must never be renumbered (append instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PbCode {
+    /// `PB101`: the per-core sound cycle lower bound.
+    Pb101CycleBound,
+    /// `PB102`: a block's latency-weighted dataflow critical path.
+    Pb102CriticalPath,
+    /// `PB103`: a braid's internal working set has no headroom — one more
+    /// simultaneously-live internal value would force a split.
+    Pb103PressureAtCapacity,
+    /// `PB104`: a block's external reads exceed the braid core's external
+    /// read ports per cycle, serializing braid issue.
+    Pb104CommunicationHeavy,
+    /// `PB105`: an external (`E`) write whose value is never read through
+    /// the external file on any path — wasted external bandwidth.
+    Pb105UnreadExternalWrite,
+    /// `PB106`: per-core classification of what limits the program
+    /// (dependence chains vs. a resource floor).
+    Pb106Limiter,
+}
+
+impl PbCode {
+    /// The stable `PB1xx` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PbCode::Pb101CycleBound => "PB101",
+            PbCode::Pb102CriticalPath => "PB102",
+            PbCode::Pb103PressureAtCapacity => "PB103",
+            PbCode::Pb104CommunicationHeavy => "PB104",
+            PbCode::Pb105UnreadExternalWrite => "PB105",
+            PbCode::Pb106Limiter => "PB106",
+        }
+    }
+
+    /// The level this code always reports at.
+    pub fn level(self) -> Level {
+        match self {
+            PbCode::Pb103PressureAtCapacity
+            | PbCode::Pb104CommunicationHeavy
+            | PbCode::Pb105UnreadExternalWrite => Level::Warning,
+            _ => Level::Info,
+        }
+    }
+
+    /// Every code, in numbering order.
+    pub const ALL: &'static [PbCode] = &[
+        PbCode::Pb101CycleBound,
+        PbCode::Pb102CriticalPath,
+        PbCode::Pb103PressureAtCapacity,
+        PbCode::Pb104CommunicationHeavy,
+        PbCode::Pb105UnreadExternalWrite,
+        PbCode::Pb106Limiter,
+    ];
+}
+
+impl fmt::Display for PbCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Finding level. Analysis findings are never errors — the analyzer
+/// describes performance, it does not reject programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Neutral structural information.
+    Info,
+    /// A performance smell worth acting on.
+    Warning,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::Info => f.write_str("info"),
+            Level::Warning => f.write_str("warning"),
+        }
+    }
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The stable code.
+    pub code: PbCode,
+    /// Instruction span the finding is anchored to, when instruction-local.
+    pub span: Option<Span>,
+    /// Containing block, when block-local.
+    pub block: Option<u32>,
+    /// Core the finding applies to, for per-core findings.
+    pub core: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding; level is derived from the code.
+    pub fn new(code: PbCode, message: impl Into<String>) -> Finding {
+        Finding { code, span: None, block: None, core: None, message: message.into() }
+    }
+
+    /// Attaches the anchor span.
+    pub fn with_span(mut self, span: Span) -> Finding {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attaches the containing block.
+    pub fn in_block(mut self, block: u32) -> Finding {
+        self.block = Some(block);
+        self
+    }
+
+    /// Attaches the core the finding applies to.
+    pub fn on_core(mut self, core: impl Into<String>) -> Finding {
+        self.core = Some(core.into());
+        self
+    }
+
+    /// The level (fixed per code).
+    pub fn level(&self) -> Level {
+        self.code.level()
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.level(), self.code)?;
+        if let Some(core) = &self.core {
+            write!(f, "({core})")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(span) = self.span {
+            write!(f, "\n  --> {span}")?;
+            if let Some(b) = self.block {
+                write!(f, " (block {b})")?;
+            }
+        } else if let Some(b) = self.block {
+            write!(f, "\n  --> block {b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The full result of analyzing one program.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// Name of the analyzed program.
+    pub program: String,
+    /// Findings in discovery order (bounds first, then structure).
+    pub findings: Vec<Finding>,
+    /// The per-core sound cycle lower bounds.
+    pub bounds: Vec<CycleBound>,
+}
+
+impl AnalysisReport {
+    /// An empty report for `program`.
+    pub fn new(program: impl Into<String>) -> AnalysisReport {
+        AnalysisReport { program: program.into(), findings: Vec::new(), bounds: Vec::new() }
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, f: Finding) {
+        self.findings.push(f);
+    }
+
+    /// Number of warning-level findings.
+    pub fn warnings(&self) -> usize {
+        self.findings.iter().filter(|f| f.level() == Level::Warning).count()
+    }
+
+    /// Whether any finding carries `code`.
+    pub fn has_code(&self, code: PbCode) -> bool {
+        self.findings.iter().any(|f| f.code == code)
+    }
+
+    /// The bound computed for `core`, if that core was analyzed.
+    pub fn bound_for(&self, core: &str) -> Option<&CycleBound> {
+        self.bounds.iter().find(|b| b.core == core)
+    }
+
+    /// Renders the machine-readable JSON form (hand-rolled; the workspace
+    /// is hermetic).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"program\":");
+        json_string(&mut out, &self.program);
+        out.push_str(",\"bounds\":[");
+        for (i, b) in self.bounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"core\":");
+            json_string(&mut out, &b.core);
+            out.push_str(&format!(
+                ",\"cycles\":{},\"limiter\":\"{}\",\"insts\":{},\"mem_insts\":{},\
+                 \"width_bound\":{},\"issue_bound\":{},\"lsq_bound\":{},\"dep_bound\":{}}}",
+                b.cycles(),
+                b.limiter(),
+                b.insts,
+                b.mem_insts,
+                b.width_bound,
+                b.issue_bound,
+                b.lsq_bound,
+                b.dep_bound
+            ));
+        }
+        out.push_str("],\"warnings\":");
+        out.push_str(&self.warnings().to_string());
+        out.push_str(",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"code\":\"{}\",\"level\":\"{}\"", f.code, f.level()));
+            if let Some(span) = f.span {
+                out.push_str(&format!(",\"start\":{},\"end\":{}", span.start, span.end));
+            }
+            if let Some(b) = f.block {
+                out.push_str(&format!(",\"block\":{b}"));
+            }
+            if let Some(core) = &f.core {
+                out.push_str(",\"core\":");
+                json_string(&mut out, core);
+            }
+            out.push_str(",\"message\":");
+            json_string(&mut out, &f.message);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "bound: {} findings for {} ({} warnings)",
+            self.findings.len(),
+            self.program,
+            self.warnings()
+        )?;
+        for (i, finding) in self.findings.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{finding}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(PbCode::ALL.len(), 6);
+        for (i, c) in PbCode::ALL.iter().enumerate() {
+            assert_eq!(c.as_str(), format!("PB{}", 101 + i));
+        }
+    }
+
+    #[test]
+    fn levels_are_fixed_per_code() {
+        assert_eq!(PbCode::Pb101CycleBound.level(), Level::Info);
+        assert_eq!(PbCode::Pb103PressureAtCapacity.level(), Level::Warning);
+        assert_eq!(PbCode::Pb105UnreadExternalWrite.level(), Level::Warning);
+    }
+
+    #[test]
+    fn json_carries_codes_spans_and_bounds() {
+        let mut r = AnalysisReport::new("demo");
+        r.bounds.push(crate::bound::CycleBound {
+            core: "ooo".into(),
+            insts: 80,
+            mem_insts: 8,
+            width_bound: 10,
+            issue_bound: 10,
+            lsq_bound: 1,
+            dep_bound: 42,
+        });
+        r.push(
+            Finding::new(PbCode::Pb102CriticalPath, "cp 42")
+                .with_span(Span::range(0, 9))
+                .in_block(0),
+        );
+        r.push(Finding::new(PbCode::Pb101CycleBound, "bound 42").on_core("ooo"));
+        let j = r.to_json();
+        assert!(j.contains("\"core\":\"ooo\""));
+        assert!(j.contains("\"cycles\":42"));
+        assert!(j.contains("\"limiter\":\"dependence\""));
+        assert!(j.contains("\"code\":\"PB102\""));
+        assert!(j.contains("\"start\":0,\"end\":9"));
+        let text = r.to_string();
+        assert!(text.contains("info[PB102]: cp 42"));
+        assert!(text.contains("info[PB101](ooo): bound 42"));
+    }
+}

@@ -25,12 +25,12 @@ const ALL: &[&str] = &[
     "tab1", "tab2", "tab3", "chars", "splits", "fig1", "fig5", "fig6", "fig7", "fig8",
     "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "pipeline", "clusters",
     "exceptions", "disambiguation", "predictors", "mshrs", "fig13perfect", "widthsweep",
-    "cpistack", "sampled",
+    "cpistack", "sampled", "opt",
 ];
 
 /// Experiments that run the hand-written kernels and never touch the
 /// prepared synthetic suite.
-const SUITE_FREE: &[&str] = &["sampled"];
+const SUITE_FREE: &[&str] = &["sampled", "opt"];
 
 fn run_one(name: &str, suite: &[Prepared]) -> Option<Table> {
     let table = match name {
@@ -60,6 +60,7 @@ fn run_one(name: &str, suite: &[Prepared]) -> Option<Table> {
         "widthsweep" => exp::widthsweep(suite),
         "cpistack" => exp::cpistack(suite),
         "sampled" => exp::sampled(),
+        "opt" => exp::opt(),
         _ => return None,
     };
     Some(table)

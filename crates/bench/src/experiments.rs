@@ -774,6 +774,39 @@ pub fn sampled() -> Table {
     t
 }
 
+/// `braidc -O` evaluation: the sound static bound, the canonical
+/// partition's simulated cycles, the partition-search winner's cycles, the
+/// cycles recovered by the search, and the static prediction error
+/// (simulated over bound) on every hand-written kernel.
+pub fn opt() -> Table {
+    use braid_analyze::{search, SearchConfig};
+
+    let mut t = Table::new(
+        "braidc -O: static bound vs canonical vs searched partition (braid core)",
+        &["kernel", "bound", "canonical", "optimized", "recovered%", "pred-err%"],
+    );
+    for w in braid_workloads::kernel_suite() {
+        let cfg = SearchConfig { fuel: w.fuel, ..SearchConfig::default() };
+        let out = search(&w.program, &braid_cfg(), &cfg)
+            .unwrap_or_else(|e| panic!("{}: search failed: {e}", w.name));
+        let winner = out.winner().simulated_cycles.expect("winner is simulated") as f64;
+        let canonical = out.canonical_cycles as f64;
+        let bound = out.bound_cycles as f64;
+        t.push(
+            w.name.clone(),
+            vec![
+                bound,
+                canonical,
+                winner,
+                100.0 * out.cycles_recovered() as f64 / canonical.max(1.0),
+                100.0 * (winner / bound.max(1.0) - 1.0),
+            ],
+        );
+    }
+    t.push_mean("average");
+    t
+}
+
 /// CPI-stack breakdown: where every cycle goes on each paradigm,
 /// aggregated across the whole suite through the parallel sweep engine
 /// (`braid_sweep::cpi_by_core`). Each column is one stall cause as a

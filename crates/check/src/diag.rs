@@ -153,12 +153,16 @@ pub struct Diagnostic {
     pub message: String,
     /// Disassembly of the first spanned instruction, for context.
     pub inst: Option<String>,
+    /// Span of the *defining* instruction the finding refers to, when it
+    /// differs from (or pinpoints within) the anchor span — e.g. the
+    /// internal def behind a `BC005` stale read or a `BC006` wasted entry.
+    pub def_span: Option<Span>,
 }
 
 impl Diagnostic {
     /// Builds a diagnostic; severity is derived from the code.
     pub fn new(code: Code, span: Span, message: impl Into<String>) -> Diagnostic {
-        Diagnostic { code, span, block: None, message: message.into(), inst: None }
+        Diagnostic { code, span, block: None, message: message.into(), inst: None, def_span: None }
     }
 
     /// Attaches the containing block index.
@@ -170,6 +174,12 @@ impl Diagnostic {
     /// Attaches the disassembly of the implicated instruction.
     pub fn with_inst(mut self, inst: impl Into<String>) -> Diagnostic {
         self.inst = Some(inst.into());
+        self
+    }
+
+    /// Attaches the span of the defining instruction behind the finding.
+    pub fn with_def_span(mut self, span: Span) -> Diagnostic {
+        self.def_span = Some(span);
         self
     }
 
@@ -188,6 +198,9 @@ impl fmt::Display for Diagnostic {
         }
         if let Some(inst) = &self.inst {
             write!(f, "\n  |   {}: {inst}", self.span.start)?;
+        }
+        if let Some(def) = self.def_span.filter(|d| *d != self.span) {
+            write!(f, "\n  |   value defined at {def}")?;
         }
         Ok(())
     }
@@ -263,6 +276,9 @@ impl CheckReport {
             if let Some(b) = d.block {
                 out.push_str(&format!(",\"block\":{b}"));
             }
+            if let Some(def) = d.def_span {
+                out.push_str(&format!(",\"def_start\":{},\"def_end\":{}", def.start, def.end));
+            }
             out.push_str(",\"message\":");
             json_string(&mut out, &d.message);
             if let Some(inst) = &d.inst {
@@ -299,7 +315,10 @@ impl fmt::Display for CheckReport {
     }
 }
 
-fn json_string(out: &mut String, s: &str) {
+/// Appends `s` to `out` as an RFC 8259 JSON string literal (quotes
+/// included). Shared by every hand-rolled JSON renderer in the workspace
+/// that emits diagnostics-adjacent output.
+pub fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -367,6 +386,29 @@ mod tests {
         assert!(j.contains("\"message\":\"lost \\\\ value\""));
         assert!(j.contains("\"inst\":\"addq r1, r2, r3\""));
         assert!(j.contains("\"errors\":1,\"warnings\":0"));
+    }
+
+    #[test]
+    fn def_span_renders_in_json_and_text() {
+        let mut r = CheckReport::new("p");
+        r.push(
+            Diagnostic::new(Code::Bc005LostValue, Span::inst(5), "stale read")
+                .with_def_span(Span::inst(2)),
+        );
+        let j = r.to_json();
+        assert!(j.contains("\"start\":5,\"end\":6"));
+        assert!(j.contains("\"def_start\":2,\"def_end\":3"));
+        assert!(r.to_string().contains("value defined at inst 2"));
+
+        // A def span equal to the anchor is structured data only: the text
+        // renderer suppresses the redundant note.
+        let mut r = CheckReport::new("p");
+        r.push(
+            Diagnostic::new(Code::Bc006UnusedInternal, Span::inst(4), "unused")
+                .with_def_span(Span::inst(4)),
+        );
+        assert!(r.to_json().contains("\"def_start\":4,\"def_end\":5"));
+        assert!(!r.to_string().contains("value defined at"));
     }
 
     #[test]

@@ -167,7 +167,8 @@ pub(crate) fn check_braid_flow(
                                         ),
                                     )
                                     .in_block(b as u32)
-                                    .with_inst(disasm()),
+                                    .with_inst(disasm())
+                                    .with_def_span(Span::inst(d)),
                                 );
                             }
                         }
@@ -261,7 +262,8 @@ pub(crate) fn check_braid_flow(
                         ),
                     )
                     .in_block(b as u32)
-                    .with_inst(program.insts[d as usize].to_string()),
+                    .with_inst(program.insts[d as usize].to_string())
+                    .with_def_span(Span::inst(d)),
                 );
             }
         }
@@ -297,7 +299,8 @@ fn flush_extent(
                     ),
                 )
                 .in_block(block as u32)
-                .with_inst(inst.to_string()),
+                .with_inst(inst.to_string())
+                .with_def_span(Span::inst(d)),
             );
         }
     }

@@ -46,7 +46,7 @@ mod flow;
 mod model;
 mod reorder;
 
-pub use diag::{CheckReport, Code, Diagnostic, Severity, Span};
+pub use diag::{json_string, CheckReport, Code, Diagnostic, Severity, Span};
 pub use model::{extents, Blocks, Extent, RegMask};
 pub use reorder::{check_descriptors, check_reordering, BraidDescView};
 
@@ -401,6 +401,7 @@ check: 2 findings for golden (1 errors, 1 warnings)
 error[BC005]: source r3 reads the external register file, but the braid's latest value of r3 (inst 0) was written only to an internal file
   --> inst 1 (block 0)
   |   1: addq r3, r0, r4
+  |   value defined at inst 0
 warning[BC006]: internal value of r3 is never read from the internal file (wasted internal-register entry)
   --> inst 0 (block 0)
   |   0: addq r1, r2, r3";
@@ -408,5 +409,8 @@ warning[BC006]: internal value of r3 is never read from the internal file (waste
         let json = r.to_json();
         assert!(json.contains("\"code\":\"BC005\""));
         assert!(json.contains("\"start\":1,\"end\":2"));
+        // The stale read's defining instruction rides along as a full
+        // span, and BC006 carries its (self-)defining span too.
+        assert!(json.contains("\"def_start\":0,\"def_end\":1"));
     }
 }

@@ -64,6 +64,9 @@ pub struct BlockBraids {
     /// Braids split to satisfy ordering constraints (filled by
     /// [`crate::order`]).
     pub order_splits: u32,
+    /// Braids split by the chain-length limit (`braidc -O`'s
+    /// chain-length-limited candidate partitions).
+    pub chain_splits: u32,
 }
 
 /// All braids of a program, one entry per CFG block.
@@ -114,6 +117,24 @@ impl BlockBraids {
         block: BlockId,
         max_internal: u32,
     ) -> BlockBraids {
+        BlockBraids::identify_with(program, cfg, liveness, du, block, max_internal, 0)
+    }
+
+    /// Like [`BlockBraids::identify`], additionally chopping every braid
+    /// to at most `max_braid_len` instructions (`0` = unlimited). Length
+    /// chopping runs after the working-set split and is followed by a
+    /// reclassification, so `T`/`I`/`E` placement stays consistent with
+    /// the final partition.
+    #[allow(clippy::too_many_arguments)]
+    pub fn identify_with(
+        program: &Program,
+        cfg: &Cfg,
+        liveness: &Liveness,
+        du: &BlockDefUse,
+        block: BlockId,
+        max_internal: u32,
+        max_braid_len: u32,
+    ) -> BlockBraids {
         let len = cfg.blocks[block].len();
         let mut uf = UnionFind::new(len);
         for (p, slots) in du.src_def.iter().enumerate() {
@@ -147,9 +168,11 @@ impl BlockBraids {
             def_class: vec![DefClass::NoDef; len],
             working_set_splits: 0,
             order_splits: 0,
+            chain_splits: 0,
         };
         bb.classify(program, cfg, liveness, du);
         bb.split_for_working_set(program, cfg, du, max_internal);
+        bb.split_for_chain_length(max_braid_len);
         bb.classify(program, cfg, liveness, du);
         bb
     }
@@ -214,6 +237,35 @@ impl BlockBraids {
                     }
                 }
             }
+        }
+        result.sort_by_key(|b| b[0]);
+        self.braids = result;
+        for (i, b) in self.braids.iter().enumerate() {
+            for &p in b {
+                self.braid_of[p as usize] = i as u32;
+            }
+        }
+    }
+
+    /// Chops every braid longer than `max_len` instructions into
+    /// consecutive prefix pieces (`0` disables). The RISC-V chaining line
+    /// of work limits dependence chains the same way: shorter braids trade
+    /// internal-forwarding coverage for earlier external availability and
+    /// more BEU-level parallelism, which `braidc -O` scores per program.
+    fn split_for_chain_length(&mut self, max_len: u32) {
+        if max_len == 0 {
+            return;
+        }
+        let mut result: Vec<Vec<u32>> = Vec::new();
+        let braids = std::mem::take(&mut self.braids);
+        for mut braid in braids {
+            while braid.len() as u32 > max_len {
+                let tail = braid.split_off(max_len as usize);
+                result.push(braid);
+                braid = tail;
+                self.chain_splits += 1;
+            }
+            result.push(braid);
         }
         result.sort_by_key(|b| b[0]);
         self.braids = result;
@@ -345,8 +397,31 @@ impl BraidSet {
         dus: &[BlockDefUse],
         max_internal: u32,
     ) -> BraidSet {
+        BraidSet::identify_with(program, cfg, liveness, dus, max_internal, 0)
+    }
+
+    /// Like [`BraidSet::identify`], with a chain-length limit per braid
+    /// (`0` = unlimited; see [`BlockBraids::identify_with`]).
+    pub fn identify_with(
+        program: &Program,
+        cfg: &Cfg,
+        liveness: &Liveness,
+        dus: &[BlockDefUse],
+        max_internal: u32,
+        max_braid_len: u32,
+    ) -> BraidSet {
         let blocks = (0..cfg.len())
-            .map(|b| BlockBraids::identify(program, cfg, liveness, &dus[b], b, max_internal))
+            .map(|b| {
+                BlockBraids::identify_with(
+                    program,
+                    cfg,
+                    liveness,
+                    &dus[b],
+                    b,
+                    max_internal,
+                    max_braid_len,
+                )
+            })
             .collect();
         BraidSet { blocks }
     }

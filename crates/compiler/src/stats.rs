@@ -112,6 +112,9 @@ pub struct BraidStats {
     pub working_set_splits: u64,
     /// Braids split for ordering constraints (<1% in the paper).
     pub order_splits: u64,
+    /// Braids split by a chain-length limit (`0` for the canonical
+    /// translator; only `braidc -O` candidates set one).
+    pub chain_splits: u64,
     /// Total braids.
     pub total_braids: u64,
 }
@@ -171,7 +174,8 @@ impl BraidStats {
         if self.total_braids == 0 {
             return 0.0;
         }
-        (self.working_set_splits + self.order_splits) as f64 / self.total_braids as f64
+        (self.working_set_splits + self.order_splits + self.chain_splits) as f64
+            / self.total_braids as f64
     }
 }
 

@@ -19,6 +19,11 @@ pub struct TranslatorConfig {
     /// working set would exceed this are split (the paper uses 8 and
     /// reports ~2% of braids split).
     pub max_internal_regs: u32,
+    /// Maximum instructions per braid, `0` for unlimited (the canonical
+    /// partition). Braids longer than this are chopped into consecutive
+    /// pieces — the chain-length-limited candidate family `braidc -O`
+    /// searches over.
+    pub max_braid_len: u32,
     /// Run the static braid-contract checker (`braid-check`) over the
     /// translation before returning it, failing with
     /// [`TranslateError::Check`] on any error-severity finding. On by
@@ -29,7 +34,7 @@ pub struct TranslatorConfig {
 
 impl Default for TranslatorConfig {
     fn default() -> TranslatorConfig {
-        TranslatorConfig { max_internal_regs: 8, self_check: cfg!(debug_assertions) }
+        TranslatorConfig { max_internal_regs: 8, max_braid_len: 0, self_check: cfg!(debug_assertions) }
     }
 }
 
@@ -166,7 +171,14 @@ pub fn translate(program: &Program, config: &TranslatorConfig) -> Result<Transla
     let live = liveness(program, &cfg);
     let dus: Vec<BlockDefUse> =
         (0..cfg.len()).map(|b| BlockDefUse::compute(program, &cfg, b)).collect();
-    let mut braids = BraidSet::identify(program, &cfg, &live, &dus, config.max_internal_regs);
+    let mut braids = BraidSet::identify_with(
+        program,
+        &cfg,
+        &live,
+        &dus,
+        config.max_internal_regs,
+        config.max_braid_len,
+    );
 
     let mut out = Program {
         name: format!("{}.braid", program.name),
@@ -228,6 +240,7 @@ pub fn translate(program: &Program, config: &TranslatorConfig) -> Result<Transla
         stats.record_block(&measures);
         stats.working_set_splits += bb.working_set_splits as u64;
         stats.order_splits += bb.order_splits as u64;
+        stats.chain_splits += bb.chain_splits as u64;
     }
 
     debug_assert_eq!(out.insts.len(), program.insts.len());

@@ -73,6 +73,9 @@ pub use func::{
 };
 pub use functional::{ExecError, Machine};
 pub use obs::{CpiStack, NoopObserver, Observer, StallCause};
-pub use processor::{run_braid, run_dep, run_inorder, run_ooo, run_tier, CoreConfig, TierReport};
+pub use processor::{
+    run_annotated, run_braid, run_dep, run_inorder, run_ooo, run_tier, trace_program, CoreConfig,
+    RunError, TierReport,
+};
 pub use report::SimReport;
 pub use trace::{Trace, TraceEntry};

@@ -125,6 +125,64 @@ impl CoreConfig {
         }
     }
 
+    /// Fetch/dispatch/retire width in instructions per cycle. Retirement
+    /// never exceeds this on any core, which makes `ceil(n / width)` a
+    /// sound cycle lower bound for an `n`-instruction trace.
+    pub fn width(&self) -> u32 {
+        self.common().width
+    }
+
+    /// Load/store queue capacity. Every memory instruction occupies an
+    /// entry from dispatch to retirement (at least one full cycle).
+    pub fn lsq_entries(&self) -> usize {
+        self.common().lsq_entries
+    }
+
+    /// Execution latency the timing engines charge for `op`, in cycles.
+    /// This is the *minimum*: loads pay at least one additional cache
+    /// cycle on top of address generation, and external-write-port or
+    /// bypass contention can delay when consumers see the value.
+    pub fn latency_of(&self, op: braid_isa::Opcode) -> u64 {
+        op.latency()
+    }
+
+    /// Maximum instructions the core can begin executing per cycle:
+    /// the FU count on the conventional cores, `beus * fus_per_beu`
+    /// on the braid core.
+    pub fn issue_slots(&self) -> u32 {
+        match self {
+            CoreConfig::InOrder(c) => c.fus,
+            CoreConfig::Dep(c) => c.fus,
+            CoreConfig::Ooo(c) => c.fus,
+            CoreConfig::Braid(c) => c.beus * c.fus_per_beu,
+        }
+    }
+
+    /// Braid execution unit count (braid core only).
+    pub fn beus(&self) -> Option<u32> {
+        match self {
+            CoreConfig::Braid(c) => Some(c.beus),
+            _ => None,
+        }
+    }
+
+    /// Functional units per BEU (braid core only).
+    pub fn fus_per_beu(&self) -> Option<u32> {
+        match self {
+            CoreConfig::Braid(c) => Some(c.fus_per_beu),
+            _ => None,
+        }
+    }
+
+    /// Internal register file size per BEU (braid core only); the
+    /// translator's split threshold must not exceed this.
+    pub fn internal_regs(&self) -> Option<u32> {
+        match self {
+            CoreConfig::Braid(c) => Some(c.internal_regs),
+            _ => None,
+        }
+    }
+
     /// Times `trace` on a **fresh** core instance (the warm-up subtraction
     /// of sampling relies on every window starting from identical pipeline
     /// state).
@@ -298,6 +356,36 @@ pub fn run_tier(
 pub fn trace_program(program: &Program, max_insts: u64) -> Result<Trace, RunError> {
     let mut m = Machine::new(program);
     Ok(m.run(program, max_insts)?)
+}
+
+/// Runs an already-prepared program on `core` **as-is** — no translation,
+/// even for the braid core. This is the entry point for callers that
+/// produce their own annotated programs (the `braidc -O` partition search
+/// scores candidate translations through it). On the braid core the
+/// program is still vetted by the static braid-contract checker first, so
+/// the braid machine never executes an ill-formed program; the other
+/// cores ignore annotations entirely.
+///
+/// # Errors
+///
+/// Propagates functional-execution and timing failures; returns
+/// [`RunError::Check`] when a braid-core program violates the contract.
+pub fn run_annotated(
+    program: &Program,
+    core: &CoreConfig,
+    max_insts: u64,
+) -> Result<SimReport, RunError> {
+    if let CoreConfig::Braid(c) = core {
+        let report = braid_check::check_program(
+            program,
+            &braid_check::CheckConfig { max_internal_regs: c.internal_regs },
+        );
+        if report.has_errors() {
+            return Err(RunError::Check(Box::new(report)));
+        }
+    }
+    let trace = trace_program(program, max_insts)?;
+    Ok(core.run_trace(program, &trace)?)
 }
 
 /// Runs `program` on the conventional out-of-order machine.

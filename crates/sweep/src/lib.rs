@@ -293,6 +293,24 @@ impl Error for SweepError {
     }
 }
 
+/// Runs an already-annotated program on `core` without re-translating,
+/// returning the same [`PointStats`] shape as [`run_point`]. Used by
+/// `braidc -O` to confirm candidate partitions.
+///
+/// # Errors
+///
+/// Wraps the underlying [`RunError`] (check failure, livelock, out of
+/// fuel) as a [`SweepError::Point`].
+pub fn run_annotated_point(
+    core: &braid_core::CoreConfig,
+    program: &braid_isa::Program,
+    fuel: u64,
+) -> Result<PointStats, SweepError> {
+    braid_core::run_annotated(program, core, fuel)
+        .map(|r| PointStats::from_report(&r))
+        .map_err(|source| SweepError::Point { key: format!("annotated:{}", program.name), source })
+}
+
 /// Runs one grid point to completion.
 ///
 /// # Errors

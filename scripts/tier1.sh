@@ -42,10 +42,39 @@ if [ "${err#-}" -gt 50 ]; then
 fi
 echo "sampled smoke OK (full=$full_cycles cycles, sampled est=$est_cycles, err=${err} permille)"
 
+echo "==> cargo test -q -p braid-analyze"
+cargo test -q -p braid-analyze
+
 echo "==> braidc check over the kernel suite"
 for kernel in fig2_life dot_product stencil pointer_chase histogram matmul crc_mix partition; do
   ./target/release/braidc check "@$kernel"
 done
+
+echo "==> braidc bound soundness smoke (bound <= simulated on every kernel x core)"
+for kernel in fig2_life dot_product stencil pointer_chase histogram matmul crc_mix partition; do
+  ./target/release/braidc bound "@$kernel" --verify > /dev/null
+done
+echo "bound smoke OK (8 kernels x 4 cores all sound)"
+
+echo "==> braidc -O smoke (winner must be check-clean with cycles <= canonical)"
+opt_json="$(./target/release/braidc -O @dot_product --json)"
+opt_winner="$(echo "$opt_json" | sed -n 's/.*"winner":"\([a-z0-9-]*\)".*/\1/p')"
+winner_cycles="$(echo "$opt_json" \
+  | sed -n "s/.*\"name\":\"$opt_winner\",\"score\":[0-9]*,\"check_clean\":true,\"cycles\":\([0-9]*\).*/\1/p")"
+canonical_cycles="$(echo "$opt_json" | sed -n 's/.*"canonical_cycles":\([0-9]*\).*/\1/p')"
+if [ -z "$opt_winner" ] || [ -z "$winner_cycles" ] || [ -z "$canonical_cycles" ]; then
+  echo "-O smoke: missing fields in: $opt_json" >&2
+  exit 1
+fi
+if [ "$winner_cycles" -gt "$canonical_cycles" ]; then
+  echo "-O smoke: winner $opt_winner at $winner_cycles cycles beats canonical $canonical_cycles backwards" >&2
+  exit 1
+fi
+opt_emit="$(mktemp --suffix=.brisc)"
+./target/release/braidc -O @dot_product --emit "$opt_emit" > /dev/null
+./target/release/braidc check "$opt_emit"
+rm -f "$opt_emit"
+echo "-O smoke OK (winner=$opt_winner at $winner_cycles cycles <= canonical $canonical_cycles, output check-clean)"
 
 echo "==> sweep smoke (tiny grid, 2 threads)"
 cargo run --release --bin braidsim -- sweep --name tier1-smoke --threads 2 \

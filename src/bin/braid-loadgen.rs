@@ -33,7 +33,8 @@ use braid::serve::{run_loadgen, LoadgenConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: braid-loadgen --addr HOST:PORT [--connections N] [--requests N]\n       \
-         [--seed N] [--timeout-ms N] [--attempts N] [--verify] [--shutdown] [--version]"
+         [--seed N] [--timeout-ms N] [--attempts N] [--verify] [--shutdown] [--version]\n\
+         exit codes: 0 clean, 1 lost requests/failure, 2 usage error"
     );
     ExitCode::from(2)
 }

@@ -7,6 +7,13 @@
 //! braidc stats     <prog>         print Tables 1-3 statistics only
 //! braidc check     <prog> [--json] [--deny-warnings]
 //!                                 verify the braid contract statically
+//! braidc bound     <prog> [--json] [--verify] [--deny-warnings]
+//!                                 static cycle lower bounds + PB findings
+//!                                 per core; --verify simulates each core
+//!                                 and confirms bound <= cycles
+//! braidc -O        <prog> [--json] [--emit <file>]
+//!                                 search alternative braid partitions,
+//!                                 confirm by simulation, report the winner
 //! braidc dot|viz   <prog> [--check] [--metrics <file.json>]
 //!                                 Graphviz dataflow graph, braids colored;
 //!                                 --check highlights diagnostic findings,
@@ -20,6 +27,9 @@
 //! the benchmark suite. Annotated inputs (any braid bits set) are checked
 //! as-is; unannotated inputs are translated first and the full translation
 //! (including reordering legality and descriptor metadata) is checked.
+//!
+//! Exit codes (shared by all braid binaries): `0` clean, `1` findings or
+//! failure, `2` usage error.
 
 use std::fs;
 use std::process::ExitCode;
@@ -34,9 +44,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: braidc <translate|inspect|encode|stats> <prog>\n       \
          braidc check <prog> [--json] [--deny-warnings]\n       \
+         braidc bound <prog> [--json] [--verify] [--deny-warnings]\n       \
+         braidc -O <prog> [--json] [--emit <file>]\n       \
          braidc dot|viz <prog> [--check] [--metrics <file.json>]\n       \
          braidc assemble <file.s> <out.brisc>\n       \
-         (<prog> = file.s | file.brisc | @benchmark)"
+         (<prog> = file.s | file.brisc | @benchmark)\n\
+         exit codes: 0 clean, 1 findings/failure, 2 usage error"
     );
     ExitCode::from(2)
 }
@@ -99,6 +112,17 @@ fn load_hotspots(path: &str) -> Result<(String, Vec<(u32, String)>), String> {
     Ok((core, marks))
 }
 
+/// The paper's four core models at their default 8-wide configurations.
+fn paper_cores() -> Vec<braid::core::CoreConfig> {
+    use braid::core::CoreConfig;
+    vec![
+        CoreConfig::InOrder(braid::core::InOrderConfig::paper_8wide()),
+        CoreConfig::Dep(braid::core::DepConfig::paper_8wide()),
+        CoreConfig::Ooo(braid::core::OooConfig::paper_8wide()),
+        CoreConfig::Braid(braid::core::BraidConfig::paper_default()),
+    ]
+}
+
 fn main() -> ExitCode {
     let mut all: Vec<String> = std::env::args().skip(1).collect();
     if all.iter().any(|a| a == "--version") {
@@ -116,11 +140,21 @@ fn main() -> ExitCode {
         metrics_path = Some(all.remove(i + 1));
         all.remove(i);
     }
+    let mut emit_path: Option<String> = None;
+    if let Some(i) = all.iter().position(|a| a == "--emit") {
+        if i + 1 >= all.len() {
+            eprintln!("braidc: --emit needs a file");
+            return usage();
+        }
+        emit_path = Some(all.remove(i + 1));
+        all.remove(i);
+    }
     let flags: Vec<&str> =
         all.iter().filter(|a| a.starts_with("--")).map(String::as_str).collect();
     let args: Vec<&String> = all.iter().filter(|a| !a.starts_with("--")).collect();
-    if let Some(unknown) =
-        flags.iter().find(|f| !["--json", "--deny-warnings", "--check"].contains(*f))
+    if let Some(unknown) = flags
+        .iter()
+        .find(|f| !["--json", "--deny-warnings", "--check", "--verify"].contains(*f))
     {
         eprintln!("braidc: unknown option {unknown}");
         return usage();
@@ -189,6 +223,142 @@ fn main() -> ExitCode {
                         }
                     }
                 }
+            }
+        }
+        "bound" => {
+            use braid::analyze::{analyze, AnalyzeConfig};
+            use braid::core::{run_tier, SamplingConfig, Tier, TierReport};
+            let cores = paper_cores();
+            let config = AnalyzeConfig::default();
+            let report = match analyze(&program, &cores, &config) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("braidc: analysis failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if flags.contains(&"--json") {
+                println!("{}", report.to_json());
+            } else {
+                println!("{report}");
+            }
+            if flags.contains(&"--verify") {
+                // Soundness check: simulate each core at the full tier and
+                // confirm predicted <= simulated. The braid core's bound is
+                // taken over the same canonical translation run_tier vets.
+                let sampling = SamplingConfig::default();
+                for core in &cores {
+                    let sim = if core.is_braid() && braid::analyze::is_annotated(&program) {
+                        braid::core::run_annotated(&program, core, config.fuel).map(|r| r.cycles)
+                    } else {
+                        run_tier(&program, core, Tier::Full, config.fuel, &sampling).map(|r| {
+                            match r {
+                                TierReport::Full(r) => r.cycles,
+                                _ => unreachable!("full tier returns a full report"),
+                            }
+                        })
+                    };
+                    let cycles = match sim {
+                        Ok(c) => c,
+                        Err(e) => {
+                            eprintln!("braidc: {} simulation failed: {e}", core.name());
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let bound = report
+                        .bounds
+                        .iter()
+                        .find(|b| b.core == core.name())
+                        .map(|b| b.cycles())
+                        .unwrap_or(0);
+                    if bound > cycles {
+                        eprintln!(
+                            "braidc: UNSOUND: {} bound {bound} > simulated {cycles}",
+                            core.name()
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    println!("{}: sound ({bound} <= {cycles})", core.name());
+                }
+            }
+            if flags.contains(&"--deny-warnings") && report.warnings() > 0 {
+                return ExitCode::FAILURE;
+            }
+        }
+        "-O" => {
+            use braid::analyze::{search, SearchConfig};
+            let out = match search(&program, &braid::core::BraidConfig::paper_default(), &SearchConfig::default())
+            {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("braidc: partition search failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if flags.contains(&"--json") {
+                let mut s = String::from("{\"candidates\":[");
+                for (i, c) in out.candidates.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str("{\"name\":");
+                    braid::check::json_string(&mut s, &c.name);
+                    s.push_str(&format!(
+                        ",\"score\":{},\"check_clean\":{},\"cycles\":{}}}",
+                        c.static_score,
+                        c.check_clean,
+                        c.simulated_cycles.map_or("null".to_string(), |v| v.to_string()),
+                    ));
+                }
+                s.push_str("],\"winner\":");
+                braid::check::json_string(&mut s, &out.winner().name);
+                s.push_str(&format!(
+                    ",\"canonical_cycles\":{},\"bound_cycles\":{},\"recovered\":{}}}",
+                    out.canonical_cycles,
+                    out.bound_cycles,
+                    out.cycles_recovered(),
+                ));
+                println!("{s}");
+            } else {
+                println!("{:<14} {:>8} {:>6} {:>10}", "candidate", "score", "check", "cycles");
+                for c in &out.candidates {
+                    println!(
+                        "{:<14} {:>8} {:>6} {:>10}",
+                        c.name,
+                        c.static_score,
+                        if c.check_clean { "ok" } else { "FAIL" },
+                        c.simulated_cycles.map_or("-".to_string(), |v| v.to_string()),
+                    );
+                }
+                println!(
+                    "winner: {} ({} cycles, canonical {}, bound {}, recovered {})",
+                    out.winner().name,
+                    out.winner().simulated_cycles.unwrap_or(0),
+                    out.canonical_cycles,
+                    out.bound_cycles,
+                    out.cycles_recovered(),
+                );
+            }
+            if let Some(path) = &emit_path {
+                // Assembly text drops braid annotations; emit the binary
+                // container (which keeps them) for `.brisc` paths.
+                let winner_prog = &out.winner().translation.program;
+                let write_result = if path.ends_with(".brisc") {
+                    match braid::isa::container::to_bytes(winner_prog) {
+                        Ok(bytes) => fs::write(path, bytes),
+                        Err(e) => {
+                            eprintln!("braidc: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    fs::write(path, disassemble(winner_prog))
+                };
+                if let Err(e) = write_result {
+                    eprintln!("braidc: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {path} ({})", out.winner().name);
             }
         }
         "check" => {

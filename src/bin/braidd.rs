@@ -37,7 +37,8 @@ fn usage() -> ExitCode {
         "usage: braidd [--addr HOST:PORT] [--threads N] [--queue-bound N]\n       \
          [--max-connections N] [--cache-capacity N] [--deadline-cycles N]\n       \
          [--cache-dir DIR] [--io-timeout-ms N] [--max-line-bytes N]\n       \
-         [--chaos SPEC] [--version]"
+         [--chaos SPEC] [--version]\n\
+         exit codes: 0 clean shutdown, 1 runtime failure, 2 usage error"
     );
     ExitCode::from(2)
 }

@@ -90,6 +90,7 @@ fn usage() -> ExitCode {
     eprintln!("                      [--fifos ...] [--windows ...] [--bypasses ...] [--tiers t1,t2] [--scale F]");
     eprintln!("                      [--perfect] [--threads N] [--name NAME] [--out FILE] [--resume]");
     eprintln!("       braidsim check-kanata <file.kanata>");
+    eprintln!("exit codes: 0 clean, 1 findings/failure, 2 usage error");
     ExitCode::from(2)
 }
 

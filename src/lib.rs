@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use braid_analyze as analyze;
 pub use braid_check as check;
 pub use braid_compiler as compiler;
 pub use braid_core as core;

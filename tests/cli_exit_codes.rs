@@ -1,0 +1,125 @@
+//! Exit-code contract of the `braidc` CLI: `0` clean, `1` findings or
+//! failure, `2` usage error — including the `--deny-warnings` promotion of
+//! a warnings-only report to exit `1`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use braid::isa::{container, BraidBits, Inst, Opcode, Program, Reg};
+
+fn braidc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_braidc"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("braidc-exit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+fn r(n: u8) -> Reg {
+    Reg::int(n).expect("in range")
+}
+
+/// An annotated program whose only finding is the BC006 warning: the `I`
+/// bit is set but nothing ever reads the internal copy.
+fn warnings_only_program() -> Program {
+    let mut add = Inst::alu(Opcode::Add, r(1), r(2), r(3)).expect("shape");
+    add.braid = BraidBits { start: true, t: [false, false], internal: true, external: true };
+    let mut halt = Inst::halt();
+    halt.braid = BraidBits::unannotated(false);
+    Program::from_insts("warn-only", vec![add, halt])
+}
+
+/// An annotated program with a hard error: a block leader without `S`.
+fn error_program() -> Program {
+    let mut add = Inst::alu(Opcode::Add, r(1), r(2), r(3)).expect("shape");
+    add.braid = BraidBits { start: false, t: [false, false], internal: false, external: true };
+    let mut halt = Inst::halt();
+    halt.braid = BraidBits::unannotated(false);
+    Program::from_insts("bad-leader", vec![add, halt])
+}
+
+fn write_brisc(name: &str, p: &Program) -> PathBuf {
+    let path = tmp(name);
+    std::fs::write(&path, container::to_bytes(p).expect("encodes")).expect("writes");
+    path
+}
+
+fn exit_code(cmd: &mut Command) -> i32 {
+    cmd.output().expect("braidc runs").status.code().expect("has exit code")
+}
+
+#[test]
+fn check_clean_exits_zero() {
+    assert_eq!(exit_code(braidc().args(["check", "@dot_product"])), 0);
+}
+
+#[test]
+fn check_warnings_only_exits_zero_without_deny() {
+    let path = write_brisc("warn.brisc", &warnings_only_program());
+    let out = braidc().args(["check", path.to_str().unwrap()]).output().expect("runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("BC006"), "expected a BC006 warning, got:\n{text}");
+    assert!(!text.contains("error["), "must be warnings-only, got:\n{text}");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn deny_warnings_promotes_warnings_to_exit_one() {
+    let path = write_brisc("warn-deny.brisc", &warnings_only_program());
+    assert_eq!(
+        exit_code(braidc().args(["check", path.to_str().unwrap(), "--deny-warnings"])),
+        1
+    );
+}
+
+#[test]
+fn check_errors_exit_one() {
+    let path = write_brisc("error.brisc", &error_program());
+    assert_eq!(exit_code(braidc().args(["check", path.to_str().unwrap()])), 1);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(exit_code(&mut braidc()), 2);
+    assert_eq!(exit_code(braidc().args(["check", "@dot_product", "--bogus"])), 2);
+    assert_eq!(exit_code(braidc().args(["frobnicate", "@dot_product"])), 2);
+}
+
+#[test]
+fn missing_input_exits_one() {
+    assert_eq!(exit_code(braidc().args(["check", "@nonesuch_kernel"])), 1);
+}
+
+#[test]
+fn bound_clean_exits_zero_and_verifies() {
+    let out = braidc().args(["bound", "@dot_product", "--verify"]).output().expect("runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{text}");
+    assert_eq!(text.matches(": sound (").count(), 4, "all four cores verified:\n{text}");
+}
+
+#[test]
+fn opt_exits_zero_and_never_loses_to_canonical() {
+    let out = braidc().args(["-O", "@dot_product", "--json"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let doc = braid::sweep::json::parse(&text).expect("valid json");
+    let winner_cycles = doc
+        .get("candidates")
+        .and_then(braid::sweep::Json::as_arr)
+        .and_then(|cands| {
+            let winner = doc.get("winner")?.as_str()?;
+            cands
+                .iter()
+                .find(|c| c.get("name").and_then(braid::sweep::Json::as_str) == Some(winner))?
+                .get("cycles")?
+                .as_u64()
+        })
+        .expect("winner cycles");
+    let canonical = doc.get("canonical_cycles").and_then(braid::sweep::Json::as_u64).unwrap();
+    let bound = doc.get("bound_cycles").and_then(braid::sweep::Json::as_u64).unwrap();
+    assert!(winner_cycles <= canonical, "winner {winner_cycles} > canonical {canonical}");
+    assert!(bound <= winner_cycles, "bound {bound} > winner {winner_cycles}");
+}
