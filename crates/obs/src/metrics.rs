@@ -42,9 +42,9 @@ pub fn hist_json(h: &Histogram) -> Json {
         ("samples".into(), Json::Int(h.total())),
         ("mean".into(), Json::Float(h.mean())),
         ("max".into(), opt(h.max())),
-        ("p50".into(), opt(if h.total() == 0 { None } else { h.percentile(0.5) })),
-        ("p90".into(), opt(if h.total() == 0 { None } else { h.percentile(0.9) })),
-        ("p99".into(), opt(if h.total() == 0 { None } else { h.percentile(0.99) })),
+        ("p50".into(), opt(h.percentile_checked(0.5))),
+        ("p90".into(), opt(h.percentile_checked(0.9))),
+        ("p99".into(), opt(h.percentile_checked(0.99))),
     ])
 }
 

@@ -43,9 +43,11 @@ use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use braid_sweep::digest::{frame, unframe};
+use braid_sweep::json::Json;
+use braid_trace::TraceHub;
 
 use std::collections::{HashMap, VecDeque};
 
@@ -98,6 +100,10 @@ struct DiskStore {
     quarantined: AtomicU64,
     errors: AtomicU64,
     writes: AtomicU64,
+    /// Structured-event sink (armed by [`ResultCache::arm_trace`]):
+    /// quarantine and demotion become countable trace events, not just
+    /// stderr lines, so chaos runs are diagnosable from the span log.
+    trace: OnceLock<Arc<TraceHub>>,
 }
 
 impl DiskStore {
@@ -118,7 +124,15 @@ impl DiskStore {
             quarantined: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            trace: OnceLock::new(),
         })
+    }
+
+    /// Emits one structured event when a trace hub is armed.
+    fn trace_event(&self, kind: &str, fields: Vec<(String, Json)>) {
+        if let Some(hub) = self.trace.get() {
+            hub.event(kind, fields);
+        }
     }
 
     fn entry_path(&self, key: &str) -> PathBuf {
@@ -137,6 +151,13 @@ impl DiskStore {
             let _ = fs::remove_file(&from);
         }
         self.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.trace_event(
+            "cache-quarantined",
+            vec![
+                ("key".into(), Json::Str(key.into())),
+                ("reason".into(), Json::Str(why.to_string())),
+            ],
+        );
         eprintln!("braid-serve: quarantined corrupt cache entry {key}: {why}");
     }
 
@@ -312,11 +333,26 @@ impl ResultCache {
                 // Log-once demotion to RAM-only: the first write failure
                 // disables the tier; correctness never depended on it.
                 if disk.enabled.swap(false, Ordering::Relaxed) {
+                    disk.trace_event(
+                        "cache-demoted",
+                        vec![("error".into(), Json::Str(e.to_string()))],
+                    );
                     eprintln!(
                         "braid-serve: disk cache write failed ({e}); demoting to RAM-only"
                     );
                 }
             }
+        }
+    }
+
+    /// Arms the structured-event sink: disk-tier quarantine and demotion
+    /// events are counted in `hub`'s registry and appended to its span
+    /// log (when one is armed) in addition to the stderr warning. A
+    /// no-op for RAM-only caches (they have no such events) and after
+    /// the first call.
+    pub fn arm_trace(&self, hub: Arc<TraceHub>) {
+        if let Some(disk) = &self.disk {
+            let _ = disk.trace.set(hub);
         }
     }
 
@@ -469,6 +505,33 @@ mod tests {
         assert_eq!(c.get("j").as_deref(), Some("w"));
         assert!(!dir.join("j.entry").exists(), "demoted tier writes nothing");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn armed_trace_hub_counts_quarantine_and_demotion_events() {
+        let dir = tmp_dir("trace-events");
+        let hub = Arc::new(TraceHub::new(None));
+        let c = ResultCache::with_disk(4, &dir).expect("open");
+        c.arm_trace(Arc::clone(&hub));
+        // Corrupt insert skips RAM; the next lookup reads the corrupt disk
+        // entry and quarantines it — that must surface as a trace event.
+        c.insert_faulty("k".into(), "payload".into(), Some(DiskFault::Corrupt));
+        assert_eq!(c.get("k"), None);
+        assert_eq!(hub.registry().event_count("cache-quarantined"), 1);
+        // First write failure demotes (one event), later failures do not.
+        c.insert_faulty("j".into(), "v".into(), Some(DiskFault::WriteError));
+        assert_eq!(hub.registry().event_count("cache-demoted"), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn arm_trace_is_a_no_op_on_a_ram_only_cache() {
+        let hub = Arc::new(TraceHub::new(None));
+        let c = ResultCache::new(4);
+        c.arm_trace(Arc::clone(&hub));
+        c.insert("k".into(), "v".into());
+        assert_eq!(hub.registry().event_count("cache-quarantined"), 0);
+        assert_eq!(hub.registry().event_count("cache-demoted"), 0);
     }
 
     #[test]

@@ -57,6 +57,6 @@ pub use cache::ResultCache;
 pub use chaos::{Chaos, ChaosSpec};
 pub use client::{Client, ClientConfig, ClientError};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenError, LoadgenReport};
-pub use protocol::{parse_request, Request};
+pub use protocol::{parse_request, parse_request_traced, ParsedRequest, Request};
 pub use server::{Server, ServerConfig};
 pub use stats::ServeStats;

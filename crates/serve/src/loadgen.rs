@@ -25,9 +25,12 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::thread;
+use std::time::Instant;
 
 use braid_sweep::digest::hex;
 use braid_sweep::json::{self, Json};
+use braid_trace::hist_summary_json;
+use braid_uarch::Histogram;
 
 use crate::client::{Client, ClientConfig, ClientError};
 
@@ -119,6 +122,16 @@ pub struct LoadgenReport {
     pub disk_hits: u64,
     /// Disk-cache entries quarantined as corrupt (0 without a disk tier).
     pub quarantined: u64,
+    /// Client-observed latency per terminal response in microseconds,
+    /// merged across every connection of the **concurrent** phase (the
+    /// verify replay is excluded — it is a correctness probe, not a
+    /// performance sample). Each sample covers a request's full journey:
+    /// backpressure resends and reconnect-and-replay included.
+    pub latency: Histogram,
+    /// The same latency samples keyed by request kind.
+    pub by_class: BTreeMap<String, Histogram>,
+    /// Wall-clock duration of the concurrent phase in microseconds.
+    pub elapsed_us: u64,
 }
 
 impl LoadgenReport {
@@ -129,6 +142,47 @@ impl LoadgenReport {
             Some(d) => d == &self.digest,
             None => true,
         }
+    }
+
+    /// Renders the machine-readable report (the `--json` output of
+    /// `braid-loadgen`). Key order is fixed; every latency field key ends
+    /// in `_us`, matching the server-side convention that host-time
+    /// fields are the only nondeterministic ones.
+    pub fn to_json(&self) -> Json {
+        let mut doc = vec![
+            ("sent".into(), Json::Int(self.sent as u64)),
+            ("ok".into(), Json::Int(self.ok as u64)),
+            ("errors".into(), Json::Int(self.errors as u64)),
+            ("retries".into(), Json::Int(self.retries as u64)),
+            ("replays".into(), Json::Int(self.replays as u64)),
+            ("reconnects".into(), Json::Int(self.reconnects as u64)),
+            ("digest".into(), Json::Str(self.digest.clone())),
+            ("verified".into(), Json::Bool(self.verified())),
+        ];
+        if let Some(d) = &self.replay_digest {
+            doc.push(("replay_digest".into(), Json::Str(d.clone())));
+        }
+        doc.push((
+            "cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::Int(self.cache_hits)),
+                ("misses".into(), Json::Int(self.cache_misses)),
+                ("disk_hits".into(), Json::Int(self.disk_hits)),
+                ("quarantined".into(), Json::Int(self.quarantined)),
+            ]),
+        ));
+        doc.push(("elapsed_us".into(), Json::Int(self.elapsed_us)));
+        doc.push(("latency".into(), hist_summary_json(&self.latency)));
+        doc.push((
+            "by_class".into(),
+            Json::Obj(
+                self.by_class
+                    .iter()
+                    .map(|(k, h)| (k.clone(), hist_summary_json(h)))
+                    .collect(),
+            ),
+        ));
+        Json::Obj(doc)
     }
 }
 
@@ -233,32 +287,50 @@ pub fn generate_requests(n: usize, seed: u64) -> Vec<String> {
         .collect()
 }
 
-/// Resilience counters one connection slot accumulated.
-#[derive(Debug, Clone, Copy, Default)]
+/// Resilience counters and latency samples one connection slot
+/// accumulated.
+#[derive(Debug, Clone, Default)]
 struct SlotStats {
     retries: usize,
     replays: usize,
     reconnects: usize,
+    /// Per-request client-observed latency in microseconds.
+    latency: Histogram,
+    /// The same samples keyed by request kind.
+    by_class: BTreeMap<String, Histogram>,
 }
 
 /// One connection slot's worth of send/receive through a resilient
 /// [`Client`]: requests go one at a time; backpressure and transport
-/// faults are absorbed inside [`Client::request`]. Returns
-/// `(request index, terminal line)` pairs plus the slot's counters.
+/// faults are absorbed inside [`Client::request`] — and therefore inside
+/// the latency sample, which times the full journey to a terminal
+/// response. Returns `(request index, terminal line)` pairs plus the
+/// slot's counters.
 fn drive_connection(
     cfg: ClientConfig,
     slice: Vec<(usize, String)>,
 ) -> Result<(Vec<(usize, String)>, SlotStats), LoadgenError> {
     let mut client = Client::new(cfg);
     let mut out = Vec::with_capacity(slice.len());
+    let mut latency = Histogram::default();
+    let mut by_class: BTreeMap<String, Histogram> = BTreeMap::new();
     for (idx, line) in slice {
+        let kind = crate::protocol::parse_request(&line)
+            .map(|(_, req)| req.kind())
+            .unwrap_or("invalid");
+        let started = Instant::now();
         let resp = client.request(&line)?;
+        let us = started.elapsed().as_micros() as u64;
+        latency.record(us);
+        by_class.entry(kind.to_string()).or_default().record(us);
         out.push((idx, resp));
     }
     let stats = SlotStats {
         retries: client.retries as usize,
         replays: client.replays as usize,
         reconnects: client.connects.saturating_sub(1) as usize,
+        latency,
+        by_class,
     };
     Ok((out, stats))
 }
@@ -266,7 +338,7 @@ fn drive_connection(
 /// Sends the request list over `connections` client slots (request `i`
 /// rides slot `i % connections`, orders preserved per slot) and returns
 /// the terminal responses in request order plus the summed resilience
-/// counters.
+/// counters and merged cross-connection latency histograms.
 fn run_phase(
     cfg: &LoadgenConfig,
     lines: &[String],
@@ -291,6 +363,10 @@ fn run_phase(
         total.retries += s.retries;
         total.replays += s.replays;
         total.reconnects += s.reconnects;
+        total.latency.merge(&s.latency);
+        for (kind, h) in &s.by_class {
+            total.by_class.entry(kind.clone()).or_default().merge(h);
+        }
         for (idx, line) in pairs {
             by_index.insert(idx, line);
         }
@@ -326,7 +402,9 @@ fn control_request(cfg: &LoadgenConfig, line: &str) -> Result<Json, LoadgenError
 /// its retry budget, and I/O or protocol errors for transport failures.
 pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, LoadgenError> {
     let lines = generate_requests(cfg.requests, cfg.seed);
+    let phase_started = Instant::now();
     let (responses, stats) = run_phase(cfg, &lines, cfg.connections)?;
+    let elapsed_us = phase_started.elapsed().as_micros() as u64;
     let digest = digest_responses(&responses);
 
     let replay_digest = if cfg.verify {
@@ -387,6 +465,9 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, LoadgenError> {
         cache_misses,
         disk_hits,
         quarantined,
+        latency: stats.latency,
+        by_class: stats.by_class,
+        elapsed_us,
     })
 }
 
@@ -421,6 +502,46 @@ mod tests {
         let a = vec!["x".to_string(), "y".to_string()];
         let b = vec!["y".to_string(), "x".to_string()];
         assert_ne!(digest_responses(&a), digest_responses(&b));
+    }
+
+    #[test]
+    fn report_json_has_stable_shape_and_percentile_fields() {
+        let mut latency = Histogram::default();
+        let mut sim = Histogram::default();
+        for us in [100, 200, 300, 4000] {
+            latency.record(us);
+            sim.record(us);
+        }
+        let report = LoadgenReport {
+            sent: 4,
+            ok: 4,
+            errors: 0,
+            retries: 1,
+            replays: 0,
+            reconnects: 0,
+            digest: "abc".into(),
+            replay_digest: Some("abc".into()),
+            cache_hits: 2,
+            cache_misses: 2,
+            disk_hits: 0,
+            quarantined: 0,
+            latency,
+            by_class: BTreeMap::from([("simulate".to_string(), sim)]),
+            elapsed_us: 5000,
+        };
+        let doc = report.to_json();
+        assert_eq!(doc.get("verified").unwrap().as_bool(), Some(true));
+        let lat = doc.get("latency").expect("latency summary");
+        for key in ["count", "total_us", "mean_us", "p50_us", "p95_us", "p99_us", "max_us"] {
+            assert!(lat.get(key).is_some(), "latency summary carries {key}");
+        }
+        assert_eq!(lat.get("count").unwrap().as_u64(), Some(4));
+        assert_eq!(lat.get("max_us").unwrap().as_u64(), Some(4000));
+        let sim = doc.get("by_class").unwrap().get("simulate").expect("class summary");
+        assert_eq!(sim.get("count").unwrap().as_u64(), Some(4));
+        // Same document twice: the report rendering itself is a pure
+        // function of the report.
+        assert_eq!(doc.compact(), report.to_json().compact());
     }
 
     #[test]

@@ -74,6 +74,10 @@ pub enum Request {
     /// Return server statistics: cache counters, queue depths, latency
     /// histogram, aggregated CPI stack.
     Stats,
+    /// Return the trace metrics document: request spans decomposed into
+    /// lifetime phases, per-class latency histograms, structured-event
+    /// counters, with cache/chaos/shed counters folded in.
+    Metrics,
     /// Drain queued work and stop the daemon.
     Shutdown,
 }
@@ -160,7 +164,30 @@ fn req_core(obj: &Json) -> Result<CoreModel, String> {
     CoreModel::parse(name).ok_or_else(|| format!("unknown core model `{name}`"))
 }
 
-/// Parses one request line into `(id, request)`.
+/// A fully parsed request line: the id, the optional client-supplied
+/// trace ID, and the request itself.
+///
+/// The `trace` field exists purely for observability — it names the
+/// request's span in the trace log and is **never** part of a cache key
+/// or a response line, so supplying one cannot perturb the service's
+/// byte-determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRequest {
+    /// The client-chosen request id (echoed in the response).
+    pub id: u64,
+    /// Client-supplied trace ID, when the line carried a `trace` field.
+    pub trace: Option<String>,
+    /// The request.
+    pub request: Request,
+}
+
+/// Longest accepted client-supplied trace ID; anything longer is a
+/// `bad-request`, bounding what a hostile client can pump into the span
+/// log per request.
+pub const MAX_TRACE_LEN: usize = 128;
+
+/// Parses one request line into `(id, request)`, discarding any `trace`
+/// field — the compatibility wrapper around [`parse_request_traced`].
 ///
 /// # Errors
 ///
@@ -169,12 +196,33 @@ fn req_core(obj: &Json) -> Result<CoreModel, String> {
 /// with well-typed fields. The error carries the request's `id` when one
 /// was readable so the reply still correlates.
 pub fn parse_request(line: &str) -> Result<(u64, Request), ProtocolError> {
+    parse_request_traced(line).map(|p| (p.id, p.request))
+}
+
+/// Parses one request line, including the optional `trace` field (a
+/// string of at most [`MAX_TRACE_LEN`] bytes).
+///
+/// # Errors
+///
+/// Everything [`parse_request`] rejects, plus a `trace` field that is
+/// not a string or exceeds the length bound.
+pub fn parse_request_traced(line: &str) -> Result<ParsedRequest, ProtocolError> {
     let doc = json::parse(line).map_err(|e| ProtocolError::new(0, format!("not JSON: {e}")))?;
     let id = match doc.get("id") {
         Some(v) => v.as_u64().ok_or_else(|| ProtocolError::new(0, "`id` must be a non-negative integer"))?,
         None => return Err(ProtocolError::new(0, "`id` is required")),
     };
     let fail = |msg: String| ProtocolError::new(id, msg);
+    let trace = match doc.get("trace") {
+        None => None,
+        Some(v) => {
+            let t = v.as_str().ok_or_else(|| fail("`trace` must be a string".into()))?;
+            if t.len() > MAX_TRACE_LEN {
+                return Err(fail(format!("`trace` exceeds {MAX_TRACE_LEN} bytes")));
+            }
+            Some(t.to_string())
+        }
+    };
     let kind = doc
         .get("kind")
         .and_then(Json::as_str)
@@ -214,10 +262,11 @@ pub fn parse_request(line: &str) -> Result<(u64, Request), ProtocolError> {
             },
         },
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
         other => return Err(fail(format!("unknown kind `{other}`"))),
     };
-    Ok((id, req))
+    Ok(ParsedRequest { id, trace, request: req })
 }
 
 /// How early a request class is shed under overload. Lower water marks
@@ -234,7 +283,8 @@ pub enum ShedClass {
     /// `check`: static analysis, shed last (only when the queue is
     /// actually full).
     Light,
-    /// `stats`/`shutdown`: answered inline by the reader, never shed.
+    /// `stats`/`metrics`/`shutdown`: answered inline by the reader,
+    /// never shed.
     Inline,
 }
 
@@ -262,6 +312,7 @@ impl Request {
             Request::Check { .. } => "check",
             Request::SweepPoint { .. } => "sweep-point",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
         }
     }
@@ -272,7 +323,7 @@ impl Request {
             Request::Simulate { .. } | Request::SweepPoint { .. } => ShedClass::Heavy,
             Request::Translate { .. } => ShedClass::Medium,
             Request::Check { .. } => ShedClass::Light,
-            Request::Stats | Request::Shutdown => ShedClass::Inline,
+            Request::Stats | Request::Metrics | Request::Shutdown => ShedClass::Inline,
         }
     }
 }
@@ -500,6 +551,38 @@ mod tests {
         // to reject — never a panic or a dropped connection.
         let mut binary = Cursor::new(vec![0xff, 0xfe, b'\n']);
         assert!(matches!(read_bounded_line(&mut binary, 64).unwrap(), BoundedLine::Line(_)));
+    }
+
+    #[test]
+    fn trace_field_is_optional_validated_and_separated() {
+        // Absent: no trace, same request as before.
+        let p = parse_request_traced(r#"{"id":1,"kind":"stats"}"#).unwrap();
+        assert_eq!((p.id, p.trace, p.request), (1, None, Request::Stats));
+        // Present: carried out-of-band, never inside the Request (so it
+        // cannot reach a cache key).
+        let p = parse_request_traced(
+            r#"{"id":2,"kind":"simulate","workload":"x","core":"braid","trace":"req-77"}"#,
+        )
+        .unwrap();
+        assert_eq!(p.trace.as_deref(), Some("req-77"));
+        let (_, bare) =
+            parse_request(r#"{"id":2,"kind":"simulate","workload":"x","core":"braid","trace":"req-77"}"#)
+                .unwrap();
+        assert_eq!(bare, p.request, "trace does not change the parsed request");
+        // Wrong type and oversized traces are bad requests.
+        let e = parse_request_traced(r#"{"id":3,"kind":"stats","trace":9}"#).unwrap_err();
+        assert!(e.message.contains("trace"));
+        let long = format!(r#"{{"id":4,"kind":"stats","trace":"{}"}}"#, "x".repeat(200));
+        let e = parse_request_traced(&long).unwrap_err();
+        assert!(e.message.contains("exceeds"));
+    }
+
+    #[test]
+    fn metrics_kind_parses_and_is_inline() {
+        let (id, req) = parse_request(r#"{"id":6,"kind":"metrics"}"#).unwrap();
+        assert_eq!((id, &req), (6, &Request::Metrics));
+        assert_eq!(req.kind(), "metrics");
+        assert_eq!(req.shed_class(), ShedClass::Inline, "metrics must survive overload");
     }
 
     #[test]

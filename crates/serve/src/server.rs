@@ -43,6 +43,20 @@
 //! (`stats`, `shutdown`, protocol errors) are exempt so control traffic
 //! stays reliable. See the chaos module docs for the class table.
 //!
+//! ## Tracing
+//!
+//! Every request is wrapped in a [`braid_trace::RequestSpan`]: the reader
+//! opens it before blocking on the socket, phases are charged as the
+//! request moves through parse → shed/queue → cache probe → execute →
+//! serialize, and the **writer** closes it after the response line is
+//! flushed — so a span's total covers the full on-server lifetime and its
+//! phases sum to that total by construction. Completed spans feed the
+//! always-on [`braid_trace::Registry`] (served by the `metrics` request)
+//! and, when [`ServerConfig::trace_log`] is set, a JSON-lines span log.
+//! Trace IDs (client-supplied via the `trace` field or generated) appear
+//! only in that log — never in response lines or cache keys, so tracing
+//! cannot perturb the byte-determinism contract `--verify` checks.
+//!
 //! ## Shutdown and drain
 //!
 //! A `shutdown` request closes the pool's intake (queued jobs still run),
@@ -74,9 +88,11 @@ use braid_sweep::json::Json;
 use braid_sweep::pool::{JobPool, SubmitError};
 use braid_sweep::{run_point, SweepError};
 
+use braid_trace::{next_trace_id, Phase, RequestSpan, TraceHub, TraceLog};
+
 use crate::cache::{DiskFault, ResultCache};
 use crate::chaos::{Chaos, ChaosSpec, WriteFault};
-use crate::protocol::{self, BoundedLine, Request};
+use crate::protocol::{self, BoundedLine, ParsedRequest, Request};
 use crate::stats::ServeStats;
 
 /// Daemon configuration. The defaults suit tests and smoke runs; the
@@ -113,6 +129,11 @@ pub struct ServerConfig {
     pub max_line_bytes: usize,
     /// Fault-injection schedule (`None` = no chaos).
     pub chaos: Option<ChaosSpec>,
+    /// Span-log file for JSON-lines trace export (`None` = registry
+    /// only). Unlike the cache directory, an unusable path is a bind
+    /// error: a requested-but-silently-absent trace log would defeat the
+    /// point of asking for one.
+    pub trace_log: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -129,6 +150,7 @@ impl Default for ServerConfig {
             io_timeout_ms: 30_000,
             max_line_bytes: 64 * 1024,
             chaos: None,
+            trace_log: None,
         }
     }
 }
@@ -140,6 +162,7 @@ struct Shared {
     stats: ServeStats,
     pool: JobPool,
     chaos: Option<Chaos>,
+    trace: Arc<TraceHub>,
     shutdown: AtomicBool,
     active: AtomicUsize,
 }
@@ -184,11 +207,15 @@ impl Server {
             }),
             None => ResultCache::new(cfg.cache_capacity),
         };
+        let log = cfg.trace_log.as_ref().map(|p| TraceLog::create(p)).transpose()?;
+        let trace = Arc::new(TraceHub::new(log));
+        cache.arm_trace(Arc::clone(&trace));
         let shared = Arc::new(Shared {
             cache,
             stats: ServeStats::new(),
             pool: JobPool::new(threads, cfg.queue_bound),
             chaos: cfg.chaos.clone().map(Chaos::new),
+            trace,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             cfg,
@@ -243,14 +270,26 @@ impl Server {
     }
 }
 
-/// One line bound for the wire: `(sequence, line, chaos_exempt)`. Inline
-/// responses (stats, shutdown, protocol errors) are exempt from write
-/// faults so control traffic stays reliable under chaos.
-type Outgoing = (u64, String, bool);
+/// One line bound for the wire: `(sequence, line, chaos_exempt, span)`.
+/// Inline responses (stats, shutdown, protocol errors) are exempt from
+/// write faults so control traffic stays reliable under chaos. The span,
+/// when present, is completed by the writer when the line is released in
+/// order — the `write` phase covers the reorder-buffer wait. A `None`
+/// span marks responses whose span was lost to the pool's
+/// submit-refusal path (the closure is consumed either way).
+type Outgoing = (u64, String, bool, Option<RequestSpan>);
 
 /// Writer half of a connection: reorders [`Outgoing`] messages back into
 /// request order and flushes each line as soon as it is releasable,
 /// applying any armed chaos write fault to non-exempt lines.
+///
+/// Spans complete when their line is *released* to the socket — after the
+/// chaos fault roll, before the flush. Completing before the flush keeps
+/// the metrics document deterministic for a sequential client: by the
+/// time a response is observable on the wire, its span is in the
+/// registry, so a follow-up `metrics` request always counts it. Spans of
+/// chaos-severed responses are dropped, not completed — the client never
+/// saw those lines, so they must not count as served.
 fn writer_loop(stream: &TcpStream, rx: &Receiver<Outgoing>, shared: &Shared, dead: &AtomicBool) {
     let mut out = BufWriter::new(stream);
     let mut pending = std::collections::BTreeMap::new();
@@ -259,9 +298,9 @@ fn writer_loop(stream: &TcpStream, rx: &Receiver<Outgoing>, shared: &Shared, dea
         let _ = stream.shutdown(Shutdown::Both);
         dead.store(true, Ordering::Relaxed);
     };
-    for (seq, line, exempt) in rx {
-        pending.insert(seq, (line, exempt));
-        while let Some((line, exempt)) = pending.remove(&next) {
+    for (seq, line, exempt, span) in rx {
+        pending.insert(seq, (line, exempt, span));
+        while let Some((line, exempt, span)) = pending.remove(&next) {
             if !exempt {
                 match shared.chaos.as_ref().and_then(Chaos::write_fault) {
                     Some(WriteFault::Torn { keep }) if line.len() >= 2 => {
@@ -281,6 +320,10 @@ fn writer_loop(stream: &TcpStream, rx: &Receiver<Outgoing>, shared: &Shared, dea
                     Some(WriteFault::Stall(d)) => thread::sleep(d),
                     Some(WriteFault::Torn { .. }) | None => {}
                 }
+            }
+            if let Some(mut span) = span {
+                span.mark(Phase::Write);
+                shared.trace.complete(span);
             }
             if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
                 sever();
@@ -314,88 +357,144 @@ fn handle_connection(
     };
     let mut seq = 0u64;
     while !dead.load(Ordering::Relaxed) {
+        // The span opens before the blocking read: its `read` phase is
+        // the time spent waiting for (and receiving) the request bytes.
+        let mut span = RequestSpan::begin();
         let line = match protocol::read_bounded_line(&mut reader, shared.cfg.max_line_bytes) {
             Ok(BoundedLine::Line(l)) => l,
             Ok(BoundedLine::TooLong) => {
                 // Slowloris / runaway frame: answer structurally, then
                 // close — the line framing cannot be trusted afterwards.
+                span.mark(Phase::Read);
+                span.describe(next_trace_id(), "invalid", 0);
+                span.set_status("protocol_error");
                 shared.stats.record_protocol_error();
                 let msg =
                     format!("request line exceeds {} bytes", shared.cfg.max_line_bytes);
-                let _ = tx.send((seq, protocol::error_line(0, "line-too-long", &msg), true));
+                let line = protocol::error_line(0, "line-too-long", &msg);
+                span.mark(Phase::Serialize);
+                let _ = tx.send((seq, line, true, Some(span)));
                 break;
             }
             Ok(BoundedLine::Eof) | Err(_) => break,
         };
+        span.mark(Phase::Read);
         if line.trim().is_empty() {
             continue;
         }
         let this_seq = seq;
         seq += 1;
-        let send = |line: String| {
+        let send = |line: String, span: Option<RequestSpan>| {
             // The writer only exits once every sender is dropped, so a
             // failed send means the socket died; the reader will see EOF.
-            let _ = tx.send((this_seq, line, true));
+            let _ = tx.send((this_seq, line, true, span));
         };
-        match protocol::parse_request(&line) {
+        match protocol::parse_request_traced(&line) {
             Err(e) => {
+                span.mark(Phase::Parse);
+                span.describe(next_trace_id(), "invalid", e.id);
+                span.set_status("protocol_error");
                 shared.stats.record_protocol_error();
-                send(protocol::error_line(e.id, e.code, &e.message));
+                let line = protocol::error_line(e.id, e.code, &e.message);
+                span.mark(Phase::Serialize);
+                send(line, Some(span));
             }
-            Ok((id, Request::Stats)) => {
-                shared.stats.record_request("stats");
-                let doc =
-                    shared.stats.to_json(&shared.cache, &shared.pool, shared.chaos.as_ref());
-                send(protocol::ok_line(id, &doc.compact()));
-            }
-            Ok((id, Request::Shutdown)) => {
-                shared.stats.record_request("shutdown");
-                shared.shutdown.store(true, Ordering::SeqCst);
-                shared.pool.close();
-                send(protocol::ok_line(id, "\"draining\""));
-                // Wake the accept loop out of `incoming()` so it can
-                // observe the flag; the dummy connection is discarded.
-                drop(TcpStream::connect(addr));
-                break;
-            }
-            Ok((id, req)) => {
-                shared.stats.record_request(req.kind());
-                // Deterministic load shedding by class: expensive work is
-                // refused early so cheap introspection stays live.
-                if req.shed_class().sheds(shared.pool.depth().queued, shared.cfg.queue_bound) {
-                    shared.stats.record_shed();
-                    send(protocol::retry_line(id, shared.cfg.retry_after_ms));
-                    continue;
-                }
-                let tx_job = tx.clone();
-                let job_shared = Arc::clone(shared);
-                let submitted = shared.pool.try_submit(move || {
-                    if job_shared.chaos.as_ref().is_some_and(Chaos::job_panic) {
-                        // Contained by the pool (counted in `panics`);
-                        // the response never arrives and the client's
-                        // per-request timeout must recover.
-                        panic!("chaos: injected worker panic");
+            Ok(ParsedRequest { id, trace, request }) => {
+                span.mark(Phase::Parse);
+                span.describe(trace.unwrap_or_else(next_trace_id), request.kind(), id);
+                match request {
+                    Request::Stats => {
+                        shared.stats.record_request("stats");
+                        let doc = shared.stats.to_json(
+                            &shared.cache,
+                            &shared.pool,
+                            shared.chaos.as_ref(),
+                        );
+                        span.mark(Phase::Execute);
+                        let line = protocol::ok_line(id, &doc.compact());
+                        span.mark(Phase::Serialize);
+                        send(line, Some(span));
                     }
-                    let started = Instant::now();
-                    let line = execute(&job_shared, id, &req);
-                    job_shared
-                        .stats
-                        .record_latency_us(started.elapsed().as_micros() as u64);
-                    let _ = tx_job.send((this_seq, line, false));
-                });
-                match submitted {
-                    Ok(()) => {}
-                    Err(SubmitError::Saturated) => {
-                        shared.stats.record_retry();
-                        send(protocol::retry_line(id, shared.cfg.retry_after_ms));
+                    Request::Metrics => {
+                        shared.stats.record_request("metrics");
+                        let doc = shared.stats.metrics_json(
+                            shared.trace.registry(),
+                            &shared.cache,
+                            shared.chaos.as_ref(),
+                        );
+                        span.mark(Phase::Execute);
+                        let line = protocol::ok_line(id, &doc.compact());
+                        span.mark(Phase::Serialize);
+                        send(line, Some(span));
                     }
-                    Err(SubmitError::Closing) => {
-                        shared.stats.record_request_error();
-                        send(protocol::error_line(
-                            id,
-                            "shutting-down",
-                            "server is draining; no new work accepted",
-                        ));
+                    Request::Shutdown => {
+                        shared.stats.record_request("shutdown");
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        shared.pool.close();
+                        span.mark(Phase::Execute);
+                        let line = protocol::ok_line(id, "\"draining\"");
+                        span.mark(Phase::Serialize);
+                        send(line, Some(span));
+                        // Wake the accept loop out of `incoming()` so it
+                        // can observe the flag; the dummy connection is
+                        // discarded.
+                        drop(TcpStream::connect(addr));
+                        break;
+                    }
+                    req => {
+                        shared.stats.record_request(req.kind());
+                        // Deterministic load shedding by class: expensive
+                        // work is refused early so cheap introspection
+                        // stays live.
+                        let depth = shared.pool.depth().queued;
+                        if req.shed_class().sheds(depth, shared.cfg.queue_bound) {
+                            shared.stats.record_shed();
+                            span.set_status("retry");
+                            let line = protocol::retry_line(id, shared.cfg.retry_after_ms);
+                            span.mark(Phase::Serialize);
+                            send(line, Some(span));
+                            continue;
+                        }
+                        let tx_job = tx.clone();
+                        let job_shared = Arc::clone(shared);
+                        // The span moves into the closure; when the pool
+                        // refuses the submission the closure (and span)
+                        // is consumed anyway, so the refusal responses
+                        // below travel span-less.
+                        let submitted = shared.pool.try_submit(move || {
+                            span.mark(Phase::QueueWait);
+                            if job_shared.chaos.as_ref().is_some_and(Chaos::job_panic) {
+                                // Contained by the pool (counted in
+                                // `panics`); the response never arrives
+                                // and the client's per-request timeout
+                                // must recover.
+                                panic!("chaos: injected worker panic");
+                            }
+                            let started = Instant::now();
+                            let line = execute(&job_shared, id, &req, &mut span);
+                            job_shared
+                                .stats
+                                .record_latency_us(started.elapsed().as_micros() as u64);
+                            let _ = tx_job.send((this_seq, line, false, Some(span)));
+                        });
+                        match submitted {
+                            Ok(()) => {}
+                            Err(SubmitError::Saturated) => {
+                                shared.stats.record_retry();
+                                send(protocol::retry_line(id, shared.cfg.retry_after_ms), None);
+                            }
+                            Err(SubmitError::Closing) => {
+                                shared.stats.record_request_error();
+                                send(
+                                    protocol::error_line(
+                                        id,
+                                        "shutting-down",
+                                        "server is draining; no new work accepted",
+                                    ),
+                                    None,
+                                );
+                            }
+                        }
                     }
                 }
             }
@@ -407,15 +506,22 @@ fn handle_connection(
 }
 
 /// Runs one compute request to a finished response line. Infallible at
-/// this layer: failures become `error` lines.
-fn execute(shared: &Shared, id: u64, req: &Request) -> String {
-    match run_request(shared, req) {
+/// this layer: failures become `error` lines (with the span's status set
+/// to match). The span picks up its cache-probe/execute phase charges
+/// inside [`run_request`] and its serialize charge here.
+fn execute(shared: &Shared, id: u64, req: &Request, span: &mut RequestSpan) -> String {
+    let line = match run_request(shared, req, span) {
         Ok(payload) => protocol::ok_line(id, &payload),
         Err(e) => {
             shared.stats.record_request_error();
+            span.set_status("error");
+            // Whatever ran before the failure is execute time.
+            span.mark(Phase::Execute);
             protocol::error_line(id, e.code(), &e.to_string())
         }
-    }
+    };
+    span.mark(Phase::Serialize);
+    line
 }
 
 /// Resolves a workload and digests its container bytes — the
@@ -434,7 +540,16 @@ fn program_digest(workload: &str, scale: f64) -> Result<(braid_workloads::Worklo
 /// Executes a compute request, serving the payload from the cache when
 /// the content digest matches a previous computation. Cache inserts roll
 /// the chaos disk-fault schedule when one is armed.
-fn run_request(shared: &Shared, req: &Request) -> Result<String, SweepError> {
+///
+/// Span accounting: key derivation and the cache lookup are charged to
+/// `cache_probe` (with the hit/miss verdict recorded); the simulation or
+/// translation itself to `execute`, along with its simulated-cycle count
+/// where the payload carries one.
+fn run_request(shared: &Shared, req: &Request, span: &mut RequestSpan) -> Result<String, SweepError> {
+    let probe = |span: &mut RequestSpan, hit: bool| {
+        span.mark(Phase::CacheProbe);
+        span.set_cache(if hit { "hit" } else { "miss" });
+    };
     match req {
         Request::Simulate { workload, core, width, scale, perfect, deadline, tier, sampling } => {
             let (w, pdigest) = program_digest(workload, *scale)?;
@@ -452,12 +567,15 @@ fn run_request(shared: &Shared, req: &Request) -> Result<String, SweepError> {
             }
             let key = key.finish();
             if let Some(hit) = shared.cache.get(&key) {
+                probe(span, true);
                 return Ok(hit);
             }
+            probe(span, false);
             let payload = if *tier == Tier::Full {
                 let report = simulate(&w, *core, *width, *perfect, deadline)
                     .map_err(|source| SweepError::Point { key: w.name.clone(), source })?;
                 shared.stats.merge_cpi(&report.cpi);
+                span.add_cycles(report.cycles);
                 report_json(&report).compact()
             } else {
                 let cfg = tier_core_config(*core, *width, *perfect, deadline);
@@ -465,9 +583,11 @@ fn run_request(shared: &Shared, req: &Request) -> Result<String, SweepError> {
                     .map_err(|source| SweepError::Point { key: w.name.clone(), source })?;
                 if let TierReport::Sampled(r) = &rep {
                     shared.stats.merge_cpi(&r.cpi);
+                    span.add_cycles(r.est_cycles);
                 }
                 tier_payload(&w.name, *tier, &rep).compact()
             };
+            span.mark(Phase::Execute);
             shared.cache.insert_faulty(key, payload.clone(), shared.disk_fault());
             Ok(payload)
         }
@@ -478,11 +598,14 @@ fn run_request(shared: &Shared, req: &Request) -> Result<String, SweepError> {
                 .field("program", &pdigest)
                 .finish();
             if let Some(hit) = shared.cache.get(&key) {
+                probe(span, true);
                 return Ok(hit);
             }
+            probe(span, false);
             let t = braid_compiler::translate(&w.program, &braid_compiler::TranslatorConfig::default())
                 .map_err(|e| SweepError::Point { key: w.name.clone(), source: RunError::Translate(e) })?;
             let payload = translation_json(&w.name, &t).compact();
+            span.mark(Phase::Execute);
             shared.cache.insert_faulty(key, payload.clone(), shared.disk_fault());
             Ok(payload)
         }
@@ -491,8 +614,10 @@ fn run_request(shared: &Shared, req: &Request) -> Result<String, SweepError> {
             let key =
                 ContentDigest::new().field("kind", "check").field("program", &pdigest).finish();
             if let Some(hit) = shared.cache.get(&key) {
+                probe(span, true);
                 return Ok(hit);
             }
+            probe(span, false);
             let t = braid_compiler::translate(&w.program, &braid_compiler::TranslatorConfig::default())
                 .map_err(|e| SweepError::Point { key: w.name.clone(), source: RunError::Translate(e) })?;
             let report = t.check(&w.program, &braid_check::CheckConfig::default());
@@ -500,6 +625,7 @@ fn run_request(shared: &Shared, req: &Request) -> Result<String, SweepError> {
                 SweepError::Malformed { path: std::path::PathBuf::from(&w.name), msg: e.to_string() }
             })?;
             let payload = doc.compact();
+            span.mark(Phase::Execute);
             shared.cache.insert_faulty(key, payload.clone(), shared.disk_fault());
             Ok(payload)
         }
@@ -513,10 +639,13 @@ fn run_request(shared: &Shared, req: &Request) -> Result<String, SweepError> {
                 .field("perfect", format!("{}", point.perfect))
                 .finish();
             if let Some(hit) = shared.cache.get(&key) {
+                probe(span, true);
                 return Ok(hit);
             }
+            probe(span, false);
             let stats = run_point(point)?;
             shared.stats.merge_cpi(&stats.cpi);
+            span.add_cycles(stats.cycles);
             let mut fields = vec![
                 ("key".into(), Json::Str(point.key())),
                 ("instructions".into(), Json::Int(stats.instructions)),
@@ -530,11 +659,14 @@ fn run_request(shared: &Shared, req: &Request) -> Result<String, SweepError> {
                 fields.push(("ipc_err".into(), Json::Float(stats.ipc_err)));
             }
             let payload = Json::Obj(fields).compact();
+            span.mark(Phase::Execute);
             shared.cache.insert_faulty(key, payload.clone(), shared.disk_fault());
             Ok(payload)
         }
         // Handled inline by the reader; never dispatched to the pool.
-        Request::Stats | Request::Shutdown => unreachable!("inline request reached the pool"),
+        Request::Stats | Request::Metrics | Request::Shutdown => {
+            unreachable!("inline request reached the pool")
+        }
     }
 }
 

@@ -89,15 +89,10 @@ impl ServeStats {
         self.lock().cpi.merge(cpi);
     }
 
-    /// Renders the full statistics document served by the `stats` request.
-    /// `chaos` is the armed fault harness, if any — its spec seed and
-    /// per-class injection counts are part of the document.
-    pub fn to_json(&self, cache: &ResultCache, pool: &JobPool, chaos: Option<&Chaos>) -> Json {
-        let inner = self.lock();
+    /// Renders the cache counter block shared by the `stats` and
+    /// `metrics` documents.
+    fn cache_json(cache: &ResultCache) -> Json {
         let (hits, misses) = cache.counters();
-        let depth = pool.depth();
-        let requests =
-            inner.by_kind.iter().map(|(k, n)| ((*k).to_string(), Json::Int(*n))).collect();
         let mut cache_obj = vec![
             ("hits".into(), Json::Int(hits)),
             ("misses".into(), Json::Int(misses)),
@@ -116,13 +111,25 @@ impl ServeStats {
                 ]),
             ));
         }
+        Json::Obj(cache_obj)
+    }
+
+    /// Renders the full statistics document served by the `stats` request.
+    /// `chaos` is the armed fault harness, if any — its spec seed and
+    /// per-class injection counts are part of the document.
+    pub fn to_json(&self, cache: &ResultCache, pool: &JobPool, chaos: Option<&Chaos>) -> Json {
+        let inner = self.lock();
+        let depth = pool.depth();
+        let requests =
+            inner.by_kind.iter().map(|(k, n)| ((*k).to_string(), Json::Int(*n))).collect();
+        let cache_obj = Self::cache_json(cache);
         let mut doc = vec![
             ("requests".into(), Json::Obj(requests)),
             ("protocol_errors".into(), Json::Int(inner.protocol_errors)),
             ("request_errors".into(), Json::Int(inner.request_errors)),
             ("retries".into(), Json::Int(inner.retries)),
             ("shed".into(), Json::Int(inner.shed)),
-            ("cache".into(), Json::Obj(cache_obj)),
+            ("cache".into(), cache_obj),
             (
                 "pool".into(),
                 Json::Obj(vec![
@@ -133,6 +140,39 @@ impl ServeStats {
             ),
             ("latency_us".into(), hist_json(&inner.latency_us)),
             ("cpi".into(), cpi_json(&inner.cpi)),
+        ];
+        if let Some(chaos) = chaos {
+            doc.push(("chaos".into(), chaos.to_json()));
+        }
+        Json::Obj(doc)
+    }
+
+    /// Renders the `metrics` document: the trace registry (phase and
+    /// per-class histograms, structured-event counters, the conservation
+    /// verdict) with the service's request/shed/cache/chaos counters
+    /// folded in.
+    ///
+    /// Determinism contract: for the same request sequence the document
+    /// is byte-identical modulo fields whose keys end in `_us` — the
+    /// racy pool depths and the host-latency histogram of the `stats`
+    /// document are deliberately excluded.
+    pub fn metrics_json(
+        &self,
+        registry: &braid_trace::Registry,
+        cache: &ResultCache,
+        chaos: Option<&Chaos>,
+    ) -> Json {
+        let inner = self.lock();
+        let requests =
+            inner.by_kind.iter().map(|(k, n)| ((*k).to_string(), Json::Int(*n))).collect();
+        let mut doc = vec![
+            ("requests".into(), Json::Obj(requests)),
+            ("protocol_errors".into(), Json::Int(inner.protocol_errors)),
+            ("request_errors".into(), Json::Int(inner.request_errors)),
+            ("retries".into(), Json::Int(inner.retries)),
+            ("shed".into(), Json::Int(inner.shed)),
+            ("cache".into(), Self::cache_json(cache)),
+            ("trace".into(), registry.to_json()),
         ];
         if let Some(chaos) = chaos {
             doc.push(("chaos".into(), chaos.to_json()));
@@ -176,5 +216,31 @@ mod tests {
         assert_eq!(doc.get("latency_us").unwrap().get("samples").unwrap().as_u64(), Some(1));
         assert_eq!(doc.get("cpi").unwrap().get("base").unwrap().as_u64(), Some(10));
         pool.shutdown();
+    }
+
+    #[test]
+    fn metrics_document_folds_service_counters_around_the_registry() {
+        use braid_trace::{Phase, Registry, RequestSpan};
+        let stats = ServeStats::new();
+        let cache = ResultCache::new(4);
+        let registry = Registry::new();
+        stats.record_request("simulate");
+        stats.record_shed();
+        let mut span = RequestSpan::begin();
+        span.describe("t-1".into(), "simulate", 1);
+        span.mark(Phase::Read);
+        span.mark(Phase::Execute);
+        registry.record(&span.finish());
+        registry.record_event("cache-demoted");
+
+        let doc = stats.metrics_json(&registry, &cache, None);
+        assert_eq!(doc.get("requests").unwrap().get("simulate").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("shed").unwrap().as_u64(), Some(1));
+        let trace = doc.get("trace").expect("registry block");
+        assert_eq!(trace.get("spans").unwrap().as_u64(), Some(1));
+        assert_eq!(trace.get("conserved").unwrap().as_bool(), Some(true));
+        assert_eq!(trace.get("events").unwrap().get("cache-demoted").unwrap().as_u64(), Some(1));
+        assert!(doc.get("pool").is_none(), "racy pool depths stay out of metrics");
+        assert!(doc.get("latency_us").is_none(), "host latency block stays out of metrics");
     }
 }

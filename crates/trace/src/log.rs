@@ -1,0 +1,90 @@
+//! The span log: a thread-safe JSON-lines export of spans and events.
+//!
+//! One compact JSON document per line, flushed per line so the log is
+//! useful even after a `kill -9` — the same crash-survivability bar the
+//! disk cache holds itself to. Writing is best-effort: a full disk must
+//! never take the service down for the sake of its own diagnostics, so
+//! I/O errors are counted and swallowed, not propagated.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use braid_sweep::json::Json;
+
+/// A JSON-lines trace export (see the module docs).
+pub struct TraceLog {
+    path: PathBuf,
+    file: Mutex<BufWriter<File>>,
+    errors: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceLog").field("path", &self.path).finish_non_exhaustive()
+    }
+}
+
+impl TraceLog {
+    /// Creates (truncating) the log file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the file cannot be created — callers
+    /// treat an unusable `--trace-log` as a startup error, not a silent
+    /// no-op.
+    pub fn create(path: &Path) -> io::Result<TraceLog> {
+        let file = File::create(path)?;
+        Ok(TraceLog {
+            path: path.to_path_buf(),
+            file: Mutex::new(BufWriter::new(file)),
+            errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one document as a line and flushes it. Best-effort: write
+    /// failures bump [`TraceLog::write_errors`] and are otherwise
+    /// swallowed.
+    pub fn write(&self, doc: &Json) {
+        let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+        let line = doc.compact();
+        if writeln!(file, "{line}").and_then(|()| file.flush()).is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Lines lost to I/O errors since creation.
+    pub fn write_errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_one_parseable_line_per_document() {
+        let path = std::env::temp_dir()
+            .join(format!("braid-trace-log-test-{}.jsonl", std::process::id()));
+        let log = TraceLog::create(&path).expect("create log");
+        log.write(&Json::Obj(vec![("event".into(), Json::Str("span".into()))]));
+        log.write(&Json::Obj(vec![("event".into(), Json::Str("cache-demoted".into()))]));
+        assert_eq!(log.write_errors(), 0);
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            braid_sweep::json::parse(line).expect("every line parses");
+        }
+        assert!(text.contains("cache-demoted"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,299 @@
+//! Request spans: a phase timer whose charges sum to the total by
+//! construction.
+//!
+//! A [`RequestSpan`] is a stopwatch with seven labelled buckets. Every
+//! [`RequestSpan::mark`] charges the time since the previous mark to one
+//! [`Phase`]; because consecutive intervals telescope, the sum of the
+//! buckets always equals the span's first-to-last-mark total — the same
+//! conservation shape as the engine's CPI stack, where every cycle lands
+//! in exactly one stall cause. [`RequestSpan::finish`] checks the
+//! invariant with a debug assertion and freezes the span into a
+//! [`SpanRecord`] for the registry and the span log.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use braid_sweep::json::Json;
+
+/// One phase of a served request's lifetime. The seven phases are
+/// exhaustive and non-overlapping: every nanosecond between a span's
+/// first and last mark is charged to exactly one of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Waiting for and reading the request line off the socket (includes
+    /// wire wait, so an idle connection charges its think time here).
+    Read,
+    /// Parsing and validating the request line.
+    Parse,
+    /// Waiting in the job queue for a pool worker (zero for inline and
+    /// shed requests, which never queue).
+    QueueWait,
+    /// Building the cache key and probing the result cache (both tiers).
+    CacheProbe,
+    /// Running the simulation / translation / analysis itself.
+    Execute,
+    /// Rendering the payload, publishing it to the cache, and splicing
+    /// the response frame.
+    Serialize,
+    /// Writing the response line to the socket, including any wait in
+    /// the writer's reorder buffer behind earlier responses.
+    Write,
+}
+
+impl Phase {
+    /// Number of phases (the span's bucket count).
+    pub const COUNT: usize = 7;
+
+    /// Every phase, in lifetime order — the canonical rendering order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Read,
+        Phase::Parse,
+        Phase::QueueWait,
+        Phase::CacheProbe,
+        Phase::Execute,
+        Phase::Serialize,
+        Phase::Write,
+    ];
+
+    /// Stable wire key for this phase (`metrics` response and span log).
+    pub fn key(self) -> &'static str {
+        match self {
+            Phase::Read => "read",
+            Phase::Parse => "parse",
+            Phase::QueueWait => "queue_wait",
+            Phase::CacheProbe => "cache_probe",
+            Phase::Execute => "execute",
+            Phase::Serialize => "serialize",
+            Phase::Write => "write",
+        }
+    }
+}
+
+/// Process-wide counter behind [`next_trace_id`].
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Generates a trace ID for a request that did not supply one. Unique
+/// within the process (`t-<seq>`); clients wanting cross-system
+/// correlation supply their own via the protocol's `trace` field.
+pub fn next_trace_id() -> String {
+    format!("t-{:08x}", TRACE_SEQ.fetch_add(1, Ordering::Relaxed) + 1)
+}
+
+/// A live request span: identity plus the running phase buckets.
+///
+/// The span is created before the request is even read (so the `read`
+/// phase starts at the true beginning), described once parsing yields an
+/// identity, marked at every phase boundary, and finished by whichever
+/// thread writes the response. It is `Send` and travels reader → pool
+/// worker → writer with the request.
+#[derive(Debug)]
+pub struct RequestSpan {
+    trace: String,
+    kind: &'static str,
+    id: u64,
+    started: Instant,
+    last: Instant,
+    nanos: [u64; Phase::COUNT],
+    status: &'static str,
+    cache: Option<&'static str>,
+    cycles: u64,
+}
+
+impl RequestSpan {
+    /// Starts a span now, identity not yet known (see
+    /// [`RequestSpan::describe`]).
+    pub fn begin() -> RequestSpan {
+        let now = Instant::now();
+        RequestSpan {
+            trace: String::new(),
+            kind: "",
+            id: 0,
+            started: now,
+            last: now,
+            nanos: [0; Phase::COUNT],
+            status: "ok",
+            cache: None,
+            cycles: 0,
+        }
+    }
+
+    /// Attaches the request's identity once parsing produced one.
+    pub fn describe(&mut self, trace: String, kind: &'static str, id: u64) {
+        self.trace = trace;
+        self.kind = kind;
+        self.id = id;
+    }
+
+    /// Charges the time since the previous mark (or the start) to
+    /// `phase`. Marking the same or different phases back-to-back is
+    /// fine — a zero-length charge keeps the buckets exhaustive without
+    /// branching at call sites.
+    pub fn mark(&mut self, phase: Phase) {
+        let now = Instant::now();
+        self.nanos[phase as usize] += (now - self.last).as_nanos() as u64;
+        self.last = now;
+    }
+
+    /// Sets the terminal status (`ok`, `error`, or `retry`; `ok` is the
+    /// default).
+    pub fn set_status(&mut self, status: &'static str) {
+        self.status = status;
+    }
+
+    /// Records whether the result cache answered (`hit` / `miss`).
+    pub fn set_cache(&mut self, outcome: &'static str) {
+        self.cache = Some(outcome);
+    }
+
+    /// Adds simulated cycles attributed to this request — the engine
+    /// clock domain, deterministic unlike the host-time buckets.
+    pub fn add_cycles(&mut self, cycles: u64) {
+        self.cycles = self.cycles.saturating_add(cycles);
+    }
+
+    /// The span's trace ID.
+    pub fn trace_id(&self) -> &str {
+        &self.trace
+    }
+
+    /// Freezes the span. Debug builds assert the conservation invariant:
+    /// the phase buckets sum exactly to the first-to-last-mark total
+    /// (true by construction — consecutive charges telescope).
+    pub fn finish(self) -> SpanRecord {
+        let total_nanos = (self.last - self.started).as_nanos() as u64;
+        debug_assert_eq!(
+            self.nanos.iter().sum::<u64>(),
+            total_nanos,
+            "span phase charges must conserve the total"
+        );
+        let mut phase_us = [0u64; Phase::COUNT];
+        for (us, ns) in phase_us.iter_mut().zip(self.nanos) {
+            *us = ns / 1_000;
+        }
+        // The serialized total is the sum of the *rounded* phase values,
+        // so conservation survives the nanos→micros conversion and holds
+        // for every consumer of the record, aggregate or per-span.
+        let total_us = phase_us.iter().sum();
+        SpanRecord {
+            trace: self.trace,
+            kind: self.kind,
+            id: self.id,
+            status: self.status,
+            cache: self.cache,
+            cycles: self.cycles,
+            phase_us,
+            total_us,
+        }
+    }
+}
+
+/// A finished span: what the registry aggregates and the span log writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Trace ID (client-supplied or generated).
+    pub trace: String,
+    /// Request kind (`simulate`, `translate`, ... or an event source).
+    pub kind: &'static str,
+    /// The client-chosen request id.
+    pub id: u64,
+    /// Terminal status: `ok`, `error`, or `retry`.
+    pub status: &'static str,
+    /// Cache outcome for compute requests (`hit` / `miss`), `None` for
+    /// requests that never probe the cache.
+    pub cache: Option<&'static str>,
+    /// Simulated cycles attributed to the request (engine clock domain;
+    /// `0` when nothing was simulated).
+    pub cycles: u64,
+    /// Host microseconds charged per phase, indexed like [`Phase::ALL`].
+    pub phase_us: [u64; Phase::COUNT],
+    /// Sum of `phase_us` — equals the span total by construction.
+    pub total_us: u64,
+}
+
+impl SpanRecord {
+    /// Renders the record as one span-log JSON document. Every host-time
+    /// field ends in `_us`; `trace`, `kind`, `id`, `status`, `cache`, and
+    /// `cycles` are the deterministic remainder.
+    pub fn to_json(&self) -> Json {
+        let phases = Phase::ALL
+            .iter()
+            .map(|p| (p.key().to_string(), Json::Int(self.phase_us[*p as usize])))
+            .collect();
+        let mut doc = vec![
+            ("event".into(), Json::Str("span".into())),
+            ("trace".into(), Json::Str(self.trace.clone())),
+            ("id".into(), Json::Int(self.id)),
+            ("kind".into(), Json::Str(self.kind.into())),
+            ("status".into(), Json::Str(self.status.into())),
+        ];
+        if let Some(cache) = self.cache {
+            doc.push(("cache".into(), Json::Str(cache.into())));
+        }
+        doc.push(("cycles".into(), Json::Int(self.cycles)));
+        doc.push(("phases_us".into(), Json::Obj(phases)));
+        doc.push(("total_us".into(), Json::Int(self.total_us)));
+        Json::Obj(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_keys_are_stable_and_ordered() {
+        let keys: Vec<&str> = Phase::ALL.iter().map(|p| p.key()).collect();
+        assert_eq!(
+            keys,
+            ["read", "parse", "queue_wait", "cache_probe", "execute", "serialize", "write"]
+        );
+        // The enum discriminants index the bucket array in ALL order.
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(*p as usize, i);
+        }
+    }
+
+    #[test]
+    fn marks_conserve_the_total() {
+        let mut span = RequestSpan::begin();
+        span.describe("t-test".into(), "simulate", 3);
+        span.mark(Phase::Read);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        span.mark(Phase::Execute);
+        span.mark(Phase::Execute); // double-mark: zero-length charge
+        span.mark(Phase::Write);
+        let rec = span.finish(); // debug_assert inside checks exact nanos
+        assert_eq!(rec.total_us, rec.phase_us.iter().sum::<u64>());
+        assert!(rec.phase_us[Phase::Execute as usize] >= 2_000, "sleep charged to execute");
+        assert_eq!(rec.phase_us[Phase::QueueWait as usize], 0, "unmarked phase stays zero");
+        assert_eq!((rec.trace.as_str(), rec.kind, rec.id), ("t-test", "simulate", 3));
+    }
+
+    #[test]
+    fn record_json_has_all_phases_and_conserves() {
+        let mut span = RequestSpan::begin();
+        span.describe("abc".into(), "check", 1);
+        span.set_cache("miss");
+        span.add_cycles(1234);
+        span.mark(Phase::Read);
+        span.mark(Phase::Serialize);
+        let doc = span.finish().to_json();
+        let phases = doc.get("phases_us").expect("phases object");
+        let mut sum = 0;
+        for p in Phase::ALL {
+            sum += phases.get(p.key()).and_then(Json::as_u64).expect("every phase present");
+        }
+        assert_eq!(doc.get("total_us").and_then(Json::as_u64), Some(sum));
+        assert_eq!(doc.get("cycles").and_then(Json::as_u64), Some(1234));
+        assert_eq!(doc.get("cache").and_then(Json::as_str), Some("miss"));
+        assert_eq!(doc.get("event").and_then(Json::as_str), Some("span"));
+    }
+
+    #[test]
+    fn generated_trace_ids_are_unique() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+        assert!(a.starts_with("t-"), "{a}");
+    }
+}

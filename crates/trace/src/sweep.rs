@@ -1,0 +1,117 @@
+//! Sweep timing summaries: per-point host timing, stragglers, and
+//! imbalance through the same histogram summaries as the service.
+//!
+//! The sweep engine already keeps per-point `host_nanos` in memory (never
+//! serialized — aggregates must stay byte-identical across thread
+//! counts). This module turns those into the operational questions a
+//! sweep operator actually asks: where did the wall-clock go, which point
+//! was the straggler, and how imbalanced was the shard? Both clock
+//! domains appear side by side: `host_us` (wall-clock, nondeterministic)
+//! and `cycles` (simulated work, deterministic).
+
+use braid_sweep::json::Json;
+use braid_sweep::SweepRun;
+use braid_uarch::Histogram;
+
+use crate::registry::hist_summary_json;
+
+/// Summarizes per-point timings given `(key, host_nanos, cycles)` tuples
+/// — the core of [`sweep_timing`], split out so callers (and tests) can
+/// feed synthetic points without building a full sweep.
+///
+/// Fields: `points`, `host_us` (summary), `cycles`
+/// (`count`/`total`/`mean`/`max`, deterministic), `straggler` (the
+/// slowest point by host time: `key`, `host_us`, `cycles`; `null` when
+/// empty), and `imbalance_x` (max/mean host time — `1.0` means perfectly
+/// balanced, `N` means the straggler cost `N×` the average point).
+pub fn point_timing<I>(points: I) -> Json
+where
+    I: IntoIterator<Item = (String, u64, u64)>,
+{
+    let mut host = Histogram::new();
+    let mut cycles = Histogram::new();
+    let mut straggler: Option<(String, u64, u64)> = None;
+    for (key, host_nanos, point_cycles) in points {
+        let host_us = host_nanos / 1_000;
+        host.record(host_us);
+        cycles.record(point_cycles);
+        let slower = straggler.as_ref().is_none_or(|(_, s, _)| host_us > *s);
+        if slower {
+            straggler = Some((key, host_us, point_cycles));
+        }
+    }
+    let imbalance = if host.total() == 0 || host.mean() == 0.0 {
+        1.0
+    } else {
+        host.max().unwrap_or(0) as f64 / host.mean()
+    };
+    let straggler_json = straggler.map_or(Json::Null, |(key, host_us, point_cycles)| {
+        Json::Obj(vec![
+            ("key".into(), Json::Str(key)),
+            ("host_us".into(), Json::Int(host_us)),
+            ("cycles".into(), Json::Int(point_cycles)),
+        ])
+    });
+    Json::Obj(vec![
+        ("points".into(), Json::Int(host.total())),
+        ("host_us".into(), hist_summary_json(&host)),
+        (
+            "cycles".into(),
+            Json::Obj(vec![
+                ("count".into(), Json::Int(cycles.total())),
+                ("total".into(), Json::Int(cycles.sum() as u64)),
+                ("mean".into(), Json::Float(cycles.mean())),
+                ("max".into(), Json::Int(cycles.max().unwrap_or(0))),
+            ]),
+        ),
+        ("straggler".into(), straggler_json),
+        ("imbalance_x".into(), Json::Float(imbalance)),
+    ])
+}
+
+/// [`point_timing`] over a finished [`SweepRun`]'s successful points
+/// (failed points have no timing; points reused from a snapshot carry
+/// zero host time and are excluded so they do not fake perfect balance).
+pub fn sweep_timing(run: &SweepRun) -> Json {
+    point_timing(run.outcomes.iter().filter_map(|o| {
+        let stats = o.stats.as_ref().ok()?;
+        if stats.host_nanos == 0 {
+            return None;
+        }
+        Some((o.point.key(), stats.host_nanos, stats.cycles))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straggler_and_imbalance_identify_the_slow_point() {
+        let doc = point_timing(vec![
+            ("a:braid:w8".to_string(), 1_000_000, 500),
+            ("b:ooo:w8".to_string(), 3_000_000, 700),
+            ("c:dep:w4".to_string(), 2_000_000, 600),
+        ]);
+        assert_eq!(doc.get("points").and_then(Json::as_u64), Some(3));
+        let s = doc.get("straggler").expect("straggler");
+        assert_eq!(s.get("key").and_then(Json::as_str), Some("b:ooo:w8"));
+        assert_eq!(s.get("host_us").and_then(Json::as_u64), Some(3_000));
+        assert_eq!(s.get("cycles").and_then(Json::as_u64), Some(700));
+        // max 3000µs over mean 2000µs = 1.5× imbalance.
+        let imb = doc.get("imbalance_x").and_then(Json::as_f64).expect("imbalance");
+        assert!((imb - 1.5).abs() < 1e-9, "{imb}");
+        // The cycle block is the deterministic clock domain.
+        let cycles = doc.get("cycles").expect("cycles");
+        assert_eq!(cycles.get("total").and_then(Json::as_u64), Some(1_800));
+        assert_eq!(cycles.get("max").and_then(Json::as_u64), Some(700));
+    }
+
+    #[test]
+    fn empty_input_renders_a_null_straggler() {
+        let doc = point_timing(Vec::new());
+        assert_eq!(doc.get("points").and_then(Json::as_u64), Some(0));
+        assert_eq!(doc.get("straggler"), Some(&Json::Null));
+        assert_eq!(doc.get("imbalance_x").and_then(Json::as_f64), Some(1.0));
+    }
+}

@@ -141,6 +141,22 @@ impl Histogram {
         self.counts.keys().next_back().copied()
     }
 
+    /// Non-panicking [`Histogram::percentile`]: returns `None` both for
+    /// an empty histogram and for a `p` outside `(0, 1]`, so callers fed
+    /// untrusted quantiles (CLI flags, wire fields) can validate without
+    /// a crash path.
+    pub fn percentile_checked(&self, p: f64) -> Option<u64> {
+        if !(p > 0.0 && p <= 1.0) {
+            return None;
+        }
+        self.percentile(p)
+    }
+
+    /// Sum of all recorded values (exact, in `u128` to dodge overflow).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// The largest recorded value, if any.
     pub fn max(&self) -> Option<u64> {
         self.counts.keys().next_back().copied()
@@ -231,6 +247,27 @@ mod tests {
     #[should_panic(expected = "percentile requires")]
     fn percentile_rejects_zero() {
         let _ = Histogram::new().percentile(0.0);
+    }
+
+    #[test]
+    fn percentile_checked_never_panics() {
+        let h: Histogram = (1..=100).collect();
+        assert_eq!(h.percentile_checked(0.5), Some(50));
+        assert_eq!(h.percentile_checked(1.0), Some(100));
+        assert_eq!(h.percentile_checked(0.0), None, "out-of-range p is None, not a panic");
+        assert_eq!(h.percentile_checked(-0.5), None);
+        assert_eq!(h.percentile_checked(1.5), None);
+        assert_eq!(h.percentile_checked(f64::NAN), None);
+        assert_eq!(Histogram::new().percentile_checked(0.5), None, "empty is None");
+    }
+
+    #[test]
+    fn sum_tracks_merges_exactly() {
+        let mut a: Histogram = [10, 20].into_iter().collect();
+        let b: Histogram = [30, 40].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.sum(), 100);
+        assert_eq!(a.total(), 4);
     }
 
     #[test]

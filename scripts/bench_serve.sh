@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Serving-latency benchmark: boots an ephemeral braidd, drives a seeded
+# loadgen mix, and appends one JSON-lines point to BENCH_serve.json so
+# the repo carries a tracked latency trajectory across commits.
+#
+# Usage: scripts/bench_serve.sh [label]
+#   label   free-form point label (default: current git short hash)
+#
+# The appended point is the loadgen --json report (client-observed
+# p50/p95/p99 per class) wrapped with the label, the commit, and the
+# request-mix parameters. Latency numbers are host time and vary by
+# machine — the trajectory is meaningful per machine, the schema is
+# stable everywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo untracked)}"
+commit="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+connections=4
+requests=200
+seed=42
+
+echo "==> cargo build --release (daemon + loadgen)"
+cargo build --release --bin braidd --bin braid-loadgen
+
+bench_log="$(mktemp)"
+./target/release/braidd --addr 127.0.0.1:0 --threads 0 > "$bench_log" &
+bench_pid=$!
+trap 'kill "$bench_pid" 2>/dev/null || true; rm -f "$bench_log"' EXIT
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$bench_log" && break
+  sleep 0.1
+done
+addr="$(awk '/listening on/{print $NF}' "$bench_log")"
+if [ -z "$addr" ]; then
+  echo "bench_serve: braidd never came up:" >&2
+  cat "$bench_log" >&2
+  exit 1
+fi
+
+report="$(./target/release/braid-loadgen --addr "$addr" \
+  --connections "$connections" --requests "$requests" --seed "$seed" \
+  --json --shutdown)"
+wait "$bench_pid"
+grep -q "drained and stopped" "$bench_log"
+trap - EXIT
+rm -f "$bench_log"
+
+echo "$report" | grep -q '"p99_us":' || {
+  echo "bench_serve: loadgen report missing latency summary: $report" >&2
+  exit 1
+}
+
+point="{\"label\":\"$label\",\"commit\":\"$commit\",\"connections\":$connections,\"requests\":$requests,\"seed\":$seed,\"report\":$report}"
+echo "$point" >> BENCH_serve.json
+echo "appended point '$label' to BENCH_serve.json:"
+echo "$report"

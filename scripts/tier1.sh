@@ -23,6 +23,9 @@ cargo test -q -p braid-obs
 echo "==> cargo test -q -p braid-serve"
 cargo test -q -p braid-serve
 
+echo "==> cargo test -q -p braid-trace"
+cargo test -q -p braid-trace
+
 echo "==> functional-tier differential suite (release: 10x throughput floor armed)"
 cargo test --release -q --test functional_tier
 
@@ -112,6 +115,41 @@ grep -q "drained and stopped" "$braidd_log"
 echo "$loadgen_out" | grep -q "byte-identical"
 echo "$loadgen_out" | grep -Eq "cache: [1-9][0-9]* hits"
 rm -f "$braidd_log"
+
+echo "==> serve metrics smoke (phase conservation + latency percentiles live)"
+metrics_log="$(mktemp)"
+./target/release/braidd --addr 127.0.0.1:0 --threads 2 > "$metrics_log" &
+metrics_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$metrics_log" && break
+  sleep 0.1
+done
+metrics_addr="$(awk '/listening on/{print $NF}' "$metrics_log")"
+if [ -z "$metrics_addr" ]; then
+  echo "metrics braidd never came up:" >&2
+  cat "$metrics_log" >&2
+  kill "$metrics_pid" 2>/dev/null || true
+  exit 1
+fi
+# Seeded traffic, then the JSON report: the client-side latency summary
+# must carry a p99 field with samples behind it.
+metrics_json="$(./target/release/braid-loadgen --addr "$metrics_addr" \
+  --connections 2 --requests 30 --seed 11 --json)"
+echo "$metrics_json" | grep -q '"p99_us":'
+echo "$metrics_json" | grep -q '"verified":true'
+# The server's metrics document must report the phase decomposition as
+# conserved (every span accounted for, phase time == class time).
+metrics_doc="$(exec 3<>"/dev/tcp/${metrics_addr%:*}/${metrics_addr##*:}" \
+  && printf '{"id":1,"kind":"metrics"}\n' >&3 && head -n 1 <&3 && exec 3<&-)"
+echo "$metrics_doc" | grep -q '"conserved":true'
+echo "$metrics_doc" | grep -q '"queue_wait":{"count":'
+# Drain via a second one-shot connection.
+(exec 3<>"/dev/tcp/${metrics_addr%:*}/${metrics_addr##*:}" \
+  && printf '{"id":2,"kind":"shutdown"}\n' >&3 && head -n 1 <&3 > /dev/null)
+wait "$metrics_pid"
+grep -q "drained and stopped" "$metrics_log"
+rm -f "$metrics_log"
+echo "metrics smoke OK (conserved phases, p99 latency reported)"
 
 echo "==> chaos smoke (braidd under fault injection, loadgen must still verify)"
 chaos_log="$(mktemp)"

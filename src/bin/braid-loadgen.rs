@@ -3,7 +3,8 @@
 //! ```text
 //! braid-loadgen --addr HOST:PORT [--connections N] [--requests N]
 //!               [--seed N] [--timeout-ms N] [--attempts N]
-//!               [--verify] [--shutdown] [--version]
+//!               [--percentile P] [--json] [--verify] [--shutdown]
+//!               [--version]
 //! ```
 //!
 //! Generates a seeded mix of `simulate`, `sweep-point`, `translate`, and
@@ -23,20 +24,42 @@
 //! request may survive. Because recovery is part of the client, `--verify`
 //! holds even against a daemon running under `--chaos`.
 //!
+//! The report includes client-observed latency (merged across all
+//! connections of the concurrent phase): p50/p95/p99 overall and per
+//! request kind. `--percentile P` (0 < P ≤ 100, fractions allowed) adds
+//! one extra quantile line; `--json` replaces the text report with one
+//! machine-readable JSON document on stdout — the format consumed by
+//! `scripts/bench_serve.sh`.
+//!
 //! Exits nonzero on usage errors, transport failures, lost requests, or a
 //! verification mismatch.
 
 use std::process::ExitCode;
 
 use braid::serve::{run_loadgen, LoadgenConfig};
+use braid::uarch::Histogram;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: braid-loadgen --addr HOST:PORT [--connections N] [--requests N]\n       \
-         [--seed N] [--timeout-ms N] [--attempts N] [--verify] [--shutdown] [--version]\n\
+         [--seed N] [--timeout-ms N] [--attempts N] [--percentile P] [--json]\n       \
+         [--verify] [--shutdown] [--version]\n\
          exit codes: 0 clean, 1 lost requests/failure, 2 usage error"
     );
     ExitCode::from(2)
+}
+
+/// One text-report latency line: `label: p50 A p95 B p99 C max D (N reqs)`.
+fn latency_line(label: &str, h: &Histogram) {
+    let p = |q| h.percentile_checked(q).unwrap_or(0);
+    println!(
+        "{label}: p50 {}us p95 {}us p99 {}us max {}us ({} reqs)",
+        p(0.50),
+        p(0.95),
+        p(0.99),
+        h.max().unwrap_or(0),
+        h.total()
+    );
 }
 
 fn main() -> ExitCode {
@@ -46,6 +69,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut cfg = LoadgenConfig { verify: false, ..LoadgenConfig::default() };
+    let mut json_out = false;
+    let mut extra_percentile: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -56,6 +81,11 @@ fn main() -> ExitCode {
             }
             "--shutdown" => {
                 cfg.shutdown = true;
+                i += 1;
+                continue;
+            }
+            "--json" => {
+                json_out = true;
                 i += 1;
                 continue;
             }
@@ -71,6 +101,21 @@ fn main() -> ExitCode {
                     ("--seed", Ok(n)) => cfg.seed = n,
                     ("--timeout-ms", Ok(n)) => cfg.timeout_ms = n,
                     ("--attempts", Ok(n)) => cfg.max_attempts = n as u32,
+                    ("--percentile", _) => {
+                        // Validated here, at the CLI boundary: the
+                        // histogram's checked accessor would just return
+                        // None, which a user would misread as "no data".
+                        match value.parse::<f64>() {
+                            Ok(p) if p > 0.0 && p <= 100.0 => extra_percentile = Some(p),
+                            _ => {
+                                eprintln!(
+                                    "braid-loadgen: --percentile needs a number in (0, 100], \
+                                     got {value:?}"
+                                );
+                                return usage();
+                            }
+                        }
+                    }
                     (_, Err(_))
                         if ["--connections", "--requests", "--seed", "--timeout-ms", "--attempts"]
                             .contains(&flag) =>
@@ -101,6 +146,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if json_out {
+        println!("{}", report.to_json().compact());
+        return ExitCode::SUCCESS;
+    }
     println!(
         "sent {} requests over {} connections (seed {}): {} ok, {} errors, {} retries",
         report.sent, cfg.connections, cfg.seed, report.ok, report.errors, report.retries
@@ -120,6 +169,16 @@ fn main() -> ExitCode {
         println!(
             "disk tier: {} hits, {} entries quarantined",
             report.disk_hits, report.quarantined
+        );
+    }
+    latency_line("latency", &report.latency);
+    for (kind, h) in &report.by_class {
+        latency_line(&format!("latency[{kind}]"), h);
+    }
+    if let Some(p) = extra_percentile {
+        println!(
+            "latency p{p}: {}us",
+            report.latency.percentile_checked(p / 100.0).unwrap_or(0)
         );
     }
     ExitCode::SUCCESS

@@ -5,14 +5,15 @@
 //!        [--max-connections N] [--cache-capacity N]
 //!        [--deadline-cycles N] [--cache-dir DIR]
 //!        [--io-timeout-ms N] [--max-line-bytes N]
-//!        [--chaos SPEC] [--version]
+//!        [--chaos SPEC] [--trace-log FILE] [--version]
 //! ```
 //!
 //! Listens for JSON-lines requests (`simulate`, `translate`, `check`,
-//! `sweep-point`, `stats`, `shutdown` — see the `braid-serve` crate docs
-//! for the grammar), dispatches them onto a shared work-stealing pool,
-//! and serves repeated content from a content-addressed result cache.
-//! Responses per connection arrive strictly in request order.
+//! `sweep-point`, `stats`, `metrics`, `shutdown` — see the `braid-serve`
+//! crate docs for the grammar), dispatches them onto a shared
+//! work-stealing pool, and serves repeated content from a
+//! content-addressed result cache. Responses per connection arrive
+//! strictly in request order.
 //!
 //! The default address `127.0.0.1:0` binds an ephemeral port; the daemon
 //! prints `braidd listening on HOST:PORT` once ready, so scripts can
@@ -27,6 +28,12 @@
 //! the service's recovery paths. `--io-timeout-ms` and
 //! `--max-line-bytes` bound how long a slow or hostile client can hold a
 //! connection thread and how much memory a single request line can pin.
+//!
+//! `--trace-log FILE` exports one JSON line per completed request span
+//! (trace ID, phase decomposition, status, cache verdict) plus structured
+//! cache events; the in-memory trace registry behind the `metrics`
+//! request is always on regardless. An unwritable trace-log path is a
+//! startup error — a requested-but-absent log would defeat its purpose.
 
 use std::process::ExitCode;
 
@@ -37,7 +44,7 @@ fn usage() -> ExitCode {
         "usage: braidd [--addr HOST:PORT] [--threads N] [--queue-bound N]\n       \
          [--max-connections N] [--cache-capacity N] [--deadline-cycles N]\n       \
          [--cache-dir DIR] [--io-timeout-ms N] [--max-line-bytes N]\n       \
-         [--chaos SPEC] [--version]\n\
+         [--chaos SPEC] [--trace-log FILE] [--version]\n\
          exit codes: 0 clean shutdown, 1 runtime failure, 2 usage error"
     );
     ExitCode::from(2)
@@ -68,6 +75,7 @@ fn main() -> ExitCode {
             ("--io-timeout-ms", Ok(n)) => cfg.io_timeout_ms = n,
             ("--max-line-bytes", Ok(n)) => cfg.max_line_bytes = n as usize,
             ("--cache-dir", _) => cfg.cache_dir = Some(value.into()),
+            ("--trace-log", _) => cfg.trace_log = Some(value.into()),
             ("--chaos", _) => match ChaosSpec::parse(value) {
                 Ok(spec) => cfg.chaos = Some(spec),
                 Err(e) => {

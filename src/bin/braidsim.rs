@@ -338,6 +338,9 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
         run.host_nanos as f64 / 1e9,
         run.cycles_per_sec() / 1e6
     );
+    // Per-point host timing: straggler and imbalance diagnostics. Stdout
+    // only — host time never enters the aggregate file.
+    println!("timing {}", braid::trace::sweep_timing(&run).compact());
     if let Err(e) = write_json(std::path::Path::new(&out), &doc) {
         eprintln!("braidsim: sweep: {e}");
         return ExitCode::FAILURE;

@@ -24,5 +24,6 @@ pub use braid_isa as isa;
 pub use braid_obs as obs;
 pub use braid_serve as serve;
 pub use braid_sweep as sweep;
+pub use braid_trace as trace;
 pub use braid_uarch as uarch;
 pub use braid_workloads as workloads;
