@@ -8,9 +8,10 @@
 //! Experiments: tab1 tab2 tab3 chars splits fig1 fig5 fig6 fig7 fig8 fig9
 //! fig10 fig11 fig12 fig13 fig14 pipeline clusters exceptions
 //! disambiguation predictors mshrs fig13perfect widthsweep cpistack
-//! sampled. Set `BRAID_SCALE` to change the dynamic instruction count
-//! (default 1.0 ≈ 60k per benchmark; `sampled` runs the hand-written
-//! kernels and ignores the scale).
+//! sampled opt frontier. Set `BRAID_SCALE` to change the dynamic
+//! instruction count (default 1.0 ≈ 60k per benchmark; `sampled`, `opt`,
+//! and `frontier` run the hand-written kernels and compiled loop nests
+//! and ignore the scale).
 //!
 //! Each experiment prints its table and writes `results/<name>.txt`.
 
@@ -25,12 +26,12 @@ const ALL: &[&str] = &[
     "tab1", "tab2", "tab3", "chars", "splits", "fig1", "fig5", "fig6", "fig7", "fig8",
     "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "pipeline", "clusters",
     "exceptions", "disambiguation", "predictors", "mshrs", "fig13perfect", "widthsweep",
-    "cpistack", "sampled", "opt",
+    "cpistack", "sampled", "opt", "frontier",
 ];
 
 /// Experiments that run the hand-written kernels and never touch the
 /// prepared synthetic suite.
-const SUITE_FREE: &[&str] = &["sampled", "opt"];
+const SUITE_FREE: &[&str] = &["sampled", "opt", "frontier"];
 
 fn run_one(name: &str, suite: &[Prepared]) -> Option<Table> {
     let table = match name {
@@ -61,6 +62,7 @@ fn run_one(name: &str, suite: &[Prepared]) -> Option<Table> {
         "cpistack" => exp::cpistack(suite),
         "sampled" => exp::sampled(),
         "opt" => exp::opt(),
+        "frontier" => exp::frontier(),
         _ => return None,
     };
     Some(table)

@@ -777,7 +777,9 @@ pub fn sampled() -> Table {
 /// `braidc -O` evaluation: the sound static bound, the canonical
 /// partition's simulated cycles, the partition-search winner's cycles, the
 /// cycles recovered by the search, and the static prediction error
-/// (simulated over bound) on every hand-written kernel.
+/// (simulated over bound) on every hand-written kernel plus the
+/// communication-dominated compiled loop nests (`ln_chains_*`), whose
+/// serialized canonical braids give the search non-tied rows.
 pub fn opt() -> Table {
     use braid_analyze::{search, SearchConfig};
 
@@ -785,7 +787,9 @@ pub fn opt() -> Table {
         "braidc -O: static bound vs canonical vs searched partition (braid core)",
         &["kernel", "bound", "canonical", "optimized", "recovered%", "pred-err%"],
     );
-    for w in braid_workloads::kernel_suite() {
+    let mut suite = braid_workloads::kernel_suite();
+    suite.extend(braid_workloads::loopnest_opt_suite());
+    for w in suite {
         let cfg = SearchConfig { fuel: w.fuel, ..SearchConfig::default() };
         let out = search(&w.program, &braid_cfg(), &cfg)
             .unwrap_or_else(|e| panic!("{}: search failed: {e}", w.name));
@@ -802,6 +806,51 @@ pub fn opt() -> Table {
                 100.0 * (winner / bound.max(1.0) - 1.0),
             ],
         );
+    }
+    t.push_mean("average");
+    t
+}
+
+/// The workload frontier: every curated compiled loop nest (`ln_*`,
+/// braid-lang sources through the `braidc` pipeline) run full-tier on all
+/// four cores. Columns are per-core IPC plus how much of the out-of-order
+/// core's performance the braid core retains — the paper's headline
+/// question asked of compiler-generated code instead of hand-written
+/// kernels.
+pub fn frontier() -> Table {
+    use braid_core::processor::{run_tier, CoreConfig, TierReport};
+    use braid_core::{SamplingConfig, Tier};
+
+    let cores = [
+        CoreConfig::InOrder(InOrderConfig::paper_8wide()),
+        CoreConfig::Dep(DepConfig::paper_8wide()),
+        CoreConfig::Ooo(OooConfig::paper_8wide()),
+        CoreConfig::Braid(BraidConfig::paper_default()),
+    ];
+    let sampling = SamplingConfig::default();
+    let mut t = Table::new(
+        "Workload frontier: compiled loop nests on all four cores (full tier)",
+        &["nest", "insts", "in-ipc", "dep-ipc", "ooo-ipc", "braid-ipc", "braid/ooo%"],
+    );
+    for w in braid_workloads::loopnest_suite() {
+        let mut insts = 0.0;
+        let mut ipc = Vec::with_capacity(cores.len());
+        for core in &cores {
+            let rep = run_tier(&w.program, core, Tier::Full, w.fuel, &sampling)
+                .unwrap_or_else(|e| panic!("{}:{}: full tier failed: {e}", w.name, core.name()));
+            let TierReport::Full(exact) = &rep else { unreachable!("full tier") };
+            if ipc.is_empty() {
+                // The untranslated dynamic count; braid translation
+                // changes the static program, not the work.
+                insts = exact.instructions as f64;
+            }
+            ipc.push(exact.ipc());
+        }
+        let (ooo_ipc, braid_ipc) = (ipc[2], ipc[3]);
+        let mut row = vec![insts];
+        row.extend(ipc.iter().copied());
+        row.push(100.0 * braid_ipc / ooo_ipc.max(f64::MIN_POSITIVE));
+        t.push(w.name.clone(), row);
     }
     t.push_mean("average");
     t

@@ -1,0 +1,168 @@
+//! The braid-lang abstract syntax tree.
+
+use crate::diag::Span;
+
+/// A binary operator. All arithmetic is on wrapping 64-bit unsigned
+/// values; comparisons yield 0 or 1 (matching BRISC's `cmp*` results).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (wrapping)
+    Add,
+    /// `-` (wrapping)
+    Sub,
+    /// `*` (wrapping, low 64 bits)
+    Mul,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<` (shift count taken mod 64)
+    Shl,
+    /// `>>` (logical; count mod 64)
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<` (signed, like BRISC `cmplt`)
+    Lt,
+    /// `<=` (signed, like BRISC `cmple`)
+    Le,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int {
+        /// The value (sign only matters for the literal form; arithmetic
+        /// is on the two's-complement bits).
+        value: i64,
+        /// Source location.
+        span: Span,
+    },
+    /// Scalar variable reference.
+    Var {
+        /// The name.
+        name: String,
+        /// Source location.
+        span: Span,
+    },
+    /// Array element load: `a[idx]`.
+    Index {
+        /// The array name.
+        name: String,
+        /// The element index expression.
+        index: Box<Expr>,
+        /// Source location (covers `a[idx]`).
+        span: Span,
+    },
+    /// Binary operation.
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source location (covers both operands).
+        span: Span,
+    },
+    /// Unary negation (two's complement).
+    Neg {
+        /// The operand.
+        expr: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int { span, .. }
+            | Expr::Var { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Bin { span, .. }
+            | Expr::Neg { span, .. } => *span,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let name = expr;` — introduces a scalar.
+    Let {
+        /// The new scalar's name.
+        name: String,
+        /// Its initializer.
+        value: Expr,
+        /// Span of the name.
+        span: Span,
+    },
+    /// `name = expr;` — reassigns an existing scalar.
+    Assign {
+        /// The scalar's name.
+        name: String,
+        /// The new value.
+        value: Expr,
+        /// Span of the name.
+        span: Span,
+    },
+    /// `name[idx] = expr;` — stores into an array element.
+    Store {
+        /// The array's name.
+        name: String,
+        /// The element index expression.
+        index: Expr,
+        /// The stored value.
+        value: Expr,
+        /// Span of the name.
+        span: Span,
+    },
+    /// `for v in lo..hi step s { body }`. Bounds are evaluated once at
+    /// entry; the loop runs while `v < hi` (signed), stepping by the
+    /// positive literal `step`.
+    For {
+        /// The induction variable (scoped to the body; read-only inside).
+        var: String,
+        /// Lower bound (evaluated once).
+        lo: Expr,
+        /// Upper bound (evaluated once).
+        hi: Expr,
+        /// Positive literal step (defaults to 1).
+        step: i64,
+        /// The loop body.
+        body: Vec<Stmt>,
+        /// Span of the induction variable name.
+        span: Span,
+    },
+}
+
+/// A top-level array declaration:
+/// `array name[len];` or `array name[len] = [w0, w1, ...];`
+/// (unlisted trailing elements are zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// The array's name.
+    pub name: String,
+    /// Element count (64-bit words).
+    pub len: u32,
+    /// Initial words (may be shorter than `len`; the rest are zero).
+    pub init: Vec<u64>,
+    /// Span of the name.
+    pub span: Span,
+}
+
+/// A parsed program: array declarations plus a statement list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Ast {
+    /// Array declarations, in source order.
+    pub arrays: Vec<ArrayDecl>,
+    /// Top-level statements, in source order.
+    pub stmts: Vec<Stmt>,
+}

@@ -1,0 +1,613 @@
+//! Code generation: [`Ast`] → BRISC [`Program`].
+//!
+//! # Register convention
+//!
+//! * `r1..r15` — named scalars, loop induction variables, and one hidden
+//!   loop-bound register per active loop (bounds are evaluated once at
+//!   entry, per the language's affine-bound rule).
+//! * `r16..r31` — expression temporaries, stack-allocated per statement.
+//!
+//! Exceeding either pool is a `BL007` diagnostic, so every accepted
+//! program fits the architectural register file with no spilling.
+//!
+//! # Arrays
+//!
+//! Each array is one zero-padded [`DataSegment`] at
+//! `0x10_0000 + k * 0x8_0000` tagged `AliasClass::Global(k)` on every
+//! access, so the translator's memory-reordering legality check can
+//! disambiguate distinct arrays. Indices are masked with `andi len-1`
+//! (lengths are powers of two), making out-of-bounds access impossible by
+//! construction — the same reduction the reference interpreter applies.
+//!
+//! # Annotation
+//!
+//! The generator emits *unannotated* instructions (every constructor
+//! defaults to `S=1`, `E=has_dest`, which is structurally valid), exactly
+//! like the hand-written kernels: single-instruction braids with all
+//! values external. [`crate::compile_annotated`] then runs the existing
+//! braid translator over the output, so annotated containers are
+//! check-clean by construction rather than by a parallel annotation
+//! implementation.
+
+use std::collections::BTreeMap;
+
+use braid_isa::{AliasClass, DataSegment, Inst, Opcode, Program, Reg};
+
+use crate::ast::{Ast, BinOp, Expr, Stmt};
+use crate::diag::{Code, Diagnostic, LangReport, Span};
+
+/// First scalar register number.
+const SCALAR_LO: u8 = 1;
+/// Last scalar register number (inclusive).
+const SCALAR_HI: u8 = 15;
+/// First temporary register number.
+const TEMP_LO: u8 = 16;
+/// Last temporary register number (inclusive).
+const TEMP_HI: u8 = 31;
+/// Base address of array 0's data segment.
+pub const ARRAY_BASE: u64 = 0x10_0000;
+/// Address stride between consecutive arrays' segments.
+pub const ARRAY_STRIDE: u64 = 0x8_0000;
+/// Maximum number of array declarations.
+pub const MAX_ARRAYS: usize = 16;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Scalar(Reg),
+    Array(usize),
+}
+
+#[derive(Debug)]
+struct Binding {
+    name: String,
+    kind: Kind,
+    span: Span,
+    used: bool,
+    is_loop_var: bool,
+}
+
+#[derive(Debug)]
+struct ArrayInfo {
+    len: u32,
+    base: u64,
+    used: bool,
+}
+
+struct Gen {
+    insts: Vec<Inst>,
+    report: LangReport,
+    scopes: Vec<Vec<Binding>>,
+    free_scalars: Vec<u8>,
+    temp_next: u8,
+    arrays: Vec<ArrayInfo>,
+    labels: BTreeMap<String, u32>,
+    loops: u32,
+}
+
+impl Gen {
+    fn diag(&mut self, d: Diagnostic) {
+        self.report.push(d);
+    }
+
+    /// Appends a constructed instruction. Constructor failures are turned
+    /// into `BL009` diagnostics rather than panics: the generator only
+    /// builds valid shapes, so a failure can only follow an earlier
+    /// capacity/semantic error that degraded a register to `r0`.
+    fn push(&mut self, inst: Result<Inst, braid_isa::IsaError>) {
+        match inst {
+            Ok(i) => self.insts.push(i),
+            Err(e) => self.diag(Diagnostic::new(
+                Code::Bl009Internal,
+                Span::default(),
+                format!("instruction construction failed: {e}"),
+            )),
+        }
+    }
+
+    fn find(&mut self, name: &str) -> Option<(Kind, bool)> {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(b) = scope.iter_mut().rev().find(|b| b.name == name) {
+                return Some((b.kind, b.is_loop_var));
+            }
+        }
+        None
+    }
+
+    fn mark_used(&mut self, name: &str) {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(b) = scope.iter_mut().rev().find(|b| b.name == name) {
+                b.used = true;
+                return;
+            }
+        }
+    }
+
+    fn defined_span(&self, name: &str) -> Option<Span> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.iter().rev().find(|b| b.name == name))
+            .map(|b| b.span)
+    }
+
+    fn declare_scalar(&mut self, name: &str, span: Span, is_loop_var: bool) -> Reg {
+        if let Some(def) = self.defined_span(name) {
+            self.diag(
+                Diagnostic::new(
+                    Code::Bl004Duplicate,
+                    span,
+                    format!("`{name}` is already defined (shadowing is not allowed)"),
+                )
+                .with_def_span(def),
+            );
+        }
+        let reg = match self.free_scalars.pop() {
+            Some(n) => Reg::int(n).expect("pool registers are < 32"),
+            None => {
+                self.diag(Diagnostic::new(
+                    Code::Bl007Capacity,
+                    span,
+                    format!(
+                        "too many live scalars: the register plan allows {} (r{SCALAR_LO}..r{SCALAR_HI})",
+                        SCALAR_HI - SCALAR_LO + 1
+                    ),
+                ));
+                Reg::ZERO
+            }
+        };
+        self.scopes.last_mut().expect("scope stack").push(Binding {
+            name: name.to_string(),
+            kind: Kind::Scalar(reg),
+            span,
+            used: false,
+            is_loop_var,
+        });
+        reg
+    }
+
+    fn alloc_temp(&mut self, span: Span) -> Reg {
+        if self.temp_next > TEMP_HI {
+            self.diag(Diagnostic::new(
+                Code::Bl007Capacity,
+                span,
+                format!(
+                    "expression too deep: the temporary pool allows {} registers (r{TEMP_LO}..r{TEMP_HI})",
+                    TEMP_HI - TEMP_LO + 1
+                ),
+            ));
+            return Reg::ZERO;
+        }
+        let r = Reg::int(self.temp_next).expect("pool registers are < 32");
+        self.temp_next += 1;
+        r
+    }
+
+    /// Evaluates `e` for use as an operand: plain variables yield their
+    /// home register directly (no move, no temporary); anything else goes
+    /// through a fresh temporary.
+    fn eval_operand(&mut self, e: &Expr) -> Reg {
+        if let Expr::Var { name, span } = e {
+            match self.find(name) {
+                Some((Kind::Scalar(r), _)) => {
+                    self.mark_used(name);
+                    return r;
+                }
+                Some((Kind::Array(_), _)) => {
+                    self.diag(Diagnostic::new(
+                        Code::Bl005Kind,
+                        *span,
+                        format!("`{name}` is an array; index it with `{name}[...]`"),
+                    ));
+                    return Reg::ZERO;
+                }
+                None => {
+                    self.diag(Diagnostic::new(
+                        Code::Bl003Unknown,
+                        *span,
+                        format!("unknown name `{name}`"),
+                    ));
+                    return Reg::ZERO;
+                }
+            }
+        }
+        let t = self.alloc_temp(e.span());
+        self.eval(e, t);
+        t
+    }
+
+    /// Emits code computing `e` into `dest`.
+    fn eval(&mut self, e: &Expr, dest: Reg) {
+        let saved_temp = self.temp_next;
+        self.eval_inner(e, dest);
+        self.temp_next = saved_temp;
+    }
+
+    fn eval_inner(&mut self, e: &Expr, dest: Reg) {
+        match e {
+            Expr::Int { value, span } => {
+                match i32::try_from(*value) {
+                    Ok(v) => self.push(Inst::alui(Opcode::Addi, Reg::ZERO, v, dest)),
+                    Err(_) => self.diag(Diagnostic::new(
+                        Code::Bl007Capacity,
+                        *span,
+                        format!("literal {value} does not fit the 32-bit immediate field"),
+                    )),
+                }
+            }
+            Expr::Var { .. } => {
+                let r = self.eval_operand(e);
+                self.push(Inst::alu(Opcode::Or, r, Reg::ZERO, dest));
+            }
+            Expr::Index { name, index, span } => {
+                let addr = self.array_addr(name, index, *span);
+                self.push(Inst::load(
+                    Opcode::Ldq,
+                    addr.0,
+                    0,
+                    dest,
+                    addr.1,
+                ));
+            }
+            Expr::Neg { expr, .. } => {
+                let r = self.eval_operand(expr);
+                self.push(Inst::alu(Opcode::Sub, Reg::ZERO, r, dest));
+            }
+            Expr::Bin { op, lhs, rhs, .. } => self.eval_bin(*op, lhs, rhs, dest),
+        }
+    }
+
+    /// Computes the element address for `name[index]` into a temporary,
+    /// returning it with the array's alias class. Emits
+    /// `andi/slli/addi` (mask, scale, base).
+    fn array_addr(&mut self, name: &str, index: &Expr, span: Span) -> (Reg, AliasClass) {
+        let (len, base, k) = match self.find(name) {
+            Some((Kind::Array(k), _)) => {
+                self.mark_used(name);
+                self.arrays[k].used = true;
+                (self.arrays[k].len, self.arrays[k].base, k)
+            }
+            Some((Kind::Scalar(_), _)) => {
+                self.diag(Diagnostic::new(
+                    Code::Bl005Kind,
+                    span,
+                    format!("`{name}` is a scalar and cannot be indexed"),
+                ));
+                (1, ARRAY_BASE, 0)
+            }
+            None => {
+                self.diag(Diagnostic::new(
+                    Code::Bl003Unknown,
+                    span,
+                    format!("unknown array `{name}`"),
+                ));
+                (1, ARRAY_BASE, 0)
+            }
+        };
+        let idx = self.eval_operand(index);
+        let t = self.alloc_temp(span);
+        self.push(Inst::alui(Opcode::Andi, idx, (len - 1) as i32, t));
+        self.push(Inst::alui(Opcode::Slli, t, 3, t));
+        self.push(Inst::alui(Opcode::Addi, t, base as i32, t));
+        (t, AliasClass::Global(k as u16))
+    }
+
+    fn eval_bin(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr, dest: Reg) {
+        // Immediate forms. `a OP literal` (or `literal OP a` for
+        // commutative operators) saves the materializing `addi`.
+        let (lhs, rhs) = if matches!(lhs, Expr::Int { .. })
+            && !matches!(rhs, Expr::Int { .. })
+            && matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Eq | BinOp::Ne)
+        {
+            (rhs, lhs)
+        } else {
+            (lhs, rhs)
+        };
+        if let Expr::Int { value, .. } = rhs {
+            if let Ok(imm) = i32::try_from(*value) {
+                let imm_op = match op {
+                    BinOp::Add => Some(Opcode::Addi),
+                    BinOp::Sub => Some(Opcode::Subi),
+                    BinOp::Mul => Some(Opcode::Muli),
+                    BinOp::And => Some(Opcode::Andi),
+                    BinOp::Or => Some(Opcode::Ori),
+                    BinOp::Xor => Some(Opcode::Xori),
+                    BinOp::Shl => Some(Opcode::Slli),
+                    BinOp::Shr => Some(Opcode::Srli),
+                    BinOp::Eq => Some(Opcode::Cmpeqi),
+                    BinOp::Lt => Some(Opcode::Cmplti),
+                    BinOp::Ne | BinOp::Le => None,
+                };
+                if let Some(o) = imm_op {
+                    let a = self.eval_operand(lhs);
+                    // Shift immediates reach the machine modulo 64 either
+                    // way, but keep the encoding canonical.
+                    let imm = match o {
+                        Opcode::Slli | Opcode::Srli => imm & 63,
+                        _ => imm,
+                    };
+                    self.push(Inst::alui(o, a, imm, dest));
+                    return;
+                }
+                if op == BinOp::Ne {
+                    let a = self.eval_operand(lhs);
+                    self.push(Inst::alui(Opcode::Cmpeqi, a, imm, dest));
+                    self.push(Inst::alui(Opcode::Xori, dest, 1, dest));
+                    return;
+                }
+            }
+        }
+        let a = self.eval_operand(lhs);
+        let b = self.eval_operand(rhs);
+        let alu = |o| Inst::alu(o, a, b, dest);
+        match op {
+            BinOp::Add => self.push(alu(Opcode::Add)),
+            BinOp::Sub => self.push(alu(Opcode::Sub)),
+            BinOp::Mul => self.push(alu(Opcode::Mul)),
+            BinOp::And => self.push(alu(Opcode::And)),
+            BinOp::Or => self.push(alu(Opcode::Or)),
+            BinOp::Xor => self.push(alu(Opcode::Xor)),
+            BinOp::Shl => self.push(alu(Opcode::Sll)),
+            BinOp::Shr => self.push(alu(Opcode::Srl)),
+            BinOp::Eq => self.push(alu(Opcode::Cmpeq)),
+            BinOp::Lt => self.push(alu(Opcode::Cmplt)),
+            BinOp::Le => self.push(alu(Opcode::Cmple)),
+            BinOp::Ne => {
+                self.push(alu(Opcode::Cmpeq));
+                self.push(Inst::alui(Opcode::Xori, dest, 1, dest));
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Let { name, value, span } => {
+                let reg = self.declare_scalar(name, *span, false);
+                self.eval(value, reg);
+            }
+            Stmt::Assign { name, value, span } => match self.find(name) {
+                Some((Kind::Scalar(r), is_loop_var)) => {
+                    if is_loop_var {
+                        self.diag(Diagnostic::new(
+                            Code::Bl005Kind,
+                            *span,
+                            format!("cannot assign to loop variable `{name}`"),
+                        ));
+                        return;
+                    }
+                    self.eval(value, r);
+                }
+                Some((Kind::Array(_), _)) => self.diag(Diagnostic::new(
+                    Code::Bl005Kind,
+                    *span,
+                    format!("`{name}` is an array; assign to an element with `{name}[...] = ...`"),
+                )),
+                None => self.diag(Diagnostic::new(
+                    Code::Bl003Unknown,
+                    *span,
+                    format!("unknown name `{name}`"),
+                )),
+            },
+            Stmt::Store { name, index, value, span } => {
+                let saved_temp = self.temp_next;
+                let (addr, alias) = self.array_addr(name, index, *span);
+                let v = self.eval_operand(value);
+                self.push(Inst::store(Opcode::Stq, v, addr, 0, alias));
+                self.temp_next = saved_temp;
+            }
+            Stmt::For { var, lo, hi, step, body, span } => {
+                self.scopes.push(Vec::new());
+                let var_reg = self.declare_scalar(var, *span, true);
+                // The upper bound is evaluated once at entry into a hidden
+                // scalar that stays live for the whole loop.
+                let hi_reg = match self.free_scalars.pop() {
+                    Some(n) => Reg::int(n).expect("pool registers are < 32"),
+                    None => {
+                        self.diag(Diagnostic::new(
+                            Code::Bl007Capacity,
+                            *span,
+                            "no scalar register left for the loop bound".to_string(),
+                        ));
+                        Reg::ZERO
+                    }
+                };
+                self.eval(lo, var_reg);
+                self.eval(hi, hi_reg);
+                let loop_id = self.loops;
+                self.loops += 1;
+                let head = self.insts.len() as u32;
+                self.labels.insert(format!("L{loop_id}_head"), head);
+                let saved_temp = self.temp_next;
+                let cond = self.alloc_temp(*span);
+                self.push(Inst::alu(Opcode::Cmplt, var_reg, hi_reg, cond));
+                let exit_branch = self.insts.len();
+                self.push(Inst::branch(Opcode::Beq, cond, 0));
+                self.temp_next = saved_temp;
+                for s in body {
+                    self.stmt(s);
+                }
+                self.push(Inst::alui(Opcode::Addi, var_reg, *step as i32, var_reg));
+                self.insts.push(Inst::br(head));
+                let exit = self.insts.len() as u32;
+                self.labels.insert(format!("L{loop_id}_exit"), exit);
+                // Patch the exit branch (guarded: on an earlier capacity
+                // error the branch may not have been emitted at all).
+                if let Some(b) = self.insts.get_mut(exit_branch) {
+                    if b.opcode == Opcode::Beq {
+                        b.imm = exit as i32;
+                    }
+                }
+                // Close the loop scope, returning its registers (the
+                // induction variable and the hidden bound) to the pool.
+                let scope = self.scopes.pop().expect("loop scope");
+                for b in &scope {
+                    self.warn_unused(b);
+                    if let Kind::Scalar(r) = b.kind {
+                        if !r.is_zero() {
+                            self.free_scalars.push(r.class_index());
+                        }
+                    }
+                }
+                if !hi_reg.is_zero() {
+                    self.free_scalars.push(hi_reg.class_index());
+                }
+            }
+        }
+    }
+
+    fn warn_unused(&mut self, b: &Binding) {
+        if !b.used && !b.is_loop_var {
+            self.report.push(Diagnostic::new(
+                Code::Bl008Unused,
+                b.span,
+                format!("`{}` is never read", b.name),
+            ));
+        }
+    }
+}
+
+/// Generates an (unannotated) BRISC program from `ast`.
+///
+/// # Errors
+///
+/// Returns the report when any `BL0xx` error was found; the report may
+/// also carry `BL008` warnings alongside a successful program.
+pub fn codegen(name: &str, ast: &Ast) -> Result<(Program, LangReport), LangReport> {
+    let mut g = Gen {
+        insts: Vec::new(),
+        report: LangReport::new(name),
+        scopes: vec![Vec::new()],
+        free_scalars: (SCALAR_LO..=SCALAR_HI).rev().collect(),
+        temp_next: TEMP_LO,
+        arrays: Vec::new(),
+        labels: BTreeMap::new(),
+        loops: 0,
+    };
+    // Declare arrays first (they are top-level and order-significant for
+    // base assignment), then walk the statements.
+    let mut data = Vec::new();
+    for (k, d) in ast.arrays.iter().enumerate() {
+        if k >= MAX_ARRAYS {
+            g.diag(Diagnostic::new(
+                Code::Bl007Capacity,
+                d.span,
+                format!("too many arrays: at most {MAX_ARRAYS} are supported"),
+            ));
+            break;
+        }
+        if let Some(def) = g.defined_span(&d.name) {
+            g.diag(
+                Diagnostic::new(
+                    Code::Bl004Duplicate,
+                    d.span,
+                    format!("`{}` is already defined", d.name),
+                )
+                .with_def_span(def),
+            );
+            continue;
+        }
+        let base = ARRAY_BASE + k as u64 * ARRAY_STRIDE;
+        let mut words = vec![0u64; d.len as usize];
+        words[..d.init.len()].copy_from_slice(&d.init);
+        data.push(DataSegment::from_words(base, &words));
+        g.arrays.push(ArrayInfo { len: d.len, base, used: false });
+        g.scopes[0].push(Binding {
+            name: d.name.clone(),
+            kind: Kind::Array(k),
+            span: d.span,
+            used: false,
+            is_loop_var: false,
+        });
+    }
+    for s in &ast.stmts {
+        g.stmt(s);
+    }
+    g.insts.push(Inst::halt());
+    let top = std::mem::take(&mut g.scopes[0]);
+    for b in &top {
+        g.warn_unused(b);
+    }
+    if g.report.has_errors() {
+        return Err(g.report);
+    }
+    let program = Program {
+        name: name.to_string(),
+        insts: g.insts,
+        entry: 0,
+        data,
+        labels: g.labels,
+    };
+    if let Err(e) = program.validate() {
+        let mut report = g.report;
+        report.push(Diagnostic::new(
+            Code::Bl009Internal,
+            Span::default(),
+            format!("generated program failed ISA validation: {e}"),
+        ));
+        return Err(report);
+    }
+    Ok((program, g.report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn gen(src: &str) -> (Program, LangReport) {
+        codegen("t", &parse(src).unwrap()).unwrap()
+    }
+
+    fn gen_err(src: &str) -> LangReport {
+        codegen("t", &parse(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn straight_line_compiles_and_validates() {
+        let (p, r) = gen("let x = 1 + 2 * 3;\nlet y = x << 2;\nlet z = y;\nlet w = z;\n");
+        assert!(r.warnings() > 0, "w is unused");
+        assert!(p.insts.len() >= 5);
+        assert_eq!(p.insts.last().unwrap().opcode, Opcode::Halt);
+    }
+
+    #[test]
+    fn loops_get_labels_and_backedges() {
+        let (p, _) = gen("array a[8];\nfor i in 0..8 { a[i] = i; }\n");
+        assert!(p.labels.contains_key("L0_head"));
+        assert!(p.labels.contains_key("L0_exit"));
+        assert!(p.insts.iter().any(|i| i.opcode == Opcode::Br));
+        assert!(p.insts.iter().any(|i| i.opcode == Opcode::Beq));
+        assert!(p.insts.iter().any(|i| i.opcode == Opcode::Stq));
+    }
+
+    #[test]
+    fn semantic_errors_have_codes() {
+        assert!(gen_err("let x = y;\n").has_code(Code::Bl003Unknown));
+        assert!(gen_err("let x = 1;\nlet x = 2;\n").has_code(Code::Bl004Duplicate));
+        assert!(gen_err("array a[4];\nlet x = a;\n").has_code(Code::Bl005Kind));
+        assert!(gen_err("let x = 1;\nlet y = x[0];\n").has_code(Code::Bl005Kind));
+        assert!(gen_err("for i in 0..4 { i = 2; }\n").has_code(Code::Bl005Kind));
+        assert!(gen_err("let x = 9999999999999;\n").has_code(Code::Bl007Capacity));
+    }
+
+    #[test]
+    fn scalar_pool_exhaustion_is_bl007() {
+        let mut src = String::new();
+        for i in 0..20 {
+            src.push_str(&format!("let v{i} = {i};\nlet u{i} = v{i};\n"));
+        }
+        assert!(gen_err(&src).has_code(Code::Bl007Capacity));
+    }
+
+    #[test]
+    fn loop_registers_are_recycled() {
+        // 12 sequential loops would exhaust a 15-register pool if the
+        // induction/bound registers leaked.
+        let mut src = String::from("array a[8];\n");
+        for l in 0..12 {
+            src.push_str(&format!("for i{l} in 0..4 {{ a[i{l}] = i{l}; }}\n"));
+        }
+        let (p, r) = codegen("t", &parse(&src).unwrap()).unwrap();
+        assert!(r.is_clean());
+        p.validate().unwrap();
+    }
+}

@@ -1,0 +1,369 @@
+//! Source-level diagnostics: stable `BL0xx` codes, byte/line/column spans,
+//! and the human-readable / JSON renderers.
+//!
+//! The shape deliberately mirrors `braid_check::diag` (stable codes that
+//! are never renumbered, fixed per-code severities, a builder-style
+//! [`Diagnostic`], a report with `errors()`/`warnings()`/`to_json()`), so
+//! tooling that already consumes `BC0xx` findings can consume `BL0xx`
+//! findings the same way — only the span is source-anchored (line/column
+//! in the `.bl` text) instead of instruction-anchored.
+
+use std::fmt;
+
+pub use braid_check::json_string;
+
+/// Stable diagnostic codes of the braid-lang frontend.
+///
+/// Codes are part of the tool's interface: tests and scripts match on
+/// them, so existing codes must never be renumbered (append new ones
+/// instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// `BL001`: lexical error — a character outside the language, or a
+    /// malformed integer literal.
+    Bl001Lex,
+    /// `BL002`: parse error — unexpected token or premature end of input.
+    Bl002Parse,
+    /// `BL003`: use of a name that is not in scope.
+    Bl003Unknown,
+    /// `BL004`: a name is defined twice in the same scope.
+    Bl004Duplicate,
+    /// `BL005`: kind mismatch — an array used as a scalar, a scalar
+    /// indexed, or an assignment to a loop induction variable.
+    Bl005Kind,
+    /// `BL006`: malformed loop — a non-positive or non-literal step.
+    Bl006Loop,
+    /// `BL007`: capacity exceeded — too many scalars for the register
+    /// file, expression too deep for the temporary pool, too many or too
+    /// large arrays, or an integer literal outside the encodable range.
+    Bl007Capacity,
+    /// `BL008` (warning): a `let`-bound scalar or declared array is never
+    /// read.
+    Bl008Unused,
+    /// `BL009`: internal error — the generated program failed downstream
+    /// ISA validation, translation, or the braid-contract check. Compiled
+    /// output is annotated-clean by construction, so this firing is a
+    /// compiler bug, not a user error.
+    Bl009Internal,
+}
+
+impl Code {
+    /// The stable `BL0xx` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Bl001Lex => "BL001",
+            Code::Bl002Parse => "BL002",
+            Code::Bl003Unknown => "BL003",
+            Code::Bl004Duplicate => "BL004",
+            Code::Bl005Kind => "BL005",
+            Code::Bl006Loop => "BL006",
+            Code::Bl007Capacity => "BL007",
+            Code::Bl008Unused => "BL008",
+            Code::Bl009Internal => "BL009",
+        }
+    }
+
+    /// The severity this code always reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::Bl008Unused => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// Every code, in numbering order.
+    pub const ALL: &'static [Code] = &[
+        Code::Bl001Lex,
+        Code::Bl002Parse,
+        Code::Bl003Unknown,
+        Code::Bl004Duplicate,
+        Code::Bl005Kind,
+        Code::Bl006Loop,
+        Code::Bl007Capacity,
+        Code::Bl008Unused,
+        Code::Bl009Internal,
+    ];
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but compilable.
+    Warning,
+    /// The program is refused.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// A byte span `[start, end)` in the source text, with the 1-based line
+/// and column of its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// First byte offset covered (inclusive).
+    pub start: u32,
+    /// One past the last byte offset covered.
+    pub end: u32,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering `[start, end)` at the given line and column.
+    pub fn new(start: u32, end: u32, line: u32, col: u32) -> Span {
+        Span { start, end, line, col }
+    }
+
+    /// A span from `self`'s start to `other`'s end.
+    pub fn to(self, other: Span) -> Span {
+        Span { end: other.end.max(self.end), ..self }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}:{}", self.line, self.col)
+    }
+}
+
+/// One finding of the frontend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Source span the finding is anchored to.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+    /// Span of the *defining* occurrence the finding refers to, when it
+    /// differs from the anchor — e.g. the first definition behind a
+    /// `BL004` duplicate.
+    pub def_span: Option<Span>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic; severity is derived from the code.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { code, span, message: message.into(), def_span: None }
+    }
+
+    /// Attaches the span of the defining occurrence behind the finding.
+    pub fn with_def_span(mut self, span: Span) -> Diagnostic {
+        self.def_span = Some(span);
+        self
+    }
+
+    /// The severity (fixed per code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity(), self.code, self.message)?;
+        write!(f, "\n  --> {}", self.span)?;
+        if let Some(def) = self.def_span.filter(|d| *d != self.span) {
+            write!(f, "\n  |   first defined at {def}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The full result of compiling one source text.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LangReport {
+    /// Name of the compiled program.
+    pub program: String,
+    /// Findings, in source order per pass.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LangReport {
+    /// An empty report for `program`.
+    pub fn new(program: impl Into<String>) -> LangReport {
+        LangReport { program: program.into(), diagnostics: Vec::new() }
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity() == Severity::Error).count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity() == Severity::Warning).count()
+    }
+
+    /// Whether any error was found.
+    pub fn has_errors(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// Whether the report is completely clean (no errors, no warnings).
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether any finding carries `code`.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Renders the report with the offending source line and a caret
+    /// under each finding.
+    pub fn render_with_source(&self, source: &str) -> String {
+        let mut out = self.to_string();
+        if self.is_clean() {
+            return out;
+        }
+        let lines: Vec<&str> = source.lines().collect();
+        out.push('\n');
+        for d in &self.diagnostics {
+            if let Some(text) = lines.get(d.span.line as usize - 1) {
+                let width = (d.span.end - d.span.start).max(1) as usize;
+                let caret_at = d.span.col as usize - 1;
+                let width = width.min(text.len().saturating_sub(caret_at).max(1));
+                out.push_str(&format!(
+                    "\n{:>4} | {}\n     | {}{}",
+                    d.span.line,
+                    text,
+                    " ".repeat(caret_at),
+                    "^".repeat(width)
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the machine-readable JSON form (hand-rolled; the workspace
+    /// is hermetic). Same envelope shape as `braid_check`'s report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"program\":");
+        json_string(&mut out, &self.program);
+        out.push_str(&format!(",\"errors\":{},\"warnings\":{}", self.errors(), self.warnings()));
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"line\":{},\"col\":{},\"start\":{},\"end\":{}",
+                d.code,
+                d.severity(),
+                d.span.line,
+                d.span.col,
+                d.span.start,
+                d.span.end
+            ));
+            if let Some(def) = d.def_span {
+                out.push_str(&format!(",\"def_line\":{},\"def_col\":{}", def.line, def.col));
+            }
+            out.push_str(",\"message\":");
+            json_string(&mut out, &d.message);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for LangReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "braid-lang: {} is clean", self.program);
+        }
+        writeln!(
+            f,
+            "braid-lang: {} findings for {} ({} errors, {} warnings)",
+            self.diagnostics.len(),
+            self.program,
+            self.errors(),
+            self.warnings()
+        )?;
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(Code::ALL.len(), 9);
+        for (i, c) in Code::ALL.iter().enumerate() {
+            assert_eq!(c.as_str(), format!("BL{:03}", i + 1));
+        }
+    }
+
+    #[test]
+    fn only_unused_is_a_warning() {
+        for &c in Code::ALL {
+            let expect = if c == Code::Bl008Unused { Severity::Warning } else { Severity::Error };
+            assert_eq!(c.severity(), expect, "{c}");
+        }
+    }
+
+    #[test]
+    fn report_counts_and_json() {
+        let mut r = LangReport::new("demo \"x\"");
+        assert!(r.is_clean());
+        r.push(Diagnostic::new(Code::Bl008Unused, Span::new(0, 1, 1, 1), "w"));
+        assert!(!r.has_errors());
+        r.push(
+            Diagnostic::new(Code::Bl004Duplicate, Span::new(9, 10, 2, 3), "dup `x`")
+                .with_def_span(Span::new(0, 1, 1, 1)),
+        );
+        assert!(r.has_errors());
+        assert_eq!((r.errors(), r.warnings()), (1, 1));
+        assert!(r.has_code(Code::Bl004Duplicate));
+        let j = r.to_json();
+        assert!(j.contains("\"program\":\"demo \\\"x\\\"\""));
+        assert!(j.contains("\"code\":\"BL004\""));
+        assert!(j.contains("\"line\":2,\"col\":3"));
+        assert!(j.contains("\"def_line\":1,\"def_col\":1"));
+        assert!(j.contains("\"errors\":1,\"warnings\":1"));
+        let text = r.to_string();
+        assert!(text.contains("error[BL004]: dup `x`"));
+        assert!(text.contains("--> line 2:3"));
+        assert!(text.contains("first defined at line 1:1"));
+    }
+
+    #[test]
+    fn render_with_source_carets_the_span() {
+        let src = "let x = 1;\nlet x = 2;\n";
+        let mut r = LangReport::new("p");
+        r.push(Diagnostic::new(Code::Bl004Duplicate, Span::new(15, 16, 2, 5), "dup"));
+        let text = r.render_with_source(src);
+        assert!(text.contains("let x = 2;"));
+        assert!(text.contains("     |     ^"));
+    }
+}

@@ -1,0 +1,243 @@
+//! The braid-lang reference interpreter — the golden model the compiled
+//! BRISC output is differentially tested against.
+//!
+//! Semantics match the BRISC functional machine bit for bit: wrapping
+//! 64-bit arithmetic, shift counts masked to 6 bits, *signed* `<`/`<=`
+//! (BRISC `cmplt`/`cmple`), and array indices reduced modulo the
+//! (power-of-two) array length — the same mask the code generator emits,
+//! so out-of-bounds accesses cannot diverge between the two models.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{ArrayDecl, Ast, BinOp, Expr, Stmt};
+
+/// Why interpretation stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The step budget ran out before the program finished.
+    OutOfFuel,
+    /// A name was not in scope (the compiler's semantic pass rejects
+    /// these; hitting one here means the caller skipped it).
+    Unknown(String),
+    /// An array was used as a scalar or vice versa.
+    Kind(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::OutOfFuel => write!(f, "interpreter ran out of fuel"),
+            InterpError::Unknown(n) => write!(f, "unknown name `{n}`"),
+            InterpError::Kind(n) => write!(f, "kind mismatch on `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Final architectural state of an interpreted program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpResult {
+    /// Final values of top-level scalars, in declaration order.
+    pub scalars: Vec<(String, u64)>,
+    /// Final contents of every declared array, in declaration order.
+    pub arrays: Vec<(String, Vec<u64>)>,
+    /// Statements executed (the interpreter's fuel unit).
+    pub steps: u64,
+}
+
+struct Interp<'a> {
+    arrays: Vec<(String, Vec<u64>)>,
+    array_index: HashMap<String, usize>,
+    scopes: Vec<HashMap<String, u64>>,
+    fuel: u64,
+    ast: &'a Ast,
+    steps: u64,
+}
+
+impl Interp<'_> {
+    fn lookup(&self, name: &str) -> Option<u64> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn set(&mut self, name: &str, value: u64) -> Result<(), InterpError> {
+        for s in self.scopes.iter_mut().rev() {
+            if let Some(slot) = s.get_mut(name) {
+                *slot = value;
+                return Ok(());
+            }
+        }
+        Err(InterpError::Unknown(name.to_string()))
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<u64, InterpError> {
+        Ok(match e {
+            Expr::Int { value, .. } => *value as u64,
+            Expr::Var { name, .. } => {
+                if self.array_index.contains_key(name) && self.lookup(name).is_none() {
+                    return Err(InterpError::Kind(name.clone()));
+                }
+                self.lookup(name).ok_or_else(|| InterpError::Unknown(name.clone()))?
+            }
+            Expr::Index { name, index, .. } => {
+                let idx = self.eval(index)?;
+                let ai = *self
+                    .array_index
+                    .get(name)
+                    .ok_or_else(|| InterpError::Unknown(name.clone()))?;
+                let arr = &self.arrays[ai].1;
+                arr[(idx as usize) & (arr.len() - 1)]
+            }
+            Expr::Bin { op, lhs, rhs, .. } => {
+                let a = self.eval(lhs)?;
+                let b = self.eval(rhs)?;
+                eval_binop(*op, a, b)
+            }
+            Expr::Neg { expr, .. } => self.eval(expr)?.wrapping_neg(),
+        })
+    }
+
+    fn run_block(&mut self, stmts: &[Stmt]) -> Result<(), InterpError> {
+        for s in stmts {
+            self.step(s)?;
+        }
+        Ok(())
+    }
+
+    fn step(&mut self, s: &Stmt) -> Result<(), InterpError> {
+        if self.steps >= self.fuel {
+            return Err(InterpError::OutOfFuel);
+        }
+        self.steps += 1;
+        match s {
+            Stmt::Let { name, value, .. } => {
+                let v = self.eval(value)?;
+                self.scopes.last_mut().expect("scope stack").insert(name.clone(), v);
+            }
+            Stmt::Assign { name, value, .. } => {
+                let v = self.eval(value)?;
+                self.set(name, v)?;
+            }
+            Stmt::Store { name, index, value, .. } => {
+                let idx = self.eval(index)?;
+                let v = self.eval(value)?;
+                let ai = *self
+                    .array_index
+                    .get(name)
+                    .ok_or_else(|| InterpError::Unknown(name.clone()))?;
+                let arr = &mut self.arrays[ai].1;
+                let len = arr.len();
+                arr[(idx as usize) & (len - 1)] = v;
+            }
+            Stmt::For { var, lo, hi, step, body, .. } => {
+                let mut v = self.eval(lo)?;
+                let hi = self.eval(hi)?;
+                while (v as i64) < (hi as i64) {
+                    self.scopes.push(HashMap::from([(var.clone(), v)]));
+                    let r = self.run_block(body);
+                    self.scopes.pop();
+                    r?;
+                    v = v.wrapping_add(*step as u64);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates one binary operator with the BRISC functional semantics.
+pub fn eval_binop(op: BinOp, a: u64, b: u64) -> u64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a << (b & 63),
+        BinOp::Shr => a >> (b & 63),
+        BinOp::Eq => (a == b) as u64,
+        BinOp::Ne => (a != b) as u64,
+        BinOp::Lt => ((a as i64) < (b as i64)) as u64,
+        BinOp::Le => ((a as i64) <= (b as i64)) as u64,
+    }
+}
+
+fn initial_words(decl: &ArrayDecl) -> Vec<u64> {
+    let mut words = vec![0u64; decl.len as usize];
+    words[..decl.init.len()].copy_from_slice(&decl.init);
+    words
+}
+
+/// Interprets `ast` with a statement budget of `fuel`.
+///
+/// # Errors
+///
+/// Returns [`InterpError::OutOfFuel`] if the budget runs out, or a
+/// name/kind error on an AST that skipped the compiler's semantic pass.
+pub fn interp(ast: &Ast, fuel: u64) -> Result<InterpResult, InterpError> {
+    let mut i = Interp {
+        arrays: ast.arrays.iter().map(|d| (d.name.clone(), initial_words(d))).collect(),
+        array_index: ast
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.clone(), i))
+            .collect(),
+        scopes: vec![HashMap::new()],
+        fuel,
+        ast,
+        steps: 0,
+    };
+    i.run_block(&ast.stmts)?;
+    let top = &i.scopes[0];
+    let mut scalars = Vec::new();
+    for s in &i.ast.stmts {
+        if let Stmt::Let { name, .. } = s {
+            if let Some(&v) = top.get(name) {
+                if !scalars.iter().any(|(n, _)| n == name) {
+                    scalars.push((name.clone(), v));
+                }
+            }
+        }
+    }
+    Ok(InterpResult { scalars, arrays: i.arrays, steps: i.steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn sums_an_array() {
+        let ast = parse(
+            "array a[4] = [1, 2, 3, 4];\nlet s = 0;\nfor i in 0..4 { s = s + a[i]; }\n",
+        )
+        .unwrap();
+        let r = interp(&ast, 10_000).unwrap();
+        assert_eq!(r.scalars, vec![("s".to_string(), 10)]);
+    }
+
+    #[test]
+    fn indices_wrap_modulo_length() {
+        let ast = parse("array a[4];\na[6] = 9;\nlet x = a[2];\n").unwrap();
+        let r = interp(&ast, 100).unwrap();
+        assert_eq!(r.scalars[0].1, 9);
+    }
+
+    #[test]
+    fn comparisons_are_signed() {
+        let ast = parse("let x = 0 - 1;\nlet y = x < 1;\nlet z = 1 <= x;\n").unwrap();
+        let r = interp(&ast, 100).unwrap();
+        assert_eq!(r.scalars[1].1, 1, "-1 < 1 signed");
+        assert_eq!(r.scalars[2].1, 0, "1 <= -1 signed");
+    }
+
+    #[test]
+    fn fuel_bounds_runaway_loops() {
+        let ast = parse("let s = 0;\nfor i in 0..100000 { s = s + 1; }\n").unwrap();
+        assert_eq!(interp(&ast, 50).unwrap_err(), InterpError::OutOfFuel);
+    }
+}

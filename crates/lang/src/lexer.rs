@@ -1,0 +1,307 @@
+//! The braid-lang lexer: source text → spanned tokens.
+
+use crate::diag::{Code, Diagnostic, Span};
+
+/// One token kind. Keywords are distinguished from identifiers here so the
+/// parser never has to string-compare.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// `let`
+    Let,
+    /// `array`
+    Array,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// `step`
+    Step,
+    /// An identifier.
+    Ident(String),
+    /// An integer literal (decimal or `0x` hexadecimal).
+    Int(i64),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Assign,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `..`
+    DotDot,
+    /// End of input (always the last token).
+    Eof,
+}
+
+impl Tok {
+    /// Short human name used in parse-error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Let => "`let`".into(),
+            Tok::Array => "`array`".into(),
+            Tok::For => "`for`".into(),
+            Tok::In => "`in`".into(),
+            Tok::Step => "`step`".into(),
+            Tok::Ident(n) => format!("identifier `{n}`"),
+            Tok::Int(v) => format!("integer `{v}`"),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Amp => "`&`".into(),
+            Tok::Pipe => "`|`".into(),
+            Tok::Caret => "`^`".into(),
+            Tok::Shl => "`<<`".into(),
+            Tok::Shr => "`>>`".into(),
+            Tok::EqEq => "`==`".into(),
+            Tok::NotEq => "`!=`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::Assign => "`=`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::DotDot => "`..`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What it is.
+    pub tok: Tok,
+    /// Where it is.
+    pub span: Span,
+}
+
+/// Lexes `source` into tokens (ending with [`Tok::Eof`]). `#` starts a
+/// comment running to end of line.
+///
+/// # Errors
+///
+/// Returns a `BL001` diagnostic on the first unrecognized character or
+/// malformed integer literal.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! span {
+        ($start:expr, $len:expr, $scol:expr) => {
+            Span::new($start as u32, ($start + $len) as u32, line, $scol)
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            b' ' | b'\t' | b'\r' => {
+                i += 1;
+                col += 1;
+            }
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                let scol = col;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                    col += 1;
+                }
+                let word = &source[start..i];
+                let tok = match word {
+                    "let" => Tok::Let,
+                    "array" => Tok::Array,
+                    "for" => Tok::For,
+                    "in" => Tok::In,
+                    "step" => Tok::Step,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                toks.push(Token { tok, span: span!(start, word.len(), scol) });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let scol = col;
+                let hex = i + 1 < bytes.len()
+                    && bytes[i] == b'0'
+                    && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X');
+                if hex {
+                    i += 2;
+                    col += 2;
+                }
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                    col += 1;
+                }
+                let text = &source[start..i];
+                let digits = text.replace('_', "");
+                let parsed = if hex {
+                    i64::from_str_radix(&digits[2..], 16)
+                } else {
+                    digits.parse::<i64>()
+                };
+                match parsed {
+                    Ok(v) => {
+                        toks.push(Token { tok: Tok::Int(v), span: span!(start, text.len(), scol) })
+                    }
+                    Err(_) => {
+                        return Err(Diagnostic::new(
+                            Code::Bl001Lex,
+                            span!(start, text.len(), scol),
+                            format!("malformed integer literal `{text}`"),
+                        ));
+                    }
+                }
+            }
+            _ => {
+                let start = i;
+                let scol = col;
+                let two = if i + 1 < bytes.len() { &source[i..i + 2] } else { "" };
+                let (tok, len) = match two {
+                    "<<" => (Some(Tok::Shl), 2),
+                    ">>" => (Some(Tok::Shr), 2),
+                    "==" => (Some(Tok::EqEq), 2),
+                    "!=" => (Some(Tok::NotEq), 2),
+                    "<=" => (Some(Tok::Le), 2),
+                    ">=" => (Some(Tok::Ge), 2),
+                    ".." => (Some(Tok::DotDot), 2),
+                    _ => (
+                        match c {
+                            b'+' => Some(Tok::Plus),
+                            b'-' => Some(Tok::Minus),
+                            b'*' => Some(Tok::Star),
+                            b'&' => Some(Tok::Amp),
+                            b'|' => Some(Tok::Pipe),
+                            b'^' => Some(Tok::Caret),
+                            b'<' => Some(Tok::Lt),
+                            b'>' => Some(Tok::Gt),
+                            b'=' => Some(Tok::Assign),
+                            b'(' => Some(Tok::LParen),
+                            b')' => Some(Tok::RParen),
+                            b'[' => Some(Tok::LBracket),
+                            b']' => Some(Tok::RBracket),
+                            b'{' => Some(Tok::LBrace),
+                            b'}' => Some(Tok::RBrace),
+                            b',' => Some(Tok::Comma),
+                            b';' => Some(Tok::Semi),
+                            _ => None,
+                        },
+                        1,
+                    ),
+                };
+                match tok {
+                    Some(t) => {
+                        toks.push(Token { tok: t, span: span!(start, len, scol) });
+                        i += len;
+                        col += len as u32;
+                    }
+                    None => {
+                        return Err(Diagnostic::new(
+                            Code::Bl001Lex,
+                            span!(start, 1, scol),
+                            format!(
+                                "unrecognized character `{}`",
+                                source[start..].chars().next().unwrap_or('?')
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    toks.push(Token { tok: Tok::Eof, span: Span::new(bytes.len() as u32, bytes.len() as u32, line, col) });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_token_zoo() {
+        let toks = lex("let x = 0x10 + 2; # comment\nfor i in 0..8 step 2 { a[i] = x << 1; }")
+            .unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert!(kinds.contains(&&Tok::Let));
+        assert!(kinds.contains(&&Tok::Int(16)));
+        assert!(kinds.contains(&&Tok::DotDot));
+        assert!(kinds.contains(&&Tok::Step));
+        assert!(kinds.contains(&&Tok::Shl));
+        assert_eq!(toks.last().unwrap().tok, Tok::Eof);
+    }
+
+    #[test]
+    fn tracks_lines_and_columns() {
+        let toks = lex("let a = 1;\n  let b = 2;").unwrap();
+        let b_let = &toks[5];
+        assert_eq!(b_let.tok, Tok::Let);
+        assert_eq!((b_let.span.line, b_let.span.col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_bad_chars_and_bad_ints() {
+        let err = lex("let $ = 1;").unwrap_err();
+        assert_eq!(err.code, Code::Bl001Lex);
+        let err = lex("let x = 0xZZ;").unwrap_err();
+        assert_eq!(err.code, Code::Bl001Lex);
+        let err = lex("let x = 99999999999999999999;").unwrap_err();
+        assert_eq!(err.code, Code::Bl001Lex);
+    }
+}

@@ -1,0 +1,265 @@
+//! The parameterized loop-nest workload family.
+//!
+//! Generates braid-lang source for classic loop-nest shapes with the
+//! register-tiling knobs — unroll factor, tile size, nest depth, and
+//! independent-chain count — that deliberately vary internal-register
+//! pressure and braid-split structure (the "Tiling Perspective for
+//! Register Optimization" angle). `braid_workloads::by_name_any` resolves
+//! `ln_*` names through [`by_name`], so sweeps, `exp`, the oracle and
+//! braidd inherit every compiled program for free.
+//!
+//! Naming grammar (all parameters are part of the stable name):
+//!
+//! * `ln_saxpy_u{U}` — `y[i] += a*x[i]`, unrolled `U` ∈ {1,2,4,8}.
+//! * `ln_stencil_u{U}` — 3-point stencil, unrolled `U` ∈ {1,2,4,8}.
+//! * `ln_matmul_n{N}` — `N`×`N` matmul (depth-3 nest), `N` ∈ {4,8}.
+//! * `ln_matmul_n{N}_t{T}` — i/j tiled by `T` (depth-5 nest), `T` | `N`.
+//! * `ln_chains_c{C}_u{U}` — `C` ∈ 2..=8 independent multiply-accumulate
+//!   chains fed through one shared in-block index value, unrolled `U` ∈
+//!   {1,2,4}. All chains hang off a single in-block def, so the canonical
+//!   partitioner fuses them into one serialized braid — the
+//!   communication-dominated shape the `braidc -O` partition search needs.
+
+use crate::Compiled;
+
+/// One loop-nest family member: a name, its generated source, and a
+/// dynamic-instruction budget that comfortably covers the run.
+#[derive(Debug, Clone)]
+pub struct LoopNest {
+    /// Stable workload name (`ln_...`).
+    pub name: String,
+    /// The braid-lang source text.
+    pub source: String,
+    /// Instruction budget for functional/timing runs.
+    pub fuel: u64,
+}
+
+impl LoopNest {
+    /// Compiles the member (unannotated, like the hand-written kernels).
+    ///
+    /// # Panics
+    ///
+    /// Family sources are compiler-tested; a failure here is a bug.
+    pub fn compile(&self) -> Compiled {
+        crate::compile(&self.name, &self.source)
+            .unwrap_or_else(|r| panic!("loop-nest {} failed to compile:\n{r}", self.name))
+    }
+}
+
+/// Deterministic array-seeding loop shared by every generator.
+fn seed_loop(arr: &str, n: u32, mul: u32, add: u32) -> String {
+    format!("for s{arr} in 0..{n} {{ {arr}[s{arr}] = (s{arr} * {mul} + {add}) ^ (s{arr} << 7); }}\n")
+}
+
+/// `y[i] = y[i] + a*x[i]` over `n` elements, unrolled by `unroll`.
+pub fn saxpy(n: u32, unroll: u32) -> LoopNest {
+    assert!(n.is_power_of_two() && n.is_multiple_of(unroll));
+    let mut src = format!("# saxpy: n={n} unroll={unroll}\narray x[{n}];\narray y[{n}];\n");
+    src.push_str(&seed_loop("x", n, 40503, 9973));
+    src.push_str(&seed_loop("y", n, 2057, 271));
+    src.push_str("let a = 12289;\n");
+    src.push_str(&format!("for i in 0..{n} step {unroll} {{\n"));
+    for u in 0..unroll {
+        src.push_str(&format!("  y[i + {u}] = y[i + {u}] + a * x[i + {u}];\n"));
+    }
+    src.push_str("}\n");
+    LoopNest { name: format!("ln_saxpy_u{unroll}"), source: src, fuel: 4_000_000 }
+}
+
+/// 3-point stencil `out[i] = (x[i-1] + 2*x[i] + x[i+1]) >> 2` over `n`
+/// elements (indices wrap modulo `n`), unrolled by `unroll`.
+pub fn stencil(n: u32, unroll: u32) -> LoopNest {
+    assert!(n.is_power_of_two() && n.is_multiple_of(unroll));
+    let mut src = format!("# stencil3: n={n} unroll={unroll}\narray x[{n}];\narray out[{n}];\n");
+    src.push_str(&seed_loop("x", n, 31337, 77));
+    src.push_str(&format!("for i in 0..{n} step {unroll} {{\n"));
+    for u in 0..unroll {
+        src.push_str(&format!(
+            "  out[i + {u}] = (x[i + {}] + 2 * x[i + {u}] + x[i + {}]) >> 2;\n",
+            u as i64 - 1,
+            u + 1
+        ));
+    }
+    src.push_str("}\n");
+    LoopNest { name: format!("ln_stencil_u{unroll}"), source: src, fuel: 4_000_000 }
+}
+
+/// `n`×`n` integer matmul. `tile` of 0 is the plain depth-3 nest; a
+/// nonzero `tile` (dividing `n`) tiles the i/j loops (depth-5 nest).
+pub fn matmul(n: u32, tile: u32) -> LoopNest {
+    assert!(n.is_power_of_two());
+    assert!(tile == 0 || (n.is_multiple_of(tile) && tile < n));
+    let nn = n * n;
+    let mut src = format!(
+        "# matmul: n={n} tile={tile}\narray ma[{nn}];\narray mb[{nn}];\narray mc[{nn}];\n"
+    );
+    src.push_str(&seed_loop("ma", nn, 48271, 11));
+    src.push_str(&seed_loop("mb", nn, 16807, 7));
+    let body = |src: &mut String, ipad: &str| {
+        src.push_str(&format!("{ipad}let acc = 0;\n"));
+        src.push_str(&format!(
+            "{ipad}for k in 0..{n} {{ acc = acc + ma[i * {n} + k] * mb[k * {n} + j]; }}\n"
+        ));
+        src.push_str(&format!("{ipad}mc[i * {n} + j] = acc;\n"));
+    };
+    if tile == 0 {
+        src.push_str(&format!("for i in 0..{n} {{\n for j in 0..{n} {{\n"));
+        body(&mut src, "  ");
+        src.push_str(" }\n}\n");
+    } else {
+        src.push_str(&format!(
+            "for ii in 0..{n} step {tile} {{\n for jj in 0..{n} step {tile} {{\n"
+        ));
+        src.push_str(&format!(
+            "  for i in ii..ii + {tile} {{\n   for j in jj..jj + {tile} {{\n"
+        ));
+        body(&mut src, "    ");
+        src.push_str("   }\n  }\n }\n}\n");
+    }
+    let name = if tile == 0 {
+        format!("ln_matmul_n{n}")
+    } else {
+        format!("ln_matmul_n{n}_t{tile}")
+    };
+    LoopNest { name, source: src, fuel: 8_000_000 }
+}
+
+/// `chains` independent multiply-accumulate chains, all indexed off one
+/// shared in-block value (`let b = i + 0;`), unrolled by `unroll`. The
+/// shared def makes the whole body one connected dataflow subgraph, so
+/// the canonical partitioner serializes all chains into a single braid —
+/// length-limited cuts can beat it by spreading the chains across BEUs.
+pub fn chains(n: u32, nchains: u32, unroll: u32) -> LoopNest {
+    assert!(n.is_power_of_two());
+    assert!((2..=8).contains(&nchains));
+    let step = nchains * unroll;
+    let primes = [3, 5, 7, 11, 13, 17, 19, 23];
+    let mut src = format!("# chains: n={n} c={nchains} unroll={unroll}\narray x[{n}];\narray out[16];\n");
+    src.push_str(&seed_loop("x", n, 28657, 433));
+    for c in 0..nchains {
+        src.push_str(&format!("let t{c} = {};\n", c + 1));
+    }
+    src.push_str(&format!("for i in 0..{n} step {step} {{\n  let b = i + 0;\n"));
+    for u in 0..unroll {
+        for c in 0..nchains {
+            src.push_str(&format!(
+                "  t{c} = t{c} + x[b + {}] * {};\n",
+                u * nchains + c,
+                primes[c as usize]
+            ));
+        }
+    }
+    src.push_str("}\n");
+    for c in 0..nchains {
+        src.push_str(&format!("out[{c}] = t{c};\n"));
+    }
+    LoopNest { name: format!("ln_chains_c{nchains}_u{unroll}"), source: src, fuel: 4_000_000 }
+}
+
+/// The curated family registered as workloads (`braid_workloads`
+/// resolves these names, so they flow into sweeps, `exp`, the oracle and
+/// braidd for free).
+pub fn family() -> Vec<LoopNest> {
+    vec![
+        saxpy(1024, 1),
+        saxpy(1024, 4),
+        stencil(1024, 1),
+        stencil(1024, 4),
+        matmul(8, 0),
+        matmul(8, 4),
+        chains(2048, 4, 2),
+        chains(2048, 6, 2),
+    ]
+}
+
+/// The communication-dominated subset fed into the `braidc -O` partition
+/// search (`exp opt`): canonical braid formation serializes these, so
+/// alternative cuts have headroom to recover.
+pub fn opt_family() -> Vec<LoopNest> {
+    vec![chains(2048, 4, 2), chains(2048, 6, 2), chains(2048, 6, 4), chains(2048, 8, 2)]
+}
+
+/// Resolves a loop-nest family name (`ln_...`), parsing the parameter
+/// suffix — any in-range parameterization works, not just the curated
+/// [`family`] list.
+pub fn by_name(name: &str) -> Option<LoopNest> {
+    let rest = name.strip_prefix("ln_")?;
+    if let Some(u) = rest.strip_prefix("saxpy_u") {
+        let u: u32 = u.parse().ok()?;
+        if [1, 2, 4, 8].contains(&u) {
+            return Some(saxpy(1024, u));
+        }
+    } else if let Some(u) = rest.strip_prefix("stencil_u") {
+        let u: u32 = u.parse().ok()?;
+        if [1, 2, 4, 8].contains(&u) {
+            return Some(stencil(1024, u));
+        }
+    } else if let Some(params) = rest.strip_prefix("matmul_n") {
+        let (n, t) = match params.split_once("_t") {
+            Some((n, t)) => (n.parse().ok()?, t.parse().ok()?),
+            None => (params.parse().ok()?, 0u32),
+        };
+        if [4u32, 8].contains(&n) && (t == 0 || (t < n && n % t == 0)) {
+            return Some(matmul(n, t));
+        }
+    } else if let Some(params) = rest.strip_prefix("chains_c") {
+        let (c, u) = params.split_once("_u")?;
+        let (c, u): (u32, u32) = (c.parse().ok()?, u.parse().ok()?);
+        if (2..=8).contains(&c) && [1, 2, 4].contains(&u) {
+            return Some(chains(2048, c, u));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_member_compiles_clean_and_annotates() {
+        for nest in family() {
+            let out = crate::compile(&nest.name, &nest.source)
+                .unwrap_or_else(|r| panic!("{}:\n{r}", nest.name));
+            assert!(out.report.is_clean(), "{}: {}", nest.name, out.report);
+            out.program.validate().unwrap();
+            let ann = crate::compile_annotated(&nest.name, &nest.source)
+                .unwrap_or_else(|r| panic!("{} annotated:\n{r}", nest.name));
+            let check = braid_check::check_program(
+                &ann.program,
+                &braid_check::CheckConfig::default(),
+            );
+            assert!(!check.has_errors(), "{}:\n{check}", nest.name);
+        }
+    }
+
+    #[test]
+    fn family_members_terminate_within_fuel() {
+        for nest in family() {
+            let out = nest.compile();
+            let mut m = braid_core::Machine::new(&out.program);
+            let trace = m
+                .run(&out.program, nest.fuel)
+                .unwrap_or_else(|e| panic!("{}: {e}", nest.name));
+            assert!(m.halted(), "{} must halt", nest.name);
+            assert!(
+                trace.entries.len() > 1000,
+                "{} should be a real workload, got {} insts",
+                nest.name,
+                trace.entries.len()
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_parses_the_grammar() {
+        for nest in family().into_iter().chain(opt_family()) {
+            let again = by_name(&nest.name).unwrap_or_else(|| panic!("{}", nest.name));
+            assert_eq!(again.source, nest.source, "{} must be reproducible", nest.name);
+        }
+        assert!(by_name("ln_chains_c9_u2").is_none());
+        assert!(by_name("ln_saxpy_u3").is_none());
+        assert!(by_name("dot_product").is_none());
+        assert!(by_name("ln_matmul_n8_t8").is_none());
+    }
+}

@@ -1,0 +1,388 @@
+//! Recursive-descent parser: tokens → [`Ast`], with spanned `BL002`
+//! diagnostics on the first syntax error.
+
+use crate::ast::{ArrayDecl, Ast, BinOp, Expr, Stmt};
+use crate::diag::{Code, Diagnostic, Span};
+use crate::lexer::{lex, Tok, Token};
+
+/// Largest declarable array, in 64-bit words (one data segment).
+pub const MAX_ARRAY_WORDS: u32 = 1 << 16;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok, what: &str) -> Result<Token, Diagnostic> {
+        let t = self.peek().clone();
+        if std::mem::discriminant(&t.tok) == std::mem::discriminant(want) {
+            Ok(self.next())
+        } else {
+            Err(Diagnostic::new(
+                Code::Bl002Parse,
+                t.span,
+                format!("expected {what}, found {}", t.tok.describe()),
+            ))
+        }
+    }
+
+    fn eat_ident(&mut self, what: &str) -> Result<(String, Span), Diagnostic> {
+        let t = self.eat(&Tok::Ident(String::new()), what)?;
+        match t.tok {
+            Tok::Ident(name) => Ok((name, t.span)),
+            _ => unreachable!("eat matched Ident"),
+        }
+    }
+
+    fn eat_int(&mut self, what: &str) -> Result<(i64, Span), Diagnostic> {
+        // A literal integer, allowing a leading minus.
+        if self.peek().tok == Tok::Minus {
+            let minus = self.next();
+            let t = self.eat(&Tok::Int(0), what)?;
+            match t.tok {
+                Tok::Int(v) => Ok((v.wrapping_neg(), minus.span.to(t.span))),
+                _ => unreachable!(),
+            }
+        } else {
+            let t = self.eat(&Tok::Int(0), what)?;
+            match t.tok {
+                Tok::Int(v) => Ok((v, t.span)),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn program(&mut self) -> Result<Ast, Diagnostic> {
+        let mut ast = Ast::default();
+        while self.peek().tok != Tok::Eof {
+            if self.peek().tok == Tok::Array {
+                ast.arrays.push(self.array_decl()?);
+            } else {
+                ast.stmts.push(self.stmt()?);
+            }
+        }
+        Ok(ast)
+    }
+
+    fn array_decl(&mut self) -> Result<ArrayDecl, Diagnostic> {
+        self.eat(&Tok::Array, "`array`")?;
+        let (name, span) = self.eat_ident("array name")?;
+        self.eat(&Tok::LBracket, "`[`")?;
+        let (len, len_span) = self.eat_int("array length")?;
+        if len <= 0 || len > MAX_ARRAY_WORDS as i64 {
+            return Err(Diagnostic::new(
+                Code::Bl007Capacity,
+                len_span,
+                format!("array length must be 1..={MAX_ARRAY_WORDS}, got {len}"),
+            ));
+        }
+        // Indices are reduced modulo the length (one `andi` mask), which
+        // only works — and keeps the golden model and the compiled code
+        // bit-identical on any index — when lengths are powers of two.
+        if len & (len - 1) != 0 {
+            return Err(Diagnostic::new(
+                Code::Bl007Capacity,
+                len_span,
+                format!("array length must be a power of two, got {len}"),
+            ));
+        }
+        self.eat(&Tok::RBracket, "`]`")?;
+        let mut init = Vec::new();
+        if self.peek().tok == Tok::Assign {
+            self.next();
+            self.eat(&Tok::LBracket, "`[`")?;
+            loop {
+                let (w, w_span) = self.eat_int("array initializer element")?;
+                if init.len() as i64 >= len {
+                    return Err(Diagnostic::new(
+                        Code::Bl007Capacity,
+                        w_span,
+                        format!("initializer has more than {len} elements"),
+                    ));
+                }
+                init.push(w as u64);
+                if self.peek().tok == Tok::Comma {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+            self.eat(&Tok::RBracket, "`]`")?;
+        }
+        self.eat(&Tok::Semi, "`;`")?;
+        Ok(ArrayDecl { name, len: len as u32, init, span })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let t = self.peek().clone();
+        match &t.tok {
+            Tok::Let => {
+                self.next();
+                let (name, span) = self.eat_ident("variable name")?;
+                self.eat(&Tok::Assign, "`=`")?;
+                let value = self.expr()?;
+                self.eat(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Let { name, value, span })
+            }
+            Tok::For => {
+                self.next();
+                let (var, span) = self.eat_ident("loop variable")?;
+                self.eat(&Tok::In, "`in`")?;
+                let lo = self.expr()?;
+                self.eat(&Tok::DotDot, "`..`")?;
+                let hi = self.expr()?;
+                let step = if self.peek().tok == Tok::Step {
+                    self.next();
+                    let (s, s_span) = self.eat_int("literal step")?;
+                    if s <= 0 {
+                        return Err(Diagnostic::new(
+                            Code::Bl006Loop,
+                            s_span,
+                            format!("loop step must be a positive literal, got {s}"),
+                        ));
+                    }
+                    s
+                } else {
+                    1
+                };
+                self.eat(&Tok::LBrace, "`{`")?;
+                let mut body = Vec::new();
+                while self.peek().tok != Tok::RBrace {
+                    if self.peek().tok == Tok::Eof {
+                        return Err(Diagnostic::new(
+                            Code::Bl002Parse,
+                            self.peek().span,
+                            "unterminated loop body (missing `}`)",
+                        ));
+                    }
+                    if self.peek().tok == Tok::Array {
+                        return Err(Diagnostic::new(
+                            Code::Bl002Parse,
+                            self.peek().span,
+                            "array declarations must be top-level",
+                        ));
+                    }
+                    body.push(self.stmt()?);
+                }
+                self.eat(&Tok::RBrace, "`}`")?;
+                Ok(Stmt::For { var, lo, hi, step, body, span })
+            }
+            Tok::Ident(_) => {
+                let (name, span) = self.eat_ident("variable name")?;
+                if self.peek().tok == Tok::LBracket {
+                    self.next();
+                    let index = self.expr()?;
+                    self.eat(&Tok::RBracket, "`]`")?;
+                    self.eat(&Tok::Assign, "`=`")?;
+                    let value = self.expr()?;
+                    self.eat(&Tok::Semi, "`;`")?;
+                    Ok(Stmt::Store { name, index, value, span })
+                } else {
+                    self.eat(&Tok::Assign, "`=`")?;
+                    let value = self.expr()?;
+                    self.eat(&Tok::Semi, "`;`")?;
+                    Ok(Stmt::Assign { name, value, span })
+                }
+            }
+            _ => Err(Diagnostic::new(
+                Code::Bl002Parse,
+                t.span,
+                format!("expected a statement, found {}", t.tok.describe()),
+            )),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek().tok {
+            Tok::EqEq => Some(BinOp::Eq),
+            Tok::NotEq => Some(BinOp::Ne),
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::Le => Some(BinOp::Le),
+            Tok::Gt | Tok::Ge => Some(BinOp::Lt), // swapped below
+            _ => None,
+        };
+        let Some(op) = op else { return Ok(lhs) };
+        let swapped = matches!(self.peek().tok, Tok::Gt | Tok::Ge);
+        let ge = self.peek().tok == Tok::Ge;
+        self.next();
+        let rhs = self.add_expr()?;
+        let span = lhs.span().to(rhs.span());
+        // `a > b` is `b < a`; `a >= b` is `b <= a`.
+        let (op, lhs, rhs) = if swapped {
+            (if ge { BinOp::Le } else { BinOp::Lt }, rhs, lhs)
+        } else {
+            (op, lhs, rhs)
+        };
+        Ok(Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                Tok::Pipe => BinOp::Or,
+                Tok::Caret => BinOp::Xor,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Star => BinOp::Mul,
+                Tok::Amp => BinOp::And,
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::Shr,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        if self.peek().tok == Tok::Minus {
+            let minus = self.next();
+            let inner = self.unary_expr()?;
+            let span = minus.span.to(inner.span());
+            return Ok(Expr::Neg { expr: Box::new(inner), span });
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let t = self.peek().clone();
+        match t.tok {
+            Tok::Int(value) => {
+                self.next();
+                Ok(Expr::Int { value, span: t.span })
+            }
+            Tok::Ident(name) => {
+                self.next();
+                if self.peek().tok == Tok::LBracket {
+                    self.next();
+                    let index = self.expr()?;
+                    let close = self.eat(&Tok::RBracket, "`]`")?;
+                    Ok(Expr::Index {
+                        name,
+                        index: Box::new(index),
+                        span: t.span.to(close.span),
+                    })
+                } else {
+                    Ok(Expr::Var { name, span: t.span })
+                }
+            }
+            Tok::LParen => {
+                self.next();
+                let e = self.expr()?;
+                self.eat(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            _ => Err(Diagnostic::new(
+                Code::Bl002Parse,
+                t.span,
+                format!("expected an expression, found {}", t.tok.describe()),
+            )),
+        }
+    }
+}
+
+/// Parses `source` into an [`Ast`].
+///
+/// # Errors
+///
+/// Returns the first `BL001` (lex) or `BL002` (parse) diagnostic.
+pub fn parse(source: &str) -> Result<Ast, Diagnostic> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_loop_nest() {
+        let ast = parse(
+            "array a[8] = [1, 2, 3];\nlet s = 0;\nfor i in 0..8 step 2 { s = s + a[i]; }\n",
+        )
+        .unwrap();
+        assert_eq!(ast.arrays.len(), 1);
+        assert_eq!(ast.arrays[0].len, 8);
+        assert_eq!(ast.arrays[0].init, vec![1, 2, 3]);
+        assert_eq!(ast.stmts.len(), 2);
+        match &ast.stmts[1] {
+            Stmt::For { var, step, body, .. } => {
+                assert_eq!(var, "i");
+                assert_eq!(*step, 2);
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gt_is_swapped_lt() {
+        let ast = parse("let x = 3 > 2;").unwrap();
+        match &ast.stmts[0] {
+            Stmt::Let { value: Expr::Bin { op, lhs, .. }, .. } => {
+                assert_eq!(*op, BinOp::Lt);
+                assert_eq!(**lhs, Expr::Int { value: 2, span: lhs.span() });
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter() {
+        let ast = parse("let x = 1 + 2 * 3;").unwrap();
+        match &ast.stmts[0] {
+            Stmt::Let { value: Expr::Bin { op: BinOp::Add, rhs, .. }, .. } => {
+                assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_spans() {
+        let err = parse("let = 3;").unwrap_err();
+        assert_eq!(err.code, Code::Bl002Parse);
+        assert_eq!((err.span.line, err.span.col), (1, 5));
+        let err = parse("for i in 0..4 step 0 { }").unwrap_err();
+        assert_eq!(err.code, Code::Bl006Loop);
+        let err = parse("for i in 0..4 { array a[2]; }").unwrap_err();
+        assert_eq!(err.code, Code::Bl002Parse);
+        let err = parse("array a[0];").unwrap_err();
+        assert_eq!(err.code, Code::Bl007Capacity);
+        let err = parse("array a[3];").unwrap_err();
+        assert_eq!(err.code, Code::Bl007Capacity);
+    }
+}

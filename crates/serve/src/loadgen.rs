@@ -39,6 +39,10 @@ use crate::client::{Client, ClientConfig, ClientError};
 const WORKLOADS: [&str; 5] = ["dot_product", "fig2_life", "stencil", "pointer_chase", "histogram"];
 const CORES: [&str; 4] = ["inorder", "dep", "ooo", "braid"];
 const WIDTHS: [u32; 3] = [0, 4, 8];
+/// Workloads the `trace` record-and-replay class draws from: a couple of
+/// cheap hand kernels plus compiled loop-nest families, so the mix
+/// exercises the braid-lang frontend end to end through the daemon.
+const TRACE_WORKLOADS: [&str; 4] = ["dot_product", "stencil", "ln_saxpy_u2", "ln_chains_c2_u1"];
 /// Execution tiers the simulate mix draws from, weighted toward `full`
 /// so the mix still exercises the original timing path hardest.
 const TIERS: [&str; 4] = ["full", "full", "func", "sampled"];
@@ -251,18 +255,20 @@ impl From<ClientError> for LoadgenError {
 }
 
 /// Generates the deterministic request mix: `n` request lines with ids
-/// `1..=n`, drawn from a seeded distribution of roughly 60% `simulate`,
-/// 15% `sweep-point`, 15% `translate`, 10% `check` over the kernel
-/// workloads and all four cores. Simulate requests carry an explicit
-/// execution tier (half `full`, the rest `func`/`sampled`), so a verified
-/// run covers every tier's determinism and cache behaviour at once.
+/// `1..=n`, drawn from a seeded distribution of roughly 55% `simulate`,
+/// 13% `sweep-point`, 10% `trace`, 13% `translate`, 9% `check` over the
+/// kernel workloads and all four cores. Simulate requests carry an
+/// explicit execution tier (half `full`, the rest `func`/`sampled`), and
+/// `trace` requests record-and-replay compiled loop-nest workloads, so a
+/// verified run covers every tier's and every request kind's determinism
+/// and cache behaviour at once.
 pub fn generate_requests(n: usize, seed: u64) -> Vec<String> {
     let mut rng = braid_prng::Rng::seed_from_u64(seed);
     (1..=n as u64)
         .map(|id| {
             let workload = *rng.choose(&WORKLOADS);
             let r = rng.next_f64();
-            if r < 0.60 {
+            if r < 0.55 {
                 let core = *rng.choose(&CORES);
                 let width = *rng.choose(&WIDTHS);
                 let tier = *rng.choose(&TIERS);
@@ -270,7 +276,7 @@ pub fn generate_requests(n: usize, seed: u64) -> Vec<String> {
                     "{{\"id\":{id},\"kind\":\"simulate\",\"workload\":\"{workload}\",\
                      \"core\":\"{core}\",\"width\":{width},\"tier\":\"{tier}\"}}"
                 )
-            } else if r < 0.75 {
+            } else if r < 0.68 {
                 let core = *rng.choose(&CORES);
                 let width = *rng.choose(&WIDTHS);
                 let fifo = if rng.gen_bool(0.5) { 16 } else { 0 };
@@ -278,7 +284,14 @@ pub fn generate_requests(n: usize, seed: u64) -> Vec<String> {
                     "{{\"id\":{id},\"kind\":\"sweep-point\",\"workload\":\"{workload}\",\
                      \"core\":\"{core}\",\"width\":{width},\"fifo\":{fifo}}}"
                 )
-            } else if r < 0.90 {
+            } else if r < 0.78 {
+                let workload = *rng.choose(&TRACE_WORKLOADS);
+                let core = *rng.choose(&CORES);
+                format!(
+                    "{{\"id\":{id},\"kind\":\"trace\",\"workload\":\"{workload}\",\
+                     \"core\":\"{core}\"}}"
+                )
+            } else if r < 0.91 {
                 format!("{{\"id\":{id},\"kind\":\"translate\",\"workload\":\"{workload}\"}}")
             } else {
                 format!("{{\"id\":{id},\"kind\":\"check\",\"workload\":\"{workload}\"}}")
@@ -489,7 +502,7 @@ mod tests {
             assert_eq!(id, i as u64 + 1, "ids are 1..=n in order");
             *kinds.entry(req.kind()).or_insert(0u32) += 1;
         }
-        for kind in ["simulate", "sweep-point", "translate", "check"] {
+        for kind in ["simulate", "sweep-point", "trace", "translate", "check"] {
             assert!(kinds.get(kind).copied().unwrap_or(0) > 0, "mix contains {kind}");
         }
         for tier in ["\"tier\":\"full\"", "\"tier\":\"func\"", "\"tier\":\"sampled\""] {

@@ -71,6 +71,19 @@ pub enum Request {
         /// The grid point to run (its `index` is ignored).
         point: braid_sweep::GridPoint,
     },
+    /// Record a workload's committed trace and replay it through a
+    /// timing core, returning the cycle count and the trace's content
+    /// digest (the braid-tracein path).
+    Trace {
+        /// Workload name.
+        workload: String,
+        /// Core model to replay on.
+        core: CoreModel,
+        /// Machine width (`0` = the model's 8-wide paper default).
+        width: u32,
+        /// Synthetic-suite scale (kernels and `ln_*` nests ignore it).
+        scale: f64,
+    },
     /// Return server statistics: cache counters, queue depths, latency
     /// histogram, aggregated CPI stack.
     Stats,
@@ -261,6 +274,12 @@ pub fn parse_request_traced(line: &str) -> Result<ParsedRequest, ProtocolError> 
                 tier: opt_tier(&doc).map_err(fail)?,
             },
         },
+        "trace" => Request::Trace {
+            workload: req_workload(&doc).map_err(fail)?,
+            core: req_core(&doc).map_err(fail)?,
+            width: opt_u32(&doc, "width", 0).map_err(fail)?,
+            scale: opt_f64(&doc, "scale", 0.05).map_err(fail)?,
+        },
         "stats" => Request::Stats,
         "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
@@ -311,6 +330,7 @@ impl Request {
             Request::Translate { .. } => "translate",
             Request::Check { .. } => "check",
             Request::SweepPoint { .. } => "sweep-point",
+            Request::Trace { .. } => "trace",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
@@ -320,7 +340,9 @@ impl Request {
     /// The request's load-shedding class (see [`ShedClass`]).
     pub fn shed_class(&self) -> ShedClass {
         match self {
-            Request::Simulate { .. } | Request::SweepPoint { .. } => ShedClass::Heavy,
+            Request::Simulate { .. } | Request::SweepPoint { .. } | Request::Trace { .. } => {
+                ShedClass::Heavy
+            }
             Request::Translate { .. } => ShedClass::Medium,
             Request::Check { .. } => ShedClass::Light,
             Request::Stats | Request::Metrics | Request::Shutdown => ShedClass::Inline,

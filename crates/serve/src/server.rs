@@ -663,6 +663,56 @@ fn run_request(shared: &Shared, req: &Request, span: &mut RequestSpan) -> Result
             shared.cache.insert_faulty(key, payload.clone(), shared.disk_fault());
             Ok(payload)
         }
+        Request::Trace { workload, core, width, scale } => {
+            let (w, pdigest) = program_digest(workload, *scale)?;
+            let key = ContentDigest::new()
+                .field("kind", "trace")
+                .field("program", &pdigest)
+                .field("core", core.name())
+                .field("config", format!("w{width}"))
+                .finish();
+            if let Some(hit) = shared.cache.get(&key) {
+                probe(span, true);
+                return Ok(hit);
+            }
+            probe(span, false);
+            let malformed = |w: &braid_workloads::Workload, msg: String| SweepError::Malformed {
+                path: std::path::PathBuf::from(&w.name),
+                msg,
+            };
+            let file = braid_tracein::TraceFile::record(&w.program, w.fuel)
+                .map_err(|e| malformed(&w, format!("trace record failed: {e}")))?;
+            let cfg = tier_core_config(*core, *width, false, shared.cfg.deadline_cycles);
+            let report = braid_tracein::replay(&file, &cfg)
+                .map_err(|e| malformed(&w, format!("trace replay failed: {e}")))?;
+            shared.stats.merge_cpi(&report.cpi);
+            span.add_cycles(report.cycles);
+            let payload = Json::Obj(vec![
+                ("workload".into(), Json::Str(w.name.clone())),
+                ("core".into(), Json::Str(core.name().into())),
+                ("entries".into(), Json::Int(file.trace.entries.len() as u64)),
+                (
+                    "trace_digest".into(),
+                    Json::Str(
+                        file.digest()
+                            .map_err(|e| malformed(&w, format!("trace digest failed: {e}")))?,
+                    ),
+                ),
+                ("instructions".into(), Json::Int(report.instructions)),
+                ("cycles".into(), Json::Int(report.cycles)),
+                (
+                    "cycle_digest".into(),
+                    Json::Str(
+                        braid_tracein::cycle_digest_of(&file, &[(core.name(), &report)])
+                            .map_err(|e| malformed(&w, format!("cycle digest failed: {e}")))?,
+                    ),
+                ),
+            ])
+            .compact();
+            span.mark(Phase::Execute);
+            shared.cache.insert_faulty(key, payload.clone(), shared.disk_fault());
+            Ok(payload)
+        }
         // Handled inline by the reader; never dispatched to the pool.
         Request::Stats | Request::Metrics | Request::Shutdown => {
             unreachable!("inline request reached the pool")

@@ -1,0 +1,42 @@
+//! # braid-tracein: trace-file recording, ingestion, and replay
+//!
+//! The workload frontier's second leg: a **documented, versioned trace
+//! format** (self-contained — program container plus committed dynamic
+//! stream) and a replayer that drives all four timing cores, so workloads
+//! can arrive as recorded traces instead of assembly or braid-lang
+//! source.
+//!
+//! * [`format`] — the [`TraceFile`] value with its two serializations:
+//!   a compact framed binary (crash-safe, the braidd/cache interchange
+//!   form) and human-inspectable JSON-lines.
+//! * [`replay`] — [`replay()`] through any [`CoreConfig`], and
+//!   [`cycle_digest`], the canonical determinism witness (two replays of
+//!   one file must produce byte-identical digests).
+//! * [`error`] — structured [`TraceError`]/[`ReplayError`]; hostile bytes
+//!   (truncated, flipped, spliced) always surface as typed errors, never
+//!   panics.
+//!
+//! ```
+//! use braid_isa::asm::assemble;
+//! use braid_tracein::TraceFile;
+//!
+//! let program = assemble("addi r0, #3, r1\nhalt")?;
+//! let recorded = TraceFile::record(&program, 1000)?;
+//! let bytes = recorded.to_binary()?;
+//! let back = TraceFile::from_binary(&bytes)?;
+//! assert_eq!(back.trace.entries, recorded.trace.entries);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`CoreConfig`]: braid_core::processor::CoreConfig
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod format;
+pub mod replay;
+
+pub use error::{ReplayError, TraceError};
+pub use format::{TraceFile, FORMAT_VERSION, TRACE_MAGIC};
+pub use replay::{cycle_digest, cycle_digest_of, replay};

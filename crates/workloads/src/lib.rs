@@ -75,12 +75,40 @@ pub fn kernel_suite() -> Vec<Workload> {
     kernels::all()
 }
 
+/// The curated compiled loop-nest family (`ln_*` names), built from
+/// braid-lang sources by [`braid_lang::loopnest`].
+pub fn loopnest_suite() -> Vec<Workload> {
+    braid_lang::loopnest::family().iter().map(loopnest_workload).collect()
+}
+
+/// The communication-dominated loop-nest variants aimed at the `braidc
+/// -O` partition search (`exp opt`): canonical braid formation serializes
+/// their independent chains, so a searched partition has real cycles to
+/// recover.
+pub fn loopnest_opt_suite() -> Vec<Workload> {
+    braid_lang::loopnest::opt_family().iter().map(loopnest_workload).collect()
+}
+
+fn loopnest_workload(nest: &braid_lang::loopnest::LoopNest) -> Workload {
+    Workload {
+        name: nest.name.clone(),
+        class: BenchClass::Int,
+        program: nest.compile().program,
+        fuel: nest.fuel,
+    }
+}
+
 /// Looks a workload up in the synthetic suite first, then among the
-/// hand-written kernels (which ignore `scale`). This is the single
-/// resolver the CLI and the sweep engine share, so `dot_product` and
-/// `mcf` name workloads the same way everywhere.
+/// hand-written kernels (which ignore `scale`), then the compiled
+/// loop-nest family (`ln_*` names parse their parameter suffix, so any
+/// in-range tiling/unroll point resolves, not just the curated list).
+/// This is the single resolver the CLI and the sweep engine share, so
+/// `dot_product`, `mcf`, and `ln_saxpy_u4` name workloads the same way
+/// everywhere.
 pub fn by_name_any(name: &str, scale: f64) -> Option<Workload> {
-    by_name(name, scale).or_else(|| kernels::all().into_iter().find(|w| w.name == name))
+    by_name(name, scale)
+        .or_else(|| kernels::all().into_iter().find(|w| w.name == name))
+        .or_else(|| braid_lang::loopnest::by_name(name).map(|n| loopnest_workload(&n)))
 }
 
 #[cfg(test)]
@@ -102,5 +130,16 @@ mod tests {
         let w = by_name("gzip", 0.1).unwrap();
         assert_eq!(w.name, "gzip");
         assert!(by_name("nonesuch", 0.1).is_none());
+    }
+
+    #[test]
+    fn loopnests_resolve_like_any_other_workload() {
+        let w = by_name_any("ln_saxpy_u4", 1.0).expect("curated family member");
+        assert_eq!(w.class, BenchClass::Int);
+        w.program.validate().unwrap();
+        // Off-list but in-range parameterizations resolve too.
+        assert!(by_name_any("ln_chains_c3_u1", 1.0).is_some());
+        assert!(by_name_any("ln_nonesuch", 1.0).is_none());
+        assert_eq!(loopnest_suite().len(), braid_lang::loopnest::family().len());
     }
 }

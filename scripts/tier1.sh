@@ -48,6 +48,9 @@ echo "sampled smoke OK (full=$full_cycles cycles, sampled est=$est_cycles, err=$
 echo "==> cargo test -q -p braid-analyze"
 cargo test -q -p braid-analyze
 
+echo "==> cargo test -q -p braid-lang -p braid-tracein"
+cargo test -q -p braid-lang -p braid-tracein
+
 echo "==> braidc check over the kernel suite"
 for kernel in fig2_life dot_product stencil pointer_chase histogram matmul crc_mix partition; do
   ./target/release/braidc check "@$kernel"
@@ -78,6 +81,31 @@ opt_emit="$(mktemp --suffix=.brisc)"
 ./target/release/braidc check "$opt_emit"
 rm -f "$opt_emit"
 echo "-O smoke OK (winner=$opt_winner at $winner_cycles cycles <= canonical $canonical_cycles, output check-clean)"
+
+echo "==> braid-lang loop-nest smoke (braidc build -> check -> simulate)"
+lang_src="$(mktemp --suffix=.bl)"
+lang_out="$(mktemp --suffix=.brisc)"
+printf 'array a[16] = [3, 1, 4, 1, 5];\nlet s = 0;\nfor i in 0..16 { s = s + a[i] * a[i]; }\na[0] = s;\n' > "$lang_src"
+./target/release/braidc build "$lang_src" --emit "$lang_out"
+./target/release/braidc check "$lang_out"
+rm -f "$lang_src" "$lang_out"
+for nest in ln_saxpy_u2 ln_stencil_u1 ln_matmul_n8_t4 ln_chains_c4_u2; do
+  ./target/release/braidc check "@$nest"
+done
+./target/release/braidsim all @ln_saxpy_u2 > /dev/null
+echo "loop-nest smoke OK (built source check-clean, 4 nests checked, all cores simulate)"
+
+echo "==> trace round-trip smoke (record -> replay twice -> identical cycle digest)"
+trace_file="$(mktemp --suffix=.btrace)"
+./target/release/braidsim trace-record @ln_chains_c4_u2 "$trace_file"
+trace_d1="$(./target/release/braidsim trace-replay "$trace_file" | awk '/^cycle digest/{print $NF}')"
+trace_d2="$(./target/release/braidsim trace-replay "$trace_file" | awk '/^cycle digest/{print $NF}')"
+if [ -z "$trace_d1" ] || [ "$trace_d1" != "$trace_d2" ]; then
+  echo "trace smoke: cycle digests differ or missing (d1=$trace_d1 d2=$trace_d2)" >&2
+  exit 1
+fi
+rm -f "$trace_file"
+echo "trace smoke OK (cycle digest $trace_d1 stable across replays)"
 
 echo "==> sweep smoke (tiny grid, 2 threads)"
 cargo run --release --bin braidsim -- sweep --name tier1-smoke --threads 2 \

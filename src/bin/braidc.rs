@@ -21,12 +21,19 @@
 //!                                 stall cycles from a `braidsim --metrics`
 //!                                 export
 //! braidc assemble  <file.s> <out.brisc>   write a binary container
+//! braidc build     <file.bl> [--emit <out.brisc>] [--json] [--deny-warnings]
+//!                                 compile braid-lang source, run the braid
+//!                                 translator over it, and write an
+//!                                 annotated container that passes
+//!                                 `braid-check` clean by construction
 //! ```
 //!
-//! `<prog>` is assembly, a `.brisc` binary, or `@name` for a workload from
-//! the benchmark suite. Annotated inputs (any braid bits set) are checked
-//! as-is; unannotated inputs are translated first and the full translation
-//! (including reordering legality and descriptor metadata) is checked.
+//! `<prog>` is assembly, a `.brisc` binary, braid-lang source (`.bl`), or
+//! `@name` for a workload from the benchmark suite (including the
+//! compiled `ln_*` loop-nest family). Annotated inputs (any braid bits
+//! set) are checked as-is; unannotated inputs are translated first and
+//! the full translation (including reordering legality and descriptor
+//! metadata) is checked.
 //!
 //! Exit codes (shared by all braid binaries): `0` clean, `1` findings or
 //! failure, `2` usage error.
@@ -48,7 +55,8 @@ fn usage() -> ExitCode {
          braidc -O <prog> [--json] [--emit <file>]\n       \
          braidc dot|viz <prog> [--check] [--metrics <file.json>]\n       \
          braidc assemble <file.s> <out.brisc>\n       \
-         (<prog> = file.s | file.brisc | @benchmark)\n\
+         braidc build <file.bl> [--emit <out.brisc>] [--json] [--deny-warnings]\n       \
+         (<prog> = file.s | file.brisc | file.bl | @benchmark)\n\
          exit codes: 0 clean, 1 findings/failure, 2 usage error"
     );
     ExitCode::from(2)
@@ -62,10 +70,78 @@ fn load(spec: &str) -> Result<Program, String> {
     } else if spec.ends_with(".brisc") {
         let bytes = fs::read(spec).map_err(|e| format!("{spec}: {e}"))?;
         braid::isa::container::from_bytes(&bytes).map_err(|e| format!("{spec}: {e}"))
+    } else if spec.ends_with(".bl") {
+        let source = fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+        let out = braid::lang::compile(bl_name(spec), &source)
+            .map_err(|r| format!("{spec}:\n{}", r.render_with_source(&source)))?;
+        Ok(out.program)
     } else {
         let source = fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
         assemble(&source).map_err(|e| format!("{spec}: {e}"))
     }
+}
+
+/// Program name for a braid-lang source path: the file stem.
+fn bl_name(path: &str) -> &str {
+    std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program")
+}
+
+/// The `build` subcommand: braid-lang source → annotated `.brisc`
+/// container that passes `braid-check` clean by construction.
+fn run_build(path: &str, flags: &[&str], emit_path: Option<&str>) -> ExitCode {
+    let source = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("braidc: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = match braid::lang::compile_annotated(bl_name(path), &source) {
+        Ok(out) => out,
+        Err(report) => {
+            if flags.contains(&"--json") {
+                println!("{}", report.to_json());
+            } else {
+                eprint!("{}", report.render_with_source(&source));
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    if flags.contains(&"--json") {
+        println!("{}", out.report.to_json());
+    } else if !out.report.is_clean() {
+        eprintln!("{}", out.report.render_with_source(&source));
+    }
+    let check = braid::check::check_program(&out.program, &CheckConfig::default());
+    if check.has_errors() {
+        // compile_annotated re-checks the translation, so this cannot
+        // fire; belt-and-braces for the "clean by construction" contract.
+        eprintln!("braidc: internal error: built container is not check-clean:\n{check}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(emit) = emit_path {
+        let bytes = match braid::isa::container::to_bytes(&out.program) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("braidc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = fs::write(emit, bytes) {
+            eprintln!("braidc: {emit}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {emit} ({} instructions, check-clean)", out.program.len());
+    } else {
+        print!("{}", disassemble(&out.program));
+    }
+    if flags.contains(&"--deny-warnings") && !out.report.is_clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 /// Whether any braid annotation deviates from the unannotated default —
@@ -181,6 +257,9 @@ fn main() -> ExitCode {
         }
         println!("wrote {} ({} instructions)", args[2], program.len());
         return ExitCode::SUCCESS;
+    }
+    if args.len() == 2 && args[0] == "build" {
+        return run_build(args[1], &flags, emit_path.as_deref());
     }
     let [cmd, path] = args.as_slice() else { return usage() };
     let program = match load(path) {

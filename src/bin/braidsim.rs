@@ -2,14 +2,18 @@
 //! four execution-core models.
 //!
 //! ```text
-//! braidsim <core> <file.s | @benchmark> [--width N] [--perfect] [--fuel N]
+//! braidsim <core> <file.s | file.bl | @benchmark> [--width N] [--perfect] [--fuel N]
 //!          [--tier full|func|sampled] [--sample-period N] [--sample-warmup N]
-//!          [--sample-len N] [--lockstep]
+//!          [--sample-len N] [--lockstep] [--source]
 //!          [--report-json] [--cpi-stack] [--pipeview FILE] [--metrics FILE]
 //! braidsim sweep [--workloads a,b] [--cores c,d] [--widths ...] [--beus ...]
 //!                [--fifos ...] [--windows ...] [--bypasses ...] [--tiers t1,t2] [--scale F]
 //!                [--perfect] [--threads N] [--name NAME] [--out FILE]
 //!                [--resume]
+//! braidsim trace-record <file.s | file.bl | @benchmark> <out.btrace>
+//!                       [--fuel N] [--jsonl]
+//! braidsim trace-replay <file.btrace | file.jsonl> [--cores a,b,c] [--width N]
+//!                       [--report-json]
 //! braidsim check-kanata <file.kanata>
 //!
 //! cores: ooo | braid | dep | inorder | all
@@ -48,6 +52,14 @@
 //! partial results to `results/<name>.partial.json` after every point, and
 //! writes the deterministic aggregate to `results/<name>.json` (the same
 //! bytes for any `--threads`). `--resume` reuses a matching snapshot.
+//!
+//! Workloads can be braid-lang source (`.bl` extension, or any path with
+//! `--source`), compiled on the fly, and the registered `ln_*` loop-nest
+//! family resolves through `@name` like any benchmark. `trace-record`
+//! captures a self-contained trace file (framed binary by default,
+//! `--jsonl` for JSON-lines); `trace-replay` drives it through the four
+//! timing cores and prints the canonical cycle digest — byte-identical
+//! across replays of the same file.
 
 use std::fs;
 use std::process::ExitCode;
@@ -73,6 +85,7 @@ struct Options {
     cpi_stack: bool,
     pipeview: Option<String>,
     metrics: Option<String>,
+    source: bool,
 }
 
 impl Options {
@@ -83,12 +96,14 @@ impl Options {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: braidsim <ooo|braid|dep|inorder|all> <file.s | @benchmark> [--width N] [--perfect] [--fuel N]");
+    eprintln!("usage: braidsim <ooo|braid|dep|inorder|all> <file.s | file.bl | @benchmark> [--width N] [--perfect] [--fuel N]");
     eprintln!("                [--tier full|func|sampled] [--sample-period N] [--sample-warmup N] [--sample-len N] [--lockstep]");
-    eprintln!("                [--report-json] [--cpi-stack] [--pipeview FILE] [--metrics FILE]");
+    eprintln!("                [--source] [--report-json] [--cpi-stack] [--pipeview FILE] [--metrics FILE]");
     eprintln!("       braidsim sweep [--workloads a,b] [--cores c,d] [--widths ...] [--beus ...]");
     eprintln!("                      [--fifos ...] [--windows ...] [--bypasses ...] [--tiers t1,t2] [--scale F]");
     eprintln!("                      [--perfect] [--threads N] [--name NAME] [--out FILE] [--resume]");
+    eprintln!("       braidsim trace-record <file.s | file.bl | @benchmark> <out.btrace> [--fuel N] [--jsonl]");
+    eprintln!("       braidsim trace-replay <file.btrace | file.jsonl> [--cores a,b,c] [--width N] [--report-json]");
     eprintln!("       braidsim check-kanata <file.kanata>");
     eprintln!("exit codes: 0 clean, 1 findings/failure, 2 usage error");
     ExitCode::from(2)
@@ -178,22 +193,218 @@ fn finish_core(
     }
 }
 
-fn load_program(spec: &str) -> Result<(Program, u64), String> {
+fn load_program(spec: &str, force_source: bool) -> Result<(Program, u64), String> {
     if let Some(name) = spec.strip_prefix('@') {
         let w = braid::workloads::by_name_any(name, 1.0)
             .ok_or_else(|| format!("unknown benchmark {name:?}"))?;
         Ok((w.program, w.fuel))
-    } else if spec.ends_with(".brisc") {
+    } else if !force_source && spec.ends_with(".brisc") {
         let bytes = fs::read(spec).map_err(|e| format!("{spec}: {e}"))?;
         let mut p = braid::isa::container::from_bytes(&bytes).map_err(|e| format!("{spec}: {e}"))?;
         p.name = spec.to_string();
         Ok((p, 50_000_000))
+    } else if force_source || spec.ends_with(".bl") {
+        let source = fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+        let name = std::path::Path::new(spec)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("program");
+        let out = braid::lang::compile(name, &source)
+            .map_err(|r| format!("{spec}:\n{}", r.render_with_source(&source)))?;
+        Ok((out.program, 50_000_000))
     } else {
         let source = fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
         let mut p = assemble(&source).map_err(|e| format!("{spec}: {e}"))?;
         p.name = spec.to_string();
         Ok((p, 50_000_000))
     }
+}
+
+/// The `trace-record` subcommand: functionally execute a workload and
+/// write a self-contained trace file (framed binary, or JSON-lines with
+/// `--jsonl`).
+fn run_trace_record(args: &[String]) -> ExitCode {
+    let mut fuel: u64 = 0;
+    let mut jsonl = false;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jsonl" => jsonl = true,
+            "--fuel" if i + 1 < args.len() => {
+                i += 1;
+                fuel = args[i].parse().unwrap_or(0);
+            }
+            a if !a.starts_with("--") => positional.push(&args[i]),
+            other => {
+                eprintln!("braidsim: trace-record: unknown option {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    let [spec, out_path] = positional.as_slice() else {
+        eprintln!("braidsim: trace-record takes a workload and an output file");
+        return usage();
+    };
+    let (program, default_fuel) = match load_program(spec, false) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("braidsim: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fuel = if fuel > 0 { fuel } else { default_fuel };
+    let file = match braid::tracein::TraceFile::record(&program, fuel) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("braidsim: trace-record: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bytes = if jsonl { file.to_jsonl().map(String::into_bytes) } else { file.to_binary() };
+    let bytes = match bytes {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("braidsim: trace-record: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = fs::write(out_path, &bytes) {
+        eprintln!("braidsim: {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    match file.digest() {
+        Ok(d) => println!(
+            "wrote {out_path}: {} dynamic instructions, trace digest {d}",
+            file.trace.len()
+        ),
+        Err(e) => {
+            eprintln!("braidsim: trace-record: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `trace-replay` subcommand: drive a recorded trace through the
+/// timing cores and print the canonical cycle digest.
+fn run_trace_replay(args: &[String]) -> ExitCode {
+    let mut width: u32 = 8;
+    let mut report_json = false;
+    let mut core_names: Vec<String> =
+        ["inorder", "dep", "ooo", "braid"].map(String::from).to_vec();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--report-json" => report_json = true,
+            "--width" if i + 1 < args.len() => {
+                i += 1;
+                width = args[i].parse().unwrap_or(8);
+            }
+            "--cores" if i + 1 < args.len() => {
+                i += 1;
+                core_names = args[i].split(',').map(String::from).collect();
+            }
+            a if !a.starts_with("--") => positional.push(&args[i]),
+            other => {
+                eprintln!("braidsim: trace-replay: unknown option {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    let [path] = positional.as_slice() else {
+        eprintln!("braidsim: trace-replay takes exactly one trace file");
+        return usage();
+    };
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("braidsim: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // JSON-lines files start with the `{` of the header object; the
+    // framed binary payload starts with the trace magic.
+    let file = if bytes.first() == Some(&b'{') {
+        match std::str::from_utf8(&bytes) {
+            Ok(text) => braid::tracein::TraceFile::from_jsonl(text),
+            Err(_) => {
+                eprintln!("braidsim: {path}: JSON-lines trace is not UTF-8");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        braid::tracein::TraceFile::from_binary(&bytes)
+    };
+    let file = match file {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("braidsim: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{}: {} dynamic instructions (recorded under fuel {})",
+        file.name,
+        file.trace.len(),
+        file.fuel
+    );
+    let opts = Options {
+        width,
+        perfect: false,
+        fuel: 0,
+        tier: Tier::Full,
+        sampling: SamplingConfig::default(),
+        report_json: false,
+        cpi_stack: false,
+        pipeview: None,
+        metrics: None,
+        source: false,
+    };
+    let mut cores = Vec::new();
+    for name in &core_names {
+        match tier_core_config(name, &opts) {
+            Some(c) => cores.push(c),
+            None => {
+                eprintln!("braidsim: trace-replay: unknown core {name:?}");
+                return usage();
+            }
+        }
+    }
+    let mut reports: Vec<(&str, SimReport)> = Vec::with_capacity(cores.len());
+    for core in &cores {
+        match braid::tracein::replay(&file, core) {
+            Ok(rep) => {
+                if report_json {
+                    println!(
+                        "{{\"core\":\"{}\",\"cycles\":{},\"instructions\":{}}}",
+                        core.name(),
+                        rep.cycles,
+                        rep.instructions
+                    );
+                } else {
+                    report(core.name(), &rep);
+                }
+                reports.push((core.name(), rep));
+            }
+            Err(e) => {
+                eprintln!("braidsim: trace-replay: {} failed: {e}", core.name());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let borrowed: Vec<(&str, &SimReport)> = reports.iter().map(|(n, r)| (*n, r)).collect();
+    match braid::tracein::cycle_digest_of(&file, &borrowed) {
+        Ok(d) => println!("cycle digest: {d}"),
+        Err(e) => {
+            eprintln!("braidsim: trace-replay: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn report(label: &str, r: &SimReport) {
@@ -485,6 +696,12 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("check-kanata") {
         return run_check_kanata(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("trace-record") {
+        return run_trace_record(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("trace-replay") {
+        return run_trace_replay(&args[1..]);
+    }
     if args.len() < 2 {
         return usage();
     }
@@ -500,11 +717,13 @@ fn main() -> ExitCode {
         cpi_stack: false,
         pipeview: None,
         metrics: None,
+        source: false,
     };
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
             "--perfect" => opts.perfect = true,
+            "--source" => opts.source = true,
             "--report-json" => opts.report_json = true,
             "--cpi-stack" => opts.cpi_stack = true,
             "--lockstep" => opts.sampling.lockstep = true,
@@ -558,7 +777,7 @@ fn main() -> ExitCode {
         return usage();
     }
 
-    let (program, default_fuel) = match load_program(spec) {
+    let (program, default_fuel) = match load_program(spec, opts.source) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("braidsim: {e}");

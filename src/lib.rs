@@ -12,6 +12,9 @@
 //! * [`sweep`] — the parallel (workload × core × config) sweep engine.
 //! * [`obs`] — pipeline observability: event records, CPI stacks, Konata
 //!   pipeline-viewer export and JSON metrics.
+//! * [`lang`] — the braid-lang loop-nest language frontend (`braidc build`).
+//! * [`tracein`] — the versioned instruction/memory trace format and the
+//!   trace-replay frontend.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,9 +24,11 @@ pub use braid_check as check;
 pub use braid_compiler as compiler;
 pub use braid_core as core;
 pub use braid_isa as isa;
+pub use braid_lang as lang;
 pub use braid_obs as obs;
 pub use braid_serve as serve;
 pub use braid_sweep as sweep;
 pub use braid_trace as trace;
+pub use braid_tracein as tracein;
 pub use braid_uarch as uarch;
 pub use braid_workloads as workloads;

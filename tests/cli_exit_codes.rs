@@ -1,6 +1,6 @@
 //! Exit-code contract of the `braidc` CLI: `0` clean, `1` findings or
 //! failure, `2` usage error — including the `--deny-warnings` promotion of
-//! a warnings-only report to exit `1`.
+//! a warnings-only report to exit `1`, for `check` and `build` alike.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -90,6 +90,55 @@ fn usage_errors_exit_two() {
 #[test]
 fn missing_input_exits_one() {
     assert_eq!(exit_code(braidc().args(["check", "@nonesuch_kernel"])), 1);
+}
+
+fn write_bl(name: &str, source: &str) -> PathBuf {
+    let path = tmp(name);
+    std::fs::write(&path, source).expect("writes");
+    path
+}
+
+#[test]
+fn build_clean_exits_zero_and_emits_a_check_clean_container() {
+    let src = write_bl(
+        "ok.bl",
+        "array a[8] = [1, 2, 3];\nlet s = 0;\nfor i in 0..8 { s = s + a[i]; }\na[0] = s;\n",
+    );
+    let out = tmp("ok.brisc");
+    let built = braidc()
+        .args(["build", src.to_str().unwrap(), "--emit", out.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert_eq!(built.status.code(), Some(0), "{}", String::from_utf8_lossy(&built.stderr));
+    // The emitted container passes the checker standalone: annotated
+    // clean by construction.
+    assert_eq!(exit_code(braidc().args(["check", out.to_str().unwrap()])), 0);
+}
+
+#[test]
+fn build_diagnostics_exit_one() {
+    let src = write_bl("bad.bl", "let s = nosuch + 1;\n");
+    let out = braidc().args(["build", src.to_str().unwrap()]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("BL00"), "expected a BL diagnostic on stderr, got:\n{text}");
+}
+
+#[test]
+fn build_deny_warnings_promotes_unused_binding_to_exit_one() {
+    let src = write_bl("warn.bl", "array a[4];\nlet unused = 3;\na[0] = 1;\n");
+    assert_eq!(exit_code(braidc().args(["build", src.to_str().unwrap()])), 0);
+    assert_eq!(
+        exit_code(braidc().args(["build", src.to_str().unwrap(), "--deny-warnings"])),
+        1
+    );
+}
+
+#[test]
+fn build_usage_errors_exit_two() {
+    assert_eq!(exit_code(braidc().args(["build"])), 2);
+    let src = write_bl("flags.bl", "array a[4];\na[0] = 1;\n");
+    assert_eq!(exit_code(braidc().args(["build", src.to_str().unwrap(), "--bogus"])), 2);
 }
 
 #[test]

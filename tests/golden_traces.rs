@@ -1,7 +1,10 @@
-//! Golden-trace regression tests for the hand-written kernels.
+//! Golden-trace regression tests for the hand-written kernels and the
+//! compiled loop-nest family.
 //!
-//! For every kernel workload, `tests/golden/<name>.golden` pins down the
-//! observable behaviour of the whole stack on the paper-default machines:
+//! For every kernel workload and every curated `ln_*` loop nest (braid-lang
+//! source through the `braidc` pipeline), `tests/golden/<name>.golden` pins
+//! down the observable behaviour of the whole stack on the paper-default
+//! machines:
 //!
 //! * the dynamic (retired) instruction count,
 //! * the functional model's final architectural register state
@@ -29,7 +32,15 @@ use braid::core::config::{BraidConfig, DepConfig, InOrderConfig, OooConfig};
 use braid::core::cores::{BraidCore, DepSteerCore, InOrderCore, OooCore};
 use braid::core::functional::Machine;
 use braid::isa::Reg;
-use braid::workloads::{kernel_suite, Workload};
+use braid::workloads::{kernel_suite, loopnest_suite, Workload};
+
+/// Everything the golden set covers: hand-written kernels plus the
+/// compiled loop-nest family.
+fn golden_suite() -> Vec<Workload> {
+    let mut suite = kernel_suite();
+    suite.extend(loopnest_suite());
+    suite
+}
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
@@ -116,7 +127,7 @@ fn kernels_match_their_golden_traces() {
     }
 
     let mut failures = Vec::new();
-    for w in kernel_suite() {
+    for w in golden_suite() {
         let current = render_golden(&w);
         let path = dir.join(format!("{}.golden", w.name));
         if update {
@@ -138,7 +149,7 @@ fn kernels_match_their_golden_traces() {
 }
 
 #[test]
-fn golden_files_cover_exactly_the_kernel_suite() {
+fn golden_files_cover_exactly_the_golden_suite() {
     if std::env::var("BRAID_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
         return; // the update pass is rewriting the set right now
     }
@@ -150,11 +161,11 @@ fn golden_files_cover_exactly_the_kernel_suite() {
         })
         .collect();
     on_disk.sort();
-    let mut kernels: Vec<String> = kernel_suite().into_iter().map(|w| w.name).collect();
+    let mut kernels: Vec<String> = golden_suite().into_iter().map(|w| w.name).collect();
     kernels.sort();
     assert_eq!(
         on_disk, kernels,
-        "tests/golden/ out of sync with the kernel suite — \
+        "tests/golden/ out of sync with the kernel and loop-nest suites — \
          regenerate with BRAID_UPDATE_GOLDEN=1 cargo test --test golden_traces"
     );
 }
